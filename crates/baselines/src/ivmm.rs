@@ -1,0 +1,308 @@
+//! IVMM [10]: interactive-voting based map matching.
+//!
+//! Every trajectory point "votes": for point `i`, the globally optimal
+//! candidate sequence *forced through* point `i`'s locally best candidate is
+//! computed (forward + backward dynamic programs over the same transition
+//! scores), and that sequence casts distance-weighted votes for the
+//! candidate it selects at every other point. The final match at each point
+//! is the candidate with the most vote mass — mutual influence between
+//! points that a single Viterbi pass cannot express.
+
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_core::candidates::nearest_segments;
+use lhmm_core::classic::{ClassicObservation, ClassicTransition};
+use lhmm_core::types::{Candidate, MapMatcher, MatchContext, MatchResult};
+use lhmm_geo::Point;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use lhmm_network::path::Path;
+use lhmm_network::sp_cache::SpCache;
+
+/// The IVMM matcher.
+pub struct Ivmm {
+    /// Candidates per point.
+    pub k: usize,
+    /// Candidate search radius, meters.
+    pub radius: f64,
+    /// Distance-decay scale of vote weights, meters.
+    pub vote_sigma: f64,
+    obs: ClassicObservation,
+    trans: ClassicTransition,
+    sp: SpCache,
+}
+
+impl Ivmm {
+    /// Creates an IVMM matcher for `net`.
+    pub fn new(net: &RoadNetwork) -> Self {
+        Ivmm {
+            k: 45,
+            radius: 3_000.0,
+            vote_sigma: 4_000.0,
+            obs: ClassicObservation::cellular(),
+            trans: ClassicTransition::cellular(),
+            sp: SpCache::new(net, 200_000),
+        }
+    }
+
+    /// Transition weight matrices between consecutive layers.
+    fn weight_matrices(
+        &mut self,
+        net: &RoadNetwork,
+        positions: &[Point],
+        layers: &[Vec<Candidate>],
+    ) -> Vec<Vec<Vec<f64>>> {
+        let mut w_all = Vec::with_capacity(layers.len().saturating_sub(1));
+        for i in 1..layers.len() {
+            let d = positions[i - 1].distance(positions[i]);
+            let bound = d * 4.0 + 3_000.0;
+            let mut w = vec![vec![0.0; layers[i].len()]; layers[i - 1].len()];
+            for (j, prev) in layers[i - 1].iter().enumerate() {
+                for (k, cur) in layers[i].iter().enumerate() {
+                    let route = self.sp.route_between_projections(
+                        net, prev.seg, prev.t, cur.seg, cur.t, bound,
+                    );
+                    if let Some(r) = route {
+                        w[j][k] = self.trans.prob(d, r.length) * cur.obs;
+                    }
+                }
+            }
+            w_all.push(w);
+        }
+        w_all
+    }
+}
+
+/// Forward and backward DP over fixed weight matrices.
+/// Returns `(f_fwd, pre, f_bwd, nxt)`.
+#[allow(clippy::type_complexity)]
+fn bidirectional_dp(
+    layers: &[Vec<Candidate>],
+    w_all: &[Vec<Vec<f64>>],
+) -> (
+    Vec<Vec<f64>>,
+    Vec<Vec<usize>>,
+    Vec<Vec<f64>>,
+    Vec<Vec<usize>>,
+) {
+    let n = layers.len();
+    let mut f_fwd: Vec<Vec<f64>> = vec![layers[0].iter().map(|c| c.obs).collect()];
+    let mut pre: Vec<Vec<usize>> = vec![vec![0; layers[0].len()]];
+    for i in 1..n {
+        let mut fi = vec![f64::NEG_INFINITY; layers[i].len()];
+        let mut pi = vec![0usize; layers[i].len()];
+        for (j, &fj) in f_fwd[i - 1].iter().enumerate() {
+            for k in 0..layers[i].len() {
+                let s = fj + w_all[i - 1][j][k];
+                if s > fi[k] {
+                    fi[k] = s;
+                    pi[k] = j;
+                }
+            }
+        }
+        f_fwd.push(fi);
+        pre.push(pi);
+    }
+
+    let mut f_bwd: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut nxt: Vec<Vec<usize>> = vec![Vec::new(); n];
+    f_bwd[n - 1] = vec![0.0; layers[n - 1].len()];
+    nxt[n - 1] = vec![0; layers[n - 1].len()];
+    for i in (0..n - 1).rev() {
+        let mut fi = vec![f64::NEG_INFINITY; layers[i].len()];
+        let mut ni = vec![0usize; layers[i].len()];
+        for j in 0..layers[i].len() {
+            for (k, &fk) in f_bwd[i + 1].iter().enumerate() {
+                let s = w_all[i][j][k] + fk;
+                if s > fi[j] {
+                    fi[j] = s;
+                    ni[j] = k;
+                }
+            }
+        }
+        f_bwd[i] = fi;
+        nxt[i] = ni;
+    }
+    (f_fwd, pre, f_bwd, nxt)
+}
+
+/// The candidate index sequence of the optimal path forced through
+/// candidate `c` at layer `i`.
+fn forced_path(
+    i: usize,
+    c: usize,
+    pre: &[Vec<usize>],
+    nxt: &[Vec<usize>],
+    n: usize,
+) -> Vec<usize> {
+    let mut seq = vec![0usize; n];
+    seq[i] = c;
+    // Walk backward via forward-DP parents.
+    let mut cur = c;
+    for li in (0..i).rev() {
+        cur = pre[li + 1][cur];
+        seq[li] = cur;
+    }
+    // Walk forward via backward-DP successors.
+    let mut cur = c;
+    for li in i + 1..n {
+        cur = nxt[li - 1][cur];
+        seq[li] = cur;
+    }
+    seq
+}
+
+impl MapMatcher for Ivmm {
+    fn name(&self) -> &str {
+        "IVMM"
+    }
+
+    fn match_trajectory(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+    ) -> MatchResult {
+        if traj.is_empty() {
+            return MatchResult::empty();
+        }
+        let all_positions = traj.effective_positions();
+
+        // Candidate preparation.
+        let mut kept = Vec::new();
+        let mut layers: Vec<Vec<Candidate>> = Vec::new();
+        for (i, &pos) in all_positions.iter().enumerate() {
+            let pairs = nearest_segments(ctx.net, ctx.index, pos, self.k, self.radius);
+            if pairs.is_empty() {
+                continue;
+            }
+            layers.push(
+                pairs
+                    .iter()
+                    .map(|&(seg, proj)| Candidate {
+                        seg,
+                        t: proj.t,
+                        obs: self.obs.prob(proj.distance),
+                    })
+                    .collect(),
+            );
+            kept.push(i);
+        }
+        if kept.is_empty() {
+            return MatchResult::empty();
+        }
+        let positions: Vec<Point> = kept.iter().map(|&i| all_positions[i]).collect();
+        let n = layers.len();
+
+        let mut candidate_sets: Vec<Vec<SegmentId>> = vec![Vec::new(); traj.len()];
+        for (ki, layer) in kept.iter().zip(&layers) {
+            candidate_sets[*ki] = layer.iter().map(|c| c.seg).collect();
+        }
+
+        let w_all = self.weight_matrices(ctx.net, &positions, &layers);
+        let (f_fwd, pre, f_bwd, nxt) = bidirectional_dp(&layers, &w_all);
+
+        // Voting: every point's best forced path votes everywhere, with
+        // distance-decayed weight.
+        let mut votes: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.len()]).collect();
+        for i in 0..n {
+            let best_c = (0..layers[i].len())
+                .max_by(|&a, &b| {
+                    (f_fwd[i][a] + f_bwd[i][a])
+                        .partial_cmp(&(f_fwd[i][b] + f_bwd[i][b]))
+                        .expect("finite scores")
+                })
+                .expect("non-empty layer");
+            let seq = forced_path(i, best_c, &pre, &nxt, n);
+            for (j, &cj) in seq.iter().enumerate() {
+                let d = positions[i].distance(positions[j]);
+                let weight = (-d * d / (2.0 * self.vote_sigma * self.vote_sigma)).exp();
+                votes[j][cj] += weight;
+            }
+        }
+
+        // Winners per layer, connected by shortest paths.
+        let mut path = Path::empty();
+        let mut prev: Option<Candidate> = None;
+        for (i, layer) in layers.iter().enumerate() {
+            let win = (0..layer.len())
+                .max_by(|&a, &b| votes[i][a].partial_cmp(&votes[i][b]).expect("finite"))
+                .expect("non-empty layer");
+            let cand = layer[win];
+            match prev {
+                None => path.segments.push(cand.seg),
+                Some(p) => {
+                    let bound = positions[i - 1].distance(positions[i]) * 6.0 + 5_000.0;
+                    match self.sp.route_between_projections(
+                        ctx.net, p.seg, p.t, cand.seg, cand.t, bound,
+                    ) {
+                        Some(r) => path.extend_with(&r.segments),
+                        None => path.segments.push(cand.seg),
+                    }
+                }
+            }
+            prev = Some(cand);
+        }
+        path.dedup_consecutive();
+
+        MatchResult {
+            path,
+            candidate_sets: Some(candidate_sets),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    use lhmm_eval::runner::evaluate_matcher;
+
+    #[test]
+    fn ivmm_matches_reasonably() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(82));
+        let mut m = Ivmm::new(&ds.network);
+        let report = evaluate_matcher(&ds, &mut m, &ds.test[..6]);
+        assert_eq!(report.method, "IVMM");
+        assert!(report.recall > 0.05, "recall {}", report.recall);
+        assert!(report.cmf50 < 1.0);
+    }
+
+    #[test]
+    fn forced_path_passes_through_the_forced_candidate() {
+        // Tiny 3-layer synthetic DP.
+        let mk = |n: usize| {
+            (0..n)
+                .map(|i| Candidate {
+                    seg: SegmentId(i as u32),
+                    t: 0.0,
+                    obs: 1.0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let layers = vec![mk(2), mk(2), mk(2)];
+        // Weights that strongly prefer candidate 0 everywhere.
+        let w = vec![
+            vec![vec![1.0, 0.1], vec![0.1, 0.1]],
+            vec![vec![1.0, 0.1], vec![0.1, 0.1]],
+        ];
+        let (_, pre, _, nxt) = bidirectional_dp(&layers, &w);
+        // Force through candidate 1 at layer 1.
+        let seq = forced_path(1, 1, &pre, &nxt, 3);
+        assert_eq!(seq[1], 1);
+        assert_eq!(seq.len(), 3);
+        // Unforced best path goes through candidate 0.
+        let seq0 = forced_path(1, 0, &pre, &nxt, 3);
+        assert_eq!(seq0, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_trajectory_is_safe() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(83));
+        let mut m = Ivmm::new(&ds.network);
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let r = m.match_trajectory(&ctx, &CellularTrajectory::default());
+        assert!(r.path.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Reimplementations of the ten baselines LHMM is compared against
+//! (paper §V-A4), plus the shortcut-augmented STM+S of Table III.
+//!
+//! Each baseline keeps the mechanism its original paper is known for:
+//!
+//! | module | method | mechanism |
+//! |---|---|---|
+//! | [`heuristic`] | STM [8] | topology + temporal (speed) analysis |
+//! | [`heuristic`] | STM+S | STM with LHMM's shortcut pass |
+//! | [`ivmm`] | IVMM [10] | interactive voting between points |
+//! | [`heuristic`] | IFM [32] | moving-speed information fusion |
+//! | [`heuristic`] | MCM [34] | common sub-sequence route tracking |
+//! | [`heuristic`] | CLSTERS [41] | trajectory calibration then HMM |
+//! | [`heuristic`] | SnapNet [12] | map hints + direction/turn heuristics |
+//! | [`heuristic`] | THMM [42] | geometric/reachability constraints |
+//! | [`seq2seq`] | DMM [15] | GRU seq2seq, constrained decoding |
+//! | [`seq2seq`] | DeepMM [37] | seq2seq + attention + augmentation |
+//! | [`seq2seq`] | TransformerMM [38] | self-attention encoder seq2seq |
+
+#![forbid(unsafe_code)]
+
+pub mod heuristic;
+pub mod ivmm;
+pub mod seq2seq;
+
+pub use heuristic::{clsters, ifm, mcm, snapnet, stm, stm_s, thmm, HeuristicHmm};
+pub use ivmm::Ivmm;
+pub use seq2seq::{Seq2SeqConfig, Seq2SeqMatcher};

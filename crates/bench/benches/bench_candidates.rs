@@ -1,0 +1,39 @@
+//! Candidate preparation: distance top-k vs learned P_O top-k (the design
+//! choice that lets LHMM run with a smaller k, §V-B "running efficiency").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::candidates::nearest_segments;
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::{MapMatcher, MatchContext};
+
+fn bench_candidates(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(105));
+    let rec = &ds.test[0];
+    let pos = rec.cellular.points[0].effective_pos();
+
+    c.bench_function("distance_top30", |b| {
+        b.iter(|| nearest_segments(&ds.network, &ds.index, pos, 30, 3_000.0));
+    });
+
+    // Learned preparation is exercised through a full match (it includes
+    // the attention context and batched MLP scoring).
+    let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(105));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let mut group = c.benchmark_group("learned_vs_k");
+    group.sample_size(20);
+    for k in [10usize, 30] {
+        group.bench_function(format!("lhmm_match_k{k}"), |b| {
+            lhmm.set_k(k);
+            b.iter(|| lhmm.match_trajectory(&ctx, &rec.cellular));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Het-Graph Encoder training and inference throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_graph::encoder::{train_encoder, EncoderConfig, EncoderKind};
+use lhmm_graph::relgraph::MultiRelGraph;
+
+fn bench_encoder(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(103));
+    let graph = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+
+    let mut group = c.benchmark_group("encoder_train_10_epochs");
+    group.sample_size(10);
+    for kind in [
+        EncoderKind::Heterogeneous,
+        EncoderKind::Homogeneous,
+        EncoderKind::MlpEmbedding,
+    ] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                train_encoder(
+                    &graph,
+                    &EncoderConfig {
+                        dim: 32,
+                        epochs: 10,
+                        batch_edges: 256,
+                        kind,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

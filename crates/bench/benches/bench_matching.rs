@@ -1,0 +1,51 @@
+//! End-to-end matching throughput per method (the Avg Time column of
+//! Table II). One iteration = matching one held-out trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lhmm_baselines::heuristic::{snapnet, stm, thmm};
+use lhmm_baselines::ivmm::Ivmm;
+use lhmm_baselines::seq2seq::{Seq2SeqConfig, Seq2SeqMatcher};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::{MapMatcher, MatchContext};
+
+fn bench_matching(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(101));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+
+    let mut group = c.benchmark_group("match_one_trajectory");
+    group.sample_size(20);
+
+    let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(101));
+    let mut dmm = Seq2SeqMatcher::train(&ds, Seq2SeqConfig::dmm(101).fast_test());
+    let mut matchers: Vec<(&str, &mut dyn MapMatcher)> = Vec::new();
+    let mut stm_m = stm(&ds.network);
+    let mut thmm_m = thmm(&ds.network);
+    let mut snet_m = snapnet(&ds.network);
+    let mut ivmm_m = Ivmm::new(&ds.network);
+    matchers.push(("LHMM", &mut lhmm));
+    matchers.push(("STM", &mut stm_m));
+    matchers.push(("THMM", &mut thmm_m));
+    matchers.push(("SNet", &mut snet_m));
+    matchers.push(("IVMM", &mut ivmm_m));
+    matchers.push(("DMM", &mut dmm));
+
+    for (name, matcher) in matchers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let rec = &ds.test[i % ds.test.len()];
+                i += 1;
+                matcher.match_trajectory(&ctx, &rec.cellular)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

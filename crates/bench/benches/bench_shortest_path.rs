@@ -1,0 +1,52 @@
+//! Shortest-path substrate throughput: single queries, one-to-many layers,
+//! and the memoized cache (the paper's precomputation table, §V-A2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lhmm_network::generators::{generate_city, GeneratorConfig};
+use lhmm_network::graph::NodeId;
+use lhmm_network::shortest_path::DijkstraEngine;
+use lhmm_network::sp_cache::SpCache;
+
+fn bench_shortest_path(c: &mut Criterion) {
+    let net = generate_city(&GeneratorConfig {
+        rows: 40,
+        cols: 40,
+        ..GeneratorConfig::small_test(5)
+    });
+    let n = net.num_nodes() as u32;
+
+    c.bench_function("dijkstra_single_3km", |b| {
+        let mut eng = DijkstraEngine::new(&net);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            eng.node_to_node(&net, NodeId(i % n), NodeId((i * 31) % n), 3_000.0)
+        });
+    });
+
+    c.bench_function("dijkstra_one_to_30", |b| {
+        let mut eng = DijkstraEngine::new(&net);
+        let targets: Vec<NodeId> = (0..30).map(|k| NodeId((k * 53) % n)).collect();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(101);
+            eng.node_to_nodes(&net, NodeId(i % n), &targets, 5_000.0)
+        });
+    });
+
+    c.bench_function("sp_cache_repeat_hits", |b| {
+        let mut cache = SpCache::new(&net, 100_000);
+        // Warm a small working set, then measure hit-path latency.
+        for k in 0..50u32 {
+            cache.route(&net, NodeId(k % n), NodeId((k * 13) % n), 1e9);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 50;
+            cache.route(&net, NodeId(i % n), NodeId((i * 13) % n), 1e9)
+        });
+    });
+}
+
+criterion_group!(benches, bench_shortest_path);
+criterion_main!(benches);

@@ -1,0 +1,336 @@
+//! SnapNet-style trajectory pre-filters.
+//!
+//! The paper (§V-A1) filters every cellular trajectory before matching with
+//! the SnapNet [12] pipeline: a speed filter, an α-trimmed mean filter, and
+//! a direction filter. All matchers — LHMM and baselines — consume the
+//! filtered trajectory.
+
+use crate::traj::{CellularPoint, CellularTrajectory};
+use lhmm_geo::Point;
+
+/// Filter parameters.
+#[derive(Clone, Debug)]
+pub struct FilterConfig {
+    /// Maximum plausible travel speed in m/s; hops implying more are noise.
+    pub max_speed: f64,
+    /// Fraction of extreme coordinates trimmed on each side by the
+    /// α-trimmed mean filter.
+    pub alpha: f64,
+    /// Half-window (in points) of the α-trimmed mean filter.
+    pub window: usize,
+    /// Direction-reversal threshold in radians: an interior point whose
+    /// in/out headings disagree by more than this *and* whose hops are both
+    /// long is treated as a ping-pong handover artifact.
+    pub reversal_angle: f64,
+    /// Minimum hop length (meters) for the direction filter to act.
+    pub min_hop: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            max_speed: 50.0,
+            alpha: 0.2,
+            window: 2,
+            reversal_angle: 2.6, // ~150 degrees
+            min_hop: 800.0,
+        }
+    }
+}
+
+/// Applies speed → direction → α-trimmed-mean filters in order, keeping the
+/// paired true positions aligned. Returns the filtered pair.
+pub fn apply_filters(
+    traj: &CellularTrajectory,
+    true_positions: &[Point],
+    cfg: &FilterConfig,
+) -> (CellularTrajectory, Vec<Point>) {
+    assert_eq!(traj.points.len(), true_positions.len(), "length mismatch");
+    let keep1 = speed_filter(&traj.points, cfg);
+    let (pts1, truth1) = select(&traj.points, true_positions, &keep1);
+    let keep2 = direction_filter(&pts1, cfg);
+    let (mut pts2, truth2) = select(&pts1, &truth1, &keep2);
+    alpha_trimmed_mean(&mut pts2, cfg);
+    (CellularTrajectory { points: pts2 }, truth2)
+}
+
+fn select(
+    pts: &[CellularPoint],
+    truth: &[Point],
+    keep: &[bool],
+) -> (Vec<CellularPoint>, Vec<Point>) {
+    let mut out_p = Vec::with_capacity(pts.len());
+    let mut out_t = Vec::with_capacity(pts.len());
+    for ((p, &t), &k) in pts.iter().zip(truth).zip(keep) {
+        if k {
+            out_p.push(*p);
+            out_t.push(t);
+        }
+    }
+    (out_p, out_t)
+}
+
+/// Marks points whose implied speed from the previously *kept* point is
+/// plausible. The first point is always kept.
+pub fn speed_filter(points: &[CellularPoint], cfg: &FilterConfig) -> Vec<bool> {
+    let mut keep = vec![true; points.len()];
+    let mut last_kept: Option<usize> = None;
+    for i in 0..points.len() {
+        if let Some(j) = last_kept {
+            let dt = points[i].t - points[j].t;
+            let dd = points[i].pos.distance(points[j].pos);
+            // With tower-resolution positions a hop can look fast purely from
+            // the tower offset, so allow a fixed slack on top of max speed.
+            if dt > 0.0 && dd > cfg.max_speed * dt + 1_000.0 {
+                keep[i] = false;
+                continue;
+            }
+        }
+        last_kept = Some(i);
+    }
+    keep
+}
+
+/// Marks interior points that form a long out-and-back spike (ping-pong
+/// handover) for removal.
+pub fn direction_filter(points: &[CellularPoint], cfg: &FilterConfig) -> Vec<bool> {
+    let n = points.len();
+    let mut keep = vec![true; n];
+    if n < 3 {
+        return keep;
+    }
+    for i in 1..n - 1 {
+        let a = points[i - 1].pos;
+        let b = points[i].pos;
+        let c = points[i + 1].pos;
+        let hop_in = a.distance(b);
+        let hop_out = b.distance(c);
+        if hop_in < cfg.min_hop || hop_out < cfg.min_hop {
+            continue;
+        }
+        let h_in = a.bearing_to(b);
+        let h_out = b.bearing_to(c);
+        if lhmm_geo::angle::abs_diff(h_in, h_out) > cfg.reversal_angle {
+            keep[i] = false;
+        }
+    }
+    keep
+}
+
+/// Fills each point's `smoothed` position with the α-trimmed mean of the
+/// positions in a `±window` neighborhood: the most extreme `alpha` fraction
+/// of x and y coordinates are discarded before averaging.
+pub fn alpha_trimmed_mean(points: &mut [CellularPoint], cfg: &FilterConfig) {
+    let n = points.len();
+    if n == 0 {
+        return;
+    }
+    let raw: Vec<Point> = points.iter().map(|p| p.pos).collect();
+    for (i, point) in points.iter_mut().enumerate() {
+        let lo = i.saturating_sub(cfg.window);
+        let hi = (i + cfg.window + 1).min(n);
+        point.smoothed = Some(trimmed_mean(&raw[lo..hi], cfg.alpha));
+    }
+}
+
+fn trimmed_mean(pts: &[Point], alpha: f64) -> Point {
+    debug_assert!(!pts.is_empty());
+    let trim = ((pts.len() as f64) * alpha).floor() as usize;
+    let mean_axis = |vals: &mut Vec<f64>| -> f64 {
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        let slice = &vals[trim.min(vals.len() / 2)..vals.len() - trim.min(vals.len() / 2)];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    };
+    let mut xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+    let mut ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+    Point::new(mean_axis(&mut xs), mean_axis(&mut ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tower::TowerId;
+
+    fn pt(x: f64, y: f64, t: f64) -> CellularPoint {
+        CellularPoint {
+            tower: TowerId(0),
+            pos: Point::new(x, y),
+            t,
+            smoothed: None,
+        }
+    }
+
+    #[test]
+    fn speed_filter_drops_teleports() {
+        let cfg = FilterConfig::default();
+        let points = vec![
+            pt(0.0, 0.0, 0.0),
+            pt(500.0, 0.0, 30.0),
+            pt(50_000.0, 0.0, 60.0), // 1650 m/s — impossible
+            pt(1_000.0, 0.0, 90.0),
+        ];
+        let keep = speed_filter(&points, &cfg);
+        assert_eq!(keep, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn speed_filter_tolerates_tower_offsets() {
+        let cfg = FilterConfig::default();
+        // 900 m in 30 s = 30 m/s plus tower offset slack — plausible.
+        let points = vec![pt(0.0, 0.0, 0.0), pt(900.0, 0.0, 30.0)];
+        assert_eq!(speed_filter(&points, &cfg), vec![true, true]);
+    }
+
+    #[test]
+    fn direction_filter_drops_ping_pong() {
+        let cfg = FilterConfig::default();
+        // Out-and-back spike of 2 km.
+        let points = vec![
+            pt(0.0, 0.0, 0.0),
+            pt(2_000.0, 0.0, 60.0),
+            pt(100.0, 0.0, 120.0),
+            pt(500.0, 0.0, 180.0),
+        ];
+        let keep = direction_filter(&points, &cfg);
+        assert_eq!(keep, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn direction_filter_keeps_normal_turns() {
+        let cfg = FilterConfig::default();
+        // 90-degree turn with long hops: normal driving, kept.
+        let points = vec![
+            pt(0.0, 0.0, 0.0),
+            pt(2_000.0, 0.0, 60.0),
+            pt(2_000.0, 2_000.0, 120.0),
+        ];
+        assert_eq!(direction_filter(&points, &cfg), vec![true, true, true]);
+    }
+
+    #[test]
+    fn trimmed_mean_rejects_outliers() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(10_000.0, 0.0), // outlier
+            Point::new(30.0, 0.0),
+        ];
+        let m = trimmed_mean(&pts, 0.2);
+        // One value trimmed per side: mean of {10, 20, 30} = 20.
+        assert!((m.x - 20.0).abs() < 1e-9, "{m:?}");
+    }
+
+    #[test]
+    fn alpha_trimmed_fills_smoothed() {
+        let cfg = FilterConfig::default();
+        let mut points = vec![pt(0.0, 0.0, 0.0), pt(100.0, 0.0, 60.0), pt(200.0, 0.0, 120.0)];
+        alpha_trimmed_mean(&mut points, &cfg);
+        assert!(points.iter().all(|p| p.smoothed.is_some()));
+        // Middle point's window is all three: smoothed = centroid.
+        assert!((points[1].smoothed.unwrap().x - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_filters_keeps_pairs_aligned() {
+        let cfg = FilterConfig::default();
+        let traj = CellularTrajectory {
+            points: vec![
+                pt(0.0, 0.0, 0.0),
+                pt(50_000.0, 0.0, 10.0), // dropped by speed filter
+                pt(600.0, 0.0, 60.0),
+                pt(1_200.0, 0.0, 120.0),
+            ],
+        };
+        let truth = vec![
+            Point::new(0.0, 0.0),
+            Point::new(300.0, 0.0),
+            Point::new(600.0, 0.0),
+            Point::new(1_200.0, 0.0),
+        ];
+        let (filtered, kept_truth) = apply_filters(&traj, &truth, &cfg);
+        assert_eq!(filtered.len(), 3);
+        assert_eq!(kept_truth.len(), 3);
+        assert_eq!(kept_truth[1], Point::new(600.0, 0.0));
+        assert!(filtered.points.iter().all(|p| p.smoothed.is_some()));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_safe() {
+        let cfg = FilterConfig::default();
+        let empty = CellularTrajectory::default();
+        let (f, t) = apply_filters(&empty, &[], &cfg);
+        assert!(f.is_empty() && t.is_empty());
+        let single = CellularTrajectory {
+            points: vec![pt(0.0, 0.0, 0.0)],
+        };
+        let (f, _) = apply_filters(&single, &[Point::ORIGIN], &cfg);
+        assert_eq!(f.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::tower::TowerId;
+    use proptest::prelude::*;
+
+    fn arb_traj(max_len: usize) -> impl Strategy<Value = (CellularTrajectory, Vec<Point>)> {
+        proptest::collection::vec((0.0..5_000.0f64, 0.0..5_000.0f64, 1.0..90.0f64), 1..max_len)
+            .prop_map(|raw| {
+                let mut t = 0.0;
+                let mut points = Vec::new();
+                let mut truth = Vec::new();
+                for (i, (x, y, dt)) in raw.into_iter().enumerate() {
+                    t += dt;
+                    points.push(CellularPoint {
+                        tower: TowerId((i % 7) as u32),
+                        pos: Point::new(x, y),
+                        t,
+                        smoothed: None,
+                    });
+                    truth.push(Point::new(x * 0.9, y * 0.9));
+                }
+                (CellularTrajectory { points }, truth)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Filtering never adds points, keeps pairs aligned, preserves time
+        /// order, and fills smoothed positions.
+        #[test]
+        fn filters_preserve_invariants((traj, truth) in arb_traj(20)) {
+            let cfg = FilterConfig::default();
+            let (out, out_truth) = apply_filters(&traj, &truth, &cfg);
+            prop_assert!(out.len() <= traj.len());
+            prop_assert_eq!(out.len(), out_truth.len());
+            for w in out.points.windows(2) {
+                prop_assert!(w[1].t > w[0].t);
+            }
+            prop_assert!(out.points.iter().all(|p| p.smoothed.is_some()));
+            // The first point always survives the speed filter.
+            if !traj.points.is_empty() {
+                prop_assert!(!out.points.is_empty());
+                prop_assert_eq!(out.points[0].t, traj.points[0].t);
+            }
+        }
+
+        /// The trimmed mean always lies within the window's bounding box.
+        #[test]
+        fn trimmed_mean_is_within_bounds(
+            xs in proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 1..12),
+            alpha in 0.0..0.45f64,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let m = trimmed_mean(&pts, alpha);
+            let min_x = pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+            let max_x = pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+            let min_y = pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+            let max_y = pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m.x >= min_x - 1e-9 && m.x <= max_x + 1e-9);
+            prop_assert!(m.y >= min_y - 1e-9 && m.y <= max_y + 1e-9);
+        }
+    }
+}

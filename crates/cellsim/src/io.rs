@@ -1,0 +1,191 @@
+//! CSV import/export of cellular trajectories.
+//!
+//! The adoption path for real data: a telecom operator exports its
+//! (anonymized) records as CSV and matches them against a network loaded
+//! via `lhmm_network::io`. The format is headerless
+//! `traj_id,tower_id,x,y,t` rows, one observation per line, grouped by
+//! ascending `traj_id` with ascending timestamps inside each trajectory.
+//! `x,y` is the tower position in the same planar frame as the network.
+
+use crate::tower::TowerId;
+use crate::traj::{CellularPoint, CellularTrajectory};
+use lhmm_geo::Point;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while reading trajectory CSV data.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse(usize, String),
+    /// Timestamps within a trajectory are not strictly increasing.
+    UnorderedTimestamps(usize),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            IoError::UnorderedTimestamps(line) => {
+                write!(f, "line {line}: timestamps must strictly increase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads trajectories from a CSV stream. Rows with the same `traj_id` must
+/// be contiguous; trajectories are returned in file order.
+pub fn read_trajectories<R: Read>(reader: R) -> Result<Vec<CellularTrajectory>, IoError> {
+    let mut out: Vec<CellularTrajectory> = Vec::new();
+    let mut current_id: Option<u64> = None;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| -> Result<&str, IoError> {
+            parts
+                .next()
+                .ok_or_else(|| IoError::Parse(lineno + 1, format!("missing {name}")))
+        };
+        let traj_id: u64 = field("traj_id")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, "bad traj_id".into()))?;
+        let tower: u32 = field("tower_id")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, "bad tower_id".into()))?;
+        let x: f64 = field("x")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, "bad x".into()))?;
+        let y: f64 = field("y")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, "bad y".into()))?;
+        let t: f64 = field("t")?
+            .trim()
+            .parse()
+            .map_err(|_| IoError::Parse(lineno + 1, "bad t".into()))?;
+        if !(x.is_finite() && y.is_finite() && t.is_finite()) {
+            return Err(IoError::Parse(lineno + 1, "non-finite value".into()));
+        }
+
+        if current_id != Some(traj_id) {
+            out.push(CellularTrajectory::default());
+            current_id = Some(traj_id);
+        }
+        let traj = out.last_mut().expect("pushed above");
+        if let Some(last) = traj.points.last() {
+            if t <= last.t {
+                return Err(IoError::UnorderedTimestamps(lineno + 1));
+            }
+        }
+        traj.points.push(CellularPoint {
+            tower: TowerId(tower),
+            pos: Point::new(x, y),
+            t,
+            smoothed: None,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes trajectories as CSV (the inverse of [`read_trajectories`]).
+pub fn write_trajectories<W: Write>(
+    trajectories: &[CellularTrajectory],
+    mut writer: W,
+) -> std::io::Result<()> {
+    for (id, traj) in trajectories.iter().enumerate() {
+        for p in &traj.points {
+            writeln!(
+                writer,
+                "{},{},{:.3},{:.3},{:.3}",
+                id, p.tower.0, p.pos.x, p.pos.y, p.t
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn roundtrip_preserves_trajectories() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(401));
+        let original: Vec<CellularTrajectory> =
+            ds.test.iter().map(|r| r.cellular.clone()).collect();
+        let mut buf = Vec::new();
+        write_trajectories(&original, &mut buf).unwrap();
+        let loaded = read_trajectories(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), original.len());
+        for (a, b) in original.iter().zip(&loaded) {
+            assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.tower, pb.tower);
+                assert!((pa.t - pb.t).abs() < 1e-3);
+                assert!(pa.pos.distance(pb.pos) < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn read_accepts_comments_and_groups_by_id() {
+        let csv = "# id,tower,x,y,t\n0,3,100.0,200.0,0.0\n0,4,150.0,210.0,30.0\n7,1,0.0,0.0,5.0\n";
+        let trajs = read_trajectories(csv.as_bytes()).unwrap();
+        assert_eq!(trajs.len(), 2);
+        assert_eq!(trajs[0].len(), 2);
+        assert_eq!(trajs[1].len(), 1);
+        assert_eq!(trajs[0].points[1].tower, TowerId(4));
+    }
+
+    #[test]
+    fn read_rejects_malformed_rows() {
+        assert!(matches!(
+            read_trajectories("0,1,2".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            read_trajectories("0,x,0,0,0".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            read_trajectories("0,1,NaN,0,0".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn read_rejects_unordered_timestamps() {
+        let csv = "0,1,0,0,10.0\n0,1,5,5,10.0\n";
+        assert!(matches!(
+            read_trajectories(csv.as_bytes()),
+            Err(IoError::UnorderedTimestamps(2))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(read_trajectories("".as_bytes()).unwrap().is_empty());
+        assert!(read_trajectories("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Cellular-positioning data simulator.
+//!
+//! The paper evaluates on two proprietary operator datasets (Hangzhou,
+//! Xiamen) consisting of paired cellular + GPS trajectories. This crate is
+//! the documented substitution (see DESIGN.md §2): a full simulator that
+//! reproduces every property the LHMM method actually consumes:
+//!
+//! * a road network with urban core and rural fringe ([`lhmm_network`]),
+//! * cell towers with **anisotropic coverage** ([`tower`], [`placement`]) —
+//!   directional antenna gain plus log-distance path loss and per-trip
+//!   shadowing make the *serving* tower systematically different from the
+//!   *nearest* tower, which is exactly the real-world failure mode that
+//!   breaks distance-based observation probabilities,
+//! * trips driven over the network with realistic route choice and speeds
+//!   ([`trips`]),
+//! * cellular and GPS sampling of those drives ([`sampling`], [`attach`]),
+//! * the SnapNet pre-filters the paper applies before matching
+//!   ([`filters`]),
+//! * assembled datasets with train/val/test splits and Table-I statistics
+//!   ([`dataset`], [`stats`]).
+//!
+//! ```no_run
+//! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+//!
+//! let ds = Dataset::generate(&DatasetConfig::hangzhou_like(0.02, 42));
+//! println!("{}", lhmm_cellsim::stats::compute(&ds));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod attach;
+pub mod dataset;
+pub mod filters;
+pub mod io;
+pub mod placement;
+pub mod randkit;
+pub mod sampling;
+pub mod stats;
+pub mod tower;
+pub mod traj;
+pub mod trips;
+
+pub use dataset::{Dataset, DatasetConfig};
+pub use tower::{CellTower, TowerField, TowerId};
+pub use traj::{CellularPoint, CellularTrajectory, GpsPoint, TrajectoryRecord};

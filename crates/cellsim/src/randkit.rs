@@ -1,0 +1,103 @@
+//! Small distribution toolkit.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! few distributions the simulator needs are implemented here.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    // u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential sample with the given mean.
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// A deterministic 64-bit mix of two ids, used to derive per-(trip, tower)
+/// shadowing values without storing a map.
+pub fn mix64(a: u64, b: u64) -> u64 {
+    // SplitMix64 finalizer over the combined word.
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Standard normal derived deterministically from a 64-bit key (one sample).
+pub fn keyed_randn(key: u64) -> f64 {
+    // Two independent uniforms from the key via different mixes.
+    let u1 = (mix64(key, 0x1234_5678) >> 11) as f64 / (1u64 << 53) as f64;
+    let u2 = (mix64(key, 0x8765_4321) >> 11) as f64 / (1u64 << 53) as f64;
+    let u1 = (1.0 - u1).max(1e-12);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        // Exponential samples are non-negative.
+        assert!((0..100).all(|_| exponential(&mut rng, 1.0) >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!((0..1000).all(|_| lognormal(&mut rng, 0.0, 0.5) > 0.0));
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(1, 2), mix64(1, 2));
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+        assert_ne!(mix64(0, 0), mix64(0, 1));
+    }
+
+    #[test]
+    fn keyed_randn_is_roughly_standard_normal() {
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(keyed_randn).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

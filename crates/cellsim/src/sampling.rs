@@ -1,0 +1,332 @@
+//! Cellular and GPS sampling of a drive.
+
+use crate::attach::{serving_tower, AttachConfig};
+use crate::randkit;
+use crate::tower::TowerField;
+use crate::traj::{CellularPoint, CellularTrajectory, GpsPoint};
+use crate::trips::Drive;
+use lhmm_geo::Point;
+use lhmm_network::graph::RoadNetwork;
+use rand::Rng;
+
+/// Sampling process parameters.
+#[derive(Clone, Debug)]
+pub struct SamplingConfig {
+    /// Mean cellular sampling interval, seconds (Table I: Hangzhou 67 s,
+    /// Xiamen 42 s).
+    pub cell_interval_mean: f64,
+    /// Log-std of the interval jitter (yields maxima ≈ 3–4× the mean, as in
+    /// Table I).
+    pub cell_interval_jitter: f64,
+    /// GPS sampling interval, seconds.
+    pub gps_interval: f64,
+    /// GPS position noise standard deviation, meters (1–50 m per paper §I).
+    pub gps_noise_std: f64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            cell_interval_mean: 60.0,
+            cell_interval_jitter: 0.45,
+            gps_interval: 25.0,
+            gps_noise_std: 8.0,
+        }
+    }
+}
+
+/// Samples the cellular view of a drive. Returns the trajectory and the true
+/// positions at the sampling instants (for positioning-error diagnostics).
+pub fn sample_cellular(
+    net: &RoadNetwork,
+    field: &TowerField,
+    drive: &Drive,
+    attach_cfg: &AttachConfig,
+    cfg: &SamplingConfig,
+    trip_seed: u64,
+    rng: &mut impl Rng,
+) -> (CellularTrajectory, Vec<Point>) {
+    let mut points = Vec::new();
+    let mut true_positions = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let pos = drive.position_at(net, t);
+        let tower = serving_tower(field, pos, trip_seed, attach_cfg, rng);
+        points.push(CellularPoint {
+            tower,
+            pos: field.tower(tower).pos,
+            t,
+            smoothed: None,
+        });
+        true_positions.push(pos);
+        if t >= drive.duration {
+            break;
+        }
+        // Jittered interval, clamped so the max/mean ratio matches Table I.
+        let interval = (cfg.cell_interval_mean
+            * randkit::lognormal(rng, 0.0, cfg.cell_interval_jitter))
+        .clamp(cfg.cell_interval_mean * 0.25, cfg.cell_interval_mean * 3.8);
+        t = (t + interval).min(drive.duration);
+    }
+    (CellularTrajectory { points }, true_positions)
+}
+
+/// Samples the GPS view of the same drive (small isotropic noise).
+pub fn sample_gps(
+    net: &RoadNetwork,
+    drive: &Drive,
+    cfg: &SamplingConfig,
+    rng: &mut impl Rng,
+) -> Vec<GpsPoint> {
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let pos = drive.position_at(net, t);
+        out.push(GpsPoint {
+            pos: Point::new(
+                pos.x + randkit::normal(rng, 0.0, cfg.gps_noise_std),
+                pos.y + randkit::normal(rng, 0.0, cfg.gps_noise_std),
+            ),
+            t,
+        });
+        if t >= drive.duration {
+            break;
+        }
+        t += cfg.gps_interval;
+        t = t.min(drive.duration);
+    }
+    out
+}
+
+/// Thins a cellular trajectory to approximately `per_minute` samples per
+/// minute by greedily enforcing a minimum gap. Used by the sampling-rate
+/// robustness experiment (paper Fig. 7b). `true_positions` is thinned in
+/// lock-step. The first and last points are always kept.
+pub fn thin_to_rate(
+    traj: &CellularTrajectory,
+    true_positions: &[Point],
+    per_minute: f64,
+) -> (CellularTrajectory, Vec<Point>) {
+    assert!(per_minute > 0.0, "rate must be positive");
+    assert_eq!(traj.points.len(), true_positions.len(), "length mismatch");
+    if traj.points.len() <= 2 {
+        return (traj.clone(), true_positions.to_vec());
+    }
+    let min_gap = 60.0 / per_minute;
+    let mut points = vec![traj.points[0]];
+    let mut pos = vec![true_positions[0]];
+    let mut last_t = traj.points[0].t;
+    for (p, &tp) in traj.points.iter().zip(true_positions).skip(1) {
+        if p.t - last_t >= min_gap {
+            points.push(*p);
+            pos.push(tp);
+            last_t = p.t;
+        }
+    }
+    // Always keep the final point so the trip end stays observable.
+    let last = *traj.points.last().expect("non-empty");
+    if points.last().map(|p| p.t) != Some(last.t) {
+        points.push(last);
+        pos.push(*true_positions.last().expect("non-empty"));
+    }
+    (CellularTrajectory { points }, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{place_towers, PlacementConfig};
+    use crate::trips::{generate_trip, TripConfig};
+    use lhmm_network::generators::{generate_city, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (RoadNetwork, TowerField, Drive) {
+        let net = generate_city(&GeneratorConfig {
+            rows: 16,
+            cols: 16,
+            ..GeneratorConfig::small_test(2)
+        });
+        let field = place_towers(net.bbox(), &PlacementConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let drive = generate_trip(
+            &net,
+            &TripConfig {
+                min_od_distance: 1_500.0,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("trip");
+        (net, field, drive)
+    }
+
+    #[test]
+    fn cellular_sampling_covers_the_trip() {
+        let (net, field, drive) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = SamplingConfig::default();
+        let (traj, truth) = sample_cellular(
+            &net,
+            &field,
+            &drive,
+            &AttachConfig::default(),
+            &cfg,
+            7,
+            &mut rng,
+        );
+        assert!(traj.len() >= 2);
+        assert_eq!(traj.len(), truth.len());
+        assert_eq!(traj.points[0].t, 0.0);
+        assert!((traj.points.last().unwrap().t - drive.duration).abs() < 1e-9);
+        // Timestamps strictly increase.
+        for w in traj.points.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn positioning_errors_are_in_the_cellular_regime() {
+        let (net, field, drive) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let (traj, truth) = sample_cellular(
+            &net,
+            &field,
+            &drive,
+            &AttachConfig::default(),
+            &SamplingConfig::default(),
+            9,
+            &mut rng,
+        );
+        let errs: Vec<f64> = traj
+            .points
+            .iter()
+            .zip(&truth)
+            .map(|(p, &t)| p.pos.distance(t))
+            .collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        // Paper §I: cellular positioning errors are 0.1–3 km.
+        assert!(mean > 100.0, "mean error {mean} too GPS-like");
+        assert!(mean < 3_000.0, "mean error {mean} unrealistically large");
+    }
+
+    #[test]
+    fn gps_noise_is_small() {
+        let (net, _, drive) = setup();
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = SamplingConfig::default();
+        let gps = sample_gps(&net, &drive, &cfg, &mut rng);
+        assert!(gps.len() >= 2);
+        for g in &gps {
+            let true_pos = drive.position_at(&net, g.t);
+            assert!(g.pos.distance(true_pos) < cfg.gps_noise_std * 6.0);
+        }
+    }
+
+    #[test]
+    fn gps_denser_than_cellular() {
+        let (net, field, drive) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = SamplingConfig::default();
+        let (traj, _) = sample_cellular(
+            &net,
+            &field,
+            &drive,
+            &AttachConfig::default(),
+            &cfg,
+            12,
+            &mut rng,
+        );
+        let gps = sample_gps(&net, &drive, &cfg, &mut rng);
+        assert!(gps.len() > traj.len());
+    }
+
+    #[test]
+    fn thinning_respects_rate_and_endpoints() {
+        let (net, field, drive) = setup();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (traj, truth) = sample_cellular(
+            &net,
+            &field,
+            &drive,
+            &AttachConfig::default(),
+            &SamplingConfig {
+                cell_interval_mean: 20.0,
+                ..Default::default()
+            },
+            14,
+            &mut rng,
+        );
+        let (thin, thin_truth) = thin_to_rate(&traj, &truth, 0.5); // 1 per 2 min
+        assert_eq!(thin.points.len(), thin_truth.len());
+        assert!(thin.len() < traj.len());
+        assert_eq!(thin.points[0].t, traj.points[0].t);
+        assert_eq!(
+            thin.points.last().unwrap().t,
+            traj.points.last().unwrap().t
+        );
+        for w in thin.points.windows(2) {
+            // All gaps except possibly the final one respect the minimum.
+            if (w[1].t - traj.points.last().unwrap().t).abs() > 1e-9 {
+                assert!(w[1].t - w[0].t >= 120.0 - 1e-9);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::tower::TowerId;
+    use proptest::prelude::*;
+
+    fn arb_timed_traj() -> impl Strategy<Value = (CellularTrajectory, Vec<Point>)> {
+        proptest::collection::vec(1.0..120.0f64, 2..30).prop_map(|gaps| {
+            let mut t = 0.0;
+            let mut points = Vec::new();
+            let mut truth = Vec::new();
+            for (i, g) in gaps.into_iter().enumerate() {
+                points.push(CellularPoint {
+                    tower: TowerId(i as u32 % 5),
+                    pos: Point::new(i as f64 * 100.0, 0.0),
+                    t,
+                    smoothed: None,
+                });
+                truth.push(Point::new(i as f64 * 100.0, 5.0));
+                t += g;
+            }
+            (CellularTrajectory { points }, truth)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Thinning keeps endpoints, respects the minimum gap everywhere
+        /// except possibly before the preserved final point, and never
+        /// reorders.
+        #[test]
+        fn thinning_invariants((traj, truth) in arb_timed_traj(), rate in 0.1..4.0f64) {
+            let (thin, thin_truth) = thin_to_rate(&traj, &truth, rate);
+            prop_assert_eq!(thin.points.len(), thin_truth.len());
+            prop_assert!(thin.len() <= traj.len());
+            prop_assert!(thin.len() >= 2);
+            prop_assert_eq!(thin.points[0].t, traj.points[0].t);
+            prop_assert_eq!(
+                thin.points.last().unwrap().t,
+                traj.points.last().unwrap().t
+            );
+            let min_gap = 60.0 / rate;
+            for w in thin.points.windows(2) {
+                prop_assert!(w[1].t > w[0].t);
+            }
+            // Interior gaps respect the minimum.
+            if thin.len() > 2 {
+                for w in thin.points[..thin.len() - 1].windows(2) {
+                    prop_assert!(w[1].t - w[0].t >= min_gap - 1e-9,
+                        "interior gap {} < {}", w[1].t - w[0].t, min_gap);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Dataset characteristic statistics (reproduces the paper's Table I).
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// The dataset characteristics the paper reports in Table I, plus
+/// positioning-error diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Directed road segments.
+    pub road_segments: usize,
+    /// Intersections.
+    pub intersections: usize,
+    /// Cell towers.
+    pub towers: usize,
+    /// Total cellular trajectory points across all splits.
+    pub cellular_points: usize,
+    /// Total GPS trajectory points across all splits.
+    pub gps_points: usize,
+    /// Mean cellular points per trajectory.
+    pub cellular_points_per_traj: f64,
+    /// Mean GPS points per trajectory.
+    pub gps_points_per_traj: f64,
+    /// Mean cellular sampling interval, seconds.
+    pub avg_cell_interval_s: f64,
+    /// Maximum cellular sampling interval, seconds.
+    pub max_cell_interval_s: f64,
+    /// Mean distance between consecutive cellular samples, meters.
+    pub avg_sampling_distance_m: f64,
+    /// Median distance between consecutive cellular samples, meters.
+    pub median_sampling_distance_m: f64,
+    /// Mean positioning error (tower vs true position), meters.
+    pub avg_positioning_error_m: f64,
+    /// Median positioning error, meters.
+    pub median_positioning_error_m: f64,
+}
+
+/// Computes Table-I statistics over every split of the dataset.
+pub fn compute(ds: &Dataset) -> DatasetStats {
+    let mut cellular_points = 0usize;
+    let mut gps_points = 0usize;
+    let mut trajs = 0usize;
+    let mut intervals: Vec<f64> = Vec::new();
+    let mut hop_dists: Vec<f64> = Vec::new();
+    let mut errors: Vec<f64> = Vec::new();
+
+    for rec in ds.all_records() {
+        trajs += 1;
+        cellular_points += rec.cellular.len();
+        gps_points += rec.gps.len();
+        for w in rec.cellular.points.windows(2) {
+            intervals.push(w[1].t - w[0].t);
+            hop_dists.push(w[0].pos.distance(w[1].pos));
+        }
+        errors.extend(rec.positioning_errors());
+    }
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let median = |v: &mut Vec<f64>| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+
+    let mut hop_sorted = hop_dists.clone();
+    let mut err_sorted = errors.clone();
+    DatasetStats {
+        name: ds.name.clone(),
+        road_segments: ds.network.num_segments(),
+        intersections: ds.network.num_nodes(),
+        towers: ds.towers.len(),
+        cellular_points,
+        gps_points,
+        cellular_points_per_traj: cellular_points as f64 / trajs.max(1) as f64,
+        gps_points_per_traj: gps_points as f64 / trajs.max(1) as f64,
+        avg_cell_interval_s: mean(&intervals),
+        max_cell_interval_s: intervals.iter().cloned().fold(0.0, f64::max),
+        avg_sampling_distance_m: mean(&hop_dists),
+        median_sampling_distance_m: median(&mut hop_sorted),
+        avg_positioning_error_m: mean(&errors),
+        median_positioning_error_m: median(&mut err_sorted),
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset: {}", self.name)?;
+        writeln!(f, "  road segments                 {:>12}", self.road_segments)?;
+        writeln!(f, "  intersections                 {:>12}", self.intersections)?;
+        writeln!(f, "  cell towers                   {:>12}", self.towers)?;
+        writeln!(f, "  cellular trajectory points    {:>12}", self.cellular_points)?;
+        writeln!(f, "  GPS trajectory points         {:>12}", self.gps_points)?;
+        writeln!(
+            f,
+            "  cellular points / trajectory  {:>12.1}",
+            self.cellular_points_per_traj
+        )?;
+        writeln!(
+            f,
+            "  GPS points / trajectory       {:>12.1}",
+            self.gps_points_per_traj
+        )?;
+        writeln!(
+            f,
+            "  avg cellular interval (s)     {:>12.1}",
+            self.avg_cell_interval_s
+        )?;
+        writeln!(
+            f,
+            "  max cellular interval (s)     {:>12.1}",
+            self.max_cell_interval_s
+        )?;
+        writeln!(
+            f,
+            "  avg sampling distance (m)     {:>12.1}",
+            self.avg_sampling_distance_m
+        )?;
+        writeln!(
+            f,
+            "  median sampling distance (m)  {:>12.1}",
+            self.median_sampling_distance_m
+        )?;
+        writeln!(
+            f,
+            "  avg positioning error (m)     {:>12.1}",
+            self.avg_positioning_error_m
+        )?;
+        write!(
+            f,
+            "  median positioning error (m)  {:>12.1}",
+            self.median_positioning_error_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(7));
+        let s = compute(&ds);
+        assert_eq!(s.road_segments, ds.network.num_segments());
+        assert_eq!(s.intersections, ds.network.num_nodes());
+        let total_trajs = ds.train.len() + ds.val.len() + ds.test.len();
+        assert!(
+            (s.cellular_points_per_traj - s.cellular_points as f64 / total_trajs as f64).abs()
+                < 1e-9
+        );
+        // GPS is denser than cellular (Table I shape).
+        assert!(s.gps_points > s.cellular_points);
+        assert!(s.max_cell_interval_s >= s.avg_cell_interval_s);
+        assert!(s.avg_sampling_distance_m > 0.0);
+        assert!(s.median_positioning_error_m > 0.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(8));
+        let text = compute(&ds).to_string();
+        for needle in [
+            "road segments",
+            "intersections",
+            "cellular trajectory points",
+            "median sampling distance",
+            "positioning error",
+        ] {
+            assert!(text.contains(needle), "missing row: {needle}");
+        }
+    }
+
+    #[test]
+    fn interval_statistics_match_config_scale() {
+        let cfg = DatasetConfig::tiny_test(9);
+        let ds = Dataset::generate(&cfg);
+        let s = compute(&ds);
+        // Mean interval should be near the configured mean (filters may
+        // stretch it slightly by dropping points).
+        let target = cfg.sampling.cell_interval_mean;
+        assert!(
+            s.avg_cell_interval_s > target * 0.7 && s.avg_cell_interval_s < target * 2.0,
+            "avg interval {} vs target {target}",
+            s.avg_cell_interval_s
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Cell towers and the tower field.
+
+use lhmm_geo::Point;
+
+/// Identifier of a cell tower.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TowerId(pub u32);
+
+impl TowerId {
+    /// Index into tower-keyed arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A cell tower with an anisotropic antenna pattern.
+///
+/// The serving decision in [`crate::attach`] uses
+/// `power − path_loss(d) + gain·cos(θ − azimuth) + shadowing`, so a tower
+/// with strong anisotropy covers a lobe rather than a disk. This is the
+/// physical reason a trajectory point's *nearest* road is often not its
+/// *actual* road — the effect LHMM's learned observation probability
+/// exploits (paper §I).
+#[derive(Clone, Copy, Debug)]
+pub struct CellTower {
+    /// Identifier (index into the field).
+    pub id: TowerId,
+    /// Mast position in the local frame.
+    pub pos: Point,
+    /// Main-lobe direction in radians.
+    pub azimuth: f64,
+    /// Directional gain amplitude in dB (0 = omnidirectional).
+    pub gain_db: f64,
+    /// Transmit power offset in dB relative to the fleet average.
+    pub power_db: f64,
+}
+
+/// All towers of one dataset, with a coarse grid for range queries.
+#[derive(Clone, Debug)]
+pub struct TowerField {
+    towers: Vec<CellTower>,
+    cell_size: f64,
+    origin: Point,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<TowerId>>,
+}
+
+impl TowerField {
+    /// Builds the field and its spatial grid. `cell_size` should be on the
+    /// order of the maximum attachment radius.
+    pub fn new(towers: Vec<CellTower>, cell_size: f64) -> Self {
+        assert!(!towers.is_empty(), "tower field may not be empty");
+        assert!(cell_size > 0.0);
+        let pts: Vec<Point> = towers.iter().map(|t| t.pos).collect();
+        let bbox = lhmm_geo::BBox::from_points(&pts)
+            .expect("non-empty towers")
+            .inflated(cell_size);
+        let cols = (bbox.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (bbox.height() / cell_size).ceil().max(1.0) as usize;
+        let mut field = TowerField {
+            towers,
+            cell_size,
+            origin: Point::new(bbox.min_x, bbox.min_y),
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for i in 0..field.towers.len() {
+            let (c, r) = field.cell_of(field.towers[i].pos);
+            field.cells[r * cols + c].push(TowerId(i as u32));
+        }
+        field
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.origin.x) / self.cell_size).floor();
+        let r = ((p.y - self.origin.y) / self.cell_size).floor();
+        (
+            (c.max(0.0) as usize).min(self.cols - 1),
+            (r.max(0.0) as usize).min(self.rows - 1),
+        )
+    }
+
+    /// Number of towers.
+    pub fn len(&self) -> usize {
+        self.towers.len()
+    }
+
+    /// True when the field holds no towers (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.towers.is_empty()
+    }
+
+    /// Tower record by id.
+    #[inline]
+    pub fn tower(&self, id: TowerId) -> &CellTower {
+        &self.towers[id.idx()]
+    }
+
+    /// All towers.
+    pub fn towers(&self) -> &[CellTower] {
+        &self.towers
+    }
+
+    /// Towers within `radius` of `p`.
+    pub fn towers_within(&self, p: Point, radius: f64) -> Vec<TowerId> {
+        let lo = self.cell_of(Point::new(p.x - radius, p.y - radius));
+        let hi = self.cell_of(Point::new(p.x + radius, p.y + radius));
+        let mut out = Vec::new();
+        for r in lo.1..=hi.1 {
+            for c in lo.0..=hi.0 {
+                for &t in &self.cells[r * self.cols + c] {
+                    if self.towers[t.idx()].pos.distance(p) <= radius {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The tower nearest to `p` (by mast distance).
+    pub fn nearest(&self, p: Point) -> TowerId {
+        // Expand the search radius until a hit is found.
+        let mut radius = self.cell_size;
+        loop {
+            let hits = self.towers_within(p, radius);
+            if let Some(best) = hits.into_iter().min_by(|&a, &b| {
+                self.tower(a)
+                    .pos
+                    .distance(p)
+                    .partial_cmp(&self.tower(b).pos.distance(p))
+                    .expect("finite distances")
+            }) {
+                return best;
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_towers() -> TowerField {
+        let towers = vec![
+            CellTower {
+                id: TowerId(0),
+                pos: Point::new(0.0, 0.0),
+                azimuth: 0.0,
+                gain_db: 3.0,
+                power_db: 0.0,
+            },
+            CellTower {
+                id: TowerId(1),
+                pos: Point::new(1000.0, 0.0),
+                azimuth: 1.0,
+                gain_db: 6.0,
+                power_db: 1.0,
+            },
+            CellTower {
+                id: TowerId(2),
+                pos: Point::new(0.0, 1000.0),
+                azimuth: 2.0,
+                gain_db: 0.0,
+                power_db: -1.0,
+            },
+        ];
+        TowerField::new(towers, 500.0)
+    }
+
+    #[test]
+    fn towers_within_radius() {
+        let f = three_towers();
+        let hits = f.towers_within(Point::new(0.0, 0.0), 1100.0);
+        assert_eq!(hits.len(), 3);
+        let hits = f.towers_within(Point::new(0.0, 0.0), 900.0);
+        assert_eq!(hits, vec![TowerId(0)]);
+    }
+
+    #[test]
+    fn nearest_tower() {
+        let f = three_towers();
+        assert_eq!(f.nearest(Point::new(900.0, 100.0)), TowerId(1));
+        assert_eq!(f.nearest(Point::new(-50.0, -50.0)), TowerId(0));
+        // Far away: search radius expansion still terminates.
+        assert_eq!(f.nearest(Point::new(50_000.0, 50_000.0)), TowerId(1));
+    }
+
+    #[test]
+    fn tower_lookup_matches_ids() {
+        let f = three_towers();
+        for i in 0..3u32 {
+            assert_eq!(f.tower(TowerId(i)).id, TowerId(i));
+        }
+        assert_eq!(f.len(), 3);
+    }
+}

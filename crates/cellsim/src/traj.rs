@@ -1,0 +1,186 @@
+//! Trajectory data types.
+
+use crate::tower::TowerId;
+use lhmm_geo::Point;
+use lhmm_network::Path;
+
+/// One cellular observation: the serving tower at a sampling instant.
+///
+/// `pos` is the *tower's* position — the only location a cellular record
+/// carries — which deviates from the user's true location by 0.1–3 km
+/// (paper §I). `smoothed` is filled by the α-trimmed mean filter
+/// ([`crate::filters`]) and used by distance-based matchers.
+#[derive(Clone, Copy, Debug)]
+pub struct CellularPoint {
+    /// Serving tower.
+    pub tower: TowerId,
+    /// Tower position (the recorded location).
+    pub pos: Point,
+    /// Seconds since trip start.
+    pub t: f64,
+    /// Smoothed position, if a smoothing filter ran.
+    pub smoothed: Option<Point>,
+}
+
+impl CellularPoint {
+    /// The position matchers should use: smoothed when available.
+    #[inline]
+    pub fn effective_pos(&self) -> Point {
+        self.smoothed.unwrap_or(self.pos)
+    }
+}
+
+/// A cellular trajectory: the tower observation sequence of one trip.
+#[derive(Clone, Debug, Default)]
+pub struct CellularTrajectory {
+    /// Observations in time order.
+    pub points: Vec<CellularPoint>,
+}
+
+impl CellularTrajectory {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no observation exists.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Recorded (tower) positions.
+    pub fn positions(&self) -> Vec<Point> {
+        self.points.iter().map(|p| p.pos).collect()
+    }
+
+    /// Positions matchers should use (smoothed when available).
+    pub fn effective_positions(&self) -> Vec<Point> {
+        self.points.iter().map(|p| p.effective_pos()).collect()
+    }
+
+    /// Tower id sequence.
+    pub fn towers(&self) -> Vec<TowerId> {
+        self.points.iter().map(|p| p.tower).collect()
+    }
+
+    /// Total time span in seconds (0 for < 2 points).
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean interval between consecutive samples, seconds.
+    pub fn mean_interval(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        self.duration() / (self.points.len() - 1) as f64
+    }
+}
+
+/// One GPS observation of the same trip (used to derive ground truth in the
+/// paper's pipeline; here the simulator knows the exact path, and GPS
+/// samples serve the Table-I statistics and the classic-HMM reference).
+#[derive(Clone, Copy, Debug)]
+pub struct GpsPoint {
+    /// Observed position (true position + small noise).
+    pub pos: Point,
+    /// Seconds since trip start.
+    pub t: f64,
+}
+
+/// A complete simulated trip: the cellular view, the GPS view, and the
+/// ground-truth traveled path.
+#[derive(Clone, Debug)]
+pub struct TrajectoryRecord {
+    /// Cellular observation sequence (post-filter when filters ran).
+    pub cellular: CellularTrajectory,
+    /// GPS observation sequence.
+    pub gps: Vec<GpsPoint>,
+    /// Ground-truth traveled path.
+    pub truth: Path,
+    /// True positions at the cellular sampling instants (diagnostics:
+    /// positioning-error distribution).
+    pub true_positions: Vec<Point>,
+}
+
+impl TrajectoryRecord {
+    /// Positioning error (tower position vs true position) per cellular
+    /// sample, in meters. Empty when diagnostics were dropped by filtering.
+    pub fn positioning_errors(&self) -> Vec<f64> {
+        self.cellular
+            .points
+            .iter()
+            .zip(&self.true_positions)
+            .map(|(c, &truth)| c.pos.distance(truth))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> CellularTrajectory {
+        CellularTrajectory {
+            points: vec![
+                CellularPoint {
+                    tower: TowerId(0),
+                    pos: Point::new(0.0, 0.0),
+                    t: 0.0,
+                    smoothed: None,
+                },
+                CellularPoint {
+                    tower: TowerId(1),
+                    pos: Point::new(500.0, 0.0),
+                    t: 60.0,
+                    smoothed: Some(Point::new(450.0, 10.0)),
+                },
+                CellularPoint {
+                    tower: TowerId(0),
+                    pos: Point::new(0.0, 0.0),
+                    t: 150.0,
+                    smoothed: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn durations_and_intervals() {
+        let t = traj();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.duration(), 150.0);
+        assert_eq!(t.mean_interval(), 75.0);
+        assert_eq!(CellularTrajectory::default().duration(), 0.0);
+    }
+
+    #[test]
+    fn effective_position_prefers_smoothed() {
+        let t = traj();
+        assert_eq!(t.points[0].effective_pos(), Point::new(0.0, 0.0));
+        assert_eq!(t.points[1].effective_pos(), Point::new(450.0, 10.0));
+        let eff = t.effective_positions();
+        assert_eq!(eff[1], Point::new(450.0, 10.0));
+        let raw = t.positions();
+        assert_eq!(raw[1], Point::new(500.0, 0.0));
+    }
+
+    #[test]
+    fn positioning_errors_pairwise() {
+        let rec = TrajectoryRecord {
+            cellular: traj(),
+            gps: vec![],
+            truth: Path::empty(),
+            true_positions: vec![
+                Point::new(100.0, 0.0),
+                Point::new(500.0, 0.0),
+                Point::new(0.0, 300.0),
+            ],
+        };
+        let errs = rec.positioning_errors();
+        assert_eq!(errs, vec![100.0, 0.0, 300.0]);
+    }
+}

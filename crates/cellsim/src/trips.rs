@@ -1,0 +1,219 @@
+//! Trip generation: origin/destination sampling, route choice, and the
+//! continuous drive timeline that sampling processes observe.
+
+use crate::randkit;
+use lhmm_geo::Point;
+use lhmm_network::graph::{NodeId, RoadNetwork};
+use lhmm_network::path::Path;
+use lhmm_network::shortest_path::node_to_node_weighted;
+use rand::Rng;
+
+/// Parameters of the trip generator.
+#[derive(Clone, Debug)]
+pub struct TripConfig {
+    /// Minimum straight-line distance between origin and destination,
+    /// meters.
+    pub min_od_distance: f64,
+    /// Log-std of per-segment route-choice noise: 0 = strict shortest paths,
+    /// 0.2–0.4 = plausible near-shortest detours.
+    pub route_noise: f64,
+    /// Log-std of the per-trip speed factor (driver aggressiveness).
+    pub trip_speed_sigma: f64,
+    /// Log-std of per-segment speed noise (signals, congestion).
+    pub segment_speed_sigma: f64,
+}
+
+impl Default for TripConfig {
+    fn default() -> Self {
+        TripConfig {
+            min_od_distance: 2_500.0,
+            route_noise: 0.25,
+            trip_speed_sigma: 0.15,
+            segment_speed_sigma: 0.20,
+        }
+    }
+}
+
+/// A trip being driven: the traveled path plus its timeline, queryable for
+/// the true position at any instant.
+#[derive(Clone, Debug)]
+pub struct Drive {
+    /// The ground-truth traveled path.
+    pub path: Path,
+    /// Trip duration in seconds.
+    pub duration: f64,
+    // Vertex-aligned cumulative state: entry i covers segment i of `path`.
+    seg_start_time: Vec<f64>,
+    seg_duration: Vec<f64>,
+}
+
+impl Drive {
+    /// Simulates driving `path` with per-trip and per-segment speed noise.
+    pub fn new(net: &RoadNetwork, path: Path, cfg: &TripConfig, rng: &mut impl Rng) -> Self {
+        assert!(!path.is_empty(), "cannot drive an empty path");
+        let trip_factor = randkit::lognormal(rng, 0.0, cfg.trip_speed_sigma);
+        let mut seg_start_time = Vec::with_capacity(path.len());
+        let mut seg_duration = Vec::with_capacity(path.len());
+        let mut t = 0.0;
+        for &sid in &path.segments {
+            let seg = net.segment(sid);
+            let noise = randkit::lognormal(rng, 0.0, cfg.segment_speed_sigma);
+            let speed = (seg.class.free_flow_speed() * trip_factor * noise).max(1.0);
+            seg_start_time.push(t);
+            let d = seg.length / speed;
+            seg_duration.push(d);
+            t += d;
+        }
+        Drive {
+            path,
+            duration: t,
+            seg_start_time,
+            seg_duration,
+        }
+    }
+
+    /// True position at time `t` seconds after departure; clamps to the
+    /// endpoints outside `[0, duration]`.
+    pub fn position_at(&self, net: &RoadNetwork, t: f64) -> Point {
+        if t <= 0.0 {
+            return net.segment_start(self.path.segments[0]);
+        }
+        if t >= self.duration {
+            return net.segment_end(*self.path.segments.last().expect("non-empty"));
+        }
+        // Binary search the segment whose time window contains t.
+        let i = match self
+            .seg_start_time
+            .binary_search_by(|s| s.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let frac = ((t - self.seg_start_time[i]) / self.seg_duration[i]).clamp(0.0, 1.0);
+        let sid = self.path.segments[i];
+        net.segment_start(sid).lerp(net.segment_end(sid), frac)
+    }
+}
+
+/// Samples one trip: a random OD pair at least `min_od_distance` apart,
+/// routed with per-trip perturbed travel-time weights. Returns `None` when
+/// no suitable trip was found within the attempt budget (e.g. disconnected
+/// OD pairs).
+pub fn generate_trip(
+    net: &RoadNetwork,
+    cfg: &TripConfig,
+    rng: &mut impl Rng,
+) -> Option<Drive> {
+    let n = net.num_nodes() as u32;
+    for _ in 0..50 {
+        let o = NodeId(rng.gen_range(0..n));
+        let d = NodeId(rng.gen_range(0..n));
+        if net.node_pos(o).distance(net.node_pos(d)) < cfg.min_od_distance {
+            continue;
+        }
+        // Perturbed travel-time route choice: a fixed per-trip seed keeps the
+        // weight function consistent across edge relaxations.
+        let trip_seed: u64 = rng.gen();
+        let route = node_to_node_weighted(net, o, d, |sid| {
+            let seg = net.segment(sid);
+            let base = seg.length / seg.class.free_flow_speed();
+            let z = randkit::keyed_randn(randkit::mix64(trip_seed, sid.0 as u64));
+            base * (cfg.route_noise * z).exp()
+        });
+        if let Some(r) = route {
+            if r.segments.is_empty() {
+                continue;
+            }
+            return Some(Drive::new(net, Path::new(r.segments), cfg, rng));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_network::generators::{generate_city, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn city() -> RoadNetwork {
+        generate_city(&GeneratorConfig::small_test(1))
+    }
+
+    #[test]
+    fn generated_trip_is_contiguous_and_long_enough() {
+        let net = city();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TripConfig {
+            min_od_distance: 600.0,
+            ..Default::default()
+        };
+        let drive = generate_trip(&net, &cfg, &mut rng).expect("trip found");
+        assert!(drive.path.is_contiguous(&net));
+        assert!(drive.path.length(&net) >= 600.0);
+        assert!(drive.duration > 0.0);
+    }
+
+    #[test]
+    fn position_at_is_monotone_along_path() {
+        let net = city();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TripConfig {
+            min_od_distance: 600.0,
+            ..Default::default()
+        };
+        let drive = generate_trip(&net, &cfg, &mut rng).unwrap();
+        // Start and end match the path geometry.
+        assert_eq!(
+            drive.position_at(&net, -5.0),
+            net.segment_start(drive.path.segments[0])
+        );
+        assert_eq!(
+            drive.position_at(&net, drive.duration + 5.0),
+            net.segment_end(*drive.path.segments.last().unwrap())
+        );
+        // Positions over time always lie near the path polyline.
+        let poly = drive.path.polyline(&net);
+        for i in 0..=20 {
+            let t = drive.duration * i as f64 / 20.0;
+            let p = drive.position_at(&net, t);
+            let d = lhmm_geo::polyline::distance_to_polyline(p, &poly);
+            assert!(d < 1e-6, "t={t} off-path by {d}");
+        }
+    }
+
+    #[test]
+    fn route_noise_changes_routes_between_trips() {
+        let net = city();
+        let cfg = TripConfig {
+            min_od_distance: 900.0,
+            route_noise: 0.5,
+            ..Default::default()
+        };
+        let mut distinct = std::collections::HashSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..12 {
+            if let Some(d) = generate_trip(&net, &cfg, &mut rng) {
+                distinct.insert(d.path.segments.clone());
+            }
+        }
+        assert!(distinct.len() > 1, "route noise produced identical trips");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let net = city();
+        let cfg = TripConfig::default();
+        let a = generate_trip(&net, &cfg, &mut StdRng::seed_from_u64(9));
+        let b = generate_trip(&net, &cfg, &mut StdRng::seed_from_u64(9));
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.path.segments, y.path.segments);
+                assert_eq!(x.duration, y.duration);
+            }
+            (None, None) => {}
+            _ => panic!("determinism violated"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Candidate preparation (paper §IV-E1, Step 1).
+
+use crate::types::{Candidate, HmmProbabilities};
+use lhmm_geo::{Point, Projection};
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use lhmm_network::spatial::SpatialIndex;
+
+/// The `k` segments nearest to `pos` within `radius`, each with its
+/// projection. Sorted by ascending distance.
+pub fn nearest_segments(
+    net: &RoadNetwork,
+    index: &SpatialIndex,
+    pos: Point,
+    k: usize,
+    radius: f64,
+) -> Vec<(SegmentId, Projection)> {
+    index
+        .k_nearest(net, pos, k, radius)
+        .into_iter()
+        .map(|(seg, _)| (seg, net.project(pos, seg)))
+        .collect()
+}
+
+/// Converts `(segment, projection)` pairs into scored candidates using the
+/// model's observation probability for point `i`.
+pub fn to_candidates<M: HmmProbabilities>(
+    model: &mut M,
+    i: usize,
+    pairs: &[(SegmentId, Projection)],
+) -> Vec<Candidate> {
+    pairs
+        .iter()
+        .map(|&(seg, proj)| Candidate {
+            seg,
+            t: proj.t,
+            obs: model.observation(i, seg, proj.distance),
+        })
+        .collect()
+}
+
+/// Distance-based candidate layers for a whole trajectory: the classic
+/// preparation every HMM baseline uses. Points with no candidate within
+/// `radius` are dropped; the returned mask marks kept points.
+pub fn distance_layers<M: HmmProbabilities>(
+    net: &RoadNetwork,
+    index: &SpatialIndex,
+    positions: &[Point],
+    k: usize,
+    radius: f64,
+    model: &mut M,
+) -> (Vec<Vec<Candidate>>, Vec<bool>) {
+    let mut layers = Vec::with_capacity(positions.len());
+    let mut kept = Vec::with_capacity(positions.len());
+    for (i, &pos) in positions.iter().enumerate() {
+        let pairs = nearest_segments(net, index, pos, k, radius);
+        if pairs.is_empty() {
+            kept.push(false);
+            continue;
+        }
+        kept.push(true);
+        layers.push(to_candidates(model, i, &pairs));
+    }
+    (layers, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+    use lhmm_network::generators::{generate_city, GeneratorConfig};
+
+    #[test]
+    fn nearest_segments_are_sorted_and_projected() {
+        let net = generate_city(&GeneratorConfig::small_test(3));
+        let index = SpatialIndex::build(&net, 200.0);
+        let pos = Point::new(700.0, 700.0);
+        let pairs = nearest_segments(&net, &index, pos, 8, 5_000.0);
+        assert_eq!(pairs.len(), 8);
+        for w in pairs.windows(2) {
+            assert!(w[0].1.distance <= w[1].1.distance);
+        }
+        for (seg, proj) in &pairs {
+            assert!((proj.distance - net.distance_to_segment(pos, *seg)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_layers_drop_uncovered_points() {
+        let net = generate_city(&GeneratorConfig::small_test(3));
+        let index = SpatialIndex::build(&net, 200.0);
+        let positions = vec![
+            Point::new(500.0, 500.0),
+            Point::new(1e7, 1e7), // far outside any radius
+            Point::new(900.0, 500.0),
+        ];
+        let mut model = ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            positions.clone(),
+        );
+        let (layers, kept) =
+            distance_layers(&net, &index, &positions, 5, 3_000.0, &mut model);
+        assert_eq!(kept, vec![true, false, true]);
+        assert_eq!(layers.len(), 2);
+        // Observation probabilities decrease with candidate rank.
+        for layer in &layers {
+            for w in layer.windows(2) {
+                assert!(w[0].obs >= w[1].obs - 1e-12);
+            }
+        }
+    }
+}

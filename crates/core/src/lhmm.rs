@@ -1,0 +1,598 @@
+//! The LHMM model: training pipeline and matcher (paper §IV).
+
+use crate::candidates::nearest_segments;
+use crate::classic::{ClassicObservation, ClassicTransition};
+use crate::observation::{ObsConfig, ObservationLearner};
+use crate::transition::{TrajTransScorer, TransConfig, TransitionLearner};
+use crate::types::{
+    Candidate, HmmProbabilities, MapMatcher, MatchContext, MatchResult, RouteInfo,
+};
+use crate::viterbi::{EngineConfig, HmmEngine};
+use lhmm_cellsim::dataset::Dataset;
+use lhmm_cellsim::tower::TowerId;
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_geo::Point;
+use lhmm_graph::encoder::{train_encoder, Embeddings, EncoderConfig};
+use lhmm_graph::relgraph::MultiRelGraph;
+use lhmm_network::graph::SegmentId;
+
+/// Full LHMM configuration, including the ablation switches of Table III.
+#[derive(Clone, Debug)]
+pub struct LhmmConfig {
+    /// Het-Graph Encoder settings (`kind` selects LHMM-E / LHMM-H variants).
+    pub encoder: EncoderConfig,
+    /// Observation-learner settings.
+    pub obs: ObsConfig,
+    /// Transition-learner settings.
+    pub trans: TransConfig,
+    /// Candidates per point `k` (paper: 30 for LHMM).
+    pub k: usize,
+    /// Shortcuts per candidate `K` (paper: 1; 0 = LHMM-S ablation).
+    pub shortcut_k: usize,
+    /// Use the learned observation probability (false = LHMM-O ablation).
+    pub use_learned_obs: bool,
+    /// Use the learned transition probability (false = LHMM-T ablation).
+    pub use_learned_trans: bool,
+    /// Candidate search radius, meters.
+    pub candidate_radius: f64,
+    /// Max segments scored per point before the top-k cut.
+    pub max_scored: usize,
+    /// Route-search bound factor/slack (see [`EngineConfig`]).
+    pub route_factor: f64,
+    /// Additive route-search slack, meters.
+    pub route_slack: f64,
+    /// Master seed for all learners.
+    pub seed: u64,
+}
+
+impl Default for LhmmConfig {
+    fn default() -> Self {
+        LhmmConfig {
+            encoder: EncoderConfig::default(),
+            obs: ObsConfig::default(),
+            trans: TransConfig::default(),
+            k: 30,
+            shortcut_k: 1,
+            use_learned_obs: true,
+            use_learned_trans: true,
+            candidate_radius: 3_000.0,
+            max_scored: 150,
+            route_factor: 4.0,
+            route_slack: 3_000.0,
+            seed: 0,
+        }
+    }
+}
+
+impl LhmmConfig {
+    /// A configuration sized for unit tests and small datasets: narrower
+    /// embeddings, fewer training steps, smaller k.
+    pub fn fast_test(seed: u64) -> Self {
+        LhmmConfig {
+            encoder: EncoderConfig {
+                dim: 16,
+                epochs: 60,
+                batch_edges: 256,
+                seed,
+                ..Default::default()
+            },
+            obs: ObsConfig {
+                epochs: 60,
+                fuse_epochs: 30,
+                batch_points: 12,
+                seed,
+                ..Default::default()
+            },
+            trans: TransConfig {
+                epochs: 50,
+                fuse_epochs: 25,
+                batch_trajs: 6,
+                seed,
+                ..Default::default()
+            },
+            k: 10,
+            candidate_radius: 2_000.0,
+            max_scored: 80,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The trained LHMM matcher.
+pub struct Lhmm {
+    /// The configuration the model was trained with. `k` and `shortcut_k`
+    /// may be changed between matches (parameter sweeps) via
+    /// [`Lhmm::set_k`] / [`Lhmm::set_shortcuts`].
+    pub config: LhmmConfig,
+    graph: MultiRelGraph,
+    embeddings: Embeddings,
+    obs_learner: Option<ObservationLearner>,
+    trans_learner: Option<TransitionLearner>,
+    classic_obs: ClassicObservation,
+    classic_trans: ClassicTransition,
+    engine: HmmEngine,
+    name: String,
+}
+
+impl Lhmm {
+    /// Trains the full pipeline (encoder → P_O learner → P_T learner) on
+    /// the dataset's training split.
+    pub fn train(ds: &Dataset, mut config: LhmmConfig) -> Self {
+        config.encoder.seed = config.seed;
+        config.obs.seed = config.seed;
+        config.trans.seed = config.seed;
+        let graph = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+        let embeddings = train_encoder(&graph, &config.encoder);
+        let obs_learner = config.use_learned_obs.then(|| {
+            ObservationLearner::train(
+                &ds.network,
+                &ds.index,
+                &embeddings,
+                &graph,
+                &ds.train,
+                &config.obs,
+            )
+        });
+        let trans_learner = config.use_learned_trans.then(|| {
+            TransitionLearner::train(&ds.network, &ds.index, &embeddings, &ds.train, &config.trans)
+        });
+        let engine = HmmEngine::new(
+            &ds.network,
+            EngineConfig {
+                max_route_factor: config.route_factor,
+                route_slack: config.route_slack,
+                shortcuts: config.shortcut_k,
+            },
+        );
+        let name = variant_name(&config);
+        Lhmm {
+            config,
+            graph,
+            embeddings,
+            obs_learner,
+            trans_learner,
+            classic_obs: ClassicObservation::cellular(),
+            classic_trans: ClassicTransition::cellular(),
+            engine,
+            name,
+        }
+    }
+
+    /// The multi-relational graph built from the training split.
+    pub fn graph(&self) -> &MultiRelGraph {
+        &self.graph
+    }
+
+    /// The trained embeddings.
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.embeddings
+    }
+
+    /// Serializes every trained weight (embeddings + both learners) to a
+    /// standalone byte buffer. Pair with [`Lhmm::load_weights`]; model
+    /// *structure* is rebuilt from the config, so only values are stored.
+    pub fn save_weights(&self) -> Vec<u8> {
+        let mut enc = lhmm_neural::persist::Encoder::new();
+        self.embeddings.export_weights(&mut enc);
+        if let Some(o) = &self.obs_learner {
+            o.export_weights(&mut enc);
+        }
+        if let Some(t) = &self.trans_learner {
+            t.export_weights(&mut enc);
+        }
+        enc.finish()
+    }
+
+    /// Rebuilds a model from its dataset + config (zero training epochs)
+    /// and loads previously saved weights into it. The dataset and config
+    /// must be identical to the ones the weights were trained with.
+    pub fn load_weights(
+        ds: &Dataset,
+        mut config: LhmmConfig,
+        bytes: &[u8],
+    ) -> Result<Self, lhmm_neural::persist::DecodeError> {
+        // Build the exact same structure without spending training time.
+        config.encoder.epochs = 0;
+        config.obs.epochs = 0;
+        config.obs.fuse_epochs = 0;
+        config.trans.epochs = 0;
+        config.trans.fuse_epochs = 0;
+        let mut model = Lhmm::train(ds, config);
+        let mut dec = lhmm_neural::persist::Decoder::new(bytes)?;
+        model.embeddings.import_weights(&mut dec)?;
+        if let Some(o) = &mut model.obs_learner {
+            o.import_weights(&mut dec)?;
+        }
+        if let Some(t) = &mut model.trans_learner {
+            t.import_weights(&mut dec)?;
+        }
+        Ok(model)
+    }
+
+    /// Changes the candidate count `k` for subsequent matches (Fig. 8).
+    pub fn set_k(&mut self, k: usize) {
+        self.config.k = k;
+    }
+
+    /// Changes the shortcut count `K` for subsequent matches (Fig. 9).
+    pub fn set_shortcuts(&mut self, k: usize) {
+        self.config.shortcut_k = k;
+        self.engine.cfg.shortcuts = k;
+    }
+
+    /// Candidate layers for one trajectory: per kept point, the top-k
+    /// segments by (learned or classic) observation probability.
+    /// Returns `(kept point indices, layers)`.
+    fn prepare_candidates(
+        &self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+        contexts: &Option<Vec<Vec<f32>>>,
+    ) -> (Vec<usize>, Vec<Vec<Candidate>>) {
+        let mut kept = Vec::new();
+        let mut layers = Vec::new();
+        for (i, p) in traj.points.iter().enumerate() {
+            let pos = p.effective_pos();
+            let pairs = nearest_segments(
+                ctx.net,
+                ctx.index,
+                pos,
+                self.config.max_scored,
+                self.config.candidate_radius,
+            );
+            if pairs.is_empty() {
+                continue;
+            }
+            let layer = match (&self.obs_learner, contexts) {
+                (Some(learner), Some(ctxs)) => {
+                    // Score the nearest segments plus the tower's
+                    // historically co-occurring segments: radio propagation
+                    // regularly serves roads that are *not* among the
+                    // nearest, and the co-occurrence relation is how the
+                    // learned P_O reaches them (paper §IV-B).
+                    let mut segs: Vec<SegmentId> = pairs.iter().map(|&(s, _)| s).collect();
+                    for (co_seg, _) in self.graph.co_segments(p.tower) {
+                        if ctx.net.distance_to_segment(pos, co_seg)
+                            <= self.config.candidate_radius
+                        {
+                            segs.push(co_seg);
+                        }
+                    }
+                    segs.sort_unstable();
+                    segs.dedup();
+                    let pairs: Vec<(SegmentId, lhmm_geo::Projection)> = segs
+                        .iter()
+                        .map(|&s| (s, ctx.net.project(pos, s)))
+                        .collect();
+                    let segs: Vec<SegmentId> = pairs.iter().map(|&(s, _)| s).collect();
+                    let scores = learner.score(
+                        ctx.net,
+                        &self.graph,
+                        &self.embeddings,
+                        &ctxs[i],
+                        pos,
+                        p.tower,
+                        &segs,
+                    );
+                    let mut scored: Vec<Candidate> = pairs
+                        .iter()
+                        .zip(&scores)
+                        .map(|(&(seg, proj), &s)| Candidate {
+                            seg,
+                            t: proj.t,
+                            obs: s as f64,
+                        })
+                        .collect();
+                    scored.sort_by(|a, b| b.obs.partial_cmp(&a.obs).expect("finite"));
+                    scored.truncate(self.config.k);
+                    scored
+                }
+                _ => {
+                    // Classic distance-based preparation (LHMM-O).
+                    let mut layer: Vec<Candidate> = pairs
+                        .iter()
+                        .map(|&(seg, proj)| Candidate {
+                            seg,
+                            t: proj.t,
+                            obs: self.classic_obs.prob(proj.distance),
+                        })
+                        .collect();
+                    layer.truncate(self.config.k);
+                    layer
+                }
+            };
+            if layer.is_empty() {
+                continue;
+            }
+            kept.push(i);
+            layers.push(layer);
+        }
+        (kept, layers)
+    }
+}
+
+fn variant_name(cfg: &LhmmConfig) -> String {
+    use lhmm_graph::encoder::EncoderKind;
+    let mut tags = Vec::new();
+    match cfg.encoder.kind {
+        EncoderKind::Heterogeneous => {}
+        EncoderKind::Homogeneous => tags.push("H"),
+        EncoderKind::MlpEmbedding => tags.push("E"),
+    }
+    if !cfg.use_learned_obs {
+        tags.push("O");
+    }
+    if !cfg.use_learned_trans {
+        tags.push("T");
+    }
+    if cfg.shortcut_k == 0 {
+        tags.push("S");
+    }
+    if tags.is_empty() {
+        "LHMM".to_string()
+    } else {
+        format!("LHMM-{}", tags.join(""))
+    }
+}
+
+/// Per-trajectory probability model plugged into the engine.
+struct LhmmTrajModel<'a> {
+    obs_learner: Option<&'a ObservationLearner>,
+    trans_scorer: Option<TrajTransScorer<'a>>,
+    graph: &'a MultiRelGraph,
+    embeddings: &'a Embeddings,
+    contexts: Option<&'a [Vec<f32>]>,
+    classic_obs: ClassicObservation,
+    classic_trans: ClassicTransition,
+    net: &'a lhmm_network::graph::RoadNetwork,
+    /// Per *kept* point: effective position, timestamp and tower.
+    positions: Vec<Point>,
+    times: Vec<f64>,
+    towers: Vec<TowerId>,
+    /// Maps kept index to original trajectory index (contexts are indexed
+    /// by original position).
+    orig_idx: Vec<usize>,
+}
+
+impl HmmProbabilities for LhmmTrajModel<'_> {
+    fn observation(&mut self, i: usize, seg: SegmentId, dist: f64) -> f64 {
+        match (self.obs_learner, self.contexts) {
+            (Some(learner), Some(ctxs)) => {
+                let oi = self.orig_idx[i];
+                let scores = learner.score(
+                    self.net,
+                    self.graph,
+                    self.embeddings,
+                    &ctxs[oi],
+                    self.positions[i],
+                    self.towers[i],
+                    &[seg],
+                );
+                scores[0] as f64
+            }
+            _ => self.classic_obs.prob(dist),
+        }
+    }
+
+    fn transition(
+        &mut self,
+        i: usize,
+        _prev: &Candidate,
+        _cur: &Candidate,
+        route: &RouteInfo,
+    ) -> f64 {
+        if !route.found {
+            return 0.0;
+        }
+        let d_straight = self.positions[i - 1].distance(self.positions[i]);
+        let dt = self.times[i] - self.times[i - 1];
+        match &mut self.trans_scorer {
+            Some(scorer) => scorer.transition_prob(
+                self.net,
+                d_straight,
+                dt,
+                route.length,
+                &route.segments,
+            ) as f64,
+            None => self.classic_trans.prob(d_straight, route.length),
+        }
+    }
+}
+
+impl MapMatcher for Lhmm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn match_trajectory(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+    ) -> MatchResult {
+        if traj.is_empty() {
+            return MatchResult::empty();
+        }
+        // Context-aware point representations (Eq. 6), one per point.
+        let towers = traj.towers();
+        let contexts: Option<Vec<Vec<f32>>> = self
+            .obs_learner
+            .as_ref()
+            .map(|learner| learner.context_rows(&self.embeddings, &towers));
+
+        let (kept, layers) = self.prepare_candidates(ctx, traj, &contexts);
+        if kept.is_empty() {
+            return MatchResult::empty();
+        }
+
+        // Candidate sets aligned to the original trajectory (for HR).
+        let mut candidate_sets: Vec<Vec<SegmentId>> = vec![Vec::new(); traj.len()];
+        for (ki, layer) in kept.iter().zip(&layers) {
+            candidate_sets[*ki] = layer.iter().map(|c| c.seg).collect();
+        }
+
+        let pts: Vec<(Point, f64)> = kept
+            .iter()
+            .map(|&i| (traj.points[i].effective_pos(), traj.points[i].t))
+            .collect();
+        let positions: Vec<Point> = pts.iter().map(|&(p, _)| p).collect();
+        let kept_towers: Vec<TowerId> = kept.iter().map(|&i| traj.points[i].tower).collect();
+
+        let mut model = LhmmTrajModel {
+            obs_learner: self.obs_learner.as_ref(),
+            trans_scorer: self
+                .trans_learner
+                .as_ref()
+                .map(|l| TrajTransScorer::new(l, &self.embeddings, towers.clone())),
+            graph: &self.graph,
+            embeddings: &self.embeddings,
+            contexts: contexts.as_deref(),
+            classic_obs: self.classic_obs,
+            classic_trans: self.classic_trans,
+            net: ctx.net,
+            positions,
+            times: pts.iter().map(|&(_, t)| t).collect(),
+            towers: kept_towers,
+            orig_idx: kept,
+        };
+
+        let out = self.engine.find_path(ctx.net, &pts, layers, &mut model);
+        // Shortcut-created candidates enlarge the effective candidate road
+        // sets (they are real match hypotheses for the skipped points).
+        for (layer_idx, cand) in &out.added_candidates {
+            let orig = model.orig_idx[*layer_idx];
+            candidate_sets[orig].push(cand.seg);
+        }
+        MatchResult {
+            path: out.path,
+            candidate_sets: Some(candidate_sets),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::DatasetConfig;
+
+    fn match_all(ds: &Dataset, matcher: &mut Lhmm, n: usize) -> Vec<MatchResult> {
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        ds.test
+            .iter()
+            .take(n)
+            .map(|rec| matcher.match_trajectory(&ctx, &rec.cellular))
+            .collect()
+    }
+
+    #[test]
+    fn trained_lhmm_produces_nonempty_paths() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(61));
+        let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(61));
+        assert_eq!(lhmm.name(), "LHMM");
+        let results = match_all(&ds, &mut lhmm, 6);
+        for r in &results {
+            assert!(!r.path.is_empty());
+            assert!(r.candidate_sets.is_some());
+        }
+    }
+
+    #[test]
+    fn ablation_names_are_distinct() {
+        let mut cfg = LhmmConfig::fast_test(0);
+        cfg.use_learned_obs = false;
+        assert_eq!(variant_name(&cfg), "LHMM-O");
+        let mut cfg = LhmmConfig::fast_test(0);
+        cfg.shortcut_k = 0;
+        assert_eq!(variant_name(&cfg), "LHMM-S");
+        let mut cfg = LhmmConfig::fast_test(0);
+        cfg.encoder.kind = lhmm_graph::encoder::EncoderKind::MlpEmbedding;
+        assert_eq!(variant_name(&cfg), "LHMM-E");
+        let mut cfg = LhmmConfig::fast_test(0);
+        cfg.encoder.kind = lhmm_graph::encoder::EncoderKind::Homogeneous;
+        cfg.use_learned_trans = false;
+        assert_eq!(variant_name(&cfg), "LHMM-HT");
+    }
+
+    #[test]
+    fn k_and_shortcut_sweeps_take_effect() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(62));
+        let mut cfg = LhmmConfig::fast_test(62);
+        cfg.use_learned_obs = false; // cheaper training for this test
+        cfg.use_learned_trans = false;
+        let mut lhmm = Lhmm::train(&ds, cfg);
+        lhmm.set_k(3);
+        lhmm.set_shortcuts(0); // shortcut additions would exceed k below
+        let r3 = match_all(&ds, &mut lhmm, 3);
+        for (r, rec) in r3.iter().zip(&ds.test) {
+            let sets = r.candidate_sets.as_ref().unwrap();
+            assert!(sets.iter().all(|s| s.len() <= 3));
+            assert_eq!(sets.len(), rec.cellular.len());
+        }
+        lhmm.set_shortcuts(0);
+        let r0 = match_all(&ds, &mut lhmm, 3);
+        assert_eq!(r0.len(), 3);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_matching() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(64));
+        let mut trained = Lhmm::train(&ds, LhmmConfig::fast_test(64));
+        let bytes = trained.save_weights();
+        let mut loaded =
+            Lhmm::load_weights(&ds, LhmmConfig::fast_test(64), &bytes).expect("load");
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        for rec in ds.test.iter().take(4) {
+            let a = trained.match_trajectory(&ctx, &rec.cellular);
+            let b = loaded.match_trajectory(&ctx, &rec.cellular);
+            assert_eq!(a.path.segments, b.path.segments);
+        }
+        // Garbage rejects cleanly.
+        assert!(Lhmm::load_weights(&ds, LhmmConfig::fast_test(64), b"junk").is_err());
+    }
+
+    #[test]
+    fn lhmm_beats_distance_only_variant_on_matched_coverage() {
+        // LHMM (learned P_O) should locate more truth segments in its
+        // candidate sets than the distance-only variant (higher HR).
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(63));
+        let mut full = Lhmm::train(&ds, LhmmConfig::fast_test(63));
+        let mut cfg_o = LhmmConfig::fast_test(63);
+        cfg_o.use_learned_obs = false;
+        cfg_o.use_learned_trans = false;
+        let mut ablated = Lhmm::train(&ds, cfg_o);
+
+        let hit_ratio = |results: &[MatchResult], ds: &Dataset| -> f64 {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for (r, rec) in results.iter().zip(&ds.test) {
+                let truth = rec.truth.segment_set();
+                for set in r.candidate_sets.as_ref().unwrap() {
+                    total += 1;
+                    if set.iter().any(|s| truth.contains(s)) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits as f64 / total.max(1) as f64
+        };
+        let n = ds.test.len();
+        let r_full = match_all(&ds, &mut full, n);
+        let r_abl = match_all(&ds, &mut ablated, n);
+        let hr_full = hit_ratio(&r_full, &ds);
+        let hr_abl = hit_ratio(&r_abl, &ds);
+        // The learned variant must be at least competitive; with the
+        // anisotropic attachment model it should be clearly better.
+        assert!(
+            hr_full + 0.02 >= hr_abl,
+            "learned HR {hr_full} << distance HR {hr_abl}"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! LHMM core: the learning-enhanced HMM map matcher (paper §IV).
+//!
+//! Components, in dependency order:
+//!
+//! * [`types`] — candidates, match results, the [`types::MapMatcher`] trait
+//!   and the [`types::HmmProbabilities`] model interface,
+//! * [`classic`] — the heuristic Gaussian/exponential probabilities of
+//!   Eq. 2–3 (used by baselines and by the LHMM-O/LHMM-T ablations),
+//! * [`candidates`] — candidate preparation (distance top-k and learned
+//!   top-k),
+//! * [`viterbi`] — the HMM path-finding engine: Algorithm 1 (Viterbi DP)
+//!   plus Algorithm 2 (shortcut construction) behind a single entry point,
+//! * [`observation`] — the learned observation probability (Eq. 6–8),
+//! * [`transition`] — the learned transition probability (Eq. 9–12),
+//! * [`lhmm`] — the [`lhmm::Lhmm`] model: training pipeline and matcher,
+//!   with ablation switches ([`lhmm::LhmmConfig`]).
+//!
+//! ```no_run
+//! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+//! use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+//! use lhmm_core::types::{MapMatcher, MatchContext};
+//!
+//! let ds = Dataset::generate(&DatasetConfig::tiny_test(1));
+//! let mut matcher = Lhmm::train(&ds, LhmmConfig::default());
+//! let ctx = MatchContext { net: &ds.network, index: &ds.index, towers: &ds.towers };
+//! let result = matcher.match_trajectory(&ctx, &ds.test[0].cellular);
+//! println!("matched onto {} segments", result.path.len());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod candidates;
+pub mod classic;
+pub mod lhmm;
+pub mod observation;
+pub mod streaming;
+pub mod transition;
+pub mod types;
+pub mod viterbi;
+
+
+pub use lhmm::{Lhmm, LhmmConfig};
+pub use types::{Candidate, MapMatcher, MatchContext, MatchResult};

@@ -1,0 +1,330 @@
+//! Online (streaming) HMM map matching with fixed-lag commitment.
+//!
+//! The paper's motivating applications (live traffic management, §I) need
+//! matches *while the trip is ongoing*. This module runs the same Viterbi
+//! recursion as [`crate::viterbi`] layer by layer: each observation extends
+//! the DP frontier, and candidates older than a fixed `lag` are committed —
+//! the standard fixed-lag smoothing trade-off between latency and accuracy.
+//! Shortcuts are not available online (they need the successor layer), which
+//! is also why the offline matcher remains the accuracy reference.
+
+use crate::types::{Candidate, HmmProbabilities, RouteInfo};
+use lhmm_geo::Point;
+use lhmm_network::graph::RoadNetwork;
+use lhmm_network::path::Path;
+use lhmm_network::shortest_path::DijkstraEngine;
+use lhmm_network::sp_cache::SpCache;
+
+/// Incremental HMM state over one in-progress trajectory.
+pub struct StreamingEngine<'a> {
+    net: &'a RoadNetwork,
+    dijkstra: DijkstraEngine,
+    sp_cache: SpCache,
+    /// Commit lag in observations: a candidate is fixed once `lag` newer
+    /// observations have arrived. 0 commits greedily every step.
+    pub lag: usize,
+    max_route_factor: f64,
+    route_slack: f64,
+    // DP state.
+    layers: Vec<Vec<Candidate>>,
+    pts: Vec<(Point, f64)>,
+    f: Vec<Vec<f64>>,
+    pre: Vec<Vec<Option<usize>>>,
+    committed_upto: usize,
+    committed_path: Path,
+    last_committed: Option<Candidate>,
+}
+
+impl<'a> StreamingEngine<'a> {
+    /// Creates a streaming session on `net` with the given commit lag.
+    pub fn new(net: &'a RoadNetwork, lag: usize) -> Self {
+        StreamingEngine {
+            net,
+            dijkstra: DijkstraEngine::new(net),
+            sp_cache: SpCache::new(net, 100_000),
+            lag,
+            max_route_factor: 4.0,
+            route_slack: 3_000.0,
+            layers: Vec::new(),
+            pts: Vec::new(),
+            f: Vec::new(),
+            pre: Vec::new(),
+            committed_upto: 0,
+            committed_path: Path::empty(),
+            last_committed: None,
+        }
+    }
+
+    /// Number of observations consumed so far.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True before the first observation.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The path committed so far (grows as observations arrive).
+    pub fn committed(&self) -> &Path {
+        &self.committed_path
+    }
+
+    /// Feeds one observation with its scored candidate layer. Returns the
+    /// number of newly committed observations.
+    pub fn push<M: HmmProbabilities>(
+        &mut self,
+        pos: Point,
+        t: f64,
+        candidates: Vec<Candidate>,
+        model: &mut M,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "empty candidate layer");
+        let i = self.layers.len();
+        if i == 0 {
+            self.f.push(candidates.iter().map(|c| c.obs).collect());
+            self.pre.push(vec![None; candidates.len()]);
+        } else {
+            let bound =
+                self.pts[i - 1].0.distance(pos) * self.max_route_factor + self.route_slack;
+            let prev_layer = &self.layers[i - 1];
+            let mut f_i = vec![f64::NEG_INFINITY; candidates.len()];
+            let mut pre_i = vec![None; candidates.len()];
+            for (j, prev) in prev_layer.iter().enumerate() {
+                let prev_seg = self.net.segment(prev.seg);
+                let head = prev_seg.length * (1.0 - prev.t);
+                let targets: Vec<_> = candidates
+                    .iter()
+                    .map(|c| self.net.segment(c.seg).from)
+                    .collect();
+                let routes = self
+                    .dijkstra
+                    .node_to_nodes(self.net, prev_seg.to, &targets, bound);
+                for (k, cur) in candidates.iter().enumerate() {
+                    let info = if cur.seg == prev.seg && cur.t >= prev.t {
+                        RouteInfo {
+                            found: true,
+                            length: prev_seg.length * (cur.t - prev.t),
+                            segments: vec![prev.seg],
+                        }
+                    } else {
+                        match &routes[k] {
+                            Some(r) => {
+                                let tail = self.net.segment(cur.seg).length * cur.t;
+                                let mut segments = Vec::with_capacity(r.segments.len() + 2);
+                                segments.push(prev.seg);
+                                segments.extend_from_slice(&r.segments);
+                                segments.push(cur.seg);
+                                RouteInfo {
+                                    found: true,
+                                    length: head + r.length + tail,
+                                    segments,
+                                }
+                            }
+                            None => RouteInfo::missing(),
+                        }
+                    };
+                    let w = model.transition(i, prev, cur, &info) * cur.obs;
+                    let score = self.f[i - 1][j] + w;
+                    if score > f_i[k] {
+                        f_i[k] = score;
+                        pre_i[k] = Some(j);
+                    }
+                }
+            }
+            self.f.push(f_i);
+            self.pre.push(pre_i);
+        }
+        self.layers.push(candidates);
+        self.pts.push((pos, t));
+        self.commit_to(self.layers.len().saturating_sub(self.lag))
+    }
+
+    /// Commits observations with index `< target` by backtracking from the
+    /// current best frontier candidate.
+    fn commit_to(&mut self, target: usize) -> usize {
+        let frontier = self.layers.len() - 1;
+        if target <= self.committed_upto {
+            return 0;
+        }
+        // Backtrack the current best chain to find the decided candidates.
+        let best_k = (0..self.layers[frontier].len())
+            .max_by(|&a, &b| {
+                self.f[frontier][a]
+                    .partial_cmp(&self.f[frontier][b])
+                    .expect("finite scores")
+            })
+            .expect("non-empty layer");
+        let mut chain = vec![best_k];
+        for li in (1..=frontier).rev() {
+            let prev = self.pre[li][*chain.last().expect("non-empty")]
+                .unwrap_or(0);
+            chain.push(prev);
+        }
+        chain.reverse(); // chain[i] = candidate index at layer i
+
+        let mut committed_now = 0;
+        while self.committed_upto < target {
+            let li = self.committed_upto;
+            let cand = self.layers[li][chain[li]];
+            match self.last_committed {
+                None => self.committed_path.segments.push(cand.seg),
+                Some(p) => {
+                    let bound = self.pts[li].0.distance(
+                        self.pts[li.saturating_sub(1)].0,
+                    ) * self.max_route_factor
+                        + self.route_slack;
+                    match self.sp_cache.route_between_projections(
+                        self.net, p.seg, p.t, cand.seg, cand.t, bound,
+                    ) {
+                        Some(r) => self.committed_path.extend_with(&r.segments),
+                        None => self.committed_path.segments.push(cand.seg),
+                    }
+                }
+            }
+            self.last_committed = Some(cand);
+            self.committed_upto += 1;
+            committed_now += 1;
+        }
+        self.committed_path.dedup_consecutive();
+        committed_now
+    }
+
+    /// Flushes the remaining lag window and returns the complete path.
+    pub fn finish(mut self) -> Path {
+        if self.layers.is_empty() {
+            return Path::empty();
+        }
+        self.commit_to(self.layers.len());
+        self.committed_path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{nearest_segments, to_candidates};
+    use crate::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+    use crate::viterbi::{EngineConfig, HmmEngine};
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    use lhmm_eval_shim::evaluate_recall;
+
+    /// Tiny local shim to avoid a circular dev-dependency on lhmm-eval.
+    mod lhmm_eval_shim {
+        use lhmm_network::graph::RoadNetwork;
+        use lhmm_network::path::Path;
+        pub fn evaluate_recall(net: &RoadNetwork, matched: &Path, truth: &Path) -> f64 {
+            let truth_set = truth.segment_set();
+            let correct: f64 = matched
+                .segment_set()
+                .intersection(&truth_set)
+                .map(|&s| net.segment(s).length)
+                .sum();
+            correct / truth.length(net)
+        }
+    }
+
+    fn run_streaming(ds: &Dataset, rec_idx: usize, lag: usize) -> Path {
+        let rec = &ds.test[rec_idx];
+        let positions = rec.cellular.effective_positions();
+        let mut model = ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            positions.clone(),
+        );
+        let mut stream = StreamingEngine::new(&ds.network, lag);
+        for (i, p) in rec.cellular.points.iter().enumerate() {
+            let pairs = nearest_segments(&ds.network, &ds.index, positions[i], 20, 3_000.0);
+            if pairs.is_empty() {
+                continue;
+            }
+            let layer = to_candidates(&mut model, i, &pairs);
+            stream.push(positions[i], p.t, layer, &mut model);
+        }
+        stream.finish()
+    }
+
+    #[test]
+    fn streaming_produces_a_reasonable_path() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(201));
+        let path = run_streaming(&ds, 0, 3);
+        assert!(!path.is_empty());
+        let recall = evaluate_recall(&ds.network, &path, &ds.test[0].truth);
+        assert!(recall > 0.1, "streaming recall {recall}");
+    }
+
+    #[test]
+    fn longer_lag_is_at_least_as_good_on_average() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(202));
+        let mut greedy_sum = 0.0;
+        let mut lagged_sum = 0.0;
+        for i in 0..6 {
+            greedy_sum += evaluate_recall(
+                &ds.network,
+                &run_streaming(&ds, i, 0),
+                &ds.test[i].truth,
+            );
+            lagged_sum += evaluate_recall(
+                &ds.network,
+                &run_streaming(&ds, i, 4),
+                &ds.test[i].truth,
+            );
+        }
+        // Fixed-lag smoothing must not be systematically worse than greedy
+        // commitment (it sees strictly more evidence per decision).
+        assert!(
+            lagged_sum >= greedy_sum - 0.3,
+            "lagged {lagged_sum} much worse than greedy {greedy_sum}"
+        );
+    }
+
+    #[test]
+    fn full_lag_matches_offline_engine_without_shortcuts() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(203));
+        let rec = &ds.test[1];
+        let positions = rec.cellular.effective_positions();
+        let mut model = ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            positions.clone(),
+        );
+        // Streaming with lag >= trajectory length == offline Viterbi.
+        let offline_layers: Vec<Vec<Candidate>> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let pairs = nearest_segments(&ds.network, &ds.index, p, 15, 3_000.0);
+                to_candidates(&mut model, i, &pairs)
+            })
+            .collect();
+        let pts: Vec<(Point, f64)> = rec
+            .cellular
+            .points
+            .iter()
+            .map(|p| (p.effective_pos(), p.t))
+            .collect();
+        let mut engine = HmmEngine::new(
+            &ds.network,
+            EngineConfig {
+                shortcuts: 0,
+                ..Default::default()
+            },
+        );
+        let offline = engine.find_path(&ds.network, &pts, offline_layers.clone(), &mut model);
+
+        let mut stream = StreamingEngine::new(&ds.network, positions.len() + 1);
+        for ((i, p), layer) in rec.cellular.points.iter().enumerate().zip(offline_layers) {
+            stream.push(positions[i], p.t, layer, &mut model);
+        }
+        let streamed = stream.finish();
+        assert_eq!(streamed.segments, offline.path.segments);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(204));
+        let stream = StreamingEngine::new(&ds.network, 2);
+        assert!(stream.is_empty());
+        assert!(stream.finish().is_empty());
+    }
+}

@@ -1,0 +1,547 @@
+//! The learned transition probability `P_T` (paper §IV-D, Eq. 9–12).
+//!
+//! For a moving path (the shortest route between two candidates), the
+//! learner first scores every road on the route for *belonging to the
+//! trajectory*:
+//! 1. **Road-conditioned trajectory representation** (Eq. 9): attention
+//!    with the road as query over the trajectory's tower embeddings —
+//!    points that interact with the road dominate the summary.
+//! 2. **Road relevance** (Eq. 10): an MLP over `[road ⊕ summary]` yields
+//!    `P(e_l | X)`.
+//! 3. **Route relevance** (Eq. 11): the mean of `P(e_l | X)` over the
+//!    route's segments flags fine-grained detours.
+//! 4. **Fusion** (Eq. 12): a second MLP combines route relevance with the
+//!    explicit features — length deviation and turn count — into `P_T`.
+//!
+//! Training mirrors the paper: stage 1 classifies roads on/off the traveled
+//! path; stage 2 fine-tunes the fusion MLP to predict the fraction of a
+//! sampled moving path that is actually traveled.
+
+use lhmm_cellsim::tower::TowerId;
+use lhmm_cellsim::traj::TrajectoryRecord;
+use lhmm_graph::encoder::Embeddings;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use lhmm_network::path::Path;
+use lhmm_network::sp_cache::SpCache;
+use lhmm_network::spatial::SpatialIndex;
+use lhmm_neural::layers::{Activation, AdditiveAttention, Mlp};
+use lhmm_neural::loss::bce_with_logits;
+use lhmm_neural::optim::{clip_grad_norm, Adam};
+use lhmm_neural::tape::{ParamStore, Tape};
+use lhmm_neural::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::observation::tower_rows;
+
+/// Transition-learner hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TransConfig {
+    /// Relevance-stage training steps.
+    pub epochs: usize,
+    /// Fusion-stage training steps.
+    pub fuse_epochs: usize,
+    /// Trajectories sampled per step.
+    pub batch_trajs: usize,
+    /// Negative roads per positive in stage 1.
+    pub neg_per_pos: usize,
+    /// Sampling radius for negative roads, meters.
+    pub radius: f64,
+    /// Hidden width of both MLPs.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransConfig {
+    fn default() -> Self {
+        TransConfig {
+            epochs: 120,
+            fuse_epochs: 60,
+            batch_trajs: 8,
+            neg_per_pos: 2,
+            radius: 2_500.0,
+            hidden: 64,
+            lr: 2e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// Number of explicit features in `D_T` (length deviation, turn count,
+/// time-progress ratio).
+const N_EXPLICIT: usize = 3;
+
+/// The trained transition probability model.
+pub struct TransitionLearner {
+    rel_store: ParamStore,
+    fuse_store: ParamStore,
+    attention: AdditiveAttention,
+    relevance_mlp: Mlp,
+    fuse_mlp: Mlp,
+    dim: usize,
+}
+
+impl TransitionLearner {
+    /// Embedding width the learner was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Serializes the learner's weights into the encoder.
+    pub fn export_weights(&self, enc: &mut lhmm_neural::persist::Encoder) {
+        enc.param_store(&self.rel_store);
+        enc.param_store(&self.fuse_store);
+    }
+
+    /// Loads weights previously written by [`Self::export_weights`] into a
+    /// structurally identical learner.
+    pub fn import_weights(
+        &mut self,
+        dec: &mut lhmm_neural::persist::Decoder<'_>,
+    ) -> Result<(), lhmm_neural::persist::DecodeError> {
+        dec.param_store_into(&mut self.rel_store)?;
+        dec.param_store_into(&mut self.fuse_store)
+    }
+
+    /// Trains the learner on the training split.
+    pub fn train(
+        net: &RoadNetwork,
+        index: &SpatialIndex,
+        emb: &Embeddings,
+        records: &[TrajectoryRecord],
+        cfg: &TransConfig,
+    ) -> Self {
+        let dim = emb.dim;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7A5));
+        let mut rel_store = ParamStore::new();
+        let attention = AdditiveAttention::new(&mut rel_store, dim, dim, &mut rng);
+        let relevance_mlp = Mlp::new(
+            &mut rel_store,
+            &[2 * dim, cfg.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        let mut fuse_store = ParamStore::new();
+        let fuse_mlp = Mlp::new(
+            &mut fuse_store,
+            &[1 + N_EXPLICIT, (cfg.hidden / 2).max(4), 1],
+            Activation::Relu,
+            &mut rng,
+        );
+
+        let mut learner = TransitionLearner {
+            rel_store,
+            fuse_store,
+            attention,
+            relevance_mlp,
+            fuse_mlp,
+            dim,
+        };
+
+        // ---------------- Stage 1: road-in-trajectory classifier -------
+        let mut opt = Adam::new(cfg.lr, 1e-4);
+        for _ in 0..cfg.epochs {
+            let mut tape = Tape::new();
+            let mut logits_var = None;
+            let mut targets: Vec<f32> = Vec::new();
+            for _ in 0..cfg.batch_trajs {
+                let rec = &records[rng.gen_range(0..records.len())];
+                if rec.cellular.is_empty() || rec.truth.is_empty() {
+                    continue;
+                }
+                let (segs, labels) = sample_relevance_roads(net, index, rec, cfg, &mut rng);
+                if segs.is_empty() {
+                    continue;
+                }
+                let towers = rec.cellular.towers();
+                let keys_m = tower_rows(emb, &towers);
+                let keys = tape.constant(keys_m);
+                // One attention per sampled road (the road is the query).
+                for (&seg, &label) in segs.iter().zip(&labels) {
+                    let q = tape.constant(Matrix::row_vector(emb.segment(seg).to_vec()));
+                    let (summary, _) = learner.attention.forward(
+                        &mut tape,
+                        &learner.rel_store,
+                        q,
+                        keys,
+                        keys,
+                    );
+                    let seg_row =
+                        tape.constant(Matrix::row_vector(emb.segment(seg).to_vec()));
+                    let cat = tape.concat_cols(seg_row, summary);
+                    let logit =
+                        learner
+                            .relevance_mlp
+                            .forward(&mut tape, &learner.rel_store, cat);
+                    logits_var = Some(match logits_var {
+                        None => logit,
+                        Some(acc) => tape.concat_rows(acc, logit),
+                    });
+                    targets.push(label);
+                }
+            }
+            let Some(lv) = logits_var else { continue };
+            let target_m = Matrix::col_vector(targets);
+            let (_, grad) = bce_with_logits(tape.value(lv), &target_m, 0.1);
+            let grads = tape.backward(lv, grad);
+            let mut pg = tape.param_grads(&grads);
+            clip_grad_norm(&mut pg, 5.0);
+            opt.step(&mut learner.rel_store, &pg);
+        }
+
+        // ---------------- Stage 2: fusion fine-tuning ------------------
+        // Predict the traveled fraction of sampled moving paths.
+        let mut sp = SpCache::new(net, 100_000);
+        let mut fuse_opt = Adam::new(cfg.lr, 1e-4);
+        for _ in 0..cfg.fuse_epochs {
+            let mut inputs: Vec<f32> = Vec::new();
+            let mut targets: Vec<f32> = Vec::new();
+            let mut rows = 0usize;
+            for _ in 0..cfg.batch_trajs {
+                let rec = &records[rng.gen_range(0..records.len())];
+                if rec.cellular.len() < 2 || rec.truth.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(1..rec.cellular.len());
+                let a_pos = rec.cellular.points[i - 1].effective_pos();
+                let b_pos = rec.cellular.points[i].effective_pos();
+                // Sample a candidate pair near the two points.
+                let near_a = index.k_nearest(net, a_pos, 8, cfg.radius);
+                let near_b = index.k_nearest(net, b_pos, 8, cfg.radius);
+                if near_a.is_empty() || near_b.is_empty() {
+                    continue;
+                }
+                let (sa, _) = near_a[rng.gen_range(0..near_a.len())];
+                let (sb, _) = near_b[rng.gen_range(0..near_b.len())];
+                let ta = net.project(a_pos, sa).t;
+                let tb = net.project(b_pos, sb).t;
+                let bound = a_pos.distance(b_pos) * 4.0 + 3_000.0;
+                let Some(route) = sp.route_between_projections(net, sa, ta, sb, tb, bound)
+                else {
+                    continue;
+                };
+                if route.segments.is_empty() {
+                    continue;
+                }
+                let truth = rec.truth.segment_set();
+                let purity = route
+                    .segments
+                    .iter()
+                    .filter(|s| truth.contains(s))
+                    .count() as f32
+                    / route.segments.len() as f32;
+                // Purity alone rewards degenerate near-zero routes (staying
+                // on one traveled road scores 1.0 even though the user
+                // moved). Scale by how much of the *actual* movement the
+                // route covers so the learner is taught that transitions
+                // must make progress.
+                let true_moved =
+                    rec.true_positions[i - 1].distance(rec.true_positions[i]);
+                let coverage = (route.length / true_moved.max(50.0)).min(1.0) as f32;
+                let traveled_frac = purity * coverage;
+                let mut scorer = TrajTransScorer::new(&learner, emb, rec.cellular.towers());
+                let relevance = scorer.route_relevance(&route.segments);
+                let d_straight = a_pos.distance(b_pos);
+                let dt = rec.cellular.points[i].t - rec.cellular.points[i - 1].t;
+                let feats =
+                    explicit_features(net, d_straight, dt, route.length, &route.segments);
+                inputs.push(relevance);
+                inputs.extend_from_slice(&feats);
+                targets.push(traveled_frac);
+                rows += 1;
+            }
+            if rows == 0 {
+                continue;
+            }
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::from_vec(rows, 1 + N_EXPLICIT, inputs));
+            let logit = learner.fuse_mlp.forward(&mut tape, &learner.fuse_store, x);
+            let target_m = Matrix::col_vector(targets);
+            let (_, grad) = bce_with_logits(tape.value(logit), &target_m, 0.1);
+            let grads = tape.backward(logit, grad);
+            let mut pg = tape.param_grads(&grads);
+            clip_grad_norm(&mut pg, 5.0);
+            fuse_opt.step(&mut learner.fuse_store, &pg);
+        }
+
+        learner
+    }
+}
+
+/// The explicit transition features `D_T`: relative length deviation, route
+/// turn count, and the time-progress ratio (all squashed to a small range).
+///
+/// The progress ratio compares the route length with the movement the
+/// elapsed time implies at typical urban speed. It is what lets the learner
+/// reject stand-still transitions between *identical* consecutive tower
+/// observations — the positions alone say "no movement" while the clock
+/// says the vehicle traveled hundreds of meters.
+pub fn explicit_features(
+    net: &RoadNetwork,
+    d_straight: f64,
+    dt: f64,
+    route_len: f64,
+    route_segs: &[SegmentId],
+) -> [f32; N_EXPLICIT] {
+    let dev = ((d_straight - route_len).abs() / d_straight.max(100.0)) as f32;
+    let turn = Path::new(route_segs.to_vec()).total_turn(net) as f32;
+    /// Typical urban travel speed used to convert elapsed time into an
+    /// expected movement, m/s.
+    const TYPICAL_SPEED: f64 = 10.0;
+    let expected = (dt.max(1.0) * TYPICAL_SPEED).max(50.0);
+    let progress = (route_len / expected) as f32;
+    [
+        dev.min(10.0),
+        (turn / std::f32::consts::PI).min(10.0),
+        progress.min(4.0),
+    ]
+}
+
+/// Per-trajectory transition scorer with a road-relevance cache; create one
+/// per matched trajectory.
+pub struct TrajTransScorer<'a> {
+    learner: &'a TransitionLearner,
+    emb: &'a Embeddings,
+    keys: Matrix,
+    /// `keys × W_k`, precomputed once: road-relevance attention runs for
+    /// hundreds of distinct roads against the same trajectory.
+    projected_keys: Matrix,
+    cache: HashMap<SegmentId, f32>,
+}
+
+impl<'a> TrajTransScorer<'a> {
+    /// Prepares the scorer for one trajectory (tower id sequence).
+    pub fn new(
+        learner: &'a TransitionLearner,
+        emb: &'a Embeddings,
+        towers: Vec<TowerId>,
+    ) -> Self {
+        let keys = tower_rows(emb, &towers);
+        let projected_keys = learner.attention.project_keys(&learner.rel_store, &keys);
+        TrajTransScorer {
+            learner,
+            emb,
+            keys,
+            projected_keys,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// `P(e_l | X)` (Eq. 10) with caching.
+    pub fn road_relevance(&mut self, seg: SegmentId) -> f32 {
+        if let Some(&v) = self.cache.get(&seg) {
+            return v;
+        }
+        self.compute_batch(&[seg]);
+        self.cache[&seg]
+    }
+
+    /// Mean relevance over a route (Eq. 11); computes missing roads in one
+    /// batch.
+    pub fn route_relevance(&mut self, segs: &[SegmentId]) -> f32 {
+        if segs.is_empty() {
+            return 0.0;
+        }
+        let missing: Vec<SegmentId> = {
+            let mut m: Vec<SegmentId> = segs
+                .iter()
+                .copied()
+                .filter(|s| !self.cache.contains_key(s))
+                .collect();
+            m.sort_unstable();
+            m.dedup();
+            m
+        };
+        if !missing.is_empty() {
+            self.compute_batch(&missing);
+        }
+        segs.iter().map(|s| self.cache[s]).sum::<f32>() / segs.len() as f32
+    }
+
+    fn compute_batch(&mut self, segs: &[SegmentId]) {
+        // Eq. 9: per-road attention summaries; batch the MLP pass.
+        let n = segs.len();
+        let dim = self.learner.dim;
+        let mut cat = Matrix::zeros(n, 2 * dim);
+        for (r, &seg) in segs.iter().enumerate() {
+            let q = Matrix::row_vector(self.emb.segment(seg).to_vec());
+            let summary = self.learner.attention.infer_projected(
+                &self.learner.rel_store,
+                &q,
+                &self.projected_keys,
+                &self.keys,
+            );
+            cat.row_mut(r)[..dim].copy_from_slice(self.emb.segment(seg));
+            cat.row_mut(r)[dim..].copy_from_slice(summary.row(0));
+        }
+        let logits = self
+            .learner
+            .relevance_mlp
+            .infer(&self.learner.rel_store, &cat);
+        for (&seg, &logit) in segs.iter().zip(logits.data()) {
+            self.cache.insert(seg, 1.0 / (1.0 + (-logit).exp()));
+        }
+    }
+
+    /// Final learned `P_T` (Eq. 12) for one moving path.
+    pub fn transition_prob(
+        &mut self,
+        net: &RoadNetwork,
+        d_straight: f64,
+        dt: f64,
+        route_len: f64,
+        route_segs: &[SegmentId],
+    ) -> f32 {
+        let relevance = self.route_relevance(route_segs);
+        let feats = explicit_features(net, d_straight, dt, route_len, route_segs);
+        let mut x = Matrix::zeros(1, 1 + N_EXPLICIT);
+        x.row_mut(0)[0] = relevance;
+        x.row_mut(0)[1..].copy_from_slice(&feats);
+        let logit = self.learner.fuse_mlp.infer(&self.learner.fuse_store, &x);
+        1.0 / (1.0 + (-logit.data()[0]).exp())
+    }
+}
+
+/// Positive roads (on the traveled path) and undersampled negative roads
+/// (near the trajectory but untraveled) for stage-1 training.
+fn sample_relevance_roads(
+    net: &RoadNetwork,
+    index: &SpatialIndex,
+    rec: &TrajectoryRecord,
+    cfg: &TransConfig,
+    rng: &mut StdRng,
+) -> (Vec<SegmentId>, Vec<f32>) {
+    let truth = rec.truth.segment_set();
+    let mut segs = Vec::new();
+    let mut labels = Vec::new();
+    // Two positives per trajectory sample.
+    for _ in 0..2 {
+        let p = rec.truth.segments[rng.gen_range(0..rec.truth.len())];
+        segs.push(p);
+        labels.push(1.0);
+    }
+    // Negatives near a random trajectory point.
+    let pt = &rec.cellular.points[rng.gen_range(0..rec.cellular.len())];
+    let mut negs: Vec<SegmentId> = index
+        .segments_within(net, pt.effective_pos(), cfg.radius)
+        .into_iter()
+        .map(|(s, _)| s)
+        .filter(|s| !truth.contains(s))
+        .collect();
+    negs.shuffle(rng);
+    for &s in negs.iter().take(2 * cfg.neg_per_pos) {
+        segs.push(s);
+        labels.push(0.0);
+    }
+    (segs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    use lhmm_graph::encoder::{train_encoder, EncoderConfig, EncoderKind};
+    use lhmm_graph::relgraph::MultiRelGraph;
+
+    fn quick_setup() -> (Dataset, Embeddings) {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(51));
+        let graph = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+        let emb = train_encoder(
+            &graph,
+            &EncoderConfig {
+                dim: 16,
+                epochs: 60,
+                batch_edges: 256,
+                kind: EncoderKind::Heterogeneous,
+                ..Default::default()
+            },
+        );
+        (ds, emb)
+    }
+
+    fn quick_cfg() -> TransConfig {
+        TransConfig {
+            epochs: 50,
+            fuse_epochs: 25,
+            batch_trajs: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn relevance_separates_traveled_roads() {
+        let (ds, emb) = quick_setup();
+        let learner = TransitionLearner::train(
+            &ds.network,
+            &ds.index,
+            &emb,
+            &ds.train,
+            &quick_cfg(),
+        );
+        let mut on_scores = Vec::new();
+        let mut off_scores = Vec::new();
+        for rec in ds.test.iter().take(8) {
+            let truth = rec.truth.segment_set();
+            let mut scorer = TrajTransScorer::new(&learner, &emb, rec.cellular.towers());
+            for &seg in rec.truth.segments.iter().take(10) {
+                on_scores.push(scorer.road_relevance(seg));
+            }
+            // Roads near the trajectory but not traveled.
+            let pos = rec.cellular.points[0].effective_pos();
+            for (seg, _) in ds
+                .index
+                .segments_within(&ds.network, pos, 2_000.0)
+                .into_iter()
+                .filter(|(s, _)| !truth.contains(s))
+                .take(10)
+            {
+                off_scores.push(scorer.road_relevance(seg));
+            }
+        }
+        let on: f32 = on_scores.iter().sum::<f32>() / on_scores.len() as f32;
+        let off: f32 = off_scores.iter().sum::<f32>() / off_scores.len() as f32;
+        assert!(on > off, "traveled {on} vs untraveled {off}");
+    }
+
+    #[test]
+    fn transition_prob_is_a_probability_and_cached() {
+        let (ds, emb) = quick_setup();
+        let learner = TransitionLearner::train(
+            &ds.network,
+            &ds.index,
+            &emb,
+            &ds.train,
+            &TransConfig {
+                epochs: 10,
+                fuse_epochs: 10,
+                ..quick_cfg()
+            },
+        );
+        let rec = &ds.test[0];
+        let mut scorer = TrajTransScorer::new(&learner, &emb, rec.cellular.towers());
+        let segs: Vec<SegmentId> = rec.truth.segments.iter().take(5).copied().collect();
+        let p1 = scorer.transition_prob(&ds.network, 500.0, 60.0, 600.0, &segs);
+        assert!((0.0..=1.0).contains(&p1));
+        // Cached relevance: same call is deterministic.
+        let p2 = scorer.transition_prob(&ds.network, 500.0, 60.0, 600.0, &segs);
+        assert_eq!(p1, p2);
+        // Empty route: still a valid probability.
+        let p3 = scorer.transition_prob(&ds.network, 500.0, 60.0, 600.0, &[]);
+        assert!((0.0..=1.0).contains(&p3));
+    }
+
+    #[test]
+    fn explicit_features_detect_detours() {
+        let (ds, _) = quick_setup();
+        // Same straight distance, increasingly long routes => larger dev.
+        let segs: Vec<SegmentId> = ds.test[0].truth.segments.iter().take(3).copied().collect();
+        let near = explicit_features(&ds.network, 1_000.0, 90.0, 1_050.0, &segs);
+        let far = explicit_features(&ds.network, 1_000.0, 90.0, 2_500.0, &segs);
+        assert!(far[0] > near[0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared matching types and traits.
+
+use lhmm_cellsim::tower::TowerField;
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_geo::Point;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use lhmm_network::path::Path;
+use lhmm_network::spatial::SpatialIndex;
+
+/// One candidate road segment for a trajectory point.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// The candidate road segment.
+    pub seg: SegmentId,
+    /// Normalized projection position of the trajectory point along the
+    /// segment, in `[0, 1]`.
+    pub t: f64,
+    /// Observation probability `P_O(c | x)` in `[0, 1]`, precomputed during
+    /// candidate preparation.
+    pub obs: f64,
+}
+
+/// The route between two candidates, as handed to transition models.
+#[derive(Clone, Debug)]
+pub struct RouteInfo {
+    /// False when no route exists within the search bound.
+    pub found: bool,
+    /// Route length in meters (including partial first/last segments);
+    /// meaningless when `found` is false.
+    pub length: f64,
+    /// Traversed segments; empty when `found` is false.
+    pub segments: Vec<SegmentId>,
+}
+
+impl RouteInfo {
+    /// The not-found sentinel.
+    pub fn missing() -> Self {
+        RouteInfo {
+            found: false,
+            length: f64::INFINITY,
+            segments: Vec::new(),
+        }
+    }
+}
+
+/// The two probabilities every HMM matcher plugs into the engine
+/// (heuristic for the baselines, learned for LHMM).
+pub trait HmmProbabilities {
+    /// Observation probability of placing trajectory point `i` on `seg`
+    /// with projection distance `dist` meters. Must lie in `[0, 1]`.
+    fn observation(&mut self, i: usize, seg: SegmentId, dist: f64) -> f64;
+
+    /// Transition probability of moving from `prev` (point `i - 1`) to
+    /// `cur` (point `i`) along `route`. Must lie in `[0, 1]`.
+    fn transition(
+        &mut self,
+        i: usize,
+        prev: &Candidate,
+        cur: &Candidate,
+        route: &RouteInfo,
+    ) -> f64;
+}
+
+/// Result of matching one trajectory.
+#[derive(Clone, Debug)]
+pub struct MatchResult {
+    /// The matched path (may be empty when matching failed entirely).
+    pub path: Path,
+    /// Per-point candidate road sets, for hitting-ratio evaluation.
+    /// `None` for matchers without a candidate stage (seq2seq baselines).
+    pub candidate_sets: Option<Vec<Vec<SegmentId>>>,
+}
+
+impl MatchResult {
+    /// An empty (failed) result.
+    pub fn empty() -> Self {
+        MatchResult {
+            path: Path::empty(),
+            candidate_sets: None,
+        }
+    }
+}
+
+/// Read-only context a matcher needs at inference time.
+#[derive(Clone, Copy)]
+pub struct MatchContext<'a> {
+    /// The road network.
+    pub net: &'a RoadNetwork,
+    /// Spatial index over road segments.
+    pub index: &'a SpatialIndex,
+    /// The tower field (for tower-identity features).
+    pub towers: &'a TowerField,
+}
+
+/// A cellular-trajectory map matcher. All baselines and LHMM implement this.
+pub trait MapMatcher {
+    /// Short display name used in result tables ("LHMM", "STM", ...).
+    fn name(&self) -> &str;
+
+    /// Matches one trajectory onto the road network.
+    fn match_trajectory(&mut self, ctx: &MatchContext<'_>, traj: &CellularTrajectory)
+        -> MatchResult;
+}
+
+/// Per-point effective positions and timestamps, the engine's view of a
+/// trajectory.
+pub fn positions_and_times(traj: &CellularTrajectory) -> Vec<(Point, f64)> {
+    traj.points
+        .iter()
+        .map(|p| (p.effective_pos(), p.t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_info_missing_is_inert() {
+        let r = RouteInfo::missing();
+        assert!(!r.found);
+        assert!(r.segments.is_empty());
+        assert!(r.length.is_infinite());
+    }
+
+    #[test]
+    fn match_result_empty() {
+        let r = MatchResult::empty();
+        assert!(r.path.is_empty());
+        assert!(r.candidate_sets.is_none());
+    }
+}

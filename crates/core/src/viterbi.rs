@@ -1,0 +1,661 @@
+//! The HMM path-finding engine: Viterbi dynamic programming (Algorithm 1)
+//! with shortcut construction (Algorithm 2).
+//!
+//! The engine is model-agnostic: baselines plug the classic Eq. 2–3
+//! probabilities in, LHMM plugs its learned networks in. The path score
+//! follows the paper exactly — the *sum* of per-step `W = P_T · P_O`
+//! contributions (Eq. 13–14), with `f[c_1] = P_O(c_1)` as initialization.
+
+use crate::types::{Candidate, HmmProbabilities, RouteInfo};
+use lhmm_geo::Point;
+use lhmm_network::graph::RoadNetwork;
+use lhmm_network::path::Path;
+use lhmm_network::shortest_path::DijkstraEngine;
+use lhmm_network::sp_cache::SpCache;
+
+/// Engine parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Route search bound as a multiple of the straight-line hop.
+    pub max_route_factor: f64,
+    /// Additive slack on the route search bound, meters (covers tower
+    /// positioning error).
+    pub route_slack: f64,
+    /// Number of shortcut predecessors per candidate (the paper's `K`;
+    /// 0 disables Algorithm 2, 1 is the paper's recommendation).
+    pub shortcuts: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_route_factor: 4.0,
+            route_slack: 3_000.0,
+            shortcuts: 1,
+        }
+    }
+}
+
+/// Output of a path-finding run.
+#[derive(Clone, Debug)]
+pub struct HmmOutput {
+    /// The matched path.
+    pub path: Path,
+    /// The winning candidate-path score (Eq. 14).
+    pub score: f64,
+    /// Number of trajectory points whose layer was bypassed through a
+    /// shortcut-created candidate.
+    pub shortcut_points: usize,
+    /// Candidates the shortcut pass added, as `(layer index, candidate)` —
+    /// these extend the effective candidate road sets (the paper's STM+S
+    /// hitting-ratio gain comes exactly from them).
+    pub added_candidates: Vec<(usize, Candidate)>,
+}
+
+/// The path-finding engine; holds reusable search state for one network.
+pub struct HmmEngine {
+    dijkstra: DijkstraEngine,
+    sp_cache: SpCache,
+    /// Engine parameters (mutable between runs: `k`/`K` sweeps).
+    pub cfg: EngineConfig,
+}
+
+impl HmmEngine {
+    /// Creates an engine for `net`.
+    pub fn new(net: &RoadNetwork, cfg: EngineConfig) -> Self {
+        HmmEngine {
+            dijkstra: DijkstraEngine::new(net),
+            sp_cache: SpCache::new(net, 200_000),
+            cfg,
+        }
+    }
+
+    /// Runs Algorithm 1 (+ Algorithm 2 when `cfg.shortcuts > 0`).
+    ///
+    /// `pts` are the effective positions/timestamps of the trajectory points
+    /// that survived candidate preparation; `layers[i]` are point `i`'s
+    /// candidates. Panics when lengths disagree or a layer is empty.
+    pub fn find_path<M: HmmProbabilities>(
+        &mut self,
+        net: &RoadNetwork,
+        pts: &[(Point, f64)],
+        mut layers: Vec<Vec<Candidate>>,
+        model: &mut M,
+    ) -> HmmOutput {
+        assert_eq!(pts.len(), layers.len(), "one layer per point");
+        assert!(!layers.is_empty(), "empty trajectory");
+        assert!(
+            layers.iter().all(|l| !l.is_empty()),
+            "empty candidate layer"
+        );
+        let n_layers = layers.len();
+
+        // ------------------------------------------------------------
+        // Algorithm 1: forward DP.
+        // ------------------------------------------------------------
+        let mut f: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
+        let mut pre: Vec<Vec<Option<(usize, usize)>>> = Vec::with_capacity(n_layers);
+        f.push(layers[0].iter().map(|c| c.obs).collect());
+        pre.push(vec![None; layers[0].len()]);
+
+        // W matrices per transition (layer i-1 -> i), kept for Eq. 20.
+        let mut w_all: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_layers.saturating_sub(1));
+
+        for i in 1..n_layers {
+            let bound = pts[i - 1].0.distance(pts[i].0) * self.cfg.max_route_factor
+                + self.cfg.route_slack;
+            let (prev_layer, cur_layer) = {
+                let (a, b) = layers.split_at(i);
+                (&a[i - 1], &b[0])
+            };
+            let mut w_i = vec![vec![0.0f64; cur_layer.len()]; prev_layer.len()];
+            let mut f_i = vec![f64::NEG_INFINITY; cur_layer.len()];
+            let mut pre_i = vec![None; cur_layer.len()];
+
+            for (j, prev) in prev_layer.iter().enumerate() {
+                let routes = self.routes_from(net, prev, cur_layer, bound);
+                for (k, cur) in cur_layer.iter().enumerate() {
+                    let trans = model.transition(i, prev, cur, &routes[k]);
+                    let w = trans * cur.obs;
+                    w_i[j][k] = w;
+                    let cand_score = f[i - 1][j] + w;
+                    if cand_score > f_i[k] {
+                        f_i[k] = cand_score;
+                        pre_i[k] = Some((i - 1, j));
+                    }
+                }
+            }
+            w_all.push(w_i);
+            f.push(f_i);
+            pre.push(pre_i);
+        }
+
+        // ------------------------------------------------------------
+        // Algorithm 2: shortcut construction.
+        // ------------------------------------------------------------
+        let orig_len: Vec<usize> = layers.iter().map(Vec::len).collect();
+        let mut added_candidates: Vec<(usize, Candidate)> = Vec::new();
+        if self.cfg.shortcuts > 0 && n_layers >= 3 {
+            for i in 2..n_layers {
+                let bound = pts[i - 2].0.distance(pts[i].0) * self.cfg.max_route_factor
+                    + self.cfg.route_slack;
+                for k in 0..orig_len[i] {
+                    // Eq. 20: rank one-hop predecessors j by the best
+                    // two-step score through any middle candidate l.
+                    let mut scored: Vec<(f64, usize)> = (0..orig_len[i - 2])
+                        .map(|j| {
+                            let best = (0..orig_len[i - 1])
+                                .map(|l| w_all[i - 2][j][l] + w_all[i - 1][l][k])
+                                .fold(f64::NEG_INFINITY, f64::max);
+                            (f[i - 2][j] + best, j)
+                        })
+                        .collect();
+                    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+                    scored.truncate(self.cfg.shortcuts);
+
+                    for &(_, j) in &scored {
+                        let cj = layers[i - 2][j];
+                        let ck = layers[i][k];
+                        let Some(route) = self.sp_cache.route_between_projections(
+                            net, cj.seg, cj.t, ck.seg, ck.t, bound,
+                        ) else {
+                            continue;
+                        };
+                        // Project the skipped point onto the shortcut to
+                        // restore a middle road (shortcut score setting).
+                        let mid_pos = pts[i - 1].0;
+                        let Some((u_seg, u_proj)) = route
+                            .segments
+                            .iter()
+                            .map(|&s| (s, net.project(mid_pos, s)))
+                            .min_by(|a, b| {
+                                a.1.distance
+                                    .partial_cmp(&b.1.distance)
+                                    .expect("finite distances")
+                            })
+                        else {
+                            continue;
+                        };
+                        let obs_u = model.observation(i - 1, u_seg, u_proj.distance);
+                        let cand_u = Candidate {
+                            seg: u_seg,
+                            t: u_proj.t,
+                            obs: obs_u,
+                        };
+                        let r_ju = self.route_info_between(net, &cj, &cand_u, bound);
+                        let r_uk = self.route_info_between(net, &cand_u, &ck, bound);
+                        let w1 = model.transition(i - 1, &cj, &cand_u, &r_ju) * obs_u;
+                        let w2 = model.transition(i, &cand_u, &ck, &r_uk) * ck.obs;
+                        let f_new = f[i - 2][j] + w1 + w2; // Eq. 21
+                        if f_new > f[i][k] {
+                            layers[i - 1].push(cand_u);
+                            added_candidates.push((i - 1, cand_u));
+                            let f_u = f[i - 2][j] + w1;
+                            f[i - 1].push(f_u);
+                            pre[i - 1].push(Some((i - 2, j)));
+                            let u_idx = layers[i - 1].len() - 1;
+                            f[i][k] = f_new;
+                            pre[i][k] = Some((i - 1, u_idx));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ------------------------------------------------------------
+        // Backtracking and path assembly.
+        // ------------------------------------------------------------
+        let (best_k, best_score) = f[n_layers - 1]
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| (k, s))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("non-empty final layer");
+
+        let mut chain: Vec<(usize, usize)> = Vec::with_capacity(n_layers);
+        let mut cursor = Some((n_layers - 1, best_k));
+        while let Some((li, ci)) = cursor {
+            chain.push((li, ci));
+            cursor = pre[li][ci];
+        }
+        chain.reverse();
+
+        let shortcut_points = chain
+            .iter()
+            .filter(|&&(li, ci)| ci >= orig_len[li])
+            .count();
+
+        let mut path = Path::empty();
+        let mut prev_cand: Option<Candidate> = None;
+        for &(li, ci) in &chain {
+            let cand = layers[li][ci];
+            match prev_cand {
+                None => path.segments.push(cand.seg),
+                Some(p) => {
+                    let bound = 10.0 * self.cfg.route_slack
+                        + self.cfg.max_route_factor * net.bbox().width().max(net.bbox().height());
+                    match self.sp_cache.route_between_projections(
+                        net, p.seg, p.t, cand.seg, cand.t, bound,
+                    ) {
+                        Some(r) => path.extend_with(&r.segments),
+                        None => path.segments.push(cand.seg),
+                    }
+                }
+            }
+            prev_cand = Some(cand);
+        }
+        path.dedup_consecutive();
+
+        HmmOutput {
+            path,
+            score: best_score,
+            shortcut_points,
+            added_candidates,
+        }
+    }
+
+    /// Routes from one candidate to every candidate of the next layer in a
+    /// single one-to-many Dijkstra.
+    fn routes_from(
+        &mut self,
+        net: &RoadNetwork,
+        prev: &Candidate,
+        cur_layer: &[Candidate],
+        bound: f64,
+    ) -> Vec<RouteInfo> {
+        let prev_seg = net.segment(prev.seg);
+        let head = prev_seg.length * (1.0 - prev.t);
+        let targets: Vec<_> = cur_layer
+            .iter()
+            .map(|c| net.segment(c.seg).from)
+            .collect();
+        let inner = self
+            .dijkstra
+            .node_to_nodes(net, prev_seg.to, &targets, bound);
+        cur_layer
+            .iter()
+            .zip(inner)
+            .map(|(cur, inner_route)| {
+                // Staying on (or advancing along) the same segment.
+                if cur.seg == prev.seg && cur.t >= prev.t {
+                    return RouteInfo {
+                        found: true,
+                        length: prev_seg.length * (cur.t - prev.t),
+                        segments: vec![prev.seg],
+                    };
+                }
+                match inner_route {
+                    Some(r) => {
+                        let tail = net.segment(cur.seg).length * cur.t;
+                        let mut segments = Vec::with_capacity(r.segments.len() + 2);
+                        segments.push(prev.seg);
+                        segments.extend_from_slice(&r.segments);
+                        segments.push(cur.seg);
+                        RouteInfo {
+                            found: true,
+                            length: head + r.length + tail,
+                            segments,
+                        }
+                    }
+                    None => RouteInfo::missing(),
+                }
+            })
+            .collect()
+    }
+
+    fn route_info_between(
+        &mut self,
+        net: &RoadNetwork,
+        a: &Candidate,
+        b: &Candidate,
+        bound: f64,
+    ) -> RouteInfo {
+        match self
+            .sp_cache
+            .route_between_projections(net, a.seg, a.t, b.seg, b.t, bound)
+        {
+            Some(r) => RouteInfo {
+                found: true,
+                length: r.length,
+                segments: r.segments,
+            },
+            None => RouteInfo::missing(),
+        }
+    }
+
+    /// Shortest-path cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.sp_cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{distance_layers, nearest_segments, to_candidates};
+    use crate::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+    use lhmm_network::builder::NetworkBuilder;
+    use lhmm_network::graph::RoadClass;
+    use lhmm_network::spatial::SpatialIndex;
+
+    /// A simple two-row ladder network:
+    ///
+    /// ```text
+    ///  y=100:  4 -- 5 -- 6 -- 7      (north row)
+    ///  y=0:    0 -- 1 -- 2 -- 3      (south row)
+    /// ```
+    /// with vertical rungs; all two-way, 100 m spacing.
+    fn ladder() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..2 {
+            for x in 0..4 {
+                ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for x in 0..3 {
+            b.add_two_way(ids[x], ids[x + 1], RoadClass::Local).unwrap();
+            b.add_two_way(ids[4 + x], ids[4 + x + 1], RoadClass::Local)
+                .unwrap();
+        }
+        for x in 0..4 {
+            b.add_two_way(ids[x], ids[4 + x], RoadClass::Local).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn classic_for(positions: &[Point]) -> ClassicModel {
+        ClassicModel::new(
+            ClassicObservation {
+                mu: 0.0,
+                sigma: 60.0,
+            },
+            ClassicTransition { beta: 120.0 },
+            positions.to_vec(),
+        )
+    }
+
+    #[test]
+    fn matches_a_straight_drive() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        // Points move east along the south row, slightly off-road.
+        let positions = vec![
+            Point::new(10.0, 12.0),
+            Point::new(120.0, -9.0),
+            Point::new(230.0, 11.0),
+            Point::new(295.0, -5.0),
+        ];
+        let mut model = classic_for(&positions);
+        let (layers, kept) = distance_layers(&net, &index, &positions, 4, 500.0, &mut model);
+        assert!(kept.iter().all(|&k| k));
+        let pts: Vec<(Point, f64)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as f64 * 30.0))
+            .collect();
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let out = engine.find_path(&net, &pts, layers, &mut model);
+        // The matched path must stay on the south row.
+        let poly = out.path.polyline(&net);
+        assert!(!out.path.is_empty());
+        assert!(
+            poly.iter().all(|p| p.y.abs() < 1.0),
+            "path strayed north: {poly:?}"
+        );
+        assert!(out.score > 0.0);
+    }
+
+    #[test]
+    fn path_is_contiguous_and_monotone_east() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        let positions = vec![
+            Point::new(20.0, 40.0),
+            Point::new(160.0, 60.0),
+            Point::new(290.0, 50.0),
+        ];
+        let mut model = classic_for(&positions);
+        let (layers, _) = distance_layers(&net, &index, &positions, 6, 500.0, &mut model);
+        let pts: Vec<(Point, f64)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as f64 * 30.0))
+            .collect();
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let out = engine.find_path(&net, &pts, layers, &mut model);
+        assert!(out.path.is_contiguous(&net), "{:?}", out.path);
+    }
+
+    /// Build a scenario where the middle point's candidate set misses the
+    /// true road entirely (an unqualified candidate road set): without
+    /// shortcuts the path detours north; with shortcuts the detour is
+    /// avoided (Observation 1 / Fig. 5).
+    #[test]
+    fn shortcuts_skip_unqualified_candidate_sets() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        // True drive: straight east along the south row. The middle point is
+        // a noisy observation displaced far north.
+        let positions = vec![
+            Point::new(10.0, 5.0),
+            Point::new(150.0, 95.0), // noisy: nearest roads are the north row
+            Point::new(290.0, 5.0),
+        ];
+        let mut model = classic_for(&positions);
+        // Handcraft layers: endpoints get south-row candidates, the middle
+        // point gets ONLY north-row candidates (unqualified set).
+        let south = |pos: Point, model: &mut ClassicModel, i: usize| {
+            let pairs: Vec<_> = nearest_segments(&net, &index, pos, 12, 500.0)
+                .into_iter()
+                .filter(|&(s, _)| {
+                    net.segment_midpoint(s).y < 10.0
+                })
+                .collect();
+            to_candidates(model, i, &pairs)
+        };
+        let north_only = |pos: Point, model: &mut ClassicModel, i: usize| {
+            let pairs: Vec<_> = nearest_segments(&net, &index, pos, 12, 500.0)
+                .into_iter()
+                .filter(|&(s, _)| net.segment_midpoint(s).y > 90.0)
+                .collect();
+            to_candidates(model, i, &pairs)
+        };
+        let layers = vec![
+            south(positions[0], &mut model, 0),
+            north_only(positions[1], &mut model, 1),
+            south(positions[2], &mut model, 2),
+        ];
+        assert!(layers.iter().all(|l| !l.is_empty()));
+        let pts: Vec<(Point, f64)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as f64 * 30.0))
+            .collect();
+
+        // Without shortcuts: forced through the north row (detour).
+        let mut engine_plain = HmmEngine::new(
+            &net,
+            EngineConfig {
+                shortcuts: 0,
+                ..Default::default()
+            },
+        );
+        let plain = engine_plain.find_path(&net, &pts, layers.clone(), &mut model);
+        let plain_poly = plain.path.polyline(&net);
+        assert!(
+            plain_poly.iter().any(|p| p.y > 90.0),
+            "plain path unexpectedly avoided the detour"
+        );
+
+        // With shortcuts: the noisy layer can be bypassed.
+        let mut engine_sc = HmmEngine::new(
+            &net,
+            EngineConfig {
+                shortcuts: 1,
+                ..Default::default()
+            },
+        );
+        let sc = engine_sc.find_path(&net, &pts, layers, &mut model);
+        let sc_poly = sc.path.polyline(&net);
+        assert!(
+            sc_poly.iter().all(|p| p.y < 90.0),
+            "shortcut path still detoured: {sc_poly:?}"
+        );
+        assert!(sc.shortcut_points >= 1);
+        // The shortcut path length is shorter than the detour path.
+        assert!(sc.path.length(&net) < plain.path.length(&net));
+    }
+
+    #[test]
+    #[should_panic(expected = "one layer per point")]
+    fn mismatched_layers_panic() {
+        let net = ladder();
+        let mut model = classic_for(&[Point::ORIGIN]);
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let _ = engine.find_path(&net, &[(Point::ORIGIN, 0.0)], vec![], &mut model);
+    }
+
+    #[test]
+    fn single_point_trajectory_returns_best_candidate() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        let pos = Point::new(150.0, 8.0);
+        let mut model = classic_for(&[pos]);
+        let pairs = nearest_segments(&net, &index, pos, 5, 500.0);
+        let layers = vec![to_candidates(&mut model, 0, &pairs)];
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let out = engine.find_path(&net, &[(pos, 0.0)], layers, &mut model);
+        assert_eq!(out.path.len(), 1);
+        // The single matched segment is at the minimum distance (twin
+        // directed segments tie, so compare distances rather than ids).
+        let matched_dist = net.distance_to_segment(pos, out.path.segments[0]);
+        assert!((matched_dist - pairs[0].1.distance).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+    use lhmm_network::generators::{generate_city, GeneratorConfig};
+    use lhmm_network::spatial::SpatialIndex;
+    use proptest::prelude::*;
+
+    /// Exhaustive path enumeration over small candidate layers: the DP
+    /// result (without shortcuts) must equal the best enumerated path.
+    fn brute_force_best(
+        net: &RoadNetwork,
+        pts: &[(Point, f64)],
+        layers: &[Vec<Candidate>],
+        model: &mut ClassicModel,
+        engine: &mut HmmEngine,
+    ) -> f64 {
+        #[allow(clippy::too_many_arguments)]
+        fn recurse(
+            net: &RoadNetwork,
+            pts: &[(Point, f64)],
+            layers: &[Vec<Candidate>],
+            model: &mut ClassicModel,
+            engine: &mut HmmEngine,
+            i: usize,
+            prev: usize,
+            score: f64,
+            best: &mut f64,
+        ) {
+            if i == layers.len() {
+                if score > *best {
+                    *best = score;
+                }
+                return;
+            }
+            let bound = pts[i - 1].0.distance(pts[i].0) * engine.cfg.max_route_factor
+                + engine.cfg.route_slack;
+            let prev_cand = layers[i - 1][prev];
+            for (k, cur) in layers[i].iter().enumerate() {
+                let route = engine.route_info_between(net, &prev_cand, cur, bound);
+                let w = model.transition(i, &prev_cand, cur, &route) * cur.obs;
+                recurse(net, pts, layers, model, engine, i + 1, k, score + w, best);
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        for (j, c) in layers[0].iter().enumerate() {
+            recurse(net, pts, layers, model, engine, 1, j, c.obs, &mut best);
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Viterbi (no shortcuts) finds the same optimum as exhaustive
+        /// enumeration on tiny candidate sets.
+        #[test]
+        fn viterbi_matches_brute_force(seed in 0u64..50, px in 0.0..1000.0f64, py in 0.0..1000.0f64) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let index = SpatialIndex::build(&net, 200.0);
+            // A short synthetic 3-point trajectory moving east.
+            let positions = vec![
+                Point::new(px, py),
+                Point::new(px + 260.0, py + 60.0),
+                Point::new(px + 520.0, py - 40.0),
+            ];
+            let mut model = ClassicModel::new(
+                ClassicObservation::cellular(),
+                ClassicTransition::cellular(),
+                positions.clone(),
+            );
+            let mut layers = Vec::new();
+            for pos in &positions {
+                let pairs = crate::candidates::nearest_segments(&net, &index, *pos, 3, 2_000.0);
+                prop_assume!(!pairs.is_empty());
+                layers.push(crate::candidates::to_candidates(&mut model, 0, &pairs));
+            }
+            let pts: Vec<(Point, f64)> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i as f64 * 30.0))
+                .collect();
+            let mut engine = HmmEngine::new(&net, EngineConfig { shortcuts: 0, ..Default::default() });
+            let out = engine.find_path(&net, &pts, layers.clone(), &mut model);
+            let mut engine2 = HmmEngine::new(&net, EngineConfig { shortcuts: 0, ..Default::default() });
+            let brute = brute_force_best(&net, &pts, &layers, &mut model, &mut engine2);
+            prop_assert!((out.score - brute).abs() < 1e-9,
+                "viterbi {} vs brute force {}", out.score, brute);
+        }
+
+        /// Adding shortcuts never lowers the winning score.
+        #[test]
+        fn shortcuts_never_hurt_score(seed in 0u64..50) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let index = SpatialIndex::build(&net, 200.0);
+            let positions = vec![
+                Point::new(300.0, 300.0),
+                Point::new(600.0, 350.0),
+                Point::new(900.0, 280.0),
+                Point::new(1200.0, 320.0),
+            ];
+            let mut model = ClassicModel::new(
+                ClassicObservation::cellular(),
+                ClassicTransition::cellular(),
+                positions.clone(),
+            );
+            let mut layers = Vec::new();
+            for pos in &positions {
+                let pairs = crate::candidates::nearest_segments(&net, &index, *pos, 4, 2_000.0);
+                prop_assume!(!pairs.is_empty());
+                layers.push(crate::candidates::to_candidates(&mut model, 0, &pairs));
+            }
+            let pts: Vec<(Point, f64)> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i as f64 * 30.0))
+                .collect();
+            let mut plain = HmmEngine::new(&net, EngineConfig { shortcuts: 0, ..Default::default() });
+            let s0 = plain.find_path(&net, &pts, layers.clone(), &mut model).score;
+            let mut sc = HmmEngine::new(&net, EngineConfig { shortcuts: 1, ..Default::default() });
+            let s1 = sc.find_path(&net, &pts, layers, &mut model).score;
+            prop_assert!(s1 >= s0 - 1e-9, "shortcut score {} < plain {}", s1, s0);
+        }
+    }
+}

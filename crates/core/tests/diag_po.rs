@@ -1,0 +1,58 @@
+//! Diagnostic (run with `--ignored`): learned P_O candidate-ranking quality
+//! compared against distance / co-occurrence / implicit-only rankings.
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::observation::{ObsConfig, ObservationLearner};
+use lhmm_graph::encoder::{train_encoder, EncoderConfig, EncoderKind};
+use lhmm_graph::relgraph::MultiRelGraph;
+use lhmm_network::graph::SegmentId;
+
+#[test]
+#[ignore]
+fn diag() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(63));
+    let graph = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+    let emb = train_encoder(&graph, &EncoderConfig { dim: 16, epochs: 60, batch_edges: 256, kind: EncoderKind::Heterogeneous, ..Default::default() });
+    let learner = ObservationLearner::train(&ds.network, &ds.index, &emb, &graph, &ds.train, &ObsConfig { epochs: 60, fuse_epochs: 30, batch_points: 12, ..Default::default() });
+    let k = 10;
+    let radius = 2000.0;
+    let max_scored = 80;
+    let mut stats = [0usize; 5]; // pool, dist, cofreq, implicit, fused
+    let mut total = 0usize;
+    for rec in &ds.test {
+        let truth = rec.truth.segment_set();
+        let towers = rec.cellular.towers();
+        for (i, p) in rec.cellular.points.iter().enumerate() {
+            let pos = p.effective_pos();
+            let mut pool: Vec<SegmentId> = ds.index.k_nearest(&ds.network, pos, max_scored, radius).into_iter().map(|(s,_)| s).collect();
+            for (s, _) in graph.co_segments(p.tower) { if ds.network.distance_to_segment(pos, s) <= radius { pool.push(s); } }
+            pool.sort_unstable(); pool.dedup();
+            if pool.is_empty() { continue; }
+            total += 1;
+            let hit = |segs: &[SegmentId]| segs.iter().any(|s| truth.contains(s));
+            if hit(&pool) { stats[0] += 1; }
+            // distance ranking
+            let mut by_dist = pool.clone();
+            by_dist.sort_by(|a,b| ds.network.distance_to_segment(pos,*a).partial_cmp(&ds.network.distance_to_segment(pos,*b)).unwrap());
+            if hit(&by_dist[..k.min(by_dist.len())]) { stats[1] += 1; }
+            // cofreq ranking
+            let mut by_co = pool.clone();
+            by_co.sort_by(|a,b| graph.co_frequency(p.tower,*b).partial_cmp(&graph.co_frequency(p.tower,*a)).unwrap());
+            if hit(&by_co[..k.min(by_co.len())]) { stats[2] += 1; }
+            // implicit + fused
+            let ctx = learner.context_row(&emb, &towers, i);
+            let implicit = learner.implicit_scores(&emb, &ctx, &pool);
+            let mut by_imp: Vec<_> = pool.iter().copied().zip(implicit).collect();
+            by_imp.sort_by(|a,b| b.1.partial_cmp(&a.1).unwrap());
+            let imp_top: Vec<SegmentId> = by_imp.iter().take(k).map(|x| x.0).collect();
+            if hit(&imp_top) { stats[3] += 1; }
+            let fused = learner.score(&ds.network, &graph, &emb, &ctx, pos, p.tower, &pool);
+            let mut by_f: Vec<_> = pool.iter().copied().zip(fused).collect();
+            by_f.sort_by(|a,b| b.1.partial_cmp(&a.1).unwrap());
+            let f_top: Vec<SegmentId> = by_f.iter().take(k).map(|x| x.0).collect();
+            if hit(&f_top) { stats[4] += 1; }
+        }
+    }
+    let t = total as f64;
+    println!("total {total}  pool {:.3} dist {:.3} cofreq {:.3} implicit {:.3} fused {:.3}",
+        stats[0] as f64/t, stats[1] as f64/t, stats[2] as f64/t, stats[3] as f64/t, stats[4] as f64/t);
+}

@@ -1,0 +1,29 @@
+//! Evaluation metrics and the experiment runner (paper §V-A3).
+//!
+//! * [`metrics`] — precision, recall, RMF (Eq. 22), CMF (Eq. 23) and the
+//!   hitting ratio,
+//! * [`runner`] — trains/evaluates matchers over a dataset split and times
+//!   inference,
+//! * [`report`] — table formatting for the experiments binary,
+//! * [`gps_truth`] — the paper's §V-A1 GPS-based label derivation.
+//!
+//! ```no_run
+//! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+//! use lhmm_eval::runner::evaluate_matcher;
+//! # use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+//!
+//! let ds = Dataset::generate(&DatasetConfig::tiny_test(1));
+//! let mut matcher = Lhmm::train(&ds, LhmmConfig::default());
+//! let report = evaluate_matcher(&ds, &mut matcher, &ds.test);
+//! println!("precision {:.3}, CMF50 {:.3}", report.precision, report.cmf50);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod gps_truth;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{evaluate_path, hitting_ratio, MatchQuality};
+pub use runner::{evaluate_matcher, EvalReport};

@@ -1,0 +1,241 @@
+//! Matching-quality metrics.
+
+use lhmm_geo::polyline;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use lhmm_network::path::Path;
+use std::collections::HashSet;
+
+/// Quality of one matched path against its ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchQuality {
+    /// Correctly-matched length / matched length.
+    pub precision: f64,
+    /// Correctly-matched length / ground-truth length.
+    pub recall: f64,
+    /// Route Mismatch Fraction (Eq. 22): (missing + redundant) / truth
+    /// length. Lower is better; can exceed 1.
+    pub rmf: f64,
+    /// Corridor Mismatch Fraction at 50 m (Eq. 23): uncovered truth length
+    /// / truth length. Lower is better, in `[0, 1]`.
+    pub cmf50: f64,
+}
+
+/// Corridor half-width for CMF50, meters.
+pub const CMF_RADIUS: f64 = 50.0;
+/// Ground-truth sampling resolution for corridor coverage, meters.
+const CMF_STEP: f64 = 20.0;
+
+/// Evaluates a matched path against the ground truth.
+///
+/// Correctness is measured at road-segment level on *directed* segments
+/// (a match on the opposite carriageway counts as a mismatch, which is
+/// exactly the parallel-road failure CMF is designed to forgive).
+pub fn evaluate_path(net: &RoadNetwork, matched: &Path, truth: &Path) -> MatchQuality {
+    assert!(!truth.is_empty(), "ground truth may not be empty");
+    let truth_len = dedup_length(net, &truth.segments);
+    let matched_len = dedup_length(net, &matched.segments);
+
+    let truth_set: HashSet<SegmentId> = truth.segment_set();
+    let matched_set: HashSet<SegmentId> = matched.segment_set();
+    let correct_len: f64 = matched_set
+        .intersection(&truth_set)
+        .map(|&s| net.segment(s).length)
+        .sum();
+
+    let precision = if matched_len > 0.0 {
+        correct_len / matched_len
+    } else {
+        0.0
+    };
+    let recall = correct_len / truth_len;
+    let missing = truth_len - correct_len;
+    let redundant = matched_len - correct_len;
+    let rmf = (missing + redundant) / truth_len;
+
+    let truth_poly = truth.polyline(net);
+    let cmf50 = if matched.is_empty() {
+        1.0
+    } else {
+        let matched_poly = matched.polyline(net);
+        let covered =
+            polyline::covered_length(&truth_poly, &matched_poly, CMF_RADIUS, CMF_STEP);
+        (1.0 - covered / truth_len.max(1e-9)).clamp(0.0, 1.0)
+    };
+
+    MatchQuality {
+        precision,
+        recall,
+        rmf,
+        cmf50,
+    }
+}
+
+/// Total length counting each distinct segment once (repeated traversals
+/// should not inflate precision's denominator).
+fn dedup_length(net: &RoadNetwork, segs: &[SegmentId]) -> f64 {
+    let set: HashSet<SegmentId> = segs.iter().copied().collect();
+    set.iter().map(|&s| net.segment(s).length).sum()
+}
+
+/// Discrete Fréchet distance between the matched and ground-truth path
+/// geometries, in meters — a supplementary worst-deviation diagnostic
+/// (CMF measures coverage; Fréchet measures the single worst excursion
+/// under monotone traversal). `f64::INFINITY` for an empty match.
+pub fn frechet_deviation(net: &RoadNetwork, matched: &Path, truth: &Path) -> f64 {
+    let a = matched.polyline(net);
+    let b = truth.polyline(net);
+    // Resample so vertex density does not bias the discrete distance.
+    let a = polyline::resample(&a, 25.0);
+    let b = polyline::resample(&b, 25.0);
+    lhmm_geo::frechet::discrete_frechet(&a, &b)
+}
+
+/// Hitting ratio (paper §V-A3): the fraction of trajectory points whose
+/// candidate road set intersects the ground-truth path. Only meaningful for
+/// HMM-style matchers.
+pub fn hitting_ratio(candidate_sets: &[Vec<SegmentId>], truth: &Path) -> f64 {
+    if candidate_sets.is_empty() {
+        return 0.0;
+    }
+    let truth_set = truth.segment_set();
+    let hits = candidate_sets
+        .iter()
+        .filter(|set| set.iter().any(|s| truth_set.contains(s)))
+        .count();
+    hits as f64 / candidate_sets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_geo::Point;
+    use lhmm_network::builder::NetworkBuilder;
+    use lhmm_network::graph::RoadClass;
+
+    /// A straight 4-segment west-east road plus a parallel road 30 m north.
+    fn parallel_net() -> (RoadNetwork, Vec<SegmentId>, Vec<SegmentId>) {
+        let mut b = NetworkBuilder::new();
+        let mut south = Vec::new();
+        let mut north = Vec::new();
+        let mut s_nodes = Vec::new();
+        let mut n_nodes = Vec::new();
+        for x in 0..5 {
+            s_nodes.push(b.add_node(Point::new(x as f64 * 100.0, 0.0)));
+            n_nodes.push(b.add_node(Point::new(x as f64 * 100.0, 30.0)));
+        }
+        for x in 0..4 {
+            south.push(
+                b.add_segment(s_nodes[x], s_nodes[x + 1], RoadClass::Local)
+                    .unwrap(),
+            );
+            north.push(
+                b.add_segment(n_nodes[x], n_nodes[x + 1], RoadClass::Local)
+                    .unwrap(),
+            );
+        }
+        (b.build().unwrap(), south, north)
+    }
+
+    #[test]
+    fn perfect_match_is_perfect() {
+        let (net, south, _) = parallel_net();
+        let p = Path::new(south);
+        let q = evaluate_path(&net, &p, &p);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.rmf, 0.0);
+        assert!(q.cmf50 < 1e-9);
+    }
+
+    #[test]
+    fn empty_match_is_total_mismatch() {
+        let (net, south, _) = parallel_net();
+        let truth = Path::new(south);
+        let q = evaluate_path(&net, &Path::empty(), &truth);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.rmf, 1.0);
+        assert_eq!(q.cmf50, 1.0);
+    }
+
+    #[test]
+    fn parallel_road_fails_rmf_but_passes_cmf50() {
+        // Matching the parallel road 30 m away: zero segment overlap, but
+        // the 50 m corridor fully covers the truth (Fig. 6's motivation).
+        let (net, south, north) = parallel_net();
+        let truth = Path::new(south);
+        let matched = Path::new(north);
+        let q = evaluate_path(&net, &matched, &truth);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.rmf, 2.0); // all missing + all redundant
+        assert!(q.cmf50 < 1e-9, "cmf50 = {}", q.cmf50);
+    }
+
+    #[test]
+    fn half_match_metrics() {
+        let (net, south, _) = parallel_net();
+        let truth = Path::new(south.clone());
+        let matched = Path::new(south[..2].to_vec());
+        let q = evaluate_path(&net, &matched, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.rmf, 0.5); // half missing, none redundant
+        // The 50 m corridor around the matched half also covers a sliver of
+        // truth past its endpoint, so CMF50 is slightly below 0.5.
+        assert!((0.3..0.5).contains(&q.cmf50), "cmf50 {}", q.cmf50);
+    }
+
+    #[test]
+    fn repeated_segments_do_not_inflate_precision() {
+        let (net, south, _) = parallel_net();
+        let truth = Path::new(south.clone());
+        let mut segs = south.clone();
+        segs.extend_from_slice(&south); // doubled traversal
+        let q = evaluate_path(&net, &Path::new(segs), &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn rmf_counts_redundant_detours() {
+        let (net, south, north) = parallel_net();
+        let truth = Path::new(south.clone());
+        // Matched path includes all truth plus a redundant parallel segment.
+        let mut segs = south;
+        segs.push(north[0]);
+        let q = evaluate_path(&net, &Path::new(segs), &truth);
+        assert_eq!(q.recall, 1.0);
+        assert!(q.precision < 1.0);
+        assert!((q.rmf - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frechet_deviation_tracks_parallel_offset() {
+        let (net, south, north) = parallel_net();
+        let truth = Path::new(south.clone());
+        assert!(frechet_deviation(&net, &truth, &truth) < 1e-9);
+        let d = frechet_deviation(&net, &Path::new(north), &truth);
+        assert!((d - 30.0).abs() < 1.0, "frechet {d}");
+        assert_eq!(
+            frechet_deviation(&net, &Path::empty(), &truth),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn hitting_ratio_counts_covered_points() {
+        let (_, south, north) = parallel_net();
+        let truth = Path::new(south.clone());
+        let sets = vec![
+            vec![south[0], north[0]], // hit
+            vec![north[1]],           // miss
+            vec![south[3]],           // hit
+        ];
+        assert!((hitting_ratio(&sets, &truth) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(hitting_ratio(&[], &truth), 0.0);
+        // Empty candidate set at a point counts as a miss.
+        let with_empty = vec![vec![south[0]], vec![]];
+        assert!((hitting_ratio(&with_empty, &truth) - 0.5).abs() < 1e-9);
+    }
+}

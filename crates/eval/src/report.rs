@@ -1,0 +1,95 @@
+//! Result-table formatting for the experiments binary.
+
+use crate::runner::EvalReport;
+use std::fmt::Write as _;
+
+/// Renders reports as a fixed-width text table mirroring Table II's columns.
+pub fn overall_table(title: &str, reports: &[EvalReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>8} {:>7} {:>7} {:>7} {:>12}",
+        "method", "precision", "recall", "RMF", "CMF50", "HR", "avg time (s)"
+    );
+    for r in reports {
+        let hr = r
+            .hitting_ratio
+            .map(|h| format!("{h:>7.3}"))
+            .unwrap_or_else(|| format!("{:>7}", "-"));
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.3} {:>8.3} {:>7.3} {:>7.3} {hr} {:>12.4}",
+            r.method, r.precision, r.recall, r.rmf, r.cmf50, r.avg_time_s
+        );
+    }
+    out
+}
+
+/// Renders an x-vs-metric series (figures): one row per x value.
+pub fn series_table(title: &str, x_label: &str, rows: &[(f64, Vec<(String, f64)>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if let Some((_, first)) = rows.first() {
+        let mut header = format!("{x_label:>12}");
+        for (name, _) in first {
+            let _ = write!(header, " {name:>12}");
+        }
+        let _ = writeln!(out, "{header}");
+    }
+    for (x, cols) in rows {
+        let mut line = format!("{x:>12.3}");
+        for (_, v) in cols {
+            let _ = write!(line, " {v:>12.4}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> EvalReport {
+        EvalReport {
+            method: "LHMM".into(),
+            precision: 0.516,
+            recall: 0.613,
+            rmf: 0.670,
+            cmf50: 0.126,
+            hitting_ratio: Some(0.953),
+            avg_time_s: 0.032,
+            n: 100,
+        }
+    }
+
+    #[test]
+    fn overall_table_contains_all_columns() {
+        let t = overall_table("hangzhou-like", &[sample_report()]);
+        assert!(t.contains("LHMM"));
+        assert!(t.contains("0.516"));
+        assert!(t.contains("0.953"));
+        assert!(t.contains("0.0320"));
+    }
+
+    #[test]
+    fn missing_hr_renders_dash() {
+        let mut r = sample_report();
+        r.hitting_ratio = None;
+        let t = overall_table("x", &[r]);
+        assert!(t.contains(" - "));
+    }
+
+    #[test]
+    fn series_table_renders_rows() {
+        let rows = vec![
+            (10.0, vec![("LHMM".to_string(), 0.14), ("STM".to_string(), 0.2)]),
+            (20.0, vec![("LHMM".to_string(), 0.13), ("STM".to_string(), 0.21)]),
+        ];
+        let t = series_table("fig8", "k", &rows);
+        assert!(t.contains("LHMM"));
+        assert!(t.contains("10.000"));
+        assert!(t.contains("0.2100"));
+    }
+}

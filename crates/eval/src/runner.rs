@@ -1,0 +1,191 @@
+//! Matcher evaluation over a dataset split.
+
+use crate::metrics::{evaluate_path, hitting_ratio, MatchQuality};
+use lhmm_cellsim::dataset::Dataset;
+use lhmm_cellsim::traj::TrajectoryRecord;
+use lhmm_core::types::{MapMatcher, MatchContext};
+use std::time::Instant;
+
+/// Aggregated evaluation of one matcher on one split (macro-averaged over
+/// trajectories, as in Table II).
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Matcher display name.
+    pub method: String,
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean Route Mismatch Fraction.
+    pub rmf: f64,
+    /// Mean Corridor Mismatch Fraction at 50 m.
+    pub cmf50: f64,
+    /// Mean hitting ratio, when the matcher exposes candidate sets.
+    pub hitting_ratio: Option<f64>,
+    /// Mean wall-clock inference time per trajectory, seconds.
+    pub avg_time_s: f64,
+    /// Number of evaluated trajectories.
+    pub n: usize,
+}
+
+/// Runs `matcher` over `records` and aggregates quality and timing.
+pub fn evaluate_matcher(
+    ds: &Dataset,
+    matcher: &mut dyn MapMatcher,
+    records: &[TrajectoryRecord],
+) -> EvalReport {
+    assert!(!records.is_empty(), "no records to evaluate");
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let mut sum = MatchQuality {
+        precision: 0.0,
+        recall: 0.0,
+        rmf: 0.0,
+        cmf50: 0.0,
+    };
+    let mut hr_sum = 0.0;
+    let mut hr_n = 0usize;
+    let mut time_total = 0.0f64;
+
+    for rec in records {
+        let start = Instant::now();
+        let result = matcher.match_trajectory(&ctx, &rec.cellular);
+        time_total += start.elapsed().as_secs_f64();
+
+        let q = evaluate_path(&ds.network, &result.path, &rec.truth);
+        sum.precision += q.precision;
+        sum.recall += q.recall;
+        sum.rmf += q.rmf;
+        sum.cmf50 += q.cmf50;
+        if let Some(sets) = &result.candidate_sets {
+            hr_sum += hitting_ratio(sets, &rec.truth);
+            hr_n += 1;
+        }
+    }
+
+    let n = records.len();
+    let nf = n as f64;
+    EvalReport {
+        method: matcher.name().to_string(),
+        precision: sum.precision / nf,
+        recall: sum.recall / nf,
+        rmf: sum.rmf / nf,
+        cmf50: sum.cmf50 / nf,
+        hitting_ratio: (hr_n > 0).then(|| hr_sum / hr_n as f64),
+        avg_time_s: time_total / nf,
+        n,
+    }
+}
+
+/// Per-trajectory qualities (for stratified analyses like Fig. 7a).
+pub fn per_trajectory_quality(
+    ds: &Dataset,
+    matcher: &mut dyn MapMatcher,
+    records: &[TrajectoryRecord],
+) -> Vec<MatchQuality> {
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    records
+        .iter()
+        .map(|rec| {
+            let result = matcher.match_trajectory(&ctx, &rec.cellular);
+            evaluate_path(&ds.network, &result.path, &rec.truth)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::DatasetConfig;
+    use lhmm_cellsim::traj::CellularTrajectory;
+    use lhmm_core::types::MatchResult;
+    use lhmm_network::path::Path;
+
+    /// A matcher that returns the ground truth for testing the runner
+    /// (cheats by looking the trajectory up in the dataset).
+    struct Oracle {
+        answers: Vec<(usize, Path)>,
+        cursor: usize,
+    }
+
+    impl MapMatcher for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn match_trajectory(
+            &mut self,
+            _ctx: &MatchContext<'_>,
+            _traj: &CellularTrajectory,
+        ) -> MatchResult {
+            let path = self.answers[self.cursor].1.clone();
+            self.cursor += 1;
+            MatchResult {
+                path,
+                candidate_sets: None,
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(71));
+        let mut oracle = Oracle {
+            answers: ds
+                .test
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.truth.clone()))
+                .collect(),
+            cursor: 0,
+        };
+        let report = evaluate_matcher(&ds, &mut oracle, &ds.test);
+        assert_eq!(report.method, "oracle");
+        assert_eq!(report.n, ds.test.len());
+        assert!((report.precision - 1.0).abs() < 1e-9);
+        assert!((report.recall - 1.0).abs() < 1e-9);
+        assert!(report.rmf.abs() < 1e-9);
+        assert!(report.cmf50 < 1e-9);
+        assert!(report.hitting_ratio.is_none());
+        assert!(report.avg_time_s >= 0.0);
+    }
+
+    /// A matcher that returns nothing.
+    struct Mute;
+    impl MapMatcher for Mute {
+        fn name(&self) -> &str {
+            "mute"
+        }
+        fn match_trajectory(
+            &mut self,
+            _ctx: &MatchContext<'_>,
+            _traj: &CellularTrajectory,
+        ) -> MatchResult {
+            MatchResult::empty()
+        }
+    }
+
+    #[test]
+    fn mute_matcher_scores_zero() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(72));
+        let report = evaluate_matcher(&ds, &mut Mute, &ds.test);
+        assert_eq!(report.precision, 0.0);
+        assert_eq!(report.recall, 0.0);
+        assert!((report.rmf - 1.0).abs() < 1e-9);
+        assert!((report.cmf50 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_trajectory_qualities_align() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(73));
+        let qs = per_trajectory_quality(&ds, &mut Mute, &ds.test[..4]);
+        assert_eq!(qs.len(), 4);
+        assert!(qs.iter().all(|q| q.cmf50 == 1.0));
+    }
+}

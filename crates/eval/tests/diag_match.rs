@@ -1,0 +1,47 @@
+//! Diagnostic (run with `--ignored`): per-trajectory match-length breakdown
+//! for LHMM vs STM at the experiment configuration.
+use lhmm_baselines::heuristic::stm;
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::observation::ObsConfig;
+use lhmm_core::transition::TransConfig;
+use lhmm_core::types::{MapMatcher, MatchContext};
+use lhmm_eval::metrics::evaluate_path;
+use lhmm_graph::encoder::EncoderConfig;
+
+fn full_cfg(seed: u64) -> LhmmConfig {
+    LhmmConfig {
+        encoder: EncoderConfig { dim: 64, epochs: 150, batch_edges: 512, seed, ..Default::default() },
+        obs: ObsConfig { epochs: 250, fuse_epochs: 120, batch_points: 24, seed, ..Default::default() },
+        trans: TransConfig { epochs: 150, fuse_epochs: 80, batch_trajs: 8, seed, ..Default::default() },
+        k: 30, seed, ..Default::default()
+    }
+}
+
+#[test]
+#[ignore]
+fn diag() {
+    let ds = Dataset::generate(&DatasetConfig::hangzhou_like(0.02, 7));
+    let mut m = Lhmm::train(&ds, full_cfg(7));
+    let mut s = stm(&ds.network);
+    let ctx = MatchContext { net: &ds.network, index: &ds.index, towers: &ds.towers };
+    let (mut tot_ml, mut tot_tl, mut tot_sl) = (0.0, 0.0, 0.0);
+    let mut shorts = 0; let mut longs = 0;
+    for rec in ds.test.iter().take(40) {
+        let r = m.match_trajectory(&ctx, &rec.cellular);
+        let rs = s.match_trajectory(&ctx, &rec.cellular);
+        let q = evaluate_path(&ds.network, &r.path, &rec.truth);
+        let tl = rec.truth.length(&ds.network);
+        let ml = r.path.length(&ds.network);
+        tot_ml += ml; tot_tl += tl; tot_sl += rs.path.length(&ds.network);
+        if ml < 0.6 * tl { shorts += 1;
+            println!("SHORT pts {:2} truth {:5.0} lhmm {:5.0} P {:.2} R {:.2} CMF {:.2} contig {}",
+                rec.cellular.len(), tl, ml, q.precision, q.recall, q.cmf50, r.path.is_contiguous(&ds.network));
+        }
+        if ml > 1.5 * tl { longs += 1;
+            println!("LONG  pts {:2} truth {:5.0} lhmm {:5.0} P {:.2} R {:.2} CMF {:.2}",
+                rec.cellular.len(), tl, ml, q.precision, q.recall, q.cmf50);
+        }
+    }
+    println!("TOTAL lhmm/truth {:.2} stm/truth {:.2} shorts {shorts} longs {longs}", tot_ml/tot_tl, tot_sl/tot_tl);
+}

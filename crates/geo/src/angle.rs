@@ -1,0 +1,89 @@
+//! Angle utilities for headings and turn computation.
+
+use std::f64::consts::PI;
+
+/// Normalizes an angle to `(-pi, pi]`.
+#[inline]
+pub fn normalize(mut a: f64) -> f64 {
+    // Fast path for already-normalized values (the common case).
+    if a > -PI && a <= PI {
+        return a;
+    }
+    a = a.rem_euclid(2.0 * PI);
+    if a > PI {
+        a -= 2.0 * PI;
+    }
+    a
+}
+
+/// Smallest absolute difference between two angles, in `[0, pi]`.
+#[inline]
+pub fn abs_diff(a: f64, b: f64) -> f64 {
+    normalize(a - b).abs()
+}
+
+/// Signed turn from heading `from` to heading `to`, in `(-pi, pi]`.
+/// Positive is a left (counter-clockwise) turn.
+#[inline]
+pub fn signed_turn(from: f64, to: f64) -> f64 {
+    normalize(to - from)
+}
+
+/// Converts degrees to radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_wraps_into_range() {
+        assert!((normalize(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize(0.5) - 0.5).abs() < 1e-12);
+        let n = normalize(2.0 * PI + 0.1);
+        assert!((n - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for k in -10..10 {
+            let a = k as f64 * 0.7;
+            let n = normalize(a);
+            assert!((normalize(n) - n).abs() < 1e-12);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn abs_diff_handles_wraparound() {
+        // 179 deg vs -179 deg differ by 2 deg, not 358.
+        let a = deg_to_rad(179.0);
+        let b = deg_to_rad(-179.0);
+        assert!((abs_diff(a, b) - deg_to_rad(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_turn_direction() {
+        assert!(signed_turn(0.0, 0.5) > 0.0);
+        assert!(signed_turn(0.5, 0.0) < 0.0);
+        // Turning across the branch cut.
+        assert!(signed_turn(deg_to_rad(170.0), deg_to_rad(-170.0)) > 0.0);
+    }
+
+    #[test]
+    fn deg_rad_roundtrip() {
+        for d in [-720.0, -90.0, 0.0, 45.0, 360.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned bounding box, used by the uniform-grid spatial index in
+/// `lhmm-network` and by dataset extent computations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BBox {
+    /// Minimum x (west edge).
+    pub min_x: f64,
+    /// Minimum y (south edge).
+    pub min_y: f64,
+    /// Maximum x (east edge).
+    pub max_x: f64,
+    /// Maximum y (north edge).
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// A degenerate box around a single point.
+    pub fn from_point(p: Point) -> Self {
+        BBox {
+            min_x: p.x,
+            min_y: p.y,
+            max_x: p.x,
+            max_y: p.y,
+        }
+    }
+
+    /// The smallest box covering both endpoints of a segment.
+    pub fn from_segment(a: Point, b: Point) -> Self {
+        BBox {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// The smallest box covering every point; `None` for an empty slice.
+    pub fn from_points(points: &[Point]) -> Option<Self> {
+        let mut it = points.iter();
+        let first = it.next()?;
+        let mut b = BBox::from_point(*first);
+        for p in it {
+            b.expand_to(*p);
+        }
+        Some(b)
+    }
+
+    /// Grows the box in place so that `p` is covered.
+    pub fn expand_to(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Returns a copy inflated by `margin` meters on every side.
+    pub fn inflated(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Box width in meters.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Box height in meters.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True when the two boxes overlap (sharing a boundary counts).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x <= other.max_x
+            && self.max_x >= other.min_x
+            && self.min_y <= other.max_y
+            && self.max_y >= other.min_y
+    }
+
+    /// Minimum distance from `p` to the box (zero when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let b = BBox::from_points(&pts).unwrap();
+        assert_eq!(b.min_x, -2.0);
+        assert_eq!(b.max_x, 4.0);
+        assert_eq!(b.min_y, -1.0);
+        assert_eq!(b.max_y, 5.0);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert!(BBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = BBox::from_segment(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert!(b.contains(Point::new(0.0, 5.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(!b.contains(Point::new(10.01, 10.0)));
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = BBox::from_segment(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = BBox::from_segment(Point::new(4.0, 4.0), Point::new(8.0, 8.0));
+        let c = BBox::from_segment(Point::new(5.0, 0.0), Point::new(9.0, 3.0));
+        assert!(a.intersects(&b)); // touching corner
+        assert!(!a.intersects(&c));
+        // c spans y in [0, 3]; b starts at y = 4 — no overlap.
+        assert!(!c.intersects(&b));
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let b = BBox::from_segment(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert_eq!(b.distance_to_point(Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(b.distance_to_point(Point::new(13.0, 14.0)), 5.0);
+        assert_eq!(b.distance_to_point(Point::new(-3.0, 5.0)), 3.0);
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let b = BBox::from_point(Point::new(1.0, 1.0)).inflated(2.0);
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 4.0);
+        assert_eq!(b.center(), Point::new(1.0, 1.0));
+    }
+}

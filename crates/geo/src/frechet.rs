@@ -1,0 +1,127 @@
+//! Discrete Fréchet distance between polylines.
+//!
+//! A classical curve-similarity measure used throughout the map-matching
+//! literature (e.g. Mosig & Clausen, cited by the paper's related work) and
+//! exposed by `lhmm-eval` as a supplementary path-quality diagnostic: it
+//! captures the *worst* pointwise deviation between the matched path and
+//! the ground truth under monotone traversal, where the corridor-based CMF
+//! captures coverage.
+
+use crate::point::Point;
+
+/// Discrete Fréchet distance between two non-empty polylines.
+///
+/// O(|a|·|b|) time and O(|b|) memory. Returns `f64::INFINITY` when either
+/// polyline is empty.
+pub fn discrete_frechet(a: &[Point], b: &[Point]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    // Rolling-row dynamic program over the coupling lattice:
+    // ca[i][j] = max(d(a_i, b_j), min(ca[i-1][j], ca[i-1][j-1], ca[i][j-1])).
+    let mut prev = vec![0.0f64; b.len()];
+    let mut cur = vec![0.0f64; b.len()];
+    for (i, &pa) in a.iter().enumerate() {
+        for (j, &pb) in b.iter().enumerate() {
+            let d = pa.distance(pb);
+            let reach = if i == 0 && j == 0 {
+                d
+            } else if i == 0 {
+                cur[j - 1].max(d)
+            } else if j == 0 {
+                prev[j].max(d)
+            } else {
+                prev[j].min(prev[j - 1]).min(cur[j - 1]).max(d)
+            };
+            cur[j] = reach;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(points: &[(f64, f64)]) -> Vec<Point> {
+        points.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_curves_have_zero_distance() {
+        let a = line(&[(0.0, 0.0), (10.0, 0.0), (20.0, 5.0)]);
+        assert_eq!(discrete_frechet(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        let a = line(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let b = line(&[(0.0, 3.0), (10.0, 3.0), (20.0, 3.0)]);
+        assert_eq!(discrete_frechet(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let a = line(&[(0.0, 0.0), (5.0, 8.0), (10.0, 0.0)]);
+        let b = line(&[(0.0, 1.0), (10.0, 1.0)]);
+        assert_eq!(discrete_frechet(&a, &b), discrete_frechet(&b, &a));
+    }
+
+    #[test]
+    fn monotonicity_beats_hausdorff_on_backtracking() {
+        // The classic case: a curve that doubles back. Every point of `b`
+        // is close to *some* point of `a` (small Hausdorff), but a monotone
+        // traversal must pay for the detour.
+        let a = line(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = line(&[(0.0, 0.0), (10.0, 0.0), (0.0, 1.0), (10.0, 1.0)]);
+        let d = discrete_frechet(&a, &b);
+        assert!(d >= 9.0, "frechet {d} failed to punish the double-back");
+    }
+
+    #[test]
+    fn empty_inputs_are_infinite() {
+        let a = line(&[(0.0, 0.0)]);
+        assert_eq!(discrete_frechet(&a, &[]), f64::INFINITY);
+        assert_eq!(discrete_frechet(&[], &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_points() {
+        let a = line(&[(0.0, 0.0)]);
+        let b = line(&[(3.0, 4.0)]);
+        assert_eq!(discrete_frechet(&a, &b), 5.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn polyline(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 1..max_len)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        /// Fréchet is symmetric and bounded below by endpoint distances.
+        #[test]
+        fn symmetry_and_endpoint_bounds(a in polyline(10), b in polyline(10)) {
+            let d1 = discrete_frechet(&a, &b);
+            let d2 = discrete_frechet(&b, &a);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+            // Couplings start at the first points and end at the last.
+            let start = a[0].distance(b[0]);
+            let end = a[a.len() - 1].distance(b[b.len() - 1]);
+            prop_assert!(d1 >= start.max(end) - 1e-9);
+        }
+
+        /// Zero distance to itself; triangle-like upper bound vs a third
+        /// curve of the same length (Fréchet is a metric on curves).
+        #[test]
+        fn self_distance_is_zero(a in polyline(10)) {
+            prop_assert_eq!(discrete_frechet(&a, &a), 0.0);
+        }
+    }
+}

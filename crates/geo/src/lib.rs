@@ -1,0 +1,38 @@
+//! Planar geometry primitives shared by the LHMM map-matching workspace.
+//!
+//! All coordinates live in a local planar frame measured in **meters**.
+//! The datasets produced by `lhmm-cellsim` are synthetic city extents of a few
+//! tens of kilometers, so a flat-earth approximation is exact by construction
+//! and no geodesic math is needed.
+//!
+//! The crate provides:
+//! * [`Point`] — a 2-D point with distance/bearing helpers,
+//! * [`BBox`] — axis-aligned bounding boxes used by spatial indexes,
+//! * [`segment`] — projection of points onto segments (the core primitive of
+//!   observation-probability features),
+//! * [`polyline`] — length, resampling, turn-angle accumulation and corridor
+//!   coverage used by transition features and the CMF metric,
+//! * [`angle`] — angle normalization utilities.
+//!
+//! ```
+//! use lhmm_geo::{project_onto_segment, Point};
+//!
+//! let p = Point::new(5.0, 3.0);
+//! let proj = project_onto_segment(p, Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+//! assert_eq!(proj.point, Point::new(5.0, 0.0));
+//! assert_eq!(proj.distance, 3.0);
+//! assert_eq!(proj.t, 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod angle;
+pub mod bbox;
+pub mod frechet;
+pub mod point;
+pub mod polyline;
+pub mod segment;
+
+pub use bbox::BBox;
+pub use point::Point;
+pub use segment::{project_onto_segment, Projection};

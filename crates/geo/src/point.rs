@@ -1,0 +1,225 @@
+//! 2-D points in a local planar frame (meters).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point in the local planar frame. Units are meters.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` meters.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin of the local frame.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector length when the point is interpreted as a vector from the origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with `other` (vector interpretation).
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component), positive when `other` is counter
+    /// clockwise of `self`.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Bearing of the vector from `self` to `other` in radians in
+    /// `(-pi, pi]`, measured counter-clockwise from the +x axis.
+    ///
+    /// Returns `0.0` for coincident points.
+    #[inline]
+    pub fn bearing_to(&self, other: Point) -> f64 {
+        let dy = other.y - self.y;
+        let dx = other.x - self.x;
+        if dx == 0.0 && dy == 0.0 {
+            0.0
+        } else {
+            dy.atan2(dx)
+        }
+    }
+
+    /// Returns a unit vector pointing from `self` to `other`, or `None` when
+    /// the points coincide.
+    pub fn direction_to(&self, other: Point) -> Option<Point> {
+        let d = self.distance(other);
+        if d == 0.0 {
+            None
+        } else {
+            Some(Point::new((other.x - self.x) / d, (other.y - self.y) / d))
+        }
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+/// Arithmetic mean of a non-empty point set; `None` for an empty slice.
+pub fn centroid(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut sum = Point::ORIGIN;
+    for p in points {
+        sum = sum + *p;
+    }
+    Some(sum / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-2.5, 7.0);
+        let b = Point::new(10.0, -3.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(5.0, -3.0));
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = Point::ORIGIN;
+        assert!((o.bearing_to(Point::new(1.0, 0.0)) - 0.0).abs() < 1e-12);
+        assert!((o.bearing_to(Point::new(0.0, 1.0)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((o.bearing_to(Point::new(-1.0, 0.0)) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bearing_of_coincident_points_is_zero() {
+        let p = Point::new(4.0, 4.0);
+        assert_eq!(p.bearing_to(p), 0.0);
+    }
+
+    #[test]
+    fn direction_is_unit_length() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-5.0, 9.0);
+        let d = a.direction_to(b).unwrap();
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+        assert!(a.direction_to(a).is_none());
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        assert_eq!(centroid(&[]), None);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 3.0),
+        ];
+        assert_eq!(centroid(&pts), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Polyline operations: length, resampling, turn accumulation and corridor
+//! coverage.
+//!
+//! Matching paths and ground-truth paths are compared as polylines by the
+//! CMF metric ([`covered_length`]); transition features use the accumulated
+//! turn angle ([`total_turn`]).
+
+use crate::angle;
+use crate::point::Point;
+use crate::segment::distance_to_segment;
+
+/// Total length of a polyline in meters. Zero for fewer than two points.
+pub fn length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].distance(w[1])).sum()
+}
+
+/// Sum of absolute turn angles along the polyline, in radians.
+///
+/// This is the explicit "number of turns" feature `D_T` of the paper
+/// (Section IV-D): the sum of heading changes at every interior vertex.
+pub fn total_turn(points: &[Point]) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut prev_heading: Option<f64> = None;
+    for w in points.windows(2) {
+        if w[0] == w[1] {
+            continue; // skip zero-length edges, heading undefined
+        }
+        let h = w[0].bearing_to(w[1]);
+        if let Some(ph) = prev_heading {
+            sum += angle::abs_diff(ph, h);
+        }
+        prev_heading = Some(h);
+    }
+    sum
+}
+
+/// Resamples the polyline so that consecutive points are at most `step`
+/// meters apart.
+///
+/// Every original vertex is retained (the geometry — and therefore the
+/// length — is preserved exactly); interpolated points are inserted between
+/// vertices at `step` spacing.
+pub fn resample(points: &[Point], step: f64) -> Vec<Point> {
+    assert!(step > 0.0, "resample step must be positive");
+    if points.len() < 2 {
+        return points.to_vec();
+    }
+    let mut out = Vec::with_capacity(points.len());
+    out.push(points[0]);
+    for w in points.windows(2) {
+        let seg_len = w[0].distance(w[1]);
+        if seg_len == 0.0 {
+            continue;
+        }
+        let n = (seg_len / step).ceil() as usize;
+        for i in 1..n {
+            out.push(w[0].lerp(w[1], i as f64 / n as f64));
+        }
+        out.push(w[1]);
+    }
+    out
+}
+
+/// Length of `truth` covered by a corridor of half-width `radius` around
+/// `path` (the CMF corridor of Section V-A3).
+///
+/// `truth` is walked at `sample_step` resolution; a sampled slice of the
+/// ground truth counts as covered when its midpoint lies within `radius` of
+/// any segment of `path`.
+pub fn covered_length(truth: &[Point], path: &[Point], radius: f64, sample_step: f64) -> f64 {
+    if truth.len() < 2 {
+        return 0.0;
+    }
+    if path.len() < 2 {
+        return 0.0;
+    }
+    let samples = resample(truth, sample_step);
+    let mut covered = 0.0;
+    for w in samples.windows(2) {
+        let mid = w[0].midpoint(w[1]);
+        let seg_len = w[0].distance(w[1]);
+        let near = path
+            .windows(2)
+            .any(|pw| distance_to_segment(mid, pw[0], pw[1]) <= radius);
+        if near {
+            covered += seg_len;
+        }
+    }
+    covered
+}
+
+/// Minimum distance from a point to a polyline; `f64::INFINITY` for polylines
+/// with fewer than two points.
+pub fn distance_to_polyline(p: Point, points: &[Point]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| distance_to_segment(p, w[0], w[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Walks `dist` meters along the polyline and returns the interpolated point.
+///
+/// Clamps to the endpoints when `dist` is outside `[0, length]`.
+pub fn point_at_distance(points: &[Point], dist: f64) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    if points.len() == 1 || dist <= 0.0 {
+        return Some(points[0]);
+    }
+    let mut remaining = dist;
+    for w in points.windows(2) {
+        let seg_len = w[0].distance(w[1]);
+        if remaining <= seg_len {
+            if seg_len == 0.0 {
+                return Some(w[0]);
+            }
+            return Some(w[0].lerp(w[1], remaining / seg_len));
+        }
+        remaining -= seg_len;
+    }
+    Some(points[points.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        assert_eq!(length(&l_shape()), 20.0);
+        assert_eq!(length(&[Point::ORIGIN]), 0.0);
+        assert_eq!(length(&[]), 0.0);
+    }
+
+    #[test]
+    fn total_turn_right_angle() {
+        let t = total_turn(&l_shape());
+        assert!((t - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // Straight line has no turn.
+        let straight = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ];
+        assert_eq!(total_turn(&straight), 0.0);
+    }
+
+    #[test]
+    fn total_turn_skips_duplicate_vertices() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        assert_eq!(total_turn(&pts), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_length() {
+        let pts = l_shape();
+        let rs = resample(&pts, 3.0);
+        assert_eq!(rs[0], pts[0]);
+        assert_eq!(*rs.last().unwrap(), *pts.last().unwrap());
+        assert!((length(&rs) - 20.0).abs() < 1e-9);
+        // Spacing is near-uniform.
+        for w in rs.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(d <= 3.0 + 1e-9, "spacing {d} exceeds step");
+        }
+    }
+
+    #[test]
+    fn covered_length_full_and_none() {
+        let truth = l_shape();
+        let full = covered_length(&truth, &truth, 1.0, 1.0);
+        assert!((full - 20.0).abs() < 1e-6);
+        let far = [Point::new(1000.0, 1000.0), Point::new(1010.0, 1000.0)];
+        assert_eq!(covered_length(&truth, &far, 50.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn covered_length_partial() {
+        let truth = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        // Path only parallels the first half of the truth.
+        let path = vec![Point::new(0.0, 10.0), Point::new(50.0, 10.0)];
+        // Corridor of radius 20 around the path covers the truth up to
+        // x = 50 + sqrt(20^2 - 10^2) ~= 67.3.
+        let c = covered_length(&truth, &path, 20.0, 1.0);
+        assert!(c > 55.0 && c < 75.0, "covered = {c}");
+    }
+
+    #[test]
+    fn point_at_distance_walks_correctly() {
+        let pts = l_shape();
+        assert_eq!(point_at_distance(&pts, 0.0), Some(Point::new(0.0, 0.0)));
+        assert_eq!(point_at_distance(&pts, 5.0), Some(Point::new(5.0, 0.0)));
+        assert_eq!(point_at_distance(&pts, 15.0), Some(Point::new(10.0, 5.0)));
+        assert_eq!(point_at_distance(&pts, 99.0), Some(Point::new(10.0, 10.0)));
+        assert_eq!(point_at_distance(&[], 1.0), None);
+    }
+
+    #[test]
+    fn distance_to_polyline_min_over_segments() {
+        let pts = l_shape();
+        assert_eq!(distance_to_polyline(Point::new(5.0, 2.0), &pts), 2.0);
+        assert_eq!(distance_to_polyline(Point::new(12.0, 5.0), &pts), 2.0);
+        assert_eq!(distance_to_polyline(Point::ORIGIN, &[]), f64::INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn polyline(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..max_len)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        /// Resampling never changes total length (within fp noise).
+        #[test]
+        fn resample_preserves_length(pts in polyline(12), step in 1.0..200.0f64) {
+            let rs = resample(&pts, step);
+            prop_assert!((length(&rs) - length(&pts)).abs() < 1e-6 * (1.0 + length(&pts)));
+        }
+
+        /// A path always fully covers itself at any positive radius.
+        #[test]
+        fn path_covers_itself(pts in polyline(8), radius in 0.5..100.0f64) {
+            let c = covered_length(&pts, &pts, radius, 25.0);
+            let l = length(&pts);
+            prop_assert!(c >= l - 1e-6, "covered {c} < length {l}");
+        }
+
+        /// Covered length never exceeds ground-truth length.
+        #[test]
+        fn covered_at_most_total(truth in polyline(8), path in polyline(8)) {
+            let c = covered_length(&truth, &path, 50.0, 10.0);
+            prop_assert!(c <= length(&truth) + 1e-6);
+        }
+
+        /// Turn total is non-negative and bounded by pi per interior vertex.
+        #[test]
+        fn turn_bounds(pts in polyline(10)) {
+            let t = total_turn(&pts);
+            prop_assert!(t >= 0.0);
+            prop_assert!(t <= std::f64::consts::PI * (pts.len() as f64));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Point-to-segment projection — the geometric core of observation features.
+
+use crate::point::Point;
+
+/// Result of projecting a point onto a segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Projection {
+    /// Closest point on the segment.
+    pub point: Point,
+    /// Distance from the query point to `point`, in meters.
+    pub distance: f64,
+    /// Normalized position along the segment in `[0, 1]`
+    /// (0 = segment start, 1 = segment end).
+    pub t: f64,
+}
+
+/// Projects `p` onto the segment `(a, b)`.
+///
+/// Degenerate segments (`a == b`) project everything onto `a` with `t = 0`.
+pub fn project_onto_segment(p: Point, a: Point, b: Point) -> Projection {
+    let ab = b - a;
+    let len_sq = ab.dot(ab);
+    if len_sq == 0.0 {
+        return Projection {
+            point: a,
+            distance: p.distance(a),
+            t: 0.0,
+        };
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    let q = a.lerp(b, t);
+    Projection {
+        point: q,
+        distance: p.distance(q),
+        t,
+    }
+}
+
+/// Distance from `p` to the segment `(a, b)`.
+#[inline]
+pub fn distance_to_segment(p: Point, a: Point, b: Point) -> f64 {
+    project_onto_segment(p, a, b).distance
+}
+
+/// Minimum distance between two segments `(a1, b1)` and `(a2, b2)`.
+///
+/// Zero when the segments intersect.
+pub fn segment_distance(a1: Point, b1: Point, a2: Point, b2: Point) -> f64 {
+    if segments_intersect(a1, b1, a2, b2) {
+        return 0.0;
+    }
+    distance_to_segment(a1, a2, b2)
+        .min(distance_to_segment(b1, a2, b2))
+        .min(distance_to_segment(a2, a1, b1))
+        .min(distance_to_segment(b2, a1, b1))
+}
+
+/// True when the closed segments `(a1, b1)` and `(a2, b2)` intersect.
+pub fn segments_intersect(a1: Point, b1: Point, a2: Point, b2: Point) -> bool {
+    let d1 = orient(a2, b2, a1);
+    let d2 = orient(a2, b2, b1);
+    let d3 = orient(a1, b1, a2);
+    let d4 = orient(a1, b1, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(a2, b2, a1))
+        || (d2 == 0.0 && on_segment(a2, b2, b1))
+        || (d3 == 0.0 && on_segment(a1, b1, a2))
+        || (d4 == 0.0 && on_segment(a1, b1, b2))
+}
+
+#[inline]
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+#[inline]
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_interior() {
+        let pr = project_onto_segment(
+            Point::new(5.0, 3.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        );
+        assert_eq!(pr.point, Point::new(5.0, 0.0));
+        assert_eq!(pr.distance, 3.0);
+        assert_eq!(pr.t, 0.5);
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let before = project_onto_segment(Point::new(-4.0, 3.0), a, b);
+        assert_eq!(before.point, a);
+        assert_eq!(before.distance, 5.0);
+        assert_eq!(before.t, 0.0);
+        let after = project_onto_segment(Point::new(14.0, -3.0), a, b);
+        assert_eq!(after.point, b);
+        assert_eq!(after.t, 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let pr = project_onto_segment(Point::new(5.0, 6.0), a, a);
+        assert_eq!(pr.point, a);
+        assert_eq!(pr.distance, 5.0);
+    }
+
+    #[test]
+    fn intersecting_segments_have_zero_distance() {
+        let d = segment_distance(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 0.0),
+        );
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn parallel_segment_distance() {
+        let d = segment_distance(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(10.0, 4.0),
+        );
+        assert_eq!(d, 4.0);
+    }
+
+    #[test]
+    fn collinear_touching_segments_intersect() {
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(9.0, 0.0),
+        ));
+        assert!(!segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(5.1, 0.0),
+            Point::new(9.0, 0.0),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pt() -> impl Strategy<Value = Point> {
+        (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        /// The projection must be at least as close as both endpoints and any
+        /// sampled interior point.
+        #[test]
+        fn projection_is_nearest(p in pt(), a in pt(), b in pt(), t in 0.0..1.0f64) {
+            let pr = project_onto_segment(p, a, b);
+            prop_assert!(pr.distance <= p.distance(a) + 1e-9);
+            prop_assert!(pr.distance <= p.distance(b) + 1e-9);
+            let interior = a.lerp(b, t);
+            prop_assert!(pr.distance <= p.distance(interior) + 1e-9);
+        }
+
+        /// The projected point always lies on the segment (within fp noise).
+        #[test]
+        fn projection_lies_on_segment(p in pt(), a in pt(), b in pt()) {
+            let pr = project_onto_segment(p, a, b);
+            let reconstructed = a.lerp(b, pr.t);
+            prop_assert!(pr.point.distance(reconstructed) < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&pr.t));
+        }
+
+        /// Segment distance is symmetric in its two segments.
+        #[test]
+        fn segment_distance_symmetric(a1 in pt(), b1 in pt(), a2 in pt(), b2 in pt()) {
+            let d1 = segment_distance(a1, b1, a2, b2);
+            let d2 = segment_distance(a2, b2, a1, b1);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Multi-relational representation learning for LHMM (paper §IV-B).
+//!
+//! * [`relgraph::MultiRelGraph`] — the heterogeneous graph over cell towers
+//!   and road segments with three relation types:
+//!   - **CO** (co-occurrence): a tower and a traveled road co-occur when the
+//!     tower is the trajectory's closest observation to that road,
+//!   - **SQ** (sequentiality): consecutive towers in trajectories,
+//!   - **TP** (topology): adjacent road segments.
+//! * [`encoder`] — the Het-Graph Encoder: R-GCN-style message passing
+//!   (Eq. 4–5) trained with self-supervised edge reconstruction, plus the
+//!   homogeneous-GCN and plain-embedding variants used by the LHMM-H and
+//!   LHMM-E ablations.
+//!
+//! ```no_run
+//! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+//! use lhmm_graph::encoder::{train_encoder, EncoderConfig};
+//! use lhmm_graph::relgraph::MultiRelGraph;
+//!
+//! let ds = Dataset::generate(&DatasetConfig::tiny_test(1));
+//! let graph = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+//! let embeddings = train_encoder(&graph, &EncoderConfig::default());
+//! assert_eq!(embeddings.matrix().rows(), graph.num_nodes());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod encoder;
+pub mod relgraph;
+
+pub use encoder::{train_encoder, Embeddings, EncoderConfig, EncoderKind};
+pub use relgraph::{MultiRelGraph, Relation};

@@ -1,0 +1,330 @@
+//! The multi-relational graph over cell towers and road segments.
+
+use lhmm_cellsim::tower::TowerId;
+use lhmm_cellsim::traj::TrajectoryRecord;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use std::collections::HashMap;
+
+/// The three relation types of the paper's multi-relational graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Tower ↔ road co-occurrence mined from matched historical trips.
+    Co,
+    /// Tower → tower sequentiality in trajectories.
+    Sq,
+    /// Road ↔ road topological adjacency.
+    Tp,
+}
+
+/// All relations, in a stable order.
+pub const RELATIONS: [Relation; 3] = [Relation::Co, Relation::Sq, Relation::Tp];
+
+/// The heterogeneous graph 𝒢 = (𝒱_e, 𝒱_ct, ℰ).
+///
+/// Nodes use a unified index: towers occupy `[0, num_towers)` and segments
+/// `[num_towers, num_towers + num_segments)`. Adjacency is stored as
+/// *incoming* neighbor lists per node (the form message passing consumes).
+pub struct MultiRelGraph {
+    /// Number of cell-tower nodes.
+    pub num_towers: usize,
+    /// Number of road-segment nodes.
+    pub num_segments: usize,
+    co: Vec<Vec<(u32, f32)>>,
+    sq: Vec<Vec<(u32, f32)>>,
+    tp: Vec<Vec<(u32, f32)>>,
+    /// Directed co-occurrence counts (tower, segment) → weight; the explicit
+    /// observation feature of Eq. 8.
+    co_counts: HashMap<(u32, u32), f32>,
+    /// Total co-occurrence mass per tower (for frequency normalization).
+    tower_co_total: Vec<f32>,
+}
+
+impl MultiRelGraph {
+    /// Unified node index of a tower.
+    #[inline]
+    pub fn tower_node(&self, t: TowerId) -> usize {
+        t.idx()
+    }
+
+    /// Unified node index of a segment.
+    #[inline]
+    pub fn segment_node(&self, s: SegmentId) -> usize {
+        self.num_towers + s.idx()
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_towers + self.num_segments
+    }
+
+    /// Incoming adjacency lists of one relation.
+    pub fn adjacency(&self, rel: Relation) -> &[Vec<(u32, f32)>] {
+        match rel {
+            Relation::Co => &self.co,
+            Relation::Sq => &self.sq,
+            Relation::Tp => &self.tp,
+        }
+    }
+
+    /// Directed edge list `(src, dst, weight)` of one relation (each
+    /// symmetric edge appears once per direction).
+    pub fn edges(&self, rel: Relation) -> Vec<(u32, u32, f32)> {
+        let adj = self.adjacency(rel);
+        let mut out = Vec::new();
+        for (dst, neighbors) in adj.iter().enumerate() {
+            for &(src, w) in neighbors {
+                out.push((src, dst as u32, w));
+            }
+        }
+        out
+    }
+
+    /// Raw co-occurrence count between a tower and a segment.
+    pub fn co_count(&self, t: TowerId, s: SegmentId) -> f32 {
+        *self.co_counts.get(&(t.0, s.0)).unwrap_or(&0.0)
+    }
+
+    /// Co-occurrence frequency: the fraction of the tower's co-occurrence
+    /// mass that falls on this segment (0 when the tower was never seen).
+    pub fn co_frequency(&self, t: TowerId, s: SegmentId) -> f32 {
+        let total = self.tower_co_total[t.idx()];
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.co_count(t, s) / total
+        }
+    }
+
+    /// Segments with positive co-occurrence for a tower, with counts.
+    /// (The tower node's CO adjacency holds exactly these segments.)
+    pub fn co_segments(&self, t: TowerId) -> Vec<(SegmentId, f32)> {
+        self.co[self.tower_node(t)]
+            .iter()
+            .map(|&(n, w)| (SegmentId(n - self.num_towers as u32), w))
+            .collect()
+    }
+
+    /// Builds the graph from the road network topology and the *training*
+    /// trajectories (CO and SQ must never see validation/test data).
+    pub fn build(
+        net: &RoadNetwork,
+        num_towers: usize,
+        train: &[TrajectoryRecord],
+    ) -> Self {
+        let num_segments = net.num_segments();
+        let n = num_towers + num_segments;
+        let mut g = MultiRelGraph {
+            num_towers,
+            num_segments,
+            co: vec![Vec::new(); n],
+            sq: vec![Vec::new(); n],
+            tp: vec![Vec::new(); n],
+            co_counts: HashMap::new(),
+            tower_co_total: vec![0.0; num_towers],
+        };
+
+        // TP: adjacent road segments, symmetric.
+        for s in net.segment_ids() {
+            let s_node = g.segment_node(s) as u32;
+            for &succ in net.successors(s) {
+                if succ == s {
+                    continue;
+                }
+                let succ_node = g.segment_node(succ) as u32;
+                g.tp[succ_node as usize].push((s_node, 1.0));
+                g.tp[s_node as usize].push((succ_node, 1.0));
+            }
+        }
+
+        // CO and SQ from training trajectories.
+        let mut co_acc: HashMap<(u32, u32), f32> = HashMap::new();
+        let mut sq_acc: HashMap<(u32, u32), f32> = HashMap::new();
+        for rec in train {
+            let points = &rec.cellular.points;
+            if points.is_empty() {
+                continue;
+            }
+            // Co-occurrence: each traveled road pairs with the *closest*
+            // trajectory point (paper's definition).
+            for &seg in &rec.truth.segments {
+                let mid = net.segment_midpoint(seg);
+                let closest = points
+                    .iter()
+                    .min_by(|a, b| {
+                        a.pos
+                            .distance(mid)
+                            .partial_cmp(&b.pos.distance(mid))
+                            .expect("finite distances")
+                    })
+                    .expect("non-empty points");
+                *co_acc.entry((closest.tower.0, seg.0)).or_insert(0.0) += 1.0;
+            }
+            // Sequentiality between consecutive towers (skip self-loops from
+            // repeated serving towers).
+            for w in points.windows(2) {
+                if w[0].tower != w[1].tower {
+                    *sq_acc.entry((w[0].tower.0, w[1].tower.0)).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+
+        // HashMap iteration order is nondeterministic across instances;
+        // sort so that adjacency lists (and everything trained from them)
+        // are reproducible under a fixed seed.
+        let mut co_sorted: Vec<((u32, u32), f32)> =
+            co_acc.iter().map(|(&k, &w)| (k, w)).collect();
+        co_sorted.sort_unstable_by_key(|&(k, _)| k);
+        for ((t, s), w) in co_sorted {
+            let t_node = t;
+            let s_node = g.segment_node(SegmentId(s)) as u32;
+            // Symmetric propagation edges.
+            g.co[s_node as usize].push((t_node, w));
+            g.co[t_node as usize].push((s_node, w));
+            g.tower_co_total[t as usize] += w;
+        }
+        g.co_counts = co_acc;
+
+        let mut sq_sorted: Vec<((u32, u32), f32)> =
+            sq_acc.iter().map(|(&k, &w)| (k, w)).collect();
+        sq_sorted.sort_unstable_by_key(|&(k, _)| k);
+        for ((a, b), w) in sq_sorted {
+            g.sq[b as usize].push((a, w));
+            g.sq[a as usize].push((b, w));
+        }
+
+        g
+    }
+
+    /// Summary counts per relation `(co, sq, tp)` — directed edge totals.
+    pub fn edge_counts(&self) -> (usize, usize, usize) {
+        let count = |adj: &[Vec<(u32, f32)>]| adj.iter().map(Vec::len).sum();
+        (count(&self.co), count(&self.sq), count(&self.tp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+
+    fn build() -> (Dataset, MultiRelGraph) {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(21));
+        let g = MultiRelGraph::build(&ds.network, ds.towers.len(), &ds.train);
+        (ds, g)
+    }
+
+    #[test]
+    fn node_indexing_is_disjoint() {
+        let (ds, g) = build();
+        assert_eq!(g.num_nodes(), ds.towers.len() + ds.network.num_segments());
+        let t = g.tower_node(TowerId(0));
+        let s = g.segment_node(SegmentId(0));
+        assert_ne!(t, s);
+        assert_eq!(s, ds.towers.len());
+    }
+
+    #[test]
+    fn all_relations_are_populated() {
+        let (_, g) = build();
+        let (co, sq, tp) = g.edge_counts();
+        assert!(co > 0, "no co-occurrence edges");
+        assert!(sq > 0, "no sequentiality edges");
+        assert!(tp > 0, "no topology edges");
+    }
+
+    #[test]
+    fn co_edges_connect_towers_to_segments_only() {
+        let (_, g) = build();
+        for (dst, neighbors) in g.adjacency(Relation::Co).iter().enumerate() {
+            for &(src, w) in neighbors {
+                assert!(w > 0.0);
+                let dst_is_tower = dst < g.num_towers;
+                let src_is_tower = (src as usize) < g.num_towers;
+                assert_ne!(dst_is_tower, src_is_tower, "CO edge within one type");
+            }
+        }
+    }
+
+    #[test]
+    fn sq_edges_connect_towers_only() {
+        let (_, g) = build();
+        for (dst, neighbors) in g.adjacency(Relation::Sq).iter().enumerate() {
+            if dst >= g.num_towers {
+                assert!(neighbors.is_empty(), "SQ edge touching a segment");
+            }
+            for &(src, _) in neighbors {
+                assert!((src as usize) < g.num_towers);
+            }
+        }
+    }
+
+    #[test]
+    fn tp_matches_network_adjacency() {
+        let (ds, g) = build();
+        // Spot-check a handful of segments.
+        for sid in ds.network.segment_ids().take(25) {
+            let node = g.segment_node(sid);
+            let from_tp: std::collections::HashSet<u32> = g.adjacency(Relation::Tp)[node]
+                .iter()
+                .map(|&(s, _)| s)
+                .collect();
+            for &succ in ds.network.successors(sid) {
+                if succ != sid {
+                    assert!(
+                        from_tp.contains(&(g.segment_node(succ) as u32)),
+                        "missing TP edge {sid:?} -> {succ:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn co_frequency_normalizes_to_one() {
+        let (_, g) = build();
+        let mut checked = 0;
+        for t in 0..g.num_towers as u32 {
+            let tid = TowerId(t);
+            let segs = g.co_segments(tid);
+            if segs.is_empty() {
+                continue;
+            }
+            let total: f32 = segs.iter().map(|&(s, _)| g.co_frequency(tid, s)).sum();
+            assert!((total - 1.0).abs() < 1e-5, "tower {t} freq sum {total}");
+            checked += 1;
+        }
+        assert!(checked > 0, "no tower had co-occurrences");
+    }
+
+    #[test]
+    fn co_counts_reflect_closest_point_rule() {
+        let (ds, g) = build();
+        // For each record, the closest point to the first truth segment must
+        // have a positive co count with it.
+        for rec in ds.train.iter().take(10) {
+            let seg = rec.truth.segments[0];
+            let mid = ds.network.segment_midpoint(seg);
+            let closest = rec
+                .cellular
+                .points
+                .iter()
+                .min_by(|a, b| {
+                    a.pos
+                        .distance(mid)
+                        .partial_cmp(&b.pos.distance(mid))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(g.co_count(closest.tower, seg) > 0.0);
+        }
+    }
+
+    #[test]
+    fn edges_listing_matches_adjacency() {
+        let (_, g) = build();
+        let edges = g.edges(Relation::Tp);
+        let (_, _, tp) = g.edge_counts();
+        assert_eq!(edges.len(), tp);
+    }
+}

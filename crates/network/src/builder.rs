@@ -1,0 +1,177 @@
+//! Validated construction of [`RoadNetwork`] instances.
+
+use crate::graph::{NodeId, RoadClass, RoadNetwork, Segment, SegmentId};
+use lhmm_geo::Point;
+use std::fmt;
+
+/// Errors raised during network construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// A segment referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// A segment connected a node to itself.
+    SelfLoop(NodeId),
+    /// A node position was NaN or infinite.
+    NonFinitePosition(NodeId),
+    /// The finished network would be empty.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownNode(n) => write!(f, "segment references unknown node {n:?}"),
+            BuildError::SelfLoop(n) => write!(f, "self-loop at node {n:?}"),
+            BuildError::NonFinitePosition(n) => write!(f, "non-finite position for node {n:?}"),
+            BuildError::Empty => write!(f, "network has no nodes or no segments"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`RoadNetwork`], validating each piece.
+#[derive(Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<Point>,
+    segments: Vec<Segment>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intersection and returns its id.
+    pub fn add_node(&mut self, pos: Point) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(pos);
+        id
+    }
+
+    /// Adds a directed segment; the length is computed from node positions.
+    pub fn add_segment(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: RoadClass,
+    ) -> Result<SegmentId, BuildError> {
+        if from.idx() >= self.nodes.len() {
+            return Err(BuildError::UnknownNode(from));
+        }
+        if to.idx() >= self.nodes.len() {
+            return Err(BuildError::UnknownNode(to));
+        }
+        if from == to {
+            return Err(BuildError::SelfLoop(from));
+        }
+        let length = self.nodes[from.idx()].distance(self.nodes[to.idx()]);
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment {
+            from,
+            to,
+            length,
+            class,
+        });
+        Ok(id)
+    }
+
+    /// Adds a bidirectional road (two directed segments) and returns
+    /// `(forward, backward)` ids.
+    pub fn add_two_way(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        class: RoadClass,
+    ) -> Result<(SegmentId, SegmentId), BuildError> {
+        let f = self.add_segment(a, b, class)?;
+        let r = self.add_segment(b, a, class)?;
+        Ok((f, r))
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of segments added so far.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Finalizes the network, validating global invariants.
+    pub fn build(self) -> Result<RoadNetwork, BuildError> {
+        if self.nodes.is_empty() || self.segments.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        for (i, p) in self.nodes.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(BuildError::NonFinitePosition(NodeId(i as u32)));
+            }
+        }
+        Ok(RoadNetwork::from_parts(self.nodes, self.segments))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let err = b.add_segment(a, NodeId(99), RoadClass::Local).unwrap_err();
+        assert_eq!(err, BuildError::UnknownNode(NodeId(99)));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        assert_eq!(
+            b.add_segment(a, a, RoadClass::Local).unwrap_err(),
+            BuildError::SelfLoop(a)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        assert_eq!(NetworkBuilder::new().build().unwrap_err(), BuildError::Empty);
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        assert_eq!(b.build().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn rejects_non_finite_position() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let bad = b.add_node(Point::new(f64::NAN, 0.0));
+        b.add_segment(a, bad, RoadClass::Local).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::NonFinitePosition(_)
+        ));
+    }
+
+    #[test]
+    fn two_way_creates_twins() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(50.0, 0.0));
+        let (f, r) = b.add_two_way(a, c, RoadClass::Collector).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.segment(f).from, a);
+        assert_eq!(net.segment(r).from, c);
+        assert_eq!(net.segment(f).length, 50.0);
+        assert_eq!(net.segment(r).length, 50.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = BuildError::SelfLoop(NodeId(3)).to_string();
+        assert!(msg.contains("self-loop"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic city generators.
+//!
+//! The paper's road networks (Hangzhou: 92,913 segments / 67,330
+//! intersections; Xiamen: 64,828 / 37,591) are proprietary map extracts. The
+//! generator below produces networks with the same *texture*: a jittered
+//! block grid, arterial through-roads every few blocks, diagonal shortcuts,
+//! and a density gradient where the street grid thins out with distance from
+//! the center (the "rural fringe" exercised by the paper's Fig. 7a).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+use lhmm_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`generate_city`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Number of grid rows (north-south blocks + 1).
+    pub rows: usize,
+    /// Number of grid columns.
+    pub cols: usize,
+    /// Block spacing in meters.
+    pub spacing: f64,
+    /// Node jitter as a fraction of spacing (0 = perfect grid).
+    pub jitter: f64,
+    /// Base probability of deleting a (two-way) grid edge in the city core.
+    pub removal_prob: f64,
+    /// Additional removal probability at the map fringe; interpolated by
+    /// distance from center (models sparse rural road networks).
+    pub fringe_removal_prob: f64,
+    /// Every `arterial_every`-th row/column becomes an arterial (never
+    /// removed). 0 disables arterials.
+    pub arterial_every: usize,
+    /// Probability of adding a diagonal shortcut across a block.
+    pub diagonal_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A tiny city for unit tests: ~8x8 blocks, deterministic for a seed.
+    pub fn small_test(seed: u64) -> Self {
+        GeneratorConfig {
+            rows: 8,
+            cols: 8,
+            spacing: 200.0,
+            jitter: 0.15,
+            removal_prob: 0.08,
+            fringe_removal_prob: 0.25,
+            arterial_every: 4,
+            diagonal_prob: 0.05,
+            seed,
+        }
+    }
+
+    /// A Hangzhou-textured city; `scale` in `(0, 1]` shrinks the grid
+    /// dimensions (scale 1.0 ≈ 90k+ directed segments as in Table I).
+    pub fn hangzhou_like(scale: f64, seed: u64) -> Self {
+        let side = ((150.0 * scale.sqrt()).round() as usize).max(6);
+        GeneratorConfig {
+            rows: side,
+            cols: side,
+            spacing: 180.0,
+            jitter: 0.18,
+            removal_prob: 0.10,
+            fringe_removal_prob: 0.45,
+            arterial_every: 5,
+            diagonal_prob: 0.06,
+            seed,
+        }
+    }
+
+    /// A Xiamen-textured city (smaller, slightly denser blocks).
+    pub fn xiamen_like(scale: f64, seed: u64) -> Self {
+        let side = ((125.0 * scale.sqrt()).round() as usize).max(6);
+        GeneratorConfig {
+            rows: side,
+            cols: side,
+            spacing: 165.0,
+            jitter: 0.15,
+            removal_prob: 0.09,
+            fringe_removal_prob: 0.40,
+            arterial_every: 4,
+            diagonal_prob: 0.05,
+            seed,
+        }
+    }
+}
+
+/// Generates a synthetic city network. Panics on degenerate configs
+/// (fewer than 2 rows/cols).
+pub fn generate_city(cfg: &GeneratorConfig) -> RoadNetwork {
+    assert!(cfg.rows >= 2 && cfg.cols >= 2, "city must have at least 2x2 nodes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = NetworkBuilder::new();
+
+    let cx = (cfg.cols - 1) as f64 * cfg.spacing * 0.5;
+    let cy = (cfg.rows - 1) as f64 * cfg.spacing * 0.5;
+    let max_r = (cx * cx + cy * cy).sqrt().max(1.0);
+
+    // Place jittered grid nodes.
+    let mut ids: Vec<NodeId> = Vec::with_capacity(cfg.rows * cfg.cols);
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            let jx = (rng.gen::<f64>() - 0.5) * 2.0 * cfg.jitter * cfg.spacing;
+            let jy = (rng.gen::<f64>() - 0.5) * 2.0 * cfg.jitter * cfg.spacing;
+            ids.push(b.add_node(Point::new(
+                c as f64 * cfg.spacing + jx,
+                r as f64 * cfg.spacing + jy,
+            )));
+        }
+    }
+
+    let idx = |r: usize, c: usize| r * cfg.cols + c;
+    let is_arterial_row = |r: usize| cfg.arterial_every > 0 && r.is_multiple_of(cfg.arterial_every);
+    let is_arterial_col = |c: usize| cfg.arterial_every > 0 && c.is_multiple_of(cfg.arterial_every);
+
+    // Removal probability grows toward the fringe.
+    let removal_at = |r: usize, c: usize, rng: &mut StdRng| -> bool {
+        let x = c as f64 * cfg.spacing;
+        let y = r as f64 * cfg.spacing;
+        let dist = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() / max_r;
+        let p = cfg.removal_prob + (cfg.fringe_removal_prob - cfg.removal_prob) * dist;
+        rng.gen::<f64>() < p
+    };
+
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            // Eastward edge.
+            if c + 1 < cfg.cols {
+                let arterial = is_arterial_row(r);
+                if arterial || !removal_at(r, c, &mut rng) {
+                    let class = if arterial {
+                        RoadClass::Arterial
+                    } else if rng.gen::<f64>() < 0.3 {
+                        RoadClass::Collector
+                    } else {
+                        RoadClass::Local
+                    };
+                    b.add_two_way(ids[idx(r, c)], ids[idx(r, c + 1)], class)
+                        .expect("grid nodes exist");
+                }
+            }
+            // Northward edge.
+            if r + 1 < cfg.rows {
+                let arterial = is_arterial_col(c);
+                if arterial || !removal_at(r, c, &mut rng) {
+                    let class = if arterial {
+                        RoadClass::Arterial
+                    } else if rng.gen::<f64>() < 0.3 {
+                        RoadClass::Collector
+                    } else {
+                        RoadClass::Local
+                    };
+                    b.add_two_way(ids[idx(r, c)], ids[idx(r + 1, c)], class)
+                        .expect("grid nodes exist");
+                }
+            }
+            // Diagonal shortcut across the block.
+            if r + 1 < cfg.rows && c + 1 < cfg.cols && rng.gen::<f64>() < cfg.diagonal_prob {
+                b.add_two_way(ids[idx(r, c)], ids[idx(r + 1, c + 1)], RoadClass::Local)
+                    .expect("grid nodes exist");
+            }
+        }
+    }
+
+    b.build().expect("generated city is non-empty")
+}
+
+/// Size of the largest strongly-reachable component from an arbitrary
+/// arterial node, as a fraction of all nodes. Used by tests to confirm the
+/// generator yields a mostly-connected city.
+pub fn connectivity_fraction(net: &RoadNetwork) -> f64 {
+    use crate::shortest_path::DijkstraEngine;
+    let mut eng = DijkstraEngine::new(net);
+    // Start from the node closest to the bbox center.
+    let center = net.bbox().center();
+    let start = net
+        .node_ids()
+        .min_by(|&a, &b| {
+            net.node_pos(a)
+                .distance(center)
+                .partial_cmp(&net.node_pos(b).distance(center))
+                .unwrap()
+        })
+        .expect("non-empty network");
+    let reached = eng.reachable_within(net, start, f64::INFINITY).len();
+    reached as f64 / net.num_nodes() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_city(&GeneratorConfig::small_test(42));
+        let b = generate_city(&GeneratorConfig::small_test(42));
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_segments(), b.num_segments());
+        for (sa, sb) in a.segment_ids().zip(b.segment_ids()) {
+            assert_eq!(a.segment(sa).from, b.segment(sb).from);
+            assert_eq!(a.segment(sa).to, b.segment(sb).to);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_city(&GeneratorConfig::small_test(1));
+        let b = generate_city(&GeneratorConfig::small_test(2));
+        // Jitter makes node positions differ.
+        let same = a
+            .node_ids()
+            .zip(b.node_ids())
+            .all(|(x, y)| a.node_pos(x) == b.node_pos(y));
+        assert!(!same);
+    }
+
+    #[test]
+    fn city_is_mostly_connected() {
+        for seed in [0, 7, 99] {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let frac = connectivity_fraction(&net);
+            assert!(frac > 0.85, "seed {seed}: connectivity {frac}");
+        }
+    }
+
+    #[test]
+    fn arterials_exist_and_are_never_removed() {
+        let net = generate_city(&GeneratorConfig::small_test(3));
+        let arterials = net
+            .segment_ids()
+            .filter(|&s| net.segment(s).class == RoadClass::Arterial)
+            .count();
+        assert!(arterials > 0);
+    }
+
+    #[test]
+    fn scaled_config_hits_paper_scale() {
+        // At full scale the Hangzhou-like config approaches Table I's 92,913
+        // directed segments. We verify the scaling law at a small scale.
+        let cfg = GeneratorConfig::hangzhou_like(0.02, 11);
+        let net = generate_city(&cfg);
+        assert!(net.num_segments() > 1000, "{}", net.num_segments());
+        assert!(net.num_nodes() >= 400);
+    }
+
+    #[test]
+    fn fringe_is_sparser_than_core() {
+        let cfg = GeneratorConfig {
+            rows: 30,
+            cols: 30,
+            fringe_removal_prob: 0.6,
+            removal_prob: 0.02,
+            ..GeneratorConfig::small_test(5)
+        };
+        let net = generate_city(&cfg);
+        let b = net.bbox();
+        // Two equal-area square windows: one centered, one in a corner.
+        let in_window = |p: lhmm_geo::Point, fx0: f64, fy0: f64| -> bool {
+            let x = (p.x - b.min_x) / b.width();
+            let y = (p.y - b.min_y) / b.height();
+            x >= fx0 && x < fx0 + 0.3 && y >= fy0 && y < fy0 + 0.3
+        };
+        let mut core = 0usize;
+        let mut corner = 0usize;
+        for s in net.segment_ids() {
+            let m = net.segment_midpoint(s);
+            if in_window(m, 0.35, 0.35) {
+                core += 1;
+            }
+            if in_window(m, 0.0, 0.0) {
+                corner += 1;
+            }
+        }
+        assert!(core > corner, "core {core} corner {corner}");
+    }
+}

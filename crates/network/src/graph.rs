@@ -1,0 +1,316 @@
+//! The directed road-network graph.
+
+use lhmm_geo::{BBox, Point};
+
+/// Identifier of an intersection (graph node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed road segment (graph edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+impl NodeId {
+    /// Index into node-keyed arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SegmentId {
+    /// Index into segment-keyed arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Functional class of a road segment; influences simulated travel speed and
+/// route choice in `lhmm-cellsim`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoadClass {
+    /// High-capacity through road (urban viaduct / arterial).
+    Arterial,
+    /// Ordinary collector street.
+    Collector,
+    /// Local access street.
+    Local,
+}
+
+impl RoadClass {
+    /// Free-flow speed in meters/second used by the trip simulator.
+    pub fn free_flow_speed(self) -> f64 {
+        match self {
+            RoadClass::Arterial => 19.4, // ~70 km/h
+            RoadClass::Collector => 13.9, // ~50 km/h
+            RoadClass::Local => 8.3,      // ~30 km/h
+        }
+    }
+}
+
+/// A directed road segment between two intersections.
+///
+/// Segment geometry is the straight line between its endpoint nodes; the
+/// synthetic generators place nodes densely enough that this matches the
+/// fidelity of typical map-matching road models.
+#[derive(Clone, Copy, Debug)]
+pub struct Segment {
+    /// Start intersection.
+    pub from: NodeId,
+    /// End intersection.
+    pub to: NodeId,
+    /// Cached Euclidean length in meters.
+    pub length: f64,
+    /// Functional class.
+    pub class: RoadClass,
+}
+
+/// A directed road network with CSR adjacency for fast expansion.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    node_pos: Vec<Point>,
+    segments: Vec<Segment>,
+    // CSR over outgoing segments per node.
+    out_offsets: Vec<u32>,
+    out_segments: Vec<SegmentId>,
+    // CSR over incoming segments per node.
+    in_offsets: Vec<u32>,
+    in_segments: Vec<SegmentId>,
+    bbox: BBox,
+}
+
+impl RoadNetwork {
+    /// Assembles a network from parts. Prefer [`crate::builder::NetworkBuilder`]
+    /// which validates invariants; this is the raw constructor it calls.
+    pub(crate) fn from_parts(node_pos: Vec<Point>, segments: Vec<Segment>) -> Self {
+        let n = node_pos.len();
+        let mut out_counts = vec![0u32; n];
+        let mut in_counts = vec![0u32; n];
+        for seg in &segments {
+            out_counts[seg.from.idx()] += 1;
+            in_counts[seg.to.idx()] += 1;
+        }
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        for c in &out_counts {
+            out_offsets.push(acc);
+            acc += c;
+        }
+        out_offsets.push(acc);
+        acc = 0;
+        for c in &in_counts {
+            in_offsets.push(acc);
+            acc += c;
+        }
+        in_offsets.push(acc);
+
+        let mut out_segments = vec![SegmentId(0); segments.len()];
+        let mut in_segments = vec![SegmentId(0); segments.len()];
+        let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for (i, seg) in segments.iter().enumerate() {
+            let sid = SegmentId(i as u32);
+            let oc = &mut out_cursor[seg.from.idx()];
+            out_segments[*oc as usize] = sid;
+            *oc += 1;
+            let ic = &mut in_cursor[seg.to.idx()];
+            in_segments[*ic as usize] = sid;
+            *ic += 1;
+        }
+
+        let bbox = BBox::from_points(&node_pos)
+            .unwrap_or_else(|| BBox::from_point(Point::ORIGIN));
+
+        RoadNetwork {
+            node_pos,
+            segments,
+            out_offsets,
+            out_segments,
+            in_offsets,
+            in_segments,
+            bbox,
+        }
+    }
+
+    /// Number of intersections.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_pos.len()
+    }
+
+    /// Number of directed road segments.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Position of a node.
+    #[inline]
+    pub fn node_pos(&self, n: NodeId) -> Point {
+        self.node_pos[n.idx()]
+    }
+
+    /// Segment record.
+    #[inline]
+    pub fn segment(&self, s: SegmentId) -> &Segment {
+        &self.segments[s.idx()]
+    }
+
+    /// Start point of a segment's geometry.
+    #[inline]
+    pub fn segment_start(&self, s: SegmentId) -> Point {
+        self.node_pos(self.segments[s.idx()].from)
+    }
+
+    /// End point of a segment's geometry.
+    #[inline]
+    pub fn segment_end(&self, s: SegmentId) -> Point {
+        self.node_pos(self.segments[s.idx()].to)
+    }
+
+    /// Midpoint of a segment's geometry, used as its representative position
+    /// by the embedding layer.
+    #[inline]
+    pub fn segment_midpoint(&self, s: SegmentId) -> Point {
+        self.segment_start(s).midpoint(self.segment_end(s))
+    }
+
+    /// Heading of the segment in radians.
+    #[inline]
+    pub fn segment_heading(&self, s: SegmentId) -> f64 {
+        self.segment_start(s).bearing_to(self.segment_end(s))
+    }
+
+    /// Outgoing segments of a node.
+    #[inline]
+    pub fn out_segments(&self, n: NodeId) -> &[SegmentId] {
+        let lo = self.out_offsets[n.idx()] as usize;
+        let hi = self.out_offsets[n.idx() + 1] as usize;
+        &self.out_segments[lo..hi]
+    }
+
+    /// Incoming segments of a node.
+    #[inline]
+    pub fn in_segments(&self, n: NodeId) -> &[SegmentId] {
+        let lo = self.in_offsets[n.idx()] as usize;
+        let hi = self.in_offsets[n.idx() + 1] as usize;
+        &self.in_segments[lo..hi]
+    }
+
+    /// Segments that can directly follow `s` (sharing `s.to`).
+    #[inline]
+    pub fn successors(&self, s: SegmentId) -> &[SegmentId] {
+        self.out_segments(self.segments[s.idx()].to)
+    }
+
+    /// Segments that can directly precede `s` (sharing `s.from`).
+    #[inline]
+    pub fn predecessors(&self, s: SegmentId) -> &[SegmentId] {
+        self.in_segments(self.segments[s.idx()].from)
+    }
+
+    /// Iterator over all segment ids.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.segments.len() as u32).map(SegmentId)
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_pos.len() as u32).map(NodeId)
+    }
+
+    /// Bounding box of the node positions.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Distance from `p` to the (straight-line) geometry of segment `s`.
+    #[inline]
+    pub fn distance_to_segment(&self, p: Point, s: SegmentId) -> f64 {
+        lhmm_geo::segment::distance_to_segment(p, self.segment_start(s), self.segment_end(s))
+    }
+
+    /// Projection of `p` onto segment `s`.
+    #[inline]
+    pub fn project(&self, p: Point, s: SegmentId) -> lhmm_geo::Projection {
+        lhmm_geo::project_onto_segment(p, self.segment_start(s), self.segment_end(s))
+    }
+
+    /// The opposite-direction twin of `s` when one exists (a segment from
+    /// `s.to` back to `s.from`).
+    pub fn reverse_of(&self, s: SegmentId) -> Option<SegmentId> {
+        let seg = self.segment(s);
+        self.out_segments(seg.to)
+            .iter()
+            .copied()
+            .find(|&c| self.segment(c).to == seg.from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    /// 0 → 1 → 2 with a return edge 2 → 0.
+    fn triangle() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(100.0, 0.0));
+        let d = b.add_node(Point::new(100.0, 100.0));
+        b.add_segment(a, c, RoadClass::Collector).unwrap();
+        b.add_segment(c, d, RoadClass::Collector).unwrap();
+        b.add_segment(d, a, RoadClass::Arterial).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let net = triangle();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_segments(), 3);
+        assert_eq!(net.out_segments(NodeId(0)), &[SegmentId(0)]);
+        assert_eq!(net.in_segments(NodeId(0)), &[SegmentId(2)]);
+        assert_eq!(net.successors(SegmentId(0)), &[SegmentId(1)]);
+        assert_eq!(net.predecessors(SegmentId(1)), &[SegmentId(0)]);
+    }
+
+    #[test]
+    fn segment_geometry() {
+        let net = triangle();
+        assert_eq!(net.segment(SegmentId(0)).length, 100.0);
+        assert_eq!(net.segment_midpoint(SegmentId(0)), Point::new(50.0, 0.0));
+        assert!((net.segment_heading(SegmentId(1)) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_and_projection() {
+        let net = triangle();
+        assert_eq!(net.distance_to_segment(Point::new(50.0, 30.0), SegmentId(0)), 30.0);
+        let pr = net.project(Point::new(50.0, 30.0), SegmentId(0));
+        assert_eq!(pr.point, Point::new(50.0, 0.0));
+    }
+
+    #[test]
+    fn reverse_of_twin_edges() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(10.0, 0.0));
+        let s_fwd = b.add_segment(a, c, RoadClass::Local).unwrap();
+        let s_bwd = b.add_segment(c, a, RoadClass::Local).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.reverse_of(s_fwd), Some(s_bwd));
+        assert_eq!(net.reverse_of(s_bwd), Some(s_fwd));
+        let net2 = triangle();
+        assert_eq!(net2.reverse_of(SegmentId(0)), None);
+    }
+
+    #[test]
+    fn road_class_speeds_are_ordered() {
+        assert!(RoadClass::Arterial.free_flow_speed() > RoadClass::Collector.free_flow_speed());
+        assert!(RoadClass::Collector.free_flow_speed() > RoadClass::Local.free_flow_speed());
+    }
+}

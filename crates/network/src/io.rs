@@ -1,0 +1,202 @@
+//! CSV import/export of road networks.
+//!
+//! Real deployments match against map extracts rather than synthetic
+//! cities. The format is two headerless CSV files:
+//!
+//! * nodes: `id,x,y` — integer id (dense, 0-based), planar meters,
+//! * segments: `from,to,class` — node ids plus `arterial|collector|local`.
+//!
+//! Geometry is straight-line per segment, matching the rest of the
+//! workspace; polyline roads should be pre-split into segments.
+
+use crate::builder::{BuildError, NetworkBuilder};
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+use lhmm_geo::Point;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while reading network CSV data.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and reason).
+    Parse(usize, String),
+    /// Structural validation failed after parsing.
+    Build(BuildError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            IoError::Build(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_class(s: &str) -> Option<RoadClass> {
+    match s.trim() {
+        "arterial" => Some(RoadClass::Arterial),
+        "collector" => Some(RoadClass::Collector),
+        "local" => Some(RoadClass::Local),
+        _ => None,
+    }
+}
+
+fn class_name(c: RoadClass) -> &'static str {
+    match c {
+        RoadClass::Arterial => "arterial",
+        RoadClass::Collector => "collector",
+        RoadClass::Local => "local",
+    }
+}
+
+/// Reads a network from node and segment CSV streams.
+///
+/// Node ids must be dense and ascending from 0 (the natural output of
+/// [`write_csv`]); segments reference those ids.
+pub fn read_csv<R1: Read, R2: Read>(nodes: R1, segments: R2) -> Result<RoadNetwork, IoError> {
+    let mut b = NetworkBuilder::new();
+
+    for (lineno, line) in BufReader::new(nodes).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let id: usize = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad node id".into()))?;
+        let x: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad x coordinate".into()))?;
+        let y: f64 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad y coordinate".into()))?;
+        if id != b.num_nodes() {
+            return Err(IoError::Parse(
+                lineno + 1,
+                format!("node ids must be dense and ascending (expected {})", b.num_nodes()),
+            ));
+        }
+        b.add_node(Point::new(x, y));
+    }
+
+    for (lineno, line) in BufReader::new(segments).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let from: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad from id".into()))?;
+        let to: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad to id".into()))?;
+        let class = parts
+            .next()
+            .and_then(parse_class)
+            .ok_or_else(|| IoError::Parse(lineno + 1, "bad road class".into()))?;
+        b.add_segment(NodeId(from), NodeId(to), class)
+            .map_err(IoError::Build)?;
+    }
+
+    b.build().map_err(IoError::Build)
+}
+
+/// Writes a network as node and segment CSV streams (the inverse of
+/// [`read_csv`]).
+pub fn write_csv<W1: Write, W2: Write>(
+    net: &RoadNetwork,
+    mut nodes: W1,
+    mut segments: W2,
+) -> std::io::Result<()> {
+    for n in net.node_ids() {
+        let p = net.node_pos(n);
+        writeln!(nodes, "{},{:.3},{:.3}", n.0, p.x, p.y)?;
+    }
+    for s in net.segment_ids() {
+        let seg = net.segment(s);
+        writeln!(
+            segments,
+            "{},{},{}",
+            seg.from.0,
+            seg.to.0,
+            class_name(seg.class)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let net = generate_city(&GeneratorConfig::small_test(17));
+        let mut nodes = Vec::new();
+        let mut segs = Vec::new();
+        write_csv(&net, &mut nodes, &mut segs).unwrap();
+        let loaded = read_csv(nodes.as_slice(), segs.as_slice()).unwrap();
+        assert_eq!(loaded.num_nodes(), net.num_nodes());
+        assert_eq!(loaded.num_segments(), net.num_segments());
+        for (a, b) in net.segment_ids().zip(loaded.segment_ids()) {
+            assert_eq!(net.segment(a).from, loaded.segment(b).from);
+            assert_eq!(net.segment(a).to, loaded.segment(b).to);
+            assert_eq!(net.segment(a).class, loaded.segment(b).class);
+            assert!((net.segment(a).length - loaded.segment(b).length).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn read_accepts_comments_and_blank_lines() {
+        let nodes = "# header\n0,0.0,0.0\n\n1,100.0,0.0\n";
+        let segs = "# from,to,class\n0,1,local\n1,0,arterial\n";
+        let net = read_csv(nodes.as_bytes(), segs.as_bytes()).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_segments(), 2);
+        assert_eq!(net.segment(crate::graph::SegmentId(1)).class, RoadClass::Arterial);
+    }
+
+    #[test]
+    fn read_rejects_malformed_lines() {
+        let bad_node = read_csv("zero,0,0\n".as_bytes(), "".as_bytes());
+        assert!(matches!(bad_node, Err(IoError::Parse(1, _))));
+        let bad_gap = read_csv("5,0,0\n".as_bytes(), "".as_bytes());
+        assert!(matches!(bad_gap, Err(IoError::Parse(1, _))));
+        let bad_class = read_csv(
+            "0,0,0\n1,1,1\n".as_bytes(),
+            "0,1,freeway\n".as_bytes(),
+        );
+        assert!(matches!(bad_class, Err(IoError::Parse(1, _))));
+        let bad_ref = read_csv("0,0,0\n1,1,1\n".as_bytes(), "0,7,local\n".as_bytes());
+        assert!(matches!(bad_ref, Err(IoError::Build(_))));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = read_csv("x,0,0\n".as_bytes(), "".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Road-segment sequences (matching paths and ground-truth paths).
+
+use crate::graph::{RoadNetwork, SegmentId};
+use lhmm_geo::{polyline, Point};
+use std::collections::HashSet;
+
+/// A path on the road network: an ordered sequence of directed segments.
+///
+/// Both matcher outputs and ground-truth travel paths use this type. A path
+/// is *contiguous* when each segment starts at the node the previous one
+/// ends at; matcher outputs are contiguous by construction, but the type does
+/// not enforce it so that partial/diagnostic paths can be represented.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Path {
+    /// Traversed segments in travel order.
+    pub segments: Vec<SegmentId>,
+}
+
+impl Path {
+    /// Creates a path from segments.
+    pub fn new(segments: Vec<SegmentId>) -> Self {
+        Path { segments }
+    }
+
+    /// An empty path.
+    pub fn empty() -> Self {
+        Path::default()
+    }
+
+    /// True when the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total length in meters.
+    pub fn length(&self, net: &RoadNetwork) -> f64 {
+        self.segments.iter().map(|&s| net.segment(s).length).sum()
+    }
+
+    /// True when consecutive segments share a node.
+    pub fn is_contiguous(&self, net: &RoadNetwork) -> bool {
+        self.segments
+            .windows(2)
+            .all(|w| net.segment(w[0]).to == net.segment(w[1]).from)
+    }
+
+    /// Geometry as a point sequence (node positions). Empty for an empty
+    /// path. Non-contiguous paths yield the concatenation of segment
+    /// endpoint pairs.
+    pub fn polyline(&self, net: &RoadNetwork) -> Vec<Point> {
+        if self.segments.is_empty() {
+            return Vec::new();
+        }
+        let mut pts = Vec::with_capacity(self.segments.len() + 1);
+        pts.push(net.segment_start(self.segments[0]));
+        for &s in &self.segments {
+            let start = net.segment_start(s);
+            if *pts.last().expect("non-empty") != start {
+                pts.push(start);
+            }
+            pts.push(net.segment_end(s));
+        }
+        pts
+    }
+
+    /// Sum of absolute turn angles along the path geometry, in radians
+    /// (the explicit transition feature `D_T`).
+    pub fn total_turn(&self, net: &RoadNetwork) -> f64 {
+        polyline::total_turn(&self.polyline(net))
+    }
+
+    /// Set view of the traversed segments.
+    pub fn segment_set(&self) -> HashSet<SegmentId> {
+        self.segments.iter().copied().collect()
+    }
+
+    /// True when the path traverses `s`.
+    pub fn contains(&self, s: SegmentId) -> bool {
+        self.segments.contains(&s)
+    }
+
+    /// Removes immediate duplicate segments (produced when consecutive
+    /// trajectory points match the same road).
+    pub fn dedup_consecutive(&mut self) {
+        self.segments.dedup();
+    }
+
+    /// Appends a route, skipping a leading segment equal to the current last
+    /// segment (routes between candidates share their boundary segment).
+    pub fn extend_with(&mut self, segments: &[SegmentId]) {
+        for &s in segments {
+            if self.segments.last() != Some(&s) {
+                self.segments.push(s);
+            }
+        }
+    }
+}
+
+impl FromIterator<SegmentId> for Path {
+    fn from_iter<T: IntoIterator<Item = SegmentId>>(iter: T) -> Self {
+        Path::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::graph::RoadClass;
+
+    fn line_net() -> (RoadNetwork, Vec<SegmentId>) {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(100.0, 100.0));
+        let n3 = b.add_node(Point::new(200.0, 100.0));
+        let s0 = b.add_segment(n0, n1, RoadClass::Local).unwrap();
+        let s1 = b.add_segment(n1, n2, RoadClass::Local).unwrap();
+        let s2 = b.add_segment(n2, n3, RoadClass::Local).unwrap();
+        (b.build().unwrap(), vec![s0, s1, s2])
+    }
+
+    #[test]
+    fn length_and_contiguity() {
+        let (net, segs) = line_net();
+        let p = Path::new(segs.clone());
+        assert_eq!(p.length(&net), 300.0);
+        assert!(p.is_contiguous(&net));
+        let gap = Path::new(vec![segs[0], segs[2]]);
+        assert!(!gap.is_contiguous(&net));
+    }
+
+    #[test]
+    fn polyline_of_contiguous_path() {
+        let (net, segs) = line_net();
+        let p = Path::new(segs);
+        let pl = p.polyline(&net);
+        assert_eq!(
+            pl,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(100.0, 100.0),
+                Point::new(200.0, 100.0),
+            ]
+        );
+        assert!(Path::empty().polyline(&net).is_empty());
+    }
+
+    #[test]
+    fn total_turn_two_right_angles() {
+        let (net, segs) = line_net();
+        let p = Path::new(segs);
+        assert!((p.total_turn(&net) - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_with_skips_shared_boundary() {
+        let (_, segs) = line_net();
+        let mut p = Path::new(vec![segs[0], segs[1]]);
+        p.extend_with(&[segs[1], segs[2]]);
+        assert_eq!(p.segments, vec![segs[0], segs[1], segs[2]]);
+    }
+
+    #[test]
+    fn dedup_consecutive_removes_repeats() {
+        let (_, segs) = line_net();
+        let mut p = Path::new(vec![segs[0], segs[0], segs[1], segs[1], segs[1], segs[0]]);
+        p.dedup_consecutive();
+        assert_eq!(p.segments, vec![segs[0], segs[1], segs[0]]);
+    }
+
+    #[test]
+    fn from_iterator_and_set() {
+        let (_, segs) = line_net();
+        let p: Path = segs.iter().copied().collect();
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(segs[1]));
+        assert_eq!(p.segment_set().len(), 3);
+    }
+}

@@ -1,0 +1,546 @@
+//! Bounded Dijkstra searches used for transition evaluation and trip
+//! generation.
+//!
+//! The HMM evaluates, for every pair of consecutive candidate road segments,
+//! the shortest route between the two projection points. One Dijkstra per
+//! *source* candidate answers all targets of the next trajectory point at
+//! once ([`DijkstraEngine::node_to_nodes`]); the engine reuses its internal
+//! arrays across queries via epoch stamping so no per-query allocation of
+//! O(|V|) memory occurs.
+
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A route through the network: the traversed segments and its length in
+/// meters (including partial first/last segments when built from
+/// projections).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// Traversed segments in order.
+    pub segments: Vec<SegmentId>,
+    /// Total length in meters.
+    pub length: f64,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison. Distances are finite
+        // by construction so partial_cmp never fails.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable Dijkstra state for a fixed network.
+pub struct DijkstraEngine {
+    dist: Vec<f64>,
+    parent_seg: Vec<u32>,
+    epoch: Vec<u32>,
+    current_epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine sized for `net`.
+    pub fn new(net: &RoadNetwork) -> Self {
+        let n = net.num_nodes();
+        DijkstraEngine {
+            dist: vec![f64::INFINITY; n],
+            parent_seg: vec![NO_PARENT; n],
+            epoch: vec![0; n],
+            current_epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        // Epoch stamping: a node's entries are valid only when its epoch
+        // matches; wrap-around forces a full clear.
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+        if self.current_epoch == 0 {
+            self.epoch.fill(0);
+            self.current_epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn get_dist(&self, n: NodeId) -> f64 {
+        if self.epoch[n.idx()] == self.current_epoch {
+            self.dist[n.idx()]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, n: NodeId, d: f64, parent: u32) {
+        self.dist[n.idx()] = d;
+        self.parent_seg[n.idx()] = parent;
+        self.epoch[n.idx()] = self.current_epoch;
+    }
+
+    /// One-to-many shortest paths from `source` to every node in `targets`,
+    /// bounded by `max_dist` meters. Entry `i` of the result is `None` when
+    /// `targets[i]` is unreachable within the bound.
+    ///
+    /// Each returned route is the segment sequence from `source` to the
+    /// target node with its total length.
+    pub fn node_to_nodes(
+        &mut self,
+        net: &RoadNetwork,
+        source: NodeId,
+        targets: &[NodeId],
+        max_dist: f64,
+    ) -> Vec<Option<Route>> {
+        self.reset();
+        self.set(source, 0.0, NO_PARENT);
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+
+        let mut remaining: usize = {
+            // Count distinct targets not yet settled (duplicates allowed).
+            targets.len()
+        };
+        let mut settled = vec![false; targets.len()];
+
+        while let Some(HeapEntry { dist, node }) = self.heap.pop() {
+            if dist > self.get_dist(node) {
+                continue; // stale entry
+            }
+            // Settle any matching targets.
+            for (i, &t) in targets.iter().enumerate() {
+                if !settled[i] && t == node {
+                    settled[i] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            if dist > max_dist {
+                break;
+            }
+            for &sid in net.out_segments(node) {
+                let seg = net.segment(sid);
+                let nd = dist + seg.length;
+                if nd < self.get_dist(seg.to) && nd <= max_dist {
+                    self.set(seg.to, nd, sid.0);
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        node: seg.to,
+                    });
+                }
+            }
+        }
+
+        targets
+            .iter()
+            .map(|&t| {
+                let d = self.get_dist(t);
+                if d.is_finite() {
+                    Some(Route {
+                        segments: self.reconstruct(net, t),
+                        length: d,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Single-target convenience wrapper around [`Self::node_to_nodes`].
+    pub fn node_to_node(
+        &mut self,
+        net: &RoadNetwork,
+        source: NodeId,
+        target: NodeId,
+        max_dist: f64,
+    ) -> Option<Route> {
+        self.node_to_nodes(net, source, &[target], max_dist)
+            .pop()
+            .flatten()
+    }
+
+    /// Distances (no paths) from `source` to all nodes within `max_dist`.
+    /// Returns `(node, distance)` pairs in settle order.
+    pub fn reachable_within(
+        &mut self,
+        net: &RoadNetwork,
+        source: NodeId,
+        max_dist: f64,
+    ) -> Vec<(NodeId, f64)> {
+        self.reset();
+        self.set(source, 0.0, NO_PARENT);
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: source,
+        });
+        let mut out = Vec::new();
+        while let Some(HeapEntry { dist, node }) = self.heap.pop() {
+            if dist > self.get_dist(node) {
+                continue;
+            }
+            if dist > max_dist {
+                break;
+            }
+            out.push((node, dist));
+            for &sid in net.out_segments(node) {
+                let seg = net.segment(sid);
+                let nd = dist + seg.length;
+                if nd < self.get_dist(seg.to) && nd <= max_dist {
+                    self.set(seg.to, nd, sid.0);
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        node: seg.to,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn reconstruct(&self, net: &RoadNetwork, target: NodeId) -> Vec<SegmentId> {
+        let mut segs = Vec::new();
+        let mut cur = target;
+        loop {
+            let p = self.parent_seg[cur.idx()];
+            if self.epoch[cur.idx()] != self.current_epoch || p == NO_PARENT {
+                break;
+            }
+            let sid = SegmentId(p);
+            segs.push(sid);
+            cur = net.segment(sid).from;
+        }
+        segs.reverse();
+        segs
+    }
+}
+
+/// Shortest node-to-node route under a caller-supplied segment weight.
+///
+/// Used by the trip generator to sample *plausible but not strictly shortest*
+/// routes (per-trip perturbed weights). Slower than [`DijkstraEngine`]; not
+/// for the matching hot path.
+pub fn node_to_node_weighted(
+    net: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    weight: impl Fn(SegmentId) -> f64,
+) -> Option<Route> {
+    use std::collections::HashMap;
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut parent: HashMap<NodeId, SegmentId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        if node == target {
+            break;
+        }
+        for &sid in net.out_segments(node) {
+            let w = weight(sid);
+            debug_assert!(w >= 0.0, "segment weights must be non-negative");
+            let seg = net.segment(sid);
+            let nd = d + w;
+            if nd < *dist.get(&seg.to).unwrap_or(&f64::INFINITY) {
+                dist.insert(seg.to, nd);
+                parent.insert(seg.to, sid);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: seg.to,
+                });
+            }
+        }
+    }
+    if !dist.contains_key(&target) {
+        return None;
+    }
+    let mut segs = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let sid = *parent.get(&cur)?;
+        segs.push(sid);
+        cur = net.segment(sid).from;
+    }
+    segs.reverse();
+    let length = segs.iter().map(|&s| net.segment(s).length).sum();
+    Some(Route {
+        segments: segs,
+        length,
+    })
+}
+
+/// Shortest route between two *projection points* on candidate segments,
+/// following the paper's HMM formulation: travel the remainder of `from_seg`
+/// after offset `t_from`, the inter-node shortest path, then the onset of
+/// `to_seg` up to offset `t_to`.
+///
+/// `t_from` / `t_to` are normalized positions in `[0, 1]` along the segments.
+/// When `from_seg == to_seg` and `t_to >= t_from` the route stays on the
+/// segment. Returns `None` when no route exists within `max_dist`.
+pub fn route_between_projections(
+    net: &RoadNetwork,
+    engine: &mut DijkstraEngine,
+    from_seg: SegmentId,
+    t_from: f64,
+    to_seg: SegmentId,
+    t_to: f64,
+    max_dist: f64,
+) -> Option<Route> {
+    if from_seg == to_seg && t_to >= t_from {
+        let len = net.segment(from_seg).length * (t_to - t_from);
+        return Some(Route {
+            segments: vec![from_seg],
+            length: len,
+        });
+    }
+    let from = net.segment(from_seg);
+    let to = net.segment(to_seg);
+    let head = from.length * (1.0 - t_from);
+    let tail = to.length * t_to;
+    let inner = engine.node_to_node(net, from.to, to.from, max_dist)?;
+    let mut segments = Vec::with_capacity(inner.segments.len() + 2);
+    segments.push(from_seg);
+    segments.extend_from_slice(&inner.segments);
+    segments.push(to_seg);
+    Some(Route {
+        segments,
+        length: head + inner.length + tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::graph::RoadClass;
+    use lhmm_geo::Point;
+
+    /// A 3x3 grid with 100 m spacing, all roads two-way.
+    fn grid3() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                ids.push(b.add_node(Point::new(x as f64 * 100.0, y as f64 * 100.0)));
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                let i = y * 3 + x;
+                if x + 1 < 3 {
+                    b.add_two_way(ids[i], ids[i + 1], RoadClass::Collector).unwrap();
+                }
+                if y + 1 < 3 {
+                    b.add_two_way(ids[i], ids[i + 3], RoadClass::Collector).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diagonal_distance_on_grid() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let r = eng
+            .node_to_node(&net, NodeId(0), NodeId(8), 10_000.0)
+            .unwrap();
+        assert_eq!(r.length, 400.0);
+        assert_eq!(r.segments.len(), 4);
+        // Route is contiguous.
+        for w in r.segments.windows(2) {
+            assert_eq!(net.segment(w[0]).to, net.segment(w[1]).from);
+        }
+        assert_eq!(net.segment(r.segments[0]).from, NodeId(0));
+        assert_eq!(net.segment(*r.segments.last().unwrap()).to, NodeId(8));
+    }
+
+    #[test]
+    fn unreachable_beyond_bound() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        assert!(eng.node_to_node(&net, NodeId(0), NodeId(8), 399.0).is_none());
+        assert!(eng.node_to_node(&net, NodeId(0), NodeId(8), 400.0).is_some());
+    }
+
+    #[test]
+    fn one_to_many_matches_individual_queries() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let targets = [NodeId(2), NodeId(4), NodeId(8), NodeId(0)];
+        let batch = eng.node_to_nodes(&net, NodeId(0), &targets, 10_000.0);
+        let mut eng2 = DijkstraEngine::new(&net);
+        for (i, &t) in targets.iter().enumerate() {
+            let single = eng2.node_to_node(&net, NodeId(0), t, 10_000.0);
+            assert_eq!(
+                batch[i].as_ref().map(|r| r.length),
+                single.map(|r| r.length)
+            );
+        }
+        assert_eq!(batch[3].as_ref().unwrap().length, 0.0);
+    }
+
+    #[test]
+    fn engine_reuse_is_correct_across_queries() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let a = eng.node_to_node(&net, NodeId(0), NodeId(8), 1e9).unwrap().length;
+        let b = eng.node_to_node(&net, NodeId(8), NodeId(0), 1e9).unwrap().length;
+        let a2 = eng.node_to_node(&net, NodeId(0), NodeId(8), 1e9).unwrap().length;
+        assert_eq!(a, 400.0);
+        assert_eq!(b, 400.0);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn reachable_within_radius() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let reach = eng.reachable_within(&net, NodeId(4), 100.0);
+        // Center node + its 4 direct neighbors.
+        assert_eq!(reach.len(), 5);
+        assert_eq!(reach[0], (NodeId(4), 0.0));
+    }
+
+    #[test]
+    fn weighted_route_respects_weights() {
+        let net = grid3();
+        // Make horizontal edges from node 0 very expensive: the route 0 -> 2
+        // should detour through the second row.
+        let route = node_to_node_weighted(&net, NodeId(0), NodeId(2), |sid| {
+            let s = net.segment(sid);
+            let horizontal =
+                (net.node_pos(s.from).y - net.node_pos(s.to).y).abs() < 1e-9;
+            let on_row0 = net.node_pos(s.from).y == 0.0 && net.node_pos(s.to).y == 0.0;
+            if horizontal && on_row0 {
+                1000.0
+            } else {
+                s.length
+            }
+        })
+        .unwrap();
+        // Real geometric length of the detour is 400 m (up, right, right, down).
+        assert_eq!(route.length, 400.0);
+        assert_eq!(route.segments.len(), 4);
+    }
+
+    #[test]
+    fn projection_route_same_segment() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let sid = SegmentId(0);
+        let r = route_between_projections(&net, &mut eng, sid, 0.2, sid, 0.7, 1e9).unwrap();
+        assert!((r.length - 0.5 * net.segment(sid).length).abs() < 1e-9);
+        assert_eq!(r.segments, vec![sid]);
+    }
+
+    #[test]
+    fn projection_route_backwards_on_same_segment_loops() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        let sid = SegmentId(0); // node 0 -> node 1 on the grid
+        let r = route_between_projections(&net, &mut eng, sid, 0.8, sid, 0.2, 1e9).unwrap();
+        // Must leave the segment and come back: strictly longer than direct.
+        assert!(r.length > net.segment(sid).length * 0.2);
+        assert!(r.segments.len() > 1);
+    }
+
+    #[test]
+    fn projection_route_across_segments() {
+        let net = grid3();
+        let mut eng = DijkstraEngine::new(&net);
+        // Segment 0 is node0 -> node1. Find a segment leaving node 1 east.
+        let next = *net
+            .out_segments(NodeId(1))
+            .iter()
+            .find(|&&s| net.segment(s).to == NodeId(2))
+            .unwrap();
+        let r =
+            route_between_projections(&net, &mut eng, SegmentId(0), 0.5, next, 0.5, 1e9).unwrap();
+        assert!((r.length - 100.0).abs() < 1e-9);
+        assert_eq!(r.segments, vec![SegmentId(0), next]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::generators::{GeneratorConfig, generate_city};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Shortest-path lengths obey the triangle inequality through any
+        /// intermediate node.
+        #[test]
+        fn triangle_inequality(seed in 0u64..1000) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let mut eng = DijkstraEngine::new(&net);
+            let n = net.num_nodes() as u32;
+            let a = NodeId(seed as u32 % n);
+            let b = NodeId((seed as u32 * 7 + 3) % n);
+            let c = NodeId((seed as u32 * 13 + 5) % n);
+            let ab = eng.node_to_node(&net, a, b, 1e12).map(|r| r.length);
+            let ac = eng.node_to_node(&net, a, c, 1e12).map(|r| r.length);
+            let cb = eng.node_to_node(&net, c, b, 1e12).map(|r| r.length);
+            if let (Some(ab), Some(ac), Some(cb)) = (ab, ac, cb) {
+                prop_assert!(ab <= ac + cb + 1e-6, "ab={ab} ac={ac} cb={cb}");
+            }
+        }
+
+        /// Every returned route is contiguous and its stated length matches
+        /// the sum of its segment lengths.
+        #[test]
+        fn route_is_contiguous_and_length_consistent(seed in 0u64..1000) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let mut eng = DijkstraEngine::new(&net);
+            let n = net.num_nodes() as u32;
+            let a = NodeId(seed as u32 % n);
+            let b = NodeId((seed as u32 * 31 + 17) % n);
+            if let Some(r) = eng.node_to_node(&net, a, b, 1e12) {
+                for w in r.segments.windows(2) {
+                    prop_assert_eq!(net.segment(w[0]).to, net.segment(w[1]).from);
+                }
+                let sum: f64 = r.segments.iter().map(|&s| net.segment(s).length).sum();
+                prop_assert!((sum - r.length).abs() < 1e-6);
+                if a != b {
+                    prop_assert_eq!(net.segment(r.segments[0]).from, a);
+                    prop_assert_eq!(net.segment(*r.segments.last().unwrap()).to, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Shortest-path result cache.
+//!
+//! The paper notes (Section V-A2) that "the HMM can use a precomputation
+//! table to avoid the bottleneck of repeated shortest path searches" [11].
+//! [`SpCache`] is that table: a memoized node-pair → route map in front of a
+//! [`DijkstraEngine`]. Consecutive trajectory points share most candidate
+//! pairs with their neighbors, so hit rates during matching are high.
+
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+use crate::shortest_path::{DijkstraEngine, Route};
+use std::collections::HashMap;
+
+#[derive(Clone)]
+struct Entry {
+    /// The bound the search ran with; a cached miss is only trusted when the
+    /// new query's bound does not exceed it.
+    bound: f64,
+    route: Option<Route>,
+}
+
+/// A memoizing shortest-path oracle for one network.
+pub struct SpCache {
+    engine: DijkstraEngine,
+    map: HashMap<(u32, u32), Entry>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl SpCache {
+    /// Creates a cache bounded to `capacity` node pairs. When the capacity
+    /// is exceeded the cache is cleared wholesale (matching workloads sweep
+    /// through trajectories, so LRU buys little over epoch clearing).
+    pub fn new(net: &RoadNetwork, capacity: usize) -> Self {
+        SpCache {
+            engine: DijkstraEngine::new(net),
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Shortest route from `from` to `to` bounded by `max_dist`, memoized.
+    pub fn route(
+        &mut self,
+        net: &RoadNetwork,
+        from: NodeId,
+        to: NodeId,
+        max_dist: f64,
+    ) -> Option<Route> {
+        let key = (from.0, to.0);
+        if let Some(e) = self.map.get(&key) {
+            match &e.route {
+                Some(r) if r.length <= max_dist => {
+                    self.hits += 1;
+                    return Some(r.clone());
+                }
+                Some(_) => {
+                    // Found before but too long for this query's bound.
+                    self.hits += 1;
+                    return None;
+                }
+                None if e.bound >= max_dist => {
+                    self.hits += 1;
+                    return None;
+                }
+                None => { /* previous miss had a smaller bound; recompute */ }
+            }
+        }
+        self.misses += 1;
+        let route = self.engine.node_to_node(net, from, to, max_dist);
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(
+            key,
+            Entry {
+                bound: max_dist,
+                route: route.clone(),
+            },
+        );
+        route
+    }
+
+    /// Route between projection points on two segments (see
+    /// [`crate::shortest_path::route_between_projections`]), memoized on the
+    /// inter-node portion.
+    pub fn route_between_projections(
+        &mut self,
+        net: &RoadNetwork,
+        from_seg: SegmentId,
+        t_from: f64,
+        to_seg: SegmentId,
+        t_to: f64,
+        max_dist: f64,
+    ) -> Option<Route> {
+        if from_seg == to_seg && t_to >= t_from {
+            let len = net.segment(from_seg).length * (t_to - t_from);
+            return Some(Route {
+                segments: vec![from_seg],
+                length: len,
+            });
+        }
+        let from = net.segment(from_seg);
+        let to = net.segment(to_seg);
+        let head = from.length * (1.0 - t_from);
+        let tail = to.length * t_to;
+        let inner = self.route(net, from.to, to.from, max_dist)?;
+        let mut segments = Vec::with_capacity(inner.segments.len() + 2);
+        segments.push(from_seg);
+        segments.extend_from_slice(&inner.segments);
+        segments.push(to_seg);
+        Some(Route {
+            segments,
+            length: head + inner.length + tail,
+        })
+    }
+
+    /// `(hits, misses)` counters for diagnostics and benches.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached node pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all cached entries (e.g. between datasets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+
+    #[test]
+    fn cache_returns_same_routes_as_engine() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut cache = SpCache::new(&net, 1000);
+        let mut eng = DijkstraEngine::new(&net);
+        for i in 0..20u32 {
+            let from = NodeId(i % net.num_nodes() as u32);
+            let to = NodeId((i * 7 + 3) % net.num_nodes() as u32);
+            let cached = cache.route(&net, from, to, 1e9);
+            let direct = eng.node_to_node(&net, from, to, 1e9);
+            assert_eq!(
+                cached.as_ref().map(|r| r.length),
+                direct.as_ref().map(|r| r.length),
+                "{from:?} -> {to:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut cache = SpCache::new(&net, 1000);
+        cache.route(&net, NodeId(0), NodeId(5), 1e9);
+        cache.route(&net, NodeId(0), NodeId(5), 1e9);
+        cache.route(&net, NodeId(0), NodeId(5), 1e9);
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn tighter_bound_on_cached_route_misses_correctly() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut cache = SpCache::new(&net, 1000);
+        let r = cache.route(&net, NodeId(0), NodeId(30), 1e9).unwrap();
+        // Ask again with a bound below the found length: must answer None
+        // without recomputing.
+        let again = cache.route(&net, NodeId(0), NodeId(30), r.length * 0.5);
+        assert!(again.is_none());
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn miss_with_larger_bound_recomputes() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut cache = SpCache::new(&net, 1000);
+        // Tiny bound: miss.
+        assert!(cache.route(&net, NodeId(0), NodeId(30), 1.0).is_none());
+        // Large bound must recompute and succeed.
+        assert!(cache.route(&net, NodeId(0), NodeId(30), 1e9).is_some());
+    }
+
+    #[test]
+    fn capacity_clears_instead_of_growing() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut cache = SpCache::new(&net, 4);
+        for i in 0..20u32 {
+            cache.route(&net, NodeId(0), NodeId(i + 1), 1e9);
+        }
+        assert!(cache.len() <= 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Precomputed upper-bounded origin–destination routing table (UBODT).
+//!
+//! The paper notes (§V-A2) that the HMM "can use a precomputation table to
+//! avoid the bottleneck of repeated shortest path searches", citing FMM
+//! [Yang & Gidófalvi 2018]. This is that structure: for every node, the
+//! shortest routes to all nodes within a length bound are computed once;
+//! queries then reconstruct any route in O(path length) hash lookups with
+//! no search at all.
+//!
+//! Memory grows with `bound²·density`, so the table suits the matching
+//! workload's short-to-medium transitions; longer queries should fall back
+//! to [`crate::sp_cache::SpCache`].
+
+use crate::graph::{NodeId, RoadNetwork, SegmentId};
+use crate::shortest_path::{DijkstraEngine, Route};
+use std::collections::HashMap;
+
+/// One UBODT record: the first hop of the shortest path `source → target`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Entry {
+    /// First segment on the shortest path from the source.
+    first_seg: SegmentId,
+    /// Total shortest-path length in meters.
+    dist: f64,
+}
+
+/// The precomputed table.
+pub struct SpTable {
+    bound: f64,
+    entries: HashMap<(u32, u32), Entry>,
+}
+
+impl SpTable {
+    /// Precomputes routes from every node to all nodes within `bound`
+    /// meters. Runs one bounded Dijkstra per node.
+    pub fn precompute(net: &RoadNetwork, bound: f64) -> Self {
+        assert!(bound > 0.0, "bound must be positive");
+        let mut engine = DijkstraEngine::new(net);
+        let mut entries = HashMap::new();
+        for source in net.node_ids() {
+            // Settle all nodes in range, then store each target's first hop
+            // by walking the parent chain (the engine reconstructs full
+            // routes; we only keep the first segment per target).
+            let reached = engine.reachable_within(net, source, bound);
+            let targets: Vec<NodeId> =
+                reached.iter().map(|&(n, _)| n).filter(|&n| n != source).collect();
+            if targets.is_empty() {
+                continue;
+            }
+            let routes = engine.node_to_nodes(net, source, &targets, bound);
+            for (t, route) in targets.iter().zip(routes) {
+                if let Some(r) = route {
+                    if let Some(&first) = r.segments.first() {
+                        entries.insert(
+                            (source.0, t.0),
+                            Entry {
+                                first_seg: first,
+                                dist: r.length,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        SpTable { bound, entries }
+    }
+
+    /// The precomputation bound in meters.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Number of stored origin–destination pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shortest distance from `source` to `target`, when within the bound.
+    pub fn distance(&self, source: NodeId, target: NodeId) -> Option<f64> {
+        if source == target {
+            return Some(0.0);
+        }
+        self.entries.get(&(source.0, target.0)).map(|e| e.dist)
+    }
+
+    /// Reconstructs the shortest route by chaining first-hop records.
+    /// Returns `None` when the pair is outside the precomputed bound.
+    pub fn route(&self, net: &RoadNetwork, source: NodeId, target: NodeId) -> Option<Route> {
+        if source == target {
+            return Some(Route {
+                segments: Vec::new(),
+                length: 0.0,
+            });
+        }
+        let mut segments = Vec::new();
+        let mut cur = source;
+        let length = self.distance(source, target)?;
+        while cur != target {
+            let e = self.entries.get(&(cur.0, target.0))?;
+            segments.push(e.first_seg);
+            cur = net.segment(e.first_seg).to;
+        }
+        Some(Route { segments, length })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+
+    fn city() -> RoadNetwork {
+        generate_city(&GeneratorConfig::small_test(19))
+    }
+
+    #[test]
+    fn table_matches_dijkstra_within_bound() {
+        let net = city();
+        let bound = 800.0;
+        let table = SpTable::precompute(&net, bound);
+        assert!(!table.is_empty());
+        let mut engine = DijkstraEngine::new(&net);
+        let n = net.num_nodes() as u32;
+        let mut checked = 0;
+        for i in 0..40u32 {
+            let s = NodeId((i * 17) % n);
+            let t = NodeId((i * 29 + 3) % n);
+            let direct = engine.node_to_node(&net, s, t, bound);
+            match (table.route(&net, s, t), direct) {
+                (Some(tr), Some(dr)) => {
+                    assert!((tr.length - dr.length).abs() < 1e-6, "{s:?}->{t:?}");
+                    // Route is contiguous and ends at the target.
+                    for w in tr.segments.windows(2) {
+                        assert_eq!(net.segment(w[0]).to, net.segment(w[1]).from);
+                    }
+                    if s != t {
+                        assert_eq!(net.segment(*tr.segments.last().unwrap()).to, t);
+                    }
+                    checked += 1;
+                }
+                (None, None) => {}
+                (table_r, direct_r) => panic!(
+                    "table/direct disagree for {s:?}->{t:?}: {:?} vs {:?}",
+                    table_r.map(|r| r.length),
+                    direct_r.map(|r| r.length)
+                ),
+            }
+        }
+        assert!(checked > 5, "too few in-bound pairs checked");
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let net = city();
+        let table = SpTable::precompute(&net, 400.0);
+        let r = table.route(&net, NodeId(3), NodeId(3)).unwrap();
+        assert!(r.segments.is_empty());
+        assert_eq!(r.length, 0.0);
+        assert_eq!(table.distance(NodeId(3), NodeId(3)), Some(0.0));
+    }
+
+    #[test]
+    fn out_of_bound_pairs_are_absent() {
+        let net = city();
+        // Tiny bound: distant corners must be absent.
+        let table = SpTable::precompute(&net, 250.0);
+        let far_a = NodeId(0);
+        let far_b = NodeId((net.num_nodes() - 1) as u32);
+        assert!(table.route(&net, far_a, far_b).is_none());
+        assert!(table.distance(far_a, far_b).is_none());
+    }
+
+    #[test]
+    fn larger_bound_stores_more_pairs() {
+        let net = city();
+        let small = SpTable::precompute(&net, 300.0);
+        let large = SpTable::precompute(&net, 900.0);
+        assert!(large.len() > small.len());
+        assert_eq!(large.bound(), 900.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Uniform-grid spatial index over road segments.
+//!
+//! Candidate preparation needs, for every trajectory point, the set of road
+//! segments within a large radius (cellular positioning errors reach 3 km) or
+//! the k nearest segments. A uniform grid is the right structure here: the
+//! synthetic cities have near-uniform segment density, queries are huge
+//! relative to segment extent, and construction is a single pass.
+
+use crate::graph::{RoadNetwork, SegmentId};
+use lhmm_geo::{BBox, Point};
+
+/// Spatial index over the segments of one [`RoadNetwork`].
+pub struct SpatialIndex {
+    cell_size: f64,
+    origin: Point,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SpatialIndex {
+    /// Builds the index with the given `cell_size` in meters.
+    ///
+    /// A cell size near the median segment length (150–300 m for the
+    /// synthetic cities) keeps per-cell lists short without exploding the
+    /// number of cells a segment spans.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let bbox = net.bbox().inflated(cell_size);
+        let cols = (bbox.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (bbox.height() / cell_size).ceil().max(1.0) as usize;
+        let mut idx = SpatialIndex {
+            cell_size,
+            origin: Point::new(bbox.min_x, bbox.min_y),
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+        };
+        for s in net.segment_ids() {
+            let sb = BBox::from_segment(net.segment_start(s), net.segment_end(s));
+            let (c0, r0) = idx.cell_of(Point::new(sb.min_x, sb.min_y));
+            let (c1, r1) = idx.cell_of(Point::new(sb.max_x, sb.max_y));
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    idx.cells[r * cols + c].push(s);
+                }
+            }
+        }
+        idx
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.origin.x) / self.cell_size).floor();
+        let r = ((p.y - self.origin.y) / self.cell_size).floor();
+        (
+            (c.max(0.0) as usize).min(self.cols - 1),
+            (r.max(0.0) as usize).min(self.rows - 1),
+        )
+    }
+
+    /// All segments whose geometry lies within `radius` meters of `p`,
+    /// with their distances, unsorted.
+    pub fn segments_within(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        radius: f64,
+    ) -> Vec<(SegmentId, f64)> {
+        let lo = self.cell_of(Point::new(p.x - radius, p.y - radius));
+        let hi = self.cell_of(Point::new(p.x + radius, p.y + radius));
+        let mut cand: Vec<SegmentId> = Vec::new();
+        for r in lo.1..=hi.1 {
+            for c in lo.0..=hi.0 {
+                cand.extend_from_slice(&self.cells[r * self.cols + c]);
+            }
+        }
+        // Segments spanning several cells appear several times; dedup before
+        // the (comparatively expensive) exact distance computation.
+        cand.sort_unstable();
+        cand.dedup();
+        cand.into_iter()
+            .filter_map(|s| {
+                let d = net.distance_to_segment(p, s);
+                (d <= radius).then_some((s, d))
+            })
+            .collect()
+    }
+
+    /// The `k` segments nearest to `p` within `max_radius`, sorted by
+    /// ascending distance. May return fewer than `k` when the area is sparse.
+    pub fn k_nearest(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        k: usize,
+        max_radius: f64,
+    ) -> Vec<(SegmentId, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Expand the search radius ring by ring until k hits are guaranteed.
+        let mut radius = self.cell_size;
+        loop {
+            let mut hits = self.segments_within(net, p, radius.min(max_radius));
+            if hits.len() >= k || radius >= max_radius {
+                hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                hits.truncate(k);
+                return hits;
+            }
+            radius *= 2.0;
+        }
+    }
+
+    /// Number of grid cells (diagnostics).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+
+    fn city() -> RoadNetwork {
+        generate_city(&GeneratorConfig::small_test(7))
+    }
+
+    /// Brute-force reference: distance to every segment.
+    fn brute_within(net: &RoadNetwork, p: Point, radius: f64) -> Vec<(SegmentId, f64)> {
+        let mut v: Vec<_> = net
+            .segment_ids()
+            .map(|s| (s, net.distance_to_segment(p, s)))
+            .filter(|&(_, d)| d <= radius)
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        v
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let net = city();
+        let idx = SpatialIndex::build(&net, 200.0);
+        for (px, py, radius) in [(300.0, 300.0, 250.0), (0.0, 0.0, 500.0), (900.0, 500.0, 100.0)]
+        {
+            let p = Point::new(px, py);
+            let mut fast = idx.segments_within(&net, p, radius);
+            fast.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let slow = brute_within(&net, p, radius);
+            assert_eq!(fast.len(), slow.len(), "at ({px},{py}) r={radius}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.0, s.0);
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let net = city();
+        let idx = SpatialIndex::build(&net, 200.0);
+        let p = Point::new(450.0, 620.0);
+        let fast = idx.k_nearest(&net, p, 10, 5_000.0);
+        let slow = brute_within(&net, p, f64::INFINITY);
+        assert_eq!(fast.len(), 10);
+        for (i, (s, d)) in fast.iter().enumerate() {
+            // Same distances as the brute-force ranking (ties may reorder ids).
+            assert!(
+                (d - slow[i].1).abs() < 1e-9,
+                "rank {i}: {s:?} {d} vs {:?}",
+                slow[i]
+            );
+        }
+        // Sorted ascending.
+        for w in fast.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn k_nearest_respects_max_radius() {
+        let net = city();
+        let idx = SpatialIndex::build(&net, 200.0);
+        // Query far outside the city with a tiny radius.
+        let p = Point::new(1e6, 1e6);
+        assert!(idx.k_nearest(&net, p, 5, 100.0).is_empty());
+        assert!(idx.k_nearest(&net, p, 0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn query_point_outside_grid_is_clamped() {
+        let net = city();
+        let idx = SpatialIndex::build(&net, 200.0);
+        let p = Point::new(-5_000.0, -5_000.0);
+        // Should not panic; a huge radius still reaches the city.
+        let hits = idx.segments_within(&net, p, 20_000.0);
+        assert_eq!(hits.len(), net.num_segments());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Grid results always equal brute force for random query points.
+        #[test]
+        fn grid_equals_brute(seed in 0u64..100, qx in -500.0..2500.0f64, qy in -500.0..2500.0f64, radius in 50.0..800.0f64) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let idx = SpatialIndex::build(&net, 180.0);
+            let p = Point::new(qx, qy);
+            let mut fast: Vec<_> = idx.segments_within(&net, p, radius);
+            fast.sort_by_key(|e| e.0);
+            let mut slow: Vec<_> = net
+                .segment_ids()
+                .map(|s| (s, net.distance_to_segment(p, s)))
+                .filter(|&(_, d)| d <= radius)
+                .collect();
+            slow.sort_by_key(|e| e.0);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                prop_assert_eq!(f.0, s.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! Reusable network layers built on the autograd tape.
+
+use crate::init;
+use crate::tape::{ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// Activation applied between MLP layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A fully connected layer `y = x W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates a layer with Xavier-initialized weights and zero bias.
+    pub fn new(store: &mut ParamStore, in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let w = store.alloc(init::xavier_uniform(in_dim, out_dim, rng));
+        let b = Some(store.alloc(init::zeros(1, out_dim)));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Allocates a bias-free layer.
+    pub fn new_no_bias(
+        store: &mut ParamStore,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.alloc(init::xavier_uniform(in_dim, out_dim, rng));
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Forward pass; `x` is n×in_dim, the result n×out_dim.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(tape.value(x).cols(), self.in_dim, "Linear input width");
+        let w = tape.param(store, self.w);
+        let h = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let b = tape.param(store, b);
+                tape.add_row_broadcast(h, b)
+            }
+            None => h,
+        }
+    }
+
+    /// Tape-free forward pass for inference hot paths.
+    pub fn infer(&self, store: &ParamStore, x: &crate::Matrix) -> crate::Matrix {
+        let mut h = x.matmul(store.value(self.w));
+        if let Some(b) = self.b {
+            let bias = store.value(b);
+            for r in 0..h.rows() {
+                for (o, &bi) in h.row_mut(r).iter_mut().zip(bias.row(0)) {
+                    *o += bi;
+                }
+            }
+        }
+        h
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A multilayer perceptron with a fixed hidden activation and identity
+/// output (losses consume raw logits).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[256, 128, 1]`
+    /// produces two layers 256→128→1.
+    pub fn new(
+        store: &mut ParamStore,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(store, w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Forward pass; the activation is applied after every layer except the
+    /// last.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i != last {
+                h = self.activation.apply(tape, h);
+            }
+        }
+        h
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Tape-free forward pass for inference hot paths.
+    pub fn infer(&self, store: &ParamStore, x: &crate::Matrix) -> crate::Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.infer(store, &h);
+            if i != last {
+                h = match self.activation {
+                    Activation::Relu => h.map(|v| v.max(0.0)),
+                    Activation::Tanh => h.map(f32::tanh),
+                    Activation::Sigmoid => h.map(|v| 1.0 / (1.0 + (-v).exp())),
+                    Activation::Identity => h,
+                };
+            }
+        }
+        h
+    }
+}
+
+/// Additive attention in the paper's Eq. 6 / Eq. 9 form:
+///
+/// ```text
+/// score_j = w_v · tanh(W_q q ⊕ W_k k_j)
+/// out     = Σ_j softmax(score)_j · v_j
+/// ```
+///
+/// The query is a single 1×d vector; keys and values are n×d matrices
+/// (values default to the keys, as in the paper where the attention
+/// summarizes raw point embeddings).
+#[derive(Clone, Debug)]
+pub struct AdditiveAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+}
+
+impl AdditiveAttention {
+    /// Allocates attention parameters for embedding width `dim` with an
+    /// internal projection width `proj`.
+    pub fn new(store: &mut ParamStore, dim: usize, proj: usize, rng: &mut impl Rng) -> Self {
+        AdditiveAttention {
+            wq: Linear::new_no_bias(store, dim, proj, rng),
+            wk: Linear::new_no_bias(store, dim, proj, rng),
+            wv: Linear::new_no_bias(store, 2 * proj, 1, rng),
+        }
+    }
+
+    /// Computes the attended context `1×d` and returns `(context, weights)`
+    /// where weights is the n×1 softmax distribution over keys.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        query: Var,
+        keys: Var,
+        values: Var,
+    ) -> (Var, Var) {
+        let n = tape.value(keys).rows();
+        debug_assert_eq!(tape.value(query).rows(), 1, "query must be a row vector");
+        let q = self.wq.forward(tape, store, query); // 1×p
+        let q_rep = tape.repeat_row(q, n); // n×p
+        let k = self.wk.forward(tape, store, keys); // n×p
+        let qk = tape.concat_cols(q_rep, k); // n×2p
+        let act = tape.tanh(qk);
+        let scores = self.wv.forward(tape, store, act); // n×1
+        // Softmax over the n scores: transpose to 1×n, row-softmax, back.
+        let st = tape.transpose(scores); // 1×n
+        let sm = tape.softmax_rows(st); // 1×n
+        let context = tape.matmul(sm, values); // 1×d
+        let weights = tape.transpose(sm); // n×1
+        (context, weights)
+    }
+
+    /// Tape-free forward pass: returns the attended context row.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        query: &crate::Matrix,
+        keys: &crate::Matrix,
+        values: &crate::Matrix,
+    ) -> crate::Matrix {
+        let projected = self.project_keys(store, keys);
+        self.infer_projected(store, query, &projected, values)
+    }
+
+    /// Precomputes `keys × W_k` so that many queries against the same key
+    /// set (one trajectory scored for hundreds of roads) skip the dominant
+    /// matmul. Pair with [`Self::infer_projected`].
+    pub fn project_keys(&self, store: &ParamStore, keys: &crate::Matrix) -> crate::Matrix {
+        self.wk.infer(store, keys)
+    }
+
+    /// Tape-free forward with pre-projected keys from
+    /// [`Self::project_keys`].
+    pub fn infer_projected(
+        &self,
+        store: &ParamStore,
+        query: &crate::Matrix,
+        projected_keys: &crate::Matrix,
+        values: &crate::Matrix,
+    ) -> crate::Matrix {
+        let n = projected_keys.rows();
+        let q = self.wq.infer(store, query); // 1×p
+        let k = projected_keys; // n×p
+        // concat([q; q; ...], k) then tanh then wv.
+        let mut qk = crate::Matrix::zeros(n, q.cols() + k.cols());
+        for r in 0..n {
+            qk.row_mut(r)[..q.cols()].copy_from_slice(q.row(0));
+            qk.row_mut(r)[q.cols()..].copy_from_slice(k.row(r));
+        }
+        let act = qk.map(f32::tanh);
+        let scores = self.wv.infer(store, &act); // n×1
+        // Softmax over the n scores.
+        let max = scores
+            .data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut weights: Vec<f32> = scores.data().iter().map(|&s| (s - max).exp()).collect();
+        let sum: f32 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        let mut ctx = crate::Matrix::zeros(1, values.cols());
+        for (r, &w) in weights.iter().enumerate() {
+            for (o, &v) in ctx.row_mut(0).iter_mut().zip(values.row(r)) {
+                *o += w * v;
+            }
+        }
+        ctx
+    }
+}
+
+/// A gated recurrent unit cell; the recurrent backbone of the DMM/DeepMM
+/// seq2seq baselines.
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    wxz: Linear,
+    whz: Linear,
+    wxr: Linear,
+    whr: Linear,
+    wxh: Linear,
+    whh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Allocates a cell mapping `input`-wide inputs to `hidden`-wide state.
+    pub fn new(store: &mut ParamStore, input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        GruCell {
+            wxz: Linear::new(store, input, hidden, rng),
+            whz: Linear::new_no_bias(store, hidden, hidden, rng),
+            wxr: Linear::new(store, input, hidden, rng),
+            whr: Linear::new_no_bias(store, hidden, hidden, rng),
+            wxh: Linear::new(store, input, hidden, rng),
+            whh: Linear::new_no_bias(store, hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: consumes input `x` (1×input) and state `h` (1×hidden),
+    /// returns the next state.
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, h: Var) -> Var {
+        let z = {
+            let a = self.wxz.forward(tape, store, x);
+            let b = self.whz.forward(tape, store, h);
+            let s = tape.add(a, b);
+            tape.sigmoid(s)
+        };
+        let r = {
+            let a = self.wxr.forward(tape, store, x);
+            let b = self.whr.forward(tape, store, h);
+            let s = tape.add(a, b);
+            tape.sigmoid(s)
+        };
+        let h_tilde = {
+            let a = self.wxh.forward(tape, store, x);
+            let rh = tape.mul(r, h);
+            let b = self.whh.forward(tape, store, rh);
+            let s = tape.add(a, b);
+            tape.tanh(s)
+        };
+        // h' = (1 - z) ∘ h + z ∘ h~
+        let one_minus_z = tape.affine(z, -1.0, 1.0);
+        let keep = tape.mul(one_minus_z, h);
+        let update = tape.mul(z, h_tilde);
+        tape.add(keep, update)
+    }
+}
+
+/// A trainable embedding table: one d-wide row per entity.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    table: ParamId,
+    num: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Allocates `num` embeddings of width `dim`.
+    pub fn new(store: &mut ParamStore, num: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let table = store.alloc(init::xavier_uniform(num, dim, rng));
+        Embedding { table, num, dim }
+    }
+
+    /// Looks up rows for `indices` (n×dim output).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, indices: &[usize]) -> Var {
+        let t = tape.param(store, self.table);
+        tape.gather_rows(t, indices)
+    }
+
+    /// The whole table as a tape var (for full-graph encoders).
+    pub fn full(&self, tape: &mut Tape, store: &ParamStore) -> Var {
+        tape.param(store, self.table)
+    }
+
+    /// Number of rows.
+    pub fn num_embeddings(&self) -> usize {
+        self.num
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(&mut store, 4, 3, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(5, 4));
+        let y = l.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn mlp_forward_and_backward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut store, &[4, 8, 2], Activation::Relu, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::full(3, 4, 0.5));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (3, 2));
+        let g = tape.backward(y, Matrix::full(3, 2, 1.0));
+        let pg = tape.param_grads(&g);
+        // 2 layers × (w + b) = 4 parameter tensors with gradients.
+        assert_eq!(pg.len(), 4);
+        assert!(pg.iter().all(|(_, m)| m.is_finite()));
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let att = AdditiveAttention::new(&mut store, 6, 6, &mut rng);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::full(1, 6, 0.3));
+        let keys = tape.constant(Matrix::from_vec(
+            4,
+            6,
+            (0..24).map(|i| (i as f32 * 0.37).sin()).collect(),
+        ));
+        let (ctx, w) = att.forward(&mut tape, &store, q, keys, keys);
+        assert_eq!(tape.value(ctx).shape(), (1, 6));
+        assert_eq!(tape.value(w).shape(), (4, 1));
+        let sum: f32 = tape.value(w).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(tape.value(w).data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn attention_attends_to_similar_key() {
+        // With identical query/key projections initialized randomly, a key
+        // identical to the query should not receive *less* weight than a
+        // wildly different one after a gradient step pushing toward it.
+        // Here we only check the mechanism: changing keys changes weights.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let att = AdditiveAttention::new(&mut store, 4, 4, &mut rng);
+        let mut tape = Tape::new();
+        let q = tape.constant(Matrix::full(1, 4, 1.0));
+        let keys1 = tape.constant(Matrix::from_vec(2, 4, vec![1.0; 8]));
+        let (_, w1) = att.forward(&mut tape, &store, q, keys1, keys1);
+        // Equal keys ⇒ exactly uniform weights.
+        let w = tape.value(w1);
+        assert!((w.data()[0] - 0.5).abs() < 1e-6);
+        assert!((w.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gru_state_stays_bounded() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = GruCell::new(&mut store, 3, 5, &mut rng);
+        let mut tape = Tape::new();
+        let mut h = tape.constant(Matrix::zeros(1, 5));
+        for i in 0..20 {
+            let x = tape.constant(Matrix::full(1, 3, (i as f32).sin() * 3.0));
+            h = cell.step(&mut tape, &store, x, h);
+        }
+        // GRU state is a convex combination of tanh outputs: |h| <= 1.
+        assert!(tape.value(h).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn infer_matches_tape_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&mut store, &[5, 7, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(3, 5, (0..15).map(|i| (i as f32 * 0.31).sin()).collect());
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y_tape = mlp.forward(&mut tape, &store, xv);
+        let y_infer = mlp.infer(&store, &x);
+        for (a, b) in tape.value(y_tape).data().iter().zip(y_infer.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attention_infer_matches_tape_forward() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let att = AdditiveAttention::new(&mut store, 6, 6, &mut rng);
+        let q = Matrix::from_vec(1, 6, (0..6).map(|i| (i as f32 * 0.7).cos()).collect());
+        let keys = Matrix::from_vec(5, 6, (0..30).map(|i| (i as f32 * 0.13).sin()).collect());
+        let mut tape = Tape::new();
+        let qv = tape.constant(q.clone());
+        let kv = tape.constant(keys.clone());
+        let (ctx_tape, _) = att.forward(&mut tape, &store, qv, kv, kv);
+        let ctx_infer = att.infer(&store, &q, &keys, &keys);
+        for (a, b) in tape.value(ctx_tape).data().iter().zip(ctx_infer.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad_flow() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Embedding::new(&mut store, 10, 4, &mut rng);
+        let mut tape = Tape::new();
+        let rows = emb.forward(&mut tape, &store, &[3, 3, 7]);
+        assert_eq!(tape.value(rows).shape(), (3, 4));
+        assert_eq!(tape.value(rows).row(0), tape.value(rows).row(1));
+        let g = tape.backward(rows, Matrix::full(3, 4, 1.0));
+        let pg = tape.param_grads(&g);
+        assert_eq!(pg.len(), 1);
+        let gm = &pg[0].1;
+        // Row 3 used twice, row 7 once, others zero.
+        assert_eq!(gm.row(3), &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(gm.row(7), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(gm.row(0), &[0.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Loss functions.
+//!
+//! Losses consume raw logits recorded on the tape and return the scalar loss
+//! together with the gradient to seed `Tape::backward` with. Computing the
+//! softmax/sigmoid inside the loss keeps the backward rule exact and
+//! numerically stable (the classic `p - t` form).
+
+use crate::matrix::Matrix;
+
+/// Softmax cross-entropy over one row of logits against a one-hot target,
+/// with label smoothing `eps` (paper §IV-D uses 0.1 following Müller et al.).
+///
+/// Returns `(loss, grad)` where `grad` has the logits' shape.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    target: usize,
+    eps: f32,
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), 1, "expects a single row of logits");
+    let n = logits.cols();
+    assert!(target < n, "target {target} out of {n} classes");
+    assert!((0.0..1.0).contains(&eps), "label smoothing in [0,1)");
+
+    // Stable log-softmax.
+    let row = logits.row(0);
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut exp_sum = 0.0f32;
+    for &x in row {
+        exp_sum += (x - max).exp();
+    }
+    let log_z = max + exp_sum.ln();
+
+    // Smoothed target distribution: (1 - eps) on the target, eps/n uniform.
+    let uniform = eps / n as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(1, n);
+    for (i, &x) in row.iter().enumerate() {
+        let p = (x - log_z).exp();
+        let t = if i == target {
+            1.0 - eps + uniform
+        } else {
+            uniform
+        };
+        loss -= t * (x - log_z);
+        grad.row_mut(0)[i] = p - t;
+    }
+    (loss, grad)
+}
+
+/// Batched variant: one target per row of `logits`; returns the mean loss
+/// and the (mean-scaled) gradient.
+pub fn softmax_cross_entropy_batch(
+    logits: &Matrix,
+    targets: &[usize],
+    eps: f32,
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "one target per row");
+    let rows = logits.rows();
+    let mut total = 0.0f32;
+    let mut grad = Matrix::zeros(rows, logits.cols());
+    for (r, &t) in targets.iter().enumerate() {
+        let row = Matrix::row_vector(logits.row(r).to_vec());
+        let (l, g) = softmax_cross_entropy(&row, t, eps);
+        total += l;
+        for (o, &gi) in grad.row_mut(r).iter_mut().zip(g.row(0)) {
+            *o = gi / rows as f32;
+        }
+    }
+    (total / rows as f32, grad)
+}
+
+/// Binary cross-entropy on logits (sigmoid applied internally) against
+/// targets in `[0, 1]`, optionally label-smoothed. Returns the mean loss and
+/// gradient.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix, eps: f32) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape(), "shape mismatch");
+    let n = logits.data().len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for ((g, &x), &t_raw) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data())
+        .zip(targets.data())
+    {
+        let t = t_raw * (1.0 - eps) + 0.5 * eps;
+        // log(1 + e^x) computed stably.
+        let log1p_exp = if x > 0.0 {
+            x + (-x).exp().ln_1p()
+        } else {
+            x.exp().ln_1p()
+        };
+        loss += log1p_exp - t * x;
+        let p = 1.0 / (1.0 + (-x).exp());
+        *g = (p - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Mean squared error; returns mean loss and gradient.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.data().len() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_prefers_correct_class() {
+        let good = Matrix::row_vector(vec![5.0, 0.0, 0.0]);
+        let bad = Matrix::row_vector(vec![0.0, 5.0, 0.0]);
+        let (lg, _) = softmax_cross_entropy(&good, 0, 0.0);
+        let (lb, _) = softmax_cross_entropy(&bad, 0, 0.0);
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn ce_gradient_is_p_minus_t() {
+        let logits = Matrix::row_vector(vec![0.0, 0.0]);
+        let (_, g) = softmax_cross_entropy(&logits, 0, 0.0);
+        // p = [0.5, 0.5], t = [1, 0] ⇒ grad = [-0.5, 0.5].
+        assert!((g.data()[0] + 0.5).abs() < 1e-6);
+        assert!((g.data()[1] - 0.5).abs() < 1e-6);
+        // Gradient always sums to zero.
+        let logits = Matrix::row_vector(vec![3.0, -1.0, 0.4, 2.2]);
+        let (_, g) = softmax_cross_entropy(&logits, 2, 0.1);
+        assert!(g.data().iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn label_smoothing_penalizes_overconfidence() {
+        // With smoothing, extreme confidence costs more than moderate
+        // confidence relative to the unsmoothed loss.
+        let extreme = Matrix::row_vector(vec![50.0, 0.0]);
+        let moderate = Matrix::row_vector(vec![2.0, 0.0]);
+        let (le_s, _) = softmax_cross_entropy(&extreme, 0, 0.1);
+        let (lm_s, _) = softmax_cross_entropy(&moderate, 0, 0.1);
+        // Unsmoothed: extreme is strictly better. Smoothed: extreme is worse.
+        let (le_u, _) = softmax_cross_entropy(&extreme, 0, 0.0);
+        let (lm_u, _) = softmax_cross_entropy(&moderate, 0, 0.0);
+        assert!(le_u < lm_u);
+        assert!(le_s > lm_s);
+    }
+
+    #[test]
+    fn ce_is_stable_for_large_logits() {
+        let logits = Matrix::row_vector(vec![1e4, -1e4, 0.0]);
+        let (l, g) = softmax_cross_entropy(&logits, 0, 0.1);
+        assert!(l.is_finite());
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn batch_ce_averages() {
+        let logits = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 2.0]);
+        let (l, g) = softmax_cross_entropy_batch(&logits, &[0, 1], 0.0);
+        let (l0, _) = softmax_cross_entropy(&Matrix::row_vector(vec![2.0, 0.0]), 0, 0.0);
+        assert!((l - l0).abs() < 1e-6);
+        assert_eq!(g.shape(), (2, 2));
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let logits = Matrix::row_vector(vec![0.3, -1.2, 2.0]);
+        let targets = Matrix::row_vector(vec![1.0, 0.0, 1.0]);
+        let (_, g) = bce_with_logits(&logits, &targets, 0.0);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += h;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= h;
+            let (fp, _) = bce_with_logits(&lp, &targets, 0.0);
+            let (fm, _) = bce_with_logits(&lm, &targets, 0.0);
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - g.data()[i]).abs() < 1e-3,
+                "i={i} num {num} ana {}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Matrix::row_vector(vec![1.0, 2.0]);
+        let t = Matrix::row_vector(vec![0.0, 2.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 0.5).abs() < 1e-6);
+        assert_eq!(g.data(), &[1.0, 0.0]);
+        let (zero, _) = mse(&t, &t);
+        assert_eq!(zero, 0.0);
+    }
+}

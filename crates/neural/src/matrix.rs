@@ -1,0 +1,382 @@
+//! Row-major `f32` dense matrices.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major data vector. Panics when sizes disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// An n×1 column vector.
+    pub fn col_vector(data: Vec<f32>) -> Self {
+        let rows = data.len();
+        Matrix {
+            rows,
+            cols: 1,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat view of the data (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`. Panics on shape mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the inner loop walks both `rhs` and `out` rows
+        // contiguously, which is the cache-friendly order for row-major data.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum; panics on shape mismatch.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// In-place `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scaled copy `self * s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+
+    /// Stacks rows picked (with repetition allowed) from `self`.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather index {idx} out of {} rows", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`; row counts must match.
+    pub fn concat_cols(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "concat_cols row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Vertical concatenation; column counts must match.
+    pub fn concat_rows(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "concat_rows col mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + rhs.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Matrix::from_vec(self.rows + rhs.rows, self.cols, data)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(6) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 6 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, -1.0, 2.0, 5.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0, 9.0]);
+        assert_eq!(a.sum(), 6.0);
+    }
+
+    #[test]
+    fn gather_and_concat() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 1, vec![9.0, 8.0, 7.0]);
+        let cc = a.concat_cols(&b);
+        assert_eq!(cc.shape(), (3, 3));
+        assert_eq!(cc.row(1), &[3.0, 4.0, 8.0]);
+        let cr = a.concat_rows(&a);
+        assert_eq!(cr.shape(), (6, 2));
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert!(a.is_finite());
+        let bad = Matrix::from_vec(1, 1, vec![f32::NAN]);
+        assert!(!bad.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0..10.0f32, r * c)
+            .prop_map(move |v| Matrix::from_vec(r, c, v))
+    }
+
+    proptest! {
+        /// (A·B)ᵀ = Bᵀ·Aᵀ.
+        #[test]
+        fn transpose_of_product(a in mat(3, 4), b in mat(4, 2)) {
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Matrix product distributes over addition: A·(B + C) = A·B + A·C.
+        #[test]
+        fn matmul_distributes(a in mat(2, 3), b in mat(3, 3), c in mat(3, 3)) {
+            let left = a.matmul(&b.add(&c));
+            let right = a.matmul(&b).add(&a.matmul(&c));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// Scaling commutes with matmul: (s·A)·B = s·(A·B).
+        #[test]
+        fn scale_commutes(a in mat(2, 3), b in mat(3, 2), s in -4.0..4.0f32) {
+            let left = a.scale(s).matmul(&b);
+            let right = a.matmul(&b).scale(s);
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// gather_rows then concat_rows reassembles a split matrix.
+        #[test]
+        fn gather_reassembles(a in mat(4, 3)) {
+            let top = a.gather_rows(&[0, 1]);
+            let bottom = a.gather_rows(&[2, 3]);
+            prop_assert_eq!(top.concat_rows(&bottom), a);
+        }
+    }
+}

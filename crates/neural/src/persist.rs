@@ -1,0 +1,241 @@
+//! Minimal binary persistence for matrices and parameter stores.
+//!
+//! Trained LHMM models take minutes to fit; production deployments match
+//! millions of trajectories against frozen weights. The format is
+//! deliberately simple (magic + version + shapes + little-endian `f32`s) so
+//! it stays dependency-free and auditable.
+
+use crate::matrix::Matrix;
+use crate::tape::ParamStore;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"LHMM";
+const VERSION: u8 = 1;
+
+/// Errors raised while decoding persisted weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// Declared shapes are inconsistent with the payload size.
+    ShapeMismatch,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an LHMM weight file"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported weight format version {v}"),
+            DecodeError::Truncated => write!(f, "weight file is truncated"),
+            DecodeError::ShapeMismatch => write!(f, "weight shapes are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes matrices into a byte buffer.
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Starts a buffer with the format header.
+    pub fn new() -> Self {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        Encoder { buf }
+    }
+
+    /// Appends one matrix.
+    pub fn matrix(&mut self, m: &Matrix) -> &mut Self {
+        self.buf.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+        for &v in m.data() {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends every parameter of a store, in allocation order.
+    pub fn param_store(&mut self, store: &ParamStore) -> &mut Self {
+        self.buf
+            .extend_from_slice(&(store.len() as u32).to_le_bytes());
+        for i in 0..store.len() {
+            let m = store.value(crate::tape::ParamId(i));
+            self.matrix(m);
+        }
+        self
+    }
+
+    /// Finalizes the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Deserializes matrices from a byte buffer.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Validates the header and positions the cursor after it.
+    pub fn new(buf: &'a [u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 5 {
+            return Err(DecodeError::Truncated);
+        }
+        if &buf[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf[4] != VERSION {
+            return Err(DecodeError::BadVersion(buf[4]));
+        }
+        Ok(Decoder { buf, pos: 5 })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads one matrix.
+    pub fn matrix(&mut self) -> Result<Matrix, DecodeError> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(DecodeError::ShapeMismatch)?;
+        let bytes = self.take(n * 4)?;
+        let data: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Reads parameters *into* an existing store; shapes must match the
+    /// store's current allocation exactly (structure is rebuilt from config
+    /// before loading weights).
+    pub fn param_store_into(&mut self, store: &mut ParamStore) -> Result<(), DecodeError> {
+        let n = self.u32()? as usize;
+        if n != store.len() {
+            return Err(DecodeError::ShapeMismatch);
+        }
+        for i in 0..n {
+            let m = self.matrix()?;
+            let id = crate::tape::ParamId(i);
+            if store.value(id).shape() != m.shape() {
+                return Err(DecodeError::ShapeMismatch);
+            }
+            *store.value_mut(id) = m;
+        }
+        Ok(())
+    }
+
+    /// True when the whole buffer was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.5, -2.0, 0.0, 3.25, f32::MIN_POSITIVE, 9.0]);
+        let mut enc = Encoder::new();
+        enc.matrix(&m);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(dec.matrix().unwrap(), m);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn param_store_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        store.alloc(crate::init::xavier_uniform(4, 5, &mut rng));
+        store.alloc(crate::init::xavier_uniform(1, 7, &mut rng));
+        let mut enc = Encoder::new();
+        enc.param_store(&store);
+        let bytes = enc.finish();
+
+        // A structurally identical fresh store accepts the weights.
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut fresh = ParamStore::new();
+        let a = fresh.alloc(crate::init::xavier_uniform(4, 5, &mut rng2));
+        let b = fresh.alloc(crate::init::xavier_uniform(1, 7, &mut rng2));
+        let mut dec = Decoder::new(&bytes).unwrap();
+        dec.param_store_into(&mut fresh).unwrap();
+        assert_eq!(fresh.value(a), store.value(crate::tape::ParamId(0)));
+        assert_eq!(fresh.value(b), store.value(crate::tape::ParamId(1)));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Decoder::new(b"nope").unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Decoder::new(b"XXXX\x01rest").unwrap_err(),
+            DecodeError::BadMagic
+        );
+        assert_eq!(
+            Decoder::new(b"LHMM\x09").unwrap_err(),
+            DecodeError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.alloc(Matrix::zeros(2, 2));
+        let mut enc = Encoder::new();
+        enc.param_store(&store);
+        let bytes = enc.finish();
+        // A store with a different shape must refuse the weights.
+        let mut other = ParamStore::new();
+        other.alloc(Matrix::zeros(3, 3));
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(
+            dec.param_store_into(&mut other).unwrap_err(),
+            DecodeError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut enc = Encoder::new();
+        enc.matrix(&Matrix::zeros(8, 8));
+        let mut bytes = enc.finish();
+        bytes.truncate(bytes.len() - 3);
+        let mut dec = Decoder::new(&bytes).unwrap();
+        assert_eq!(dec.matrix().unwrap_err(), DecodeError::Truncated);
+    }
+}

@@ -1,0 +1,177 @@
+//! CSR sparse matrices for graph message passing.
+//!
+//! The Het-Graph Encoder (lhmm-graph) propagates messages with per-relation
+//! row-normalized adjacency matrices. Those matrices are fixed during
+//! training, so the tape only needs gradients with respect to the dense
+//! operand: `d(A·X)/dX = Aᵀ·G`.
+
+use crate::matrix::Matrix;
+
+/// A compressed-sparse-row matrix with `f32` weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds from per-row `(col, value)` lists. Panics when an index is out
+    /// of bounds.
+    pub fn from_rows(rows: usize, cols: usize, entries: &[Vec<(u32, f32)>]) -> Self {
+        assert_eq!(entries.len(), rows, "one entry list per row");
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in entries {
+            for &(c, v) in row {
+                assert!((c as usize) < cols, "column {c} out of {cols}");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Row-normalizes in place so every non-empty row sums to 1 (the mean
+    /// aggregation of Eq. 4).
+    pub fn row_normalize(&mut self) {
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let sum: f32 = self.values[lo..hi].iter().sum();
+            if sum > 0.0 {
+                for v in &mut self.values[lo..hi] {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `self × dense` (rows × dense.cols).
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let out_row = out.row_mut(r);
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let w = self.values[k];
+                for (o, &d) in out_row.iter_mut().zip(dense.row(c)) {
+                    *o += w * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × dense` (cols × dense.cols) — the backward pass of
+    /// [`Self::matmul_dense`].
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmm^T shape mismatch");
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for k in lo..hi {
+                let c = self.col_idx[k] as usize;
+                let w = self.values[k];
+                let out_row = out.row_mut(c);
+                for (o, &d) in out_row.iter_mut().zip(dense.row(r)) {
+                    *o += w * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense copy (tests / diagnostics only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for k in lo..hi {
+                out[(r, self.col_idx[k] as usize)] += self.values[k];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        // [[0, 2, 0], [1, 0, 3]]
+        SparseMatrix::from_rows(2, 3, &[vec![(1, 2.0)], vec![(0, 1.0), (2, 3.0)]])
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let sp = sample();
+        let d = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let fast = sp.matmul_dense(&d);
+        let slow = sp.to_dense().matmul(&d);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let sp = sample();
+        let d = Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.5, 2.0]);
+        let fast = sp.transpose_matmul_dense(&d);
+        let slow = sp.to_dense().transpose().matmul(&d);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn row_normalize_sums_to_one() {
+        let mut sp = sample();
+        sp.row_normalize();
+        let dense = sp.to_dense();
+        for r in 0..2 {
+            let sum: f32 = dense.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Empty rows stay zero.
+        let mut empty = SparseMatrix::from_rows(2, 2, &[vec![], vec![(0, 5.0)]]);
+        empty.row_normalize();
+        assert_eq!(empty.to_dense().row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn nnz_and_shapes() {
+        let sp = sample();
+        assert_eq!(sp.nnz(), 3);
+        assert_eq!((sp.rows(), sp.cols()), (2, 3));
+    }
+}

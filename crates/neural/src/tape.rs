@@ -1,0 +1,702 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] operations.
+//!
+//! A [`Tape`] records every forward operation; [`Tape::backward`] walks the
+//! record in reverse and accumulates gradients. Model parameters live in a
+//! [`ParamStore`]; each training step copies the needed parameters onto the
+//! tape with [`Tape::param`], and after backward the per-parameter gradients
+//! are collected with [`Tape::param_grads`].
+
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+use std::rc::Rc;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Handle to a parameter stored in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Storage for trainable parameters plus Adam moment estimates.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    pub(crate) m: Vec<Matrix>,
+    pub(crate) v: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with its initial value.
+    pub fn alloc(&mut self, init: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.m.push(Matrix::zeros(init.rows(), init.cols()));
+        self.v.push(Matrix::zeros(init.rows(), init.cols()));
+        self.values.push(init);
+        id
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by the optimizer).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.data().len()).sum()
+    }
+}
+
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    // Backward needs only alpha; beta vanishes under differentiation.
+    Affine(Var, f32),
+    Relu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    SoftmaxRows(Var),
+    ConcatCols(Var, Var),
+    ConcatRows(Var, Var),
+    GatherRows(Var, Vec<usize>),
+    RepeatRow(Var),
+    Transpose(Var),
+    MeanRows(Var),
+    AddRowBroadcast(Var, Var),
+    SpMM(Rc<SparseMatrix>, Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// The autograd tape. One tape per forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    param_vars: Vec<(ParamId, Var)>,
+}
+
+/// Gradients produced by [`Tape::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient with respect to `v`, when `v` influenced the seed.
+    pub fn wrt(&self, v: Var) -> Option<&Matrix> {
+        self.grads[v.0].as_ref()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        debug_assert!(value.is_finite(), "non-finite value produced on tape");
+        let v = Var(self.nodes.len());
+        self.nodes.push(Node { op, value });
+        v
+    }
+
+    /// Records a constant (gradient is tracked but not collected).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(Op::Leaf, m)
+    }
+
+    /// Copies a parameter's current value onto the tape, remembering the
+    /// association so [`Tape::param_grads`] can report its gradient.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(Op::Leaf, store.value(id).clone());
+        self.param_vars.push((id, v));
+        v
+    }
+
+    /// The value recorded for `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Operators
+    // ------------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(&self.value(b).scale(-1.0));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// `alpha * a + beta` elementwise.
+    pub fn affine(&mut self, a: Var, alpha: f32, beta: f32) -> Var {
+        let v = self.value(a).map(|x| alpha * x + beta);
+        self.push(Op::Affine(a, alpha), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Row-wise softmax (numerically stabilized).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (o, &xi) in out.row_mut(r).iter_mut().zip(row) {
+                *o = (xi - max).exp();
+                sum += *o;
+            }
+            for o in out.row_mut(r) {
+                *o /= sum;
+            }
+        }
+        self.push(Op::SoftmaxRows(a), out)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Vertical concatenation: stacks `b` below `a`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_rows(self.value(b));
+        self.push(Op::ConcatRows(a, b), v)
+    }
+
+    /// Stacks the selected rows of `a` (repetition allowed).
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let v = self.value(a).gather_rows(indices);
+        self.push(Op::GatherRows(a, indices.to_vec()), v)
+    }
+
+    /// Repeats a 1×d row `n` times producing n×d.
+    pub fn repeat_row(&mut self, a: Var, n: usize) -> Var {
+        let x = self.value(a);
+        assert_eq!(x.rows(), 1, "repeat_row expects a row vector");
+        let mut out = Matrix::zeros(n, x.cols());
+        for r in 0..n {
+            out.row_mut(r).copy_from_slice(x.row(0));
+        }
+        self.push(Op::RepeatRow(a), out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(Op::Transpose(a), v)
+    }
+
+    /// Mean over rows: n×d → 1×d.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let n = x.rows().max(1);
+        let mut out = Matrix::zeros(1, x.cols());
+        for r in 0..x.rows() {
+            for (o, &xi) in out.row_mut(0).iter_mut().zip(x.row(r)) {
+                *o += xi;
+            }
+        }
+        let out = out.scale(1.0 / n as f32);
+        self.push(Op::MeanRows(a), out)
+    }
+
+    /// Adds a 1×d row vector `b` to every row of the n×d matrix `a`
+    /// (bias broadcast).
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let x = self.value(a);
+        let bias = self.value(b);
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), x.cols(), "bias width mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            for (o, &bi) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += bi;
+            }
+        }
+        self.push(Op::AddRowBroadcast(a, b), out)
+    }
+
+    /// Sparse × dense product `sp × a`. The sparse matrix is a fixed
+    /// structure (graph adjacency); only `a` receives gradients.
+    pub fn spmm(&mut self, sp: &Rc<SparseMatrix>, a: Var) -> Var {
+        let v = sp.matmul_dense(self.value(a));
+        self.push(Op::SpMM(Rc::clone(sp), a), v)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Back-propagates `seed_grad` (the gradient of some scalar loss with
+    /// respect to `seed`'s value) through the recorded graph.
+    pub fn backward(&self, seed: Var, seed_grad: Matrix) -> Gradients {
+        assert_eq!(
+            seed_grad.shape(),
+            self.value(seed).shape(),
+            "seed gradient shape mismatch"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[seed.0] = Some(seed_grad);
+
+        for i in (0..self.nodes.len()).rev() {
+            // Clone rather than take: leaf gradients must survive for
+            // param_grads / wrt after the sweep.
+            let Some(g) = grads[i].clone() else { continue };
+            let node = &self.nodes[i];
+            match &node.op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.value(*b).transpose());
+                    let gb = self.value(*a).transpose().matmul(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.clone());
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(self.value(*b));
+                    let gb = g.hadamard(self.value(*a));
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Affine(a, alpha) => {
+                    accumulate(&mut grads, *a, g.scale(*alpha));
+                }
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    let mut ga = g;
+                    for (gi, &xi) in ga.data_mut().iter_mut().zip(x.data()) {
+                        if xi <= 0.0 {
+                            *gi = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (gi, &yi) in ga.data_mut().iter_mut().zip(y.data()) {
+                        *gi *= 1.0 - yi * yi;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let mut ga = g;
+                    for (gi, &yi) in ga.data_mut().iter_mut().zip(y.data()) {
+                        *gi *= yi * (1.0 - yi);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &node.value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(gi, yi)| gi * yi)
+                            .sum();
+                        for ((o, &gi), &yi) in
+                            ga.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        {
+                            *o = yi * (gi - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.value(*a).cols();
+                    let rows = g.rows();
+                    let mut ga = Matrix::zeros(rows, ca);
+                    let mut gb = Matrix::zeros(rows, g.cols() - ca);
+                    for r in 0..rows {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ra = self.value(*a).rows();
+                    let cols = g.cols();
+                    let mut ga = Matrix::zeros(ra, cols);
+                    let mut gb = Matrix::zeros(g.rows() - ra, cols);
+                    for r in 0..ra {
+                        ga.row_mut(r).copy_from_slice(g.row(r));
+                    }
+                    for r in ra..g.rows() {
+                        gb.row_mut(r - ra).copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::GatherRows(a, indices) => {
+                    let src = self.value(*a);
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for (i, &idx) in indices.iter().enumerate() {
+                        for (o, &gi) in ga.row_mut(idx).iter_mut().zip(g.row(i)) {
+                            *o += gi;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::RepeatRow(a) => {
+                    let mut ga = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &gi) in ga.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += gi;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Transpose(a) => {
+                    accumulate(&mut grads, *a, g.transpose());
+                }
+                Op::MeanRows(a) => {
+                    let x = self.value(*a);
+                    let n = x.rows().max(1) as f32;
+                    let mut ga = Matrix::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        for (o, &gi) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = gi / n;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SpMM(sp, a) => {
+                    accumulate(&mut grads, *a, sp.transpose_matmul_dense(&g));
+                }
+                Op::AddRowBroadcast(a, b) => {
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &gi) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += gi;
+                        }
+                    }
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, gb);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+
+    /// Collects per-parameter gradients, summing when a parameter was placed
+    /// on the tape more than once. Parameters that did not influence the
+    /// seed are omitted.
+    pub fn param_grads(&self, grads: &Gradients) -> Vec<(ParamId, Matrix)> {
+        let mut out: Vec<(ParamId, Matrix)> = Vec::new();
+        for &(pid, var) in &self.param_vars {
+            if let Some(g) = grads.wrt(var) {
+                if let Some(entry) = out.iter_mut().find(|(id, _)| *id == pid) {
+                    entry.1.add_assign(g);
+                } else {
+                    out.push((pid, g.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], v: Var, g: Matrix) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_ones(tape: &Tape, v: Var) -> Matrix {
+        let (r, c) = tape.value(v).shape();
+        Matrix::full(r, c, 1.0)
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // f = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = t.constant(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = t.matmul(a, b);
+        let g = t.backward(c, seed_ones(&t, c));
+        assert_eq!(g.wrt(a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g.wrt(b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn chain_through_activation() {
+        // f = sum(relu(x)); negative entries get zero grad.
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 4, vec![-1.0, 0.5, -0.2, 2.0]));
+        let y = t.relu(x);
+        let g = t.backward(y, seed_ones(&t, y));
+        assert_eq!(g.wrt(x).unwrap().data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_grad_sums_to_zero() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let y = t.softmax_rows(x);
+        for r in 0..2 {
+            let s: f32 = t.value(y).row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Seed with an arbitrary gradient; softmax grad rows must sum to ~0.
+        let seed = Matrix::from_vec(2, 3, vec![0.3, -0.1, 0.7, 1.0, 0.0, -0.5]);
+        let g = t.backward(y, seed);
+        let gx = g.wrt(x).unwrap();
+        for r in 0..2 {
+            let s: f32 = gx.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(3, 2, vec![1.0; 6]));
+        let y = t.gather_rows(x, &[0, 2, 0]);
+        let g = t.backward(y, seed_ones(&t, y));
+        // Row 0 gathered twice, row 1 never, row 2 once.
+        assert_eq!(g.wrt(x).unwrap().data(), &[2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        let mut store = ParamStore::new();
+        let w = store.alloc(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let mut t = Tape::new();
+        let w1 = t.param(&store, w);
+        let w2 = t.param(&store, w);
+        let y = t.add(w1, w2); // y = 2w
+        let g = t.backward(y, seed_ones(&t, y));
+        let pg = t.param_grads(&g);
+        assert_eq!(pg.len(), 1);
+        assert_eq!(pg[0].1.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_and_mean_grads() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(3, 2));
+        let b = t.constant(Matrix::from_vec(1, 2, vec![1.0, -1.0]));
+        let y = t.add_row_broadcast(x, b);
+        let m = t.mean_rows(y);
+        let g = t.backward(m, seed_ones(&t, m));
+        // d(mean)/dx = 1/3 everywhere; bias grad sums over rows = 1.
+        for &v in g.wrt(x).unwrap().data() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6);
+        }
+        assert_eq!(g.wrt(b).unwrap().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn spmm_gradient_is_transpose_product() {
+        use crate::sparse::SparseMatrix;
+        let sp = Rc::new(SparseMatrix::from_rows(
+            2,
+            3,
+            &[vec![(0, 2.0), (2, 1.0)], vec![(1, 3.0)]],
+        ));
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(3, 2, vec![1.0; 6]));
+        let y = t.spmm(&sp, x);
+        assert_eq!(t.value(y).shape(), (2, 2));
+        let g = t.backward(y, Matrix::full(2, 2, 1.0));
+        let gx = g.wrt(x).unwrap();
+        let expected = sp.transpose_matmul_dense(&Matrix::full(2, 2, 1.0));
+        assert_eq!(gx, &expected);
+    }
+
+    /// Central-difference gradient check over a composite network touching
+    /// most operators.
+    #[test]
+    fn numerical_gradcheck_composite() {
+        let build = |wdata: &[f32]| -> f32 {
+            let mut t = Tape::new();
+            let w = t.constant(Matrix::from_vec(2, 3, wdata.to_vec()));
+            let x = t.constant(Matrix::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.5]));
+            let h = t.matmul(x, w); // 2x3
+            let h = t.tanh(h);
+            let s = t.softmax_rows(h);
+            let q = t.sigmoid(s);
+            let m = t.mean_rows(q); // 1x3
+            let tt = t.transpose(m); // 3x1
+            let val: f32 = t.value(tt).data().iter().sum();
+            val
+        };
+        let w0: Vec<f32> = vec![0.1, -0.2, 0.4, 0.8, -0.5, 0.3];
+
+        // Analytic gradient.
+        let mut t = Tape::new();
+        let w = t.constant(Matrix::from_vec(2, 3, w0.clone()));
+        let x = t.constant(Matrix::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.5]));
+        let h = t.matmul(x, w);
+        let h = t.tanh(h);
+        let s = t.softmax_rows(h);
+        let q = t.sigmoid(s);
+        let m = t.mean_rows(q);
+        let tt = t.transpose(m);
+        let g = t.backward(tt, Matrix::full(3, 1, 1.0));
+        let analytic = g.wrt(w).unwrap().clone();
+
+        // Numerical gradient.
+        let h_step = 1e-3f32;
+        for i in 0..w0.len() {
+            let mut wp = w0.clone();
+            wp[i] += h_step;
+            let mut wm = w0.clone();
+            wm[i] -= h_step;
+            let num = (build(&wp) - build(&wm)) / (2.0 * h_step);
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2_f32.max(0.05 * num.abs()),
+                "grad[{i}] numeric {num} analytic {ana}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// For f = sum(x ∘ y) the gradients are exactly the other operand.
+        #[test]
+        fn mul_grad_is_other_operand(
+            xs in proptest::collection::vec(-3.0..3.0f32, 6),
+            ys in proptest::collection::vec(-3.0..3.0f32, 6),
+        ) {
+            let mut t = Tape::new();
+            let x = t.constant(Matrix::from_vec(2, 3, xs.clone()));
+            let y = t.constant(Matrix::from_vec(2, 3, ys.clone()));
+            let z = t.mul(x, y);
+            let g = t.backward(z, Matrix::full(2, 3, 1.0));
+            prop_assert_eq!(g.wrt(x).unwrap().data(), &ys[..]);
+            prop_assert_eq!(g.wrt(y).unwrap().data(), &xs[..]);
+        }
+
+        /// Linear layer gradcheck: f = sum(tanh(x @ w)).
+        #[test]
+        fn linear_tanh_gradcheck(
+            ws in proptest::collection::vec(-1.0..1.0f32, 4),
+            xs in proptest::collection::vec(-1.0..1.0f32, 4),
+        ) {
+            let f = |wd: &[f32]| -> f32 {
+                let mut t = Tape::new();
+                let w = t.constant(Matrix::from_vec(2, 2, wd.to_vec()));
+                let x = t.constant(Matrix::from_vec(2, 2, xs.clone()));
+                let y = t.matmul(x, w);
+                let y = t.tanh(y);
+                t.value(y).sum()
+            };
+            let mut t = Tape::new();
+            let w = t.constant(Matrix::from_vec(2, 2, ws.clone()));
+            let x = t.constant(Matrix::from_vec(2, 2, xs.clone()));
+            let y = t.matmul(x, w);
+            let y = t.tanh(y);
+            let g = t.backward(y, Matrix::full(2, 2, 1.0));
+            let analytic = g.wrt(w).unwrap().clone();
+            let h = 1e-2f32;
+            for i in 0..4 {
+                let mut wp = ws.clone(); wp[i] += h;
+                let mut wm = ws.clone(); wm[i] -= h;
+                let num = (f(&wp) - f(&wm)) / (2.0 * h);
+                let ana = analytic.data()[i];
+                prop_assert!((num - ana).abs() < 0.05 + 0.05 * num.abs(),
+                    "grad[{}] num {} ana {}", i, num, ana);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Bring your own data: load a road network and cellular trajectories from
+//! CSV and match them — the deployment path for real operator data.
+//!
+//! This example first *exports* a synthetic network + trajectories to CSV
+//! (standing in for your data warehouse dump), then loads both back through
+//! the public I/O APIs and matches the loaded trajectories.
+//!
+//! ```sh
+//! cargo run --release --example custom_data
+//! ```
+
+use lhmm::baselines::heuristic::stm;
+use lhmm::cellsim::io::{read_trajectories, write_trajectories};
+use lhmm::core::types::{MapMatcher, MatchContext};
+use lhmm::network::io::{read_csv, write_csv};
+use lhmm::network::spatial::SpatialIndex;
+use lhmm::prelude::*;
+
+fn main() {
+    // --- Stand-in for your data export ---------------------------------
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(77));
+    let mut nodes_csv = Vec::new();
+    let mut segments_csv = Vec::new();
+    write_csv(&ds.network, &mut nodes_csv, &mut segments_csv).expect("export network");
+    let trajectories: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+    let mut traj_csv = Vec::new();
+    write_trajectories(&trajectories, &mut traj_csv).expect("export trajectories");
+    println!(
+        "exported: {} node rows, {} segment rows, {} trajectory rows",
+        nodes_csv.iter().filter(|&&b| b == b'\n').count(),
+        segments_csv.iter().filter(|&&b| b == b'\n').count(),
+        traj_csv.iter().filter(|&&b| b == b'\n').count(),
+    );
+
+    // --- The part your deployment would run ----------------------------
+    let network = read_csv(nodes_csv.as_slice(), segments_csv.as_slice())
+        .expect("load network from CSV");
+    let index = SpatialIndex::build(&network, 250.0);
+    let loaded = read_trajectories(traj_csv.as_slice()).expect("load trajectories");
+    println!(
+        "loaded network ({} segments) and {} trajectories",
+        network.num_segments(),
+        loaded.len()
+    );
+
+    // Match with the classic STM baseline (no training data needed; with
+    // historical matched trips you would train `Lhmm` instead).
+    let mut matcher = stm(&network);
+    let ctx = MatchContext {
+        net: &network,
+        index: &index,
+        towers: &ds.towers, // tower positions come with the trajectory data
+    };
+    let mut matched = 0usize;
+    let mut total_segments = 0usize;
+    for traj in &loaded {
+        let result = matcher.match_trajectory(&ctx, traj);
+        if !result.path.is_empty() {
+            matched += 1;
+            total_segments += result.path.len();
+        }
+    }
+    println!(
+        "matched {matched}/{} trajectories onto {total_segments} road segments total",
+        loaded.len()
+    );
+}

@@ -1,0 +1,70 @@
+//! Dataset inspection: generate a Hangzhou-textured dataset, print its
+//! Table-I characteristics, and export one trajectory (with its ground
+//! truth) as GeoJSON for visual inspection.
+//!
+//! ```sh
+//! cargo run --release --example dataset_inspection
+//! ```
+
+use lhmm::cellsim::stats;
+use lhmm::prelude::*;
+use std::fmt::Write as _;
+
+fn main() {
+    println!("generating hangzhou-like dataset at scale 0.02 ...");
+    let ds = Dataset::generate(&DatasetConfig::hangzhou_like(0.02, 3));
+
+    // Table-I style characteristics.
+    println!("\n{}", stats::compute(&ds));
+
+    // Positioning-error distribution (the paper's 0.1–3 km claim).
+    let mut errs: Vec<f64> = ds
+        .all_records()
+        .flat_map(|r| r.positioning_errors())
+        .collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| errs[((errs.len() - 1) as f64 * p) as usize];
+    println!("\npositioning error percentiles (m):");
+    println!(
+        "  p10 {:6.0}  p50 {:6.0}  p90 {:6.0}  p99 {:6.0}",
+        pct(0.10),
+        pct(0.50),
+        pct(0.90),
+        pct(0.99)
+    );
+
+    // Export the longest test trajectory as GeoJSON.
+    let rec = ds
+        .test
+        .iter()
+        .max_by_key(|r| r.cellular.len())
+        .expect("non-empty test split");
+    let mut geo = String::new();
+    let truth_line: Vec<String> = rec
+        .truth
+        .polyline(&ds.network)
+        .iter()
+        .map(|p| format!("[{:.1},{:.1}]", p.x, p.y))
+        .collect();
+    let towers: Vec<String> = rec
+        .cellular
+        .points
+        .iter()
+        .map(|p| format!("[{:.1},{:.1}]", p.pos.x, p.pos.y))
+        .collect();
+    let _ = write!(
+        geo,
+        r#"{{"type":"FeatureCollection","features":[
+ {{"type":"Feature","properties":{{"name":"truth"}},"geometry":{{"type":"LineString","coordinates":[{}]}}}},
+ {{"type":"Feature","properties":{{"name":"cellular"}},"geometry":{{"type":"MultiPoint","coordinates":[{}]}}}}]}}"#,
+        truth_line.join(","),
+        towers.join(",")
+    );
+    let path = "dataset_sample.geojson";
+    std::fs::write(path, geo).expect("write geojson");
+    println!(
+        "\nexported the longest test trajectory ({} points, {} truth segments) to {path}",
+        rec.cellular.len(),
+        rec.truth.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a small synthetic city, train LHMM, and match one
+//! cellular trajectory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lhmm::prelude::*;
+use lhmm::core::types::MatchContext;
+use lhmm::eval::metrics::evaluate_path;
+
+fn main() {
+    // 1. Generate a dataset: road network, cell towers, and simulated
+    //    cellular trajectories with paired ground-truth paths.
+    println!("generating dataset ...");
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(42));
+    println!(
+        "  {} segments, {} towers, {} train / {} test trajectories",
+        ds.network.num_segments(),
+        ds.towers.len(),
+        ds.train.len(),
+        ds.test.len()
+    );
+
+    // 2. Train the full LHMM pipeline: Het-Graph Encoder embeddings, the
+    //    learned observation probability, and the learned transition
+    //    probability.
+    println!("training LHMM ...");
+    let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(42));
+
+    // 3. Match every held-out trajectory and compare with the ground truth.
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let (mut p, mut r, mut rmf, mut cmf) = (0.0, 0.0, 0.0, 0.0);
+    for rec in &ds.test {
+        let result = lhmm.match_trajectory(&ctx, &rec.cellular);
+        let q = evaluate_path(&ds.network, &result.path, &rec.truth);
+        p += q.precision;
+        r += q.recall;
+        rmf += q.rmf;
+        cmf += q.cmf50;
+    }
+    let n = ds.test.len() as f64;
+    println!("matched {} held-out trajectories; averages:", ds.test.len());
+    println!(
+        "precision {:.3} | recall {:.3} | RMF {:.3} | CMF50 {:.3}",
+        p / n,
+        r / n,
+        rmf / n,
+        cmf / n
+    );
+    println!("(lower RMF/CMF50 is better; see EXPERIMENTS.md for full-method comparisons)");
+}

@@ -1,0 +1,53 @@
+//! Sampling-rate robustness sweep (the Fig. 7b experiment in miniature):
+//! LHMM vs the classic STM baseline as cellular sampling gets sparser.
+//!
+//! ```sh
+//! cargo run --release --example robustness_sweep
+//! ```
+
+use lhmm::baselines::heuristic::stm;
+use lhmm::cellsim::sampling::thin_to_rate;
+use lhmm::cellsim::traj::TrajectoryRecord;
+use lhmm::core::types::MapMatcher;
+use lhmm::eval::runner::evaluate_matcher;
+use lhmm::prelude::*;
+
+fn main() {
+    println!("generating dataset (dense sampling) ...");
+    let mut cfg = DatasetConfig::tiny_test(19);
+    cfg.sampling.cell_interval_mean = 20.0; // dense base rate to thin from
+    let ds = Dataset::generate(&cfg);
+
+    println!("training LHMM ...");
+    let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(19));
+    let mut stm_m = stm(&ds.network);
+
+    println!(
+        "\n{:>18} {:>12} {:>12}",
+        "rate (per min)", "LHMM CMF50", "STM CMF50"
+    );
+    for rate in [0.5, 1.0, 1.5, 2.0, 3.0] {
+        let thinned: Vec<TrajectoryRecord> = ds
+            .test
+            .iter()
+            .map(|rec| {
+                let (cellular, true_positions) =
+                    thin_to_rate(&rec.cellular, &rec.true_positions, rate);
+                TrajectoryRecord {
+                    cellular,
+                    gps: rec.gps.clone(),
+                    truth: rec.truth.clone(),
+                    true_positions,
+                }
+            })
+            .filter(|r| r.cellular.len() >= 3)
+            .collect();
+        if thinned.is_empty() {
+            continue;
+        }
+        let r_l = evaluate_matcher(&ds, &mut lhmm as &mut dyn MapMatcher, &thinned);
+        let r_s = evaluate_matcher(&ds, &mut stm_m as &mut dyn MapMatcher, &thinned);
+        println!("{rate:>18.1} {:>12.3} {:>12.3}", r_l.cmf50, r_s.cmf50);
+    }
+    println!("\nlower CMF50 is better; LHMM degrades more gracefully at sparse rates.");
+}

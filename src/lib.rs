@@ -1,0 +1,47 @@
+//! # LHMM — Learning-Enhanced HMM Map Matching for Cellular Trajectories
+//!
+//! Umbrella crate for the reproduction of *Shi et al., "LHMM: A Learning
+//! Enhanced HMM Model for Cellular Trajectory Map Matching" (ICDE 2023)*.
+//!
+//! It re-exports every workspace crate under a stable module hierarchy so
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use lhmm::prelude::*;
+//! ```
+//!
+//! Crate map:
+//! * [`geo`] — planar geometry primitives.
+//! * [`network`] — road-network graph, spatial index, shortest paths,
+//!   synthetic city generators.
+//! * [`cellsim`] — cellular-positioning simulator that stands in for the
+//!   paper's proprietary operator datasets.
+//! * [`neural`] — from-scratch reverse-mode autograd, layers and optimizers.
+//! * [`graph`] — multi-relational graph and the Het-Graph Encoder.
+//! * [`core`] — observation/transition probability learners and the HMM
+//!   path-finding framework with shortcuts.
+//! * [`baselines`] — ten reimplemented comparison matchers.
+//! * [`eval`] — precision / recall / RMF / CMF / hitting-ratio metrics and
+//!   the experiment runner.
+
+#![forbid(unsafe_code)]
+
+pub use lhmm_baselines as baselines;
+pub use lhmm_cellsim as cellsim;
+pub use lhmm_core as core;
+pub use lhmm_eval as eval;
+pub use lhmm_geo as geo;
+pub use lhmm_graph as graph;
+pub use lhmm_network as network;
+pub use lhmm_neural as neural;
+
+/// Common imports for applications built on LHMM.
+pub mod prelude {
+    pub use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    pub use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+    pub use lhmm_core::types::{MapMatcher, MatchResult};
+    pub use lhmm_eval::metrics::{evaluate_path, MatchQuality};
+    pub use lhmm_geo::Point;
+    pub use lhmm_network::graph::{RoadNetwork, SegmentId};
+    pub use lhmm_network::path::Path;
+}

@@ -1,0 +1,103 @@
+//! Contract tests: every matcher in the workspace must handle edge-case
+//! trajectories without panicking and return well-formed results.
+
+use lhmm::baselines::heuristic::{clsters, ifm, mcm, snapnet, stm, stm_s, thmm};
+use lhmm::baselines::ivmm::Ivmm;
+use lhmm::baselines::seq2seq::{Seq2SeqConfig, Seq2SeqMatcher};
+use lhmm::cellsim::tower::TowerId;
+use lhmm::cellsim::traj::{CellularPoint, CellularTrajectory};
+use lhmm::core::types::{MapMatcher, MatchContext};
+use lhmm::prelude::*;
+
+fn all_matchers(ds: &Dataset) -> Vec<Box<dyn MapMatcher>> {
+    vec![
+        Box::new(stm(&ds.network)),
+        Box::new(stm_s(&ds.network)),
+        Box::new(ifm(&ds.network)),
+        Box::new(mcm(&ds.network)),
+        Box::new(clsters(&ds.network)),
+        Box::new(snapnet(&ds.network)),
+        Box::new(thmm(&ds.network)),
+        Box::new(Ivmm::new(&ds.network)),
+        Box::new(Seq2SeqMatcher::train(
+            ds,
+            Seq2SeqConfig::dmm(2001).fast_test(),
+        )),
+        Box::new(Lhmm::train(ds, LhmmConfig::fast_test(2001))),
+    ]
+}
+
+fn point_at(ds: &Dataset, t: f64) -> CellularPoint {
+    let tower = &ds.towers.towers()[0];
+    CellularPoint {
+        tower: TowerId(0),
+        pos: tower.pos,
+        t,
+        smoothed: None,
+    }
+}
+
+#[test]
+fn all_matchers_survive_edge_trajectories() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(2001));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+
+    let empty = CellularTrajectory::default();
+    let single = CellularTrajectory {
+        points: vec![point_at(&ds, 0.0)],
+    };
+    let pair = CellularTrajectory {
+        points: vec![point_at(&ds, 0.0), point_at(&ds, 60.0)],
+    };
+    // Repeated identical tower observations (a parked phone).
+    let parked = CellularTrajectory {
+        points: (0..6).map(|i| point_at(&ds, i as f64 * 45.0)).collect(),
+    };
+
+    for mut m in all_matchers(&ds) {
+        for traj in [&empty, &single, &pair, &parked] {
+            let r = m.match_trajectory(&ctx, traj);
+            // Every returned segment must exist.
+            for &seg in &r.path.segments {
+                assert!(seg.idx() < ds.network.num_segments(), "{}", m.name());
+            }
+            if let Some(sets) = &r.candidate_sets {
+                assert_eq!(sets.len(), traj.len(), "{}", m.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn all_matchers_produce_results_on_real_trajectories() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(2002));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    for mut m in all_matchers(&ds) {
+        let name = m.name().to_string();
+        let r = m.match_trajectory(&ctx, &ds.test[0].cellular);
+        assert!(!r.path.is_empty(), "{name} returned an empty path");
+    }
+}
+
+#[test]
+fn matcher_names_are_stable() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(2003));
+    let names: Vec<String> = all_matchers(&ds)
+        .iter()
+        .map(|m| m.name().to_string())
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            "STM", "STM+S", "IFM", "MCM", "CLSTERS", "SNet", "THMM", "IVMM", "DMM", "LHMM"
+        ]
+    );
+}
