@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build, lint, and test the whole workspace.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh --fast     # skip the release build (lint + tests only)
+#
+# The integration suites run twice: single-threaded (RUST_TEST_THREADS=1)
+# to surface ordering assumptions between tests, and with the default
+# parallelism to surface shared-state races.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+if [ "$fast" -eq 0 ]; then
+  run cargo build --release
+fi
+
+run cargo clippy --workspace --all-targets -- -D warnings
+
+# Unit + doc + integration tests, whole workspace.
+run cargo test --workspace -q
+
+# Integration tests under forced serial execution, then full parallelism.
+# The parallel-vs-serial equivalence suite in particular must pass both
+# ways: worker scheduling may never leak into results.
+run env RUST_TEST_THREADS=1 cargo test -q --test batch_equivalence --test end_to_end --test matcher_contract
+run cargo test -q --test batch_equivalence --test end_to_end --test matcher_contract
+
+echo
+echo "ci: all checks passed"

@@ -1,0 +1,43 @@
+//! Batch matching throughput (trajectories/sec) versus worker count.
+//!
+//! One iteration = matching the full held-out split through the parallel
+//! [`BatchMatcher`] at 1, 2, 4 and 8 workers; the throughput line converts
+//! the timing into trajectories/sec. Speedup over the 1-worker row shows
+//! the scaling of the sharded-cache design — on a single-core host all
+//! rows collapse to roughly the same number, so run this on a multi-core
+//! machine to see the scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::batch::{BatchConfig, BatchMatcher};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::MatchContext;
+
+fn bench_batch(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(104));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(104));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+
+    let mut group = c.benchmark_group("batch_matching");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trajs.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let matcher = BatchMatcher::new(lhmm.model(), BatchConfig::with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &matcher,
+            |b, matcher| {
+                b.iter(|| matcher.match_batch(&ctx, &trajs));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

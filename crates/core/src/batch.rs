@@ -1,0 +1,367 @@
+//! Parallel batch matching over a shared [`LhmmModel`].
+//!
+//! # Architecture
+//!
+//! [`BatchMatcher`] matches a slice of trajectories across `N` workers on
+//! `std::thread::scope` — no runtime dependencies. The design has three
+//! moving parts:
+//!
+//! * **Sharded shortest-path caches.** Each worker owns a private
+//!   [`HmmEngine`] whose [`SpCache`] shard it alone mutates; there is no
+//!   locking on the hot path. All shards additionally consult a shared
+//!   read-only [`WarmLayer`] (an `Arc`) before running a Dijkstra search.
+//!
+//! * **Warm layer from candidate-pair statistics.** Before spawning, a
+//!   warmup pass samples trajectories from the batch, prepares their
+//!   candidate layers, and counts how often each `(segment end, segment
+//!   start)` node pair connects consecutive layers. The most frequent
+//!   pairs — the queries every worker is about to issue — are precomputed
+//!   once with true shortest-path searches and published to all shards.
+//!
+//! * **Work stealing.** Workers draw trajectory indices from one shared
+//!   `AtomicUsize` (`fetch_add`), so a worker stuck on a long trajectory
+//!   never idles the others; there is no static partition to balance.
+//!
+//! # Determinism guarantee
+//!
+//! Output order is deterministic by construction: each worker records
+//! `(input index, result)` and results are scattered back to their input
+//! slot after the join, so `results[i]` always corresponds to `trajs[i]`
+//! regardless of which worker matched it or in what order.
+//!
+//! Result *content* is also bit-identical to a serial
+//! [`Lhmm`](crate::lhmm::Lhmm) loop, for a stronger reason than ordering:
+//! cache state cannot change answers. A [`SpCache`] entry (private or warm)
+//! only answers a query when the answer provably equals what a fresh
+//! Dijkstra search bounded by the query's own bound would return, and the
+//! [`DijkstraEngine`](lhmm_network::shortest_path::DijkstraEngine) resets
+//! per query via epoch stamping. Matching is therefore a pure function of
+//! `(model, trajectory)` — worker count, scheduling order, and cache
+//! warm-up only affect speed. `tests/batch_equivalence.rs` verifies this
+//! end to end for 1, 2 and 4 workers.
+
+use crate::lhmm::LhmmModel;
+use crate::types::{MatchContext, MatchResult, MatchStats};
+use crate::viterbi::HmmEngine;
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_network::graph::NodeId;
+use lhmm_network::sp_cache::{SpCache, WarmLayer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Batch-matching parameters.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads. `0` means one worker per available CPU.
+    pub workers: usize,
+    /// Capacity of each worker's private cache shard, in node pairs.
+    pub cache_capacity: usize,
+    /// Maximum node pairs precomputed into the shared warm layer;
+    /// `0` disables the warmup pass entirely.
+    pub warm_pairs: usize,
+    /// How many trajectories (spread evenly across the batch) the warmup
+    /// pass samples for candidate-pair statistics.
+    pub warm_sample: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 0,
+            cache_capacity: HmmEngine::DEFAULT_CACHE_CAPACITY,
+            warm_pairs: 20_000,
+            warm_sample: 8,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A config with an explicit worker count and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        BatchConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Telemetry for one worker thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Trajectories this worker matched.
+    pub matched: usize,
+    /// Aggregated per-trajectory engine telemetry.
+    pub stats: MatchStats,
+}
+
+/// Telemetry for one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// One entry per worker (cache shard), in worker order.
+    pub per_worker: Vec<WorkerStats>,
+    /// Node pairs published to the shared warm layer.
+    pub warm_entries: usize,
+    /// Wall-clock seconds spent in the warmup pass.
+    pub warm_time_s: f64,
+}
+
+impl BatchStats {
+    /// All workers' telemetry merged.
+    pub fn total(&self) -> MatchStats {
+        let mut total = MatchStats::default();
+        for w in &self.per_worker {
+            total.merge(&w.stats);
+        }
+        total
+    }
+}
+
+/// Matches trajectory batches in parallel against one trained model.
+pub struct BatchMatcher<'a> {
+    model: &'a LhmmModel,
+    config: BatchConfig,
+}
+
+impl<'a> BatchMatcher<'a> {
+    /// Creates a batch matcher over `model`.
+    pub fn new(model: &'a LhmmModel, config: BatchConfig) -> Self {
+        BatchMatcher { model, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Matches every trajectory in `trajs`. `results[i]` corresponds to
+    /// `trajs[i]`; content is identical to matching serially (see module
+    /// docs for the determinism argument).
+    pub fn match_batch(
+        &self,
+        ctx: &MatchContext<'_>,
+        trajs: &[CellularTrajectory],
+    ) -> (Vec<MatchResult>, BatchStats) {
+        let mut stats = BatchStats::default();
+        if trajs.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let workers = self.config.effective_workers().min(trajs.len());
+
+        let warm_start = std::time::Instant::now();
+        let warm = Arc::new(self.build_warm_layer(ctx, trajs));
+        stats.warm_entries = warm.len();
+        stats.warm_time_s = warm_start.elapsed().as_secs_f64();
+
+        let next = AtomicUsize::new(0);
+        let model = self.model;
+        let engine_cfg = self.model.engine_config();
+        let cache_capacity = self.config.cache_capacity;
+
+        let mut worker_outputs: Vec<(Vec<(usize, MatchResult)>, WorkerStats)> =
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let warm = Arc::clone(&warm);
+                        let next = &next;
+                        let engine_cfg = engine_cfg.clone();
+                        s.spawn(move || {
+                            let cache =
+                                SpCache::with_warm_layer(ctx.net, cache_capacity, warm);
+                            let mut engine =
+                                HmmEngine::with_cache(ctx.net, engine_cfg, cache);
+                            let mut out = Vec::new();
+                            let mut wstats = WorkerStats::default();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= trajs.len() {
+                                    break;
+                                }
+                                let (result, mstats) =
+                                    model.match_with_engine_stats(ctx, &trajs[i], &mut engine);
+                                wstats.matched += 1;
+                                wstats.stats.merge(&mstats);
+                                out.push((i, result));
+                            }
+                            (out, wstats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            });
+
+        // Deterministic scatter: every result lands at its input index.
+        let mut results: Vec<Option<MatchResult>> = (0..trajs.len()).map(|_| None).collect();
+        for (out, wstats) in worker_outputs.drain(..) {
+            stats.per_worker.push(wstats);
+            for (i, r) in out {
+                debug_assert!(results[i].is_none(), "index {i} matched twice");
+                results[i] = Some(r);
+            }
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect();
+        (results, stats)
+    }
+
+    /// Samples trajectories, counts consecutive candidate node pairs, and
+    /// precomputes routes for the most frequent ones.
+    ///
+    /// Pairs are keyed `(prev segment's end node, next segment's start
+    /// node)` — exactly the inner query [`SpCache`] memoizes for
+    /// projection-to-projection routes. Searches run with a bound far above
+    /// any matching query's, so every warm entry is conclusive (and equal
+    /// to what a fresh search would return) for all later bounds.
+    fn build_warm_layer(
+        &self,
+        ctx: &MatchContext<'_>,
+        trajs: &[CellularTrajectory],
+    ) -> WarmLayer {
+        if self.config.warm_pairs == 0 || self.config.warm_sample == 0 {
+            return WarmLayer::new();
+        }
+        let step = trajs.len().div_ceil(self.config.warm_sample).max(1);
+        let mut counts: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        for traj in trajs.iter().step_by(step) {
+            if traj.is_empty() {
+                continue;
+            }
+            let contexts = self.model.point_contexts(&traj.towers());
+            let (_, layers) = self.model.prepare_candidates(ctx, traj, &contexts);
+            for pair in layers.windows(2) {
+                for prev in &pair[0] {
+                    let from = ctx.net.segment(prev.seg).to;
+                    for cur in &pair[1] {
+                        if cur.seg == prev.seg {
+                            continue;
+                        }
+                        let to = ctx.net.segment(cur.seg).from;
+                        *counts.entry((from, to)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<((NodeId, NodeId), u64)> = counts.into_iter().collect();
+        // Ties broken by node ids so the warm set is deterministic.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.config.warm_pairs);
+        WarmLayer::precompute(ctx.net, ranked.into_iter().map(|(p, _)| p), WARM_BOUND)
+    }
+}
+
+/// Warmup search bound: far above any bound matching ever queries with, so
+/// warm entries answer conclusively for every later bound.
+const WARM_BOUND: f64 = 1e12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lhmm::{Lhmm, LhmmConfig};
+    use crate::types::MapMatcher;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+
+    fn cheap_config(seed: u64) -> LhmmConfig {
+        // Ablated learners make training fast; the engine paths exercised
+        // by batching are identical.
+        let mut cfg = LhmmConfig::fast_test(seed);
+        cfg.use_learned_obs = false;
+        cfg.use_learned_trans = false;
+        cfg
+    }
+
+    #[test]
+    fn batch_results_align_with_inputs_and_serial() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(81));
+        let mut serial = Lhmm::train(&ds, cheap_config(81));
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+        let batch = BatchMatcher::new(serial.model(), BatchConfig::with_workers(2));
+        let (results, stats) = batch.match_batch(&ctx, &trajs);
+        assert_eq!(results.len(), trajs.len());
+        assert_eq!(stats.per_worker.iter().map(|w| w.matched).sum::<usize>(), trajs.len());
+        for (r, traj) in results.iter().zip(&trajs) {
+            let s = serial.match_trajectory(&ctx, traj);
+            assert_eq!(r.path.segments, s.path.segments);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(82));
+        let model = LhmmModel::train(&ds, cheap_config(82));
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let batch = BatchMatcher::new(&model, BatchConfig::default());
+        let (results, stats) = batch.match_batch(&ctx, &[]);
+        assert!(results.is_empty());
+        assert!(stats.per_worker.is_empty());
+    }
+
+    #[test]
+    fn warm_layer_is_used() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(83));
+        let model = LhmmModel::train(&ds, cheap_config(83));
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+        let batch = BatchMatcher::new(&model, BatchConfig::with_workers(1));
+        let (_, stats) = batch.match_batch(&ctx, &trajs);
+        assert!(stats.warm_entries > 0, "warmup produced no entries");
+        assert!(
+            stats.total().cache_warm_hits > 0,
+            "warm layer never answered: {:?}",
+            stats.total()
+        );
+    }
+
+    #[test]
+    fn warmup_can_be_disabled() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(84));
+        let model = LhmmModel::train(&ds, cheap_config(84));
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let trajs: Vec<_> = ds.test.iter().take(3).map(|r| r.cellular.clone()).collect();
+        let cfg = BatchConfig {
+            warm_pairs: 0,
+            workers: 2,
+            ..Default::default()
+        };
+        let (results, stats) = BatchMatcher::new(&model, cfg).match_batch(&ctx, &trajs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(stats.warm_entries, 0);
+        assert_eq!(stats.total().cache_warm_hits, 0);
+    }
+
+    #[test]
+    fn model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LhmmModel>();
+        assert_send_sync::<WarmLayer>();
+    }
+}

@@ -5,9 +5,11 @@ use crate::classic::{ClassicObservation, ClassicTransition};
 use crate::observation::{ObsConfig, ObservationLearner};
 use crate::transition::{TrajTransScorer, TransConfig, TransitionLearner};
 use crate::types::{
-    Candidate, HmmProbabilities, MapMatcher, MatchContext, MatchResult, RouteInfo,
+    Candidate, HmmProbabilities, MapMatcher, MatchContext, MatchResult, MatchStats, RouteInfo,
 };
 use crate::viterbi::{EngineConfig, HmmEngine};
+use std::ops::{Deref, DerefMut};
+use std::time::Instant;
 use lhmm_cellsim::dataset::Dataset;
 use lhmm_cellsim::tower::TowerId;
 use lhmm_cellsim::traj::CellularTrajectory;
@@ -99,8 +101,13 @@ impl LhmmConfig {
     }
 }
 
-/// The trained LHMM matcher.
-pub struct Lhmm {
+/// The trained, immutable half of the LHMM matcher: configuration, graph,
+/// embeddings and both learned probability networks.
+///
+/// Contains no search state, so it is `Send + Sync`: one model can serve
+/// many [`HmmEngine`]s concurrently (see [`crate::batch`]). The familiar
+/// [`Lhmm`] couples a model with one engine for serial use.
+pub struct LhmmModel {
     /// The configuration the model was trained with. `k` and `shortcut_k`
     /// may be changed between matches (parameter sweeps) via
     /// [`Lhmm::set_k`] / [`Lhmm::set_shortcuts`].
@@ -111,11 +118,31 @@ pub struct Lhmm {
     trans_learner: Option<TransitionLearner>,
     classic_obs: ClassicObservation,
     classic_trans: ClassicTransition,
-    engine: HmmEngine,
     name: String,
 }
 
-impl Lhmm {
+/// The trained LHMM matcher: a [`LhmmModel`] plus one search engine.
+/// Dereferences to the model, so trained state and `config` read through.
+pub struct Lhmm {
+    model: LhmmModel,
+    engine: HmmEngine,
+}
+
+impl Deref for Lhmm {
+    type Target = LhmmModel;
+
+    fn deref(&self) -> &LhmmModel {
+        &self.model
+    }
+}
+
+impl DerefMut for Lhmm {
+    fn deref_mut(&mut self) -> &mut LhmmModel {
+        &mut self.model
+    }
+}
+
+impl LhmmModel {
     /// Trains the full pipeline (encoder → P_O learner → P_T learner) on
     /// the dataset's training split.
     pub fn train(ds: &Dataset, mut config: LhmmConfig) -> Self {
@@ -137,16 +164,8 @@ impl Lhmm {
         let trans_learner = config.use_learned_trans.then(|| {
             TransitionLearner::train(&ds.network, &ds.index, &embeddings, &ds.train, &config.trans)
         });
-        let engine = HmmEngine::new(
-            &ds.network,
-            EngineConfig {
-                max_route_factor: config.route_factor,
-                route_slack: config.route_slack,
-                shortcuts: config.shortcut_k,
-            },
-        );
         let name = variant_name(&config);
-        Lhmm {
+        LhmmModel {
             config,
             graph,
             embeddings,
@@ -154,9 +173,23 @@ impl Lhmm {
             trans_learner,
             classic_obs: ClassicObservation::cellular(),
             classic_trans: ClassicTransition::cellular(),
-            engine,
             name,
         }
+    }
+
+    /// The engine parameters this model's configuration implies; every
+    /// engine matching on behalf of the model must be built from these.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            max_route_factor: self.config.route_factor,
+            route_slack: self.config.route_slack,
+            shortcuts: self.config.shortcut_k,
+        }
+    }
+
+    /// Short display name ("LHMM", "LHMM-O", ...).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The multi-relational graph built from the training split.
@@ -198,7 +231,7 @@ impl Lhmm {
         config.obs.fuse_epochs = 0;
         config.trans.epochs = 0;
         config.trans.fuse_epochs = 0;
-        let mut model = Lhmm::train(ds, config);
+        let mut model = LhmmModel::train(ds, config);
         let mut dec = lhmm_neural::persist::Decoder::new(bytes)?;
         model.embeddings.import_weights(&mut dec)?;
         if let Some(o) = &mut model.obs_learner {
@@ -210,21 +243,18 @@ impl Lhmm {
         Ok(model)
     }
 
-    /// Changes the candidate count `k` for subsequent matches (Fig. 8).
-    pub fn set_k(&mut self, k: usize) {
-        self.config.k = k;
-    }
-
-    /// Changes the shortcut count `K` for subsequent matches (Fig. 9).
-    pub fn set_shortcuts(&mut self, k: usize) {
-        self.config.shortcut_k = k;
-        self.engine.cfg.shortcuts = k;
+    /// Context-aware point representations (Eq. 6), one per point; `None`
+    /// when the learned observation model is ablated.
+    pub(crate) fn point_contexts(&self, towers: &[TowerId]) -> Option<Vec<Vec<f32>>> {
+        self.obs_learner
+            .as_ref()
+            .map(|learner| learner.context_rows(&self.embeddings, towers))
     }
 
     /// Candidate layers for one trajectory: per kept point, the top-k
     /// segments by (learned or classic) observation probability.
     /// Returns `(kept point indices, layers)`.
-    fn prepare_candidates(
+    pub(crate) fn prepare_candidates(
         &self,
         ctx: &MatchContext<'_>,
         traj: &CellularTrajectory,
@@ -400,29 +430,41 @@ impl HmmProbabilities for LhmmTrajModel<'_> {
     }
 }
 
-impl MapMatcher for Lhmm {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn match_trajectory(
-        &mut self,
+impl LhmmModel {
+    /// Matches one trajectory using a caller-provided engine.
+    ///
+    /// The engine must have been built from [`LhmmModel::engine_config`]
+    /// (any cache contents are fine: cache state never changes answers,
+    /// only speed — see [`crate::batch`] for the argument). This is the
+    /// single matching entry point; [`Lhmm`] and the batch matcher both
+    /// route through it.
+    pub fn match_with_engine(
+        &self,
         ctx: &MatchContext<'_>,
         traj: &CellularTrajectory,
+        engine: &mut HmmEngine,
     ) -> MatchResult {
+        self.match_with_engine_stats(ctx, traj, engine).0
+    }
+
+    /// [`LhmmModel::match_with_engine`] plus per-trajectory engine
+    /// telemetry (Viterbi timing, cache layer counters, shortcut activity).
+    pub fn match_with_engine_stats(
+        &self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+        engine: &mut HmmEngine,
+    ) -> (MatchResult, MatchStats) {
+        let mut stats = MatchStats::default();
         if traj.is_empty() {
-            return MatchResult::empty();
+            return (MatchResult::empty(), stats);
         }
-        // Context-aware point representations (Eq. 6), one per point.
         let towers = traj.towers();
-        let contexts: Option<Vec<Vec<f32>>> = self
-            .obs_learner
-            .as_ref()
-            .map(|learner| learner.context_rows(&self.embeddings, &towers));
+        let contexts = self.point_contexts(&towers);
 
         let (kept, layers) = self.prepare_candidates(ctx, traj, &contexts);
         if kept.is_empty() {
-            return MatchResult::empty();
+            return (MatchResult::empty(), stats);
         }
 
         // Candidate sets aligned to the original trajectory (for HR).
@@ -456,17 +498,80 @@ impl MapMatcher for Lhmm {
             orig_idx: kept,
         };
 
-        let out = self.engine.find_path(ctx.net, &pts, layers, &mut model);
+        let cache_before = engine.cache_stats_detailed();
+        let viterbi_start = Instant::now();
+        let out = engine.find_path(ctx.net, &pts, layers, &mut model);
+        stats.viterbi_time_s = viterbi_start.elapsed().as_secs_f64();
+        let cache_after = engine.cache_stats_detailed();
+        stats.cache_hits = cache_after.hits - cache_before.hits;
+        stats.cache_warm_hits = cache_after.warm_hits - cache_before.warm_hits;
+        stats.cache_misses = cache_after.misses - cache_before.misses;
+        stats.shortcut_activations = out.added_candidates.len() as u64;
+        stats.shortcut_points = out.shortcut_points as u64;
+
         // Shortcut-created candidates enlarge the effective candidate road
         // sets (they are real match hypotheses for the skipped points).
         for (layer_idx, cand) in &out.added_candidates {
             let orig = model.orig_idx[*layer_idx];
             candidate_sets[orig].push(cand.seg);
         }
-        MatchResult {
+        let result = MatchResult {
             path: out.path,
             candidate_sets: Some(candidate_sets),
-        }
+        };
+        (result, stats)
+    }
+}
+
+impl Lhmm {
+    /// Trains the full pipeline (encoder → P_O learner → P_T learner) on
+    /// the dataset's training split and couples it with a search engine.
+    pub fn train(ds: &Dataset, config: LhmmConfig) -> Self {
+        let model = LhmmModel::train(ds, config);
+        let engine = HmmEngine::new(&ds.network, model.engine_config());
+        Lhmm { model, engine }
+    }
+
+    /// See [`LhmmModel::load_weights`]; the loaded model is coupled with a
+    /// fresh engine.
+    pub fn load_weights(
+        ds: &Dataset,
+        config: LhmmConfig,
+        bytes: &[u8],
+    ) -> Result<Self, lhmm_neural::persist::DecodeError> {
+        let model = LhmmModel::load_weights(ds, config, bytes)?;
+        let engine = HmmEngine::new(&ds.network, model.engine_config());
+        Ok(Lhmm { model, engine })
+    }
+
+    /// The trained model half, for sharing across batch workers.
+    pub fn model(&self) -> &LhmmModel {
+        &self.model
+    }
+
+    /// Changes the candidate count `k` for subsequent matches (Fig. 8).
+    pub fn set_k(&mut self, k: usize) {
+        self.model.config.k = k;
+    }
+
+    /// Changes the shortcut count `K` for subsequent matches (Fig. 9).
+    pub fn set_shortcuts(&mut self, k: usize) {
+        self.model.config.shortcut_k = k;
+        self.engine.cfg.shortcuts = k;
+    }
+}
+
+impl MapMatcher for Lhmm {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn match_trajectory(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+    ) -> MatchResult {
+        self.model.match_with_engine(ctx, traj, &mut self.engine)
     }
 }
 

@@ -13,7 +13,10 @@
 //! * [`observation`] — the learned observation probability (Eq. 6–8),
 //! * [`transition`] — the learned transition probability (Eq. 9–12),
 //! * [`lhmm`] — the [`lhmm::Lhmm`] model: training pipeline and matcher,
-//!   with ablation switches ([`lhmm::LhmmConfig`]).
+//!   with ablation switches ([`lhmm::LhmmConfig`]),
+//! * [`batch`] — the parallel [`batch::BatchMatcher`]: work-stealing
+//!   workers over sharded shortest-path caches with a shared warm layer,
+//!   bit-identical to serial matching.
 //!
 //! ```no_run
 //! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
@@ -29,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod candidates;
 pub mod classic;
 pub mod lhmm;
@@ -39,5 +43,6 @@ pub mod types;
 pub mod viterbi;
 
 
-pub use lhmm::{Lhmm, LhmmConfig};
-pub use types::{Candidate, MapMatcher, MatchContext, MatchResult};
+pub use batch::{BatchConfig, BatchMatcher, BatchStats, WorkerStats};
+pub use lhmm::{Lhmm, LhmmConfig, LhmmModel};
+pub use types::{Candidate, MapMatcher, MatchContext, MatchResult, MatchStats};

@@ -81,6 +81,37 @@ impl MatchResult {
     }
 }
 
+/// Per-trajectory engine telemetry, threaded from the Viterbi engine up
+/// through batch matching and evaluation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MatchStats {
+    /// Wall-clock time spent in the path-finding engine, seconds
+    /// (candidate preparation excluded).
+    pub viterbi_time_s: f64,
+    /// Shortest-path queries answered by the worker's private cache shard.
+    pub cache_hits: u64,
+    /// Shortest-path queries answered by the shared warm layer.
+    pub cache_warm_hits: u64,
+    /// Shortest-path queries that ran a Dijkstra search.
+    pub cache_misses: u64,
+    /// Candidates added by shortcut construction (Algorithm 2 activations).
+    pub shortcut_activations: u64,
+    /// Matched-chain points routed through a shortcut candidate.
+    pub shortcut_points: u64,
+}
+
+impl MatchStats {
+    /// Accumulates `other` into `self` (per-worker and per-batch rollups).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.viterbi_time_s += other.viterbi_time_s;
+        self.cache_hits += other.cache_hits;
+        self.cache_warm_hits += other.cache_warm_hits;
+        self.cache_misses += other.cache_misses;
+        self.shortcut_activations += other.shortcut_activations;
+        self.shortcut_points += other.shortcut_points;
+    }
+}
+
 /// Read-only context a matcher needs at inference time.
 #[derive(Clone, Copy)]
 pub struct MatchContext<'a> {

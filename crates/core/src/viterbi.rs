@@ -11,7 +11,7 @@ use lhmm_geo::Point;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
 use lhmm_network::shortest_path::DijkstraEngine;
-use lhmm_network::sp_cache::SpCache;
+use lhmm_network::sp_cache::{SpCache, SpCacheStats, WarmLayer};
 
 /// Engine parameters.
 #[derive(Clone, Debug)]
@@ -61,13 +61,33 @@ pub struct HmmEngine {
 }
 
 impl HmmEngine {
+    /// Default shortest-path cache capacity (node pairs).
+    pub const DEFAULT_CACHE_CAPACITY: usize = 200_000;
+
     /// Creates an engine for `net`.
     pub fn new(net: &RoadNetwork, cfg: EngineConfig) -> Self {
+        Self::with_cache(net, cfg, SpCache::new(net, Self::DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// Creates an engine around a caller-built cache (e.g. a shard backed
+    /// by a shared [`WarmLayer`] for batch matching).
+    pub fn with_cache(net: &RoadNetwork, cfg: EngineConfig, sp_cache: SpCache) -> Self {
         HmmEngine {
             dijkstra: DijkstraEngine::new(net),
-            sp_cache: SpCache::new(net, 200_000),
+            sp_cache,
             cfg,
         }
+    }
+
+    /// Copies the cache's private entries into a standalone [`WarmLayer`]
+    /// (to seed batch workers from a warmup pass).
+    pub fn cache_snapshot(&self) -> WarmLayer {
+        self.sp_cache.snapshot()
+    }
+
+    /// Cache counters split by layer (private hits / warm hits / searches).
+    pub fn cache_stats_detailed(&self) -> SpCacheStats {
+        self.sp_cache.detailed_stats()
     }
 
     /// Runs Algorithm 1 (+ Algorithm 2 when `cfg.shortcuts > 0`).

@@ -1,0 +1,302 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by this
+//! workspace's `harness = false` bench targets.
+//!
+//! The build sandbox has no registry access, so the canonical crate cannot
+//! be fetched. This shim measures wall-clock time with `std::time::Instant`:
+//! each benchmark gets a short warmup to calibrate how many iterations fit
+//! in one sample, then `sample_size` samples are timed and reported as
+//! min / mean / max per iteration (plus throughput when configured).
+//! There is no outlier analysis, no plotting, and no saved baselines.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+/// Warmup duration used to calibrate iterations per sample.
+const WARMUP_TIME: Duration = Duration::from_millis(300);
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` narrows which benchmarks run; cargo's own
+        // `--bench` flag and criterion CLI options are accepted and ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id, self.filter.as_deref(), self.default_sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput so rates are reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size.unwrap_or(self.criterion.default_sample_size),
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op beyond dropping the settings).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion used by `bench_function`-style methods that accept either a
+/// string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures; handed to the benchmark function.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+
+    // Warmup and calibration: run single iterations until the warmup budget
+    // is spent, then size each sample to roughly TARGET_SAMPLE_TIME.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while warmup_start.elapsed() < WARMUP_TIME {
+        f(&mut b);
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+    let iters_per_sample = ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let min = times[0];
+    let max = *times.last().unwrap();
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+
+    print!(
+        "{id:<40} time: [{} {} {}]",
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: [{} elem/s]", format_rate(n as f64 / mean));
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!("  thrpt: [{} B/s]", format_rate(n as f64 / mean));
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2}")
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).into_benchmark_id(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("serial").into_benchmark_id(), "serial");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.5e-9), "2.50 ns");
+        assert_eq!(format_time(3.0e-3), "3.00 ms");
+        assert_eq!(format_rate(2_000_000.0), "2.000 M");
+    }
+}

@@ -26,4 +26,4 @@ pub mod report;
 pub mod runner;
 
 pub use metrics::{evaluate_path, hitting_ratio, MatchQuality};
-pub use runner::{evaluate_matcher, EvalReport};
+pub use runner::{evaluate_lhmm_batch, evaluate_matcher, EvalReport};

@@ -37,10 +37,12 @@ pub fn evaluate_path(net: &RoadNetwork, matched: &Path, truth: &Path) -> MatchQu
 
     let truth_set: HashSet<SegmentId> = truth.segment_set();
     let matched_set: HashSet<SegmentId> = matched.segment_set();
-    let correct_len: f64 = matched_set
-        .intersection(&truth_set)
-        .map(|&s| net.segment(s).length)
-        .sum();
+    // Sum in segment-id order: HashSet iteration order varies per instance,
+    // and float addition is order-sensitive, so hash-order summation makes
+    // the last ulp nondeterministic across runs.
+    let mut correct: Vec<SegmentId> = matched_set.intersection(&truth_set).copied().collect();
+    correct.sort_unstable();
+    let correct_len: f64 = correct.iter().map(|&s| net.segment(s).length).sum();
 
     let precision = if matched_len > 0.0 {
         correct_len / matched_len
@@ -73,8 +75,10 @@ pub fn evaluate_path(net: &RoadNetwork, matched: &Path, truth: &Path) -> MatchQu
 /// Total length counting each distinct segment once (repeated traversals
 /// should not inflate precision's denominator).
 fn dedup_length(net: &RoadNetwork, segs: &[SegmentId]) -> f64 {
-    let set: HashSet<SegmentId> = segs.iter().copied().collect();
-    set.iter().map(|&s| net.segment(s).length).sum()
+    let mut distinct: Vec<SegmentId> = segs.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.iter().map(|&s| net.segment(s).length).sum()
 }
 
 /// Discrete Fréchet distance between the matched and ground-truth path

@@ -3,7 +3,9 @@
 use crate::metrics::{evaluate_path, hitting_ratio, MatchQuality};
 use lhmm_cellsim::dataset::Dataset;
 use lhmm_cellsim::traj::TrajectoryRecord;
-use lhmm_core::types::{MapMatcher, MatchContext};
+use lhmm_core::batch::{BatchConfig, BatchMatcher, BatchStats};
+use lhmm_core::lhmm::LhmmModel;
+use lhmm_core::types::{MapMatcher, MatchContext, MatchResult};
 use std::time::Instant;
 
 /// Aggregated evaluation of one matcher on one split (macro-averaged over
@@ -28,6 +30,50 @@ pub struct EvalReport {
     pub n: usize,
 }
 
+/// Aggregates per-trajectory results (serial or batch) into a report.
+/// `results[i]` must correspond to `records[i]`; `time_total` is the
+/// matching wall-clock for the whole set.
+fn aggregate_results(
+    ds: &Dataset,
+    method: &str,
+    records: &[TrajectoryRecord],
+    results: &[MatchResult],
+    time_total: f64,
+) -> EvalReport {
+    assert_eq!(records.len(), results.len());
+    let mut sum = MatchQuality {
+        precision: 0.0,
+        recall: 0.0,
+        rmf: 0.0,
+        cmf50: 0.0,
+    };
+    let mut hr_sum = 0.0;
+    let mut hr_n = 0usize;
+    for (rec, result) in records.iter().zip(results) {
+        let q = evaluate_path(&ds.network, &result.path, &rec.truth);
+        sum.precision += q.precision;
+        sum.recall += q.recall;
+        sum.rmf += q.rmf;
+        sum.cmf50 += q.cmf50;
+        if let Some(sets) = &result.candidate_sets {
+            hr_sum += hitting_ratio(sets, &rec.truth);
+            hr_n += 1;
+        }
+    }
+    let n = records.len();
+    let nf = n as f64;
+    EvalReport {
+        method: method.to_string(),
+        precision: sum.precision / nf,
+        recall: sum.recall / nf,
+        rmf: sum.rmf / nf,
+        cmf50: sum.cmf50 / nf,
+        hitting_ratio: (hr_n > 0).then(|| hr_sum / hr_n as f64),
+        avg_time_s: time_total / nf,
+        n,
+    }
+}
+
 /// Runs `matcher` over `records` and aggregates quality and timing.
 pub fn evaluate_matcher(
     ds: &Dataset,
@@ -40,44 +86,40 @@ pub fn evaluate_matcher(
         index: &ds.index,
         towers: &ds.towers,
     };
-    let mut sum = MatchQuality {
-        precision: 0.0,
-        recall: 0.0,
-        rmf: 0.0,
-        cmf50: 0.0,
-    };
-    let mut hr_sum = 0.0;
-    let mut hr_n = 0usize;
+    let mut results = Vec::with_capacity(records.len());
     let mut time_total = 0.0f64;
-
     for rec in records {
         let start = Instant::now();
-        let result = matcher.match_trajectory(&ctx, &rec.cellular);
+        results.push(matcher.match_trajectory(&ctx, &rec.cellular));
         time_total += start.elapsed().as_secs_f64();
-
-        let q = evaluate_path(&ds.network, &result.path, &rec.truth);
-        sum.precision += q.precision;
-        sum.recall += q.recall;
-        sum.rmf += q.rmf;
-        sum.cmf50 += q.cmf50;
-        if let Some(sets) = &result.candidate_sets {
-            hr_sum += hitting_ratio(sets, &rec.truth);
-            hr_n += 1;
-        }
     }
+    aggregate_results(ds, matcher.name(), records, &results, time_total)
+}
 
-    let n = records.len();
-    let nf = n as f64;
-    EvalReport {
-        method: matcher.name().to_string(),
-        precision: sum.precision / nf,
-        recall: sum.recall / nf,
-        rmf: sum.rmf / nf,
-        cmf50: sum.cmf50 / nf,
-        hitting_ratio: (hr_n > 0).then(|| hr_sum / hr_n as f64),
-        avg_time_s: time_total / nf,
-        n,
-    }
+/// Like [`evaluate_matcher`] but matches the whole split through the
+/// parallel [`BatchMatcher`]. Quality metrics are identical to the serial
+/// path (batching is bit-equivalent, see [`lhmm_core::batch`]);
+/// `avg_time_s` reflects parallel wall-clock per trajectory, and the
+/// returned [`BatchStats`] carries per-shard cache and Viterbi telemetry.
+pub fn evaluate_lhmm_batch(
+    ds: &Dataset,
+    model: &LhmmModel,
+    records: &[TrajectoryRecord],
+    config: BatchConfig,
+) -> (EvalReport, BatchStats) {
+    assert!(!records.is_empty(), "no records to evaluate");
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let trajs: Vec<_> = records.iter().map(|r| r.cellular.clone()).collect();
+    let matcher = BatchMatcher::new(model, config);
+    let start = Instant::now();
+    let (results, stats) = matcher.match_batch(&ctx, &trajs);
+    let time_total = start.elapsed().as_secs_f64();
+    let report = aggregate_results(ds, model.name(), records, &results, time_total);
+    (report, stats)
 }
 
 /// Per-trajectory qualities (for stratified analyses like Fig. 7a).
@@ -179,6 +221,31 @@ mod tests {
         assert_eq!(report.recall, 0.0);
         assert!((report.rmf - 1.0).abs() < 1e-9);
         assert!((report.cmf50 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_quality() {
+        use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(74));
+        let mut cfg = LhmmConfig::fast_test(74);
+        cfg.use_learned_obs = false; // cheap training; engine path identical
+        cfg.use_learned_trans = false;
+        let mut serial = Lhmm::train(&ds, cfg);
+        let serial_report = evaluate_matcher(&ds, &mut serial, &ds.test);
+        let (batch_report, stats) =
+            evaluate_lhmm_batch(&ds, serial.model(), &ds.test, BatchConfig::with_workers(2));
+        assert_eq!(batch_report.n, serial_report.n);
+        assert_eq!(batch_report.method, serial_report.method);
+        // Batching is bit-equivalent, so quality metrics match exactly.
+        assert_eq!(batch_report.precision, serial_report.precision);
+        assert_eq!(batch_report.recall, serial_report.recall);
+        assert_eq!(batch_report.rmf, serial_report.rmf);
+        assert_eq!(batch_report.cmf50, serial_report.cmf50);
+        assert_eq!(batch_report.hitting_ratio, serial_report.hitting_ratio);
+        assert_eq!(
+            stats.per_worker.iter().map(|w| w.matched).sum::<usize>(),
+            ds.test.len()
+        );
     }
 
     #[test]

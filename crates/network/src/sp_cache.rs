@@ -9,6 +9,7 @@
 use crate::graph::{NodeId, RoadNetwork, SegmentId};
 use crate::shortest_path::{DijkstraEngine, Route};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Clone)]
 struct Entry {
@@ -18,12 +19,109 @@ struct Entry {
     route: Option<Route>,
 }
 
+impl Entry {
+    /// The conclusive answer this entry gives for a query bounded by
+    /// `max_dist`, or `None` when the entry cannot answer (a cached miss
+    /// whose bound was smaller than the query's).
+    fn answer(&self, max_dist: f64) -> Option<Option<Route>> {
+        match &self.route {
+            Some(r) if r.length <= max_dist => Some(Some(r.clone())),
+            // Found before but too long for this query's bound.
+            Some(_) => Some(None),
+            None if self.bound >= max_dist => Some(None),
+            None => None,
+        }
+    }
+}
+
+/// Cache counters, split by layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpCacheStats {
+    /// Queries answered from the private (per-shard) map.
+    pub hits: u64,
+    /// Queries answered from the shared warm layer.
+    pub warm_hits: u64,
+    /// Queries that ran a Dijkstra search.
+    pub misses: u64,
+}
+
+impl SpCacheStats {
+    /// Accumulates `other` into `self` (for cross-shard aggregation).
+    pub fn merge(&mut self, other: &SpCacheStats) {
+        self.hits += other.hits;
+        self.warm_hits += other.warm_hits;
+        self.misses += other.misses;
+    }
+}
+
+/// An immutable node-pair → route table shared read-only between cache
+/// shards (one [`SpCache`] per batch worker).
+///
+/// Every entry must satisfy the cache invariant: `route` is the true
+/// shortest route between the pair when one of length ≤ `bound` exists,
+/// `None` otherwise. [`WarmLayer::precompute`] guarantees this by running
+/// the same Dijkstra engine the caches use; entries inserted by
+/// [`SpCache::snapshot`] inherit it from the cache's own searches. Because
+/// warm answers equal what a fresh search would return, consulting the warm
+/// layer never changes matching output — only its speed.
+#[derive(Clone, Default)]
+pub struct WarmLayer {
+    map: HashMap<(u32, u32), Entry>,
+}
+
+impl WarmLayer {
+    /// An empty warm layer.
+    pub fn new() -> Self {
+        WarmLayer::default()
+    }
+
+    /// Computes true shortest routes for `pairs` (bounded by `bound`) and
+    /// stores them. Pairs are grouped by source so each source runs one
+    /// one-to-many search.
+    pub fn precompute(
+        net: &RoadNetwork,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+        bound: f64,
+    ) -> Self {
+        let mut by_source: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for (from, to) in pairs {
+            by_source.entry(from.0).or_default().push(to);
+        }
+        let mut engine = DijkstraEngine::new(net);
+        let mut map = HashMap::new();
+        for (from, targets) in by_source {
+            let routes = engine.node_to_nodes(net, NodeId(from), &targets, bound);
+            for (to, route) in targets.into_iter().zip(routes) {
+                map.insert((from, to.0), Entry { bound, route });
+            }
+        }
+        WarmLayer { map }
+    }
+
+    /// Number of warmed node pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is warmed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// A memoizing shortest-path oracle for one network.
+///
+/// Lookups consult the private map first, then the optional shared
+/// [`WarmLayer`]; only on a miss in both does a Dijkstra search run (its
+/// result lands in the private map, keeping the warm layer immutable and
+/// safely shareable across threads).
 pub struct SpCache {
     engine: DijkstraEngine,
     map: HashMap<(u32, u32), Entry>,
+    warm: Option<Arc<WarmLayer>>,
     capacity: usize,
     hits: u64,
+    warm_hits: u64,
     misses: u64,
 }
 
@@ -35,9 +133,28 @@ impl SpCache {
         SpCache {
             engine: DijkstraEngine::new(net),
             map: HashMap::new(),
+            warm: None,
             capacity: capacity.max(1),
             hits: 0,
+            warm_hits: 0,
             misses: 0,
+        }
+    }
+
+    /// Creates a cache shard backed by a shared read-only warm layer.
+    /// Queries the warm layer can answer conclusively never run a search.
+    pub fn with_warm_layer(net: &RoadNetwork, capacity: usize, warm: Arc<WarmLayer>) -> Self {
+        let mut cache = SpCache::new(net, capacity);
+        cache.warm = Some(warm);
+        cache
+    }
+
+    /// Copies the private map into a standalone [`WarmLayer`] (e.g. to seed
+    /// batch workers from a serial warmup pass). The shard's own warm layer
+    /// is not included.
+    pub fn snapshot(&self) -> WarmLayer {
+        WarmLayer {
+            map: self.map.clone(),
         }
     }
 
@@ -50,22 +167,14 @@ impl SpCache {
         max_dist: f64,
     ) -> Option<Route> {
         let key = (from.0, to.0);
-        if let Some(e) = self.map.get(&key) {
-            match &e.route {
-                Some(r) if r.length <= max_dist => {
-                    self.hits += 1;
-                    return Some(r.clone());
-                }
-                Some(_) => {
-                    // Found before but too long for this query's bound.
-                    self.hits += 1;
-                    return None;
-                }
-                None if e.bound >= max_dist => {
-                    self.hits += 1;
-                    return None;
-                }
-                None => { /* previous miss had a smaller bound; recompute */ }
+        if let Some(answer) = self.map.get(&key).and_then(|e| e.answer(max_dist)) {
+            self.hits += 1;
+            return answer;
+        }
+        if let Some(warm) = &self.warm {
+            if let Some(answer) = warm.map.get(&key).and_then(|e| e.answer(max_dist)) {
+                self.warm_hits += 1;
+                return answer;
             }
         }
         self.misses += 1;
@@ -117,9 +226,19 @@ impl SpCache {
         })
     }
 
-    /// `(hits, misses)` counters for diagnostics and benches.
+    /// `(hits, misses)` counters for diagnostics and benches; warm-layer
+    /// hits count as hits.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits + self.warm_hits, self.misses)
+    }
+
+    /// Counters split by layer (private hits vs warm hits vs searches).
+    pub fn detailed_stats(&self) -> SpCacheStats {
+        SpCacheStats {
+            hits: self.hits,
+            warm_hits: self.warm_hits,
+            misses: self.misses,
+        }
     }
 
     /// Number of cached node pairs.
@@ -204,5 +323,133 @@ mod tests {
             cache.route(&net, NodeId(0), NodeId(i + 1), 1e9);
         }
         assert!(cache.len() <= 4);
+    }
+
+    #[test]
+    fn warm_layer_answers_without_searching() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..10u32).map(|i| (NodeId(i), NodeId(i + 20))).collect();
+        let warm = Arc::new(WarmLayer::precompute(&net, pairs.clone(), 1e12));
+        assert_eq!(warm.len(), 10);
+        let mut cache = SpCache::with_warm_layer(&net, 1000, warm);
+        let mut eng = DijkstraEngine::new(&net);
+        for (from, to) in pairs {
+            let cached = cache.route(&net, from, to, 1e9);
+            let direct = eng.node_to_node(&net, from, to, 1e9);
+            assert_eq!(
+                cached.as_ref().map(|r| r.length),
+                direct.as_ref().map(|r| r.length)
+            );
+        }
+        let s = cache.detailed_stats();
+        assert_eq!(s.warm_hits, 10);
+        assert_eq!(s.misses, 0);
+        // Unwarmed pairs still fall through to a search.
+        cache.route(&net, NodeId(15), NodeId(3), 1e9);
+        assert_eq!(cache.detailed_stats().misses, 1);
+    }
+
+    #[test]
+    fn snapshot_seeds_a_fresh_shard() {
+        let net = generate_city(&GeneratorConfig::small_test(9));
+        let mut warmup = SpCache::new(&net, 1000);
+        for i in 0..8u32 {
+            warmup.route(&net, NodeId(i), NodeId(i + 11), 1e9);
+        }
+        let warm = Arc::new(warmup.snapshot());
+        assert_eq!(warm.len(), 8);
+        let mut shard = SpCache::with_warm_layer(&net, 1000, warm);
+        for i in 0..8u32 {
+            shard.route(&net, NodeId(i), NodeId(i + 11), 1e9);
+        }
+        let s = shard.detailed_stats();
+        assert_eq!((s.warm_hits, s.misses), (8, 0));
+        assert!(shard.is_empty(), "warm hits must not copy into the shard");
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SpCacheStats { hits: 1, warm_hits: 2, misses: 3 };
+        let b = SpCacheStats { hits: 10, warm_hits: 20, misses: 30 };
+        a.merge(&b);
+        assert_eq!(a, SpCacheStats { hits: 11, warm_hits: 22, misses: 33 });
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Bound semantics: a cached miss under bound `b` must never mask a
+        /// route shorter than `b` — any query sequence with varying bounds
+        /// returns exactly what a fresh engine returns.
+        #[test]
+        fn cached_misses_never_mask_short_routes(
+            seed in 0u64..200,
+            bounds in proptest::collection::vec(50.0..4_000.0f64, 4..12),
+        ) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let n = net.num_nodes() as u32;
+            let mut cache = SpCache::new(&net, 100_000);
+            let mut eng = DijkstraEngine::new(&net);
+            // Hammer a few fixed pairs with shrinking/growing bounds so
+            // cached misses and cached routes both get re-queried.
+            for (q, &bound) in bounds.iter().enumerate() {
+                let from = NodeId((seed as u32 + q as u32) % n);
+                let to = NodeId((seed as u32 * 7 + 3) % n);
+                let cached = cache.route(&net, from, to, bound);
+                let direct = eng.node_to_node(&net, from, to, bound);
+                prop_assert_eq!(
+                    cached.as_ref().map(|r| r.length),
+                    direct.as_ref().map(|r| r.length),
+                    "pair {:?}->{:?} bound {}", from, to, bound
+                );
+                if let Some(r) = &cached {
+                    prop_assert!(r.length <= bound);
+                }
+            }
+        }
+
+        /// Sharded caches over a shared warm layer agree with a fresh
+        /// engine on every query, regardless of which shard answers.
+        #[test]
+        fn shards_with_warm_layer_agree_with_engine(
+            seed in 0u64..200,
+            queries in proptest::collection::vec((0u32..60, 0u32..60, 100.0..5_000.0f64), 1..20),
+        ) {
+            let net = generate_city(&GeneratorConfig::small_test(seed));
+            let n = net.num_nodes() as u32;
+            // Warm the first few pairs of the query stream.
+            let warm_pairs: Vec<(NodeId, NodeId)> = queries
+                .iter()
+                .take(5)
+                .map(|&(f, t, _)| (NodeId(f % n), NodeId(t % n)))
+                .collect();
+            let warm = Arc::new(WarmLayer::precompute(&net, warm_pairs, 1e12));
+            let mut shards = [
+                SpCache::with_warm_layer(&net, 100_000, Arc::clone(&warm)),
+                SpCache::with_warm_layer(&net, 100_000, Arc::clone(&warm)),
+                SpCache::with_warm_layer(&net, 100_000, warm),
+            ];
+            let mut eng = DijkstraEngine::new(&net);
+            for (q, &(f, t, bound)) in queries.iter().enumerate() {
+                let from = NodeId(f % n);
+                let to = NodeId(t % n);
+                let shard = &mut shards[q % 3];
+                let cached = shard.route(&net, from, to, bound);
+                let direct = eng.node_to_node(&net, from, to, bound);
+                prop_assert_eq!(
+                    cached.as_ref().map(|r| r.length),
+                    direct.as_ref().map(|r| r.length),
+                    "shard {} pair {:?}->{:?} bound {}", q % 3, from, to, bound
+                );
+            }
+        }
     }
 }

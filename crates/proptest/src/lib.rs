@@ -1,0 +1,145 @@
+//! Offline shim for the subset of the `proptest` 1.x API used by this
+//! workspace.
+//!
+//! The build sandbox has no registry access, so the canonical crate cannot
+//! be fetched. This shim keeps the same surface syntax — `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, range/tuple/`vec`
+//! strategies and `prop_map` — over a deterministic generator seeded from
+//! the test name, so each property runs the same cases on every execution.
+//!
+//! Differences from upstream, by design:
+//!
+//! * No shrinking. A failing case panics immediately with the assertion
+//!   message and the case number; rerunning reproduces it exactly.
+//! * Strategies are simple samplers (`fn sample(&mut StdRng) -> Value`);
+//!   rejection happens only at the whole-case level via `prop_assume!`.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, (a, b) in my_strategy()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |__values| {
+                    let ($($pat,)+) = __values;
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property; on failure the current case fails
+/// with the condition text (and optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+))));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (`==`), reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+))));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal (`!=`), reporting both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l != r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l)));
+        }
+    }};
+}
+
+/// Discards the current case (retried with a fresh sample, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond))));
+        }
+    };
+}

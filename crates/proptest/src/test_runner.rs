@@ -1,0 +1,139 @@
+//! The case-running loop: sample, execute, retry on rejection, panic on
+//! failure.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many accepted cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; retried with a fresh sample.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a [`TestCaseError::Fail`].
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a [`TestCaseError::Reject`].
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from the test name so different
+/// properties see different (but stable) case sequences.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` accepted cases of `test` over values drawn from
+/// `strategy`. Panics on the first failing case; rejected cases are retried
+/// (up to an overall cap) without being counted.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let max_rejects = 1024u64.max(u64::from(config.cases) * 8);
+    let mut rejects = 0u64;
+    for case in 0..config.cases {
+        loop {
+            let value = strategy.sample(&mut rng);
+            match test(value) {
+                Ok(()) => break,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= max_rejects,
+                        "property {name}: too many rejected cases ({rejects}); last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property {name} failed at case {case}/{}: {msg}", config.cases)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut count = 0;
+        run(&ProptestConfig::with_cases(40), "count", &(0..5u32), |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn rejections_are_retried_not_counted() {
+        let mut accepted = 0;
+        run(&ProptestConfig::with_cases(10), "rej", &(0..10u32), |v| {
+            if v < 5 {
+                return Err(TestCaseError::reject("low"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run(&ProptestConfig::with_cases(10), "fail", &(0..10u32), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn macro_roundtrip() {
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..100, (a, b) in (0.0..1.0f64, 0..3i32)) {
+                crate::prop_assert!(x < 100);
+                crate::prop_assert!((0.0..1.0).contains(&a));
+                crate::prop_assert!((0..3).contains(&b));
+            }
+        }
+        inner();
+    }
+}

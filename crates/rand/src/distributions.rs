@@ -1,0 +1,237 @@
+//! The [`Standard`] distribution and uniform range sampling, following
+//! `rand` 0.8.5's algorithms exactly.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full-range integers, `[0, 1)`
+/// floats, fair booleans.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint {
+    ($($ty:ty => $method:ident),+ $(,)?) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )+};
+}
+
+// Small ints truncate a u32; 64-bit and pointer-size draw a u64 (matching
+// upstream's impl_int_from_uint choices on 64-bit targets).
+standard_uint!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        // Upstream fills the high half first.
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 significant bits, scaled into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+    //!
+    //! Integers use the widening-multiply method with rejection on the low
+    //! word (`(range << range.leading_zeros()) - 1` zone); floats draw a
+    //! `[1, 2)` mantissa and rescale. Both match `rand` 0.8.5's
+    //! `sample_single` / `sample_single_inclusive` streams.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "gen_range: empty inclusive range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $uty:ty, $wide:ty, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = high.wrapping_sub(low) as $uty;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$gen() as $uty;
+                        let m = (v as $wide) * (range as $wide);
+                        let hi = (m >> <$uty>::BITS) as $uty;
+                        let lo = m as $uty;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+                    if range == 0 {
+                        // The full type range: any value works.
+                        return rng.$gen() as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$gen() as $uty;
+                        let m = (v as $wide) * (range as $wide);
+                        let hi = (m >> <$uty>::BITS) as $uty;
+                        let lo = m as $uty;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u32, u32, u64, next_u32);
+    uniform_int_impl!(i32, u32, u64, next_u32);
+    uniform_int_impl!(u64, u64, u128, next_u64);
+    uniform_int_impl!(i64, u64, u128, next_u64);
+    uniform_int_impl!(usize, u64, u128, next_u64);
+    uniform_int_impl!(isize, u64, u128, next_u64);
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $gen:ident, $bits_to_discard:expr, $exp_bias:expr, $frac_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let scale = high - low;
+                    loop {
+                        // A value in [1, 2): exponent 0, random mantissa.
+                        let bits = (rng.$gen() >> $bits_to_discard)
+                            | (($exp_bias as $uty) << $frac_bits);
+                        let value1_2 = <$ty>::from_bits(bits);
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        // Rounding can push the result onto `high`; resample.
+                        if res < high {
+                            return res;
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let bits = (rng.$gen() >> $bits_to_discard)
+                        | (($exp_bias as $uty) << $frac_bits);
+                    let value0_1 = <$ty>::from_bits(bits) - 1.0;
+                    value0_1 * (high - low) + low
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f64, u64, next_u64, 12, 1023u64, 52);
+    uniform_float_impl!(f32, u32, next_u32, 9, 127u32, 23);
+
+    #[cfg(test)]
+    mod tests {
+        use crate::rngs::StdRng;
+        use crate::{Rng, SeedableRng};
+
+        #[test]
+        fn small_ranges_cover_all_values() {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut seen = [false; 5];
+            for _ in 0..1000 {
+                seen[rng.gen_range(0..5usize)] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn negative_float_ranges() {
+            let mut rng = StdRng::seed_from_u64(18);
+            for _ in 0..1000 {
+                let v = rng.gen_range(-100.0..-1.0f64);
+                assert!((-100.0..-1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn inclusive_hits_endpoint() {
+            let mut rng = StdRng::seed_from_u64(19);
+            let mut hit_top = false;
+            for _ in 0..200 {
+                if rng.gen_range(0..=3u32) == 3 {
+                    hit_top = true;
+                }
+            }
+            assert!(hit_top);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Concrete generators: [`StdRng`] (ChaCha12) and [`SmallRng`]
+//! (xoshiro256++), matching `rand` 0.8.5's choices.
+
+use crate::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// Words buffered per refill: four 16-word ChaCha blocks, the same buffer
+/// size `rand_chacha` uses. The buffer length is observable through the
+/// word-straddling behavior of `next_u64`, so it must match for
+/// stream compatibility.
+const BUF_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// One 12-round ChaCha block: key || 64-bit counter || zero nonce.
+fn chacha12_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // Words 14-15: stream id, zero by default (as ChaCha12Rng::from_seed).
+    let mut w = state;
+    for _ in 0..6 {
+        // Column round.
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = w[i].wrapping_add(state[i]);
+    }
+}
+
+/// The standard generator: ChaCha with 12 rounds (`rand` 0.8's `StdRng`).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; BUF_WORDS],
+    /// Next unread word; `BUF_WORDS` means the buffer is exhausted.
+    index: usize,
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        for block in 0..BUF_WORDS / 16 {
+            chacha12_block(
+                &self.key,
+                self.counter,
+                &mut self.buf[block * 16..(block + 1) * 16],
+            );
+            self.counter = self.counter.wrapping_add(1);
+        }
+    }
+
+    /// Refills the buffer and sets the read index, mirroring `BlockRng`'s
+    /// `generate_and_set`.
+    fn generate_and_set(&mut self, index: usize) {
+        self.refill();
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, w) in key.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        StdRng {
+            key,
+            counter: 0,
+            buf: [0; BUF_WORDS],
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let v = self.buf[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Matches rand_core's BlockRng::next_u64, including the case where
+        // the two halves straddle a buffer refill.
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            (u64::from(self.buf[index + 1]) << 32) | u64::from(self.buf[index])
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            (u64::from(self.buf[1]) << 32) | u64::from(self.buf[0])
+        } else {
+            let lo = u64::from(self.buf[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let hi = u64::from(self.buf[0]);
+            (hi << 32) | lo
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+/// A small, fast generator: xoshiro256++ (`rand` 0.8's 64-bit `SmallRng`).
+#[cfg(feature = "small_rng")]
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[cfg(feature = "small_rng")]
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[8 * i..8 * i + 8]);
+            *w = u64::from_le_bytes(bytes);
+        }
+        // All-zero state would be a fixed point.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        SmallRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Upstream xoshiro seeds from a SplitMix64 stream rather than the
+        // default PCG32 expansion.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+#[cfg(feature = "small_rng")]
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn from_seed_reads_key_little_endian() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        let rng = StdRng::from_seed(seed);
+        assert_eq!(rng.key[0], 1);
+        assert_eq!(rng.counter, 0);
+    }
+
+    #[test]
+    fn chacha_blocks_differ_per_counter() {
+        let key = [7u32; 8];
+        let mut a = [0u32; 16];
+        let mut b = [0u32; 16];
+        chacha12_block(&key, 0, &mut a);
+        chacha12_block(&key, 1, &mut b);
+        assert_ne!(a, b);
+        // Deterministic for equal inputs.
+        let mut a2 = [0u32; 16];
+        chacha12_block(&key, 0, &mut a2);
+        assert_eq!(a, a2);
+    }
+
+    #[cfg(feature = "small_rng")]
+    #[test]
+    fn small_rng_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        assert!((0..100).all(|_| a.next_u64() == b.next_u64()));
+    }
+}

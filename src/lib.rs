@@ -38,8 +38,9 @@ pub use lhmm_neural as neural;
 /// Common imports for applications built on LHMM.
 pub mod prelude {
     pub use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
-    pub use lhmm_core::lhmm::{Lhmm, LhmmConfig};
-    pub use lhmm_core::types::{MapMatcher, MatchResult};
+    pub use lhmm_core::batch::{BatchConfig, BatchMatcher, BatchStats};
+    pub use lhmm_core::lhmm::{Lhmm, LhmmConfig, LhmmModel};
+    pub use lhmm_core::types::{MapMatcher, MatchContext, MatchResult, MatchStats};
     pub use lhmm_eval::metrics::{evaluate_path, MatchQuality};
     pub use lhmm_geo::Point;
     pub use lhmm_network::graph::{RoadNetwork, SegmentId};
