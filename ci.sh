@@ -21,6 +21,8 @@ run() {
 
 if [ "$fast" -eq 0 ]; then
   run cargo build --release
+  # Benches must keep compiling (they pin the scoring fast-path API).
+  run cargo bench --workspace --no-run
 fi
 
 run cargo clippy --workspace --all-targets -- -D warnings

@@ -239,8 +239,11 @@ impl<'a> BatchMatcher<'a> {
             if traj.is_empty() {
                 continue;
             }
-            let contexts = self.model.point_contexts(&traj.towers());
-            let (_, layers) = self.model.prepare_candidates(ctx, traj, &contexts);
+            let towers = traj.towers();
+            let mut scorer = self
+                .model
+                .obs_scorer_with(&towers, lhmm_neural::Scratch::new());
+            let (_, layers) = self.model.prepare_candidates(ctx, traj, &mut scorer);
             for pair in layers.windows(2) {
                 for prev in &pair[0] {
                     let from = ctx.net.segment(prev.seg).to;

@@ -2,7 +2,7 @@
 
 use crate::candidates::nearest_segments;
 use crate::classic::{ClassicObservation, ClassicTransition};
-use crate::observation::{ObsConfig, ObservationLearner};
+use crate::observation::{ObsConfig, ObsTrajScorer, ObservationLearner};
 use crate::transition::{TrajTransScorer, TransConfig, TransitionLearner};
 use crate::types::{
     Candidate, HmmProbabilities, MapMatcher, MatchContext, MatchResult, MatchStats, RouteInfo,
@@ -43,6 +43,12 @@ pub struct LhmmConfig {
     pub route_factor: f64,
     /// Additive route-search slack, meters.
     pub route_slack: f64,
+    /// Route every `P_O`/`P_T` evaluation through the scalar reference
+    /// implementation instead of the vectorized fast path. Both paths are
+    /// bit-identical (pinned by `tests/scoring_equivalence.rs`); the flag
+    /// exists so the equivalence can be asserted end to end and defaults to
+    /// the `scalar-ref` feature.
+    pub scalar_scoring: bool,
     /// Master seed for all learners.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl Default for LhmmConfig {
             max_scored: 150,
             route_factor: 4.0,
             route_slack: 3_000.0,
+            scalar_scoring: cfg!(feature = "scalar-ref"),
             seed: 0,
         }
     }
@@ -243,25 +250,46 @@ impl LhmmModel {
         Ok(model)
     }
 
-    /// Context-aware point representations (Eq. 6), one per point; `None`
-    /// when the learned observation model is ablated.
-    pub(crate) fn point_contexts(&self, towers: &[TowerId]) -> Option<Vec<Vec<f32>>> {
-        self.obs_learner
-            .as_ref()
-            .map(|learner| learner.context_rows(&self.embeddings, towers))
+    /// The trained observation learner (`None` under the LHMM-O ablation).
+    pub fn observation_learner(&self) -> Option<&ObservationLearner> {
+        self.obs_learner.as_ref()
+    }
+
+    /// The trained transition learner (`None` under the LHMM-T ablation).
+    pub fn transition_learner(&self) -> Option<&TransitionLearner> {
+        self.trans_learner.as_ref()
+    }
+
+    /// Builds the per-trajectory observation scorer around a loaned scratch
+    /// arena; `None` when the learned observation model is ablated.
+    pub(crate) fn obs_scorer_with(
+        &self,
+        towers: &[TowerId],
+        scratch: lhmm_neural::Scratch,
+    ) -> Option<ObsTrajScorer<'_>> {
+        self.obs_learner.as_ref().map(|learner| {
+            learner.traj_scorer(
+                &self.embeddings,
+                towers,
+                scratch,
+                self.config.scalar_scoring,
+            )
+        })
     }
 
     /// Candidate layers for one trajectory: per kept point, the top-k
     /// segments by (learned or classic) observation probability.
-    /// Returns `(kept point indices, layers)`.
+    /// Returns `(kept point indices, layers)`. `obs_scorer` must have been
+    /// built from the same trajectory's towers (point indices align).
     pub(crate) fn prepare_candidates(
         &self,
         ctx: &MatchContext<'_>,
         traj: &CellularTrajectory,
-        contexts: &Option<Vec<Vec<f32>>>,
+        obs_scorer: &mut Option<ObsTrajScorer<'_>>,
     ) -> (Vec<usize>, Vec<Vec<Candidate>>) {
         let mut kept = Vec::new();
         let mut layers = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
         for (i, p) in traj.points.iter().enumerate() {
             let pos = p.effective_pos();
             let pairs = nearest_segments(
@@ -274,8 +302,8 @@ impl LhmmModel {
             if pairs.is_empty() {
                 continue;
             }
-            let layer = match (&self.obs_learner, contexts) {
-                (Some(learner), Some(ctxs)) => {
+            let layer = match obs_scorer.as_mut() {
+                Some(scorer) => {
                     // Score the nearest segments plus the tower's
                     // historically co-occurring segments: radio propagation
                     // regularly serves roads that are *not* among the
@@ -296,14 +324,14 @@ impl LhmmModel {
                         .map(|&s| (s, ctx.net.project(pos, s)))
                         .collect();
                     let segs: Vec<SegmentId> = pairs.iter().map(|&(s, _)| s).collect();
-                    let scores = learner.score(
+                    scorer.score_into(
                         ctx.net,
                         &self.graph,
-                        &self.embeddings,
-                        &ctxs[i],
                         pos,
                         p.tower,
+                        i,
                         &segs,
+                        &mut scores,
                     );
                     let mut scored: Vec<Candidate> = pairs
                         .iter()
@@ -368,11 +396,9 @@ fn variant_name(cfg: &LhmmConfig) -> String {
 
 /// Per-trajectory probability model plugged into the engine.
 struct LhmmTrajModel<'a> {
-    obs_learner: Option<&'a ObservationLearner>,
+    obs_scorer: Option<ObsTrajScorer<'a>>,
     trans_scorer: Option<TrajTransScorer<'a>>,
     graph: &'a MultiRelGraph,
-    embeddings: &'a Embeddings,
-    contexts: Option<&'a [Vec<f32>]>,
     classic_obs: ClassicObservation,
     classic_trans: ClassicTransition,
     net: &'a lhmm_network::graph::RoadNetwork,
@@ -380,28 +406,30 @@ struct LhmmTrajModel<'a> {
     positions: Vec<Point>,
     times: Vec<f64>,
     towers: Vec<TowerId>,
-    /// Maps kept index to original trajectory index (contexts are indexed
-    /// by original position).
+    /// Maps kept index to original trajectory index (scorer contexts are
+    /// indexed by original position).
     orig_idx: Vec<usize>,
+    /// Reused output buffer for single-candidate engine re-scores.
+    obs_out: Vec<f32>,
 }
 
 impl HmmProbabilities for LhmmTrajModel<'_> {
     fn observation(&mut self, i: usize, seg: SegmentId, dist: f64) -> f64 {
-        match (self.obs_learner, self.contexts) {
-            (Some(learner), Some(ctxs)) => {
+        match self.obs_scorer.as_mut() {
+            Some(scorer) => {
                 let oi = self.orig_idx[i];
-                let scores = learner.score(
+                scorer.score_into(
                     self.net,
                     self.graph,
-                    self.embeddings,
-                    &ctxs[oi],
                     self.positions[i],
                     self.towers[i],
+                    oi,
                     &[seg],
+                    &mut self.obs_out,
                 );
-                scores[0] as f64
+                self.obs_out[0] as f64
             }
-            _ => self.classic_obs.prob(dist),
+            None => self.classic_obs.prob(dist),
         }
     }
 
@@ -460,10 +488,31 @@ impl LhmmModel {
             return (MatchResult::empty(), stats);
         }
         let towers = traj.towers();
-        let contexts = self.point_contexts(&towers);
 
-        let (kept, layers) = self.prepare_candidates(ctx, traj, &contexts);
+        let obs_scratch = engine.take_obs_scratch();
+        let obs_allocs0 = obs_scratch.fresh_allocs();
+        let cand_start = Instant::now();
+        let mut obs_scorer = self.obs_scorer_with(&towers, obs_scratch);
+        let (kept, layers) = self.prepare_candidates(ctx, traj, &mut obs_scorer);
+        stats.candidate_time_s = cand_start.elapsed().as_secs_f64();
+
+        // Hand a finished observation scorer's arena/stats back regardless
+        // of how the match exits.
+        let retire_obs =
+            |scorer: Option<ObsTrajScorer<'_>>, engine: &mut HmmEngine, stats: &mut MatchStats| {
+                if let Some(s) = scorer {
+                    let (scratch, st) = s.finish();
+                    stats.obs_time_s += st.time_s;
+                    stats.obs_calls += st.calls;
+                    stats.obs_rows += st.rows;
+                    stats.scratch_allocs += scratch.fresh_allocs() - obs_allocs0;
+                    stats.scratch_bytes = stats.scratch_bytes.max(scratch.high_water_bytes());
+                    engine.put_obs_scratch(scratch);
+                }
+            };
+
         if kept.is_empty() {
+            retire_obs(obs_scorer, engine, &mut stats);
             return (MatchResult::empty(), stats);
         }
 
@@ -480,15 +529,21 @@ impl LhmmModel {
         let positions: Vec<Point> = pts.iter().map(|&(p, _)| p).collect();
         let kept_towers: Vec<TowerId> = kept.iter().map(|&i| traj.points[i].tower).collect();
 
+        let trans_scratch = engine.take_trans_scratch();
+        let trans_allocs0 = trans_scratch.fresh_allocs();
+        let mut trans_scratch = Some(trans_scratch);
         let mut model = LhmmTrajModel {
-            obs_learner: self.obs_learner.as_ref(),
-            trans_scorer: self
-                .trans_learner
-                .as_ref()
-                .map(|l| TrajTransScorer::new(l, &self.embeddings, towers.clone())),
+            obs_scorer,
+            trans_scorer: self.trans_learner.as_ref().map(|l| {
+                TrajTransScorer::with_scratch(
+                    l,
+                    &self.embeddings,
+                    &towers,
+                    trans_scratch.take().expect("taken once"),
+                    self.config.scalar_scoring,
+                )
+            }),
             graph: &self.graph,
-            embeddings: &self.embeddings,
-            contexts: contexts.as_deref(),
             classic_obs: self.classic_obs,
             classic_trans: self.classic_trans,
             net: ctx.net,
@@ -496,12 +551,15 @@ impl LhmmModel {
             times: pts.iter().map(|&(_, t)| t).collect(),
             towers: kept_towers,
             orig_idx: kept,
+            obs_out: Vec::new(),
         };
 
         let cache_before = engine.cache_stats_detailed();
+        engine.take_sp_time(); // discard any stale accumulation
         let viterbi_start = Instant::now();
         let out = engine.find_path(ctx.net, &pts, layers, &mut model);
         stats.viterbi_time_s = viterbi_start.elapsed().as_secs_f64();
+        stats.sp_time_s = engine.take_sp_time();
         let cache_after = engine.cache_stats_detailed();
         stats.cache_hits = cache_after.hits - cache_before.hits;
         stats.cache_warm_hits = cache_after.warm_hits - cache_before.warm_hits;
@@ -515,6 +573,20 @@ impl LhmmModel {
             let orig = model.orig_idx[*layer_idx];
             candidate_sets[orig].push(cand.seg);
         }
+
+        retire_obs(model.obs_scorer.take(), engine, &mut stats);
+        if let Some(s) = model.trans_scorer.take() {
+            let (scratch, st) = s.finish();
+            stats.trans_time_s = st.time_s;
+            stats.trans_calls = st.calls;
+            stats.trans_rows = st.rows;
+            stats.scratch_allocs += scratch.fresh_allocs() - trans_allocs0;
+            stats.scratch_bytes = stats.scratch_bytes.max(scratch.high_water_bytes());
+            engine.put_trans_scratch(scratch);
+        } else if let Some(scratch) = trans_scratch.take() {
+            engine.put_trans_scratch(scratch);
+        }
+
         let result = MatchResult {
             path: out.path,
             candidate_sets: Some(candidate_sets),

@@ -28,7 +28,7 @@ use lhmm_neural::layers::{Activation, AdditiveAttention, Mlp};
 use lhmm_neural::loss::bce_with_logits;
 use lhmm_neural::optim::{clip_grad_norm, Adam};
 use lhmm_neural::tape::{ParamStore, Tape};
-use lhmm_neural::Matrix;
+use lhmm_neural::{Matrix, Scratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -392,6 +392,201 @@ impl ObservationLearner {
             .map(|&v| 1.0 / (1.0 + (-v).exp()))
             .collect()
     }
+
+    /// Builds the per-trajectory scorer: computes every point's attention
+    /// context once up front (batched through the fused kernels unless
+    /// `scalar` asks for the reference path) and reuses them for all
+    /// candidate batches of the trajectory. The scratch arena is loaned in
+    /// by the caller and handed back from [`ObsTrajScorer::finish`], so a
+    /// warm arena carries across trajectories.
+    pub fn traj_scorer<'a>(
+        &'a self,
+        emb: &'a Embeddings,
+        towers: &[TowerId],
+        mut scratch: Scratch,
+        scalar: bool,
+    ) -> ObsTrajScorer<'a> {
+        let n = towers.len();
+        let d = self.dim;
+        let mut contexts = scratch.take(n, d);
+        if scalar {
+            for (i, ctx) in self.context_rows(emb, towers).iter().enumerate() {
+                contexts.row_mut(i).copy_from_slice(ctx);
+            }
+        } else if n > 0 {
+            let mut keys = scratch.take(n, d);
+            for (r, &t) in towers.iter().enumerate() {
+                keys.row_mut(r).copy_from_slice(emb.tower(t));
+            }
+            let p = self.attention.proj_dim();
+            let mut kproj = scratch.take(n, p);
+            self.attention
+                .project_keys_into(&self.implicit_store, &keys, &mut kproj);
+            // Every point of the trajectory queries the same key set; one
+            // batched projection replaces n single-row matmuls
+            // (bit-identically — see `project_queries_into`). The tanh
+            // halves are memoized up front: n·p evaluations here instead of
+            // n²·2p inside the per-query attention (see `attend_tanh`).
+            let mut qproj = scratch.take(n, p);
+            self.attention
+                .project_queries_into(&self.implicit_store, &keys, &mut qproj);
+            for v in kproj.data_mut() {
+                *v = v.tanh();
+            }
+            for v in qproj.data_mut() {
+                *v = v.tanh();
+            }
+            for i in 0..n {
+                self.attention.attend_tanh(
+                    &self.implicit_store,
+                    qproj.row(i),
+                    &kproj,
+                    &keys,
+                    &mut scratch,
+                    contexts.row_mut(i),
+                );
+                // Residual anchor, same operand order as `context_row`'s
+                // `query.add(&attended)` — `*o += k` would flip the addends
+                // and is not guaranteed bit-identical.
+                #[allow(clippy::assign_op_pattern)]
+                for (o, &k) in contexts.row_mut(i).iter_mut().zip(keys.row(i)) {
+                    *o = k + *o;
+                }
+            }
+            scratch.give(qproj);
+            scratch.give(kproj);
+            scratch.give(keys);
+        }
+        ObsTrajScorer {
+            learner: self,
+            emb,
+            contexts,
+            scratch,
+            scalar,
+            stats: ScorerStats::default(),
+        }
+    }
+}
+
+/// Timing and volume counters accumulated by a per-trajectory scorer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScorerStats {
+    /// Wall time spent scoring, in seconds.
+    pub time_s: f64,
+    /// Number of scoring calls (candidate batches or transition pairs).
+    pub calls: u64,
+    /// Total rows scored across all calls.
+    pub rows: u64,
+}
+
+/// Per-trajectory observation scorer: the vectorized fast path for `P_O`.
+///
+/// Holds the trajectory's context matrix (attention evaluated once per
+/// point at construction) and a [`Scratch`] arena; [`Self::score_into`]
+/// then evaluates whole candidate batches through the fused kernels with
+/// zero steady-state heap allocations. With `scalar = true` every score is
+/// routed through the allocating reference implementation
+/// ([`ObservationLearner::score`]) instead — both modes are bit-identical.
+pub struct ObsTrajScorer<'a> {
+    learner: &'a ObservationLearner,
+    emb: &'a Embeddings,
+    contexts: Matrix,
+    scratch: Scratch,
+    scalar: bool,
+    stats: ScorerStats,
+}
+
+impl<'a> ObsTrajScorer<'a> {
+    /// Context row for trajectory point `i` (diagnostics / tests).
+    pub fn context(&self, i: usize) -> &[f32] {
+        self.contexts.row(i)
+    }
+
+    /// Scores all candidate `segs` of trajectory point `point_idx`,
+    /// writing `P_O` values into `out` (cleared first).
+    #[allow(clippy::too_many_arguments)] // mirrors Eq. 8's inputs one-to-one
+    pub fn score_into(
+        &mut self,
+        net: &RoadNetwork,
+        graph: &MultiRelGraph,
+        pos: Point,
+        tower: TowerId,
+        point_idx: usize,
+        segs: &[SegmentId],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        if segs.is_empty() {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        if self.scalar {
+            let scores = self.learner.score(
+                net,
+                graph,
+                self.emb,
+                self.contexts.row(point_idx),
+                pos,
+                tower,
+                segs,
+            );
+            out.extend_from_slice(&scores);
+        } else {
+            let n = segs.len();
+            let d = self.learner.dim;
+            let context = self.contexts.row(point_idx);
+            let mut cat = self.scratch.take(n, 2 * d);
+            for (r, &s) in segs.iter().enumerate() {
+                let row = cat.row_mut(r);
+                row[..d].copy_from_slice(self.emb.segment(s));
+                row[d..].copy_from_slice(context);
+            }
+            let implicit = self.learner.implicit_mlp.infer_with(
+                &self.learner.implicit_store,
+                &cat,
+                &mut self.scratch,
+            );
+            let mut x = self.scratch.take(n, 1 + N_EXPLICIT);
+            for (r, &seg) in segs.iter().enumerate() {
+                let feats = self
+                    .learner
+                    .explicit_features(net, graph, pos, tower, seg);
+                let row = x.row_mut(r);
+                row[0] = implicit.data()[r];
+                row[1..].copy_from_slice(&feats);
+            }
+            let logits =
+                self.learner
+                    .fuse_mlp
+                    .infer_with(&self.learner.fuse_store, &x, &mut self.scratch);
+            out.extend(logits.data().iter().map(|&v| 1.0 / (1.0 + (-v).exp())));
+            self.scratch.give(cat);
+            self.scratch.give(implicit);
+            self.scratch.give(x);
+            self.scratch.give(logits);
+        }
+        self.stats.time_s += t0.elapsed().as_secs_f64();
+        self.stats.calls += 1;
+        self.stats.rows += segs.len() as u64;
+    }
+
+    /// Accumulated timing/volume counters.
+    pub fn stats(&self) -> ScorerStats {
+        self.stats
+    }
+
+    /// `(fresh_allocs, high_water_bytes)` of the loaned scratch arena.
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        (self.scratch.fresh_allocs(), self.scratch.high_water_bytes())
+    }
+
+    /// Returns the scratch arena (with the context matrix recycled into it)
+    /// and the accumulated stats.
+    pub fn finish(mut self) -> (Scratch, ScorerStats) {
+        let contexts = std::mem::replace(&mut self.contexts, Matrix::zeros(0, 0));
+        self.scratch.give(contexts);
+        (self.scratch, self.stats)
+    }
 }
 
 /// Stacks tower embedding rows for a trajectory.
@@ -632,6 +827,56 @@ mod tests {
             tm > om,
             "learned P_O failed to separate truth ({tm}) from noise ({om})"
         );
+    }
+
+    #[test]
+    fn traj_scorer_fast_path_is_bitwise_identical_to_scalar() {
+        let (ds, graph, emb) = quick_setup();
+        let learner = ObservationLearner::train(
+            &ds.network,
+            &ds.index,
+            &emb,
+            &graph,
+            &ds.train,
+            &quick_cfg(),
+        );
+        for rec in ds.test.iter().take(4) {
+            let towers = rec.cellular.towers();
+            if towers.is_empty() {
+                continue;
+            }
+            let mut scalar =
+                learner.traj_scorer(&emb, &towers, Scratch::new(), true);
+            let mut fast = learner.traj_scorer(&emb, &towers, Scratch::new(), false);
+            let (mut s_out, mut f_out) = (Vec::new(), Vec::new());
+            for (i, p) in rec.cellular.points.iter().enumerate() {
+                assert_eq!(
+                    scalar
+                        .context(i)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    fast.context(i)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    "context diverged at point {i}"
+                );
+                let pos = p.effective_pos();
+                let segs: Vec<SegmentId> = ds
+                    .index
+                    .k_nearest(&ds.network, pos, 12, 3_000.0)
+                    .into_iter()
+                    .map(|(s, _)| s)
+                    .collect();
+                scalar.score_into(&ds.network, &graph, pos, p.tower, i, &segs, &mut s_out);
+                fast.score_into(&ds.network, &graph, pos, p.tower, i, &segs, &mut f_out);
+                assert_eq!(s_out.len(), f_out.len());
+                for (a, b) in s_out.iter().zip(&f_out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "P_O diverged at point {i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,20 +21,20 @@ use lhmm_cellsim::tower::TowerId;
 use lhmm_cellsim::traj::TrajectoryRecord;
 use lhmm_graph::encoder::Embeddings;
 use lhmm_network::graph::{RoadNetwork, SegmentId};
-use lhmm_network::path::Path;
+use lhmm_network::path::total_turn_of;
 use lhmm_network::sp_cache::SpCache;
 use lhmm_network::spatial::SpatialIndex;
 use lhmm_neural::layers::{Activation, AdditiveAttention, Mlp};
 use lhmm_neural::loss::bce_with_logits;
 use lhmm_neural::optim::{clip_grad_norm, Adam};
 use lhmm_neural::tape::{ParamStore, Tape};
-use lhmm_neural::Matrix;
+use lhmm_neural::{Matrix, Scratch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-use crate::observation::tower_rows;
+use crate::observation::{tower_rows, ScorerStats};
 
 /// Transition-learner hyperparameters.
 #[derive(Clone, Debug)]
@@ -244,7 +244,7 @@ impl TransitionLearner {
                     rec.true_positions[i - 1].distance(rec.true_positions[i]);
                 let coverage = (route.length / true_moved.max(50.0)).min(1.0) as f32;
                 let traveled_frac = purity * coverage;
-                let mut scorer = TrajTransScorer::new(&learner, emb, rec.cellular.towers());
+                let mut scorer = TrajTransScorer::new(&learner, emb, &rec.cellular.towers());
                 let relevance = scorer.route_relevance(&route.segments);
                 let d_straight = a_pos.distance(b_pos);
                 let dt = rec.cellular.points[i].t - rec.cellular.points[i - 1].t;
@@ -289,7 +289,7 @@ pub fn explicit_features(
     route_segs: &[SegmentId],
 ) -> [f32; N_EXPLICIT] {
     let dev = ((d_straight - route_len).abs() / d_straight.max(100.0)) as f32;
-    let turn = Path::new(route_segs.to_vec()).total_turn(net) as f32;
+    let turn = total_turn_of(net, route_segs) as f32;
     /// Typical urban travel speed used to convert elapsed time into an
     /// expected movement, m/s.
     const TYPICAL_SPEED: f64 = 10.0;
@@ -304,31 +304,77 @@ pub fn explicit_features(
 
 /// Per-trajectory transition scorer with a road-relevance cache; create one
 /// per matched trajectory.
+///
+/// Two bit-identical scoring modes exist: the scalar reference path
+/// (per-road query allocation + naive matmuls) and the vectorized fast path
+/// (batched query projection + scratch-arena buffers, no steady-state heap
+/// allocation). Equivalence is pinned by
+/// `fast_path_is_bitwise_identical_to_scalar` below and by the repo-level
+/// `tests/scoring_equivalence.rs` corpus test.
 pub struct TrajTransScorer<'a> {
     learner: &'a TransitionLearner,
     emb: &'a Embeddings,
     keys: Matrix,
     /// `keys × W_k`, precomputed once: road-relevance attention runs for
-    /// hundreds of distinct roads against the same trajectory.
+    /// hundreds of distinct roads against the same trajectory. In fast mode
+    /// the rows are additionally tanh-applied (the memoized key half of
+    /// [`AdditiveAttention::attend_tanh`]); in scalar mode they stay raw
+    /// for `infer_projected`.
     projected_keys: Matrix,
     cache: HashMap<SegmentId, f32>,
+    scratch: Scratch,
+    scalar: bool,
+    stats: ScorerStats,
+    /// Reused between `route_relevance` calls for the missing-road set.
+    missing_buf: Vec<SegmentId>,
 }
 
 impl<'a> TrajTransScorer<'a> {
-    /// Prepares the scorer for one trajectory (tower id sequence).
+    /// Prepares the scorer for one trajectory (tower id sequence) with a
+    /// fresh scratch arena and the fast scoring path.
     pub fn new(
         learner: &'a TransitionLearner,
         emb: &'a Embeddings,
-        towers: Vec<TowerId>,
+        towers: &[TowerId],
     ) -> Self {
-        let keys = tower_rows(emb, &towers);
-        let projected_keys = learner.attention.project_keys(&learner.rel_store, &keys);
+        Self::with_scratch(learner, emb, towers, Scratch::new(), false)
+    }
+
+    /// [`Self::new`] reusing a caller-owned scratch arena (returned by
+    /// [`Self::finish`]); `scalar` selects the reference scoring path.
+    pub fn with_scratch(
+        learner: &'a TransitionLearner,
+        emb: &'a Embeddings,
+        towers: &[TowerId],
+        mut scratch: Scratch,
+        scalar: bool,
+    ) -> Self {
+        let n = towers.len();
+        let mut keys = scratch.take(n, learner.dim);
+        for (r, &t) in towers.iter().enumerate() {
+            keys.row_mut(r).copy_from_slice(emb.tower(t));
+        }
+        let mut projected_keys = scratch.take(n, learner.attention.proj_dim());
+        learner
+            .attention
+            .project_keys_into(&learner.rel_store, &keys, &mut projected_keys);
+        if !scalar {
+            for v in projected_keys.data_mut() {
+                *v = v.tanh();
+            }
+        }
         TrajTransScorer {
             learner,
             emb,
             keys,
             projected_keys,
-            cache: HashMap::new(),
+            // Pre-reserve so cache growth during one trajectory's Viterbi
+            // pass rarely reallocates.
+            cache: HashMap::with_capacity(512),
+            scratch,
+            scalar,
+            stats: ScorerStats::default(),
+            missing_buf: Vec::new(),
         }
     }
 
@@ -347,45 +393,91 @@ impl<'a> TrajTransScorer<'a> {
         if segs.is_empty() {
             return 0.0;
         }
-        let missing: Vec<SegmentId> = {
-            let mut m: Vec<SegmentId> = segs
-                .iter()
-                .copied()
-                .filter(|s| !self.cache.contains_key(s))
-                .collect();
-            m.sort_unstable();
-            m.dedup();
-            m
-        };
+        let mut missing = std::mem::take(&mut self.missing_buf);
+        missing.clear();
+        missing.extend(segs.iter().copied().filter(|s| !self.cache.contains_key(s)));
+        missing.sort_unstable();
+        missing.dedup();
         if !missing.is_empty() {
             self.compute_batch(&missing);
         }
+        self.missing_buf = missing;
         segs.iter().map(|s| self.cache[s]).sum::<f32>() / segs.len() as f32
     }
 
     fn compute_batch(&mut self, segs: &[SegmentId]) {
-        // Eq. 9: per-road attention summaries; batch the MLP pass.
         let n = segs.len();
         let dim = self.learner.dim;
-        let mut cat = Matrix::zeros(n, 2 * dim);
+        self.stats.rows += n as u64;
+        if self.scalar {
+            // Reference path: per-road attention summary via the naive
+            // kernels, batched MLP pass.
+            let mut cat = Matrix::zeros(n, 2 * dim);
+            for (r, &seg) in segs.iter().enumerate() {
+                let q = Matrix::row_vector(self.emb.segment(seg).to_vec());
+                let summary = self.learner.attention.infer_projected(
+                    &self.learner.rel_store,
+                    &q,
+                    &self.projected_keys,
+                    &self.keys,
+                );
+                cat.row_mut(r)[..dim].copy_from_slice(self.emb.segment(seg));
+                cat.row_mut(r)[dim..].copy_from_slice(summary.row(0));
+            }
+            let logits = self
+                .learner
+                .relevance_mlp
+                .infer(&self.learner.rel_store, &cat);
+            for (&seg, &logit) in segs.iter().zip(logits.data()) {
+                self.cache.insert(seg, 1.0 / (1.0 + (-logit).exp()));
+            }
+            return;
+        }
+        // Fast path (Eq. 9): project every road query in one batched
+        // matmul, memoize the tanh halves, then attend per row into the
+        // concat buffer directly.
+        let mut queries = self.scratch.take(n, dim);
         for (r, &seg) in segs.iter().enumerate() {
-            let q = Matrix::row_vector(self.emb.segment(seg).to_vec());
-            let summary = self.learner.attention.infer_projected(
+            queries.row_mut(r).copy_from_slice(self.emb.segment(seg));
+        }
+        let mut qproj = self
+            .scratch
+            .take(n, self.learner.attention.proj_dim());
+        self.learner.attention.project_queries_into(
+            &self.learner.rel_store,
+            &queries,
+            &mut qproj,
+        );
+        for v in qproj.data_mut() {
+            *v = v.tanh();
+        }
+        let mut cat = self.scratch.take(n, 2 * dim);
+        for r in 0..n {
+            let row = cat.row_mut(r);
+            row[..dim].copy_from_slice(queries.row(r));
+        }
+        for r in 0..n {
+            self.learner.attention.attend_tanh(
                 &self.learner.rel_store,
-                &q,
+                qproj.row(r),
                 &self.projected_keys,
                 &self.keys,
+                &mut self.scratch,
+                &mut cat.row_mut(r)[dim..],
             );
-            cat.row_mut(r)[..dim].copy_from_slice(self.emb.segment(seg));
-            cat.row_mut(r)[dim..].copy_from_slice(summary.row(0));
         }
-        let logits = self
-            .learner
-            .relevance_mlp
-            .infer(&self.learner.rel_store, &cat);
+        let logits = self.learner.relevance_mlp.infer_with(
+            &self.learner.rel_store,
+            &cat,
+            &mut self.scratch,
+        );
         for (&seg, &logit) in segs.iter().zip(logits.data()) {
             self.cache.insert(seg, 1.0 / (1.0 + (-logit).exp()));
         }
+        self.scratch.give(logits);
+        self.scratch.give(cat);
+        self.scratch.give(qproj);
+        self.scratch.give(queries);
     }
 
     /// Final learned `P_T` (Eq. 12) for one moving path.
@@ -397,13 +489,53 @@ impl<'a> TrajTransScorer<'a> {
         route_len: f64,
         route_segs: &[SegmentId],
     ) -> f32 {
+        let t0 = std::time::Instant::now();
         let relevance = self.route_relevance(route_segs);
         let feats = explicit_features(net, d_straight, dt, route_len, route_segs);
-        let mut x = Matrix::zeros(1, 1 + N_EXPLICIT);
-        x.row_mut(0)[0] = relevance;
-        x.row_mut(0)[1..].copy_from_slice(&feats);
-        let logit = self.learner.fuse_mlp.infer(&self.learner.fuse_store, &x);
-        1.0 / (1.0 + (-logit.data()[0]).exp())
+        let p = if self.scalar {
+            let mut x = Matrix::zeros(1, 1 + N_EXPLICIT);
+            x.row_mut(0)[0] = relevance;
+            x.row_mut(0)[1..].copy_from_slice(&feats);
+            let logit = self.learner.fuse_mlp.infer(&self.learner.fuse_store, &x);
+            1.0 / (1.0 + (-logit.data()[0]).exp())
+        } else {
+            let mut x = self.scratch.take(1, 1 + N_EXPLICIT);
+            x.row_mut(0)[0] = relevance;
+            x.row_mut(0)[1..].copy_from_slice(&feats);
+            let logit = self.learner.fuse_mlp.infer_with(
+                &self.learner.fuse_store,
+                &x,
+                &mut self.scratch,
+            );
+            let p = 1.0 / (1.0 + (-logit.data()[0]).exp());
+            self.scratch.give(logit);
+            self.scratch.give(x);
+            p
+        };
+        self.stats.calls += 1;
+        self.stats.time_s += t0.elapsed().as_secs_f64();
+        p
+    }
+
+    /// Cumulative scoring statistics (`rows` counts roads scored through
+    /// Eq. 10 batches; `calls`/`time_s` cover [`Self::transition_prob`]).
+    pub fn stats(&self) -> ScorerStats {
+        self.stats
+    }
+
+    /// `(fresh_allocs, high_water_bytes)` of the scratch arena.
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        (self.scratch.fresh_allocs(), self.scratch.high_water_bytes())
+    }
+
+    /// Tears the scorer down, returning its scratch arena (with the key
+    /// matrices back in the pool) and the accumulated statistics.
+    pub fn finish(mut self) -> (Scratch, ScorerStats) {
+        let keys = std::mem::replace(&mut self.keys, Matrix::zeros(0, 0));
+        let pk = std::mem::replace(&mut self.projected_keys, Matrix::zeros(0, 0));
+        self.scratch.give(keys);
+        self.scratch.give(pk);
+        (self.scratch, self.stats)
     }
 }
 
@@ -487,7 +619,7 @@ mod tests {
         let mut off_scores = Vec::new();
         for rec in ds.test.iter().take(8) {
             let truth = rec.truth.segment_set();
-            let mut scorer = TrajTransScorer::new(&learner, &emb, rec.cellular.towers());
+            let mut scorer = TrajTransScorer::new(&learner, &emb, &rec.cellular.towers());
             for &seg in rec.truth.segments.iter().take(10) {
                 on_scores.push(scorer.road_relevance(seg));
             }
@@ -523,7 +655,7 @@ mod tests {
             },
         );
         let rec = &ds.test[0];
-        let mut scorer = TrajTransScorer::new(&learner, &emb, rec.cellular.towers());
+        let mut scorer = TrajTransScorer::new(&learner, &emb, &rec.cellular.towers());
         let segs: Vec<SegmentId> = rec.truth.segments.iter().take(5).copied().collect();
         let p1 = scorer.transition_prob(&ds.network, 500.0, 60.0, 600.0, &segs);
         assert!((0.0..=1.0).contains(&p1));
@@ -533,6 +665,95 @@ mod tests {
         // Empty route: still a valid probability.
         let p3 = scorer.transition_prob(&ds.network, 500.0, 60.0, 600.0, &[]);
         assert!((0.0..=1.0).contains(&p3));
+    }
+
+    #[test]
+    fn fast_path_is_bitwise_identical_to_scalar() {
+        let (ds, emb) = quick_setup();
+        let learner = TransitionLearner::train(
+            &ds.network,
+            &ds.index,
+            &emb,
+            &ds.train,
+            &quick_cfg(),
+        );
+        for rec in ds.test.iter().take(4) {
+            let towers = rec.cellular.towers();
+            let mut scalar = TrajTransScorer::with_scratch(
+                &learner,
+                &emb,
+                &towers,
+                Scratch::new(),
+                true,
+            );
+            let mut fast = TrajTransScorer::with_scratch(
+                &learner,
+                &emb,
+                &towers,
+                Scratch::new(),
+                false,
+            );
+            // Individual road relevances (exercises singleton batches).
+            for &seg in rec.truth.segments.iter().take(6) {
+                assert_eq!(
+                    scalar.road_relevance(seg).to_bits(),
+                    fast.road_relevance(seg).to_bits(),
+                    "road relevance diverged on {seg:?}"
+                );
+            }
+            // Full transition probabilities over route prefixes (exercises
+            // multi-road batches, the cache, and the fused fuse-MLP pass).
+            for end in [2usize, 5, rec.truth.len().min(12)] {
+                let segs: Vec<SegmentId> =
+                    rec.truth.segments.iter().take(end).copied().collect();
+                let a = scalar.transition_prob(&ds.network, 700.0, 45.0, 900.0, &segs);
+                let b = fast.transition_prob(&ds.network, 700.0, 45.0, 900.0, &segs);
+                assert_eq!(a.to_bits(), b.to_bits(), "P_T diverged at prefix {end}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_scorer_scratch_stops_allocating() {
+        let (ds, emb) = quick_setup();
+        let learner = TransitionLearner::train(
+            &ds.network,
+            &ds.index,
+            &emb,
+            &ds.train,
+            &TransConfig {
+                epochs: 10,
+                fuse_epochs: 10,
+                ..quick_cfg()
+            },
+        );
+        let rec = &ds.test[0];
+        let segs: Vec<SegmentId> = rec.truth.segments.iter().take(8).copied().collect();
+        let mut scratch = Scratch::new();
+        // Warm the arena with one full pass, then re-score fresh scorers
+        // (empty caches, identical shapes) and expect zero new buffers.
+        for round in 0..3 {
+            let mut scorer = TrajTransScorer::with_scratch(
+                &learner,
+                &emb,
+                &rec.cellular.towers(),
+                scratch,
+                false,
+            );
+            let allocs_before = scorer.scratch_stats().0;
+            let _ = scorer.transition_prob(&ds.network, 700.0, 45.0, 900.0, &segs);
+            let _ = scorer.transition_prob(&ds.network, 700.0, 45.0, 900.0, &segs);
+            let allocs_after = scorer.scratch_stats().0;
+            if round > 0 {
+                assert_eq!(
+                    allocs_before, allocs_after,
+                    "warm scratch allocated in round {round}"
+                );
+            }
+            let (s, stats) = scorer.finish();
+            scratch = s;
+            assert!(stats.calls == 2 && stats.rows >= segs.len() as u64);
+        }
     }
 
     #[test]

@@ -83,11 +83,41 @@ impl MatchResult {
 
 /// Per-trajectory engine telemetry, threaded from the Viterbi engine up
 /// through batch matching and evaluation.
+///
+/// The four stage timers partition one match: candidate preparation
+/// (including batched `P_O` scoring), then the path-finding engine, whose
+/// wall time further splits into `P_O` re-scoring, `P_T` scoring and
+/// shortest-path search (the remainder is the DP itself). The scratch
+/// counters prove the allocation-free claim of the vectorized scoring path:
+/// on a warm engine `scratch_allocs` stays 0 for every subsequent match.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MatchStats {
+    /// Wall-clock time of candidate preparation (spatial queries + batched
+    /// observation scoring), seconds.
+    pub candidate_time_s: f64,
     /// Wall-clock time spent in the path-finding engine, seconds
     /// (candidate preparation excluded).
     pub viterbi_time_s: f64,
+    /// Time inside observation (`P_O`) scoring, seconds — both the
+    /// candidate-preparation batches and engine re-scores.
+    pub obs_time_s: f64,
+    /// Time inside transition (`P_T`) scoring, seconds.
+    pub trans_time_s: f64,
+    /// Time inside shortest-path searches and cache lookups, seconds.
+    pub sp_time_s: f64,
+    /// Observation scoring calls (candidate batches).
+    pub obs_calls: u64,
+    /// Candidate rows scored through `P_O`.
+    pub obs_rows: u64,
+    /// Transition scoring calls (candidate pairs).
+    pub trans_calls: u64,
+    /// Roads scored through the road-relevance batches of `P_T`.
+    pub trans_rows: u64,
+    /// Fresh scratch-arena buffer allocations during this match (0 on a
+    /// warm engine — the zero-allocation invariant of the fast path).
+    pub scratch_allocs: u64,
+    /// High-water scratch-arena footprint, bytes (max over merges).
+    pub scratch_bytes: u64,
     /// Shortest-path queries answered by the worker's private cache shard.
     pub cache_hits: u64,
     /// Shortest-path queries answered by the shared warm layer.
@@ -103,7 +133,17 @@ pub struct MatchStats {
 impl MatchStats {
     /// Accumulates `other` into `self` (per-worker and per-batch rollups).
     pub fn merge(&mut self, other: &MatchStats) {
+        self.candidate_time_s += other.candidate_time_s;
         self.viterbi_time_s += other.viterbi_time_s;
+        self.obs_time_s += other.obs_time_s;
+        self.trans_time_s += other.trans_time_s;
+        self.sp_time_s += other.sp_time_s;
+        self.obs_calls += other.obs_calls;
+        self.obs_rows += other.obs_rows;
+        self.trans_calls += other.trans_calls;
+        self.trans_rows += other.trans_rows;
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_bytes = self.scratch_bytes.max(other.scratch_bytes);
         self.cache_hits += other.cache_hits;
         self.cache_warm_hits += other.cache_warm_hits;
         self.cache_misses += other.cache_misses;

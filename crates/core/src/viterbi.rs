@@ -12,6 +12,8 @@ use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
 use lhmm_network::shortest_path::DijkstraEngine;
 use lhmm_network::sp_cache::{SpCache, SpCacheStats, WarmLayer};
+use lhmm_neural::Scratch;
+use std::time::Instant;
 
 /// Engine parameters.
 #[derive(Clone, Debug)]
@@ -58,6 +60,14 @@ pub struct HmmEngine {
     sp_cache: SpCache,
     /// Engine parameters (mutable between runs: `k`/`K` sweeps).
     pub cfg: EngineConfig,
+    /// Scratch arenas loaned to the per-trajectory scorers; keeping them
+    /// here lets warm buffers carry across trajectories (the zero-alloc
+    /// steady state).
+    obs_scratch: Scratch,
+    trans_scratch: Scratch,
+    /// Wall time accumulated in shortest-path searches/cache lookups since
+    /// the last [`Self::take_sp_time`].
+    sp_time_s: f64,
 }
 
 impl HmmEngine {
@@ -76,7 +86,38 @@ impl HmmEngine {
             dijkstra: DijkstraEngine::new(net),
             sp_cache,
             cfg,
+            obs_scratch: Scratch::new(),
+            trans_scratch: Scratch::new(),
+            sp_time_s: 0.0,
         }
+    }
+
+    /// Loans out the observation-scorer scratch arena; pair with
+    /// [`Self::put_obs_scratch`].
+    pub fn take_obs_scratch(&mut self) -> Scratch {
+        std::mem::take(&mut self.obs_scratch)
+    }
+
+    /// Returns a loaned observation scratch arena to the engine.
+    pub fn put_obs_scratch(&mut self, s: Scratch) {
+        self.obs_scratch = s;
+    }
+
+    /// Loans out the transition-scorer scratch arena; pair with
+    /// [`Self::put_trans_scratch`].
+    pub fn take_trans_scratch(&mut self) -> Scratch {
+        std::mem::take(&mut self.trans_scratch)
+    }
+
+    /// Returns a loaned transition scratch arena to the engine.
+    pub fn put_trans_scratch(&mut self, s: Scratch) {
+        self.trans_scratch = s;
+    }
+
+    /// Shortest-path wall time accumulated since the last call, resetting
+    /// the counter (read once per match for [`crate::types::MatchStats`]).
+    pub fn take_sp_time(&mut self) -> f64 {
+        std::mem::take(&mut self.sp_time_s)
     }
 
     /// Copies the cache's private entries into a standalone [`WarmLayer`]
@@ -176,9 +217,12 @@ impl HmmEngine {
                     for &(_, j) in &scored {
                         let cj = layers[i - 2][j];
                         let ck = layers[i][k];
-                        let Some(route) = self.sp_cache.route_between_projections(
+                        let t0 = Instant::now();
+                        let route = self.sp_cache.route_between_projections(
                             net, cj.seg, cj.t, ck.seg, ck.t, bound,
-                        ) else {
+                        );
+                        self.sp_time_s += t0.elapsed().as_secs_f64();
+                        let Some(route) = route else {
                             continue;
                         };
                         // Project the skipped point onto the shortcut to
@@ -254,9 +298,12 @@ impl HmmEngine {
                 Some(p) => {
                     let bound = 10.0 * self.cfg.route_slack
                         + self.cfg.max_route_factor * net.bbox().width().max(net.bbox().height());
-                    match self.sp_cache.route_between_projections(
+                    let t0 = Instant::now();
+                    let route = self.sp_cache.route_between_projections(
                         net, p.seg, p.t, cand.seg, cand.t, bound,
-                    ) {
+                    );
+                    self.sp_time_s += t0.elapsed().as_secs_f64();
+                    match route {
                         Some(r) => path.extend_with(&r.segments),
                         None => path.segments.push(cand.seg),
                     }
@@ -289,9 +336,11 @@ impl HmmEngine {
             .iter()
             .map(|c| net.segment(c.seg).from)
             .collect();
+        let t0 = Instant::now();
         let inner = self
             .dijkstra
             .node_to_nodes(net, prev_seg.to, &targets, bound);
+        self.sp_time_s += t0.elapsed().as_secs_f64();
         cur_layer
             .iter()
             .zip(inner)
@@ -330,10 +379,12 @@ impl HmmEngine {
         b: &Candidate,
         bound: f64,
     ) -> RouteInfo {
-        match self
+        let t0 = Instant::now();
+        let route = self
             .sp_cache
-            .route_between_projections(net, a.seg, a.t, b.seg, b.t, bound)
-        {
+            .route_between_projections(net, a.seg, a.t, b.seg, b.t, bound);
+        self.sp_time_s += t0.elapsed().as_secs_f64();
+        match route {
             Some(r) => RouteInfo {
                 found: true,
                 length: r.length,

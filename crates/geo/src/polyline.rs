@@ -37,6 +37,39 @@ pub fn total_turn(points: &[Point]) -> f64 {
     sum
 }
 
+/// Streaming form of [`total_turn`]: feed vertices one at a time instead of
+/// materializing a polyline `Vec`. Pushing a vertex equal to the previous
+/// one is a no-op (the zero-length-edge skip of [`total_turn`]), so callers
+/// need not deduplicate. For any point sequence, `total()` is bit-identical
+/// to `total_turn` over the same sequence.
+#[derive(Clone, Debug, Default)]
+pub struct TurnAccumulator {
+    sum: f64,
+    prev_heading: Option<f64>,
+    last: Option<Point>,
+}
+
+impl TurnAccumulator {
+    /// Appends the next polyline vertex.
+    pub fn push(&mut self, p: Point) {
+        if let Some(lp) = self.last {
+            if lp != p {
+                let h = lp.bearing_to(p);
+                if let Some(ph) = self.prev_heading {
+                    self.sum += angle::abs_diff(ph, h);
+                }
+                self.prev_heading = Some(h);
+            }
+        }
+        self.last = Some(p);
+    }
+
+    /// Accumulated turn in radians.
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+}
+
 /// Resamples the polyline so that consecutive points are at most `step`
 /// meters apart.
 ///
@@ -166,6 +199,29 @@ mod tests {
             Point::new(10.0, 0.0),
         ];
         assert_eq!(total_turn(&pts), 0.0);
+    }
+
+    #[test]
+    fn turn_accumulator_matches_total_turn() {
+        let cases: [&[Point]; 4] = [
+            &l_shape(),
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(5.0, 0.0), // duplicate vertex
+                Point::new(5.0, 7.0),
+                Point::new(1.0, 7.0),
+            ],
+            &[Point::new(1.0, 2.0)],
+            &[],
+        ];
+        for pts in cases {
+            let mut acc = TurnAccumulator::default();
+            for &p in pts {
+                acc.push(p);
+            }
+            assert_eq!(acc.total().to_bits(), total_turn(pts).to_bits());
+        }
     }
 
     #[test]

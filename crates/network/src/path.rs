@@ -71,7 +71,7 @@ impl Path {
     /// Sum of absolute turn angles along the path geometry, in radians
     /// (the explicit transition feature `D_T`).
     pub fn total_turn(&self, net: &RoadNetwork) -> f64 {
-        polyline::total_turn(&self.polyline(net))
+        total_turn_of(net, &self.segments)
     }
 
     /// Set view of the traversed segments.
@@ -99,6 +99,22 @@ impl Path {
             }
         }
     }
+}
+
+/// [`Path::total_turn`] for a raw segment slice, without materializing
+/// either the `Path` or its polyline — the allocation-free form the
+/// transition-feature hot path uses. Bit-identical to
+/// `Path::new(segments.to_vec()).total_turn(net)`: the streamed vertex
+/// sequence is the same as [`Path::polyline`]'s (the accumulator ignores
+/// duplicate consecutive vertices, which is exactly the dedup `polyline`
+/// performs).
+pub fn total_turn_of(net: &RoadNetwork, segments: &[SegmentId]) -> f64 {
+    let mut acc = polyline::TurnAccumulator::default();
+    for &s in segments {
+        acc.push(net.segment_start(s));
+        acc.push(net.segment_end(s));
+    }
+    acc.total()
 }
 
 impl FromIterator<SegmentId> for Path {
@@ -157,6 +173,23 @@ mod tests {
         let (net, segs) = line_net();
         let p = Path::new(segs);
         assert!((p.total_turn(&net) - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_turn_of_matches_polyline_route() {
+        let (net, segs) = line_net();
+        // Contiguous, non-contiguous (gap) and repeated-segment sequences
+        // must all agree bit-for-bit with the allocating polyline path.
+        let cases = [
+            segs.clone(),
+            vec![segs[0], segs[2]],
+            vec![segs[0], segs[0], segs[1]],
+            vec![],
+        ];
+        for seq in cases {
+            let via_polyline = polyline::total_turn(&Path::new(seq.clone()).polyline(&net));
+            assert_eq!(total_turn_of(&net, &seq).to_bits(), via_polyline.to_bits());
+        }
     }
 
     #[test]

@@ -371,6 +371,42 @@ mod tests {
     }
 
     #[test]
+    fn epoch_wraparound_invalidates_stale_entries() {
+        // Regression guard: after 2^32 resets `current_epoch` wraps. The
+        // reset path must clear the epoch stamps when that happens —
+        // otherwise nodes whose stored epoch happens to equal the wrapped
+        // counter would expose garbage distances/parents from an ancient
+        // query as if they were current.
+        let net = grid3();
+        let mut fresh = DijkstraEngine::new(&net);
+        let expected = fresh
+            .node_to_node(&net, NodeId(0), NodeId(8), 10_000.0)
+            .unwrap();
+
+        let mut eng = DijkstraEngine::new(&net);
+        // Simulate the state just before wrap-around, with poisoned entries
+        // that become "valid" after the wrap if the clear is skipped: stale
+        // epochs at both u32::MAX (valid right now) and the small values
+        // the counter will pass through next.
+        eng.current_epoch = u32::MAX;
+        for i in 0..eng.epoch.len() {
+            eng.epoch[i] = if i % 2 == 0 { u32::MAX } else { (i % 4) as u32 };
+            eng.dist[i] = 0.25; // absurdly short: would hijack any search
+            eng.parent_seg[i] = NO_PARENT;
+        }
+        // Several queries straddling the wrap (epochs MAX → 1 → 2 → 3): all
+        // must ignore the poisoned state and reproduce the fresh result.
+        for round in 0..3 {
+            let r = eng
+                .node_to_node(&net, NodeId(0), NodeId(8), 10_000.0)
+                .unwrap();
+            assert_eq!(r.length, expected.length, "round {round}");
+            assert_eq!(r.segments, expected.segments, "round {round}");
+        }
+        assert!(eng.current_epoch >= 1 && eng.current_epoch < u32::MAX);
+    }
+
+    #[test]
     fn diagonal_distance_on_grid() {
         let net = grid3();
         let mut eng = DijkstraEngine::new(&net);

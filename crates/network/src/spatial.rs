@@ -8,6 +8,14 @@
 
 use crate::graph::{RoadNetwork, SegmentId};
 use lhmm_geo::{BBox, Point};
+use std::cell::RefCell;
+
+thread_local! {
+    // Candidate-id scratch for `segments_within_into`. Thread-local (rather
+    // than `&mut self`) because one index is shared immutably across batch
+    // worker threads.
+    static CAND_SCRATCH: RefCell<Vec<SegmentId>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Spatial index over the segments of one [`RoadNetwork`].
 pub struct SpatialIndex {
@@ -67,28 +75,49 @@ impl SpatialIndex {
         p: Point,
         radius: f64,
     ) -> Vec<(SegmentId, f64)> {
+        let mut out = Vec::new();
+        self.segments_within_into(net, p, radius, &mut out);
+        out
+    }
+
+    /// [`Self::segments_within`] writing into a caller-owned buffer
+    /// (cleared first). Internal candidate storage comes from a thread-local
+    /// scratch vector, so a warm caller performs no heap allocation.
+    pub fn segments_within_into(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        radius: f64,
+        out: &mut Vec<(SegmentId, f64)>,
+    ) {
+        out.clear();
         let lo = self.cell_of(Point::new(p.x - radius, p.y - radius));
         let hi = self.cell_of(Point::new(p.x + radius, p.y + radius));
-        let mut cand: Vec<SegmentId> = Vec::new();
-        for r in lo.1..=hi.1 {
-            for c in lo.0..=hi.0 {
-                cand.extend_from_slice(&self.cells[r * self.cols + c]);
+        CAND_SCRATCH.with(|cell| {
+            let mut cand = cell.borrow_mut();
+            cand.clear();
+            for r in lo.1..=hi.1 {
+                for c in lo.0..=hi.0 {
+                    cand.extend_from_slice(&self.cells[r * self.cols + c]);
+                }
             }
-        }
-        // Segments spanning several cells appear several times; dedup before
-        // the (comparatively expensive) exact distance computation.
-        cand.sort_unstable();
-        cand.dedup();
-        cand.into_iter()
-            .filter_map(|s| {
+            // Segments spanning several cells appear several times; dedup
+            // before the (comparatively expensive) exact distance
+            // computation.
+            cand.sort_unstable();
+            cand.dedup();
+            for &s in cand.iter() {
                 let d = net.distance_to_segment(p, s);
-                (d <= radius).then_some((s, d))
-            })
-            .collect()
+                if d <= radius {
+                    out.push((s, d));
+                }
+            }
+        });
     }
 
     /// The `k` segments nearest to `p` within `max_radius`, sorted by
-    /// ascending distance. May return fewer than `k` when the area is sparse.
+    /// ascending distance with ties broken by segment id (deterministic).
+    /// May return fewer than `k` when the area is sparse.
     pub fn k_nearest(
         &self,
         net: &RoadNetwork,
@@ -96,17 +125,40 @@ impl SpatialIndex {
         k: usize,
         max_radius: f64,
     ) -> Vec<(SegmentId, f64)> {
+        let mut out = Vec::new();
+        self.k_nearest_into(net, p, k, max_radius, &mut out);
+        out
+    }
+
+    /// [`Self::k_nearest`] writing into a caller-owned buffer (cleared
+    /// first); the ring-expansion retries reuse that buffer instead of
+    /// allocating per ring.
+    pub fn k_nearest_into(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        k: usize,
+        max_radius: f64,
+        out: &mut Vec<(SegmentId, f64)>,
+    ) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         // Expand the search radius ring by ring until k hits are guaranteed.
         let mut radius = self.cell_size;
         loop {
-            let mut hits = self.segments_within(net, p, radius.min(max_radius));
-            if hits.len() >= k || radius >= max_radius {
-                hits.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-                hits.truncate(k);
-                return hits;
+            self.segments_within_into(net, p, radius.min(max_radius), out);
+            if out.len() >= k || radius >= max_radius {
+                // Tie-break equal distances by segment id so results do not
+                // depend on grid-cell visit order.
+                out.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("segment distances are finite")
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                out.truncate(k);
+                return;
             }
             radius *= 2.0;
         }
@@ -164,16 +216,52 @@ mod tests {
         let slow = brute_within(&net, p, f64::INFINITY);
         assert_eq!(fast.len(), 10);
         for (i, (s, d)) in fast.iter().enumerate() {
-            // Same distances as the brute-force ranking (ties may reorder ids).
+            // Same distances as the brute-force ranking.
             assert!(
                 (d - slow[i].1).abs() < 1e-9,
                 "rank {i}: {s:?} {d} vs {:?}",
                 slow[i]
             );
         }
-        // Sorted ascending.
+        // Sorted ascending, equal distances ordered by segment id.
         for w in fast.windows(2) {
-            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn k_nearest_breaks_ties_by_segment_id() {
+        use crate::builder::NetworkBuilder;
+        use crate::graph::RoadClass;
+        // Two parallel segments exactly equidistant from the query point.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 10.0));
+        let n1 = b.add_node(Point::new(10.0, 10.0));
+        let n2 = b.add_node(Point::new(0.0, -10.0));
+        let n3 = b.add_node(Point::new(10.0, -10.0));
+        let top = b.add_segment(n0, n1, RoadClass::Local).unwrap();
+        let bottom = b.add_segment(n2, n3, RoadClass::Local).unwrap();
+        let net = b.build().unwrap();
+        let idx = SpatialIndex::build(&net, 50.0);
+        let hits = idx.k_nearest(&net, Point::new(5.0, 0.0), 2, 1_000.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, hits[1].1, "query must be equidistant");
+        let lo = top.min(bottom);
+        let hi = top.max(bottom);
+        assert_eq!((hits[0].0, hits[1].0), (lo, hi), "ties must order by id");
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let net = city();
+        let idx = SpatialIndex::build(&net, 200.0);
+        let mut buf = Vec::new();
+        for (x, y) in [(100.0, 100.0), (800.0, 400.0), (450.0, 620.0)] {
+            let p = Point::new(x, y);
+            idx.k_nearest_into(&net, p, 8, 5_000.0, &mut buf);
+            assert_eq!(buf, idx.k_nearest(&net, p, 8, 5_000.0));
+            idx.segments_within_into(&net, p, 300.0, &mut buf);
+            assert_eq!(buf, idx.segments_within(&net, p, 300.0));
         }
     }
 

@@ -1,6 +1,8 @@
 //! Reusable network layers built on the autograd tape.
 
 use crate::init;
+use crate::matrix::Matrix;
+use crate::scratch::Scratch;
 use crate::tape::{ParamId, ParamStore, Tape, Var};
 use rand::Rng;
 
@@ -24,6 +26,18 @@ impl Activation {
             Activation::Tanh => tape.tanh(x),
             Activation::Sigmoid => tape.sigmoid(x),
             Activation::Identity => x,
+        }
+    }
+
+    /// Scalar evaluation; the exact expressions the tape-free [`Mlp::infer`]
+    /// path uses, so fused kernels stay bit-identical to it.
+    #[inline]
+    pub fn eval(self, v: f32) -> f32 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            Activation::Identity => v,
         }
     }
 }
@@ -92,6 +106,35 @@ impl Linear {
             }
         }
         h
+    }
+
+    /// Fused affine+activation forward into a caller-owned matrix: the
+    /// allocation-free fast path. Runs the i-k-j kernel (the inner loop
+    /// vectorizes across output columns, which the dot-product-form
+    /// transposed kernel cannot), then applies bias and activation in one
+    /// pass over each output row. Bit-identical to `infer` followed by an
+    /// elementwise activation map.
+    pub fn infer_into(&self, store: &ParamStore, x: &Matrix, out: &mut Matrix, act: Activation) {
+        debug_assert_eq!(x.cols(), self.in_dim, "Linear input width");
+        x.matmul_into(store.value(self.w), out);
+        match self.b {
+            Some(b) => {
+                let bias = store.value(b);
+                let brow = bias.row(0);
+                for r in 0..out.rows() {
+                    for (o, &bi) in out.row_mut(r).iter_mut().zip(brow) {
+                        *o = act.eval(*o + bi);
+                    }
+                }
+            }
+            None => {
+                if act != Activation::Identity {
+                    for v in out.data_mut() {
+                        *v = act.eval(*v);
+                    }
+                }
+            }
+        }
     }
 
     /// Input width.
@@ -165,6 +208,29 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// Allocation-free forward through the fused kernels: every
+    /// intermediate comes from (and the result's buffer should be returned
+    /// to) the scratch arena. Bit-identical to [`Mlp::infer`].
+    pub fn infer_with(&self, store: &ParamStore, x: &Matrix, scratch: &mut Scratch) -> Matrix {
+        let n = x.rows();
+        let last = self.layers.len() - 1;
+        let mut cur: Option<Matrix> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let act = if i == last {
+                Activation::Identity
+            } else {
+                self.activation
+            };
+            let mut out = scratch.take(n, layer.out_dim());
+            layer.infer_into(store, cur.as_ref().unwrap_or(x), &mut out, act);
+            if let Some(prev) = cur.take() {
+                scratch.give(prev);
+            }
+            cur = Some(out);
+        }
+        cur.expect("MLP has at least one layer")
     }
 }
 
@@ -279,6 +345,117 @@ impl AdditiveAttention {
             }
         }
         ctx
+    }
+
+    /// Internal projection width `p`.
+    pub fn proj_dim(&self) -> usize {
+        self.wq.out_dim()
+    }
+
+    /// Allocation-free [`Self::project_keys`]: `out` must be
+    /// `keys.rows() × proj_dim`.
+    pub fn project_keys_into(&self, store: &ParamStore, keys: &Matrix, out: &mut Matrix) {
+        self.wk.infer_into(store, keys, out, Activation::Identity);
+    }
+
+    /// Projects a whole stack of queries (`n × d`) through `W_q` at once
+    /// into `out` (`n × proj_dim`). Row `i` is bit-identical to projecting
+    /// query `i` alone, so callers can batch every query of a trajectory
+    /// up front and feed single rows to [`Self::attend_projected`].
+    pub fn project_queries_into(&self, store: &ParamStore, queries: &Matrix, out: &mut Matrix) {
+        self.wq.infer_into(store, queries, out, Activation::Identity);
+    }
+
+    /// Allocation-free attention with a pre-projected query row (from
+    /// [`Self::project_queries_into`]) and pre-projected keys. Writes the
+    /// attended context into `ctx_out` (length `values.cols()`).
+    /// Bit-identical to [`Self::infer_projected`].
+    pub fn attend_projected(
+        &self,
+        store: &ParamStore,
+        q_proj: &[f32],
+        projected_keys: &Matrix,
+        values: &Matrix,
+        scratch: &mut Scratch,
+        ctx_out: &mut [f32],
+    ) {
+        let n = projected_keys.rows();
+        let p = q_proj.len();
+        debug_assert_eq!(p, self.proj_dim(), "projected query width");
+        debug_assert_eq!(ctx_out.len(), values.cols(), "context width");
+        let mut qk = scratch.take(n, p + projected_keys.cols());
+        for r in 0..n {
+            let row = qk.row_mut(r);
+            row[..p].copy_from_slice(q_proj);
+            row[p..].copy_from_slice(projected_keys.row(r));
+        }
+        for v in qk.data_mut() {
+            *v = v.tanh();
+        }
+        let mut scores = scratch.take(n, 1);
+        self.wv.infer_into(store, &qk, &mut scores, Activation::Identity);
+        softmax_context(&mut scores, values, ctx_out);
+        scratch.give(qk);
+        scratch.give(scores);
+    }
+
+    /// Allocation-free attention from **memoized tanh halves**: `tanh_q` is
+    /// `tanh(W_q q)` for one query row and `tanh_keys` holds `tanh(W_k k_j)`
+    /// row per key. tanh is elementwise, so
+    /// `tanh([Wq·q ⊕ Wk·k]) = [tanh(Wq·q) ⊕ tanh(Wk·k)]` — assembling the
+    /// activation matrix from the two cached halves is bit-identical to
+    /// [`Self::infer_projected`] / [`Self::attend_projected`] while
+    /// replacing the `n·2p` tanh evaluations *per query* with `p` per query
+    /// plus `n·p` once per key set. This is what makes per-trajectory
+    /// attention cheap: the key half is tanh'd once for hundreds of queries.
+    pub fn attend_tanh(
+        &self,
+        store: &ParamStore,
+        tanh_q: &[f32],
+        tanh_keys: &Matrix,
+        values: &Matrix,
+        scratch: &mut Scratch,
+        ctx_out: &mut [f32],
+    ) {
+        let n = tanh_keys.rows();
+        let p = tanh_q.len();
+        debug_assert_eq!(p, self.proj_dim(), "projected query width");
+        debug_assert_eq!(ctx_out.len(), values.cols(), "context width");
+        let mut qk = scratch.take(n, p + tanh_keys.cols());
+        for r in 0..n {
+            let row = qk.row_mut(r);
+            row[..p].copy_from_slice(tanh_q);
+            row[p..].copy_from_slice(tanh_keys.row(r));
+        }
+        let mut scores = scratch.take(n, 1);
+        self.wv.infer_into(store, &qk, &mut scores, Activation::Identity);
+        softmax_context(&mut scores, values, ctx_out);
+        scratch.give(qk);
+        scratch.give(scores);
+    }
+}
+
+/// Shared attention tail: in-place softmax over the `n×1` score column
+/// (same op order as the allocating path — max, exp, sum, divide), then the
+/// weighted sum of value rows into `ctx_out`.
+fn softmax_context(scores: &mut Matrix, values: &Matrix, ctx_out: &mut [f32]) {
+    let max = scores
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    for s in scores.data_mut() {
+        *s = (*s - max).exp();
+    }
+    let sum: f32 = scores.data().iter().sum();
+    for s in scores.data_mut() {
+        *s /= sum;
+    }
+    ctx_out.fill(0.0);
+    for (r, &w) in scores.data().iter().enumerate() {
+        for (o, &v) in ctx_out.iter_mut().zip(values.row(r)) {
+            *o += w * v;
+        }
     }
 }
 
@@ -498,6 +675,87 @@ mod tests {
         let ctx_infer = att.infer(&store, &q, &keys, &keys);
         for (a, b) in tape.value(ctx_tape).data().iter().zip(ctx_infer.data()) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fused_mlp_is_bitwise_identical_to_infer() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let mlp = Mlp::new(&mut store, &[5, 9, 3], act, &mut rng);
+            let x = Matrix::from_vec(4, 5, (0..20).map(|i| (i as f32 * 0.23).sin()).collect());
+            let reference = mlp.infer(&store, &x);
+            let mut scratch = Scratch::new();
+            for _ in 0..2 {
+                // Second round runs with a warm (dirty) scratch arena.
+                let fused = mlp.infer_with(&store, &x, &mut scratch);
+                for (a, b) in reference.data().iter().zip(fused.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "fused MLP diverged ({act:?})");
+                }
+                scratch.give(fused);
+            }
+        }
+    }
+
+    #[test]
+    fn attend_projected_is_bitwise_identical_to_infer_projected() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let att = AdditiveAttention::new(&mut store, 6, 5, &mut rng);
+        let keys = Matrix::from_vec(7, 6, (0..42).map(|i| (i as f32 * 0.17).cos()).collect());
+        let queries = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.41).sin()).collect());
+
+        let projected = att.project_keys(&store, &keys);
+        let mut projected_fast = Matrix::zeros(7, att.proj_dim());
+        att.project_keys_into(&store, &keys, &mut projected_fast);
+        for (a, b) in projected.data().iter().zip(projected_fast.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "key projection diverged");
+        }
+
+        let mut q_proj = Matrix::zeros(3, att.proj_dim());
+        att.project_queries_into(&store, &queries, &mut q_proj);
+        let mut scratch = Scratch::new();
+        let mut ctx = vec![0.0f32; keys.cols()];
+        for qi in 0..queries.rows() {
+            let query = Matrix::row_vector(queries.row(qi).to_vec());
+            let reference = att.infer_projected(&store, &query, &projected, &keys);
+            att.attend_projected(&store, q_proj.row(qi), &projected_fast, &keys, &mut scratch, &mut ctx);
+            for (a, b) in reference.data().iter().zip(&ctx) {
+                assert_eq!(a.to_bits(), b.to_bits(), "attention context diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn attend_tanh_is_bitwise_identical_to_infer_projected() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let att = AdditiveAttention::new(&mut store, 6, 5, &mut rng);
+        let keys = Matrix::from_vec(7, 6, (0..42).map(|i| (i as f32 * 0.17).cos()).collect());
+        let queries = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.41).sin()).collect());
+
+        let projected = att.project_keys(&store, &keys);
+        let mut tanh_keys = Matrix::zeros(7, att.proj_dim());
+        att.project_keys_into(&store, &keys, &mut tanh_keys);
+        for v in tanh_keys.data_mut() {
+            *v = v.tanh();
+        }
+        let mut tanh_q = Matrix::zeros(3, att.proj_dim());
+        att.project_queries_into(&store, &queries, &mut tanh_q);
+        for v in tanh_q.data_mut() {
+            *v = v.tanh();
+        }
+
+        let mut scratch = Scratch::new();
+        let mut ctx = vec![0.0f32; keys.cols()];
+        for qi in 0..queries.rows() {
+            let query = Matrix::row_vector(queries.row(qi).to_vec());
+            let reference = att.infer_projected(&store, &query, &projected, &keys);
+            att.attend_tanh(&store, tanh_q.row(qi), &tanh_keys, &keys, &mut scratch, &mut ctx);
+            for (a, b) in reference.data().iter().zip(&ctx) {
+                assert_eq!(a.to_bits(), b.to_bits(), "memoized-tanh attention diverged");
+            }
         }
     }
 

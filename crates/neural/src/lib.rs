@@ -41,9 +41,11 @@ pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod persist;
+pub mod scratch;
 pub mod sparse;
 pub mod tape;
 
 pub use matrix::Matrix;
+pub use scratch::Scratch;
 pub use sparse::SparseMatrix;
 pub use tape::{ParamId, ParamStore, Tape, Var};

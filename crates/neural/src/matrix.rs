@@ -107,22 +107,126 @@ impl Matrix {
             rhs.shape()
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `out = self × rhs`, writing into a caller-owned matrix (no
+    /// allocation). `out` must already have shape `(self.rows, rhs.cols)`.
+    ///
+    /// Every output element is accumulated over `k` in ascending order
+    /// starting from `0.0` — the same per-element summation sequence as
+    /// [`Matrix::matmul`] and [`Matrix::matmul_transposed_into`], so all
+    /// three produce bit-identical results.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.data.fill(0.0);
         // i-k-j loop order: the inner loop walks both `rhs` and `out` rows
-        // contiguously, which is the cache-friendly order for row-major data.
+        // contiguously, which is the cache-friendly order for row-major
+        // data. Four k-steps are fused per pass — each output element still
+        // receives its four contributions as *separate, ascending-k adds*,
+        // so the blocking only cuts `out` traffic and never changes bits
+        // (pinned against the dot-form kernel by the prop tests below).
+        let n = rhs.cols;
         for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= self.cols {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let r0 = &rhs.data[k * n..(k + 1) * n];
+                let r1 = &rhs.data[(k + 1) * n..(k + 2) * n];
+                let r2 = &rhs.data[(k + 2) * n..(k + 3) * n];
+                let r3 = &rhs.data[(k + 3) * n..(k + 4) * n];
+                for j in 0..n {
+                    out_row[j] =
+                        (((out_row[j] + a0 * r0[j]) + a1 * r1[j]) + a2 * r2[j]) + a3 * r3[j];
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                k += 4;
+            }
+            while k < self.cols {
+                let a = a_row[k];
+                let rhs_row = &rhs.data[k * n..(k + 1) * n];
                 for (o, &r) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * r;
                 }
+                k += 1;
             }
         }
-        out
+    }
+
+    /// `out = self × btᵀ` where `bt` is the transposed right-hand side
+    /// (`bt[j]` holds column `j` of the logical RHS as a contiguous row).
+    ///
+    /// Shapes: `self` is `m×k`, `bt` is `n×k`, `out` must be `m×n`. Both
+    /// inputs are walked along contiguous rows, and several output columns
+    /// are produced per pass over the `self` row (a small blocked kernel),
+    /// with one independent accumulator per output element so the result is
+    /// bit-identical to [`Matrix::matmul`] against the untransposed RHS.
+    pub fn matmul_transposed_into(&self, bt: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, bt.cols,
+            "matmul_transposed shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            bt.shape()
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, bt.rows),
+            "matmul_transposed_into output shape mismatch"
+        );
+        let n = bt.rows;
+        let kk = self.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * kk..(i + 1) * kk];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            // Blocked: four output columns per pass over `a_row`.
+            while j + 4 <= n {
+                let b0 = &bt.data[j * kk..(j + 1) * kk];
+                let b1 = &bt.data[(j + 1) * kk..(j + 2) * kk];
+                let b2 = &bt.data[(j + 2) * kk..(j + 3) * kk];
+                let b3 = &bt.data[(j + 3) * kk..(j + 4) * kk];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for k in 0..kk {
+                    let a = a_row[k];
+                    s0 += a * b0[k];
+                    s1 += a * b1[k];
+                    s2 += a * b2[k];
+                    s3 += a * b3[k];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = &bt.data[j * kk..(j + 1) * kk];
+                let mut s = 0.0f32;
+                for k in 0..kk {
+                    s += a_row[k] * b_row[k];
+                }
+                out_row[j] = s;
+                j += 1;
+            }
+        }
+    }
+
+    /// Consumes the matrix, handing its backing buffer to the caller
+    /// (used by the [`crate::scratch::Scratch`] arena to recycle storage).
+    pub fn into_raw(self) -> Vec<f32> {
+        self.data
     }
 
     /// Transposed copy.
@@ -321,6 +425,25 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_overwrites_dirty_output() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::full(2, 2, f32::NAN); // stale scratch contents
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+        let bt = b.transpose();
+        let mut out2 = Matrix::full(2, 2, f32::NAN);
+        a.matmul_transposed_into(&bt, &mut out2);
+        assert_eq!(out2.data(), out.data());
+    }
+
+    #[test]
+    fn into_raw_returns_backing_buffer() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.into_raw(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
     fn norms_and_finiteness() {
         let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
         assert_eq!(a.frobenius_norm(), 5.0);
@@ -338,6 +461,23 @@ mod prop_tests {
     fn mat(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(-10.0..10.0f32, r * c)
             .prop_map(move |v| Matrix::from_vec(r, c, v))
+    }
+
+    /// The textbook reference the production kernels must match bit for
+    /// bit: one scalar accumulator per output element, adds in ascending
+    /// `k` order, no blocking.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
     }
 
     proptest! {
@@ -368,6 +508,47 @@ mod prop_tests {
             let right = a.matmul(&b).scale(s);
             for (x, y) in left.data().iter().zip(right.data()) {
                 prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        /// `matmul_into` (the blocked i-k-j kernel) is bit-identical
+        /// (0 ulps) to an independent scalar triple loop — element by
+        /// element, one add per ascending `k`. The odd `k = 7` exercises
+        /// both the 4-step blocked body and the tail.
+        #[test]
+        fn matmul_into_bitwise_matches_naive(a in mat(5, 7), b in mat(7, 6)) {
+            let naive = naive_matmul(&a, &b);
+            let mut out = Matrix::zeros(5, 6);
+            a.matmul_into(&b, &mut out);
+            for (x, y) in naive.data().iter().zip(out.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// The blocked transposed-RHS kernel is bit-identical (0 ulps) to
+        /// the scalar triple loop, including the non-blocked tail columns.
+        #[test]
+        fn matmul_transposed_bitwise_matches_naive(a in mat(4, 9), b in mat(9, 7)) {
+            let naive = naive_matmul(&a, &b);
+            let bt = b.transpose();
+            let mut out = Matrix::zeros(4, 7);
+            a.matmul_transposed_into(&bt, &mut out);
+            for (x, y) in naive.data().iter().zip(out.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        /// Bit-equality must survive exact zeros in the LHS (ReLU outputs):
+        /// the reference accumulates them like any other value.
+        #[test]
+        fn kernels_bitwise_match_with_zeroed_lhs(a in mat(3, 8), b in mat(8, 5)) {
+            let a = a.map(|v| if v < 0.0 { 0.0 } else { v }); // relu-like sparsity
+            let naive = a.matmul(&b);
+            let bt = b.transpose();
+            let mut out = Matrix::zeros(3, 5);
+            a.matmul_transposed_into(&bt, &mut out);
+            for (x, y) in naive.data().iter().zip(out.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
 

@@ -1,0 +1,148 @@
+//! Reusable buffer arena for allocation-free inference.
+//!
+//! Steady-state map matching evaluates the learned probabilities millions of
+//! times; allocating a handful of `Matrix` temporaries per evaluation
+//! dominates small-model inference cost. [`Scratch`] keeps a pool of
+//! recycled `Vec<f32>` buffers: a scorer *takes* matrices of whatever shape
+//! the current batch needs and *gives* them back when done, so after a warm
+//! pass over representative shapes no further heap allocations occur.
+//!
+//! Buffers are handed out best-fit (smallest pooled buffer whose capacity
+//! suffices) so repeated identical take-sequences settle on a stable
+//! buffer↔request assignment and stop growing. The arena counts fresh
+//! allocations and tracks a high-water byte footprint, which the matching
+//! pipeline surfaces through `MatchStats` — a steady-state run must show the
+//! allocation counter standing still.
+
+use crate::matrix::Matrix;
+
+/// A pool of recycled `f32` buffers handed out as [`Matrix`] values.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+    fresh_allocs: u64,
+    high_water_bytes: u64,
+    held_bytes: u64,
+}
+
+impl Scratch {
+    /// An empty arena; buffers are created on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes a `rows × cols` matrix from the pool, zero-filled.
+    ///
+    /// Picks the smallest pooled buffer with sufficient capacity (best-fit);
+    /// when none fits, the buffer growth (or fresh allocation) is counted in
+    /// [`Scratch::fresh_allocs`].
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        let mut best: Option<usize> = None;
+        let mut largest: Option<usize> = None;
+        for (i, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= n {
+                if best.is_none_or(|b| cap < self.pool[b].capacity()) {
+                    best = Some(i);
+                }
+            } else if largest.is_none_or(|l| cap > self.pool[l].capacity()) {
+                largest = Some(i);
+            }
+        }
+        let mut buf = match best.or(largest) {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        if buf.capacity() < n {
+            self.fresh_allocs += 1;
+            self.held_bytes += ((n - buf.capacity()) * std::mem::size_of::<f32>()) as u64;
+            self.high_water_bytes = self.high_water_bytes.max(self.held_bytes);
+        }
+        buf.clear();
+        buf.resize(n, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn give(&mut self, m: Matrix) {
+        self.pool.push(m.into_raw());
+    }
+
+    /// Number of times `take` had to allocate or grow a buffer. Constant
+    /// once the arena is warm.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Largest total capacity (in bytes) the arena has ever held across its
+    /// buffers, pooled or handed out.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zero_fills_and_shapes() {
+        let mut s = Scratch::new();
+        let mut m = s.take(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        m.data_mut().fill(7.0);
+        s.give(m);
+        let m2 = s.take(2, 3);
+        assert!(m2.data().iter().all(|&v| v == 0.0), "recycled buffer must be zeroed");
+    }
+
+    #[test]
+    fn warm_arena_stops_allocating() {
+        let mut s = Scratch::new();
+        // Warm pass: two concurrent buffers of different sizes.
+        let a = s.take(1, 4);
+        let b = s.take(8, 8);
+        s.give(a);
+        s.give(b);
+        let after_warm = s.fresh_allocs();
+        assert_eq!(after_warm, 2);
+        // Identical sequence again: best-fit must reuse without growth.
+        for _ in 0..10 {
+            let a = s.take(1, 4);
+            let b = s.take(8, 8);
+            s.give(a);
+            s.give(b);
+        }
+        assert_eq!(s.fresh_allocs(), after_warm);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut s = Scratch::new();
+        let small = s.take(1, 2);
+        let big = s.take(1, 100);
+        s.give(big);
+        s.give(small);
+        // Requesting the small shape must not consume the big buffer.
+        let got = s.take(1, 2);
+        assert!(got.data().len() == 2);
+        let big_again = s.take(1, 100);
+        assert_eq!(s.fresh_allocs(), 2, "no growth when both sizes are pooled");
+        s.give(got);
+        s.give(big_again);
+    }
+
+    #[test]
+    fn high_water_tracks_growth() {
+        let mut s = Scratch::new();
+        let m = s.take(10, 10);
+        assert!(s.high_water_bytes() >= 400);
+        s.give(m);
+        let hw = s.high_water_bytes();
+        let m = s.take(1, 1);
+        s.give(m);
+        assert_eq!(s.high_water_bytes(), hw, "reuse must not raise the high-water mark");
+    }
+}

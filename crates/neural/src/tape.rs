@@ -9,6 +9,7 @@
 use crate::matrix::Matrix;
 use crate::sparse::SparseMatrix;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +25,10 @@ pub struct ParamStore {
     values: Vec<Matrix>,
     pub(crate) m: Vec<Matrix>,
     pub(crate) v: Vec<Matrix>,
+    // Lazily materialized transposes, consumed by the inference fast path
+    // (`Matrix::matmul_transposed_into` wants weight columns contiguous).
+    // Invalidated in O(1) whenever `value_mut` hands out mutable access.
+    transposed: Vec<OnceLock<Matrix>>,
 }
 
 impl ParamStore {
@@ -37,6 +42,7 @@ impl ParamStore {
         let id = ParamId(self.values.len());
         self.m.push(Matrix::zeros(init.rows(), init.cols()));
         self.v.push(Matrix::zeros(init.rows(), init.cols()));
+        self.transposed.push(OnceLock::new());
         self.values.push(init);
         id
     }
@@ -46,8 +52,14 @@ impl ParamStore {
         &self.values[id.0]
     }
 
-    /// Mutable value (used by the optimizer).
+    /// Transpose of a parameter's current value, cached after first use.
+    pub fn value_t(&self, id: ParamId) -> &Matrix {
+        self.transposed[id.0].get_or_init(|| self.values[id.0].transpose())
+    }
+
+    /// Mutable value (used by the optimizer). Drops the cached transpose.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.transposed[id.0] = OnceLock::new();
         &mut self.values[id.0]
     }
 
@@ -495,6 +507,19 @@ mod tests {
     fn seed_ones(tape: &Tape, v: Var) -> Matrix {
         let (r, c) = tape.value(v).shape();
         Matrix::full(r, c, 1.0)
+    }
+
+    #[test]
+    fn value_t_caches_and_invalidates() {
+        let mut store = ParamStore::new();
+        let id = store.alloc(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(store.value_t(id), &store.value(id).transpose());
+        // Mutation through value_mut must drop the cached transpose.
+        store.value_mut(id).data_mut()[0] = 42.0;
+        assert_eq!(store.value_t(id)[(0, 0)], 42.0);
+        // Cloned stores keep working (OnceLock clones by value).
+        let cloned = store.clone();
+        assert_eq!(cloned.value_t(id), store.value_t(id));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Vectorized-vs-scalar scoring equivalence, end to end.
+//!
+//! The vectorized inference fast path (batched kernels + scratch arenas in
+//! `lhmm_neural`, per-trajectory scorers in `lhmm_core`) claims *bit*
+//! equality with the scalar reference implementation — not tolerance-based
+//! closeness. These tests pin that claim at the highest level: the same
+//! trained model matched over a full test corpus with
+//! `config.scalar_scoring` toggled must produce identical matched routes
+//! and identical candidate sets for every trajectory. Unit-level bitwise
+//! checks live next to the kernels (`lhmm-neural`) and the scorers
+//! (`lhmm-core`); this suite is the integration backstop that would catch
+//! any divergence those miss (e.g. in the wiring of contexts, caches or
+//! scratch reuse across trajectories).
+
+use lhmm::prelude::*;
+use lhmm_core::viterbi::HmmEngine;
+
+fn match_corpus(model: &LhmmModel, ds: &Dataset) -> Vec<MatchResult> {
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    // One engine reused across the corpus: scratch arenas and shortest-path
+    // caches stay warm, which is exactly the state the fast path optimizes
+    // for (and the state that must not change answers).
+    let mut engine = HmmEngine::new(&ds.network, model.engine_config());
+    ds.test
+        .iter()
+        .map(|rec| model.match_with_engine(&ctx, &rec.cellular, &mut engine))
+        .collect()
+}
+
+fn assert_identical(fast: &[MatchResult], scalar: &[MatchResult]) {
+    assert_eq!(fast.len(), scalar.len());
+    for (i, (f, s)) in fast.iter().zip(scalar).enumerate() {
+        assert_eq!(
+            f.path.segments, s.path.segments,
+            "matched route diverged on trajectory {i}"
+        );
+        assert_eq!(
+            f.candidate_sets, s.candidate_sets,
+            "candidate sets diverged on trajectory {i}"
+        );
+    }
+}
+
+/// Full (non-ablated) LHMM: learned P_O and P_T both active, so every
+/// vectorized code path — context batching, candidate scoring, road
+/// relevance, fusion — is exercised on every trajectory.
+#[test]
+fn full_lhmm_matches_identically_in_both_modes() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(171));
+    let mut model = LhmmModel::train(&ds, LhmmConfig::fast_test(171));
+
+    model.config.scalar_scoring = false;
+    let fast = match_corpus(&model, &ds);
+    model.config.scalar_scoring = true;
+    let scalar = match_corpus(&model, &ds);
+
+    assert!(
+        fast.iter().any(|r| !r.path.is_empty()),
+        "corpus produced no non-empty matches; equivalence would be vacuous"
+    );
+    assert_identical(&fast, &scalar);
+}
+
+/// Partially ablated variants still route their remaining learned scorer
+/// through the fast path; the classic probabilities are untouched by the
+/// flag, so results must again be identical.
+#[test]
+fn ablated_variants_match_identically_in_both_modes() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(172));
+    for (obs, trans) in [(true, false), (false, true)] {
+        let mut cfg = LhmmConfig::fast_test(172);
+        cfg.use_learned_obs = obs;
+        cfg.use_learned_trans = trans;
+        let mut model = LhmmModel::train(&ds, cfg);
+
+        model.config.scalar_scoring = false;
+        let fast = match_corpus(&model, &ds);
+        model.config.scalar_scoring = true;
+        let scalar = match_corpus(&model, &ds);
+        assert_identical(&fast, &scalar);
+    }
+}
