@@ -27,6 +27,11 @@ fi
 
 run cargo clippy --workspace --all-targets -- -D warnings
 
+# Inference code must degrade through typed errors, never panic: deny
+# unwrap/expect on the lhmm-core library target (test code is exempt via
+# the crate's cfg_attr; training/test helpers assert with messages).
+run cargo clippy -p lhmm-core --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 # Unit + doc + integration tests, whole workspace.
 run cargo test --workspace -q
 
@@ -35,6 +40,11 @@ run cargo test --workspace -q
 # ways: worker scheduling may never leak into results.
 run env RUST_TEST_THREADS=1 cargo test -q --test batch_equivalence --test end_to_end --test matcher_contract
 run cargo test -q --test batch_equivalence --test end_to_end --test matcher_contract
+
+# Robustness gate: the adversarial fault-injection corpus and metamorphic
+# relations must hold in every matching mode (serial/parallel/streaming,
+# scalar/vectorized).
+run cargo test -q --test fault_injection --test metamorphic
 
 echo
 echo "ci: all checks passed"

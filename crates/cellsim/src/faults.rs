@@ -1,0 +1,464 @@
+//! Deterministic fault injection and adversarial-corpus generation.
+//!
+//! The matching pipeline's robustness claim (paper §IV-E, Algorithm 2) is
+//! that it degrades gracefully on "unqualified" inputs — extreme cellular
+//! noise, oscillating handovers, sparse or duplicated feeds. This module
+//! *produces* exactly that input class, reproducibly: every injector is
+//! driven by a seeded RNG, and a [`FaultPlan`] derives its stream from
+//! `(master seed, plan name, trajectory index)` alone, so a corpus is a
+//! pure function of its seed ([`AdversarialCorpus::fingerprint`] pins
+//! byte-level reproducibility in tests).
+//!
+//! The injectors mirror the failure modes real cellular feeds exhibit
+//! (CT-Mapper, Zero-Shot CTMM): observation loss, stuttering duplicates,
+//! out-of-order delivery, tower ping-pong, off-network teleports, degenerate
+//! 0/1/2-point trajectories and corrupted clocks.
+
+use crate::randkit::mix64;
+use crate::traj::{CellularPoint, CellularTrajectory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One seeded corruption of a cellular trajectory. Probabilities are
+/// per-observation and independent unless noted.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Drop each observation with probability `p` (coverage gaps; the
+    /// sparse feeds CT-Mapper stresses).
+    Drop { p: f64 },
+    /// Emit each observation twice with probability `p` — same tower,
+    /// position *and* timestamp (a stuttering upstream collector).
+    Duplicate { p: f64 },
+    /// Swap each adjacent observation pair with probability `p`
+    /// (out-of-order delivery; breaks timestamp monotonicity).
+    SwapAdjacent { p: f64 },
+    /// Tower ping-pong: with probability `p`, an interior observation is
+    /// replaced by its predecessor's tower/position (handover oscillation
+    /// between two serving cells, `A B A B …`).
+    PingPong { p: f64 },
+    /// Teleport an observation `distance` meters in a seeded direction
+    /// with probability `p` (multipath ghost cells / off-network points).
+    /// Clears any smoothed position: the corrupted feed is pre-filter.
+    Teleport { p: f64, distance: f64 },
+    /// Keep only the first `keep` observations (0, 1 and 2 are the
+    /// degenerate trajectories every engine entry point must survive).
+    Truncate { keep: usize },
+    /// With probability `p`, copy the predecessor's timestamp onto an
+    /// observation (frozen clock: `dt = 0`).
+    EqualTimestamps { p: f64 },
+    /// With probability `p`, swap an observation's timestamp with its
+    /// predecessor's (non-monotone time: `dt < 0`).
+    NonMonotoneTimestamps { p: f64 },
+    /// With probability `p`, push a timestamp `offset_s` seconds into the
+    /// future (clock jumps / 32-bit epoch bugs upstream).
+    FarFutureTimestamps { p: f64, offset_s: f64 },
+}
+
+/// Applies one fault to a trajectory, drawing randomness from `rng`.
+pub fn inject(traj: &CellularTrajectory, fault: &Fault, rng: &mut StdRng) -> CellularTrajectory {
+    let pts = &traj.points;
+    let points: Vec<CellularPoint> = match *fault {
+        Fault::Drop { p } => pts.iter().copied().filter(|_| !hit(rng, p)).collect(),
+        Fault::Duplicate { p } => {
+            let mut out = Vec::with_capacity(pts.len() * 2);
+            for pt in pts {
+                out.push(*pt);
+                if hit(rng, p) {
+                    out.push(*pt);
+                }
+            }
+            out
+        }
+        Fault::SwapAdjacent { p } => {
+            let mut out = pts.clone();
+            let mut i = 0;
+            while i + 1 < out.len() {
+                if hit(rng, p) {
+                    out.swap(i, i + 1);
+                    i += 2; // a swapped pair is not re-swapped
+                } else {
+                    i += 1;
+                }
+            }
+            out
+        }
+        Fault::PingPong { p } => {
+            let mut out = pts.clone();
+            for i in 1..out.len() {
+                if hit(rng, p) {
+                    let prev = pts[i - 1];
+                    out[i].tower = prev.tower;
+                    out[i].pos = prev.pos;
+                    out[i].smoothed = prev.smoothed;
+                }
+            }
+            out
+        }
+        Fault::Teleport { p, distance } => {
+            let mut out = pts.clone();
+            for pt in &mut out {
+                if hit(rng, p) {
+                    let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+                    pt.pos = lhmm_geo::Point::new(
+                        pt.pos.x + distance * theta.cos(),
+                        pt.pos.y + distance * theta.sin(),
+                    );
+                    pt.smoothed = None;
+                }
+            }
+            out
+        }
+        Fault::Truncate { keep } => pts.iter().take(keep).copied().collect(),
+        Fault::EqualTimestamps { p } => {
+            let mut out = pts.clone();
+            for i in 1..out.len() {
+                if hit(rng, p) {
+                    out[i].t = out[i - 1].t;
+                }
+            }
+            out
+        }
+        Fault::NonMonotoneTimestamps { p } => {
+            let mut out = pts.clone();
+            for i in 1..out.len() {
+                if hit(rng, p) {
+                    let t = out[i].t;
+                    out[i].t = out[i - 1].t;
+                    out[i - 1].t = t;
+                }
+            }
+            out
+        }
+        Fault::FarFutureTimestamps { p, offset_s } => {
+            let mut out = pts.clone();
+            for pt in &mut out {
+                if hit(rng, p) {
+                    pt.t += offset_s;
+                }
+            }
+            out
+        }
+    };
+    CellularTrajectory { points }
+}
+
+fn hit(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// A named, composable corruption recipe: faults applied in order, each
+/// drawing from one RNG stream derived from `(seed, plan name, case key)`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Stable display name; also salts the plan's RNG stream.
+    pub name: String,
+    /// Faults applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a name and fault sequence.
+    pub fn new(name: &str, faults: Vec<Fault>) -> Self {
+        FaultPlan {
+            name: name.to_string(),
+            faults,
+        }
+    }
+
+    /// Applies the plan to one trajectory. `seed` and `case` (typically the
+    /// trajectory's corpus index) fully determine the output.
+    pub fn apply(&self, traj: &CellularTrajectory, seed: u64, case: u64) -> CellularTrajectory {
+        let stream = mix64(seed, mix64(fnv1a(self.name.as_bytes()), case));
+        let mut rng = StdRng::seed_from_u64(stream);
+        let mut out = traj.clone();
+        for fault in &self.faults {
+            out = inject(&out, fault, &mut rng);
+        }
+        out
+    }
+}
+
+/// FNV-1a over a byte string (deterministic across platforms; used to salt
+/// per-plan RNG streams and to fingerprint corpora).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The standard adversarial battery: one clean control plus every failure
+/// mode the injectors model, alone and composed. The degenerate-length
+/// plans (`empty`, `single-point`, `two-points`) are deterministic; the
+/// rest are seeded.
+pub fn standard_plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::new("clean", vec![]),
+        FaultPlan::new("drop-half", vec![Fault::Drop { p: 0.5 }]),
+        FaultPlan::new("stutter", vec![Fault::Duplicate { p: 0.5 }]),
+        FaultPlan::new("out-of-order", vec![Fault::SwapAdjacent { p: 0.5 }]),
+        FaultPlan::new("ping-pong", vec![Fault::PingPong { p: 0.6 }]),
+        FaultPlan::new(
+            "teleport-5km",
+            vec![Fault::Teleport {
+                p: 0.3,
+                distance: 5_000.0,
+            }],
+        ),
+        FaultPlan::new(
+            "teleport-off-map",
+            vec![Fault::Teleport {
+                p: 1.0,
+                distance: 5_000_000.0,
+            }],
+        ),
+        FaultPlan::new("empty", vec![Fault::Truncate { keep: 0 }]),
+        FaultPlan::new("single-point", vec![Fault::Truncate { keep: 1 }]),
+        FaultPlan::new("two-points", vec![Fault::Truncate { keep: 2 }]),
+        FaultPlan::new("frozen-clock", vec![Fault::EqualTimestamps { p: 1.0 }]),
+        FaultPlan::new(
+            "time-warp",
+            vec![Fault::NonMonotoneTimestamps { p: 0.5 }],
+        ),
+        FaultPlan::new(
+            "far-future",
+            vec![Fault::FarFutureTimestamps {
+                p: 0.3,
+                offset_s: 1.0e9,
+            }],
+        ),
+        FaultPlan::new(
+            "chaos",
+            vec![
+                Fault::Drop { p: 0.3 },
+                Fault::Duplicate { p: 0.3 },
+                Fault::SwapAdjacent { p: 0.3 },
+                Fault::PingPong { p: 0.4 },
+                Fault::Teleport {
+                    p: 0.2,
+                    distance: 8_000.0,
+                },
+                Fault::NonMonotoneTimestamps { p: 0.2 },
+            ],
+        ),
+    ]
+}
+
+/// One corrupted trajectory with its provenance.
+#[derive(Clone, Debug)]
+pub struct CorpusCase {
+    /// Name of the plan that produced this case.
+    pub plan: String,
+    /// Index of the base trajectory in the generation input.
+    pub base: usize,
+    /// The corrupted trajectory.
+    pub traj: CellularTrajectory,
+}
+
+/// A reproducible adversarial corpus: every [`standard_plans`] plan applied
+/// to every base trajectory, fully determined by `seed`.
+#[derive(Clone, Debug)]
+pub struct AdversarialCorpus {
+    /// The master seed the corpus was generated from.
+    pub seed: u64,
+    /// All corrupted cases, plan-major then base-trajectory order.
+    pub cases: Vec<CorpusCase>,
+}
+
+impl AdversarialCorpus {
+    /// Generates the corpus: `standard_plans() × base`, seeded by `seed`.
+    pub fn generate(base: &[CellularTrajectory], seed: u64) -> Self {
+        Self::generate_with(base, &standard_plans(), seed)
+    }
+
+    /// Generates a corpus from an explicit plan battery.
+    pub fn generate_with(
+        base: &[CellularTrajectory],
+        plans: &[FaultPlan],
+        seed: u64,
+    ) -> Self {
+        let mut cases = Vec::with_capacity(plans.len() * base.len());
+        for plan in plans {
+            for (bi, traj) in base.iter().enumerate() {
+                cases.push(CorpusCase {
+                    plan: plan.name.clone(),
+                    base: bi,
+                    traj: plan.apply(traj, seed, bi as u64),
+                });
+            }
+        }
+        AdversarialCorpus { seed, cases }
+    }
+
+    /// Byte-level fingerprint of the whole corpus: FNV-1a over every case's
+    /// plan name and every point's exact bit pattern (tower id, position,
+    /// timestamp, smoothed position). Two corpora from the same seed and
+    /// base set hash identically on every platform.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes: Vec<u8> = Vec::new();
+        for case in &self.cases {
+            bytes.extend_from_slice(case.plan.as_bytes());
+            bytes.extend_from_slice(&(case.base as u64).to_le_bytes());
+            for p in &case.traj.points {
+                bytes.extend_from_slice(&p.tower.0.to_le_bytes());
+                bytes.extend_from_slice(&p.pos.x.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&p.pos.y.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&p.t.to_bits().to_le_bytes());
+                match p.smoothed {
+                    Some(s) => {
+                        bytes.push(1);
+                        bytes.extend_from_slice(&s.x.to_bits().to_le_bytes());
+                        bytes.extend_from_slice(&s.y.to_bits().to_le_bytes());
+                    }
+                    None => bytes.push(0),
+                }
+            }
+        }
+        fnv1a(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tower::TowerId;
+    use lhmm_geo::Point;
+
+    fn base_traj(n: usize) -> CellularTrajectory {
+        CellularTrajectory {
+            points: (0..n)
+                .map(|i| CellularPoint {
+                    tower: TowerId((i % 5) as u32),
+                    pos: Point::new(i as f64 * 300.0, (i as f64 * 37.0).sin() * 200.0),
+                    t: i as f64 * 30.0,
+                    smoothed: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn corpus_is_reproducible_and_seed_sensitive() {
+        let base = vec![base_traj(12), base_traj(7)];
+        let a = AdversarialCorpus::generate(&base, 42);
+        let b = AdversarialCorpus::generate(&base, 42);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = AdversarialCorpus::generate(&base, 43);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn battery_covers_degenerate_lengths() {
+        let base = vec![base_traj(10)];
+        let corpus = AdversarialCorpus::generate(&base, 7);
+        let len_of = |plan: &str| {
+            corpus
+                .cases
+                .iter()
+                .find(|c| c.plan == plan)
+                .map(|c| c.traj.len())
+        };
+        assert_eq!(len_of("empty"), Some(0));
+        assert_eq!(len_of("single-point"), Some(1));
+        assert_eq!(len_of("two-points"), Some(2));
+        assert_eq!(len_of("clean"), Some(10));
+    }
+
+    #[test]
+    fn drop_never_grows_and_duplicate_never_shrinks() {
+        let t = base_traj(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dropped = inject(&t, &Fault::Drop { p: 0.5 }, &mut rng);
+        assert!(dropped.len() <= t.len());
+        let duped = inject(&t, &Fault::Duplicate { p: 0.5 }, &mut rng);
+        assert!(duped.len() >= t.len());
+        assert!(duped.len() <= 2 * t.len());
+    }
+
+    #[test]
+    fn swap_preserves_multiset_of_timestamps() {
+        let t = base_traj(15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let swapped = inject(&t, &Fault::SwapAdjacent { p: 0.8 }, &mut rng);
+        let mut a: Vec<u64> = t.points.iter().map(|p| p.t.to_bits()).collect();
+        let mut b: Vec<u64> = swapped.points.iter().map(|p| p.t.to_bits()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // With p = 0.8 over 14 pairs, at least one swap must have landed.
+        assert!(t
+            .points
+            .iter()
+            .zip(&swapped.points)
+            .any(|(x, y)| x.t != y.t));
+    }
+
+    #[test]
+    fn teleport_moves_points_by_the_requested_distance() {
+        let t = base_traj(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tp = inject(
+            &t,
+            &Fault::Teleport {
+                p: 1.0,
+                distance: 5_000.0,
+            },
+            &mut rng,
+        );
+        for (orig, moved) in t.points.iter().zip(&tp.points) {
+            assert!((orig.pos.distance(moved.pos) - 5_000.0).abs() < 1e-6);
+            assert!(moved.smoothed.is_none());
+        }
+    }
+
+    #[test]
+    fn timestamp_faults_corrupt_monotonicity() {
+        let t = base_traj(10);
+        let mut rng = StdRng::seed_from_u64(9);
+        let frozen = inject(&t, &Fault::EqualTimestamps { p: 1.0 }, &mut rng);
+        assert!(frozen.points.windows(2).all(|w| w[1].t == w[0].t));
+        let warped = inject(&t, &Fault::NonMonotoneTimestamps { p: 1.0 }, &mut rng);
+        assert!(warped.points.windows(2).any(|w| w[1].t < w[0].t));
+        let future = inject(
+            &t,
+            &Fault::FarFutureTimestamps {
+                p: 1.0,
+                offset_s: 1e9,
+            },
+            &mut rng,
+        );
+        assert!(future.points.iter().all(|p| p.t >= 1e9));
+    }
+
+    #[test]
+    fn ping_pong_repeats_predecessor_towers() {
+        let t = base_traj(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let pp = inject(&t, &Fault::PingPong { p: 1.0 }, &mut rng);
+        // With p = 1 every interior point copies its (original) predecessor.
+        for i in 1..pp.len() {
+            assert_eq!(pp.points[i].tower, t.points[i - 1].tower);
+            assert_eq!(pp.points[i].pos, t.points[i - 1].pos);
+            // Timestamps are untouched by ping-pong.
+            assert_eq!(pp.points[i].t, t.points[i].t);
+        }
+    }
+
+    #[test]
+    fn plans_are_independent_streams() {
+        // Two plans with identical faults but different names must draw
+        // different randomness (the name salts the stream).
+        let t = base_traj(30);
+        let a = FaultPlan::new("a", vec![Fault::Drop { p: 0.5 }]);
+        let b = FaultPlan::new("b", vec![Fault::Drop { p: 0.5 }]);
+        let ta = a.apply(&t, 1, 0);
+        let tb = b.apply(&t, 1, 0);
+        let bits =
+            |tr: &CellularTrajectory| tr.points.iter().map(|p| p.t.to_bits()).collect::<Vec<_>>();
+        assert_ne!(bits(&ta), bits(&tb));
+        // And the same plan replays identically.
+        assert_eq!(bits(&ta), bits(&a.apply(&t, 1, 0)));
+    }
+}

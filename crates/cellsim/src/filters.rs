@@ -317,6 +317,40 @@ mod prop_tests {
             }
         }
 
+        /// Filter masks are always exactly one flag per input point.
+        #[test]
+        fn filter_masks_match_input_length((traj, _) in arb_traj(24)) {
+            let cfg = FilterConfig::default();
+            prop_assert_eq!(speed_filter(&traj.points, &cfg).len(), traj.len());
+            prop_assert_eq!(direction_filter(&traj.points, &cfg).len(), traj.len());
+        }
+
+        /// On a trajectory whose positions are all identical, the α-trimmed
+        /// mean is a no-op: every smoothed position equals the raw position.
+        #[test]
+        fn alpha_trimmed_mean_is_noop_on_constant_positions(
+            x in -1e4..1e4f64,
+            y in -1e4..1e4f64,
+            n in 1usize..16,
+            alpha in 0.0..0.45f64,
+            window in 0usize..5,
+        ) {
+            let cfg = FilterConfig { alpha, window, ..FilterConfig::default() };
+            let mut points: Vec<CellularPoint> = (0..n)
+                .map(|i| CellularPoint {
+                    tower: TowerId(0),
+                    pos: Point::new(x, y),
+                    t: i as f64 * 30.0,
+                    smoothed: None,
+                })
+                .collect();
+            alpha_trimmed_mean(&mut points, &cfg);
+            for p in &points {
+                let s = p.smoothed.expect("filled");
+                prop_assert!((s.x - x).abs() < 1e-9 && (s.y - y).abs() < 1e-9);
+            }
+        }
+
         /// The trimmed mean always lies within the window's bounding box.
         #[test]
         fn trimmed_mean_is_within_bounds(

@@ -16,6 +16,8 @@
 //! * cellular and GPS sampling of those drives ([`sampling`], [`attach`]),
 //! * the SnapNet pre-filters the paper applies before matching
 //!   ([`filters`]),
+//! * seeded fault injectors and the reproducible adversarial corpus used
+//!   to harden the matching pipeline ([`faults`]),
 //! * assembled datasets with train/val/test splits and Table-I statistics
 //!   ([`dataset`], [`stats`]).
 //!
@@ -30,6 +32,7 @@
 
 pub mod attach;
 pub mod dataset;
+pub mod faults;
 pub mod filters;
 pub mod io;
 pub mod placement;

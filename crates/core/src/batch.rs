@@ -40,6 +40,7 @@
 //! warm-up only affect speed. `tests/batch_equivalence.rs` verifies this
 //! end to end for 1, 2 and 4 workers.
 
+use crate::error::{Degradation, MatchError};
 use crate::lhmm::LhmmModel;
 use crate::types::{MatchContext, MatchResult, MatchStats};
 use crate::viterbi::HmmEngine;
@@ -99,6 +100,9 @@ impl BatchConfig {
 pub struct WorkerStats {
     /// Trajectories this worker matched.
     pub matched: usize,
+    /// Trajectories whose result was degraded (any [`Degradation`] event,
+    /// including typed failures mapped to empty results).
+    pub degraded: usize,
     /// Aggregated per-trajectory engine telemetry.
     pub stats: MatchStats,
 }
@@ -145,11 +149,34 @@ impl<'a> BatchMatcher<'a> {
     /// Matches every trajectory in `trajs`. `results[i]` corresponds to
     /// `trajs[i]`; content is identical to matching serially (see module
     /// docs for the determinism argument).
+    ///
+    /// Infallible wrapper around [`BatchMatcher::try_match_batch`]:
+    /// unmatchable trajectories yield [`MatchResult::empty`], with the
+    /// failure visible in the worker stats (`degraded` counter and
+    /// `degradation.failed_matches`).
     pub fn match_batch(
         &self,
         ctx: &MatchContext<'_>,
         trajs: &[CellularTrajectory],
     ) -> (Vec<MatchResult>, BatchStats) {
+        let (results, stats) = self.try_match_batch(ctx, trajs);
+        let results = results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|_| MatchResult::empty()))
+            .collect();
+        (results, stats)
+    }
+
+    /// [`BatchMatcher::match_batch`] with per-trajectory error reporting:
+    /// `results[i]` is `Err` when trajectory `i` was unmatchable (empty, or
+    /// entirely outside network coverage), with the same determinism
+    /// guarantees — a trajectory's verdict does not depend on worker count
+    /// or scheduling.
+    pub fn try_match_batch(
+        &self,
+        ctx: &MatchContext<'_>,
+        trajs: &[CellularTrajectory],
+    ) -> (Vec<Result<MatchResult, MatchError>>, BatchStats) {
         let mut stats = BatchStats::default();
         if trajs.is_empty() {
             return (Vec::new(), stats);
@@ -166,7 +193,7 @@ impl<'a> BatchMatcher<'a> {
         let engine_cfg = self.model.engine_config();
         let cache_capacity = self.config.cache_capacity;
 
-        let mut worker_outputs: Vec<(Vec<(usize, MatchResult)>, WorkerStats)> =
+        let mut worker_outputs: Vec<WorkerOutput> =
             thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -185,10 +212,26 @@ impl<'a> BatchMatcher<'a> {
                                 if i >= trajs.len() {
                                     break;
                                 }
-                                let (result, mstats) =
-                                    model.match_with_engine_stats(ctx, &trajs[i], &mut engine);
+                                let result = model
+                                    .try_match_with_engine_stats(ctx, &trajs[i], &mut engine);
                                 wstats.matched += 1;
-                                wstats.stats.merge(&mstats);
+                                let result = match result {
+                                    Ok((r, mstats)) => {
+                                        if mstats.degraded() {
+                                            wstats.degraded += 1;
+                                        }
+                                        wstats.stats.merge(&mstats);
+                                        Ok(r)
+                                    }
+                                    Err(e) => {
+                                        wstats.degraded += 1;
+                                        wstats.stats.degradation.merge(&Degradation {
+                                            failed_matches: 1,
+                                            ..Degradation::default()
+                                        });
+                                        Err(e)
+                                    }
+                                };
                                 out.push((i, result));
                             }
                             (out, wstats)
@@ -197,12 +240,16 @@ impl<'a> BatchMatcher<'a> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("batch worker panicked"))
+                    // Re-raise a worker panic on the caller thread with the
+                    // original payload (a panicking test/assert inside a
+                    // worker must not be swallowed or rewrapped).
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                     .collect()
             });
 
         // Deterministic scatter: every result lands at its input index.
-        let mut results: Vec<Option<MatchResult>> = (0..trajs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<Result<MatchResult, MatchError>>> =
+            (0..trajs.len()).map(|_| None).collect();
         for (out, wstats) in worker_outputs.drain(..) {
             stats.per_worker.push(wstats);
             for (i, r) in out {
@@ -212,7 +259,13 @@ impl<'a> BatchMatcher<'a> {
         }
         let results = results
             .into_iter()
-            .map(|r| r.expect("every index claimed exactly once"))
+            .enumerate()
+            .map(|(i, r)| match r {
+                Some(r) => r,
+                // The work-stealing counter hands out every index in
+                // 0..len exactly once, so an unclaimed slot is impossible.
+                None => unreachable!("index {i} never claimed"),
+            })
             .collect();
         (results, stats)
     }
@@ -243,7 +296,12 @@ impl<'a> BatchMatcher<'a> {
             let mut scorer = self
                 .model
                 .obs_scorer_with(&towers, lhmm_neural::Scratch::new());
-            let (_, layers) = self.model.prepare_candidates(ctx, traj, &mut scorer);
+            // Warmup only mines pair statistics; its degradation events are
+            // not part of any match result.
+            let mut warm_deg = Degradation::default();
+            let (_, layers) = self
+                .model
+                .prepare_candidates(ctx, traj, &mut scorer, &mut warm_deg);
             for pair in layers.windows(2) {
                 for prev in &pair[0] {
                     let from = ctx.net.segment(prev.seg).to;
@@ -268,6 +326,12 @@ impl<'a> BatchMatcher<'a> {
 /// Warmup search bound: far above any bound matching ever queries with, so
 /// warm entries answer conclusively for every later bound.
 const WARM_BOUND: f64 = 1e12;
+
+/// One worker's output: `(input index, verdict)` pairs plus telemetry.
+type WorkerOutput = (
+    Vec<(usize, Result<MatchResult, MatchError>)>,
+    WorkerStats,
+);
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,7 @@
 
 use crate::candidates::nearest_segments;
 use crate::classic::{ClassicObservation, ClassicTransition};
+use crate::error::{Degradation, MatchError};
 use crate::observation::{ObsConfig, ObsTrajScorer, ObservationLearner};
 use crate::transition::{TrajTransScorer, TransConfig, TransitionLearner};
 use crate::types::{
@@ -281,11 +282,15 @@ impl LhmmModel {
     /// segments by (learned or classic) observation probability.
     /// Returns `(kept point indices, layers)`. `obs_scorer` must have been
     /// built from the same trajectory's towers (point indices align).
+    ///
+    /// Points with no segment inside the candidate radius are *dropped*
+    /// (graceful degradation), counted into `deg.dropped_points`.
     pub(crate) fn prepare_candidates(
         &self,
         ctx: &MatchContext<'_>,
         traj: &CellularTrajectory,
         obs_scorer: &mut Option<ObsTrajScorer<'_>>,
+        deg: &mut Degradation,
     ) -> (Vec<usize>, Vec<Vec<Candidate>>) {
         let mut kept = Vec::new();
         let mut layers = Vec::new();
@@ -300,6 +305,7 @@ impl LhmmModel {
                 self.config.candidate_radius,
             );
             if pairs.is_empty() {
+                deg.dropped_points += 1;
                 continue;
             }
             let layer = match obs_scorer.as_mut() {
@@ -342,7 +348,7 @@ impl LhmmModel {
                             obs: s as f64,
                         })
                         .collect();
-                    scored.sort_by(|a, b| b.obs.partial_cmp(&a.obs).expect("finite"));
+                    scored.sort_by(|a, b| b.obs.total_cmp(&a.obs));
                     scored.truncate(self.config.k);
                     scored
                 }
@@ -361,6 +367,7 @@ impl LhmmModel {
                 }
             };
             if layer.is_empty() {
+                deg.dropped_points += 1;
                 continue;
             }
             kept.push(i);
@@ -477,15 +484,44 @@ impl LhmmModel {
 
     /// [`LhmmModel::match_with_engine`] plus per-trajectory engine
     /// telemetry (Viterbi timing, cache layer counters, shortcut activity).
+    ///
+    /// Infallible wrapper around [`LhmmModel::try_match_with_engine_stats`]:
+    /// a typed [`MatchError`] degrades to an empty [`MatchResult`] with
+    /// `degradation.failed_matches = 1`, so pipelines that loop over
+    /// trajectories keep going and the failure stays visible in the stats.
     pub fn match_with_engine_stats(
         &self,
         ctx: &MatchContext<'_>,
         traj: &CellularTrajectory,
         engine: &mut HmmEngine,
     ) -> (MatchResult, MatchStats) {
+        match self.try_match_with_engine_stats(ctx, traj, engine) {
+            Ok(pair) => pair,
+            Err(_) => {
+                let mut stats = MatchStats::default();
+                stats.degradation.failed_matches = 1;
+                (MatchResult::empty(), stats)
+            }
+        }
+    }
+
+    /// Matches one trajectory, reporting unmatchable inputs as typed
+    /// errors.
+    ///
+    /// Degradation policy (see [`crate::error`]): points without nearby
+    /// segments are dropped and counted; an entirely uncovered trajectory is
+    /// [`MatchError::NoCandidates`]; an empty trajectory is
+    /// [`MatchError::EmptyTrajectory`]. Everything else returns `Ok` with
+    /// `stats.degradation` describing any best-effort repairs.
+    pub fn try_match_with_engine_stats(
+        &self,
+        ctx: &MatchContext<'_>,
+        traj: &CellularTrajectory,
+        engine: &mut HmmEngine,
+    ) -> Result<(MatchResult, MatchStats), MatchError> {
         let mut stats = MatchStats::default();
         if traj.is_empty() {
-            return (MatchResult::empty(), stats);
+            return Err(MatchError::EmptyTrajectory);
         }
         let towers = traj.towers();
 
@@ -493,7 +529,8 @@ impl LhmmModel {
         let obs_allocs0 = obs_scratch.fresh_allocs();
         let cand_start = Instant::now();
         let mut obs_scorer = self.obs_scorer_with(&towers, obs_scratch);
-        let (kept, layers) = self.prepare_candidates(ctx, traj, &mut obs_scorer);
+        let (kept, layers) =
+            self.prepare_candidates(ctx, traj, &mut obs_scorer, &mut stats.degradation);
         stats.candidate_time_s = cand_start.elapsed().as_secs_f64();
 
         // Hand a finished observation scorer's arena/stats back regardless
@@ -513,7 +550,7 @@ impl LhmmModel {
 
         if kept.is_empty() {
             retire_obs(obs_scorer, engine, &mut stats);
-            return (MatchResult::empty(), stats);
+            return Err(MatchError::NoCandidates);
         }
 
         // Candidate sets aligned to the original trajectory (for HR).
@@ -531,18 +568,25 @@ impl LhmmModel {
 
         let trans_scratch = engine.take_trans_scratch();
         let trans_allocs0 = trans_scratch.fresh_allocs();
-        let mut trans_scratch = Some(trans_scratch);
-        let mut model = LhmmTrajModel {
-            obs_scorer,
-            trans_scorer: self.trans_learner.as_ref().map(|l| {
-                TrajTransScorer::with_scratch(
+        // The scratch arena moves into the scorer when the transition
+        // learner exists, and stays here otherwise (to hand back at the
+        // end); the match statement makes the either-or explicit.
+        let (trans_scorer, mut trans_scratch) = match self.trans_learner.as_ref() {
+            Some(l) => (
+                Some(TrajTransScorer::with_scratch(
                     l,
                     &self.embeddings,
                     &towers,
-                    trans_scratch.take().expect("taken once"),
+                    trans_scratch,
                     self.config.scalar_scoring,
-                )
-            }),
+                )),
+                None,
+            ),
+            None => (None, Some(trans_scratch)),
+        };
+        let mut model = LhmmTrajModel {
+            obs_scorer,
+            trans_scorer,
             graph: &self.graph,
             classic_obs: self.classic_obs,
             classic_trans: self.classic_trans,
@@ -557,23 +601,29 @@ impl LhmmModel {
         let cache_before = engine.cache_stats_detailed();
         engine.take_sp_time(); // discard any stale accumulation
         let viterbi_start = Instant::now();
-        let out = engine.find_path(ctx.net, &pts, layers, &mut model);
+        let out = engine.try_find_path(ctx.net, &pts, layers, &mut model);
         stats.viterbi_time_s = viterbi_start.elapsed().as_secs_f64();
         stats.sp_time_s = engine.take_sp_time();
         let cache_after = engine.cache_stats_detailed();
         stats.cache_hits = cache_after.hits - cache_before.hits;
         stats.cache_warm_hits = cache_after.warm_hits - cache_before.warm_hits;
         stats.cache_misses = cache_after.misses - cache_before.misses;
-        stats.shortcut_activations = out.added_candidates.len() as u64;
-        stats.shortcut_points = out.shortcut_points as u64;
+        stats.degradation.merge(&engine.take_degradation());
 
-        // Shortcut-created candidates enlarge the effective candidate road
-        // sets (they are real match hypotheses for the skipped points).
-        for (layer_idx, cand) in &out.added_candidates {
-            let orig = model.orig_idx[*layer_idx];
-            candidate_sets[orig].push(cand.seg);
+        if let Ok(out) = &out {
+            stats.shortcut_activations = out.added_candidates.len() as u64;
+            stats.shortcut_points = out.shortcut_points as u64;
+            // Shortcut-created candidates enlarge the effective candidate
+            // road sets (they are real match hypotheses for the skipped
+            // points).
+            for (layer_idx, cand) in &out.added_candidates {
+                let orig = model.orig_idx[*layer_idx];
+                candidate_sets[orig].push(cand.seg);
+            }
         }
 
+        // Scorers retire (and scratch arenas return to the engine) whether
+        // the engine succeeded or not.
         retire_obs(model.obs_scorer.take(), engine, &mut stats);
         if let Some(s) = model.trans_scorer.take() {
             let (scratch, st) = s.finish();
@@ -587,11 +637,12 @@ impl LhmmModel {
             engine.put_trans_scratch(scratch);
         }
 
+        let out = out?;
         let result = MatchResult {
             path: out.path,
             candidate_sets: Some(candidate_sets),
         };
-        (result, stats)
+        Ok((result, stats))
     }
 }
 

@@ -4,6 +4,8 @@
 //!
 //! * [`types`] — candidates, match results, the [`types::MapMatcher`] trait
 //!   and the [`types::HmmProbabilities`] model interface,
+//! * [`error`] — the [`error::MatchError`] taxonomy and
+//!   [`error::Degradation`] accounting behind the `try_*` inference APIs,
 //! * [`classic`] — the heuristic Gaussian/exponential probabilities of
 //!   Eq. 2–3 (used by baselines and by the LHMM-O/LHMM-T ablations),
 //! * [`candidates`] — candidate preparation (distance top-k and learned
@@ -31,10 +33,17 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Inference code must degrade through typed `MatchError`s / `Degradation`
+// counters, never panic: `unwrap`/`expect` are denied crate-wide outside
+// test builds (ci.sh additionally lints the lib target explicitly).
+// Training/test code that genuinely wants to assert uses `assert!`/`panic!`
+// with a message, which remain available.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batch;
 pub mod candidates;
 pub mod classic;
+pub mod error;
 pub mod lhmm;
 pub mod observation;
 pub mod streaming;
@@ -44,5 +53,6 @@ pub mod viterbi;
 
 
 pub use batch::{BatchConfig, BatchMatcher, BatchStats, WorkerStats};
+pub use error::{Degradation, MatchError};
 pub use lhmm::{Lhmm, LhmmConfig, LhmmModel};
 pub use types::{Candidate, MapMatcher, MatchContext, MatchResult, MatchStats};

@@ -622,12 +622,14 @@ fn build_point_samples(net: &RoadNetwork, records: &[TrajectoryRecord]) -> Vec<P
         let mut pos_sets: Vec<Vec<SegmentId>> = vec![Vec::new(); points.len()];
         for &seg in &rec.truth.segments {
             let mid = net.segment_midpoint(seg);
-            let (best, _) = points
+            // `points` is non-empty (checked above), so a minimum always
+            // exists; `total_cmp` keeps the choice deterministic.
+            let best = points
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (i, p.pos.distance(mid)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .expect("non-empty points");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(i, _)| i);
             pos_sets[best].push(seg);
         }
         for (pi, set) in pos_sets.into_iter().enumerate() {

@@ -8,6 +8,7 @@
 //! Shortcuts are not available online (they need the successor layer), which
 //! is also why the offline matcher remains the accuracy reference.
 
+use crate::error::{sanitize_prob, Degradation, MatchError};
 use crate::types::{Candidate, HmmProbabilities, RouteInfo};
 use lhmm_geo::Point;
 use lhmm_network::graph::RoadNetwork;
@@ -33,6 +34,7 @@ pub struct StreamingEngine<'a> {
     committed_upto: usize,
     committed_path: Path,
     last_committed: Option<Candidate>,
+    degradation: Degradation,
 }
 
 impl<'a> StreamingEngine<'a> {
@@ -52,6 +54,7 @@ impl<'a> StreamingEngine<'a> {
             committed_upto: 0,
             committed_path: Path::empty(),
             last_committed: None,
+            degradation: Degradation::default(),
         }
     }
 
@@ -70,19 +73,36 @@ impl<'a> StreamingEngine<'a> {
         &self.committed_path
     }
 
+    /// Degradation events accumulated so far (clamped scores, glued path
+    /// gaps). The counters keep accumulating across pushes; a snapshot, not
+    /// a drain — streaming sessions are long-lived.
+    pub fn degradation(&self) -> Degradation {
+        self.degradation
+    }
+
     /// Feeds one observation with its scored candidate layer. Returns the
     /// number of newly committed observations.
+    ///
+    /// An empty candidate layer is rejected with
+    /// [`MatchError::EmptyLayer`] and leaves the session state untouched:
+    /// callers skip the unmatched observation and keep streaming (the same
+    /// degradation the offline candidate preparation applies by dropping
+    /// such points).
     pub fn push<M: HmmProbabilities>(
         &mut self,
         pos: Point,
         t: f64,
         candidates: Vec<Candidate>,
         model: &mut M,
-    ) -> usize {
-        assert!(!candidates.is_empty(), "empty candidate layer");
+    ) -> Result<usize, MatchError> {
         let i = self.layers.len();
+        if candidates.is_empty() {
+            return Err(MatchError::EmptyLayer { layer: i });
+        }
         if i == 0 {
-            self.f.push(candidates.iter().map(|c| c.obs).collect());
+            let deg = &mut self.degradation;
+            self.f
+                .push(candidates.iter().map(|c| sanitize_prob(c.obs, deg)).collect());
             self.pre.push(vec![None; candidates.len()]);
         } else {
             let bound =
@@ -124,7 +144,10 @@ impl<'a> StreamingEngine<'a> {
                             None => RouteInfo::missing(),
                         }
                     };
-                    let w = model.transition(i, prev, cur, &info) * cur.obs;
+                    let w = sanitize_prob(
+                        model.transition(i, prev, cur, &info) * cur.obs,
+                        &mut self.degradation,
+                    );
                     let score = self.f[i - 1][j] + w;
                     if score > f_i[k] {
                         f_i[k] = score;
@@ -137,7 +160,7 @@ impl<'a> StreamingEngine<'a> {
         }
         self.layers.push(candidates);
         self.pts.push((pos, t));
-        self.commit_to(self.layers.len().saturating_sub(self.lag))
+        Ok(self.commit_to(self.layers.len().saturating_sub(self.lag)))
     }
 
     /// Commits observations with index `< target` by backtracking from the
@@ -148,18 +171,17 @@ impl<'a> StreamingEngine<'a> {
             return 0;
         }
         // Backtrack the current best chain to find the decided candidates.
+        // `push` guarantees every layer is non-empty, so the fallbacks below
+        // are unreachable; `total_cmp` keeps the ordering deterministic even
+        // if a score went NaN despite sanitization.
         let best_k = (0..self.layers[frontier].len())
-            .max_by(|&a, &b| {
-                self.f[frontier][a]
-                    .partial_cmp(&self.f[frontier][b])
-                    .expect("finite scores")
-            })
-            .expect("non-empty layer");
+            .max_by(|&a, &b| self.f[frontier][a].total_cmp(&self.f[frontier][b]))
+            .unwrap_or(0);
         let mut chain = vec![best_k];
+        let mut cur = best_k;
         for li in (1..=frontier).rev() {
-            let prev = self.pre[li][*chain.last().expect("non-empty")]
-                .unwrap_or(0);
-            chain.push(prev);
+            cur = self.pre[li][cur].unwrap_or(0);
+            chain.push(cur);
         }
         chain.reverse(); // chain[i] = candidate index at layer i
 
@@ -178,7 +200,12 @@ impl<'a> StreamingEngine<'a> {
                         self.net, p.seg, p.t, cand.seg, cand.t, bound,
                     ) {
                         Some(r) => self.committed_path.extend_with(&r.segments),
-                        None => self.committed_path.segments.push(cand.seg),
+                        None => {
+                            // Unroutable gap: glue the segments directly and
+                            // count the discontinuity instead of stalling.
+                            self.degradation.disconnected_joins += 1;
+                            self.committed_path.segments.push(cand.seg);
+                        }
                     }
                 }
             }
@@ -239,7 +266,9 @@ mod tests {
                 continue;
             }
             let layer = to_candidates(&mut model, i, &pairs);
-            stream.push(positions[i], p.t, layer, &mut model);
+            stream
+                .push(positions[i], p.t, layer, &mut model)
+                .expect("non-empty layer");
         }
         stream.finish()
     }
@@ -314,7 +343,9 @@ mod tests {
 
         let mut stream = StreamingEngine::new(&ds.network, positions.len() + 1);
         for ((i, p), layer) in rec.cellular.points.iter().enumerate().zip(offline_layers) {
-            stream.push(positions[i], p.t, layer, &mut model);
+            stream
+                .push(positions[i], p.t, layer, &mut model)
+                .expect("non-empty layer");
         }
         let streamed = stream.finish();
         assert_eq!(streamed.segments, offline.path.segments);
@@ -326,5 +357,34 @@ mod tests {
         let stream = StreamingEngine::new(&ds.network, 2);
         assert!(stream.is_empty());
         assert!(stream.finish().is_empty());
+    }
+
+    #[test]
+    fn empty_layer_is_rejected_without_corrupting_state() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(205));
+        let rec = &ds.test[0];
+        let positions = rec.cellular.effective_positions();
+        let mut model = ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            positions.clone(),
+        );
+        let mut stream = StreamingEngine::new(&ds.network, 0);
+        let pairs = nearest_segments(&ds.network, &ds.index, positions[0], 10, 3_000.0);
+        let layer = to_candidates(&mut model, 0, &pairs);
+        stream
+            .push(positions[0], rec.cellular.points[0].t, layer.clone(), &mut model)
+            .expect("non-empty layer");
+        let before = stream.len();
+        let err = stream
+            .push(positions[0], rec.cellular.points[0].t + 30.0, vec![], &mut model)
+            .unwrap_err();
+        assert_eq!(err, MatchError::EmptyLayer { layer: 1 });
+        // Session untouched: the next real push still works.
+        assert_eq!(stream.len(), before);
+        stream
+            .push(positions[0], rec.cellular.points[0].t + 60.0, layer, &mut model)
+            .expect("non-empty layer");
+        assert!(!stream.finish().is_empty());
     }
 }

@@ -1,5 +1,6 @@
 //! Shared matching types and traits.
 
+use crate::error::Degradation;
 use lhmm_cellsim::tower::TowerField;
 use lhmm_cellsim::traj::CellularTrajectory;
 use lhmm_geo::Point;
@@ -128,6 +129,10 @@ pub struct MatchStats {
     pub shortcut_activations: u64,
     /// Matched-chain points routed through a shortcut candidate.
     pub shortcut_points: u64,
+    /// Graceful-degradation event counters for this match (dropped points,
+    /// glued path gaps, clamped scores, failed matches mapped to empty
+    /// results). `degradation.any()` flags a best-effort result.
+    pub degradation: Degradation,
 }
 
 impl MatchStats {
@@ -149,6 +154,13 @@ impl MatchStats {
         self.cache_misses += other.cache_misses;
         self.shortcut_activations += other.shortcut_activations;
         self.shortcut_points += other.shortcut_points;
+        self.degradation.merge(&other.degradation);
+    }
+
+    /// True when this match (or rollup) produced a best-effort, degraded
+    /// result — see [`Degradation`] for what counts.
+    pub fn degraded(&self) -> bool {
+        self.degradation.any()
     }
 }
 

@@ -6,6 +6,7 @@
 //! follows the paper exactly — the *sum* of per-step `W = P_T · P_O`
 //! contributions (Eq. 13–14), with `f[c_1] = P_O(c_1)` as initialization.
 
+use crate::error::{sanitize_prob, Degradation, MatchError};
 use crate::types::{Candidate, HmmProbabilities, RouteInfo};
 use lhmm_geo::Point;
 use lhmm_network::graph::RoadNetwork;
@@ -68,6 +69,8 @@ pub struct HmmEngine {
     /// Wall time accumulated in shortest-path searches/cache lookups since
     /// the last [`Self::take_sp_time`].
     sp_time_s: f64,
+    /// Degradation events accumulated since [`Self::take_degradation`].
+    degradation: Degradation,
 }
 
 impl HmmEngine {
@@ -89,6 +92,7 @@ impl HmmEngine {
             obs_scratch: Scratch::new(),
             trans_scratch: Scratch::new(),
             sp_time_s: 0.0,
+            degradation: Degradation::default(),
         }
     }
 
@@ -120,6 +124,13 @@ impl HmmEngine {
         std::mem::take(&mut self.sp_time_s)
     }
 
+    /// Degradation events (glued path gaps, clamped scores) accumulated
+    /// since the last call, resetting the counters (read once per match for
+    /// [`crate::types::MatchStats`]).
+    pub fn take_degradation(&mut self) -> Degradation {
+        std::mem::take(&mut self.degradation)
+    }
+
     /// Copies the cache's private entries into a standalone [`WarmLayer`]
     /// (to seed batch workers from a warmup pass).
     pub fn cache_snapshot(&self) -> WarmLayer {
@@ -135,28 +146,60 @@ impl HmmEngine {
     ///
     /// `pts` are the effective positions/timestamps of the trajectory points
     /// that survived candidate preparation; `layers[i]` are point `i`'s
-    /// candidates. Panics when lengths disagree or a layer is empty.
+    /// candidates. Panics when lengths disagree or a layer is empty; use
+    /// [`Self::try_find_path`] for a typed error instead.
     pub fn find_path<M: HmmProbabilities>(
+        &mut self,
+        net: &RoadNetwork,
+        pts: &[(Point, f64)],
+        layers: Vec<Vec<Candidate>>,
+        model: &mut M,
+    ) -> HmmOutput {
+        self.try_find_path(net, pts, layers, model)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::find_path`] with typed errors: [`MatchError::LayerMismatch`]
+    /// when `pts` and `layers` disagree in count,
+    /// [`MatchError::EmptyTrajectory`] on zero layers, and
+    /// [`MatchError::EmptyLayer`] when a supplied layer has no candidate.
+    ///
+    /// Never panics. Degradation events (path gaps glued across unroutable
+    /// hops, non-finite model outputs clamped to zero) are accumulated and
+    /// read back via [`Self::take_degradation`].
+    pub fn try_find_path<M: HmmProbabilities>(
         &mut self,
         net: &RoadNetwork,
         pts: &[(Point, f64)],
         mut layers: Vec<Vec<Candidate>>,
         model: &mut M,
-    ) -> HmmOutput {
-        assert_eq!(pts.len(), layers.len(), "one layer per point");
-        assert!(!layers.is_empty(), "empty trajectory");
-        assert!(
-            layers.iter().all(|l| !l.is_empty()),
-            "empty candidate layer"
-        );
+    ) -> Result<HmmOutput, MatchError> {
+        if pts.len() != layers.len() {
+            return Err(MatchError::LayerMismatch {
+                points: pts.len(),
+                layers: layers.len(),
+            });
+        }
+        if layers.is_empty() {
+            return Err(MatchError::EmptyTrajectory);
+        }
+        if let Some(empty) = layers.iter().position(Vec::is_empty) {
+            return Err(MatchError::EmptyLayer { layer: empty });
+        }
         let n_layers = layers.len();
+        let mut deg = Degradation::default();
 
         // ------------------------------------------------------------
         // Algorithm 1: forward DP.
         // ------------------------------------------------------------
         let mut f: Vec<Vec<f64>> = Vec::with_capacity(n_layers);
         let mut pre: Vec<Vec<Option<(usize, usize)>>> = Vec::with_capacity(n_layers);
-        f.push(layers[0].iter().map(|c| c.obs).collect());
+        f.push(
+            layers[0]
+                .iter()
+                .map(|c| sanitize_prob(c.obs, &mut deg))
+                .collect(),
+        );
         pre.push(vec![None; layers[0].len()]);
 
         // W matrices per transition (layer i-1 -> i), kept for Eq. 20.
@@ -177,7 +220,7 @@ impl HmmEngine {
                 let routes = self.routes_from(net, prev, cur_layer, bound);
                 for (k, cur) in cur_layer.iter().enumerate() {
                     let trans = model.transition(i, prev, cur, &routes[k]);
-                    let w = trans * cur.obs;
+                    let w = sanitize_prob(trans * cur.obs, &mut deg);
                     w_i[j][k] = w;
                     let cand_score = f[i - 1][j] + w;
                     if cand_score > f_i[k] {
@@ -211,7 +254,7 @@ impl HmmEngine {
                             (f[i - 2][j] + best, j)
                         })
                         .collect();
-                    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+                    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
                     scored.truncate(self.cfg.shortcuts);
 
                     for &(_, j) in &scored {
@@ -232,15 +275,12 @@ impl HmmEngine {
                             .segments
                             .iter()
                             .map(|&s| (s, net.project(mid_pos, s)))
-                            .min_by(|a, b| {
-                                a.1.distance
-                                    .partial_cmp(&b.1.distance)
-                                    .expect("finite distances")
-                            })
+                            .min_by(|a, b| a.1.distance.total_cmp(&b.1.distance))
                         else {
                             continue;
                         };
-                        let obs_u = model.observation(i - 1, u_seg, u_proj.distance);
+                        let obs_u =
+                            sanitize_prob(model.observation(i - 1, u_seg, u_proj.distance), &mut deg);
                         let cand_u = Candidate {
                             seg: u_seg,
                             t: u_proj.t,
@@ -248,8 +288,10 @@ impl HmmEngine {
                         };
                         let r_ju = self.route_info_between(net, &cj, &cand_u, bound);
                         let r_uk = self.route_info_between(net, &cand_u, &ck, bound);
-                        let w1 = model.transition(i - 1, &cj, &cand_u, &r_ju) * obs_u;
-                        let w2 = model.transition(i, &cand_u, &ck, &r_uk) * ck.obs;
+                        let w1 =
+                            sanitize_prob(model.transition(i - 1, &cj, &cand_u, &r_ju) * obs_u, &mut deg);
+                        let w2 =
+                            sanitize_prob(model.transition(i, &cand_u, &ck, &r_uk) * ck.obs, &mut deg);
                         let f_new = f[i - 2][j] + w1 + w2; // Eq. 21
                         if f_new > f[i][k] {
                             layers[i - 1].push(cand_u);
@@ -269,12 +311,13 @@ impl HmmEngine {
         // ------------------------------------------------------------
         // Backtracking and path assembly.
         // ------------------------------------------------------------
+        // Layers are validated non-empty above; `unwrap_or` is unreachable.
         let (best_k, best_score) = f[n_layers - 1]
             .iter()
             .enumerate()
             .map(|(k, &s)| (k, s))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
-            .expect("non-empty final layer");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((0, f64::NEG_INFINITY));
 
         let mut chain: Vec<(usize, usize)> = Vec::with_capacity(n_layers);
         let mut cursor = Some((n_layers - 1, best_k));
@@ -305,20 +348,26 @@ impl HmmEngine {
                     self.sp_time_s += t0.elapsed().as_secs_f64();
                     match route {
                         Some(r) => path.extend_with(&r.segments),
-                        None => path.segments.push(cand.seg),
+                        None => {
+                            // No route within bound: glue the path across
+                            // the gap rather than fail the whole match.
+                            deg.disconnected_joins += 1;
+                            path.segments.push(cand.seg);
+                        }
                     }
                 }
             }
             prev_cand = Some(cand);
         }
         path.dedup_consecutive();
+        self.degradation.merge(&deg);
 
-        HmmOutput {
+        Ok(HmmOutput {
             path,
             score: best_score,
             shortcut_points,
             added_candidates,
-        }
+        })
     }
 
     /// Routes from one candidate to every candidate of the next layer in a
@@ -585,6 +634,116 @@ mod tests {
         let mut model = classic_for(&[Point::ORIGIN]);
         let mut engine = HmmEngine::new(&net, EngineConfig::default());
         let _ = engine.find_path(&net, &[(Point::ORIGIN, 0.0)], vec![], &mut model);
+    }
+
+    #[test]
+    fn try_find_path_returns_typed_errors() {
+        let net = ladder();
+        let mut model = classic_for(&[Point::ORIGIN]);
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        assert_eq!(
+            engine
+                .try_find_path(&net, &[(Point::ORIGIN, 0.0)], vec![], &mut model)
+                .err(),
+            Some(crate::error::MatchError::LayerMismatch {
+                points: 1,
+                layers: 0
+            })
+        );
+        assert_eq!(
+            engine.try_find_path(&net, &[], vec![], &mut model).err(),
+            Some(crate::error::MatchError::EmptyTrajectory)
+        );
+        assert_eq!(
+            engine
+                .try_find_path(&net, &[(Point::ORIGIN, 0.0)], vec![vec![]], &mut model)
+                .err(),
+            Some(crate::error::MatchError::EmptyLayer { layer: 0 })
+        );
+    }
+
+    #[test]
+    fn non_finite_observations_are_clamped_not_fatal() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        let positions = vec![Point::new(10.0, 5.0), Point::new(150.0, 5.0)];
+        let mut model = classic_for(&positions);
+        let mut layers = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            let pairs = nearest_segments(&net, &index, p, 4, 500.0);
+            layers.push(to_candidates(&mut model, i, &pairs));
+        }
+        // Poison one candidate's observation probability.
+        layers[0][0].obs = f64::NAN;
+        let pts: Vec<(Point, f64)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as f64 * 30.0))
+            .collect();
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let out = engine
+            .try_find_path(&net, &pts, layers, &mut model)
+            .expect("clamped, not fatal");
+        assert!(!out.path.is_empty());
+        assert!(out.score.is_finite());
+        let deg = engine.take_degradation();
+        assert!(deg.clamped_scores >= 1, "{deg:?}");
+        // Counters reset after take.
+        assert_eq!(engine.take_degradation(), Degradation::default());
+    }
+
+    /// Regression pin for Algorithm 2 (paper §IV-E): a hand-built middle
+    /// layer whose candidates are all unqualified (wrong side of the map)
+    /// must *activate* a shortcut — adding at least one candidate — and the
+    /// final path must still be connected.
+    #[test]
+    fn all_unqualified_layer_activates_shortcut_with_connected_route() {
+        let net = ladder();
+        let index = SpatialIndex::build(&net, 100.0);
+        let positions = vec![
+            Point::new(10.0, 5.0),
+            Point::new(150.0, 95.0),
+            Point::new(290.0, 5.0),
+        ];
+        let mut model = classic_for(&positions);
+        let south = |pos: Point, model: &mut ClassicModel, i: usize| {
+            let pairs: Vec<_> = nearest_segments(&net, &index, pos, 12, 500.0)
+                .into_iter()
+                .filter(|&(s, _)| net.segment_midpoint(s).y < 10.0)
+                .collect();
+            to_candidates(model, i, &pairs)
+        };
+        // The middle layer only carries north-row candidates: every one is
+        // unqualified for the true (south-row) drive.
+        let north_only = |pos: Point, model: &mut ClassicModel, i: usize| {
+            let pairs: Vec<_> = nearest_segments(&net, &index, pos, 12, 500.0)
+                .into_iter()
+                .filter(|&(s, _)| net.segment_midpoint(s).y > 90.0)
+                .collect();
+            to_candidates(model, i, &pairs)
+        };
+        let layers = vec![
+            south(positions[0], &mut model, 0),
+            north_only(positions[1], &mut model, 1),
+            south(positions[2], &mut model, 2),
+        ];
+        let pts: Vec<(Point, f64)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as f64 * 30.0))
+            .collect();
+        let mut engine = HmmEngine::new(&net, EngineConfig::default());
+        let out = engine
+            .try_find_path(&net, &pts, layers, &mut model)
+            .expect("unqualified layer must degrade, not fail");
+        assert!(
+            !out.added_candidates.is_empty(),
+            "shortcut construction never activated"
+        );
+        assert!(out.shortcut_points >= 1);
+        assert!(out.path.is_contiguous(&net), "{:?}", out.path);
+        // The added candidates sit on the middle layer.
+        assert!(out.added_candidates.iter().all(|&(li, _)| li == 1));
     }
 
     #[test]

@@ -9,17 +9,21 @@ pub fn overall_table(title: &str, reports: &[EvalReport]) -> String {
     let _ = writeln!(out, "== {title} ==");
     let _ = writeln!(
         out,
-        "{:<16} {:>9} {:>8} {:>7} {:>7} {:>7} {:>12}",
-        "method", "precision", "recall", "RMF", "CMF50", "HR", "avg time (s)"
+        "{:<16} {:>9} {:>8} {:>7} {:>7} {:>7} {:>12} {:>6}",
+        "method", "precision", "recall", "RMF", "CMF50", "HR", "avg time (s)", "degr"
     );
     for r in reports {
         let hr = r
             .hitting_ratio
             .map(|h| format!("{h:>7.3}"))
             .unwrap_or_else(|| format!("{:>7}", "-"));
+        let degr = r
+            .degraded
+            .map(|d| format!("{d:>6.3}"))
+            .unwrap_or_else(|| format!("{:>6}", "-"));
         let _ = writeln!(
             out,
-            "{:<16} {:>9.3} {:>8.3} {:>7.3} {:>7.3} {hr} {:>12.4}",
+            "{:<16} {:>9.3} {:>8.3} {:>7.3} {:>7.3} {hr} {:>12.4} {degr}",
             r.method, r.precision, r.recall, r.rmf, r.cmf50, r.avg_time_s
         );
     }
@@ -60,6 +64,7 @@ mod tests {
             cmf50: 0.126,
             hitting_ratio: Some(0.953),
             avg_time_s: 0.032,
+            degraded: Some(0.01),
             n: 100,
         }
     }

@@ -26,6 +26,11 @@ pub struct EvalReport {
     pub hitting_ratio: Option<f64>,
     /// Mean wall-clock inference time per trajectory, seconds.
     pub avg_time_s: f64,
+    /// Fraction of trajectories whose match was degraded (dropped points,
+    /// glued gaps, clamped scores, or failures mapped to empty results).
+    /// `None` when the matching path does not expose degradation telemetry
+    /// (serial [`MapMatcher`] evaluation).
+    pub degraded: Option<f64>,
     /// Number of evaluated trajectories.
     pub n: usize,
 }
@@ -70,6 +75,7 @@ fn aggregate_results(
         cmf50: sum.cmf50 / nf,
         hitting_ratio: (hr_n > 0).then(|| hr_sum / hr_n as f64),
         avg_time_s: time_total / nf,
+        degraded: None,
         n,
     }
 }
@@ -118,7 +124,9 @@ pub fn evaluate_lhmm_batch(
     let start = Instant::now();
     let (results, stats) = matcher.match_batch(&ctx, &trajs);
     let time_total = start.elapsed().as_secs_f64();
-    let report = aggregate_results(ds, model.name(), records, &results, time_total);
+    let mut report = aggregate_results(ds, model.name(), records, &results, time_total);
+    let degraded: usize = stats.per_worker.iter().map(|w| w.degraded).sum();
+    report.degraded = Some(degraded as f64 / records.len() as f64);
     (report, stats)
 }
 
@@ -242,6 +250,11 @@ mod tests {
         assert_eq!(batch_report.rmf, serial_report.rmf);
         assert_eq!(batch_report.cmf50, serial_report.cmf50);
         assert_eq!(batch_report.hitting_ratio, serial_report.hitting_ratio);
+        // Batch evaluation exposes a degradation rate; serial (trait-object)
+        // evaluation has no stats channel.
+        assert!(serial_report.degraded.is_none());
+        let degr = batch_report.degraded.expect("batch reports degradation");
+        assert!((0.0..=1.0).contains(&degr), "rate {degr}");
         assert_eq!(
             stats.per_worker.iter().map(|w| w.matched).sum::<usize>(),
             ds.test.len()

@@ -44,7 +44,14 @@ fn main() {
             continue;
         }
         let layer = to_candidates(&mut model, i, &pairs);
-        let committed = stream.push(positions[i], p.t, layer, &mut model);
+        let committed = match stream.push(positions[i], p.t, layer, &mut model) {
+            Ok(n) => n,
+            Err(e) => {
+                // Unmatchable observation: skip it and keep streaming.
+                println!("{i:>5} skipped ({e})");
+                continue;
+            }
+        };
         println!(
             "{:>5} {:>10} {:>12} {:>16.0}",
             i,
