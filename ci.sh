@@ -32,6 +32,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 # the crate's cfg_attr; training/test helpers assert with messages).
 run cargo clippy -p lhmm-core --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+# Same contract for the serving layer: a bad request or a slow client may
+# shed or disconnect, but must never panic the server.
+run cargo clippy -p lhmm-serve --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 # Unit + doc + integration tests, whole workspace.
 run cargo test --workspace -q
 
@@ -45,6 +49,11 @@ run cargo test -q --test batch_equivalence --test end_to_end --test matcher_cont
 # relations must hold in every matching mode (serial/parallel/streaming,
 # scalar/vectorized).
 run cargo test -q --test fault_injection --test metamorphic
+
+# Serving gate: real-TCP loopback equivalence (concurrent clients must be
+# byte-identical to offline serial matching), typed overload shedding, and
+# lose-nothing graceful drain.
+run cargo test -q -p lhmm-serve
 
 echo
 echo "ci: all checks passed"

@@ -1,0 +1,72 @@
+//! Micro-batch scheduler throughput (requests/sec) versus `max_batch`.
+//!
+//! One iteration = pushing the full held-out split through a running
+//! [`MicroBatcher`] (no sockets — scheduler + worker pool only) and
+//! collecting every reply. Sweeping `max_batch` ∈ {1, 4, 16} isolates the
+//! batch-formation trade-off: 1 dispatches each request alone (pure
+//! per-dispatch overhead), 16 amortizes dispatch and keeps the worker's
+//! cache and scratch arenas hot across a whole batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::MatchContext;
+use lhmm_serve::{BatchPolicy, MicroBatcher, ServeCtx, ServeMetrics};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn bench_serve(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(108));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(108));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+
+    let mut group = c.benchmark_group("serve_scheduler");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trajs.len() as u64));
+    for max_batch in [1usize, 4, 16] {
+        thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx {
+                    ctx,
+                    model: lhmm.model(),
+                },
+                BatchPolicy {
+                    max_batch,
+                    // Short deadline: the bench floods the queue, so
+                    // batches fill by size, not by waiting.
+                    max_wait: Duration::from_micros(500),
+                    workers: 2,
+                    ..Default::default()
+                },
+                Arc::new(ServeMetrics::new()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("max_batch", max_batch),
+                &batcher,
+                |b, batcher| {
+                    b.iter(|| {
+                        let receivers: Vec<_> = trajs
+                            .iter()
+                            .map(|t| batcher.submit(t.clone()).expect("admitted"))
+                            .collect();
+                        for rx in receivers {
+                            let _ = rx.recv().expect("reply");
+                        }
+                    });
+                },
+            );
+            batcher.drain();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -219,11 +219,41 @@ impl<'a> StreamingEngine<'a> {
 
     /// Flushes the remaining lag window and returns the complete path.
     pub fn finish(mut self) -> Path {
+        self.finalize()
+    }
+
+    /// Flushes the remaining lag window, returns the complete path, and
+    /// resets the session for the next trajectory.
+    ///
+    /// Unlike [`StreamingEngine::finish`] this keeps the engine alive, so a
+    /// long-lived server session (or a pool of reusable engines) amortizes
+    /// the shortest-path cache across trajectories: [`SpCache`] state never
+    /// changes answers, only speed, so a reused engine is byte-identical to
+    /// a fresh one (pinned by `reused_engine_matches_fresh_engine`).
+    pub fn finalize(&mut self) -> Path {
         if self.layers.is_empty() {
+            self.reset();
             return Path::empty();
         }
         self.commit_to(self.layers.len());
-        self.committed_path
+        let path = std::mem::replace(&mut self.committed_path, Path::empty());
+        self.reset();
+        path
+    }
+
+    /// Clears all per-trajectory state (DP frontier, committed prefix,
+    /// [`Degradation`] counters) without touching the warm shortest-path
+    /// cache. After `reset` the engine behaves exactly like a freshly
+    /// constructed one.
+    pub fn reset(&mut self) {
+        self.layers.clear();
+        self.pts.clear();
+        self.f.clear();
+        self.pre.clear();
+        self.committed_upto = 0;
+        self.committed_path = Path::empty();
+        self.last_committed = None;
+        self.degradation = Degradation::default();
     }
 }
 
@@ -349,6 +379,93 @@ mod tests {
         }
         let streamed = stream.finish();
         assert_eq!(streamed.segments, offline.path.segments);
+    }
+
+    /// One engine reused across trajectories must carry nothing over:
+    /// every per-trajectory counter (Degradation, committed prefix, DP
+    /// frontier) resets at `finalize`, so results and telemetry are
+    /// byte-identical to fresh engines — the invariant the lhmm-serve
+    /// session manager relies on when it pools sessions.
+    #[test]
+    fn reused_engine_matches_fresh_engine() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(206));
+        let lag = 2;
+
+        // Reference: one fresh engine per trajectory.
+        let fresh: Vec<Path> = (0..3).map(|i| run_streaming(&ds, i, lag)).collect();
+
+        // One engine reused across all three, with a degradation event
+        // injected between trajectories (a rejected empty layer leaves
+        // state untouched, but clamped scores inside a trajectory must not
+        // leak into the next one's counters either).
+        let mut stream = StreamingEngine::new(&ds.network, lag);
+        for (i, want) in fresh.iter().enumerate() {
+            let rec = &ds.test[i];
+            let positions = rec.cellular.effective_positions();
+            let mut model = ClassicModel::new(
+                ClassicObservation::cellular(),
+                ClassicTransition::cellular(),
+                positions.clone(),
+            );
+            for (pi, p) in rec.cellular.points.iter().enumerate() {
+                let pairs =
+                    nearest_segments(&ds.network, &ds.index, positions[pi], 20, 3_000.0);
+                if pairs.is_empty() {
+                    continue;
+                }
+                let layer = to_candidates(&mut model, pi, &pairs);
+                stream
+                    .push(positions[pi], p.t, layer, &mut model)
+                    .expect("non-empty layer");
+            }
+            let deg_before_finalize = stream.degradation();
+            let got = stream.finalize();
+            assert_eq!(
+                got.segments, want.segments,
+                "trajectory {i}: reused engine diverged from fresh engine"
+            );
+            // finalize() may add disconnected_joins while flushing the lag
+            // window, never fewer events than already accumulated.
+            assert!(stream.degradation() == Degradation::default(),
+                "degradation counters leaked across finalize: {:?} (had {:?})",
+                stream.degradation(), deg_before_finalize
+            );
+            assert!(stream.is_empty(), "observations leaked across finalize");
+            assert!(
+                stream.committed().is_empty(),
+                "committed prefix leaked across finalize"
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_on_empty_session_is_empty_and_reusable() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(207));
+        let mut stream = StreamingEngine::new(&ds.network, 1);
+        assert!(stream.finalize().is_empty());
+        // Still usable afterwards.
+        let path = {
+            let rec = &ds.test[0];
+            let positions = rec.cellular.effective_positions();
+            let mut model = ClassicModel::new(
+                ClassicObservation::cellular(),
+                ClassicTransition::cellular(),
+                positions.clone(),
+            );
+            for (pi, p) in rec.cellular.points.iter().enumerate() {
+                let pairs =
+                    nearest_segments(&ds.network, &ds.index, positions[pi], 20, 3_000.0);
+                if pairs.is_empty() {
+                    continue;
+                }
+                let layer = to_candidates(&mut model, pi, &pairs);
+                stream
+                    .push(positions[pi], p.t, layer, &mut model)
+                    .expect("non-empty layer");
+            }
+            stream.finalize()
+        };
+        assert!(!path.is_empty());
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Fixed-bucket latency histograms for serving and stage-time telemetry.
+//!
+//! A [`LatencyHistogram`] is a fixed array of log-spaced buckets (base-2,
+//! from 1 µs up to an overflow bucket past ~134 s) plus exact count and
+//! nanosecond-sum accumulators. The representation is deliberately boring:
+//!
+//! * **Fixed buckets** — every histogram in the system has the *same*
+//!   bucket boundaries, so any two histograms can be merged (per-worker →
+//!   per-server rollups, per-batch → per-run) without resampling.
+//! * **Integer state only** — counts and a saturating nanosecond sum, so
+//!   [`LatencyHistogram::merge`] is exactly associative and commutative and
+//!   conserves counts (pinned by proptests below). Merging in a different
+//!   order can never change a reported quantile.
+//! * **No allocation** — the struct is `Copy`-sized (a flat `u64` array)
+//!   and safe to keep inside hot worker loops.
+//!
+//! Quantiles are reported as the *upper bound* of the bucket holding the
+//! requested rank: an over-estimate by at most one bucket width (2× here),
+//! which is the standard fixed-bucket trade-off — fine for p50/p95/p99
+//! operational readouts, not for microbenchmark deltas.
+
+/// Number of finite buckets; bucket `i` covers `[2^i µs, 2^(i+1) µs)`.
+/// The last slot (`BUCKETS`) is the overflow bucket.
+const BUCKETS: usize = 27;
+
+/// A mergeable fixed-bucket histogram of durations in seconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `counts[i]` = samples in bucket `i`; `counts[BUCKETS]` = overflow.
+    counts: [u64; BUCKETS + 1],
+    /// Total recorded samples.
+    count: u64,
+    /// Saturating sum of all samples in nanoseconds (exact merge).
+    sum_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS + 1],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+/// Lower bound of bucket `i` in seconds: `2^i` microseconds.
+#[inline]
+fn bucket_lower_s(i: usize) -> f64 {
+    ((1u64 << i) as f64) * 1e-6
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration. Non-finite or negative inputs clamp to zero
+    /// (they land in the first bucket) — a histogram must never reject or
+    /// panic on a hostile measurement.
+    pub fn record(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        let idx = Self::bucket_of(s);
+        self.counts[idx] += 1;
+        self.count += 1;
+        // 2^63 ns is ~292 years; saturate rather than wrap on garbage.
+        let ns = (s * 1e9).min(u64::MAX as f64) as u64;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// The bucket index a duration falls in.
+    #[inline]
+    fn bucket_of(seconds: f64) -> usize {
+        // Linear scan over 27 branch-predictable compares beats computing
+        // log2 on the hot path for the short tail that dominates serving.
+        for i in 0..BUCKETS {
+            if seconds < bucket_lower_s(i + 1) {
+                return i;
+            }
+        }
+        BUCKETS
+    }
+
+    /// Accumulates `other` into `self`. Exactly associative and
+    /// commutative; conserves counts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean duration in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns as f64 * 1e-9 / self.count as f64
+    }
+
+    /// Sum of all recorded durations, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.sum_ns as f64 * 1e-9
+    }
+
+    /// Upper bound (seconds) of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`); an over-estimate by at most one bucket (2×).
+    /// Returns 0 for an empty histogram and `f64::INFINITY` when the rank
+    /// lands in the overflow bucket.
+    pub fn quantile_upper_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank in 1..=count; ceil(q * count) with the empty-rank guard.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.counts[i];
+            if seen >= rank {
+                return bucket_lower_s(i + 1);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// The raw bucket counts (finite buckets then the overflow bucket);
+    /// bucket `i` covers `[2^i µs, 2^(i+1) µs)`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// One-line operational summary: count, mean and p50/p95/p99 upper
+    /// bounds, with millisecond formatting.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        fn ms(v: f64) -> String {
+            if v.is_infinite() {
+                ">134s".to_string()
+            } else {
+                format!("{:.3}ms", v * 1e3)
+            }
+        }
+        format!(
+            "n={} mean={} p50<={} p95<={} p99<={}",
+            self.count,
+            ms(self.mean_s()),
+            ms(self.quantile_upper_s(0.5)),
+            ms(self.quantile_upper_s(0.95)),
+            ms(self.quantile_upper_s(0.99)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_land_in_log_spaced_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.5e-6); // below 1µs -> bucket 0
+        h.record(1.5e-6); // bucket 0 is [1µs, 2µs)
+        h.record(3e-6); // bucket 1 [2µs, 4µs)
+        h.record(1.0); // ~2^20µs -> bucket 19 upper bound 2^20µs? (~1.05s)
+        h.record(1e9); // overflow
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.bucket_counts()[BUCKETS], 1);
+        assert!(h.quantile_upper_s(0.0) > 0.0);
+        assert!(h.quantile_upper_s(1.0).is_infinite());
+    }
+
+    #[test]
+    fn hostile_inputs_never_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-3.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts()[0], 3);
+        assert!(h.mean_s().is_finite());
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-3); // 1ms ..= 100ms
+        }
+        let p50 = h.quantile_upper_s(0.5);
+        // True p50 is 50ms; the bound is within one 2x bucket above it.
+        assert!((0.050..=0.200).contains(&p50), "p50 bound {p50}");
+        let p99 = h.quantile_upper_s(0.99);
+        assert!((0.099..=0.400).contains(&p99), "p99 bound {p99}");
+        assert!((h.mean_s() - 0.0505).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.summary(), "n=0");
+        h.record(0.002);
+        let s = h.summary();
+        assert!(s.contains("n=1"), "{s}");
+        assert!(s.contains("p99<="), "{s}");
+    }
+
+    fn arb_hist() -> impl Strategy<Value = LatencyHistogram> {
+        proptest::collection::vec(0.0f64..10.0, 0..64).prop_map(|vs| {
+            let mut h = LatencyHistogram::new();
+            for v in vs {
+                h.record(v);
+            }
+            h
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge conserves counts: every sample recorded into the parts is
+        /// present in the whole, bucket by bucket.
+        #[test]
+        fn merge_conserves_counts(a in arb_hist(), b in arb_hist()) {
+            let mut m = a.clone();
+            m.merge(&b);
+            prop_assert_eq!(m.count(), a.count() + b.count());
+            let total: u64 = m.bucket_counts().iter().sum();
+            prop_assert_eq!(total, m.count());
+            for i in 0..m.bucket_counts().len() {
+                prop_assert_eq!(
+                    m.bucket_counts()[i],
+                    a.bucket_counts()[i] + b.bucket_counts()[i]
+                );
+            }
+        }
+
+        /// Merge is commutative, exactly (integer state only).
+        #[test]
+        fn merge_is_commutative(a in arb_hist(), b in arb_hist()) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// Merge is associative, exactly.
+        #[test]
+        fn merge_is_associative(a in arb_hist(), b in arb_hist(), c in arb_hist()) {
+            let mut ab_c = a.clone();
+            ab_c.merge(&b);
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(ab_c, a_bc);
+        }
+
+        /// Interleaved recording equals recording then merging.
+        #[test]
+        fn merge_equals_interleaved_recording(
+            xs in proptest::collection::vec(0.0f64..10.0, 0..32),
+            ys in proptest::collection::vec(0.0f64..10.0, 0..32),
+        ) {
+            let mut whole = LatencyHistogram::new();
+            for &v in xs.iter().chain(&ys) {
+                whole.record(v);
+            }
+            let mut xh = LatencyHistogram::new();
+            for &v in &xs { xh.record(v); }
+            let mut yh = LatencyHistogram::new();
+            for &v in &ys { yh.record(v); }
+            xh.merge(&yh);
+            prop_assert_eq!(whole, xh);
+        }
+    }
+}

@@ -2,6 +2,8 @@
 //!
 //! * [`metrics`] — precision, recall, RMF (Eq. 22), CMF (Eq. 23) and the
 //!   hitting ratio,
+//! * [`histogram`] — mergeable fixed-bucket latency histograms for serving
+//!   and per-stage telemetry,
 //! * [`runner`] — trains/evaluates matchers over a dataset split and times
 //!   inference,
 //! * [`report`] — table formatting for the experiments binary,
@@ -21,9 +23,11 @@
 #![forbid(unsafe_code)]
 
 pub mod gps_truth;
+pub mod histogram;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 
+pub use histogram::LatencyHistogram;
 pub use metrics::{evaluate_path, hitting_ratio, MatchQuality};
 pub use runner::{evaluate_lhmm_batch, evaluate_matcher, EvalReport};

@@ -1,5 +1,6 @@
-//! Result-table formatting for the experiments binary.
+//! Result-table formatting for the experiments binary and serving reports.
 
+use crate::histogram::LatencyHistogram;
 use crate::runner::EvalReport;
 use std::fmt::Write as _;
 
@@ -51,6 +52,39 @@ pub fn series_table(title: &str, x_label: &str, rows: &[(f64, Vec<(String, f64)>
     out
 }
 
+/// Renders named latency histograms as a fixed-width table — the serving
+/// stack's per-stage latency report (`lhmm-serve`) and any other rollup of
+/// [`LatencyHistogram`]s.
+pub fn latency_table(title: &str, rows: &[(&str, &LatencyHistogram)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "n", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"
+    );
+    let cell = |v: f64| -> String {
+        if v.is_infinite() {
+            format!("{:>12}", ">134e3")
+        } else {
+            format!("{:>12.3}", v * 1e3)
+        }
+    };
+    for (name, h) in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10} {:>12.3} {} {} {}",
+            name,
+            h.count(),
+            h.mean_s() * 1e3,
+            cell(h.quantile_upper_s(0.5)),
+            cell(h.quantile_upper_s(0.95)),
+            cell(h.quantile_upper_s(0.99)),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +118,19 @@ mod tests {
         r.hitting_ratio = None;
         let t = overall_table("x", &[r]);
         assert!(t.contains(" - "));
+    }
+
+    #[test]
+    fn latency_table_renders_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(0.004);
+        }
+        let t = latency_table("serving", &[("queue_wait", &h), ("service", &h)]);
+        assert!(t.contains("queue_wait"));
+        assert!(t.contains("service"));
+        assert!(t.contains("p99 (ms)"));
+        assert!(t.contains("10"));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Blocking in-crate client for the `lhmm-serve` wire protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection and speaks strict
+//! request/response: every call writes one frame and blocks for exactly
+//! one response frame. Typed outcomes are split three ways — transport
+//! problems ([`ClientError::Wire`]), admission sheds
+//! ([`ClientError::Rejected`], retryable), and matching verdicts
+//! ([`ClientError::Failed`], not retryable for the same input).
+
+use crate::admission::RejectReason;
+use crate::protocol::{
+    read_response, write_request, Request, Response, WireError,
+};
+use lhmm_cellsim::traj::{CellularPoint, CellularTrajectory};
+use lhmm_core::error::MatchError;
+use lhmm_network::graph::SegmentId;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A matched route as the client sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteReply {
+    /// Matched segment sequence.
+    pub segments: Vec<SegmentId>,
+    /// True when the server flagged the match as best-effort (degraded).
+    pub degraded: bool,
+}
+
+/// Everything a service call can come back with besides a result.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server shed the request at admission; retry later (or
+    /// elsewhere) depending on the reason.
+    Rejected(RejectReason),
+    /// Matching itself failed with a typed [`MatchError`].
+    Failed(MatchError),
+    /// The server answered with a frame that does not fit the request
+    /// (protocol violation).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "transport: {e}"),
+            ClientError::Rejected(r) => write!(f, "rejected: {r}"),
+            ClientError::Failed(e) => write!(f, "match failed: {e}"),
+            ClientError::Unexpected(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// True when this is an admission shed (the retryable class).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, ClientError::Rejected(_))
+    }
+
+    /// The shed reason, when this is a rejection.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            ClientError::Rejected(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+fn decode_failed(code: crate::protocol::WireMatchError) -> ClientError {
+    match code.to_match_error() {
+        Some(e) => ClientError::Failed(e),
+        None => ClientError::Unexpected("unknown match-error code"),
+    }
+}
+
+/// A blocking connection to an `lhmm-serve` server.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.stream, req)?;
+        Ok(read_response(&mut self.stream)?)
+    }
+
+    /// Matches a complete trajectory through the server's batcher.
+    pub fn one_shot(&mut self, traj: &CellularTrajectory) -> Result<RouteReply, ClientError> {
+        match self.call(&Request::OneShot { traj: traj.clone() })? {
+            Response::Route { segments, degraded } => Ok(RouteReply { segments, degraded }),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            Response::Pushed { .. } => Err(ClientError::Unexpected("Pushed to OneShot")),
+        }
+    }
+
+    /// Opens (or reopens) the streaming session keyed `client`.
+    pub fn open(&mut self, client: u64, lag: u32) -> Result<(), ClientError> {
+        match self.call(&Request::Open { client, lag })? {
+            Response::Pushed { .. } => Ok(()),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            Response::Route { .. } => Err(ClientError::Unexpected("Route to Open")),
+        }
+    }
+
+    /// Feeds one observation; returns the newly committed count.
+    ///
+    /// `Err(Failed(NoCandidates))` and `Err(Failed(EmptyLayer { .. }))`
+    /// mark a single unmatchable observation — the session survives and
+    /// the caller keeps streaming.
+    pub fn push(&mut self, client: u64, point: &CellularPoint) -> Result<u32, ClientError> {
+        match self.call(&Request::Push {
+            client,
+            point: *point,
+        })? {
+            Response::Pushed { committed } => Ok(committed),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            Response::Route { .. } => Err(ClientError::Unexpected("Route to Push")),
+        }
+    }
+
+    /// Finalizes the session and returns the complete route.
+    pub fn finish(&mut self, client: u64) -> Result<RouteReply, ClientError> {
+        match self.call(&Request::Finish { client })? {
+            Response::Route { segments, degraded } => Ok(RouteReply { segments, degraded }),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            Response::Pushed { .. } => Err(ClientError::Unexpected("Pushed to Finish")),
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Serving telemetry: counters, gauges and latency histograms.
+//!
+//! One [`ServeMetrics`] instance is shared by every thread in the server
+//! (admission, scheduler, workers, sessions). Counters are atomics; the
+//! latency histograms sit behind one mutex that is touched once per
+//! request/batch — far off the per-candidate hot path. A point-in-time
+//! [`ServeReport`] snapshot is taken at drain (or any time) and rendered
+//! through `lhmm_eval`'s latency-table surface.
+
+use crate::admission::{lock_unpoisoned, RejectReason};
+use lhmm_core::types::MatchStats;
+use lhmm_eval::histogram::LatencyHistogram;
+use lhmm_eval::report::latency_table;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shared serving counters. All methods are `&self` and thread-safe.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Requests admitted into the batch queue.
+    admitted: AtomicU64,
+    /// Requests completed (a response was produced by a worker).
+    completed: AtomicU64,
+    /// Requests shed, by [`RejectReason::index`].
+    rejected: [AtomicU64; RejectReason::COUNT],
+    /// Replies that found no receiver (client gone before completion).
+    orphaned_replies: AtomicU64,
+    /// Batches dispatched to the worker pool.
+    batches: AtomicU64,
+    /// Sum of batch sizes (occupancy numerator).
+    batched_requests: AtomicU64,
+    /// Largest batch dispatched.
+    max_batch: AtomicU64,
+    /// Peak queue depth observed at admission.
+    peak_queue_depth: AtomicU64,
+    /// Streaming sessions opened.
+    sessions_opened: AtomicU64,
+    /// Sessions evicted for idling past the timeout.
+    sessions_evicted_idle: AtomicU64,
+    /// Sessions evicted as least-recently-used at the cap.
+    sessions_evicted_lru: AtomicU64,
+    /// Sessions finalized (explicit finish or drain).
+    sessions_finalized: AtomicU64,
+    /// Observations pushed into streaming sessions.
+    stream_pushes: AtomicU64,
+    /// Latency histograms (seconds).
+    hist: Mutex<Histograms>,
+}
+
+#[derive(Default)]
+struct Histograms {
+    /// Admission to dequeue-by-scheduler.
+    queue_wait: LatencyHistogram,
+    /// Worker service time per one-shot request (match only).
+    service: LatencyHistogram,
+    /// Candidate-preparation stage per request (from [`MatchStats`]).
+    stage_candidates: LatencyHistogram,
+    /// Viterbi/path-finding stage per request (from [`MatchStats`]).
+    stage_viterbi: LatencyHistogram,
+    /// Per-push streaming latency (candidate prep + DP extension).
+    stream_push: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// A fresh, all-zero metrics hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one admitted request and folds the observed queue depth into
+    /// the peak gauge.
+    pub fn on_admitted(&self, queue_depth: usize) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_queue_depth
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one shed request.
+    pub fn on_rejected(&self, reason: RejectReason) {
+        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one dispatched batch of `size` requests.
+    pub fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed one-shot request: its queue wait, worker
+    /// service time and the per-stage times from the match telemetry.
+    pub fn on_completed(&self, queue_wait_s: f64, service_s: f64, stats: &MatchStats) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut h = lock_unpoisoned(&self.hist);
+        h.queue_wait.record(queue_wait_s);
+        h.service.record(service_s);
+        h.stage_candidates.record(stats.candidate_time_s);
+        h.stage_viterbi.record(stats.viterbi_time_s);
+    }
+
+    /// Counts a reply whose client had already gone away.
+    pub fn on_orphaned_reply(&self) {
+        self.orphaned_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session open.
+    pub fn on_session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an idle-timeout eviction.
+    pub fn on_session_evicted_idle(&self) {
+        self.sessions_evicted_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an LRU eviction at the session cap.
+    pub fn on_session_evicted_lru(&self) {
+        self.sessions_evicted_lru.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a finalized session.
+    pub fn on_session_finalized(&self) {
+        self.sessions_finalized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one streaming push and its latency.
+    pub fn on_stream_push(&self, seconds: f64) {
+        self.stream_pushes.fetch_add(1, Ordering::Relaxed);
+        lock_unpoisoned(&self.hist).stream_push.record(seconds);
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time snapshot of everything.
+    pub fn snapshot(&self, queue_depth: usize, active_sessions: usize) -> ServeReport {
+        let h = lock_unpoisoned(&self.hist);
+        let mut rejected = [0u64; RejectReason::COUNT];
+        for (out, src) in rejected.iter_mut().zip(&self.rejected) {
+            *out = src.load(Ordering::Relaxed);
+        }
+        ServeReport {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected,
+            orphaned_replies: self.orphaned_replies.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            active_sessions,
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_evicted_idle: self.sessions_evicted_idle.load(Ordering::Relaxed),
+            sessions_evicted_lru: self.sessions_evicted_lru.load(Ordering::Relaxed),
+            sessions_finalized: self.sessions_finalized.load(Ordering::Relaxed),
+            stream_pushes: self.stream_pushes.load(Ordering::Relaxed),
+            queue_wait: h.queue_wait.clone(),
+            service: h.service.clone(),
+            stage_candidates: h.stage_candidates.clone(),
+            stage_viterbi: h.stage_viterbi.clone(),
+            stream_push: h.stream_push.clone(),
+        }
+    }
+}
+
+/// A point-in-time serving report (what drain returns).
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests admitted into the batch queue.
+    pub admitted: u64,
+    /// Requests a worker completed with a response.
+    pub completed: u64,
+    /// Shed requests by [`RejectReason::index`].
+    pub rejected: [u64; RejectReason::COUNT],
+    /// Replies whose client disconnected before completion.
+    pub orphaned_replies: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Total requests across all batches.
+    pub batched_requests: u64,
+    /// Largest dispatched batch.
+    pub max_batch: u64,
+    /// Queue depth at snapshot time (0 after a drain).
+    pub queue_depth: usize,
+    /// Peak queue depth observed at admission.
+    pub peak_queue_depth: u64,
+    /// Open sessions at snapshot time (0 after a drain).
+    pub active_sessions: usize,
+    /// Sessions opened over the server's lifetime.
+    pub sessions_opened: u64,
+    /// Idle-timeout evictions.
+    pub sessions_evicted_idle: u64,
+    /// LRU evictions at the cap.
+    pub sessions_evicted_lru: u64,
+    /// Finalized sessions (finish requests + drain finalizations).
+    pub sessions_finalized: u64,
+    /// Streaming observations absorbed.
+    pub stream_pushes: u64,
+    /// Admission-to-dequeue wait.
+    pub queue_wait: LatencyHistogram,
+    /// Worker service time per one-shot request.
+    pub service: LatencyHistogram,
+    /// Candidate-preparation stage time per request.
+    pub stage_candidates: LatencyHistogram,
+    /// Viterbi stage time per request.
+    pub stage_viterbi: LatencyHistogram,
+    /// Streaming push latency.
+    pub stream_push: LatencyHistogram,
+}
+
+impl ServeReport {
+    /// Total shed requests across all reasons.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+
+    /// Shed count for one reason.
+    pub fn rejected_for(&self, reason: RejectReason) -> u64 {
+        self.rejected[reason.index()]
+    }
+
+    /// Mean requests per dispatched batch (the occupancy the
+    /// size-or-deadline policy achieved).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches as f64
+    }
+
+    /// Requests admitted but never completed (must be 0 after a graceful
+    /// drain — the acceptance criterion of the drain path).
+    pub fn in_flight_lost(&self) -> u64 {
+        self.admitted.saturating_sub(self.completed)
+    }
+
+    /// Renders the full report (counters + latency tables).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== serving report ==");
+        let _ = writeln!(
+            out,
+            "one-shot: admitted {} | completed {} | lost {} | orphaned replies {}",
+            self.admitted,
+            self.completed,
+            self.in_flight_lost(),
+            self.orphaned_replies
+        );
+        let _ = writeln!(
+            out,
+            "shed:     queue_full {} | session_limit {} | shutting_down {} | oversized {}",
+            self.rejected_for(RejectReason::QueueFull),
+            self.rejected_for(RejectReason::SessionLimit),
+            self.rejected_for(RejectReason::ShuttingDown),
+            self.rejected_for(RejectReason::Oversized),
+        );
+        let _ = writeln!(
+            out,
+            "batching: {} batches | mean occupancy {:.2} | max batch {} | queue depth {} (peak {})",
+            self.batches,
+            self.mean_batch_occupancy(),
+            self.max_batch,
+            self.queue_depth,
+            self.peak_queue_depth,
+        );
+        let _ = writeln!(
+            out,
+            "sessions: active {} | opened {} | finalized {} | evicted idle {} / lru {} | pushes {}",
+            self.active_sessions,
+            self.sessions_opened,
+            self.sessions_finalized,
+            self.sessions_evicted_idle,
+            self.sessions_evicted_lru,
+            self.stream_pushes,
+        );
+        out.push_str(&latency_table(
+            "latency",
+            &[
+                ("queue_wait", &self.queue_wait),
+                ("service", &self.service),
+                ("stage:candidates", &self.stage_candidates),
+                ("stage:viterbi", &self.stage_viterbi),
+                ("stream:push", &self.stream_push),
+            ],
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ServeMetrics::new();
+        m.on_admitted(3);
+        m.on_admitted(1);
+        m.on_rejected(RejectReason::QueueFull);
+        m.on_rejected(RejectReason::QueueFull);
+        m.on_rejected(RejectReason::Oversized);
+        m.on_batch(4);
+        m.on_batch(2);
+        m.on_completed(0.001, 0.004, &MatchStats::default());
+        m.on_session_opened();
+        m.on_session_finalized();
+        m.on_stream_push(0.0005);
+        let r = m.snapshot(1, 1);
+        assert_eq!(r.admitted, 2);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.in_flight_lost(), 1);
+        assert_eq!(r.rejected_for(RejectReason::QueueFull), 2);
+        assert_eq!(r.total_rejected(), 3);
+        assert_eq!(r.max_batch, 4);
+        assert!((r.mean_batch_occupancy() - 3.0).abs() < 1e-12);
+        assert_eq!(r.peak_queue_depth, 3);
+        assert_eq!(r.queue_wait.count(), 1);
+        assert_eq!(r.stage_viterbi.count(), 1);
+        assert_eq!(r.stream_push.count(), 1);
+        let text = r.render();
+        assert!(text.contains("serving report"));
+        assert!(text.contains("queue_full 2"));
+        assert!(text.contains("stage:viterbi"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Dynamic micro-batching: size-or-deadline batch formation over a bounded
+//! admission queue, dispatched onto a pool of matching workers.
+//!
+//! # Shape
+//!
+//! ```text
+//! submit() ──try_push──▶ BoundedQueue ──▶ scheduler thread ──▶ dispatch ──▶ worker 0..N
+//!    │                     (admission)     forms batches by     channel      own HmmEngine
+//!    └── RejectReason on full/closed       size OR deadline                  own SpCache shard
+//! ```
+//!
+//! The scheduler pulls the first request, then keeps pulling until the
+//! batch reaches `max_batch` **or** `max_wait` has elapsed since the batch
+//! opened — the standard inference-serving trade-off: under load batches
+//! fill instantly (throughput), when idle a lone request waits at most
+//! `max_wait` (latency).
+//!
+//! Workers mirror the PR 1 batch-matcher design: each owns a private
+//! [`HmmEngine`] whose [`SpCache`] shard it alone mutates and whose scratch
+//! arenas recycle across requests, so results are byte-identical to serial
+//! matching no matter how requests are batched or interleaved (cache state
+//! never changes answers — see `lhmm_core::batch`).
+
+use crate::admission::{BoundedQueue, PushError, RejectReason};
+use crate::metrics::ServeMetrics;
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_core::error::MatchError;
+use lhmm_core::lhmm::LhmmModel;
+use lhmm_core::types::{MatchContext, MatchResult, MatchStats};
+use lhmm_core::viterbi::HmmEngine;
+use lhmm_network::sp_cache::SpCache;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::admission::lock_unpoisoned;
+
+/// Everything a worker needs to match on behalf of the service.
+#[derive(Clone, Copy)]
+pub struct ServeCtx<'a> {
+    /// Road network, spatial index, tower field.
+    pub ctx: MatchContext<'a>,
+    /// The trained (or ablated) model, shared read-only.
+    pub model: &'a LhmmModel,
+}
+
+/// Micro-batching parameters.
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Maximum requests per dispatched batch.
+    pub max_batch: usize,
+    /// Maximum time a forming batch waits for more requests.
+    pub max_wait: Duration,
+    /// Admission-queue capacity (requests waiting for a batch slot).
+    pub queue_capacity: usize,
+    /// Worker threads (each with a private cache shard). Min 1.
+    pub workers: usize,
+    /// Per-worker shortest-path cache capacity, node pairs.
+    pub cache_capacity: usize,
+    /// Artificial per-request service latency, for overload experiments
+    /// and scheduler benchmarks (simulates a heavier model; keep
+    /// `Duration::ZERO` in production).
+    pub service_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+            workers: 2,
+            cache_capacity: HmmEngine::DEFAULT_CACHE_CAPACITY,
+            service_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The verdict a submitted request resolves to.
+pub type MatchReply = Result<(MatchResult, MatchStats), MatchError>;
+
+/// One queued one-shot request.
+struct Job {
+    traj: CellularTrajectory,
+    enqueued: Instant,
+    reply: mpsc::Sender<MatchReply>,
+}
+
+/// Handle to a running micro-batch scheduler + worker pool.
+///
+/// Created by [`MicroBatcher::start`] inside a [`std::thread::scope`]; all
+/// threads join in [`MicroBatcher::drain`] (which the caller must invoke
+/// before the scope closes, or the scope will block on the scheduler's
+/// polling loop until `drain` is called from another thread).
+pub struct MicroBatcher<'scope, 'env> {
+    queue: Arc<BoundedQueue<Job>>,
+    metrics: Arc<ServeMetrics>,
+    draining: Arc<AtomicBool>,
+    threads: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
+    _env: std::marker::PhantomData<&'env ()>,
+}
+
+impl<'scope, 'env> MicroBatcher<'scope, 'env> {
+    /// Spawns the scheduler thread and `policy.workers` matching workers
+    /// into `scope`.
+    pub fn start(
+        scope: &'scope Scope<'scope, 'env>,
+        serve: ServeCtx<'env>,
+        policy: BatchPolicy,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let queue = Arc::new(BoundedQueue::new(policy.queue_capacity));
+        let draining = Arc::new(AtomicBool::new(false));
+        let workers = policy.workers.max(1);
+        let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Vec<Job>>(workers);
+        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+
+        let mut threads = Vec::with_capacity(workers + 1);
+
+        // Scheduler: size-or-deadline batch formation.
+        {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let max_batch = policy.max_batch.max(1);
+            let max_wait = policy.max_wait;
+            threads.push(scope.spawn(move || {
+                loop {
+                    // Block (with a shutdown-observing timeout) for the
+                    // batch's first request.
+                    let first = match queue.pop_timeout(Duration::from_millis(20)) {
+                        Some(j) => j,
+                        None => {
+                            if queue.is_closed() && queue.is_empty() {
+                                break; // drained
+                            }
+                            continue;
+                        }
+                    };
+                    let opened = Instant::now();
+                    let mut batch = vec![first];
+                    while batch.len() < max_batch {
+                        let Some(remaining) = max_wait.checked_sub(opened.elapsed()) else {
+                            break;
+                        };
+                        match queue.pop_timeout(remaining) {
+                            Some(j) => batch.push(j),
+                            None => break, // deadline or closed-and-empty
+                        }
+                    }
+                    metrics.on_batch(batch.len());
+                    if dispatch_tx.send(batch).is_err() {
+                        break; // workers gone (only during teardown)
+                    }
+                }
+                // Dropping the sender lets workers drain and exit.
+                drop(dispatch_tx);
+            }));
+        }
+
+        // Workers: each owns an engine with a private cache shard.
+        for _ in 0..workers {
+            let dispatch_rx = Arc::clone(&dispatch_rx);
+            let metrics = Arc::clone(&metrics);
+            let delay = policy.service_delay;
+            let cache_capacity = policy.cache_capacity;
+            threads.push(scope.spawn(move || {
+                let cache = SpCache::new(serve.ctx.net, cache_capacity);
+                let mut engine =
+                    HmmEngine::with_cache(serve.ctx.net, serve.model.engine_config(), cache);
+                loop {
+                    let batch = {
+                        let rx = lock_unpoisoned(&dispatch_rx);
+                        rx.recv()
+                    };
+                    let Ok(batch) = batch else {
+                        break; // scheduler hung up: drain complete
+                    };
+                    for job in batch {
+                        let queue_wait = job.enqueued.elapsed().as_secs_f64();
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        let started = Instant::now();
+                        let verdict = serve.model.try_match_with_engine_stats(
+                            &serve.ctx,
+                            &job.traj,
+                            &mut engine,
+                        );
+                        let service = started.elapsed().as_secs_f64();
+                        let stats = match &verdict {
+                            Ok((_, s)) => *s,
+                            Err(_) => MatchStats::default(),
+                        };
+                        metrics.on_completed(queue_wait, service, &stats);
+                        if job.reply.send(verdict).is_err() {
+                            metrics.on_orphaned_reply();
+                        }
+                    }
+                }
+            }));
+        }
+
+        MicroBatcher {
+            queue,
+            metrics,
+            draining,
+            threads: Mutex::new(threads),
+            _env: std::marker::PhantomData,
+        }
+    }
+
+    /// Submits one trajectory for matching. On admission returns the
+    /// receiver the reply will arrive on; otherwise the typed shed reason.
+    pub fn submit(
+        &self,
+        traj: CellularTrajectory,
+    ) -> Result<mpsc::Receiver<MatchReply>, RejectReason> {
+        if self.draining.load(Ordering::Acquire) {
+            self.metrics.on_rejected(RejectReason::ShuttingDown);
+            return Err(RejectReason::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            traj,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.metrics.on_admitted(self.queue.len());
+                Ok(rx)
+            }
+            Err((PushError::Full, _)) => {
+                self.metrics.on_rejected(RejectReason::QueueFull);
+                Err(RejectReason::QueueFull)
+            }
+            Err((PushError::Closed, _)) => {
+                self.metrics.on_rejected(RejectReason::ShuttingDown);
+                Err(RejectReason::ShuttingDown)
+            }
+        }
+    }
+
+    /// Instantaneous admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admissions, flushes every queued request through the workers,
+    /// and joins all scheduler/worker threads. Every admitted request gets
+    /// its reply before this returns — nothing in flight is dropped.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.queue.close();
+        let threads = {
+            let mut guard = lock_unpoisoned(&self.threads);
+            std::mem::take(&mut *guard)
+        };
+        for t in threads {
+            if t.join().is_err() {
+                // A panicked worker is a bug elsewhere; drain keeps going
+                // so the remaining threads still join and the report is
+                // produced (the panic is visible in the worker's test).
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    use lhmm_core::lhmm::LhmmConfig;
+    use std::thread;
+
+    fn cheap_model(ds: &Dataset, seed: u64) -> LhmmModel {
+        let mut cfg = LhmmConfig::fast_test(seed);
+        cfg.use_learned_obs = false;
+        cfg.use_learned_trans = false;
+        LhmmModel::train(ds, cfg)
+    }
+
+    #[test]
+    fn batcher_matches_equal_to_serial_and_drains_clean() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(301));
+        let model = cheap_model(&ds, 301);
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        // Serial reference.
+        let mut engine = HmmEngine::new(&ds.network, model.engine_config());
+        let want: Vec<_> = ds
+            .test
+            .iter()
+            .map(|r| model.match_with_engine(&ctx, &r.cellular, &mut engine))
+            .collect();
+
+        let metrics = Arc::new(ServeMetrics::new());
+        let policy = BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            ..Default::default()
+        };
+        let got: Vec<_> = thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx { ctx, model: &model },
+                policy,
+                Arc::clone(&metrics),
+            );
+            let receivers: Vec<_> = ds
+                .test
+                .iter()
+                .map(|r| batcher.submit(r.cellular.clone()).expect("admitted"))
+                .collect();
+            let got = receivers
+                .into_iter()
+                .map(|rx| rx.recv().expect("reply").expect("matched").0)
+                .collect();
+            batcher.drain();
+            got
+        });
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.path.segments, w.path.segments);
+        }
+        let report = metrics.snapshot(0, 0);
+        assert_eq!(report.admitted, ds.test.len() as u64);
+        assert_eq!(report.completed, ds.test.len() as u64);
+        assert_eq!(report.in_flight_lost(), 0);
+        assert!(report.batches > 0);
+        assert!(report.mean_batch_occupancy() >= 1.0);
+        assert!(report.queue_wait.count() == ds.test.len() as u64);
+    }
+
+    #[test]
+    fn submissions_after_drain_are_shed_as_shutting_down() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(302));
+        let model = cheap_model(&ds, 302);
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let metrics = Arc::new(ServeMetrics::new());
+        thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx { ctx, model: &model },
+                BatchPolicy::default(),
+                Arc::clone(&metrics),
+            );
+            batcher.drain();
+            let err = batcher
+                .submit(ds.test[0].cellular.clone())
+                .expect_err("must shed");
+            assert_eq!(err, RejectReason::ShuttingDown);
+        });
+        assert_eq!(
+            metrics
+                .snapshot(0, 0)
+                .rejected_for(RejectReason::ShuttingDown),
+            1
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(303));
+        let model = cheap_model(&ds, 303);
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        let metrics = Arc::new(ServeMetrics::new());
+        let policy = BatchPolicy {
+            queue_capacity: 1,
+            workers: 1,
+            max_batch: 1,
+            // Slow service so the queue backs up deterministically.
+            service_delay: Duration::from_millis(50),
+            ..Default::default()
+        };
+        thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx { ctx, model: &model },
+                policy,
+                Arc::clone(&metrics),
+            );
+            let mut receivers = Vec::new();
+            let mut shed = 0;
+            for _ in 0..6 {
+                match batcher.submit(ds.test[0].cellular.clone()) {
+                    Ok(rx) => receivers.push(rx),
+                    Err(reason) => {
+                        assert_eq!(reason, RejectReason::QueueFull);
+                        shed += 1;
+                    }
+                }
+            }
+            assert!(shed > 0, "queue never filled");
+            // Every admitted request still completes.
+            for rx in receivers {
+                let _ = rx.recv().expect("admitted requests are served");
+            }
+            batcher.drain();
+        });
+        let report = metrics.snapshot(0, 0);
+        assert_eq!(report.in_flight_lost(), 0);
+        assert!(report.rejected_for(RejectReason::QueueFull) > 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Multi-tenant streaming sessions: per-client [`StreamingEngine`]s with
+//! idle-timeout eviction and an LRU cap.
+//!
+//! Each session owns a [`StreamingEngine`] (fixed-lag online Viterbi over
+//! a warm shortest-path cache) plus the per-trajectory [`ClassicModel`]
+//! whose positions grow as observations arrive. Candidate layers are
+//! prepared per push with the classic distance-scored preparation — the
+//! same construction the offline comparator uses, so a full-lag session is
+//! byte-identical to offline Viterbi without shortcuts (pinned by the
+//! loopback equivalence test).
+//!
+//! Capacity policy: at most `max_sessions` live sessions. A new `open`
+//! first sweeps sessions idle past `idle_timeout`; if the table is still
+//! full it evicts the least-recently-used session *if* that session has
+//! been idle at all (strictly older than the newest touch), otherwise the
+//! open is shed with [`RejectReason::SessionLimit`]. Evicted sessions are
+//! finalized (their engine state is flushed), never silently dropped.
+
+use crate::admission::RejectReason;
+use crate::metrics::ServeMetrics;
+use lhmm_cellsim::traj::CellularPoint;
+use lhmm_core::candidates::{nearest_segments, to_candidates};
+use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+use lhmm_core::error::MatchError;
+use lhmm_core::streaming::StreamingEngine;
+use lhmm_network::graph::RoadNetwork;
+use lhmm_network::path::Path;
+use lhmm_network::spatial::SpatialIndex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Session-table parameters.
+#[derive(Clone, Debug)]
+pub struct SessionPolicy {
+    /// Maximum live sessions.
+    pub max_sessions: usize,
+    /// A session untouched for this long is evictable (and swept on the
+    /// next session operation).
+    pub idle_timeout: Duration,
+    /// At the cap, the LRU session is evicted for a newcomer only if it
+    /// has been idle at least this long; otherwise the open is shed with
+    /// [`RejectReason::SessionLimit`]. Protects actively streaming
+    /// sessions from being cannibalized under churn.
+    pub lru_evict_min_idle: Duration,
+    /// Candidates per streaming observation.
+    pub k: usize,
+    /// Candidate search radius, meters.
+    pub radius: f64,
+}
+
+impl Default for SessionPolicy {
+    fn default() -> Self {
+        SessionPolicy {
+            max_sessions: 1024,
+            idle_timeout: Duration::from_secs(300),
+            lru_evict_min_idle: Duration::from_secs(10),
+            k: 12,
+            radius: 3_000.0,
+        }
+    }
+}
+
+struct Session<'a> {
+    engine: StreamingEngine<'a>,
+    model: ClassicModel,
+    last_touch: Instant,
+    /// Monotone use stamp for LRU ordering (ties impossible).
+    stamp: u64,
+}
+
+/// The session table. Not internally synchronized: the server wraps it in
+/// one mutex (streaming pushes serialize on it; the per-push Dijkstra
+/// dominates the hold time).
+pub struct SessionManager<'a> {
+    net: &'a RoadNetwork,
+    index: &'a SpatialIndex,
+    policy: SessionPolicy,
+    sessions: HashMap<u64, Session<'a>>,
+    next_stamp: u64,
+}
+
+impl<'a> SessionManager<'a> {
+    /// An empty table over `net`/`index`.
+    pub fn new(net: &'a RoadNetwork, index: &'a SpatialIndex, policy: SessionPolicy) -> Self {
+        SessionManager {
+            net,
+            index,
+            policy,
+            sessions: HashMap::new(),
+            next_stamp: 0,
+        }
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    fn stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Evicts every session idle past the timeout, finalizing each.
+    /// Returns the number evicted.
+    pub fn sweep_idle(&mut self, metrics: &ServeMetrics) -> usize {
+        let now = Instant::now();
+        let timeout = self.policy.idle_timeout;
+        let expired: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| now.duration_since(s.last_touch) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let n = expired.len();
+        for id in expired {
+            if let Some(mut s) = self.sessions.remove(&id) {
+                let _ = s.engine.finalize();
+                metrics.on_session_evicted_idle();
+                metrics.on_session_finalized();
+            }
+        }
+        n
+    }
+
+    /// Opens (or replaces) the session keyed `client`. Reopening an
+    /// existing key finalizes the previous trajectory first — a client
+    /// starting a new trip reuses its warm engine.
+    pub fn open(
+        &mut self,
+        client: u64,
+        lag: usize,
+        metrics: &ServeMetrics,
+    ) -> Result<(), RejectReason> {
+        self.sweep_idle(metrics);
+        if let Some(existing) = self.sessions.get_mut(&client) {
+            // Reuse the warm engine for the client's next trajectory.
+            let _ = existing.engine.finalize();
+            metrics.on_session_finalized();
+            existing.engine.lag = lag;
+            existing.model = fresh_model();
+            existing.last_touch = Instant::now();
+            let stamp = self.stamp();
+            if let Some(s) = self.sessions.get_mut(&client) {
+                s.stamp = stamp;
+            }
+            metrics.on_session_opened();
+            return Ok(());
+        }
+        if self.sessions.len() >= self.policy.max_sessions {
+            // LRU eviction: take the stalest session, but only if it has
+            // been idle past the policy threshold — otherwise shed the
+            // open rather than cannibalize an active session.
+            let lru = self
+                .sessions
+                .iter()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(&id, s)| (id, s.last_touch));
+            match lru {
+                Some((id, touched)) if touched.elapsed() >= self.policy.lru_evict_min_idle => {
+                    if let Some(mut s) = self.sessions.remove(&id) {
+                        let _ = s.engine.finalize();
+                        metrics.on_session_evicted_lru();
+                        metrics.on_session_finalized();
+                    }
+                }
+                _ => {
+                    metrics.on_rejected(RejectReason::SessionLimit);
+                    return Err(RejectReason::SessionLimit);
+                }
+            }
+        }
+        let stamp = self.stamp();
+        self.sessions.insert(
+            client,
+            Session {
+                engine: StreamingEngine::new(self.net, lag),
+                model: fresh_model(),
+                last_touch: Instant::now(),
+                stamp,
+            },
+        );
+        metrics.on_session_opened();
+        Ok(())
+    }
+
+    /// Feeds one observation into `client`'s session. Returns the newly
+    /// committed observation count.
+    ///
+    /// `Err(NoCandidates)` marks an unmatchable observation (outside
+    /// network coverage) — the session is untouched and the client keeps
+    /// streaming, mirroring the offline dropped-point degradation.
+    /// An unknown `client` is `Err(EmptyTrajectory)` (no session — nothing
+    /// is being matched).
+    pub fn push(
+        &mut self,
+        client: u64,
+        point: &CellularPoint,
+        metrics: &ServeMetrics,
+    ) -> Result<usize, MatchError> {
+        let stamp = self.stamp();
+        let started = Instant::now();
+        let session = self
+            .sessions
+            .get_mut(&client)
+            .ok_or(MatchError::EmptyTrajectory)?;
+        session.last_touch = Instant::now();
+        session.stamp = stamp;
+        let pos = point.effective_pos();
+        let pairs = nearest_segments(
+            self.net,
+            self.index,
+            pos,
+            self.policy.k,
+            self.policy.radius,
+        );
+        if pairs.is_empty() {
+            return Err(MatchError::NoCandidates);
+        }
+        // The model's positions must align with the engine's layers: index
+        // `i = engine.len()` is the layer this push creates.
+        let i = session.engine.len();
+        session.model.positions.push(pos);
+        let layer = to_candidates(&mut session.model, i, &pairs);
+        match session
+            .engine
+            .push(pos, point.t, layer, &mut session.model)
+        {
+            Ok(committed) => {
+                metrics.on_stream_push(started.elapsed().as_secs_f64());
+                Ok(committed)
+            }
+            Err(e) => {
+                // Keep positions aligned with the rejected layer undone.
+                session.model.positions.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Finalizes and removes `client`'s session, returning the complete
+    /// route. Unknown clients get `None`.
+    pub fn finish(&mut self, client: u64, metrics: &ServeMetrics) -> Option<(Path, u64)> {
+        let mut session = self.sessions.remove(&client)?;
+        let path = session.engine.finalize();
+        let disconnected = session.engine.degradation().disconnected_joins;
+        metrics.on_session_finalized();
+        Some((path, disconnected))
+    }
+
+    /// Finalizes every open session (graceful drain). Returns how many
+    /// were flushed.
+    pub fn finalize_all(&mut self, metrics: &ServeMetrics) -> usize {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        let n = ids.len();
+        for id in ids {
+            if let Some(mut s) = self.sessions.remove(&id) {
+                let _ = s.engine.finalize();
+                metrics.on_session_finalized();
+            }
+        }
+        n
+    }
+}
+
+fn fresh_model() -> ClassicModel {
+    ClassicModel::new(
+        ClassicObservation::cellular(),
+        ClassicTransition::cellular(),
+        Vec::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+
+    fn policy(max: usize, idle_ms: u64) -> SessionPolicy {
+        SessionPolicy {
+            max_sessions: max,
+            idle_timeout: Duration::from_millis(idle_ms),
+            lru_evict_min_idle: Duration::from_millis(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn open_push_finish_roundtrip() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(311));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        mgr.open(1, 2, &metrics).expect("open");
+        let rec = &ds.test[0];
+        let mut pushed = 0;
+        for p in &rec.cellular.points {
+            match mgr.push(1, p, &metrics) {
+                Ok(_) => pushed += 1,
+                Err(MatchError::NoCandidates) => {}
+                Err(e) => panic!("unexpected push error {e}"),
+            }
+        }
+        assert!(pushed > 0);
+        let (path, _) = mgr.finish(1, &metrics).expect("finish");
+        assert!(!path.is_empty());
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(312));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        let p = ds.test[0].cellular.points[0];
+        assert_eq!(
+            mgr.push(77, &p, &metrics),
+            Err(MatchError::EmptyTrajectory)
+        );
+        assert!(mgr.finish(77, &metrics).is_none());
+    }
+
+    #[test]
+    fn cap_evicts_lru_or_sheds() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(313));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(2, 60_000));
+        mgr.open(1, 0, &metrics).expect("open 1");
+        mgr.open(2, 0, &metrics).expect("open 2");
+        // Both sessions have a nonzero idle age by now, so the third open
+        // evicts the LRU (client 1).
+        std::thread::sleep(Duration::from_millis(2));
+        mgr.open(3, 0, &metrics).expect("open 3 evicts LRU");
+        assert_eq!(mgr.len(), 2);
+        let p = ds.test[0].cellular.points[0];
+        assert_eq!(mgr.push(1, &p, &metrics), Err(MatchError::EmptyTrajectory));
+        let report = metrics.snapshot(0, mgr.len());
+        assert_eq!(report.sessions_evicted_lru, 1);
+    }
+
+    #[test]
+    fn active_sessions_are_not_cannibalized_at_the_cap() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(316));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(
+            &ds.network,
+            &ds.index,
+            SessionPolicy {
+                max_sessions: 1,
+                idle_timeout: Duration::from_secs(60),
+                // Nothing this young may be LRU-evicted.
+                lru_evict_min_idle: Duration::from_secs(60),
+                ..Default::default()
+            },
+        );
+        mgr.open(1, 0, &metrics).expect("open");
+        assert_eq!(mgr.open(2, 0, &metrics), Err(RejectReason::SessionLimit));
+        assert_eq!(mgr.len(), 1);
+        let report = metrics.snapshot(0, mgr.len());
+        assert_eq!(report.rejected_for(RejectReason::SessionLimit), 1);
+        assert_eq!(report.sessions_evicted_lru, 0);
+    }
+
+    #[test]
+    fn idle_sessions_are_swept() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(314));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 5));
+        mgr.open(1, 0, &metrics).expect("open");
+        mgr.open(2, 0, &metrics).expect("open");
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(mgr.sweep_idle(&metrics), 2);
+        assert!(mgr.is_empty());
+        let report = metrics.snapshot(0, 0);
+        assert_eq!(report.sessions_evicted_idle, 2);
+    }
+
+    #[test]
+    fn finalize_all_flushes_everything() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(315));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        for id in 0..3 {
+            mgr.open(id, 1, &metrics).expect("open");
+        }
+        assert_eq!(mgr.finalize_all(&metrics), 3);
+        assert!(mgr.is_empty());
+        assert_eq!(metrics.snapshot(0, 0).sessions_finalized, 3);
+    }
+}

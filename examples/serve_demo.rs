@@ -1,0 +1,126 @@
+//! A self-contained serving demo: boots the `lhmm-serve` TCP front end on
+//! loopback, throws a mixed workload at it from several client threads —
+//! one-shot batch requests and a live streaming session side by side —
+//! then drains gracefully and prints the full metrics report.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use lhmm::cellsim::traj::CellularTrajectory;
+use lhmm::prelude::*;
+use lhmm::serve::ServeClient;
+use std::net::SocketAddr;
+use std::thread;
+
+/// One-shot client: match every `stride`-th held-out trajectory and count
+/// the verdicts.
+fn one_shot_worker(
+    addr: SocketAddr,
+    trajs: &[CellularTrajectory],
+    offset: usize,
+    stride: usize,
+) -> (usize, usize, usize) {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let (mut routed, mut degraded, mut failed) = (0, 0, 0);
+    for traj in trajs.iter().skip(offset).step_by(stride) {
+        match client.one_shot(traj) {
+            Ok(reply) => {
+                routed += 1;
+                if reply.degraded {
+                    degraded += 1;
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    (routed, degraded, failed)
+}
+
+/// Streaming client: open a session, push observations one at a time (the
+/// mode a live vehicle feed would run in), then finish and take the route.
+fn streaming_worker(addr: SocketAddr, session: u64, traj: &CellularTrajectory) -> usize {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open(session, 4).expect("open session");
+    let mut committed = 0;
+    for point in &traj.points {
+        // An unmatchable observation (no candidates in radius) is
+        // survivable: the session skips it and keeps streaming.
+        if let Ok(c) = client.push(session, point) {
+            committed = c as usize;
+        }
+    }
+    let route = client.finish(session).expect("finish session");
+    println!(
+        "  streaming session {session}: {} observations -> {} segments (last commit {committed})",
+        traj.len(),
+        route.segments.len()
+    );
+    route.segments.len()
+}
+
+fn main() {
+    println!("generating dataset and training a fast-test model ...");
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(42));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(42));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+    let stream_traj = &ds
+        .test
+        .iter()
+        .max_by_key(|r| r.cellular.len())
+        .expect("non-empty test split")
+        .cellular;
+
+    let config = ServeConfig {
+        batch: BatchPolicy {
+            max_batch: 8,
+            workers: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    println!(
+        "serving {} one-shot trajectories from 3 clients plus 2 streaming sessions ...",
+        trajs.len()
+    );
+
+    let report = thread::scope(|s| {
+        let server = ServerHandle::start(
+            s,
+            ServeCtx {
+                ctx,
+                model: lhmm.model(),
+            },
+            config,
+        )
+        .expect("bind loopback server");
+        let addr = server.addr();
+
+        // The mixed workload: client threads live in an inner scope so
+        // they all finish before the server drains.
+        thread::scope(|cs| {
+            let trajs = &trajs;
+            for offset in 0..3 {
+                cs.spawn(move || {
+                    let (routed, degraded, failed) = one_shot_worker(addr, trajs, offset, 3);
+                    println!(
+                        "  one-shot client {offset}: {routed} routed ({degraded} degraded), {failed} failed"
+                    );
+                });
+            }
+            for session in [100u64, 200] {
+                cs.spawn(move || streaming_worker(addr, session, stream_traj));
+            }
+        });
+
+        server.shutdown_and_drain()
+    });
+
+    println!("\n{}", report.render());
+    assert_eq!(report.in_flight_lost(), 0, "drain must lose nothing");
+}

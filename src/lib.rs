@@ -23,6 +23,8 @@
 //! * [`baselines`] — ten reimplemented comparison matchers.
 //! * [`eval`] — precision / recall / RMF / CMF / hitting-ratio metrics and
 //!   the experiment runner.
+//! * [`serve`] — online matching service: session manager, dynamic
+//!   micro-batching, load-shedding admission control, framed TCP protocol.
 
 #![forbid(unsafe_code)]
 
@@ -34,6 +36,7 @@ pub use lhmm_geo as geo;
 pub use lhmm_graph as graph;
 pub use lhmm_network as network;
 pub use lhmm_neural as neural;
+pub use lhmm_serve as serve;
 
 /// Common imports for applications built on LHMM.
 pub mod prelude {
@@ -45,4 +48,8 @@ pub mod prelude {
     pub use lhmm_geo::Point;
     pub use lhmm_network::graph::{RoadNetwork, SegmentId};
     pub use lhmm_network::path::Path;
+    pub use lhmm_serve::{
+        BatchPolicy, RejectReason, ServeClient, ServeConfig, ServeCtx, ServerHandle,
+        SessionPolicy,
+    };
 }
