@@ -36,6 +36,27 @@ run cargo clippy -p lhmm-core --lib --no-deps -- -D warnings -D clippy::unwrap_u
 # shed or disconnect, but must never panic the server.
 run cargo clippy -p lhmm-serve --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+# The learned scorers and the experiment runner carry the same no-panic
+# contract: a forward pass runs inside matching, and one degenerate
+# trajectory must not abort a sweep.
+run cargo clippy -p lhmm-neural --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+run cargo clippy -p lhmm-eval --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# Workspace determinism & robustness linter (see DESIGN §10): float
+# comparisons, nondeterminism sources, hash iteration, panic paths and
+# truncating casts, with zone policies per crate. New findings fail CI;
+# the inference zone must additionally carry zero waived/baselined debt.
+run cargo run -q -p lhmm-lint -- --deny
+
+# Scheduling-nondeterminism smoke test: match the seeded adversarial
+# corpus at two BatchMatcher worker counts (and once repeated) and require
+# identical result fingerprints.
+run cargo run -q -p lhmm-lint -- --races
+
+# Rendered API docs must stay warning-free (broken intra-doc links are the
+# usual regression).
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 # Unit + doc + integration tests, whole workspace.
 run cargo test --workspace -q
 

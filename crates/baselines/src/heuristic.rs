@@ -255,7 +255,9 @@ fn smooth_positions(positions: &[Point], window: usize) -> Vec<Point> {
         .map(|i| {
             let lo = i.saturating_sub(window);
             let hi = (i + window + 1).min(positions.len());
-            lhmm_geo::point::centroid(&positions[lo..hi]).expect("non-empty window")
+            // The window always contains index `i`, so the centroid
+            // exists; keep the raw point if it ever does not.
+            lhmm_geo::point::centroid(&positions[lo..hi]).unwrap_or(positions[i])
         })
         .collect()
 }
@@ -264,7 +266,7 @@ fn smooth_positions(positions: &[Point], window: usize) -> Vec<Point> {
 // Factory functions: one per published baseline.
 // ---------------------------------------------------------------------
 
-/// ST-Matching [8]: topology + temporal (speed) analysis.
+/// ST-Matching \[8\]: topology + temporal (speed) analysis.
 pub fn stm(net: &RoadNetwork) -> HeuristicHmm {
     HeuristicHmm::new(
         net,
@@ -290,7 +292,7 @@ pub fn stm_s(net: &RoadNetwork) -> HeuristicHmm {
     )
 }
 
-/// IF-Matching [32]: stronger speed information fusion.
+/// IF-Matching \[32\]: stronger speed information fusion.
 pub fn ifm(net: &RoadNetwork) -> HeuristicHmm {
     HeuristicHmm::new(
         net,
@@ -303,7 +305,7 @@ pub fn ifm(net: &RoadNetwork) -> HeuristicHmm {
     )
 }
 
-/// MCM [34]: common sub-sequence between trajectory and routes.
+/// MCM \[34\]: common sub-sequence between trajectory and routes.
 pub fn mcm(net: &RoadNetwork) -> HeuristicHmm {
     HeuristicHmm::new(
         net,
@@ -317,14 +319,14 @@ pub fn mcm(net: &RoadNetwork) -> HeuristicHmm {
     )
 }
 
-/// CLSTERS [41]: calibration (extra smoothing) before a classic HMM.
+/// CLSTERS \[41\]: calibration (extra smoothing) before a classic HMM.
 pub fn clsters(net: &RoadNetwork) -> HeuristicHmm {
     let mut m = HeuristicHmm::new(net, "CLSTERS", ModelPreset::default(), 0);
     m.extra_smooth = 2;
     m
 }
 
-/// SnapNet [12]: digital-map hints with direction/turn heuristics.
+/// SnapNet \[12\]: digital-map hints with direction/turn heuristics.
 pub fn snapnet(net: &RoadNetwork) -> HeuristicHmm {
     HeuristicHmm::new(
         net,
@@ -338,7 +340,7 @@ pub fn snapnet(net: &RoadNetwork) -> HeuristicHmm {
     )
 }
 
-/// THMM [42]: geometric + reachability constraints tailored for cellular
+/// THMM \[42\]: geometric + reachability constraints tailored for cellular
 /// data.
 pub fn thmm(net: &RoadNetwork) -> HeuristicHmm {
     HeuristicHmm::new(

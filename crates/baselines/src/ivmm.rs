@@ -1,4 +1,4 @@
-//! IVMM [10]: interactive-voting based map matching.
+//! IVMM \[10\]: interactive-voting based map matching.
 //!
 //! Every trajectory point "votes": for point `i`, the globally optimal
 //! candidate sequence *forced through* point `i`'s locally best candidate is
@@ -203,13 +203,11 @@ impl MapMatcher for Ivmm {
         // distance-decayed weight.
         let mut votes: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.len()]).collect();
         for i in 0..n {
-            let best_c = (0..layers[i].len())
-                .max_by(|&a, &b| {
-                    (f_fwd[i][a] + f_bwd[i][a])
-                        .partial_cmp(&(f_fwd[i][b] + f_bwd[i][b]))
-                        .expect("finite scores")
-                })
-                .expect("non-empty layer");
+            let Some(best_c) = (0..layers[i].len()).max_by(|&a, &b| {
+                (f_fwd[i][a] + f_bwd[i][a]).total_cmp(&(f_fwd[i][b] + f_bwd[i][b]))
+            }) else {
+                continue; // empty layer casts no votes
+            };
             let seq = forced_path(i, best_c, &pre, &nxt, n);
             for (j, &cj) in seq.iter().enumerate() {
                 let d = positions[i].distance(positions[j]);
@@ -222,9 +220,11 @@ impl MapMatcher for Ivmm {
         let mut path = Path::empty();
         let mut prev: Option<Candidate> = None;
         for (i, layer) in layers.iter().enumerate() {
-            let win = (0..layer.len())
-                .max_by(|&a, &b| votes[i][a].partial_cmp(&votes[i][b]).expect("finite"))
-                .expect("non-empty layer");
+            let Some(win) =
+                (0..layer.len()).max_by(|&a, &b| votes[i][a].total_cmp(&votes[i][b]))
+            else {
+                continue; // empty layer contributes no segment
+            };
             let cand = layer[win];
             match prev {
                 None => path.segments.push(cand.seg),

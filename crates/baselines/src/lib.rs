@@ -5,17 +5,17 @@
 //!
 //! | module | method | mechanism |
 //! |---|---|---|
-//! | [`heuristic`] | STM [8] | topology + temporal (speed) analysis |
+//! | [`heuristic`] | STM \[8\] | topology + temporal (speed) analysis |
 //! | [`heuristic`] | STM+S | STM with LHMM's shortcut pass |
-//! | [`ivmm`] | IVMM [10] | interactive voting between points |
-//! | [`heuristic`] | IFM [32] | moving-speed information fusion |
-//! | [`heuristic`] | MCM [34] | common sub-sequence route tracking |
-//! | [`heuristic`] | CLSTERS [41] | trajectory calibration then HMM |
-//! | [`heuristic`] | SnapNet [12] | map hints + direction/turn heuristics |
-//! | [`heuristic`] | THMM [42] | geometric/reachability constraints |
-//! | [`seq2seq`] | DMM [15] | GRU seq2seq, constrained decoding |
-//! | [`seq2seq`] | DeepMM [37] | seq2seq + attention + augmentation |
-//! | [`seq2seq`] | TransformerMM [38] | self-attention encoder seq2seq |
+//! | [`ivmm`] | IVMM \[10\] | interactive voting between points |
+//! | [`heuristic`] | IFM \[32\] | moving-speed information fusion |
+//! | [`heuristic`] | MCM \[34\] | common sub-sequence route tracking |
+//! | [`heuristic`] | CLSTERS \[41\] | trajectory calibration then HMM |
+//! | [`heuristic`] | SnapNet \[12\] | map hints + direction/turn heuristics |
+//! | [`heuristic`] | THMM \[42\] | geometric/reachability constraints |
+//! | [`seq2seq`] | DMM \[15\] | GRU seq2seq, constrained decoding |
+//! | [`seq2seq`] | DeepMM \[37\] | seq2seq + attention + augmentation |
+//! | [`seq2seq`] | TransformerMM \[38\] | self-attention encoder seq2seq |
 
 #![forbid(unsafe_code)]
 

@@ -1,4 +1,4 @@
-//! The seq2seq CTMM baselines: DMM [15], DeepMM [37], TransformerMM [38].
+//! The seq2seq CTMM baselines: DMM \[15\], DeepMM \[37\], TransformerMM \[38\].
 //!
 //! All three share an encoder–decoder skeleton over tower/segment
 //! embeddings and differ where the original papers differ:
@@ -73,7 +73,7 @@ impl Seq2SeqConfig {
         }
     }
 
-    /// DMM [15]. The published system is purpose-built and heavily tuned
+    /// DMM \[15\]. The published system is purpose-built and heavily tuned
     /// for CTMM (including an RL fine-tuning stage we approximate with a
     /// longer supervised schedule), so it trains longer than the
     /// GPS-oriented seq2seq baselines.
@@ -84,7 +84,7 @@ impl Seq2SeqConfig {
         }
     }
 
-    /// DeepMM [37].
+    /// DeepMM \[37\].
     pub fn deepmm(seed: u64) -> Self {
         Seq2SeqConfig {
             attention: true,
@@ -93,7 +93,7 @@ impl Seq2SeqConfig {
         }
     }
 
-    /// TransformerMM [38].
+    /// TransformerMM \[38\].
     pub fn transformer_mm(seed: u64) -> Self {
         Seq2SeqConfig {
             attention: true,
@@ -254,8 +254,9 @@ impl Seq2SeqMatcher {
 
     /// Runs the encoder; returns `(all states n×hidden, final state 1×hidden)`.
     fn encode(&self, tape: &mut Tape, tower_idx: &[usize]) -> (Var, Var) {
-        if self.cfg.transformer_encoder {
-            let (att, proj) = self.transformer.as_ref().expect("transformer variant");
+        if let (true, Some((att, proj))) =
+            (self.cfg.transformer_encoder, self.transformer.as_ref())
+        {
             let emb = self.tower_embed.forward(tape, &self.store, tower_idx); // n×e
             let mut states: Option<Var> = None;
             for i in 0..tower_idx.len() {
@@ -267,7 +268,8 @@ impl Seq2SeqMatcher {
                     Some(acc) => tape.concat_rows(acc, s),
                 });
             }
-            let states = states.expect("non-empty trajectory");
+            let states =
+                states.unwrap_or_else(|| tape.constant(Matrix::zeros(1, self.cfg.hidden)));
             let final_state = tape.mean_rows(states);
             (states, final_state)
         } else {
@@ -281,7 +283,7 @@ impl Seq2SeqMatcher {
                     Some(acc) => tape.concat_rows(acc, h),
                 });
             }
-            (states.expect("non-empty trajectory"), h)
+            (states.unwrap_or(h), h)
         }
     }
 
@@ -340,23 +342,20 @@ impl Seq2SeqMatcher {
             let chosen = if allowed.is_empty() {
                 // Dead end: fall back to the global argmax (this is where
                 // unconstrained seq2seq output goes off-road).
-                (0..self.num_segments)
-                    .max_by(|&a, &b| {
-                        logits.data()[a]
-                            .partial_cmp(&logits.data()[b])
-                            .expect("finite logits")
-                    })
-                    .map(|i| SegmentId(i as u32))
-                    .expect("non-empty vocab")
+                match (0..self.num_segments)
+                    .max_by(|&a, &b| logits.data()[a].total_cmp(&logits.data()[b]))
+                {
+                    Some(i) => SegmentId(i as u32),
+                    None => break, // zero-segment network: nothing to emit
+                }
             } else {
-                *allowed
+                match allowed
                     .iter()
-                    .max_by(|&&a, &&b| {
-                        logits.data()[a.idx()]
-                            .partial_cmp(&logits.data()[b.idx()])
-                            .expect("finite logits")
-                    })
-                    .expect("non-empty allowed")
+                    .max_by(|&&a, &&b| logits.data()[a.idx()].total_cmp(&logits.data()[b.idx()]))
+                {
+                    Some(&seg) => seg,
+                    None => break, // `allowed` checked non-empty above
+                }
             };
             traveled += net.segment(chosen).length;
             out_segs.push(chosen);

@@ -76,9 +76,10 @@ pub fn serving_tower(
             let fade = cfg.fade_std_db * randkit::randn(rng);
             (t, mean_signal_db(field, t, pos, trip_seed, cfg) + fade)
         })
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite signals"))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(t, _)| t)
-        .expect("non-empty candidates")
+        // `candidates` starts with the nearest tower, so this is total.
+        .unwrap_or(TowerId(0))
 }
 
 #[cfg(test)]

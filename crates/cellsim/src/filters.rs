@@ -1,7 +1,7 @@
 //! SnapNet-style trajectory pre-filters.
 //!
 //! The paper (§V-A1) filters every cellular trajectory before matching with
-//! the SnapNet [12] pipeline: a speed filter, an α-trimmed mean filter, and
+//! the SnapNet \[12\] pipeline: a speed filter, an α-trimmed mean filter, and
 //! a direction filter. All matchers — LHMM and baselines — consume the
 //! filtered trajectory.
 
@@ -137,7 +137,7 @@ fn trimmed_mean(pts: &[Point], alpha: f64) -> Point {
     debug_assert!(!pts.is_empty());
     let trim = ((pts.len() as f64) * alpha).floor() as usize;
     let mean_axis = |vals: &mut Vec<f64>| -> f64 {
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        vals.sort_by(|a, b| a.total_cmp(b));
         let slice = &vals[trim.min(vals.len() / 2)..vals.len() - trim.min(vals.len() / 2)];
         slice.iter().sum::<f64>() / slice.len() as f64
     };

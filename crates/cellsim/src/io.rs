@@ -89,7 +89,9 @@ pub fn read_trajectories<R: Read>(reader: R) -> Result<Vec<CellularTrajectory>, 
             out.push(CellularTrajectory::default());
             current_id = Some(traj_id);
         }
-        let traj = out.last_mut().expect("pushed above");
+        let Some(traj) = out.last_mut() else {
+            continue; // unreachable: a trajectory was pushed above
+        };
         if let Some(last) = traj.points.last() {
             if t <= last.t {
                 return Err(IoError::UnorderedTimestamps(lineno + 1));

@@ -124,10 +124,11 @@ pub fn thin_to_rate(
         }
     }
     // Always keep the final point so the trip end stays observable.
-    let last = *traj.points.last().expect("non-empty");
-    if points.last().map(|p| p.t) != Some(last.t) {
-        points.push(last);
-        pos.push(*true_positions.last().expect("non-empty"));
+    if let (Some(&last), Some(&last_pos)) = (traj.points.last(), true_positions.last()) {
+        if points.last().map(|p| p.t) != Some(last.t) {
+            points.push(last);
+            pos.push(last_pos);
+        }
     }
     (CellularTrajectory { points }, pos)
 }

@@ -68,7 +68,7 @@ pub fn compute(ds: &Dataset) -> DatasetStats {
         if v.is_empty() {
             return 0.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     };
 

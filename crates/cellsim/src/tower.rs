@@ -55,7 +55,8 @@ impl TowerField {
         assert!(cell_size > 0.0);
         let pts: Vec<Point> = towers.iter().map(|t| t.pos).collect();
         let bbox = lhmm_geo::BBox::from_points(&pts)
-            .expect("non-empty towers")
+            // `towers` was asserted non-empty above.
+            .unwrap_or_else(|| lhmm_geo::BBox::from_point(Point::new(0.0, 0.0)))
             .inflated(cell_size);
         let cols = (bbox.width() / cell_size).ceil().max(1.0) as usize;
         let rows = (bbox.height() / cell_size).ceil().max(1.0) as usize;
@@ -132,8 +133,7 @@ impl TowerField {
                 self.tower(a)
                     .pos
                     .distance(p)
-                    .partial_cmp(&self.tower(b).pos.distance(p))
-                    .expect("finite distances")
+                    .total_cmp(&self.tower(b).pos.distance(p))
             }) {
                 return best;
             }

@@ -79,12 +79,14 @@ impl Drive {
             return net.segment_start(self.path.segments[0]);
         }
         if t >= self.duration {
-            return net.segment_end(*self.path.segments.last().expect("non-empty"));
+            if let Some(&last) = self.path.segments.last() {
+                return net.segment_end(last);
+            }
         }
         // Binary search the segment whose time window contains t.
         let i = match self
             .seg_start_time
-            .binary_search_by(|s| s.partial_cmp(&t).expect("finite times"))
+            .binary_search_by(|s| s.total_cmp(&t))
         {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),

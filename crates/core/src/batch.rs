@@ -183,10 +183,10 @@ impl<'a> BatchMatcher<'a> {
         }
         let workers = self.config.effective_workers().min(trajs.len());
 
-        let warm_start = std::time::Instant::now();
+        let warm_start = crate::timing::StageTimer::start();
         let warm = Arc::new(self.build_warm_layer(ctx, trajs));
         stats.warm_entries = warm.len();
-        stats.warm_time_s = warm_start.elapsed().as_secs_f64();
+        stats.warm_time_s = warm_start.elapsed_s();
 
         let next = AtomicUsize::new(0);
         let model = self.model;

@@ -10,7 +10,7 @@ use crate::types::{
 };
 use crate::viterbi::{EngineConfig, HmmEngine};
 use std::ops::{Deref, DerefMut};
-use std::time::Instant;
+use crate::timing::StageTimer;
 use lhmm_cellsim::dataset::Dataset;
 use lhmm_cellsim::tower::TowerId;
 use lhmm_cellsim::traj::CellularTrajectory;
@@ -527,11 +527,11 @@ impl LhmmModel {
 
         let obs_scratch = engine.take_obs_scratch();
         let obs_allocs0 = obs_scratch.fresh_allocs();
-        let cand_start = Instant::now();
+        let cand_start = StageTimer::start();
         let mut obs_scorer = self.obs_scorer_with(&towers, obs_scratch);
         let (kept, layers) =
             self.prepare_candidates(ctx, traj, &mut obs_scorer, &mut stats.degradation);
-        stats.candidate_time_s = cand_start.elapsed().as_secs_f64();
+        stats.candidate_time_s = cand_start.elapsed_s();
 
         // Hand a finished observation scorer's arena/stats back regardless
         // of how the match exits.
@@ -600,9 +600,9 @@ impl LhmmModel {
 
         let cache_before = engine.cache_stats_detailed();
         engine.take_sp_time(); // discard any stale accumulation
-        let viterbi_start = Instant::now();
+        let viterbi_start = StageTimer::start();
         let out = engine.try_find_path(ctx.net, &pts, layers, &mut model);
-        stats.viterbi_time_s = viterbi_start.elapsed().as_secs_f64();
+        stats.viterbi_time_s = viterbi_start.elapsed_s();
         stats.sp_time_s = engine.take_sp_time();
         let cache_after = engine.cache_stats_detailed();
         stats.cache_hits = cache_after.hits - cache_before.hits;

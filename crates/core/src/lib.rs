@@ -47,6 +47,7 @@ pub mod error;
 pub mod lhmm;
 pub mod observation;
 pub mod streaming;
+pub mod timing;
 pub mod transition;
 pub mod types;
 pub mod viterbi;

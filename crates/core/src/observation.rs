@@ -519,7 +519,7 @@ impl<'a> ObsTrajScorer<'a> {
         if segs.is_empty() {
             return;
         }
-        let t0 = std::time::Instant::now();
+        let t0 = crate::timing::StageTimer::start();
         if self.scalar {
             let scores = self.learner.score(
                 net,
@@ -565,7 +565,7 @@ impl<'a> ObsTrajScorer<'a> {
             self.scratch.give(x);
             self.scratch.give(logits);
         }
-        self.stats.time_s += t0.elapsed().as_secs_f64();
+        self.stats.time_s += t0.elapsed_s();
         self.stats.calls += 1;
         self.stats.rows += segs.len() as u64;
     }

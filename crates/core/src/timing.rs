@@ -1,0 +1,45 @@
+//! The inference zone's single audited wall-clock access point.
+//!
+//! Matching must be a pure function of `(model, trajectory)`; `lhmm-lint`
+//! therefore bans `Instant::now`/`SystemTime::now` across the inference
+//! crates (rule `nondeterminism`) — except in this module. Stage timers
+//! exist only to fill [`MatchStats`](crate::types::MatchStats) telemetry;
+//! their readings never feed a score, a tie-break, or any other
+//! result-affecting value. Keeping every clock read behind this one type
+//! makes that auditable: a new wall-clock use anywhere else in the
+//! inference zone fails CI.
+
+use std::time::Instant;
+
+/// A started stage timer. Copy-cheap; read it with
+/// [`StageTimer::elapsed_s`].
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimer(Instant);
+
+impl StageTimer {
+    /// Starts timing a stage.
+    #[inline]
+    pub fn start() -> Self {
+        StageTimer(Instant::now())
+    }
+
+    /// Seconds elapsed since [`StageTimer::start`].
+    #[inline]
+    pub fn elapsed_s(self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_nonnegative() {
+        let t = StageTimer::start();
+        let a = t.elapsed_s();
+        let b = t.elapsed_s();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

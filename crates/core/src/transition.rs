@@ -489,7 +489,7 @@ impl<'a> TrajTransScorer<'a> {
         route_len: f64,
         route_segs: &[SegmentId],
     ) -> f32 {
-        let t0 = std::time::Instant::now();
+        let t0 = crate::timing::StageTimer::start();
         let relevance = self.route_relevance(route_segs);
         let feats = explicit_features(net, d_straight, dt, route_len, route_segs);
         let p = if self.scalar {
@@ -513,7 +513,7 @@ impl<'a> TrajTransScorer<'a> {
             p
         };
         self.stats.calls += 1;
-        self.stats.time_s += t0.elapsed().as_secs_f64();
+        self.stats.time_s += t0.elapsed_s();
         p
     }
 

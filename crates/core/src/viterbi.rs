@@ -14,7 +14,7 @@ use lhmm_network::path::Path;
 use lhmm_network::shortest_path::DijkstraEngine;
 use lhmm_network::sp_cache::{SpCache, SpCacheStats, WarmLayer};
 use lhmm_neural::Scratch;
-use std::time::Instant;
+use crate::timing::StageTimer;
 
 /// Engine parameters.
 #[derive(Clone, Debug)]
@@ -146,7 +146,8 @@ impl HmmEngine {
     ///
     /// `pts` are the effective positions/timestamps of the trajectory points
     /// that survived candidate preparation; `layers[i]` are point `i`'s
-    /// candidates. Panics when lengths disagree or a layer is empty; use
+    /// candidates. Malformed input (length mismatch, empty layer) degrades
+    /// to an empty output and bumps `degradation.failed_matches`; use
     /// [`Self::try_find_path`] for a typed error instead.
     pub fn find_path<M: HmmProbabilities>(
         &mut self,
@@ -155,8 +156,18 @@ impl HmmEngine {
         layers: Vec<Vec<Candidate>>,
         model: &mut M,
     ) -> HmmOutput {
-        self.try_find_path(net, pts, layers, model)
-            .unwrap_or_else(|e| panic!("{e}"))
+        match self.try_find_path(net, pts, layers, model) {
+            Ok(out) => out,
+            Err(_) => {
+                self.degradation.failed_matches += 1;
+                HmmOutput {
+                    path: Path::new(Vec::new()),
+                    score: f64::NEG_INFINITY,
+                    shortcut_points: 0,
+                    added_candidates: Vec::new(),
+                }
+            }
+        }
     }
 
     /// [`Self::find_path`] with typed errors: [`MatchError::LayerMismatch`]
@@ -260,11 +271,11 @@ impl HmmEngine {
                     for &(_, j) in &scored {
                         let cj = layers[i - 2][j];
                         let ck = layers[i][k];
-                        let t0 = Instant::now();
+                        let t0 = StageTimer::start();
                         let route = self.sp_cache.route_between_projections(
                             net, cj.seg, cj.t, ck.seg, ck.t, bound,
                         );
-                        self.sp_time_s += t0.elapsed().as_secs_f64();
+                        self.sp_time_s += t0.elapsed_s();
                         let Some(route) = route else {
                             continue;
                         };
@@ -341,11 +352,11 @@ impl HmmEngine {
                 Some(p) => {
                     let bound = 10.0 * self.cfg.route_slack
                         + self.cfg.max_route_factor * net.bbox().width().max(net.bbox().height());
-                    let t0 = Instant::now();
+                    let t0 = StageTimer::start();
                     let route = self.sp_cache.route_between_projections(
                         net, p.seg, p.t, cand.seg, cand.t, bound,
                     );
-                    self.sp_time_s += t0.elapsed().as_secs_f64();
+                    self.sp_time_s += t0.elapsed_s();
                     match route {
                         Some(r) => path.extend_with(&r.segments),
                         None => {
@@ -385,11 +396,11 @@ impl HmmEngine {
             .iter()
             .map(|c| net.segment(c.seg).from)
             .collect();
-        let t0 = Instant::now();
+        let t0 = StageTimer::start();
         let inner = self
             .dijkstra
             .node_to_nodes(net, prev_seg.to, &targets, bound);
-        self.sp_time_s += t0.elapsed().as_secs_f64();
+        self.sp_time_s += t0.elapsed_s();
         cur_layer
             .iter()
             .zip(inner)
@@ -428,11 +439,11 @@ impl HmmEngine {
         b: &Candidate,
         bound: f64,
     ) -> RouteInfo {
-        let t0 = Instant::now();
+        let t0 = StageTimer::start();
         let route = self
             .sp_cache
             .route_between_projections(net, a.seg, a.t, b.seg, b.t, bound);
-        self.sp_time_s += t0.elapsed().as_secs_f64();
+        self.sp_time_s += t0.elapsed_s();
         match route {
             Some(r) => RouteInfo {
                 found: true,
@@ -628,12 +639,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one layer per point")]
-    fn mismatched_layers_panic() {
+    fn mismatched_layers_degrade_without_panicking() {
         let net = ladder();
         let mut model = classic_for(&[Point::ORIGIN]);
         let mut engine = HmmEngine::new(&net, EngineConfig::default());
-        let _ = engine.find_path(&net, &[(Point::ORIGIN, 0.0)], vec![], &mut model);
+        let out = engine.find_path(&net, &[(Point::ORIGIN, 0.0)], vec![], &mut model);
+        assert!(out.path.segments.is_empty());
+        assert_eq!(engine.take_degradation().failed_matches, 1);
     }
 
     #[test]

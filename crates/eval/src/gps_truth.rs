@@ -1,7 +1,7 @@
 //! Ground-truth derivation from GPS samples (paper §V-A1).
 //!
 //! The paper labels each cellular trajectory's ground-truth path by running
-//! a classical HMM matcher [8] over the *GPS* sample sequence of the same
+//! a classical HMM matcher \[8\] over the *GPS* sample sequence of the same
 //! trip. The simulator knows the exact traveled path, so this module exists
 //! for two purposes:
 //!

@@ -21,6 +21,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// The runner drives whole experiment sweeps; one degenerate
+// trajectory must not abort a multi-hour run, so `unwrap`/`expect` are
+// denied outside test builds (ci.sh lints the lib target explicitly).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod gps_truth;
 pub mod histogram;

@@ -36,3 +36,19 @@ pub mod segment;
 pub use bbox::BBox;
 pub use point::Point;
 pub use segment::{project_onto_segment, Projection};
+
+/// True exactly when `x == ±0.0` — the degenerate-geometry guard used in
+/// place of a float `==` (which `lhmm-lint` bans in the inference zone,
+/// rule `float-cmp`). Bit-for-bit equivalent to `x == 0.0` for every
+/// input: `-0.0` is zero, NaN is not.
+#[inline]
+pub fn exactly_zero(x: f64) -> bool {
+    x.abs().to_bits() == 0
+}
+
+/// [`exactly_zero`] for `f32` values (the neural crates run in single
+/// precision).
+#[inline]
+pub fn exactly_zero_f32(x: f32) -> bool {
+    x.abs().to_bits() == 0
+}

@@ -78,7 +78,7 @@ impl Point {
     pub fn bearing_to(&self, other: Point) -> f64 {
         let dy = other.y - self.y;
         let dx = other.x - self.x;
-        if dx == 0.0 && dy == 0.0 {
+        if crate::exactly_zero(dx) && crate::exactly_zero(dy) {
             0.0
         } else {
             dy.atan2(dx)
@@ -89,7 +89,7 @@ impl Point {
     /// the points coincide.
     pub fn direction_to(&self, other: Point) -> Option<Point> {
         let d = self.distance(other);
-        if d == 0.0 {
+        if crate::exactly_zero(d) {
             None
         } else {
             Some(Point::new((other.x - self.x) / d, (other.y - self.y) / d))

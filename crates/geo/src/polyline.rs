@@ -85,7 +85,7 @@ pub fn resample(points: &[Point], step: f64) -> Vec<Point> {
     out.push(points[0]);
     for w in points.windows(2) {
         let seg_len = w[0].distance(w[1]);
-        if seg_len == 0.0 {
+        if crate::exactly_zero(seg_len) {
             continue;
         }
         let n = (seg_len / step).ceil() as usize;
@@ -148,7 +148,7 @@ pub fn point_at_distance(points: &[Point], dist: f64) -> Option<Point> {
     for w in points.windows(2) {
         let seg_len = w[0].distance(w[1]);
         if remaining <= seg_len {
-            if seg_len == 0.0 {
+            if crate::exactly_zero(seg_len) {
                 return Some(w[0]);
             }
             return Some(w[0].lerp(w[1], remaining / seg_len));

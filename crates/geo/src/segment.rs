@@ -20,7 +20,7 @@ pub struct Projection {
 pub fn project_onto_segment(p: Point, a: Point, b: Point) -> Projection {
     let ab = b - a;
     let len_sq = ab.dot(ab);
-    if len_sq == 0.0 {
+    if crate::exactly_zero(len_sq) {
         return Projection {
             point: a,
             distance: p.distance(a),
@@ -66,10 +66,10 @@ pub fn segments_intersect(a1: Point, b1: Point, a2: Point, b2: Point) -> bool {
     {
         return true;
     }
-    (d1 == 0.0 && on_segment(a2, b2, a1))
-        || (d2 == 0.0 && on_segment(a2, b2, b1))
-        || (d3 == 0.0 && on_segment(a1, b1, a2))
-        || (d4 == 0.0 && on_segment(a1, b1, b2))
+    (crate::exactly_zero(d1) && on_segment(a2, b2, a1))
+        || (crate::exactly_zero(d2) && on_segment(a2, b2, b1))
+        || (crate::exactly_zero(d3) && on_segment(a1, b1, a2))
+        || (crate::exactly_zero(d4) && on_segment(a1, b1, b2))
 }
 
 #[inline]

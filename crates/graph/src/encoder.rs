@@ -6,7 +6,7 @@
 //! the node's own state. The encoder is trained self-supervised by edge
 //! reconstruction: embeddings of connected nodes should score higher than
 //! random pairs under a dot-product decoder — the standard R-GCN link
-//! prediction setup of Schlichtkrull et al. [43].
+//! prediction setup of Schlichtkrull et al. \[43\].
 
 use crate::relgraph::{MultiRelGraph, Relation, RELATIONS};
 use lhmm_cellsim::tower::TowerId;
@@ -124,7 +124,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
     let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-    if na == 0.0 || nb == 0.0 {
+    if lhmm_geo::exactly_zero_f32(na) || lhmm_geo::exactly_zero_f32(nb) {
         0.0
     } else {
         dot / (na * nb)
@@ -203,9 +203,16 @@ impl EncoderModel {
         let mut h = tape.param(&self.store, self.h0);
         match self.kind {
             EncoderKind::MlpEmbedding => {
-                let proj = self.mlp_proj.as_ref().expect("mlp variant");
-                let z = proj.forward(tape, &self.store, h);
-                tape.tanh(z)
+                // `new` always builds the projection for this kind; if the
+                // invariant is ever broken, degrade to the raw embedding
+                // table rather than panic.
+                match self.mlp_proj.as_ref() {
+                    Some(proj) => {
+                        let z = proj.forward(tape, &self.store, h);
+                        tape.tanh(z)
+                    }
+                    None => h,
+                }
             }
             EncoderKind::Heterogeneous => {
                 let h0 = h;
@@ -220,9 +227,13 @@ impl EncoderModel {
                             None => z,
                         });
                     }
-                    // Eq. 5: h' = relu(W_agg Σ z_rel + W_0 h).
-                    let m = msg.expect("at least one relation");
-                    let agg = self.agg.as_ref().expect("het variant");
+                    // Eq. 5: h' = relu(W_agg Σ z_rel + W_0 h). A layer
+                    // with no relations or a missing aggregator (broken
+                    // construction invariant) stops message passing early
+                    // instead of panicking.
+                    let (Some(m), Some(agg)) = (msg, self.agg.as_ref()) else {
+                        break;
+                    };
                     let ma = agg.forward(tape, &self.store, m);
                     let hs = self.self_weights[l].forward(tape, &self.store, h);
                     let s = tape.add(ma, hs);
@@ -308,7 +319,9 @@ fn train_model(
                 }
                 pick -= set.len();
             }
-            let (s, d) = chosen.expect("index within total_edges");
+            // `pick < total_edges` = Σ set lens, so a miss is impossible;
+            // skip the draw rather than panic if the count ever drifts.
+            let Some((s, d)) = chosen else { continue };
             srcs.push(s as usize);
             dsts.push(d as usize);
             targets.push(1.0f32);

@@ -149,15 +149,13 @@ impl MultiRelGraph {
             // trajectory point (paper's definition).
             for &seg in &rec.truth.segments {
                 let mid = net.segment_midpoint(seg);
-                let closest = points
+                let Some(closest) = points
                     .iter()
-                    .min_by(|a, b| {
-                        a.pos
-                            .distance(mid)
-                            .partial_cmp(&b.pos.distance(mid))
-                            .expect("finite distances")
-                    })
-                    .expect("non-empty points");
+                    .min_by(|a, b| a.pos.distance(mid).total_cmp(&b.pos.distance(mid)))
+                else {
+                    // Unreachable: `points` was checked non-empty above.
+                    continue;
+                };
                 *co_acc.entry((closest.tower.0, seg.0)).or_insert(0.0) += 1.0;
             }
             // Sequentiality between consecutive towers (skip self-loops from

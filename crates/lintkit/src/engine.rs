@@ -1,0 +1,349 @@
+//! Workspace walking, waiver application, and baseline bookkeeping.
+//!
+//! # Waivers
+//!
+//! A finding can be waived inline with
+//! `// lint:allow(<rule>): <reason>` on the finding's line or the line
+//! directly above. The reason is mandatory: a waiver without one (or
+//! naming an unknown rule) is itself reported under the `waiver` rule and
+//! can be neither waived nor baselined.
+//!
+//! # Baseline
+//!
+//! `lint-baseline.txt` freezes pre-existing debt so only *new* findings
+//! fail CI. Entries are keyed by `(rule, path, hash of the trimmed source
+//! line)` — stable under line-number drift — with multiset semantics for
+//! identical lines. Inference-zone findings are **never** baselined or
+//! consumed from the baseline: the inference zone must be fixed, not
+//! frozen (see DESIGN §10).
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{check_file, zone_of, Finding, Zone, RULES};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, with `waived`/`baselined` resolved.
+    pub findings: Vec<Finding>,
+    /// Source line text per finding (same order), for display and keying.
+    pub excerpts: Vec<String>,
+    /// Baseline entries that matched no current finding (fixed debt) or
+    /// that pointed into the inference zone (never honored).
+    pub stale_baseline: usize,
+    /// Files linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// Findings that fail a `--deny` run: not waived, not baselined.
+    pub fn new_findings(&self) -> impl Iterator<Item = (&Finding, &str)> {
+        self.findings
+            .iter()
+            .zip(self.excerpts.iter())
+            .filter(|(f, _)| !f.waived && !f.baselined)
+            .map(|(f, e)| (f, e.as_str()))
+    }
+
+    pub fn count_new(&self) -> usize {
+        self.new_findings().count()
+    }
+
+    pub fn count_waived(&self) -> usize {
+        self.findings.iter().filter(|f| f.waived).count()
+    }
+
+    pub fn count_baselined(&self) -> usize {
+        self.findings.iter().filter(|f| f.baselined).count()
+    }
+
+    /// Waived or baselined findings inside the inference zone — the
+    /// acceptance bar requires this to be zero, and `--deny` prints it.
+    pub fn inference_debt(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| (f.waived || f.baselined) && zone_of(&f.path) == Some(Zone::Inference))
+            .count()
+    }
+}
+
+/// FNV-1a 64-bit — same construction the fault corpus fingerprint uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A parsed `lint:allow` waiver.
+struct Waiver {
+    line: u32,
+    rule: String,
+    /// `Some(finding)` when the waiver itself is malformed.
+    defect: Option<&'static str>,
+    /// Set once the waiver suppressed a finding on its own line; a consumed
+    /// trailing waiver does not spill onto the next line.
+    used: bool,
+}
+
+fn parse_waivers(rel: &str, comments: &[Comment], out: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in comments {
+        // Waivers are directives in plain `//` comments; doc comments
+        // (`///`, `//!`) merely *talk about* waivers.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            push_waiver_finding(rel, c.line, "unterminated `lint:allow(` waiver", out);
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        let defect = if !RULES.contains(&rule.as_str()) || rule == "waiver" {
+            Some("waiver names an unknown rule")
+        } else if reason.is_empty() {
+            Some("waiver without a justification; write `lint:allow(rule): <reason>`")
+        } else {
+            None
+        };
+        if let Some(msg) = defect {
+            push_waiver_finding(rel, c.line, msg, out);
+        }
+        waivers.push(Waiver {
+            line: c.line,
+            rule,
+            defect,
+            used: false,
+        });
+    }
+    waivers
+}
+
+fn push_waiver_finding(rel: &str, line: u32, msg: &str, out: &mut Vec<Finding>) {
+    out.push(Finding {
+        rule: "waiver",
+        path: rel.to_string(),
+        line,
+        message: msg.to_string(),
+        waived: false,
+        baselined: false,
+    });
+}
+
+/// Lints one file's source text (exposed for the fixture tests).
+pub fn check_source(rel: &str, zone: Zone, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut findings = check_file(rel, zone, &lexed);
+    let mut waiver_findings = Vec::new();
+    let mut waivers = parse_waivers(rel, &lexed.comments, &mut waiver_findings);
+    // Same-line (trailing) coverage first …
+    for f in &mut findings {
+        for w in &mut waivers {
+            if w.defect.is_none() && w.rule == f.rule && w.line == f.line {
+                f.waived = true;
+                w.used = true;
+            }
+        }
+    }
+    // … then standalone waiver comments cover the line below. A waiver
+    // already consumed on its own line does not spill downward.
+    for f in &mut findings {
+        if f.waived {
+            continue;
+        }
+        let covered = waivers
+            .iter()
+            .any(|w| w.defect.is_none() && !w.used && w.rule == f.rule && w.line + 1 == f.line);
+        if covered {
+            f.waived = true;
+        }
+    }
+    findings.extend(waiver_findings);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, repo-relative, sorted.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(()), // absent tree (e.g. no root src/) is fine
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_str(p: &Path) -> String {
+    // Forward slashes so baseline entries are platform-stable.
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs the linter over the workspace at `root`, applying the baseline at
+/// `baseline_path` when it exists.
+pub fn run(root: &Path, baseline_path: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, &root.join("crates"), &mut files)?;
+    collect_rs(root, &root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in &files {
+        let rel_s = rel_str(rel);
+        let Some(zone) = zone_of(&rel_s) else {
+            continue;
+        };
+        report.files += 1;
+        let src = fs::read_to_string(root.join(rel))?;
+        let lines: Vec<&str> = src.lines().collect();
+        for f in check_source(&rel_s, zone, &src) {
+            let excerpt = lines
+                .get(f.line.saturating_sub(1) as usize)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            report.findings.push(f);
+            report.excerpts.push(excerpt);
+        }
+    }
+
+    apply_baseline(&mut report, baseline_path);
+    Ok(report)
+}
+
+fn baseline_key(f: &Finding, excerpt: &str) -> String {
+    let h = fnv1a64(format!("{}\n{}\n{}", f.rule, f.path, excerpt).as_bytes());
+    format!("{}\t{}\t{h:016x}", f.rule, f.path)
+}
+
+fn apply_baseline(report: &mut Report, path: &Path) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return; // no baseline: every finding is new
+    };
+    // Multiset of frozen entries. BTreeMap: the linter practices what it
+    // preaches about hash iteration.
+    let mut frozen: BTreeMap<String, u32> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Inference-zone entries are never honored.
+        if let Some(p) = line.split('\t').nth(1) {
+            if zone_of(p) == Some(Zone::Inference) {
+                report.stale_baseline += 1;
+                continue;
+            }
+        }
+        *frozen.entry(line.to_string()).or_insert(0) += 1;
+    }
+    for (f, excerpt) in report
+        .findings
+        .iter_mut()
+        .zip(report.excerpts.iter())
+        .filter(|(f, _)| !f.waived && f.rule != "waiver")
+    {
+        if zone_of(&f.path) == Some(Zone::Inference) {
+            continue;
+        }
+        if let Some(n) = frozen.get_mut(&baseline_key(f, excerpt)) {
+            if *n > 0 {
+                *n -= 1;
+                f.baselined = true;
+            }
+        }
+    }
+    report.stale_baseline += frozen.values().map(|&n| n as usize).sum::<usize>();
+}
+
+/// Writes the current non-inference, non-waived findings as the new
+/// baseline. Inference-zone findings are skipped by design — returns
+/// `(written, skipped_inference)`.
+pub fn write_baseline(report: &Report, path: &Path) -> io::Result<(usize, usize)> {
+    let mut entries: Vec<String> = Vec::new();
+    let mut skipped = 0usize;
+    for (f, excerpt) in report.findings.iter().zip(report.excerpts.iter()) {
+        if f.waived || f.rule == "waiver" {
+            continue;
+        }
+        if zone_of(&f.path) == Some(Zone::Inference) {
+            skipped += 1;
+            continue;
+        }
+        entries.push(baseline_key(f, excerpt));
+    }
+    entries.sort();
+    let mut text = String::from(
+        "# lhmm-lint baseline: frozen pre-existing findings (tooling/service zones only).\n\
+         # Regenerate with `lhmm-lint --write-baseline`; inference-zone findings are\n\
+         # never baselined — fix them instead. Format: rule<TAB>path<TAB>line-hash.\n",
+    );
+    for e in &entries {
+        text.push_str(e);
+        text.push('\n');
+    }
+    fs::write(path, text)?;
+    Ok((entries.len(), skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_with_reason_suppresses_same_and_next_line() {
+        let src = "\
+// lint:allow(panic-path): startup config, operator-facing
+let a = x.unwrap();
+let b = y.unwrap(); // lint:allow(panic-path): ditto
+let c = z.unwrap();
+";
+        let f = check_source("crates/eval/src/x.rs", Zone::Tooling, src);
+        let new: Vec<_> = f.iter().filter(|f| !f.waived).collect();
+        assert_eq!(new.len(), 1, "{f:?}");
+        assert_eq!(new[0].line, 4);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding_and_does_not_suppress() {
+        let src = "let a = x.unwrap(); // lint:allow(panic-path)\n";
+        let f = check_source("crates/eval/src/x.rs", Zone::Tooling, src);
+        assert!(f.iter().any(|f| f.rule == "waiver"));
+        assert!(f.iter().any(|f| f.rule == "panic-path" && !f.waived));
+    }
+
+    #[test]
+    fn waiver_naming_unknown_rule_is_rejected() {
+        let src = "let a = x.unwrap(); // lint:allow(everything): please\n";
+        let f = check_source("crates/eval/src/x.rs", Zone::Tooling, src);
+        assert!(f.iter().any(|f| f.rule == "waiver"));
+        assert!(f.iter().any(|f| f.rule == "panic-path" && !f.waived));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a("a") reference value.
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -1,0 +1,587 @@
+//! A small, self-contained Rust lexer for the linter.
+//!
+//! This is deliberately *not* a full Rust parser: the rules in
+//! [`crate::rules`] are token-pattern checks, so all the lexer has to get
+//! right is the part that decides whether a byte of source is *code* at
+//! all. Concretely it must never emit a code token for content inside:
+//!
+//! * string literals (plain, byte, raw `r"…"` / `r#"…"#` with any number
+//!   of hashes),
+//! * character and byte-character literals (and never confuse `'a'` with
+//!   the lifetime `'a`),
+//! * line comments and (nested) block comments,
+//! * `#[cfg(test)]` / `#[test]`-gated items and `mod tests { … }` bodies,
+//!   which are marked with [`Token::masked`] so rules can skip them.
+//!
+//! Line comments are additionally collected verbatim so the waiver parser
+//! (`// lint:allow(rule): reason`) can see them. The property tests in
+//! `tests/lexer_props.rs` pin the "content in strings/comments can never
+//! produce a finding" guarantee.
+
+/// Kind of a code token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`foo`, `fn`, `unwrap`).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `4f32`).
+    Float,
+    /// Punctuation; two-character operators that matter to rules
+    /// (`==`, `!=`, `<=`, `>=`, `::`, `->`, `=>`, `&&`, `||`) are merged
+    /// into a single token, everything else is one character.
+    Punct,
+    /// Lifetime or loop label (`'a`, `'outer`). Kept distinct so rules
+    /// never mistake one for an identifier.
+    Lifetime,
+}
+
+/// One code token. String/char literal *contents* never become tokens; a
+/// string literal is represented by a single `Punct` token with text `"\""`
+/// placeholder? — no: literals are dropped entirely from the stream, which
+/// is exactly what makes them invisible to rules.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]`/`#[test]` item or
+    /// a `mod tests { … }` body; rules skip masked tokens.
+    pub masked: bool,
+}
+
+/// A line comment (`//`, `///`, `//!`), text without the leading slashes.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexing result: the code token stream plus the comment side channel.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` and applies the test-region mask.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    let mut lexed = lx.out;
+    apply_test_mask(&mut lexed.tokens);
+    lexed
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            masked: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.i < self.b.len() {
+            let line = self.line;
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.bump();
+                    let two = [c, self.peek(0)];
+                    let merged = matches!(
+                        &two,
+                        b"==" | b"!=" | b"<=" | b">=" | b"::" | b"->" | b"=>" | b"&&" | b"||"
+                    );
+                    if merged {
+                        self.bump();
+                        let text = String::from_utf8_lossy(&two).into_owned();
+                        self.push(Kind::Punct, text, line);
+                    } else if c.is_ascii() {
+                        self.push(Kind::Punct, (c as char).to_string(), line);
+                    }
+                    // Non-ASCII bytes (inside identifiers we don't support,
+                    // or stray unicode) are dropped; rules only match ASCII
+                    // patterns.
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.i;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Plain or byte string body, opening quote not yet consumed.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while self.i < self.b.len() {
+            match self.bump() {
+                b'\\' => {
+                    // Any escape: consume the escaped byte blindly; `\u{…}`
+                    // braces are plain string bytes afterwards.
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw string after the `r`/`br` prefix: `#…#"` … `"#…#`.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != b'"' {
+            return; // not actually a raw string (e.g. `r#ident`); bail.
+        }
+        self.bump();
+        'scan: while self.i < self.b.len() {
+            if self.bump() == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return;
+            }
+        }
+    }
+
+    /// `'` — either a char literal or a lifetime/label.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // '
+        let c = self.peek(0);
+        if c == b'\\' {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            self.bump();
+            self.bump();
+            while self.i < self.b.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+        } else if self.peek(1) == b'\'' && c != b'\'' {
+            // Plain char literal 'x'.
+            self.bump();
+            self.bump();
+        } else if is_ident_start(c) {
+            // Lifetime or label: consume the identifier, no closing quote.
+            let start = self.i;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.push(Kind::Lifetime, text, line);
+        } else {
+            // Degenerate ('' or '<punct>'): treat as empty char literal.
+            if self.peek(0) == b'\'' {
+                self.bump();
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'b' | b'o') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            // Fractional part only when a digit follows the dot — `x.0` tuple
+            // access and `0..n` ranges stay integers.
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                float = true;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), b'e' | b'E') {
+                let (s1, s2) = (self.peek(1), self.peek(2));
+                if s1.is_ascii_digit() || (matches!(s1, b'+' | b'-') && s2.is_ascii_digit()) {
+                    float = true;
+                    self.bump();
+                    if matches!(self.peek(0), b'+' | b'-') {
+                        self.bump();
+                    }
+                    while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                        self.bump();
+                    }
+                }
+            }
+            // Type suffix (`f64`, `u32`, …) — an `f` suffix makes it a float.
+            if is_ident_start(self.peek(0)) {
+                if self.peek(0) == b'f' {
+                    float = true;
+                }
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let kind = if float { Kind::Float } else { Kind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = &self.b[start..self.i];
+        // String/char literal prefixes glued to a quote or raw-string hash.
+        match text {
+            b"r" | b"br" | b"rb" if matches!(self.peek(0), b'"' | b'#') => {
+                self.raw_string();
+                return;
+            }
+            b"b" if self.peek(0) == b'"' => {
+                self.string_literal();
+                return;
+            }
+            b"b" if self.peek(0) == b'\'' => {
+                self.quote();
+                return;
+            }
+            _ => {}
+        }
+        let text = String::from_utf8_lossy(text).into_owned();
+        self.push(Kind::Ident, text, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Marks tokens inside test-only regions:
+///
+/// * items following `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`
+///   or `#[cfg(all(test, …))]` attributes (any attribute whose first path
+///   segment is `cfg` and that mentions `test` outside a `not(…)`), and
+/// * `mod tests { … }` / `mod test { … }` bodies.
+///
+/// Inner attributes (`#![…]`, e.g. the crate-level
+/// `#![cfg_attr(not(test), deny(…))]`) never mask anything.
+fn apply_test_mask(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], "#") && i + 1 < tokens.len() && is_punct(&tokens[i + 1], "[") {
+            let (attr_end, masks) = scan_attribute(tokens, i + 1);
+            if masks {
+                // Skip any further outer attributes between this one and
+                // the item itself (`#[cfg(test)] #[derive(Debug)] struct …`).
+                let mut j = attr_end;
+                while j + 1 < tokens.len()
+                    && is_punct(&tokens[j], "#")
+                    && is_punct(&tokens[j + 1], "[")
+                {
+                    j = scan_attribute(tokens, j + 1).0;
+                }
+                let item_end = scan_item(tokens, j);
+                for t in &mut tokens[i..item_end] {
+                    t.masked = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        if is_ident(&tokens[i], "mod")
+            && i + 2 < tokens.len()
+            && matches!(tokens[i + 1].text.as_str(), "tests" | "test")
+            && tokens[i + 1].kind == Kind::Ident
+            && is_punct(&tokens[i + 2], "{")
+        {
+            let end = matching_brace(tokens, i + 2);
+            for t in &mut tokens[i..end] {
+                t.masked = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == Kind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == Kind::Ident && t.text == s
+}
+
+/// Scans an attribute starting at its `[` token; returns (index one past
+/// the closing `]`, whether the attribute marks a test-only item).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, "]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == Kind::Ident {
+            idents.push(t.text.as_str());
+        }
+        j += 1;
+    }
+    let masks = match idents.first() {
+        Some(&"test") => idents.len() == 1,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (j, masks)
+}
+
+/// Scans one item starting at `start`: through the matching `}` of the
+/// first top-level `{`, or through the first top-level `;` when the item
+/// has no body (`#[cfg(test)] use …;`).
+fn scan_item(tokens: &[Token], start: usize) -> usize {
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if is_punct(t, "{") {
+            return matching_brace(tokens, j);
+        }
+        if is_punct(t, ";") {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if is_punct(&tokens[j], "{") {
+            depth += 1;
+        } else if is_punct(&tokens[j], "}") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| !t.masked)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = r###"
+            let x = "a.partial_cmp(b) == 0.0"; // partial_cmp in comment
+            /* unwrap() in /* nested */ block */
+            let y = r#"thread_rng() "quoted" here"#;
+            let z = b"Instant::now()";
+        "###;
+        let ts = texts(src);
+        assert!(!ts.iter().any(|t| t == "partial_cmp"));
+        assert!(!ts.iter().any(|t| t == "unwrap"));
+        assert!(!ts.iter().any(|t| t == "thread_rng"));
+        assert!(!ts.iter().any(|t| t == "Instant"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        // 'x' must not leak an ident token `x`… beyond the binding names.
+        let idents: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            idents,
+            vec!["fn", "f", "x", "str", "let", "c", "let", "esc"]
+        );
+    }
+
+    #[test]
+    fn floats_vs_tuple_access_and_ranges() {
+        let lexed = lex("a.1.partial_cmp(&b.1); for i in 0..10 {} let f = 1.5e-3f64; let g = 2f32; let h = 7;");
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5e-3f64", "2f32"]);
+        // Tuple indices and range bounds stay integers.
+        let ints: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Int)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ints, vec!["1", "1", "0", "10", "7"]);
+    }
+
+    #[test]
+    fn cfg_test_items_and_mod_tests_are_masked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            fn gated() { y.unwrap(); }
+            #[cfg(all(test, feature = "slow"))]
+            mod gated_mod { fn g() { z.unwrap(); } }
+            #[cfg(not(test))]
+            fn prod() { w.unwrap(); }
+            mod tests { fn t() { v.unwrap(); } }
+        "#;
+        let lexed = lex(src);
+        let unmasked: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| !t.masked && t.text == "unwrap")
+            .map(|t| t.line)
+            .collect();
+        // Only `live` (line 2) and the `#[cfg(not(test))] prod` fn survive.
+        assert_eq!(unmasked.len(), 2, "masked set wrong: {lexed:?}");
+    }
+
+    #[test]
+    fn inner_attributes_do_not_mask() {
+        let src = "#![cfg_attr(not(test), deny(clippy::unwrap_used))]\nfn f() { a.unwrap(); }";
+        let lexed = lex(src);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| !t.masked && t.text == "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_hashes_balance() {
+        let src = r####"let s = r##"contains "# inside"##; let after = unwrap;"####;
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.text == "after"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "contains"));
+    }
+
+    #[test]
+    fn line_comments_are_collected_for_waivers() {
+        let src = "let a = 1; // lint:allow(float-cmp): tolerance documented\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("lint:allow(float-cmp)"));
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+}

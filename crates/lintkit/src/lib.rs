@@ -1,0 +1,25 @@
+//! `lhmm-lint` — workspace determinism & robustness linter.
+//!
+//! The repo's headline guarantees (parallel-vs-serial byte-equivalence,
+//! bit-identical vectorized scoring, panic-free degradation, wire-served
+//! routes identical to offline matching) rest on source-level invariants.
+//! This crate enforces them *by construction* instead of after the fact:
+//!
+//! * [`lexer`] — a small Rust lexer that is exact about what is code and
+//!   what is string/comment/test-gated content;
+//! * [`rules`] — the rule registry (`float-cmp`, `nondeterminism`,
+//!   `hash-iteration`, `panic-path`, `float-cast`) and the per-crate zone
+//!   policy;
+//! * [`engine`] — workspace walking, `lint:allow` waivers with mandatory
+//!   justification, and the frozen-debt baseline;
+//! * [`races`] — a dynamic smoke mode matching the seeded adversarial
+//!   corpus at two worker counts and comparing result fingerprints.
+//!
+//! The `lhmm-lint` binary wires these into CI (`ci.sh` runs
+//! `lhmm-lint --deny` before the test stages). See DESIGN §10 for the
+//! policy rationale and the workflow for adding a rule.
+
+pub mod engine;
+pub mod lexer;
+pub mod races;
+pub mod rules;

@@ -1,0 +1,127 @@
+//! `--races` smoke mode: a cheap scheduling-nondeterminism detector.
+//!
+//! The static rules catch *sources* of nondeterminism; this mode checks
+//! the *outcome* end to end. It generates the seeded adversarial fault
+//! corpus (the same [`AdversarialCorpus`] the robustness suite uses),
+//! matches it through [`BatchMatcher`] at two different worker counts,
+//! and fingerprints every per-trajectory verdict — segments, candidate
+//! sets, and typed-error discriminants. Any divergence means worker
+//! scheduling leaked into results, which the batch engine's contract
+//! (PR 1) forbids. A repeat run at the first worker count also pins
+//! run-to-run determinism at a fixed schedule width.
+//!
+//! The corpus is deliberately tiny (tens of trajectories on a toy city):
+//! this is a CI smoke test that runs in well under a second, not a
+//! substitute for `tests/batch_equivalence.rs`.
+
+use crate::engine::fnv1a64;
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_cellsim::faults::AdversarialCorpus;
+use lhmm_core::batch::{BatchConfig, BatchMatcher};
+use lhmm_core::error::MatchError;
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::{MatchContext, MatchResult};
+
+/// Outcome of one races run.
+#[derive(Debug)]
+pub struct RacesReport {
+    pub seed: u64,
+    pub cases: usize,
+    pub worker_counts: (usize, usize),
+    pub fingerprints: (u64, u64),
+    /// Fingerprint of the repeat run at the first worker count.
+    pub repeat_fingerprint: u64,
+}
+
+impl RacesReport {
+    /// True when every run produced byte-identical verdicts.
+    pub fn deterministic(&self) -> bool {
+        self.fingerprints.0 == self.fingerprints.1
+            && self.fingerprints.0 == self.repeat_fingerprint
+    }
+}
+
+/// Byte-level fingerprint of a batch of match verdicts.
+fn fingerprint(results: &[Result<MatchResult, MatchError>]) -> u64 {
+    let mut bytes = Vec::new();
+    for r in results {
+        match r {
+            Ok(m) => {
+                bytes.push(1u8);
+                bytes.extend((m.path.segments.len() as u64).to_le_bytes());
+                for s in &m.path.segments {
+                    bytes.extend((s.0 as u64).to_le_bytes());
+                }
+                if let Some(sets) = &m.candidate_sets {
+                    bytes.push(2u8);
+                    for set in sets {
+                        bytes.extend((set.len() as u64).to_le_bytes());
+                        for s in set {
+                            bytes.extend((s.0 as u64).to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Err(MatchError::EmptyTrajectory) => bytes.push(10u8),
+            Err(MatchError::NoCandidates) => bytes.push(11u8),
+            Err(MatchError::LayerMismatch { .. }) => bytes.push(12u8),
+            Err(MatchError::EmptyLayer { .. }) => bytes.push(13u8),
+        }
+    }
+    fnv1a64(&bytes)
+}
+
+/// Runs the smoke test. Learned scorers are ablated (`use_learned_* =
+/// false`): training drops to milliseconds while the engine paths whose
+/// scheduling could race — Viterbi, shortcuts, shortest-path caches, the
+/// warm layer — are exercised identically.
+pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(seed));
+    let base: Vec<_> = ds
+        .test
+        .iter()
+        .take(4)
+        .map(|r| r.cellular.clone())
+        .collect();
+    let corpus = AdversarialCorpus::generate(&base, seed);
+    let trajs: Vec<_> = corpus.cases.iter().map(|c| c.traj.clone()).collect();
+
+    let mut cfg = LhmmConfig::fast_test(seed);
+    cfg.use_learned_obs = false;
+    cfg.use_learned_trans = false;
+    let lhmm = Lhmm::train(&ds, cfg);
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+
+    let run_at = |w: usize| {
+        let matcher = BatchMatcher::new(lhmm.model(), BatchConfig::with_workers(w));
+        let (results, _) = matcher.try_match_batch(&ctx, &trajs);
+        fingerprint(&results)
+    };
+
+    RacesReport {
+        seed,
+        cases: trajs.len(),
+        worker_counts: workers,
+        fingerprints: (run_at(workers.0), run_at(workers.1)),
+        repeat_fingerprint: run_at(workers.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn races_smoke_is_deterministic_across_worker_counts() {
+        let report = run_races(0x5EED, (1, 3));
+        assert!(report.cases > 0);
+        assert!(
+            report.deterministic(),
+            "worker scheduling leaked into results: {report:?}"
+        );
+    }
+}

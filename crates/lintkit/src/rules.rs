@@ -1,0 +1,606 @@
+//! Rule registry and zone policy.
+//!
+//! Every rule is a token-pattern check over the unmasked token stream of
+//! one file (see [`crate::lexer`]). Rules exist because the repo's
+//! headline guarantees are *source-level invariants*:
+//!
+//! * parallel-vs-serial byte-equivalence and bit-identical vectorized
+//!   scoring break the moment a result path consults a `partial_cmp`
+//!   tie-break that returns `None`, an unordered hash iteration, or the
+//!   wall clock — hence `float-cmp`, `hash-iteration`, `nondeterminism`;
+//! * panic-free degradation breaks on any `unwrap`/`expect`/`panic!` left
+//!   in library code — hence `panic-path`;
+//! * learned `P_O`/`P_T` scorers make float handling the correctness
+//!   substrate, and a truncating float→int `as` cast silently rounds
+//!   toward zero — hence `float-cast`.
+//!
+//! # Zones
+//!
+//! | zone      | crates                                           | rules |
+//! |-----------|--------------------------------------------------|-------|
+//! | inference | lhmm-core, lhmm-neural, lhmm-graph, lhmm-geo, lhmm-network | all |
+//! | service   | lhmm-serve                                       | float-cmp, panic-path |
+//! | tooling   | everything else (cellsim, baselines, eval, bench, umbrella, lintkit itself) | float-cmp, panic-path |
+//!
+//! The service and tooling zones legitimately read clocks (deadlines,
+//! benchmarks) and iterate scratch hash maps, so `nondeterminism`,
+//! `hash-iteration` and `float-cast` apply only where results must be a
+//! pure function of `(model, trajectory)`. Vendored stand-in crates
+//! (`crates/rand`, `crates/proptest`, `crates/criterion`) are not ours
+//! and are not walked at all.
+
+use crate::lexer::{Kind, Lexed, Token};
+
+/// Crate zones; see the module docs for the policy table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Zone {
+    Inference,
+    Service,
+    Tooling,
+}
+
+/// All rule identifiers, as used in findings, waivers and the baseline.
+pub const RULES: &[&str] = &[
+    "float-cmp",
+    "nondeterminism",
+    "hash-iteration",
+    "panic-path",
+    "float-cast",
+    "waiver",
+];
+
+/// One finding. `waived`/`baselined` are filled in by the engine.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    pub waived: bool,
+    pub baselined: bool,
+}
+
+/// Maps a repo-relative path to its zone; `None` means the file is not
+/// linted (vendored crates, tests, fixtures, generated output).
+pub fn zone_of(rel: &str) -> Option<Zone> {
+    let rel = rel.strip_prefix("./").unwrap_or(rel);
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (krate, tail) = rest.split_once('/')?;
+        // Only library/bin sources; fixture and test trees are exempt by
+        // construction (they hold intentional violations).
+        if !tail.starts_with("src/") {
+            return None;
+        }
+        return match krate {
+            "rand" | "proptest" | "criterion" => None, // vendored stand-ins
+            "core" | "neural" | "graph" | "geo" | "network" => Some(Zone::Inference),
+            "serve" => Some(Zone::Service),
+            _ => Some(Zone::Tooling),
+        };
+    }
+    // Umbrella crate sources.
+    if rel.starts_with("src/") {
+        return Some(Zone::Tooling);
+    }
+    None
+}
+
+/// Whether `rule` applies to `zone` for the file at `rel`.
+pub fn rule_applies(rule: &str, zone: Zone, rel: &str) -> bool {
+    match rule {
+        "float-cmp" | "panic-path" => {
+            // Panic discipline is a *library* contract: binaries (the bench
+            // harness, the linter CLI's bin shim) report errors to a human
+            // and may abort. Library sources everywhere must not.
+            !(rule == "panic-path" && rel.contains("/src/bin/"))
+        }
+        "nondeterminism" => {
+            // The single audited wall-clock access point for telemetry;
+            // see DESIGN §10.
+            zone == Zone::Inference && !rel.ends_with("crates/core/src/timing.rs")
+        }
+        "hash-iteration" | "float-cast" => zone == Zone::Inference,
+        _ => false,
+    }
+}
+
+/// Runs every applicable rule over one lexed file.
+pub fn check_file(rel: &str, zone: Zone, lexed: &Lexed) -> Vec<Finding> {
+    // Unmasked view: rules never see test-gated tokens.
+    let toks: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.masked).collect();
+    let mut out = Vec::new();
+    if rule_applies("float-cmp", zone, rel) {
+        float_cmp(rel, &toks, &mut out);
+    }
+    if rule_applies("nondeterminism", zone, rel) {
+        nondeterminism(rel, &toks, &mut out);
+    }
+    if rule_applies("hash-iteration", zone, rel) {
+        hash_iteration(rel, &toks, &mut out);
+    }
+    if rule_applies("panic-path", zone, rel) {
+        panic_path(rel, &toks, &mut out);
+    }
+    if rule_applies("float-cast", zone, rel) {
+        float_cast(rel, &toks, &mut out);
+    }
+    out
+}
+
+fn finding(rule: &'static str, rel: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        path: rel.to_string(),
+        line,
+        message,
+        waived: false,
+        baselined: false,
+    }
+}
+
+fn is_p(t: &Token, s: &str) -> bool {
+    t.kind == Kind::Punct && t.text == s
+}
+
+fn is_i(t: &Token, s: &str) -> bool {
+    t.kind == Kind::Ident && t.text == s
+}
+
+/// R1 `float-cmp`: float `==`/`!=` and `partial_cmp` calls. Equality on
+/// floats is representation-sensitive and `partial_cmp` returns `None` on
+/// NaN, which turns into an `unwrap` panic or an order-dependent fallback;
+/// result paths must use `total_cmp` (and restructure exact-zero guards as
+/// ordered comparisons).
+fn float_cmp(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == Kind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_lhs = i > 0 && toks[i - 1].kind == Kind::Float;
+            let float_rhs = i + 1 < toks.len() && toks[i + 1].kind == Kind::Float;
+            if float_lhs || float_rhs {
+                out.push(finding(
+                    "float-cmp",
+                    rel,
+                    t.line,
+                    format!("float literal compared with `{}`; use an ordered comparison or `total_cmp`", t.text),
+                ));
+            }
+        }
+        if t.kind == Kind::Ident
+            && t.text == "partial_cmp"
+            && i > 0
+            && (is_p(toks[i - 1], ".") || is_p(toks[i - 1], "::"))
+        {
+            out.push(finding(
+                "float-cmp",
+                rel,
+                t.line,
+                "`partial_cmp` in a result path; use `total_cmp` (total order, NaN-safe)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// R2 `nondeterminism`: wall-clock and entropy sources. Matching must be a
+/// pure function of `(model, trajectory)`; `Instant::now` is allowed only
+/// inside the audited telemetry module `crates/core/src/timing.rs`.
+fn nondeterminism(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "thread_rng" | "from_entropy" => out.push(finding(
+                "nondeterminism",
+                rel,
+                t.line,
+                format!("`{}` seeds from OS entropy; use an explicit seed", t.text),
+            )),
+            "Instant" | "SystemTime"
+                if i + 2 < toks.len() && is_p(toks[i + 1], "::") && is_i(toks[i + 2], "now") =>
+            {
+                out.push(finding(
+                    "nondeterminism",
+                    rel,
+                    t.line,
+                    format!(
+                        "`{}::now()` in the inference zone; route timing through `lhmm_core::timing`",
+                        t.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_FNS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// R3 `hash-iteration`: iterating a `HashMap`/`HashSet` yields an
+/// arbitrary, RandomState-dependent order; in result-affecting code that
+/// order leaks into float accumulation and tie-breaks. Keyed *lookups*
+/// are fine. A drain immediately followed by a sort ("sorted drain") is
+/// recognized and allowed; otherwise use `BTreeMap`/`BTreeSet`.
+fn hash_iteration(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
+    // Pass 1: names whose declared or inferred type mentions a hash
+    // collection — `let x: HashMap<…>`, `let x = HashMap::new()`, struct
+    // fields and fn params `x: &mut HashMap<…>`.
+    let mut hash_names: Vec<String> = Vec::new();
+    let mut record = |name: &str| {
+        if !hash_names.iter().any(|n| n == name) {
+            hash_names.push(name.to_string());
+        }
+    };
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `NAME :` … first few tokens mention a hash type.
+        if i + 1 < toks.len() && is_p(toks[i + 1], ":") {
+            for t2 in toks.iter().skip(i + 2).take(4) {
+                if matches!(t2.text.as_str(), "," | ";" | ")" | "=" | "{" | "}")
+                    && t2.kind == Kind::Punct
+                {
+                    break;
+                }
+                if t2.kind == Kind::Ident && HASH_TYPES.contains(&t2.text.as_str()) {
+                    record(&t.text);
+                    break;
+                }
+            }
+        }
+        // `let [mut] NAME = HashMap::…` / `= std::collections::HashMap::…`.
+        if is_i(t, "let") {
+            let mut j = i + 1;
+            if j < toks.len() && is_i(toks[j], "mut") {
+                j += 1;
+            }
+            if j + 1 < toks.len() && toks[j].kind == Kind::Ident && is_p(toks[j + 1], "=") {
+                for t2 in toks.iter().skip(j + 2).take(6) {
+                    if t2.kind == Kind::Punct && t2.text == ";" {
+                        break;
+                    }
+                    if t2.kind == Kind::Ident && HASH_TYPES.contains(&t2.text.as_str()) {
+                        record(&toks[j].text);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // Pass 2: iteration over a recorded name.
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != Kind::Ident || !hash_names.iter().any(|n| n == &t.text) {
+            continue;
+        }
+        // `NAME.iter()` and friends (also `self.NAME.iter()` — the field
+        // name is what pass 1 recorded).
+        if i + 2 < toks.len()
+            && is_p(toks[i + 1], ".")
+            && toks[i + 2].kind == Kind::Ident
+            && ITER_FNS.contains(&toks[i + 2].text.as_str())
+        {
+            if !sorted_drain_follows(toks, i + 2) {
+                out.push(finding(
+                    "hash-iteration",
+                    rel,
+                    t.line,
+                    format!(
+                        "`{}.{}()` iterates a hash collection in arbitrary order; use a BTree collection or sort the drained entries",
+                        t.text, toks[i + 2].text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `for x in [&[mut]] NAME { … }`.
+        let mut j = i;
+        while j > 0 && (is_p(toks[j - 1], "&") || is_i(toks[j - 1], "mut")) {
+            j -= 1;
+        }
+        if j > 0 && is_i(toks[j - 1], "in") && !(i + 1 < toks.len() && is_p(toks[i + 1], ".")) {
+            out.push(finding(
+                "hash-iteration",
+                rel,
+                t.line,
+                format!(
+                    "`for … in {}` iterates a hash collection in arbitrary order; use a BTree collection or sort first",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// True when a `sort`/`sort_by`/`sort_unstable_by_key`/… call appears
+/// shortly after the iteration (same statement or the next two): the
+/// sorted-drain idiom, which restores a total order before anything
+/// result-affecting happens.
+fn sorted_drain_follows(toks: &[&Token], from: usize) -> bool {
+    let mut semis = 0;
+    for t in toks.iter().skip(from).take(60) {
+        if t.kind == Kind::Punct && t.text == ";" {
+            semis += 1;
+            if semis > 2 {
+                return false;
+            }
+        }
+        if t.kind == Kind::Ident && t.text.starts_with("sort") {
+            return true;
+        }
+    }
+    false
+}
+
+/// R4 `panic-path`: `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`
+/// outside tests, in every library crate. Inference and serving degrade
+/// through typed errors ([`MatchError`](../../core/src/error.rs), shed
+/// verdicts); a panic anywhere in library code voids that contract.
+/// `unreachable!` on a statically impossible arm is deliberately *not*
+/// banned — it is a proof obligation, not error handling.
+fn panic_path(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && is_p(toks[i - 1], ".")
+                    && i + 1 < toks.len()
+                    && is_p(toks[i + 1], "(") =>
+            {
+                out.push(finding(
+                    "panic-path",
+                    rel,
+                    t.line,
+                    format!(
+                        "`.{}()` can panic; return a typed error or provide a fallback",
+                        t.text
+                    ),
+                ));
+            }
+            "panic" | "todo" | "unimplemented" if i + 1 < toks.len() && is_p(toks[i + 1], "!") => {
+                out.push(finding(
+                    "panic-path",
+                    rel,
+                    t.line,
+                    format!("`{}!` in library code; degrade through a typed error", t.text),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+/// Methods that yield a float with fractional content: casting their result
+/// truncates toward zero, which is almost never the intended rounding.
+const FLOAT_FNS: &[&str] = &[
+    "sqrt", "powf", "powi", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log", "log2", "log10",
+    "hypot", "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh",
+    "fract", "recip", "to_degrees", "to_radians", "mul_add",
+];
+/// Methods whose result is integral-valued, making a subsequent cast exact
+/// (range permitting): the *required* idiom for float→int conversion.
+const ROUND_FNS: &[&str] = &["floor", "ceil", "round", "trunc", "round_ties_even"];
+
+/// R5 `float-cast`: truncating `as` float→int casts in scoring paths.
+/// `x as usize` rounds toward zero; scoring code must make the rounding
+/// explicit (`x.floor() as usize`, `x.round() as i64`, …).
+fn float_cast(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
+    // Names declared as floats: `NAME: f64`, `let NAME = 1.5`.
+    let mut float_names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        if i + 1 < toks.len() && is_p(toks[i + 1], ":") {
+            for t2 in toks.iter().skip(i + 2).take(3) {
+                // Skip reference sigils: `x: &mut f64` is still a float.
+                if is_p(t2, "&") || is_i(t2, "mut") {
+                    continue;
+                }
+                if matches!(t2.text.as_str(), "f32" | "f64")
+                    && t2.kind == Kind::Ident
+                    && !float_names.iter().any(|n| n == &t.text)
+                {
+                    float_names.push(t.text.clone());
+                }
+                break;
+            }
+        }
+        if is_i(t, "let") {
+            let mut j = i + 1;
+            if j < toks.len() && is_i(toks[j], "mut") {
+                j += 1;
+            }
+            if j + 2 < toks.len()
+                && toks[j].kind == Kind::Ident
+                && is_p(toks[j + 1], "=")
+                && toks[j + 2].kind == Kind::Float
+                && !float_names.iter().any(|n| n == &toks[j].text)
+            {
+                float_names.push(toks[j].text.clone());
+            }
+        }
+    }
+
+    for i in 0..toks.len() {
+        if !is_i(toks[i], "as") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else { continue };
+        if next.kind != Kind::Ident || !INT_TYPES.contains(&next.text.as_str()) {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = toks[i - 1];
+        let from_float_call = is_p(prev, ")") && {
+            // Walk back over the call's parens to the method name.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                let t = toks[j];
+                if is_p(t, ")") {
+                    depth += 1;
+                } else if is_p(t, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].kind == Kind::Ident {
+                let callee = toks[j - 1].text.as_str();
+                FLOAT_FNS.contains(&callee) && !ROUND_FNS.contains(&callee)
+            } else {
+                false
+            }
+        };
+        let flagged = prev.kind == Kind::Float
+            || (prev.kind == Kind::Ident && float_names.iter().any(|n| n == &prev.text))
+            || from_float_call;
+        if flagged {
+            out.push(finding(
+                "float-cast",
+                rel,
+                toks[i].line,
+                format!(
+                    "truncating `as {}` cast of a float; make the rounding explicit (`.floor()`/`.round()`/`.ceil()` first)",
+                    next.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rel: &str, zone: Zone, src: &str) -> Vec<Finding> {
+        check_file(rel, zone, &lex(src))
+    }
+
+    const INF: &str = "crates/core/src/x.rs";
+
+    #[test]
+    fn zones_map_as_documented() {
+        assert_eq!(zone_of("crates/core/src/lhmm.rs"), Some(Zone::Inference));
+        assert_eq!(zone_of("crates/geo/src/point.rs"), Some(Zone::Inference));
+        assert_eq!(zone_of("crates/serve/src/server.rs"), Some(Zone::Service));
+        assert_eq!(zone_of("crates/eval/src/report.rs"), Some(Zone::Tooling));
+        assert_eq!(zone_of("src/lib.rs"), Some(Zone::Tooling));
+        assert_eq!(zone_of("crates/rand/src/lib.rs"), None);
+        assert_eq!(zone_of("crates/core/tests/t.rs"), None);
+        assert_eq!(zone_of("tests/end_to_end.rs"), None);
+    }
+
+    #[test]
+    fn float_eq_and_partial_cmp_fire() {
+        let f = run(INF, Zone::Inference, "if x == 0.0 { } a.partial_cmp(&b);");
+        assert_eq!(f.iter().filter(|f| f.rule == "float-cmp").count(), 2);
+    }
+
+    #[test]
+    fn total_cmp_and_int_eq_do_not_fire() {
+        let f = run(
+            INF,
+            Zone::Inference,
+            "a.total_cmp(&b); if n == 0 { } if ord == Ordering::Equal { }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn sorted_drain_is_allowed() {
+        let src = "let mut m: HashMap<u32, f32> = HashMap::new();\n\
+                   let mut v: Vec<_> = m.into_iter().collect();\n\
+                   v.sort_unstable_by_key(|e| e.0);";
+        let f = run(INF, Zone::Inference, src);
+        assert!(f.is_empty(), "{f:?}");
+        let unsorted = "let mut m: HashMap<u32, f32> = HashMap::new();\n\
+                        for (k, v) in &m { acc += v; }";
+        let f = run(INF, Zone::Inference, unsorted);
+        assert_eq!(f.iter().filter(|f| f.rule == "hash-iteration").count(), 1);
+    }
+
+    #[test]
+    fn lookups_are_not_iteration() {
+        let src = "let m: HashMap<u32, f32> = HashMap::new(); m.get(&1); m.contains_key(&2); m.insert(3, 4.0);";
+        let f = run(INF, Zone::Inference, src);
+        assert!(f.iter().all(|f| f.rule != "hash-iteration"), "{f:?}");
+    }
+
+    #[test]
+    fn float_cast_requires_explicit_rounding() {
+        let f = run(INF, Zone::Inference, "let x: f64 = y; let i = x as usize;");
+        assert_eq!(f.iter().filter(|f| f.rule == "float-cast").count(), 1);
+        let ok = run(
+            INF,
+            Zone::Inference,
+            "let x: f64 = y; let i = x.floor() as usize; let n = v.len() as u32;",
+        );
+        assert!(ok.iter().all(|f| f.rule != "float-cast"), "{ok:?}");
+        let sqrt = run(INF, Zone::Inference, "let i = d.sqrt() as i64;");
+        assert_eq!(sqrt.iter().filter(|f| f.rule == "float-cast").count(), 1);
+    }
+
+    #[test]
+    fn zone_policy_gates_rules() {
+        let src = "let t = Instant::now(); x.unwrap();";
+        let inf = run(INF, Zone::Inference, src);
+        assert!(inf.iter().any(|f| f.rule == "nondeterminism"));
+        let tool = run("crates/eval/src/x.rs", Zone::Tooling, src);
+        assert!(tool.iter().all(|f| f.rule != "nondeterminism"));
+        assert!(tool.iter().any(|f| f.rule == "panic-path"));
+        // The audited telemetry module may read the clock.
+        let timing = run(
+            "crates/core/src/timing.rs",
+            Zone::Inference,
+            "let t = Instant::now();",
+        );
+        assert!(timing.iter().all(|f| f.rule != "nondeterminism"));
+        // Binaries are exempt from panic-path only.
+        let bin = run("crates/bench/src/bin/experiments.rs", Zone::Tooling, src);
+        assert!(bin.iter().all(|f| f.rule != "panic-path"));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let f = run(
+            INF,
+            Zone::Inference,
+            "x.unwrap_or_else(|| 0); y.unwrap_or_default(); z.expect_err_is_fine;",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Fixture-driven corpus tests.
+//!
+//! `tests/fixtures/true_positives/` holds files where every expected
+//! finding is annotated in place with `//~ <rule> [<rule> …]`; the linter
+//! must produce exactly that set — nothing missing, nothing extra.
+//! `tests/fixtures/clean/` is the must-not-flag corpus: realistic code
+//! using the *approved* idioms (plus hostile content confined to strings,
+//! comments and test regions), on which any finding is a false positive.
+//!
+//! Each fixture declares its pretended repo path on the first line with
+//! `//@ path: crates/...`, which is what selects its zone.
+
+use lintkit::engine::check_source;
+use lintkit::rules::zone_of;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures(dir: &str) -> Vec<(String, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(dir);
+    let mut paths: Vec<PathBuf> = fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", root.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures under {}", root.display());
+    paths
+        .into_iter()
+        .map(|p| {
+            let src = fs::read_to_string(&p).expect("fixture readable");
+            let name = p.file_name().expect("file name").to_string_lossy().into_owned();
+            (name, src)
+        })
+        .collect()
+}
+
+fn declared_path(name: &str, src: &str) -> String {
+    src.lines()
+        .find_map(|l| l.trim().strip_prefix("//@ path:").map(|p| p.trim().to_string()))
+        .unwrap_or_else(|| panic!("{name}: missing `//@ path:` header"))
+}
+
+fn expected_markers(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(at) = line.find("//~") {
+            for rule in line[at + 3..].split_whitespace() {
+                out.insert((i as u32 + 1, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn true_positive_corpus_fires_exactly_as_annotated() {
+    let mut rules_seen: BTreeSet<String> = BTreeSet::new();
+    for (name, src) in fixtures("true_positives") {
+        let rel = declared_path(&name, &src);
+        let zone = zone_of(&rel).unwrap_or_else(|| panic!("{name}: path `{rel}` is unzoned"));
+        let expected = expected_markers(&src);
+        assert!(!expected.is_empty(), "{name}: no `//~` markers");
+        let actual: BTreeSet<(u32, String)> = check_source(&rel, zone, &src)
+            .into_iter()
+            .filter(|f| !f.waived)
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        assert_eq!(actual, expected, "{name}: findings differ from `//~` markers");
+        rules_seen.extend(expected.into_iter().map(|(_, r)| r));
+    }
+    // Acceptance bar: the corpus demonstrably exercises every rule.
+    for rule in [
+        "float-cmp",
+        "nondeterminism",
+        "hash-iteration",
+        "panic-path",
+        "float-cast",
+        "waiver",
+    ] {
+        assert!(
+            rules_seen.contains(rule),
+            "no true-positive fixture exercises `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn clean_corpus_never_flags() {
+    for (name, src) in fixtures("clean") {
+        let rel = declared_path(&name, &src);
+        let zone = zone_of(&rel).unwrap_or_else(|| panic!("{name}: path `{rel}` is unzoned"));
+        let findings = check_source(&rel, zone, &src);
+        assert!(
+            findings.is_empty(),
+            "{name}: false positive(s): {findings:?}"
+        );
+    }
+}

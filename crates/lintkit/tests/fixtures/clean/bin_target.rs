@@ -1,0 +1,12 @@
+//@ path: crates/eval/src/bin/fx_report.rs
+// Binaries report errors to a human and may abort: `panic-path` does not
+// apply under `/src/bin/` (the other rules still do).
+
+pub fn main() {
+    let path = std::env::args().nth(1).unwrap();
+    let n: u32 = path.len() as u32;
+    if n == 0 {
+        panic!("usage: fx_report <path>");
+    }
+    println!("{path}: {n}");
+}

@@ -1,0 +1,19 @@
+//@ path: crates/core/src/fx_clean_idioms.rs
+// The replacement idioms the rules point at, all of which must stay
+// silent: `total_cmp`, `unwrap_or`, BTree iteration, explicit rounding,
+// tuple indices and ranges (not float literals).
+
+use std::collections::BTreeMap;
+
+pub fn summarize(xs: &[f64]) -> f64 {
+    let mut by_rank: BTreeMap<usize, f64> = BTreeMap::new();
+    for (i, x) in xs.iter().enumerate() {
+        by_rank.insert(i, *x);
+    }
+    let best = xs.iter().copied().max_by(|a, b| a.total_cmp(b)).unwrap_or(0.0);
+    let pair = (best, 0.5f64);
+    let floor_idx = best.floor() as usize;
+    let span = 0..xs.len();
+    let total: f64 = by_rank.values().sum();
+    total + pair.0 + pair.1 + (floor_idx.min(span.len()) as u32) as f64
+}

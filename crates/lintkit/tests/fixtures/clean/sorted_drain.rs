@@ -1,0 +1,11 @@
+//@ path: crates/core/src/fx_clean_drain.rs
+// The sorted-drain idiom: draining a hash map is fine when a sort restores
+// a total order in the same statement or shortly after.
+
+use std::collections::HashMap;
+
+pub fn ranked(counts: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_unstable();
+    pairs
+}

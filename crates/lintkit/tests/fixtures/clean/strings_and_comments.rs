@@ -1,0 +1,13 @@
+//@ path: crates/core/src/fx_clean_strings.rs
+//! Doc text may mention `x.unwrap()`, `Instant::now()` and `a == 0.0`
+//! without tripping the linter.
+
+/// Talks about `thread_rng()` and `m.iter()` over a HashMap.
+pub fn render() -> String {
+    // Plain comments may cite panic!("...") and partial_cmp too.
+    let a = "x.unwrap() y.expect(1) panic!(2) 1.0 == 2.0 score as usize";
+    let b = r#"Instant::now() SystemTime::now() thread_rng() from_entropy()"#;
+    let c = r##"HashMap HashSet "quoted" still fine"##;
+    let lifetime_not_char: &'static str = "tick";
+    format!("{a} {b} {c} {lifetime_not_char}")
+}

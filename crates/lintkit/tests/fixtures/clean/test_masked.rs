@@ -1,0 +1,33 @@
+//@ path: crates/core/src/fx_clean_tests.rs
+// Everything inside `#[cfg(test)]` / `#[test]` regions is exempt from all
+// rules: tests may unwrap, compare floats, read clocks, iterate hash maps.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_do_all_of_it() {
+        let t = Instant::now();
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        m.insert(1, 0.5);
+        let mut acc = 0.0;
+        for (_k, v) in m.iter() {
+            acc += *v;
+        }
+        assert!(acc == 0.5);
+        assert!(double(2) == 4);
+        let opt: Option<f64> = Some(acc);
+        let val = opt.unwrap();
+        assert!(val.partial_cmp(&0.5).is_some());
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+        let idx = val as usize;
+        assert!(idx == 0);
+    }
+}

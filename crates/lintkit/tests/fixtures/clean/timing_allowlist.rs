@@ -1,0 +1,13 @@
+//@ path: crates/core/src/timing.rs
+// The single audited wall-clock access point is allowlisted by path: the
+// `nondeterminism` rule does not apply here (and only here).
+
+use std::time::Instant;
+
+pub struct StageTimer(Instant);
+
+impl StageTimer {
+    pub fn start() -> Self {
+        StageTimer(Instant::now())
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/serve/src/fx_clean_zone.rs
+// The service zone legitimately reads clocks (deadlines) and iterates
+// scratch hash maps: only `float-cmp` and `panic-path` apply there.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tick(sessions: &HashMap<u64, u32>) -> (f64, usize) {
+    let t = Instant::now();
+    let mut live = 0;
+    for (_id, n) in sessions.iter() {
+        live += *n as usize;
+    }
+    (t.elapsed().as_secs_f64(), live)
+}

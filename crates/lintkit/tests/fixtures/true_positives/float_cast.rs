@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fx_float_cast.rs
+// True positives for R5 `float-cast`: truncating `as` casts of floats.
+
+pub fn bucketize(score: f64, scale: f64) -> usize {
+    let idx = score as usize; //~ float-cast
+    let cap = 2.75 as u32; //~ float-cast
+    let root = (scale * 10.0).sqrt() as i64; //~ float-cast
+    let fine = score.floor() as usize; // explicit rounding: not flagged
+    idx + fine + cap.min(root.unsigned_abs() as u32) as usize
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/fx_float_cmp.rs
+// True positives for R1 `float-cmp`. Each trailing tilde marker names the
+// rule(s) expected to fire on that line.
+
+pub fn compare(a: f64, b: f64) -> bool {
+    if a == 0.0 { //~ float-cmp
+        return false;
+    }
+    let exact = b != 1.5; //~ float-cmp
+    let ord = a.partial_cmp(&b); //~ float-cmp
+    exact && ord.is_some()
+}

@@ -1,0 +1,21 @@
+//@ path: crates/core/src/fx_hash_iteration.rs
+// True positives for R3 `hash-iteration`: iteration order of a hash
+// collection leaking into result-affecting code, with no sort in sight.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, w) in weights.iter() { //~ hash-iteration
+        acc += w;
+    }
+    acc
+}
+
+pub fn collect_ids(seen: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in seen { //~ hash-iteration
+        out.push(*id);
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/fx_nondeterminism.rs
+// True positives for R2 `nondeterminism`: wall clocks and OS entropy in
+// the inference zone.
+
+use std::time::Instant;
+
+pub fn profile() -> f64 {
+    let t0 = Instant::now(); //~ nondeterminism
+    let _wall = std::time::SystemTime::now(); //~ nondeterminism
+    let mut _rng = thread_rng(); //~ nondeterminism
+    let _other = StdRng::from_entropy(); //~ nondeterminism
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,14 @@
+//@ path: crates/neural/src/fx_panic_path.rs
+// True positives for R4 `panic-path` in library code.
+
+pub fn read(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); //~ panic-path
+    let b = y.expect("value present"); //~ panic-path
+    if a > b {
+        panic!("inverted"); //~ panic-path
+    }
+    if a == b {
+        todo!(); //~ panic-path
+    }
+    unimplemented!() //~ panic-path
+}

@@ -1,0 +1,13 @@
+//@ path: crates/eval/src/fx_waiver.rs
+// Waiver hygiene: a waiver without a justification, or naming an unknown
+// rule, is itself a finding and suppresses nothing. A well-formed waiver
+// (reason after the colon) suppresses the line below and is not expected
+// to appear among unwaived findings.
+
+pub fn f(x: Option<u32>, y: Option<u32>, z: Option<u32>) -> u32 {
+    let a = x.unwrap(); // lint:allow(panic-path) //~ waiver panic-path
+    let b = y.unwrap(); // lint:allow(everything): zeal //~ waiver panic-path
+    // lint:allow(panic-path): fixture demonstrates a valid waiver
+    let c = z.unwrap();
+    a + b + c
+}

@@ -1,0 +1,117 @@
+//! Property tests for the lexer's masking guarantees and waiver hygiene:
+//!
+//! * content confined to string literals, raw strings, or comments can
+//!   NEVER produce a finding, no matter what banned constructs it spells;
+//! * a waiver without a justification is always rejected, and one with a
+//!   justification always accepted, for every rule.
+
+use lintkit::engine::check_source;
+use lintkit::rules::{Zone, RULES};
+use proptest::prelude::*;
+
+/// Banned constructs, quote-free so they embed in a plain string literal.
+const BANNED: &[&str] = &[
+    "x.unwrap()",
+    "y.expect(msg)",
+    "panic!(boom)",
+    "todo!()",
+    "Instant::now()",
+    "SystemTime::now()",
+    "thread_rng()",
+    "from_entropy()",
+    "a.partial_cmp(&b)",
+    "0.5 == z",
+    "w != 1.0",
+    "m.iter()",
+    "score as usize",
+];
+
+const INF: &str = "crates/core/src/px.rs";
+
+/// Printable ASCII (single line), lengths 0..40.
+fn printable() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u32..127u32, 0..40usize)
+        .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Printable ASCII minus `"` and `\`, so the result stays one string
+/// literal when spliced between quotes.
+fn string_safe() -> impl Strategy<Value = String> {
+    printable().prop_map(|s| {
+        s.chars()
+            .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn string_literal_content_never_flags(
+        pre in string_safe(),
+        post in string_safe(),
+        idx in 0..BANNED.len(),
+    ) {
+        let src = format!(
+            "pub fn f() -> usize {{\n    let s = \"{pre}{}{post}\";\n    s.len()\n}}\n",
+            BANNED[idx]
+        );
+        let f = check_source(INF, Zone::Inference, &src);
+        prop_assert!(f.is_empty(), "leaked out of string literal: {f:?}");
+    }
+
+    #[test]
+    fn raw_string_content_never_flags(
+        text in printable(),
+        idx in 0..BANNED.len(),
+    ) {
+        prop_assume!(!text.contains("\"#"));
+        let src = format!(
+            "pub fn f() -> &'static str {{\n    r#\"{text}{}\"#\n}}\n",
+            BANNED[idx]
+        );
+        let f = check_source(INF, Zone::Inference, &src);
+        prop_assert!(f.is_empty(), "leaked out of raw string: {f:?}");
+    }
+
+    #[test]
+    fn comment_content_never_flags(
+        text in printable(),
+        idx in 0..BANNED.len(),
+    ) {
+        // Comments ARE read for waiver directives; that is the one thing
+        // they may legitimately contribute.
+        prop_assume!(!text.contains("lint:allow("));
+        let src = format!(
+            "pub fn f() -> u32 {{\n    // {text} {}\n    /* {} {text} */ 7\n}}\n",
+            BANNED[idx],
+            BANNED[(idx + 1) % BANNED.len()]
+        );
+        let f = check_source(INF, Zone::Inference, &src);
+        prop_assert!(f.is_empty(), "leaked out of comment: {f:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_always_rejected(idx in 0..RULES.len() - 1) {
+        // `RULES.len() - 1` skips the meta-rule `waiver` itself.
+        let rule = RULES[idx];
+        let src = format!("pub fn f() {{\n    // lint:allow({rule})\n    let _ = 1;\n}}\n");
+        let f = check_source("crates/eval/src/px.rs", Zone::Tooling, &src);
+        prop_assert!(
+            f.iter().any(|f| f.rule == "waiver"),
+            "reason-less waiver for `{rule}` was not rejected: {f:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_with_reason_always_accepted(idx in 0..RULES.len() - 1, reason in printable()) {
+        prop_assume!(!reason.trim().is_empty());
+        let rule = RULES[idx];
+        let src =
+            format!("pub fn f() {{\n    // lint:allow({rule}): {reason}\n    let _ = 1;\n}}\n");
+        let f = check_source("crates/eval/src/px.rs", Zone::Tooling, &src);
+        prop_assert!(
+            f.iter().all(|f| f.rule != "waiver"),
+            "justified waiver for `{rule}` was rejected: {f:?}"
+        );
+    }
+}

@@ -60,7 +60,7 @@ impl Path {
         pts.push(net.segment_start(self.segments[0]));
         for &s in &self.segments {
             let start = net.segment_start(s);
-            if *pts.last().expect("non-empty") != start {
+            if pts.last() != Some(&start) {
                 pts.push(start);
             }
             pts.push(net.segment_end(s));

@@ -33,12 +33,11 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance: reverse the comparison. Distances are finite
-        // by construction so partial_cmp never fails.
+        // Min-heap on distance: reverse the comparison. `total_cmp` gives
+        // a total order even if a non-finite distance ever slips in.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }

@@ -1,14 +1,14 @@
 //! Shortest-path result cache.
 //!
 //! The paper notes (Section V-A2) that "the HMM can use a precomputation
-//! table to avoid the bottleneck of repeated shortest path searches" [11].
+//! table to avoid the bottleneck of repeated shortest path searches" \[11\].
 //! [`SpCache`] is that table: a memoized node-pair → route map in front of a
 //! [`DijkstraEngine`]. Consecutive trajectory points share most candidate
 //! pairs with their neighbors, so hit rates during matching are high.
 
 use crate::graph::{NodeId, RoadNetwork, SegmentId};
 use crate::shortest_path::{DijkstraEngine, Route};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 #[derive(Clone)]
@@ -83,7 +83,9 @@ impl WarmLayer {
         pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
         bound: f64,
     ) -> Self {
-        let mut by_source: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        // BTreeMap so the precompute order (and hence any shared-state
+        // effects inside the engine) is independent of hash seeding.
+        let mut by_source: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
         for (from, to) in pairs {
             by_source.entry(from.0).or_default().push(to);
         }

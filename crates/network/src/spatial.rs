@@ -152,11 +152,7 @@ impl SpatialIndex {
             if out.len() >= k || radius >= max_radius {
                 // Tie-break equal distances by segment id so results do not
                 // depend on grid-cell visit order.
-                out.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("segment distances are finite")
-                        .then_with(|| a.0.cmp(&b.0))
-                });
+                out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
                 out.truncate(k);
                 return;
             }

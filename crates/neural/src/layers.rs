@@ -189,7 +189,7 @@ impl Mlp {
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("non-empty").out_dim()
+        self.layers.last().map_or(0, |l| l.out_dim())
     }
 
     /// Tape-free forward pass for inference hot paths.
@@ -230,7 +230,9 @@ impl Mlp {
             }
             cur = Some(out);
         }
-        cur.expect("MLP has at least one layer")
+        // A zero-layer MLP is the identity; `new` never builds one, but
+        // degrade rather than panic if it ever happens.
+        cur.unwrap_or_else(|| x.clone())
     }
 }
 

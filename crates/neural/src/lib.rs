@@ -34,6 +34,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Learned scorers run inside the matcher's inference path:
+// a panic in a forward pass voids the panic-free degradation contract,
+// so `unwrap`/`expect` are denied outside test builds (ci.sh lints the
+// lib target explicitly).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod init;
 pub mod layers;
