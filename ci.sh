@@ -42,6 +42,10 @@ run cargo clippy -p lhmm-serve --lib --no-deps -- -D warnings -D clippy::unwrap_
 run cargo clippy -p lhmm-neural --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 run cargo clippy -p lhmm-eval --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
+# The shortest-path substrate backs every transition probability; both
+# backends must degrade through Option/typed errors, never panic.
+run cargo clippy -p lhmm-network --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 # Workspace determinism & robustness linter (see DESIGN §10): float
 # comparisons, nondeterminism sources, hash iteration, panic paths and
 # truncating casts, with zone policies per crate. New findings fail CI;
@@ -70,6 +74,11 @@ run cargo test -q --test batch_equivalence --test end_to_end --test matcher_cont
 # relations must hold in every matching mode (serial/parallel/streaming,
 # scalar/vectorized).
 run cargo test -q --test fault_injection --test metamorphic
+
+# Exactness gate for the contraction-hierarchy backend: property-based
+# Dijkstra-oracle equivalence (total_cmp equality, not tolerances) plus
+# metamorphic shortest-path relations across both backends.
+run cargo test -q -p lhmm-network --test ch_oracle --test sp_metamorphic
 
 # Serving gate: real-TCP loopback equivalence (concurrent clients must be
 # byte-identical to offline serial matching), typed overload shedding, and

@@ -8,6 +8,7 @@ use lhmm_baselines::seq2seq::{Seq2SeqConfig, Seq2SeqMatcher};
 use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
 use lhmm_core::lhmm::{Lhmm, LhmmConfig};
 use lhmm_core::types::{MapMatcher, MatchContext};
+use lhmm_network::backend::SpBackend;
 
 fn bench_matching(c: &mut Criterion) {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(101));
@@ -21,6 +22,13 @@ fn bench_matching(c: &mut Criterion) {
     group.sample_size(20);
 
     let mut lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(101));
+    // Same trained weights behind the contraction-hierarchy backend: the
+    // Dijkstra/CH delta is pure shortest-path speed, not model variance.
+    let mut lhmm_ch = {
+        let mut cfg = LhmmConfig::fast_test(101);
+        cfg.sp_backend = SpBackend::Ch;
+        Lhmm::load_weights(&ds, cfg, &lhmm.save_weights()).expect("reload trained weights")
+    };
     let mut dmm = Seq2SeqMatcher::train(&ds, Seq2SeqConfig::dmm(101).fast_test());
     let mut matchers: Vec<(&str, &mut dyn MapMatcher)> = Vec::new();
     let mut stm_m = stm(&ds.network);
@@ -28,6 +36,7 @@ fn bench_matching(c: &mut Criterion) {
     let mut snet_m = snapnet(&ds.network);
     let mut ivmm_m = Ivmm::new(&ds.network);
     matchers.push(("LHMM", &mut lhmm));
+    matchers.push(("LHMM-CH", &mut lhmm_ch));
     matchers.push(("STM", &mut stm_m));
     matchers.push(("THMM", &mut thmm_m));
     matchers.push(("SNet", &mut snet_m));

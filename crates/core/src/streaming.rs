@@ -11,15 +11,15 @@
 use crate::error::{sanitize_prob, Degradation, MatchError};
 use crate::types::{Candidate, HmmProbabilities, RouteInfo};
 use lhmm_geo::Point;
+use lhmm_network::backend::{SpEngine, SpHandle};
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
-use lhmm_network::shortest_path::DijkstraEngine;
 use lhmm_network::sp_cache::SpCache;
 
 /// Incremental HMM state over one in-progress trajectory.
 pub struct StreamingEngine<'a> {
     net: &'a RoadNetwork,
-    dijkstra: DijkstraEngine,
+    sp: SpEngine,
     sp_cache: SpCache,
     /// Commit lag in observations: a candidate is fixed once `lag` newer
     /// observations have arrived. 0 commits greedily every step.
@@ -38,12 +38,20 @@ pub struct StreamingEngine<'a> {
 }
 
 impl<'a> StreamingEngine<'a> {
-    /// Creates a streaming session on `net` with the given commit lag.
+    /// Creates a streaming session on `net` with the given commit lag,
+    /// using the default Dijkstra backend.
     pub fn new(net: &'a RoadNetwork, lag: usize) -> Self {
+        Self::with_backend(net, lag, &SpHandle::default())
+    }
+
+    /// Creates a streaming session whose shortest-path queries run through
+    /// `sp` (e.g. a prebuilt contraction hierarchy). Answers are bitwise
+    /// identical across backends; only query speed differs.
+    pub fn with_backend(net: &'a RoadNetwork, lag: usize, sp: &SpHandle) -> Self {
         StreamingEngine {
             net,
-            dijkstra: DijkstraEngine::new(net),
-            sp_cache: SpCache::new(net, 100_000),
+            sp: sp.engine(net),
+            sp_cache: SpCache::with_backend(net, 100_000, sp),
             lag,
             max_route_factor: 4.0,
             route_slack: 3_000.0,
@@ -118,7 +126,7 @@ impl<'a> StreamingEngine<'a> {
                     .map(|c| self.net.segment(c.seg).from)
                     .collect();
                 let routes = self
-                    .dijkstra
+                    .sp
                     .node_to_nodes(self.net, prev_seg.to, &targets, bound);
                 for (k, cur) in candidates.iter().enumerate() {
                     let info = if cur.seg == prev.seg && cur.t >= prev.t {

@@ -125,6 +125,13 @@ pub struct MatchStats {
     pub cache_warm_hits: u64,
     /// Shortest-path queries that ran a Dijkstra search.
     pub cache_misses: u64,
+    /// One-time shortest-path preprocessing time for the model's backend
+    /// (contraction-hierarchy build; 0 for Dijkstra). Per-model constant:
+    /// merges take the max instead of summing across workers.
+    pub sp_preprocess_time_s: f64,
+    /// Shortcut edges the shortest-path preprocessing added (0 for
+    /// Dijkstra). Per-model constant: merges take the max.
+    pub sp_shortcuts: u64,
     /// Candidates added by shortcut construction (Algorithm 2 activations).
     pub shortcut_activations: u64,
     /// Matched-chain points routed through a shortcut candidate.
@@ -152,6 +159,8 @@ impl MatchStats {
         self.cache_hits += other.cache_hits;
         self.cache_warm_hits += other.cache_warm_hits;
         self.cache_misses += other.cache_misses;
+        self.sp_preprocess_time_s = self.sp_preprocess_time_s.max(other.sp_preprocess_time_s);
+        self.sp_shortcuts = self.sp_shortcuts.max(other.sp_shortcuts);
         self.shortcut_activations += other.shortcut_activations;
         self.shortcut_points += other.shortcut_points;
         self.degradation.merge(&other.degradation);

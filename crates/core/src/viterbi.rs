@@ -11,7 +11,7 @@ use crate::types::{Candidate, HmmProbabilities, RouteInfo};
 use lhmm_geo::Point;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
-use lhmm_network::shortest_path::DijkstraEngine;
+use lhmm_network::backend::{SpEngine, SpHandle};
 use lhmm_network::sp_cache::{SpCache, SpCacheStats, WarmLayer};
 use lhmm_neural::Scratch;
 use crate::timing::StageTimer;
@@ -27,6 +27,9 @@ pub struct EngineConfig {
     /// Number of shortcut predecessors per candidate (the paper's `K`;
     /// 0 disables Algorithm 2, 1 is the paper's recommendation).
     pub shortcuts: usize,
+    /// Shortest-path backend handle (Dijkstra, or a shared contraction
+    /// hierarchy). Cloning shares preprocessing, never repeats it.
+    pub sp: SpHandle,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +38,7 @@ impl Default for EngineConfig {
             max_route_factor: 4.0,
             route_slack: 3_000.0,
             shortcuts: 1,
+            sp: SpHandle::default(),
         }
     }
 }
@@ -57,7 +61,7 @@ pub struct HmmOutput {
 
 /// The path-finding engine; holds reusable search state for one network.
 pub struct HmmEngine {
-    dijkstra: DijkstraEngine,
+    sp: SpEngine,
     sp_cache: SpCache,
     /// Engine parameters (mutable between runs: `k`/`K` sweeps).
     pub cfg: EngineConfig,
@@ -79,14 +83,15 @@ impl HmmEngine {
 
     /// Creates an engine for `net`.
     pub fn new(net: &RoadNetwork, cfg: EngineConfig) -> Self {
-        Self::with_cache(net, cfg, SpCache::new(net, Self::DEFAULT_CACHE_CAPACITY))
+        let cache = SpCache::with_backend(net, Self::DEFAULT_CACHE_CAPACITY, &cfg.sp);
+        Self::with_cache(net, cfg, cache)
     }
 
     /// Creates an engine around a caller-built cache (e.g. a shard backed
     /// by a shared [`WarmLayer`] for batch matching).
     pub fn with_cache(net: &RoadNetwork, cfg: EngineConfig, sp_cache: SpCache) -> Self {
         HmmEngine {
-            dijkstra: DijkstraEngine::new(net),
+            sp: cfg.sp.engine(net),
             sp_cache,
             cfg,
             obs_scratch: Scratch::new(),
@@ -398,7 +403,7 @@ impl HmmEngine {
             .collect();
         let t0 = StageTimer::start();
         let inner = self
-            .dijkstra
+            .sp
             .node_to_nodes(net, prev_seg.to, &targets, bound);
         self.sp_time_s += t0.elapsed_s();
         cur_layer

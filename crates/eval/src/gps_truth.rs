@@ -40,6 +40,7 @@ impl GpsLabeler {
                     shortcuts: 0,
                     max_route_factor: 3.0,
                     route_slack: 500.0,
+                    ..EngineConfig::default()
                 },
             ),
             k: 6,

@@ -136,7 +136,7 @@ fn run_races_mode(seed: u64) -> ExitCode {
     let workers = (1usize, 4usize);
     let report = races::run_races(seed, workers);
     println!(
-        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x}",
+        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x}",
         report.seed,
         report.cases,
         report.worker_counts.0,
@@ -144,9 +144,10 @@ fn run_races_mode(seed: u64) -> ExitCode {
         report.fingerprints.0,
         report.fingerprints.1,
         report.repeat_fingerprint,
+        report.ch_fingerprint,
     );
     if report.deterministic() {
-        println!("lhmm-lint --races: deterministic across worker counts");
+        println!("lhmm-lint --races: deterministic across worker counts and SP backends");
         ExitCode::SUCCESS
     } else {
         eprintln!("lhmm-lint --races: RESULT FINGERPRINTS DIVERGED — worker scheduling leaked into results");

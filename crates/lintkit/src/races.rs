@@ -8,7 +8,8 @@
 //! sets, and typed-error discriminants. Any divergence means worker
 //! scheduling leaked into results, which the batch engine's contract
 //! (PR 1) forbids. A repeat run at the first worker count also pins
-//! run-to-run determinism at a fixed schedule width.
+//! run-to-run determinism at a fixed schedule width, and a final run
+//! with the contraction-hierarchy backend pins SP-backend neutrality.
 //!
 //! The corpus is deliberately tiny (tens of trajectories on a toy city):
 //! this is a CI smoke test that runs in well under a second, not a
@@ -21,6 +22,7 @@ use lhmm_core::batch::{BatchConfig, BatchMatcher};
 use lhmm_core::error::MatchError;
 use lhmm_core::lhmm::{Lhmm, LhmmConfig};
 use lhmm_core::types::{MatchContext, MatchResult};
+use lhmm_network::backend::SpBackend;
 
 /// Outcome of one races run.
 #[derive(Debug)]
@@ -31,6 +33,10 @@ pub struct RacesReport {
     pub fingerprints: (u64, u64),
     /// Fingerprint of the repeat run at the first worker count.
     pub repeat_fingerprint: u64,
+    /// Fingerprint of a run with the contraction-hierarchy shortest-path
+    /// backend (same worker count as the repeat run). The CH engine is
+    /// pinned bitwise-equal to Dijkstra, so this must match too.
+    pub ch_fingerprint: u64,
 }
 
 impl RacesReport {
@@ -38,6 +44,7 @@ impl RacesReport {
     pub fn deterministic(&self) -> bool {
         self.fingerprints.0 == self.fingerprints.1
             && self.fingerprints.0 == self.repeat_fingerprint
+            && self.fingerprints.0 == self.ch_fingerprint
     }
 }
 
@@ -89,25 +96,31 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
     let mut cfg = LhmmConfig::fast_test(seed);
     cfg.use_learned_obs = false;
     cfg.use_learned_trans = false;
-    let lhmm = Lhmm::train(&ds, cfg);
+    let mut lhmm = Lhmm::train(&ds, cfg);
     let ctx = MatchContext {
         net: &ds.network,
         index: &ds.index,
         towers: &ds.towers,
     };
 
-    let run_at = |w: usize| {
+    let run_at = |lhmm: &Lhmm, w: usize| {
         let matcher = BatchMatcher::new(lhmm.model(), BatchConfig::with_workers(w));
         let (results, _) = matcher.try_match_batch(&ctx, &trajs);
         fingerprint(&results)
     };
 
+    let fingerprints = (run_at(&lhmm, workers.0), run_at(&lhmm, workers.1));
+    let repeat_fingerprint = run_at(&lhmm, workers.0);
+    lhmm.set_sp_backend(&ds.network, SpBackend::Ch);
+    let ch_fingerprint = run_at(&lhmm, workers.0);
+
     RacesReport {
         seed,
         cases: trajs.len(),
         worker_counts: workers,
-        fingerprints: (run_at(workers.0), run_at(workers.1)),
-        repeat_fingerprint: run_at(workers.0),
+        fingerprints,
+        repeat_fingerprint,
+        ch_fingerprint,
     }
 }
 

@@ -11,6 +11,10 @@
 //!   and radius queries (candidate preparation),
 //! * [`shortest_path`] — bounded Dijkstra with one-to-many target sets (the
 //!   transition-probability workhorse),
+//! * [`ch`] — contraction-hierarchy preprocessing with bidirectional
+//!   upward-search queries, pinned bitwise-equal to Dijkstra,
+//! * [`backend`] — the [`backend::SpBackend`] runtime selector between the
+//!   two engines,
 //! * [`sp_cache::SpCache`] — the precomputation/caching layer the paper uses
 //!   to avoid repeated shortest-path searches (Section V-A2),
 //! * [`sp_table::SpTable`] — the FMM-style precomputed origin–destination
@@ -37,8 +41,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod builder;
+pub mod ch;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -48,7 +55,9 @@ pub mod sp_cache;
 pub mod sp_table;
 pub mod spatial;
 
+pub use backend::{SpBackend, SpEngine, SpHandle};
 pub use builder::NetworkBuilder;
 pub use graph::{NodeId, RoadNetwork, SegmentId};
 pub use path::Path;
+pub use shortest_path::UNREACHABLE;
 pub use spatial::SpatialIndex;

@@ -23,6 +23,14 @@ pub struct Route {
     pub length: f64,
 }
 
+/// Sentinel distance for "no route": also the bound to pass for an
+/// unbounded search. Shared by every shortest-path consumer
+/// ([`DijkstraEngine`], [`crate::ch`], [`crate::sp_cache`]) so bound
+/// semantics — "a cached miss at bound `b` is conclusive for any query
+/// bound `<= b`" — compare against one constant instead of duplicated
+/// magic literals. Any finite distance satisfies `d < UNREACHABLE`.
+pub const UNREACHABLE: f64 = f64::INFINITY;
+
 #[derive(Copy, Clone, PartialEq)]
 struct HeapEntry {
     dist: f64,
@@ -64,7 +72,7 @@ impl DijkstraEngine {
     pub fn new(net: &RoadNetwork) -> Self {
         let n = net.num_nodes();
         DijkstraEngine {
-            dist: vec![f64::INFINITY; n],
+            dist: vec![UNREACHABLE; n],
             parent_seg: vec![NO_PARENT; n],
             epoch: vec![0; n],
             current_epoch: 0,
@@ -89,7 +97,7 @@ impl DijkstraEngine {
         if self.epoch[n.idx()] == self.current_epoch {
             self.dist[n.idx()]
         } else {
-            f64::INFINITY
+            UNREACHABLE
         }
     }
 
@@ -160,7 +168,7 @@ impl DijkstraEngine {
             .iter()
             .map(|&t| {
                 let d = self.get_dist(t);
-                if d.is_finite() {
+                if d < UNREACHABLE {
                     Some(Route {
                         segments: self.reconstruct(net, t),
                         length: d,
@@ -261,7 +269,7 @@ pub fn node_to_node_weighted(
         node: source,
     });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
-        if d > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+        if d > *dist.get(&node).unwrap_or(&UNREACHABLE) {
             continue;
         }
         if node == target {
@@ -272,7 +280,7 @@ pub fn node_to_node_weighted(
             debug_assert!(w >= 0.0, "segment weights must be non-negative");
             let seg = net.segment(sid);
             let nd = d + w;
-            if nd < *dist.get(&seg.to).unwrap_or(&f64::INFINITY) {
+            if nd < *dist.get(&seg.to).unwrap_or(&UNREACHABLE) {
                 dist.insert(seg.to, nd);
                 parent.insert(seg.to, sid);
                 heap.push(HeapEntry {

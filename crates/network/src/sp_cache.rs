@@ -3,11 +3,14 @@
 //! The paper notes (Section V-A2) that "the HMM can use a precomputation
 //! table to avoid the bottleneck of repeated shortest path searches" \[11\].
 //! [`SpCache`] is that table: a memoized node-pair → route map in front of a
-//! [`DijkstraEngine`]. Consecutive trajectory points share most candidate
-//! pairs with their neighbors, so hit rates during matching are high.
+//! shortest-path engine (Dijkstra or contraction hierarchy, selected via
+//! [`crate::backend::SpBackend`]). Consecutive trajectory points share most
+//! candidate pairs with their neighbors, so hit rates during matching are
+//! high.
 
+use crate::backend::{SpEngine, SpHandle};
 use crate::graph::{NodeId, RoadNetwork, SegmentId};
-use crate::shortest_path::{DijkstraEngine, Route};
+use crate::shortest_path::{Route, UNREACHABLE};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -83,13 +86,25 @@ impl WarmLayer {
         pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
         bound: f64,
     ) -> Self {
+        Self::precompute_with(net, pairs, bound, &SpHandle::Dijkstra)
+    }
+
+    /// [`Self::precompute`] with an explicit shortest-path backend. The
+    /// oracle suite pins both backends bitwise-equal, so the backend
+    /// changes precompute cost, never the stored answers.
+    pub fn precompute_with(
+        net: &RoadNetwork,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+        bound: f64,
+        sp: &SpHandle,
+    ) -> Self {
         // BTreeMap so the precompute order (and hence any shared-state
         // effects inside the engine) is independent of hash seeding.
         let mut by_source: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
         for (from, to) in pairs {
             by_source.entry(from.0).or_default().push(to);
         }
-        let mut engine = DijkstraEngine::new(net);
+        let mut engine = sp.engine(net);
         let mut map = HashMap::new();
         for (from, targets) in by_source {
             let routes = engine.node_to_nodes(net, NodeId(from), &targets, bound);
@@ -98,6 +113,17 @@ impl WarmLayer {
             }
         }
         WarmLayer { map }
+    }
+
+    /// Unbounded precompute: every stored entry carries the
+    /// [`UNREACHABLE`] bound, so it answers conclusively for *any* later
+    /// query bound (a warmed miss means the pair is truly disconnected).
+    pub fn precompute_conclusive(
+        net: &RoadNetwork,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+        sp: &SpHandle,
+    ) -> Self {
+        Self::precompute_with(net, pairs, UNREACHABLE, sp)
     }
 
     /// Number of warmed node pairs.
@@ -118,7 +144,7 @@ impl WarmLayer {
 /// result lands in the private map, keeping the warm layer immutable and
 /// safely shareable across threads).
 pub struct SpCache {
-    engine: DijkstraEngine,
+    engine: SpEngine,
     map: HashMap<(u32, u32), Entry>,
     warm: Option<Arc<WarmLayer>>,
     capacity: usize,
@@ -132,8 +158,15 @@ impl SpCache {
     /// is exceeded the cache is cleared wholesale (matching workloads sweep
     /// through trajectories, so LRU buys little over epoch clearing).
     pub fn new(net: &RoadNetwork, capacity: usize) -> Self {
+        Self::with_backend(net, capacity, &SpHandle::Dijkstra)
+    }
+
+    /// [`Self::new`] with an explicit shortest-path backend; both
+    /// backends return bitwise-identical routes (see `tests/ch_oracle.rs`),
+    /// so the choice affects speed only.
+    pub fn with_backend(net: &RoadNetwork, capacity: usize, sp: &SpHandle) -> Self {
         SpCache {
-            engine: DijkstraEngine::new(net),
+            engine: sp.engine(net),
             map: HashMap::new(),
             warm: None,
             capacity: capacity.max(1),
@@ -147,6 +180,18 @@ impl SpCache {
     /// Queries the warm layer can answer conclusively never run a search.
     pub fn with_warm_layer(net: &RoadNetwork, capacity: usize, warm: Arc<WarmLayer>) -> Self {
         let mut cache = SpCache::new(net, capacity);
+        cache.warm = Some(warm);
+        cache
+    }
+
+    /// [`Self::with_warm_layer`] with an explicit shortest-path backend.
+    pub fn with_warm_layer_backend(
+        net: &RoadNetwork,
+        capacity: usize,
+        warm: Arc<WarmLayer>,
+        sp: &SpHandle,
+    ) -> Self {
+        let mut cache = SpCache::with_backend(net, capacity, sp);
         cache.warm = Some(warm);
         cache
     }
@@ -263,6 +308,7 @@ impl SpCache {
 mod tests {
     use super::*;
     use crate::generators::{generate_city, GeneratorConfig};
+    use crate::shortest_path::DijkstraEngine;
 
     #[test]
     fn cache_returns_same_routes_as_engine() {
@@ -371,6 +417,49 @@ mod tests {
     }
 
     #[test]
+    fn cache_hits_equal_recomputation_at_every_bound() {
+        // Regression for the shared UNREACHABLE sentinel: a cached answer
+        // (hit, warm hit, or conclusive miss) must be byte-identical to
+        // what a fresh engine computes, for bounds below, at, and above
+        // the route length — and for truly disconnected pairs warmed at
+        // the unbounded sentinel. Exercises both backends.
+        use crate::backend::{SpBackend, SpHandle};
+        let net = generate_city(&GeneratorConfig::small_test(31));
+        let n = net.num_nodes() as u32;
+        for backend in [SpBackend::Dijkstra, SpBackend::Ch] {
+            let sp = SpHandle::build(&net, backend);
+            let pairs: Vec<(NodeId, NodeId)> = (0..n)
+                .step_by(5)
+                .map(|i| (NodeId(i), NodeId((i * 3 + 7) % n)))
+                .filter(|(a, b)| a != b)
+                .collect();
+            let warm = Arc::new(WarmLayer::precompute_conclusive(&net, pairs.clone(), &sp));
+            let mut cache = SpCache::with_warm_layer_backend(&net, 10_000, warm, &sp);
+            for &(from, to) in &pairs {
+                let probe = cache.route(&net, from, to, UNREACHABLE);
+                let bounds: Vec<f64> = match &probe {
+                    Some(r) => vec![r.length.next_down(), r.length, r.length * 2.0, UNREACHABLE],
+                    None => vec![100.0, 1e9, UNREACHABLE],
+                };
+                for bound in bounds {
+                    let cached = cache.route(&net, from, to, bound);
+                    let fresh = sp.engine(&net).node_to_node(&net, from, to, bound);
+                    assert_eq!(
+                        cached.as_ref().map(|r| (r.length.to_bits(), r.segments.clone())),
+                        fresh.as_ref().map(|r| (r.length.to_bits(), r.segments.clone())),
+                        "{backend:?} {from:?}->{to:?} bound {bound}"
+                    );
+                }
+            }
+            // Every query above was answerable from the warm layer or the
+            // probe's private insert: conclusive-bound entries never force
+            // a recompute.
+            let s = cache.detailed_stats();
+            assert_eq!(s.misses, 0, "{backend:?}: conclusive warm entries recomputed");
+        }
+    }
+
+    #[test]
     fn stats_merge_accumulates() {
         let mut a = SpCacheStats { hits: 1, warm_hits: 2, misses: 3 };
         let b = SpCacheStats { hits: 10, warm_hits: 20, misses: 30 };
@@ -383,6 +472,7 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::generators::{generate_city, GeneratorConfig};
+    use crate::shortest_path::DijkstraEngine;
     use proptest::prelude::*;
 
     proptest! {

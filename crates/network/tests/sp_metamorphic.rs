@@ -1,0 +1,206 @@
+//! Metamorphic shortest-path suite, run against BOTH backends.
+//!
+//! Three relations that must hold regardless of algorithm:
+//!
+//! * **Monotonicity** — adding an edge never increases any shortest
+//!   distance.
+//! * **Scale equivariance** — scaling all node positions by 2.0 scales
+//!   every distance by exactly 2.0, *bitwise*: segment lengths are
+//!   `sqrt(dx² + dy²)` and route lengths are left-folds of additions,
+//!   and multiplication by a power of two commutes with IEEE rounding
+//!   through `*`, `+`, and the correctly rounded `sqrt`.
+//! * **Symmetry** — on an exact-arithmetic undirected network (uniform
+//!   grid, axis edges only), `d(a, b)` equals `d(b, a)` bitwise even
+//!   though the fold runs in the opposite order: every fold is exact.
+
+use lhmm_geo::Point;
+use lhmm_network::backend::{SpBackend, SpEngine, SpHandle};
+use lhmm_network::builder::NetworkBuilder;
+use lhmm_network::generators::{generate_city, GeneratorConfig};
+use lhmm_network::graph::RoadClass;
+use lhmm_network::shortest_path::UNREACHABLE;
+use lhmm_network::{NodeId, RoadNetwork};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+const BACKENDS: [SpBackend; 2] = [SpBackend::Dijkstra, SpBackend::Ch];
+
+fn engine_for(net: &RoadNetwork, backend: SpBackend) -> SpEngine {
+    SpHandle::build(net, backend).engine(net)
+}
+
+/// Rebuilds `net` with every node position multiplied by `factor`,
+/// preserving node and segment ids.
+fn scaled_clone(net: &RoadNetwork, factor: f64) -> RoadNetwork {
+    let mut b = NetworkBuilder::new();
+    for node in net.node_ids() {
+        let p = net.node_pos(node);
+        b.add_node(Point::new(p.x * factor, p.y * factor));
+    }
+    for sid in net.segment_ids() {
+        let s = net.segment(sid);
+        b.add_segment(s.from, s.to, s.class).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Rebuilds `net` with one extra two-way road between `a` and `b`.
+fn with_extra_edge(net: &RoadNetwork, a: NodeId, b: NodeId) -> RoadNetwork {
+    let mut builder = NetworkBuilder::new();
+    for node in net.node_ids() {
+        builder.add_node(net.node_pos(node));
+    }
+    for sid in net.segment_ids() {
+        let s = net.segment(sid);
+        builder.add_segment(s.from, s.to, s.class).unwrap();
+    }
+    builder.add_two_way(a, b, RoadClass::Arterial).unwrap();
+    builder.build().unwrap()
+}
+
+/// Uniform n×n grid, axis edges only: all arithmetic exact.
+fn uniform_grid(n: usize, spacing: f64) -> RoadNetwork {
+    let mut b = NetworkBuilder::new();
+    let mut ids = Vec::new();
+    for y in 0..n {
+        for x in 0..n {
+            ids.push(b.add_node(Point::new(x as f64 * spacing, y as f64 * spacing)));
+        }
+    }
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            if x + 1 < n {
+                b.add_two_way(ids[i], ids[i + 1], RoadClass::Collector).unwrap();
+            }
+            if y + 1 < n {
+                b.add_two_way(ids[i], ids[i + n], RoadClass::Collector).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn scaling_positions_by_two_scales_distances_bitwise() {
+    for seed in [3u64, 17, 92] {
+        let net = generate_city(&GeneratorConfig::small_test(seed));
+        let scaled = scaled_clone(&net, 2.0);
+        // Segment lengths double exactly.
+        for sid in net.segment_ids() {
+            let l = net.segment(sid).length;
+            let l2 = scaled.segment(sid).length;
+            assert_eq!((l * 2.0).to_bits(), l2.to_bits(), "segment {sid:?} seed {seed}");
+        }
+        let n = net.num_nodes() as u32;
+        for backend in BACKENDS {
+            let mut eng = engine_for(&net, backend);
+            let mut eng2 = engine_for(&scaled, backend);
+            for i in 0..25u32 {
+                let s = NodeId((i * 13 + seed as u32) % n);
+                let t = NodeId((i * 57 + 19) % n);
+                let r = eng.node_to_node(&net, s, t, UNREACHABLE);
+                let r2 = eng2.node_to_node(&scaled, s, t, UNREACHABLE);
+                match (&r, &r2) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(
+                            (x.length * 2.0).to_bits(),
+                            y.length.to_bits(),
+                            "{backend:?} {s:?}->{t:?} seed {seed}"
+                        );
+                        assert_eq!(x.segments, y.segments, "{backend:?} {s:?}->{t:?}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("{backend:?} {s:?}->{t:?}: reachability changed under scaling"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reverse_queries_are_bitwise_symmetric_on_undirected_exact_grid() {
+    let net = uniform_grid(8, 125.0);
+    let n = net.num_nodes() as u32;
+    for backend in BACKENDS {
+        let mut eng = engine_for(&net, backend);
+        for i in 0..50u32 {
+            let a = NodeId((i * 11) % n);
+            let b = NodeId((i * 37 + 23) % n);
+            let ab = eng.node_to_node(&net, a, b, UNREACHABLE).map(|r| r.length);
+            let ba = eng.node_to_node(&net, b, a, UNREACHABLE).map(|r| r.length);
+            assert_eq!(
+                ab.map(f64::to_bits),
+                ba.map(f64::to_bits),
+                "{backend:?} {a:?}<->{b:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Adding a road never increases any shortest distance, under either
+    /// backend, and the two backends agree bitwise before and after.
+    #[test]
+    fn adding_an_edge_never_increases_distances(seed in 0u64..500, pick in 0u32..10_000) {
+        let net = generate_city(&GeneratorConfig::small_test(seed));
+        let n = net.num_nodes() as u32;
+        let a = NodeId(pick % n);
+        let b = NodeId((pick.wrapping_mul(7).wrapping_add(n / 2)) % n);
+        prop_assume!(a != b);
+        let bigger = with_extra_edge(&net, a, b);
+
+        for backend in BACKENDS {
+            let mut before = engine_for(&net, backend);
+            let mut after = engine_for(&bigger, backend);
+            for i in 0..15u32 {
+                let s = NodeId((i * 41 + seed as u32) % n);
+                let t = NodeId((i * 89 + 31) % n);
+                let d0 = before.node_to_node(&net, s, t, UNREACHABLE).map(|r| r.length);
+                let d1 = after.node_to_node(&bigger, s, t, UNREACHABLE).map(|r| r.length);
+                match (d0, d1) {
+                    (Some(x), Some(y)) => prop_assert!(
+                        y.total_cmp(&x) != Ordering::Greater,
+                        "{backend:?} {s:?}->{t:?}: {x} -> {y} increased"
+                    ),
+                    // New edge can connect components, never disconnect.
+                    (None, _) => {}
+                    (Some(_), None) => prop_assert!(
+                        false,
+                        "{backend:?} {s:?}->{t:?} became unreachable after adding an edge"
+                    ),
+                }
+            }
+        }
+
+        // Cross-backend agreement on the modified network.
+        let mut dij = engine_for(&bigger, SpBackend::Dijkstra);
+        let mut ch = engine_for(&bigger, SpBackend::Ch);
+        for i in 0..10u32 {
+            let s = NodeId((i * 23 + 7) % n);
+            let t = NodeId((i * 67 + seed as u32) % n);
+            let x = dij.node_to_node(&bigger, s, t, UNREACHABLE).map(|r| r.length.to_bits());
+            let y = ch.node_to_node(&bigger, s, t, UNREACHABLE).map(|r| r.length.to_bits());
+            prop_assert_eq!(x, y, "backends disagree on modified network {:?}->{:?}", s, t);
+        }
+    }
+}
+
+/// Guards the constant itself: one shared sentinel, compared with
+/// ordering operators (never float `==` against computed values), and
+/// usable directly as the unbounded query bound.
+#[test]
+fn unreachable_constant_is_the_unbounded_bound() {
+    assert!(UNREACHABLE.is_infinite() && UNREACHABLE > 0.0);
+    let net = uniform_grid(3, 100.0);
+    for backend in BACKENDS {
+        let mut eng = engine_for(&net, backend);
+        let r = eng
+            .node_to_node(&net, NodeId(0), NodeId(8), UNREACHABLE)
+            .unwrap();
+        assert!(r.length < UNREACHABLE);
+        assert_eq!(r.segments.len(), 4);
+    }
+}

@@ -166,7 +166,11 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
             let delay = policy.service_delay;
             let cache_capacity = policy.cache_capacity;
             threads.push(scope.spawn(move || {
-                let cache = SpCache::new(serve.ctx.net, cache_capacity);
+                let cache = SpCache::with_backend(
+                    serve.ctx.net,
+                    cache_capacity,
+                    serve.model.sp_handle(),
+                );
                 let mut engine =
                     HmmEngine::with_cache(serve.ctx.net, serve.model.engine_config(), cache);
                 loop {

@@ -23,6 +23,7 @@ use lhmm_core::candidates::{nearest_segments, to_candidates};
 use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
 use lhmm_core::error::MatchError;
 use lhmm_core::streaming::StreamingEngine;
+use lhmm_network::backend::SpHandle;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
 use lhmm_network::spatial::SpatialIndex;
@@ -77,17 +78,31 @@ pub struct SessionManager<'a> {
     policy: SessionPolicy,
     sessions: HashMap<u64, Session<'a>>,
     next_stamp: u64,
+    sp: SpHandle,
 }
 
 impl<'a> SessionManager<'a> {
-    /// An empty table over `net`/`index`.
+    /// An empty table over `net`/`index`, with Dijkstra shortest paths.
     pub fn new(net: &'a RoadNetwork, index: &'a SpatialIndex, policy: SessionPolicy) -> Self {
+        Self::with_backend(net, index, policy, SpHandle::default())
+    }
+
+    /// An empty table whose sessions route through `sp` (e.g. one shared
+    /// contraction hierarchy). Matches are bitwise-identical to the
+    /// Dijkstra default; only query latency changes.
+    pub fn with_backend(
+        net: &'a RoadNetwork,
+        index: &'a SpatialIndex,
+        policy: SessionPolicy,
+        sp: SpHandle,
+    ) -> Self {
         SessionManager {
             net,
             index,
             policy,
             sessions: HashMap::new(),
             next_stamp: 0,
+            sp,
         }
     }
 
@@ -179,7 +194,7 @@ impl<'a> SessionManager<'a> {
         self.sessions.insert(
             client,
             Session {
-                engine: StreamingEngine::new(self.net, lag),
+                engine: StreamingEngine::with_backend(self.net, lag, &self.sp),
                 model: fresh_model(),
                 last_touch: Instant::now(),
                 stamp,

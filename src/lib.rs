@@ -46,6 +46,7 @@ pub mod prelude {
     pub use lhmm_core::types::{MapMatcher, MatchContext, MatchResult, MatchStats};
     pub use lhmm_eval::metrics::{evaluate_path, MatchQuality};
     pub use lhmm_geo::Point;
+    pub use lhmm_network::backend::{SpBackend, SpHandle};
     pub use lhmm_network::graph::{RoadNetwork, SegmentId};
     pub use lhmm_network::path::Path;
     pub use lhmm_serve::{

@@ -220,6 +220,95 @@ fn streaming_engine_survives_corpus() {
     }
 }
 
+/// The contraction-hierarchy shortest-path backend must be a drop-in
+/// replacement under fault injection: over the full seeded corpus, the
+/// serial, parallel-batch, and streaming engines all run panic-free with
+/// `SpBackend::Ch` and return verdicts byte-identical to the Dijkstra
+/// oracle — paths, candidate sets, and typed errors alike.
+#[test]
+fn corpus_verdicts_are_identical_under_both_sp_backends() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(3007));
+    let base = base_trajs(&ds, 2);
+    let corpus = AdversarialCorpus::generate(&base, CORPUS_SEED);
+    let trajs: Vec<CellularTrajectory> = corpus.cases.iter().map(|c| c.traj.clone()).collect();
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let mut cfg = LhmmConfig::fast_test(3007);
+    cfg.use_learned_obs = false; // cheap training; engine paths identical
+    cfg.use_learned_trans = false;
+
+    // One corpus sweep through the serial and batch engines: verdicts
+    // flattened to comparable bytes.
+    let sweep = |backend: SpBackend| {
+        let mut cfg = cfg.clone();
+        cfg.sp_backend = backend;
+        let model = LhmmModel::train(&ds, cfg);
+        let expected_shortcuts = model.sp_handle().shortcut_count();
+        let mut engine = HmmEngine::new(&ds.network, model.engine_config());
+        let mut serial = Vec::new();
+        for traj in &trajs {
+            match model.try_match_with_engine_stats(&ctx, traj, &mut engine) {
+                Ok((r, stats)) => {
+                    assert_eq!(stats.sp_shortcuts, expected_shortcuts);
+                    serial.push(Ok((r.path.segments, r.candidate_sets)));
+                }
+                Err(e) => serial.push(Err(e)),
+            }
+        }
+        let (batch, _) = BatchMatcher::new(&model, BatchConfig::with_workers(3))
+            .try_match_batch(&ctx, &trajs);
+        let batch: Vec<_> = batch
+            .into_iter()
+            .map(|v| v.map(|r| (r.path.segments, r.candidate_sets)))
+            .collect();
+        (serial, batch, expected_shortcuts)
+    };
+
+    let (dij_serial, dij_batch, dij_shortcuts) = sweep(SpBackend::Dijkstra);
+    let (ch_serial, ch_batch, ch_shortcuts) = sweep(SpBackend::Ch);
+    assert_eq!(dij_shortcuts, 0, "Dijkstra has no preprocessing artifacts");
+    assert!(ch_shortcuts > 0, "CH on a real city must add shortcuts");
+    for (i, (d, c)) in dij_serial.iter().zip(&ch_serial).enumerate() {
+        assert_eq!(d, c, "serial case {i} ({})", corpus.cases[i].plan);
+    }
+    for (i, (d, c)) in dij_batch.iter().zip(&ch_batch).enumerate() {
+        assert_eq!(d, c, "batch case {i} ({})", corpus.cases[i].plan);
+    }
+    assert_eq!(dij_serial, dij_batch, "serial and batch must agree");
+
+    // Streaming: same committed path under both backends, case by case.
+    let ch = SpHandle::build(&ds.network, SpBackend::Ch);
+    for (ci, case) in corpus.cases.iter().enumerate() {
+        let positions = case.traj.effective_positions();
+        let mut paths = Vec::new();
+        for handle in [SpHandle::default(), ch.clone()] {
+            let mut model = ClassicModel::new(
+                ClassicObservation::cellular(),
+                ClassicTransition::cellular(),
+                positions.clone(),
+            );
+            let mut stream = StreamingEngine::with_backend(&ds.network, 2, &handle);
+            for (i, p) in case.traj.points.iter().enumerate() {
+                let pairs = nearest_segments(&ds.network, &ds.index, positions[i], 10, 3_000.0);
+                let layer = to_candidates(&mut model, i, &pairs);
+                match stream.push(positions[i], p.t, layer, &mut model) {
+                    Ok(_) | Err(MatchError::EmptyLayer { .. }) => {}
+                    Err(e) => panic!("case {ci} ({}): unexpected error {e}", case.plan),
+                }
+            }
+            paths.push(stream.finish().segments);
+        }
+        assert_eq!(
+            paths[0], paths[1],
+            "case {ci} ({}): streaming path depends on SP backend",
+            case.plan
+        );
+    }
+}
+
 /// Satellite: an empty road network is a construction-time error (the
 /// matcher never sees one), and a *disconnected* network degrades to a
 /// glued route with the gap counted — not a panic, not an empty result.
