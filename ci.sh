@@ -54,7 +54,8 @@ run cargo run -q -p lhmm-lint -- --deny
 
 # Scheduling-nondeterminism smoke test: match the seeded adversarial
 # corpus at two BatchMatcher worker counts (and once repeated) and require
-# identical result fingerprints.
+# identical result fingerprints — including a run with the SIMD kernel
+# forced to the scalar reference (kernel neutrality).
 run cargo run -q -p lhmm-lint -- --races
 
 # Rendered API docs must stay warning-free (broken intra-doc links are the
@@ -74,6 +75,19 @@ run cargo test -q --test batch_equivalence --test end_to_end --test matcher_cont
 # relations must hold in every matching mode (serial/parallel/streaming,
 # scalar/vectorized).
 run cargo test -q --test fault_injection --test metamorphic
+
+# SIMD-kernel exactness gate: the scoring-equivalence, fault-injection and
+# kernel-corpus suites must pass with every kernel this machine supports
+# forced via the LHMM_KERNEL startup env var (the in-process force_scope
+# arm is covered by the suites themselves). Every path is pinned bitwise
+# to the scalar reference, so these runs must be byte-identical replays.
+for kern in $(cargo run -q -p lhmm-lint -- --kernels); do
+  run env LHMM_KERNEL="$kern" cargo test -q --test scoring_equivalence --test fault_injection --test kernel_corpus
+done
+
+# The scalar-reference scoring oracle (feature-gated re-derivation of the
+# fast path) must keep agreeing wherever it is compiled in.
+run cargo test -q -p lhmm-core --features scalar-ref
 
 # Exactness gate for the contraction-hierarchy backend: property-based
 # Dijkstra-oracle equivalence (total_cmp equality, not tolerances) plus

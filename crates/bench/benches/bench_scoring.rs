@@ -4,11 +4,14 @@
 //! One iteration = the full per-trajectory scoring workload: build the
 //! observation scorer (attention contexts for every point), score every
 //! point's `k`-candidate batch, then build the transition scorer (key
-//! projections) and evaluate a set of route windows. Both modes are
-//! bit-identical by construction (see `tests/scoring_equivalence.rs`); this
-//! bench quantifies what the fast path buys — batched kernels, scratch
-//! reuse and per-trajectory context sharing vs the allocating per-row
-//! reference.
+//! projections) and evaluate a set of route windows. All modes are
+//! bit-identical by construction (see `tests/scoring_equivalence.rs` and
+//! `tests/kernel_corpus.rs`); this bench quantifies what the fast path
+//! buys — batched kernels, scratch reuse and per-trajectory context
+//! sharing vs the allocating per-row reference — and, within the fast
+//! path, what each dispatched SIMD kernel adds: the sweep runs the fused
+//! path once per kernel this machine supports (`fused_scalar`,
+//! `fused_sse2`, `fused_avx2`, `fused_neon`) via `kernel::force_scope`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
@@ -17,6 +20,7 @@ use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
 use lhmm_core::transition::TrajTransScorer;
 use lhmm_geo::Point;
 use lhmm_network::graph::SegmentId;
+use lhmm_neural::kernel::{self, Kernel};
 use lhmm_neural::Scratch;
 
 fn bench_scoring(c: &mut Criterion) {
@@ -59,11 +63,18 @@ fn bench_scoring(c: &mut Criterion) {
             .filter(|(_, _, segs)| !segs.is_empty())
             .collect();
 
-        for (mode, scalar) in [("scalar", true), ("vectorized", false)] {
+        // `scalar` is the PR 2 per-row reference path; `fused_<kernel>` is
+        // the batched fast path once per SIMD kernel this machine supports.
+        let mut modes: Vec<(String, bool, Option<Kernel>)> = vec![("scalar".into(), true, None)];
+        for kern in kernel::supported_kernels() {
+            modes.push((format!("fused_{}", kern.name()), false, Some(kern)));
+        }
+        for (mode, scalar, kern) in &modes {
             group.bench_with_input(
-                BenchmarkId::new(mode, k),
-                &scalar,
+                BenchmarkId::new(mode.as_str(), k),
+                scalar,
                 |b, &scalar| {
+                    let _kernel_guard = kern.and_then(kernel::force_scope);
                     // The arena round-trips through `finish` so iterations
                     // after the first run with warm buffers — the batch
                     // matcher's steady state.

@@ -1,0 +1,210 @@
+//! Machine-readable companion to `benches/bench_scoring.rs`: runs the
+//! same per-trajectory scoring workload (learned `P_O` + `P_T`, candidate
+//! batches swept over `k`) under every mode the criterion bench sweeps —
+//! the PR 2 scalar reference path plus the fused fast path once per SIMD
+//! kernel this machine supports — and writes the timings to
+//! `BENCH_scoring.json` at the workspace root.
+//!
+//!     cargo run --release -p lhmm-bench --bin bench_scoring_json [OUT.json]
+//!
+//! The JSON records per-iteration latency (median over the measured
+//! iterations), throughput, and two speedup ratios per fused mode: vs the
+//! scalar *reference* path (`speedup_vs_scalar`) and vs the fused path on
+//! the scalar *kernel* (`speedup_vs_fused_scalar` — what SIMD alone buys
+//! on top of the PR 2 batched fast path). All modes produce bit-identical
+//! scores (`tests/kernel_corpus.rs`), so the ratios compare pure speed.
+
+use std::time::Instant;
+
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_cellsim::tower::TowerId;
+use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+use lhmm_core::transition::TrajTransScorer;
+use lhmm_geo::Point;
+use lhmm_network::graph::SegmentId;
+use lhmm_neural::kernel::{self, Kernel};
+use lhmm_neural::Scratch;
+
+/// One timed mode at one candidate-set size.
+struct Sample {
+    mode: String,
+    k: usize,
+    iters: usize,
+    median_iter_us: f64,
+    iters_per_s: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scoring.json".to_string());
+
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(107));
+    let mut cfg = LhmmConfig::fast_test(107);
+    cfg.obs.epochs = 20;
+    cfg.obs.fuse_epochs = 10;
+    cfg.trans.epochs = 20;
+    cfg.trans.fuse_epochs = 10;
+    let model = LhmmModel::train(&ds, cfg);
+    let obs = model.observation_learner().expect("learned P_O");
+    let trans = model.transition_learner().expect("learned P_T");
+    let emb = model.embeddings();
+
+    let rec = ds
+        .test
+        .iter()
+        .max_by_key(|r| r.cellular.len())
+        .expect("non-empty test split");
+    let towers = rec.cellular.towers();
+    let routes: Vec<&[SegmentId]> = rec.truth.segments.windows(5).step_by(5).take(12).collect();
+
+    let supported = kernel::supported_kernels();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for k in [4usize, 8, 16, 32] {
+        let batches: Vec<(Point, TowerId, Vec<SegmentId>)> = rec
+            .cellular
+            .points
+            .iter()
+            .map(|p| {
+                let pos = p.effective_pos();
+                let segs: Vec<SegmentId> = ds
+                    .index
+                    .k_nearest(&ds.network, pos, k, 3_000.0)
+                    .into_iter()
+                    .map(|(s, _)| s)
+                    .collect();
+                (pos, p.tower, segs)
+            })
+            .filter(|(_, _, segs)| !segs.is_empty())
+            .collect();
+
+        // One iteration = the full workload of the criterion bench: score
+        // every point batch through P_O, then the route windows through
+        // P_T, arena round-tripping through `finish` for warm buffers.
+        let one_iter = |scalar: bool,
+                        obs_scratch: &mut Scratch,
+                        trans_scratch: &mut Scratch,
+                        out: &mut Vec<f32>|
+         -> f32 {
+            let mut po = obs.traj_scorer(emb, &towers, std::mem::take(obs_scratch), scalar);
+            let mut acc = 0.0f32;
+            for (i, (pos, tower, segs)) in batches.iter().enumerate() {
+                po.score_into(&ds.network, model.graph(), *pos, *tower, i, segs, out);
+                acc += out.iter().sum::<f32>();
+            }
+            (*obs_scratch, _) = po.finish();
+            let mut pt =
+                TrajTransScorer::with_scratch(trans, emb, &towers, std::mem::take(trans_scratch), scalar);
+            for r in &routes {
+                acc += pt.transition_prob(&ds.network, 650.0, 40.0, 880.0, r);
+            }
+            (*trans_scratch, _) = pt.finish();
+            acc
+        };
+
+        let mut measure = |mode: &str, scalar: bool, kern: Option<Kernel>| {
+            let _guard = kern.and_then(kernel::force_scope);
+            let mut obs_scratch = Scratch::new();
+            let mut trans_scratch = Scratch::new();
+            let mut out = Vec::new();
+            let mut sink = 0.0f32;
+            // Warm the arenas and estimate per-iteration cost.
+            let warm_start = Instant::now();
+            for _ in 0..3 {
+                sink += one_iter(scalar, &mut obs_scratch, &mut trans_scratch, &mut out);
+            }
+            let est = warm_start.elapsed().as_secs_f64() / 3.0;
+            // Aim for ~0.4 s of measurement per mode, at least 20 iters.
+            let iters = ((0.4 / est.max(1e-9)) as usize).clamp(20, 20_000);
+            let mut times_us: Vec<f64> = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                let t = Instant::now();
+                sink += one_iter(scalar, &mut obs_scratch, &mut trans_scratch, &mut out);
+                times_us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            std::hint::black_box(sink);
+            times_us.sort_by(f64::total_cmp);
+            let median_iter_us = times_us[times_us.len() / 2];
+            samples.push(Sample {
+                mode: mode.to_string(),
+                k,
+                iters,
+                median_iter_us,
+                iters_per_s: 1e6 / median_iter_us,
+            });
+            eprintln!("  {mode:<14} k={k:<3} {median_iter_us:9.1} us/iter ({iters} iters)");
+        };
+
+        eprintln!("k = {k}:");
+        measure("scalar", true, None);
+        for kern in &supported {
+            measure(&format!("fused_{}", kern.name()), false, Some(*kern));
+        }
+    }
+
+    let json = render_json(&samples, &supported);
+    std::fs::write(&out_path, &json).expect("write BENCH_scoring.json");
+    eprintln!("wrote {out_path}");
+
+    // Surface the headline number the acceptance gate cares about: SIMD
+    // speedup over the fused-scalar path at k = 16.
+    if let Some(line) = headline(&samples) {
+        println!("{line}");
+    }
+}
+
+/// Best SIMD-over-fused-scalar ratio at k = 16, as a human-readable line.
+fn headline(samples: &[Sample]) -> Option<String> {
+    let base = samples
+        .iter()
+        .find(|s| s.k == 16 && s.mode == "fused_scalar")?;
+    let best = samples
+        .iter()
+        .filter(|s| s.k == 16 && s.mode.starts_with("fused_") && s.mode != "fused_scalar")
+        .max_by(|a, b| a.iters_per_s.total_cmp(&b.iters_per_s))?;
+    Some(format!(
+        "k=16: {} is {:.2}x the fused_scalar path ({:.1} vs {:.1} us/iter)",
+        best.mode,
+        base.median_iter_us / best.median_iter_us,
+        best.median_iter_us,
+        base.median_iter_us,
+    ))
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde): one
+/// entry per (mode, k) with latency, throughput, and speedup ratios.
+fn render_json(samples: &[Sample], supported: &[Kernel]) -> String {
+    let ref_at = |k: usize, mode: &str| -> Option<f64> {
+        samples
+            .iter()
+            .find(|s| s.k == k && s.mode == mode)
+            .map(|s| s.median_iter_us)
+    };
+    let mut rows = Vec::new();
+    for s in samples {
+        let vs_scalar = ref_at(s.k, "scalar").map(|r| r / s.median_iter_us);
+        let vs_fused_scalar = ref_at(s.k, "fused_scalar").map(|r| r / s.median_iter_us);
+        let fmt_ratio = |r: Option<f64>| {
+            r.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".into())
+        };
+        rows.push(format!(
+            "    {{\"mode\": \"{}\", \"k\": {}, \"iters\": {}, \"median_iter_us\": {:.2}, \
+             \"iters_per_s\": {:.1}, \"speedup_vs_scalar\": {}, \"speedup_vs_fused_scalar\": {}}}",
+            s.mode,
+            s.k,
+            s.iters,
+            s.median_iter_us,
+            s.iters_per_s,
+            fmt_ratio(vs_scalar),
+            fmt_ratio(vs_fused_scalar),
+        ));
+    }
+    let kernels: Vec<String> = supported.iter().map(|k| format!("\"{}\"", k.name())).collect();
+    format!(
+        "{{\n  \"bench\": \"scoring_one_trajectory\",\n  \"workload\": \"full per-trajectory P_O + P_T scoring (see benches/bench_scoring.rs)\",\n  \"supported_kernels\": [{}],\n  \"default_kernel\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        kernels.join(", "),
+        kernel::active().name(),
+        rows.join(",\n"),
+    )
+}

@@ -50,7 +50,11 @@ pub struct LhmmConfig {
     /// implementation instead of the vectorized fast path. Both paths are
     /// bit-identical (pinned by `tests/scoring_equivalence.rs`); the flag
     /// exists so the equivalence can be asserted end to end and defaults to
-    /// the `scalar-ref` feature.
+    /// the `scalar-ref` feature. Orthogonally, the fast path's SIMD tier
+    /// (scalar/SSE2/AVX2/NEON — also all bit-identical) is picked at
+    /// process startup by `lhmm_neural::kernel` and can be forced with the
+    /// `LHMM_KERNEL` environment variable; `MatchStats::kernel` records
+    /// the choice.
     pub scalar_scoring: bool,
     /// Master seed for all learners.
     pub seed: u64,
@@ -559,6 +563,7 @@ impl LhmmModel {
         let mut stats = MatchStats {
             sp_preprocess_time_s: self.sp_preprocess_time_s,
             sp_shortcuts: self.sp.shortcut_count(),
+            kernel: lhmm_neural::kernel::active().name(),
             ..MatchStats::default()
         };
         if traj.is_empty() {

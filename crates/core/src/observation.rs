@@ -436,11 +436,17 @@ impl ObservationLearner {
             for v in qproj.data_mut() {
                 *v = v.tanh();
             }
+            // Transpose the memoized key half once (p×n): the restructured
+            // score loop in `attend_tanh_t` walks keys contiguously along
+            // the key axis, which the SIMD kernels vectorize —
+            // bit-identical to `attend_tanh` over the untransposed half.
+            let mut kproj_t = scratch.take(p, n);
+            kproj.transpose_into(&mut kproj_t);
             for i in 0..n {
-                self.attention.attend_tanh(
+                self.attention.attend_tanh_t(
                     &self.implicit_store,
                     qproj.row(i),
-                    &kproj,
+                    &kproj_t,
                     &keys,
                     &mut scratch,
                     contexts.row_mut(i),
@@ -453,6 +459,7 @@ impl ObservationLearner {
                     *o = k + *o;
                 }
             }
+            scratch.give(kproj_t);
             scratch.give(qproj);
             scratch.give(kproj);
             scratch.give(keys);

@@ -321,6 +321,11 @@ pub struct TrajTransScorer<'a> {
     /// [`AdditiveAttention::attend_tanh`]); in scalar mode they stay raw
     /// for `infer_projected`.
     projected_keys: Matrix,
+    /// Fast mode only: the tanh'd key half transposed to `p×n` once per
+    /// trajectory, feeding the SIMD-vectorizable score loop of
+    /// [`AdditiveAttention::attend_tanh_t`] (bit-identical to attending
+    /// over `projected_keys`). Empty `0×0` in scalar mode.
+    projected_keys_t: Matrix,
     cache: HashMap<SegmentId, f32>,
     scratch: Scratch,
     scalar: bool,
@@ -358,16 +363,22 @@ impl<'a> TrajTransScorer<'a> {
         learner
             .attention
             .project_keys_into(&learner.rel_store, &keys, &mut projected_keys);
-        if !scalar {
+        let projected_keys_t = if scalar {
+            Matrix::zeros(0, 0)
+        } else {
             for v in projected_keys.data_mut() {
                 *v = v.tanh();
             }
-        }
+            let mut t = scratch.take(learner.attention.proj_dim(), n);
+            projected_keys.transpose_into(&mut t);
+            t
+        };
         TrajTransScorer {
             learner,
             emb,
             keys,
             projected_keys,
+            projected_keys_t,
             // Pre-reserve so cache growth during one trajectory's Viterbi
             // pass rarely reallocates.
             cache: HashMap::with_capacity(512),
@@ -457,10 +468,10 @@ impl<'a> TrajTransScorer<'a> {
             row[..dim].copy_from_slice(queries.row(r));
         }
         for r in 0..n {
-            self.learner.attention.attend_tanh(
+            self.learner.attention.attend_tanh_t(
                 &self.learner.rel_store,
                 qproj.row(r),
-                &self.projected_keys,
+                &self.projected_keys_t,
                 &self.keys,
                 &mut self.scratch,
                 &mut cat.row_mut(r)[dim..],
@@ -535,6 +546,13 @@ impl<'a> TrajTransScorer<'a> {
         let pk = std::mem::replace(&mut self.projected_keys, Matrix::zeros(0, 0));
         self.scratch.give(keys);
         self.scratch.give(pk);
+        if !self.scalar {
+            // The transposed half only exists in fast mode; giving the
+            // scalar-mode 0×0 placeholder back would grow the pool with
+            // useless empty buffers across trajectories.
+            let pkt = std::mem::replace(&mut self.projected_keys_t, Matrix::zeros(0, 0));
+            self.scratch.give(pkt);
+        }
         (self.scratch, self.stats)
     }
 }

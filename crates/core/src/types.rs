@@ -140,6 +140,12 @@ pub struct MatchStats {
     /// glued path gaps, clamped scores, failed matches mapped to empty
     /// results). `degradation.any()` flags a best-effort result.
     pub degradation: Degradation,
+    /// Name of the SIMD inference kernel that scored this match
+    /// (`lhmm_neural::kernel::active().name()`: "scalar", "sse2", "avx2"
+    /// or "neon"); `""` until an engine populates it. All kernels are
+    /// bit-identical, so this is provenance telemetry, not a result
+    /// qualifier.
+    pub kernel: &'static str,
 }
 
 impl MatchStats {
@@ -164,6 +170,11 @@ impl MatchStats {
         self.shortcut_activations += other.shortcut_activations;
         self.shortcut_points += other.shortcut_points;
         self.degradation.merge(&other.degradation);
+        // Kernel choice is process-wide, so any non-empty name wins; keep
+        // the first so rollups over defaulted stats stay stable.
+        if self.kernel.is_empty() {
+            self.kernel = other.kernel;
+        }
     }
 
     /// True when this match (or rollup) produced a best-effort, degraded

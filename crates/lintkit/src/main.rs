@@ -9,7 +9,7 @@ const HELP: &str = "\
 lhmm-lint: workspace determinism & robustness linter
 
 USAGE:
-    lhmm-lint [--deny] [--write-baseline] [--races [SEED]]
+    lhmm-lint [--deny] [--write-baseline] [--races [SEED]] [--kernels]
               [--root DIR] [--baseline FILE]
 
 MODES (default: report findings, exit 0)
@@ -18,7 +18,10 @@ MODES (default: report findings, exit 0)
                       inference-zone findings are never baselined
     --races [SEED]    match the seeded adversarial corpus at two
                       BatchMatcher worker counts and compare result
-                      fingerprints (scheduling-nondeterminism smoke test)
+                      fingerprints (scheduling-nondeterminism smoke test);
+                      also re-runs with the SIMD kernel forced to scalar
+    --kernels         print the SIMD kernel names this machine supports,
+                      one per line (for CI loops over LHMM_KERNEL)
 
 OPTIONS
     --root DIR        workspace root (default: ., walking up to Cargo.toml)
@@ -39,6 +42,12 @@ fn main() -> ExitCode {
             "--deny" => deny = true,
             "--write-baseline" => write_baseline = true,
             "--races" => do_races = true,
+            "--kernels" => {
+                for k in lhmm_neural::kernel::supported_kernels() {
+                    println!("{}", k.name());
+                }
+                return ExitCode::SUCCESS;
+            }
             "--root" => root = args.next().map(PathBuf::from),
             "--baseline" => baseline = args.next().map(PathBuf::from),
             "--help" | "-h" => {
@@ -136,7 +145,7 @@ fn run_races_mode(seed: u64) -> ExitCode {
     let workers = (1usize, 4usize);
     let report = races::run_races(seed, workers);
     println!(
-        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x}",
+        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x} scalar_kernel={:016x}",
         report.seed,
         report.cases,
         report.worker_counts.0,
@@ -145,9 +154,10 @@ fn run_races_mode(seed: u64) -> ExitCode {
         report.fingerprints.1,
         report.repeat_fingerprint,
         report.ch_fingerprint,
+        report.scalar_kernel_fingerprint,
     );
     if report.deterministic() {
-        println!("lhmm-lint --races: deterministic across worker counts and SP backends");
+        println!("lhmm-lint --races: deterministic across worker counts, SP backends, and kernels");
         ExitCode::SUCCESS
     } else {
         eprintln!("lhmm-lint --races: RESULT FINGERPRINTS DIVERGED — worker scheduling leaked into results");

@@ -8,8 +8,10 @@
 //! sets, and typed-error discriminants. Any divergence means worker
 //! scheduling leaked into results, which the batch engine's contract
 //! (PR 1) forbids. A repeat run at the first worker count also pins
-//! run-to-run determinism at a fixed schedule width, and a final run
-//! with the contraction-hierarchy backend pins SP-backend neutrality.
+//! run-to-run determinism at a fixed schedule width, a run with the
+//! SIMD kernel forced to the scalar reference pins kernel neutrality,
+//! and a final run with the contraction-hierarchy backend pins
+//! SP-backend neutrality.
 //!
 //! The corpus is deliberately tiny (tens of trajectories on a toy city):
 //! this is a CI smoke test that runs in well under a second, not a
@@ -37,6 +39,11 @@ pub struct RacesReport {
     /// backend (same worker count as the repeat run). The CH engine is
     /// pinned bitwise-equal to Dijkstra, so this must match too.
     pub ch_fingerprint: u64,
+    /// Fingerprint of a run with the SIMD inference kernel forced to the
+    /// scalar reference (`LHMM_KERNEL=scalar` equivalent, same worker
+    /// count as the repeat run). Every dispatched kernel is pinned
+    /// bitwise-equal to scalar, so this must match too.
+    pub scalar_kernel_fingerprint: u64,
 }
 
 impl RacesReport {
@@ -45,6 +52,7 @@ impl RacesReport {
         self.fingerprints.0 == self.fingerprints.1
             && self.fingerprints.0 == self.repeat_fingerprint
             && self.fingerprints.0 == self.ch_fingerprint
+            && self.fingerprints.0 == self.scalar_kernel_fingerprint
     }
 }
 
@@ -111,6 +119,10 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
 
     let fingerprints = (run_at(&lhmm, workers.0), run_at(&lhmm, workers.1));
     let repeat_fingerprint = run_at(&lhmm, workers.0);
+    let scalar_kernel_fingerprint = {
+        let _guard = lhmm_neural::kernel::force_scope(lhmm_neural::Kernel::Scalar);
+        run_at(&lhmm, workers.0)
+    };
     lhmm.set_sp_backend(&ds.network, SpBackend::Ch);
     let ch_fingerprint = run_at(&lhmm, workers.0);
 
@@ -121,6 +133,7 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
         fingerprints,
         repeat_fingerprint,
         ch_fingerprint,
+        scalar_kernel_fingerprint,
     }
 }
 

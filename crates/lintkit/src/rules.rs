@@ -97,9 +97,13 @@ pub fn rule_applies(rule: &str, zone: Zone, rel: &str) -> bool {
             !(rule == "panic-path" && rel.contains("/src/bin/"))
         }
         "nondeterminism" => {
-            // The single audited wall-clock access point for telemetry;
-            // see DESIGN §10.
-            zone == Zone::Inference && !rel.ends_with("crates/core/src/timing.rs")
+            // Two audited access points: the wall-clock telemetry module
+            // (DESIGN §10) and the SIMD kernel dispatcher, which owns the
+            // crate's only CPU-feature probes and `OnceLock` dispatch
+            // state (DESIGN §12).
+            zone == Zone::Inference
+                && !rel.ends_with("crates/core/src/timing.rs")
+                && !rel.ends_with("crates/neural/src/kernel.rs")
         }
         "hash-iteration" | "float-cast" => zone == Zone::Inference,
         _ => false,
@@ -183,9 +187,13 @@ fn float_cmp(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
     }
 }
 
-/// R2 `nondeterminism`: wall-clock and entropy sources. Matching must be a
-/// pure function of `(model, trajectory)`; `Instant::now` is allowed only
-/// inside the audited telemetry module `crates/core/src/timing.rs`.
+/// R2 `nondeterminism`: wall-clock, entropy, and environment-dependent
+/// dispatch sources. Matching must be a pure function of
+/// `(model, trajectory)`; `Instant::now` is allowed only inside the
+/// audited telemetry module `crates/core/src/timing.rs`, and CPU-feature
+/// probes / global `OnceLock` dispatch state only inside the audited
+/// kernel dispatcher `crates/neural/src/kernel.rs` (whose paths are all
+/// bit-identical, making its machine dependence result-invisible).
 fn nondeterminism(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if t.kind != Kind::Ident {
@@ -209,6 +217,29 @@ fn nondeterminism(rel: &str, toks: &[&Token], out: &mut Vec<Finding>) {
                         "`{}::now()` in the inference zone; route timing through `lhmm_core::timing`",
                         t.text
                     ),
+                ));
+            }
+            "is_x86_feature_detected" | "is_aarch64_feature_detected" => out.push(finding(
+                "nondeterminism",
+                rel,
+                t.line,
+                format!(
+                    "`{}!` CPU dispatch outside the audited kernel module; route through `lhmm_neural::kernel`",
+                    t.text
+                ),
+            )),
+            // `static NAME: OnceLock<...>` — global dispatch/cache state
+            // whose first-writer wins. Value-level `OnceLock` memo fields
+            // (e.g. the tape's transposed-weight cache) are deterministic
+            // and stay allowed; only `static` declarations are flagged.
+            "OnceLock"
+                if toks[i.saturating_sub(6)..i].iter().any(|p| is_i(p, "static")) =>
+            {
+                out.push(finding(
+                    "nondeterminism",
+                    rel,
+                    t.line,
+                    "global `static … OnceLock` dispatch state outside the audited kernel module; route through `lhmm_neural::kernel`".to_string(),
                 ));
             }
             _ => {}
@@ -592,6 +623,30 @@ mod tests {
         // Binaries are exempt from panic-path only.
         let bin = run("crates/bench/src/bin/experiments.rs", Zone::Tooling, src);
         assert!(bin.iter().all(|f| f.rule != "panic-path"));
+    }
+
+    #[test]
+    fn cpu_dispatch_is_fenced_to_the_kernel_module() {
+        let src = "if is_x86_feature_detected!(\"avx2\") { }";
+        let inf = run(INF, Zone::Inference, src);
+        assert_eq!(inf.iter().filter(|f| f.rule == "nondeterminism").count(), 1);
+        // The audited dispatcher may probe CPU features.
+        let kern = run("crates/neural/src/kernel.rs", Zone::Inference, src);
+        assert!(kern.iter().all(|f| f.rule != "nondeterminism"), "{kern:?}");
+    }
+
+    #[test]
+    fn static_oncelock_flags_but_value_level_memo_does_not() {
+        let global = "static RESOLVED: OnceLock<Kernel> = OnceLock::new();";
+        let f = run(INF, Zone::Inference, global);
+        assert_eq!(f.iter().filter(|f| f.rule == "nondeterminism").count(), 1);
+        // Value-level memo caches (the tape's transposed-weight cache) are
+        // deterministic: declaration sites without `static` stay clean.
+        let memo = "struct T { transposed: Vec<OnceLock<Matrix>> }\n\
+                    fn f(t: &mut T) { t.transposed.push(OnceLock::new()); }\n\
+                    use std::sync::OnceLock;";
+        let f = run(INF, Zone::Inference, memo);
+        assert!(f.iter().all(|f| f.rule != "nondeterminism"), "{f:?}");
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! 32-byte-aligned `f32` storage backing [`crate::matrix::Matrix`].
+//!
+//! The SIMD kernels in [`crate::kernel`] want 32-byte-aligned base
+//! pointers so 256-bit aligned loads are legal whenever a row stride is a
+//! multiple of the vector width. `Vec<f32>` only guarantees 4-byte
+//! alignment, so matrices (and the [`crate::scratch::Scratch`] arena that
+//! recycles their buffers) store their data in an [`AVec`]: a thin wrapper
+//! over a `Vec` of 32-byte-aligned 8-float chunks, exposed as a plain
+//! `&[f32]` slice.
+//!
+//! The wrapper keeps two invariants that make the slice view sound:
+//!
+//! 1. `len <= chunks.len() * LANES` — the logical prefix is always backed
+//!    by allocated storage, and
+//! 2. every allocated chunk is fully initialized (construction and growth
+//!    always write whole chunks, padding lanes included).
+//!
+//! This is the only module besides [`crate::kernel`] that is allowed to
+//! use `unsafe` (two audited slice casts below); the rest of the crate
+//! stays `deny(unsafe_code)`.
+
+/// Alignment of the backing storage, in bytes.
+pub const ALIGN: usize = 32;
+
+/// f32 lanes per aligned chunk (`ALIGN / size_of::<f32>()`).
+const LANES: usize = ALIGN / std::mem::size_of::<f32>();
+
+/// One 32-byte-aligned block of eight `f32` lanes. `repr(C)` pins the
+/// layout to exactly the inner array (plus alignment), so a pointer to a
+/// run of `Chunk`s is a valid pointer to a run of `f32`s.
+#[repr(C, align(32))]
+#[derive(Clone, Copy, Debug, Default)]
+struct Chunk([f32; LANES]);
+
+/// A growable `f32` buffer whose base pointer is always 32-byte aligned.
+///
+/// Supports the small surface [`crate::matrix::Matrix`] and
+/// [`crate::scratch::Scratch`] need: construction, zero/value resize,
+/// slice views, and capacity inspection for the arena's best-fit reuse.
+#[derive(Clone, Default)]
+pub struct AVec {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+fn chunks_for(len: usize) -> usize {
+    len.div_ceil(LANES)
+}
+
+impl AVec {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        AVec::default()
+    }
+
+    /// A buffer of `len` zeros.
+    pub fn zeroed(len: usize) -> Self {
+        AVec {
+            chunks: vec![Chunk::default(); chunks_for(len)],
+            len,
+        }
+    }
+
+    /// A buffer of `len` copies of `v`.
+    pub fn filled(len: usize, v: f32) -> Self {
+        AVec {
+            chunks: vec![Chunk([v; LANES]); chunks_for(len)],
+            len,
+        }
+    }
+
+    /// Copies a slice into fresh aligned storage.
+    pub fn from_slice(data: &[f32]) -> Self {
+        let mut out = AVec::zeroed(data.len());
+        out.as_mut_slice().copy_from_slice(data);
+        out
+    }
+
+    /// Number of logical `f32` elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated capacity in `f32` units (always a multiple of 8).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.chunks.capacity() * LANES
+    }
+
+    /// Drops the logical contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+
+    /// Resizes to `len` elements, filling every slot with `v` (the arena
+    /// hands out cleared buffers, so growth and reuse both rewrite the
+    /// whole prefix; chunk padding lanes are set to `v` as well, keeping
+    /// the full-initialization invariant).
+    pub fn resize_filled(&mut self, len: usize, v: f32) {
+        self.chunks.clear();
+        self.chunks.resize(chunks_for(len), Chunk([v; LANES]));
+        self.len = len;
+    }
+
+    /// Sets every logical element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.as_mut_slice().fill(v);
+    }
+
+    /// Read view of the logical prefix.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `chunks` is a contiguous, fully initialized run of
+        // `repr(C)` 8-float blocks, so its base pointer is valid for
+        // `chunks.len() * LANES >= self.len` f32 reads (invariants 1 and 2
+        // in the module docs); `f32` has no invalid bit patterns and the
+        // 32-byte chunk alignment trivially satisfies f32's. An empty
+        // `Vec<Chunk>` hands out a dangling-but-aligned pointer, which is
+        // valid for a zero-length slice.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast::<f32>(), self.len) }
+    }
+
+    /// Write view of the logical prefix.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`; the `&mut self` borrow makes the view
+        // unique.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast::<f32>(), self.len) }
+    }
+
+    /// Copies the logical contents out into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl PartialEq for AVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for AVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl std::ops::Deref for AVec {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AVec {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_aligned(v: &AVec) {
+        assert_eq!(
+            v.as_slice().as_ptr() as usize % ALIGN,
+            0,
+            "AVec base pointer must be {ALIGN}-byte aligned"
+        );
+    }
+
+    #[test]
+    fn construction_is_aligned_and_sized() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 1000] {
+            let v = AVec::zeroed(len);
+            assert_aligned(&v);
+            assert_eq!(v.len(), len);
+            assert!(v.capacity() >= len);
+            assert_eq!(v.capacity() % LANES, 0);
+            assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let v = AVec::from_slice(&data);
+        assert_aligned(&v);
+        assert_eq!(v.as_slice(), &data[..]);
+        assert_eq!(v.to_vec(), data);
+    }
+
+    #[test]
+    fn resize_filled_rewrites_and_keeps_alignment() {
+        let mut v = AVec::from_slice(&[1.0, 2.0, 3.0]);
+        v.resize_filled(10, 0.0);
+        assert_aligned(&v);
+        assert_eq!(v.len(), 10);
+        assert!(v.as_slice().iter().all(|&x| x == 0.0));
+        let cap = v.capacity();
+        v.resize_filled(4, 7.0);
+        assert_eq!(v.capacity(), cap, "shrinking keeps the allocation");
+        assert_eq!(v.as_slice(), &[7.0; 4]);
+    }
+
+    #[test]
+    fn equality_ignores_padding() {
+        let a = AVec::from_slice(&[1.0, 2.0]);
+        let mut b = AVec::zeroed(16);
+        b.resize_filled(2, 0.0);
+        b.as_mut_slice().copy_from_slice(&[1.0, 2.0]);
+        assert_eq!(a, b);
+    }
+}

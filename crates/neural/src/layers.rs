@@ -1,6 +1,7 @@
 //! Reusable network layers built on the autograd tape.
 
 use crate::init;
+use crate::kernel::{self, Kernel};
 use crate::matrix::Matrix;
 use crate::scratch::Scratch;
 use crate::tape::{ParamId, ParamStore, Tape, Var};
@@ -114,16 +115,33 @@ impl Linear {
     /// transposed kernel cannot), then applies bias and activation in one
     /// pass over each output row. Bit-identical to `infer` followed by an
     /// elementwise activation map.
+    ///
+    /// The matmul and the bias add dispatch to the SIMD kernel selected by
+    /// [`crate::kernel::active`]; the activation always stays per-element
+    /// libm, so every path shares one rounding story: each output element
+    /// sees matmul adds, one bias add, then one activation — bit-identical
+    /// across kernels (the scalar path additionally fuses bias+activation
+    /// into a single sweep, which changes no bits, only traffic).
     pub fn infer_into(&self, store: &ParamStore, x: &Matrix, out: &mut Matrix, act: Activation) {
         debug_assert_eq!(x.cols(), self.in_dim, "Linear input width");
-        x.matmul_into(store.value(self.w), out);
+        let k = kernel::active();
+        kernel::matmul_into_with(k, x, store.value(self.w), out);
         match self.b {
             Some(b) => {
                 let bias = store.value(b);
                 let brow = bias.row(0);
-                for r in 0..out.rows() {
-                    for (o, &bi) in out.row_mut(r).iter_mut().zip(brow) {
-                        *o = act.eval(*o + bi);
+                if k == Kernel::Scalar {
+                    for r in 0..out.rows() {
+                        for (o, &bi) in out.row_mut(r).iter_mut().zip(brow) {
+                            *o = act.eval(*o + bi);
+                        }
+                    }
+                } else {
+                    kernel::add_bias_rows_with(k, out, brow);
+                    if act != Activation::Identity {
+                        for v in out.data_mut() {
+                            *v = act.eval(*v);
+                        }
                     }
                 }
             }
@@ -435,11 +453,54 @@ impl AdditiveAttention {
         scratch.give(qk);
         scratch.give(scores);
     }
+
+    /// [`Self::attend_tanh`] with the key half stored **transposed**:
+    /// `tanh_keys_t` is `p×n` — column `j` holds `tanh(W_k k_j)`. Callers
+    /// transpose the memoized key half once per trajectory
+    /// ([`Matrix::transpose_into`]) and reuse it for every query.
+    ///
+    /// The restructuring skips the per-query `n×2p` assembly of the
+    /// concatenated activation matrix entirely: the score row is computed
+    /// directly as the shared query prefix dot product plus the
+    /// transposed-key accumulation (see
+    /// [`crate::kernel::attend_scores_with`]), which keeps each score's
+    /// per-element add sequence identical to [`Self::attend_tanh`] —
+    /// bit-identical output, half the multiply-adds, and a `j`-contiguous
+    /// inner loop the SIMD kernels can vectorize.
+    pub fn attend_tanh_t(
+        &self,
+        store: &ParamStore,
+        tanh_q: &[f32],
+        tanh_keys_t: &Matrix,
+        values: &Matrix,
+        scratch: &mut Scratch,
+        ctx_out: &mut [f32],
+    ) {
+        let n = tanh_keys_t.cols();
+        let p = tanh_q.len();
+        debug_assert_eq!(p, self.proj_dim(), "projected query width");
+        debug_assert_eq!(tanh_keys_t.rows(), p, "transposed key half height");
+        debug_assert_eq!(ctx_out.len(), values.cols(), "context width");
+        let w = store.value(self.wv.w); // (2p)×1 score weights
+        debug_assert_eq!(w.rows(), 2 * p, "score weight height");
+        let mut scores = scratch.take(n, 1);
+        kernel::attend_scores_with(
+            kernel::active(),
+            tanh_q,
+            w.data(),
+            tanh_keys_t,
+            scores.data_mut(),
+        );
+        softmax_context(&mut scores, values, ctx_out);
+        scratch.give(scores);
+    }
 }
 
 /// Shared attention tail: in-place softmax over the `n×1` score column
 /// (same op order as the allocating path — max, exp, sum, divide), then the
-/// weighted sum of value rows into `ctx_out`.
+/// weighted sum of value rows into `ctx_out` (dispatched to the active
+/// SIMD kernel; each context element accumulates one rounded multiply-add
+/// per value row in ascending row order on every path).
 fn softmax_context(scores: &mut Matrix, values: &Matrix, ctx_out: &mut [f32]) {
     let max = scores
         .data()
@@ -453,11 +514,16 @@ fn softmax_context(scores: &mut Matrix, values: &Matrix, ctx_out: &mut [f32]) {
     for s in scores.data_mut() {
         *s /= sum;
     }
-    ctx_out.fill(0.0);
-    for (r, &w) in scores.data().iter().enumerate() {
-        for (o, &v) in ctx_out.iter_mut().zip(values.row(r)) {
-            *o += w * v;
+    let k = kernel::active();
+    if k == Kernel::Scalar {
+        ctx_out.fill(0.0);
+        for (r, &w) in scores.data().iter().enumerate() {
+            for (o, &v) in ctx_out.iter_mut().zip(values.row(r)) {
+                *o += w * v;
+            }
         }
+    } else {
+        kernel::weighted_sum_rows_with(k, scores.data(), values, ctx_out);
     }
 }
 
@@ -757,6 +823,51 @@ mod tests {
             att.attend_tanh(&store, tanh_q.row(qi), &tanh_keys, &keys, &mut scratch, &mut ctx);
             for (a, b) in reference.data().iter().zip(&ctx) {
                 assert_eq!(a.to_bits(), b.to_bits(), "memoized-tanh attention diverged");
+            }
+        }
+    }
+
+    /// `attend_tanh_t` (transposed keys, restructured score loop) must be
+    /// bit-identical to `attend_tanh` — and therefore to
+    /// `infer_projected` — under every kernel this machine supports.
+    #[test]
+    fn attend_tanh_t_is_bitwise_identical_to_attend_tanh() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let att = AdditiveAttention::new(&mut store, 6, 5, &mut rng);
+        let keys = Matrix::from_vec(7, 6, (0..42).map(|i| (i as f32 * 0.17).cos()).collect());
+        let queries = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.41).sin()).collect());
+
+        let mut tanh_keys = Matrix::zeros(7, att.proj_dim());
+        att.project_keys_into(&store, &keys, &mut tanh_keys);
+        for v in tanh_keys.data_mut() {
+            *v = v.tanh();
+        }
+        let tanh_keys_t = tanh_keys.transpose();
+        let mut tanh_q = Matrix::zeros(3, att.proj_dim());
+        att.project_queries_into(&store, &queries, &mut tanh_q);
+        for v in tanh_q.data_mut() {
+            *v = v.tanh();
+        }
+
+        let mut scratch = Scratch::new();
+        let mut ctx = vec![0.0f32; keys.cols()];
+        let mut ctx_t = vec![0.0f32; keys.cols()];
+        for k in kernel::supported_kernels() {
+            let _guard = kernel::force_scope(k);
+            for qi in 0..queries.rows() {
+                att.attend_tanh(&store, tanh_q.row(qi), &tanh_keys, &keys, &mut scratch, &mut ctx);
+                att.attend_tanh_t(
+                    &store,
+                    tanh_q.row(qi),
+                    &tanh_keys_t,
+                    &keys,
+                    &mut scratch,
+                    &mut ctx_t,
+                );
+                for (a, b) in ctx.iter().zip(&ctx_t) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "attend_tanh_t diverged under {k:?}");
+                }
             }
         }
     }

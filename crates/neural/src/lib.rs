@@ -10,7 +10,10 @@
 //!   `GruCell` (for the seq2seq baselines),
 //! * [`loss`] — label-smoothed cross-entropy (paper §IV-D), BCE, MSE,
 //! * [`optim::Adam`] — Adam with decoupled weight decay (paper §V-A2),
-//! * [`init`] — seeded Xavier/He initialization.
+//! * [`init`] — seeded Xavier/He initialization,
+//! * [`kernel`] — runtime-dispatched SIMD inference kernels (AVX2/SSE2/
+//!   NEON/scalar), bitwise-pinned to the scalar reference, over
+//!   [`avec::AVec`] 32-byte-aligned storage.
 //!
 //! Everything is deterministic under a fixed seed; tests gradient-check the
 //! operators against central differences.
@@ -33,14 +36,22 @@
 //! assert_eq!(dw.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exceptions are the two audited
+// modules below — `avec` (aligned storage, two slice casts) and `kernel`
+// (SIMD intrinsics) — each of which carries SAFETY comments per use and
+// is additionally fenced by `lhmm-lint`'s dispatch allowlist.
+#![deny(unsafe_code)]
 // Learned scorers run inside the matcher's inference path:
 // a panic in a forward pass voids the panic-free degradation contract,
 // so `unwrap`/`expect` are denied outside test builds (ci.sh lints the
 // lib target explicitly).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+#[allow(unsafe_code)]
+pub mod avec;
 pub mod init;
+#[allow(unsafe_code)]
+pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
@@ -50,6 +61,7 @@ pub mod scratch;
 pub mod sparse;
 pub mod tape;
 
+pub use kernel::Kernel;
 pub use matrix::Matrix;
 pub use scratch::Scratch;
 pub use sparse::SparseMatrix;

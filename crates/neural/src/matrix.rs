@@ -1,5 +1,10 @@
 //! Row-major `f32` dense matrices.
+//!
+//! Backing storage is a 32-byte-aligned [`AVec`] (not a plain
+//! `Vec<f32>`), so the SIMD kernels in [`crate::kernel`] may use aligned
+//! vector loads whenever a row stride is a whole number of lanes.
 
+use crate::avec::AVec;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -8,7 +13,7 @@ use std::ops::{Index, IndexMut};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: AVec,
 }
 
 impl Matrix {
@@ -17,7 +22,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AVec::zeroed(rows * cols),
         }
     }
 
@@ -26,12 +31,24 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![v; rows * cols],
+            data: AVec::filled(rows * cols, v),
         }
     }
 
     /// Builds from a row-major data vector. Panics when sizes disagree.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: AVec::from_slice(&data),
+        }
+    }
+
+    /// Builds from an already-aligned buffer (the
+    /// [`crate::scratch::Scratch`] arena hands these out). Panics when
+    /// sizes disagree.
+    pub(crate) fn from_avec(rows: usize, cols: usize, data: AVec) -> Self {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
         Matrix { rows, cols, data }
     }
@@ -42,7 +59,7 @@ impl Matrix {
         Matrix {
             rows: 1,
             cols,
-            data,
+            data: AVec::from_slice(&data),
         }
     }
 
@@ -52,7 +69,7 @@ impl Matrix {
         Matrix {
             rows,
             cols: 1,
-            data,
+            data: AVec::from_slice(&data),
         }
     }
 
@@ -118,7 +135,20 @@ impl Matrix {
     /// starting from `0.0` — the same per-element summation sequence as
     /// [`Matrix::matmul`] and [`Matrix::matmul_transposed_into`], so all
     /// three produce bit-identical results.
+    ///
+    /// Dispatches to the SIMD kernel selected by
+    /// [`crate::kernel::active`]; every kernel path reproduces the
+    /// per-element op sequence of the crate-private
+    /// `matmul_into_scalar` oracle bit for bit.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::kernel::matmul_into_with(crate::kernel::active(), self, rhs, out);
+    }
+
+    /// The PR 2 scalar reference kernel for [`Matrix::matmul_into`]:
+    /// blocked i-k-j loops, 4-step k-fusion, one rounded multiply and one
+    /// rounded add per `(k, j)` in ascending `k` order. The SIMD paths in
+    /// [`crate::kernel`] are pinned bitwise against this.
+    pub(crate) fn matmul_into_scalar(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
@@ -223,39 +253,57 @@ impl Matrix {
         }
     }
 
-    /// Consumes the matrix, handing its backing buffer to the caller
-    /// (used by the [`crate::scratch::Scratch`] arena to recycle storage).
+    /// Copies the contents out into a plain row-major `Vec` (the backing
+    /// store itself is an aligned [`AVec`]; the
+    /// [`crate::scratch::Scratch`] arena recycles it via the
+    /// crate-private `into_avec` without copying).
     pub fn into_raw(self) -> Vec<f32> {
+        self.data.to_vec()
+    }
+
+    /// Consumes the matrix, handing its aligned backing buffer to the
+    /// caller (used by the [`crate::scratch::Scratch`] arena to recycle
+    /// storage).
+    pub(crate) fn into_avec(self) -> AVec {
         self.data
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose into a caller-owned matrix (no allocation).
+    /// `out` must already have shape `(self.cols, self.rows)`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into shape mismatch"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Elementwise sum; panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a + b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+            *o = a + b;
+        }
+        out
     }
 
     /// In-place `self += rhs`.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b;
         }
     }
@@ -263,25 +311,29 @@ impl Matrix {
     /// Elementwise product (Hadamard).
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a * b)
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+            *o = a * b;
+        }
+        out
     }
 
     /// Scaled copy `self * s`.
     pub fn scale(&self, s: f32) -> Matrix {
-        let data = self.data.iter().map(|a| a * s).collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, a) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = a * s;
+        }
+        out
     }
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (o, &a) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(a);
+        }
+        out
     }
 
     /// Sum of all entries.
@@ -441,6 +493,28 @@ mod tests {
     fn into_raw_returns_backing_buffer() {
         let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.into_raw(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_storage_is_aligned() {
+        for (r, c) in [(1, 1), (3, 5), (7, 9), (16, 16)] {
+            let m = Matrix::zeros(r, c);
+            assert_eq!(
+                m.data().as_ptr() as usize % crate::avec::ALIGN,
+                0,
+                "matrix backing store must be aligned for SIMD loads"
+            );
+        }
+        let v = Matrix::row_vector(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.data().as_ptr() as usize % crate::avec::ALIGN, 0);
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = Matrix::full(3, 2, f32::NAN);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
     }
 
     #[test]

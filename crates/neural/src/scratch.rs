@@ -3,9 +3,11 @@
 //! Steady-state map matching evaluates the learned probabilities millions of
 //! times; allocating a handful of `Matrix` temporaries per evaluation
 //! dominates small-model inference cost. [`Scratch`] keeps a pool of
-//! recycled `Vec<f32>` buffers: a scorer *takes* matrices of whatever shape
+//! recycled [`AVec`] buffers: a scorer *takes* matrices of whatever shape
 //! the current batch needs and *gives* them back when done, so after a warm
 //! pass over representative shapes no further heap allocations occur.
+//! Every handed-out buffer is 32-byte aligned ([`crate::avec::ALIGN`]), so
+//! the SIMD kernels in [`crate::kernel`] may use aligned vector loads.
 //!
 //! Buffers are handed out best-fit (smallest pooled buffer whose capacity
 //! suffices) so repeated identical take-sequences settle on a stable
@@ -14,12 +16,13 @@
 //! pipeline surfaces through `MatchStats` — a steady-state run must show the
 //! allocation counter standing still.
 
+use crate::avec::AVec;
 use crate::matrix::Matrix;
 
-/// A pool of recycled `f32` buffers handed out as [`Matrix`] values.
+/// A pool of recycled aligned `f32` buffers handed out as [`Matrix`] values.
 #[derive(Debug, Default, Clone)]
 pub struct Scratch {
-    pool: Vec<Vec<f32>>,
+    pool: Vec<AVec>,
     fresh_allocs: u64,
     high_water_bytes: u64,
     held_bytes: u64,
@@ -52,21 +55,23 @@ impl Scratch {
         }
         let mut buf = match best.or(largest) {
             Some(i) => self.pool.swap_remove(i),
-            None => Vec::new(),
+            None => AVec::new(),
         };
-        if buf.capacity() < n {
+        let cap_before = buf.capacity();
+        if cap_before < n {
             self.fresh_allocs += 1;
-            self.held_bytes += ((n - buf.capacity()) * std::mem::size_of::<f32>()) as u64;
+        }
+        buf.resize_filled(n, 0.0);
+        if buf.capacity() > cap_before {
+            self.held_bytes += ((buf.capacity() - cap_before) * std::mem::size_of::<f32>()) as u64;
             self.high_water_bytes = self.high_water_bytes.max(self.held_bytes);
         }
-        buf.clear();
-        buf.resize(n, 0.0);
-        Matrix::from_vec(rows, cols, buf)
+        Matrix::from_avec(rows, cols, buf)
     }
 
     /// Returns a matrix's backing buffer to the pool.
     pub fn give(&mut self, m: Matrix) {
-        self.pool.push(m.into_raw());
+        self.pool.push(m.into_avec());
     }
 
     /// Number of times `take` had to allocate or grow a buffer. Constant
@@ -85,6 +90,7 @@ impl Scratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::avec::ALIGN;
 
     #[test]
     fn take_zero_fills_and_shapes() {
@@ -144,5 +150,45 @@ mod tests {
         let m = s.take(1, 1);
         s.give(m);
         assert_eq!(s.high_water_bytes(), hw, "reuse must not raise the high-water mark");
+    }
+
+    /// Every buffer the arena hands out must be 32-byte aligned — fresh,
+    /// best-fit reused, grown, and across interleaved give/take cycles —
+    /// so the SIMD kernels' aligned-load fast path stays legal.
+    #[test]
+    fn buffers_stay_aligned_across_reuse_and_reset() {
+        fn assert_aligned(m: &Matrix) {
+            assert_eq!(
+                m.data().as_ptr() as usize % ALIGN,
+                0,
+                "scratch buffer must be {ALIGN}-byte aligned"
+            );
+        }
+        let mut s = Scratch::new();
+        // Fresh allocations of assorted odd shapes.
+        let shapes = [(1usize, 3usize), (5, 7), (4, 8), (9, 1), (16, 16)];
+        let mut held: Vec<Matrix> = shapes.iter().map(|&(r, c)| s.take(r, c)).collect();
+        for m in &held {
+            assert_aligned(m);
+        }
+        for m in held.drain(..) {
+            s.give(m);
+        }
+        // Best-fit reuse (same shapes, shuffled order) and growth (a shape
+        // larger than anything pooled forces the largest buffer to grow).
+        for &(r, c) in [(16usize, 16usize), (1, 3), (9, 1), (5, 7), (4, 8)].iter() {
+            let m = s.take(r, c);
+            assert_aligned(&m);
+            s.give(m);
+        }
+        let grown = s.take(40, 33);
+        assert_aligned(&grown);
+        s.give(grown);
+        // Reset-style churn: shrink back down to tiny shapes.
+        for _ in 0..3 {
+            let tiny = s.take(1, 1);
+            assert_aligned(&tiny);
+            s.give(tiny);
+        }
     }
 }
