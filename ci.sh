@@ -99,5 +99,14 @@ run cargo test -q -p lhmm-network --test ch_oracle --test sp_metamorphic
 # lose-nothing graceful drain.
 run cargo test -q -p lhmm-serve
 
+# Cluster gate (DESIGN §13): 4-shard verdict fingerprints byte-identical
+# to single-process and offline serial — including mid-stream beam-state
+# handoffs and a shard killed mid-stream (supervisor restart + journal
+# replay, in_flight_lost() == 0) — plus decoder panic-freedom fuzzing
+# over the extended frame set. Run serially as well: the supervisor's
+# restart path must not depend on test scheduling.
+run cargo test -q -p lhmm-serve --test cluster_loopback --test protocol_fuzz
+run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --test cluster_loopback
+
 echo
 echo "ci: all checks passed"

@@ -1,0 +1,99 @@
+//! Cluster serving throughput (trajectories/sec) and tail latency versus
+//! shard count.
+//!
+//! One iteration = streaming every held-out trajectory through a running
+//! cluster over real loopback TCP (open → push each point → finish), with
+//! shard counts 1, 2, and 4 (1×1, 2×1, and 2×2 tile grids). After each
+//! configuration the merged cluster report's p50/p99 stream-push latency
+//! is printed — the per-observation tail a sharded deployment actually
+//! serves. Shard count 1 is the single-tile baseline: the router and
+//! supervisor are still in the path, so the sweep isolates what sharding
+//! itself buys (and costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::types::MatchContext;
+use lhmm_serve::{ClusterConfig, ClusterHandle, ClusterTopology, ServeClient, ServeCtx};
+use std::thread;
+
+fn bench_cluster(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(109));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(109));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+
+    let mut group = c.benchmark_group("serve_cluster");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trajs.len() as u64));
+    for (cols, rows) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let shards = cols * rows;
+        let topology = ClusterTopology::build(&ds.network, &ds.index, cols, rows, 3000.0);
+        thread::scope(|s| {
+            let cluster = ClusterHandle::start(
+                s,
+                ServeCtx {
+                    ctx,
+                    model: lhmm.model(),
+                    scope: None,
+                },
+                &topology,
+                ClusterConfig::default(),
+            )
+            .expect("bind cluster");
+            let addr = cluster.addr();
+
+            group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+                b.iter(|| {
+                    // Four concurrent streaming clients striding the split:
+                    // enough overlap to exercise per-shard parallelism
+                    // without swamping a laptop-sized runner.
+                    thread::scope(|cs| {
+                        for c in 0..4usize {
+                            let trajs = &trajs;
+                            cs.spawn(move || {
+                                let mut client =
+                                    ServeClient::connect(addr).expect("connect");
+                                for (i, traj) in
+                                    trajs.iter().enumerate().skip(c).step_by(4)
+                                {
+                                    let session = (c * 100_000 + i) as u64;
+                                    client.open(session, 4).expect("open");
+                                    for p in &traj.points {
+                                        // Typed per-point verdicts are part
+                                        // of normal service.
+                                        let _ = client.push(session, p);
+                                    }
+                                    let _ = client.finish(session).expect("finish");
+                                }
+                            });
+                        }
+                    });
+                });
+            });
+
+            let report = cluster.shutdown_and_drain();
+            let pushes = &report.merged.stream_push;
+            eprintln!(
+                "shards {shards}: stream-push p50 {:.3} ms | p99 {:.3} ms | handoffs {} | pushes {}",
+                pushes.quantile_upper_s(0.50) * 1e3,
+                pushes.quantile_upper_s(0.99) * 1e3,
+                report.handoffs,
+                report.merged.stream_pushes,
+            );
+            assert_eq!(
+                report.in_flight_lost(),
+                0,
+                "bench drain lost admitted work"
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ fn bench_serve(c: &mut Criterion) {
                 ServeCtx {
                     ctx,
                     model: lhmm.model(),
+                    scope: None,
                 },
                 BatchPolicy {
                     max_batch,

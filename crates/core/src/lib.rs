@@ -56,4 +56,5 @@ pub mod viterbi;
 pub use batch::{BatchConfig, BatchMatcher, BatchStats, WorkerStats};
 pub use error::{Degradation, MatchError};
 pub use lhmm::{Lhmm, LhmmConfig, LhmmModel};
+pub use streaming::{BeamState, SnapshotError, StreamingEngine};
 pub use types::{Candidate, MapMatcher, MatchContext, MatchResult, MatchStats};

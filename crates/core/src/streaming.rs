@@ -12,9 +12,168 @@ use crate::error::{sanitize_prob, Degradation, MatchError};
 use crate::types::{Candidate, HmmProbabilities, RouteInfo};
 use lhmm_geo::Point;
 use lhmm_network::backend::{SpEngine, SpHandle};
-use lhmm_network::graph::RoadNetwork;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
 use lhmm_network::path::Path;
 use lhmm_network::sp_cache::SpCache;
+use std::fmt;
+
+/// A serializable photograph of one in-progress streaming session: the DP
+/// frontier inside the lag window plus the committed prefix. Restoring it
+/// into any [`StreamingEngine`] on the same network — same process or a
+/// different shard — continues the session byte-identically to one that was
+/// never interrupted, because every field the recursion reads is carried
+/// and the shortest-path layer never changes answers (only speed).
+///
+/// The state is a pure function of the accepted `push` calls, so it carries
+/// no engine identity: kernel choice, SP backend, and cache temperature are
+/// all excluded by construction.
+#[derive(Clone, Debug)]
+pub struct BeamState {
+    /// Commit lag of the captured session.
+    pub lag: usize,
+    /// Candidate layers, one per accepted observation.
+    pub layers: Vec<Vec<Candidate>>,
+    /// Effective position and timestamp per observation.
+    pub pts: Vec<(Point, f64)>,
+    /// Viterbi log-domain scores per layer.
+    pub f: Vec<Vec<f64>>,
+    /// Backpointers per layer (`None` on layer 0 and for unreachable
+    /// candidates).
+    pub pre: Vec<Vec<Option<usize>>>,
+    /// Observations already committed (prefix length).
+    pub committed_upto: usize,
+    /// Segments of the committed path so far.
+    pub committed: Vec<SegmentId>,
+    /// The candidate the committed path ends on, if any.
+    pub last_committed: Option<Candidate>,
+    /// Degradation counters accumulated so far.
+    pub degradation: Degradation,
+}
+
+/// Bitwise equality: `f64` fields compare by bit pattern so two states are
+/// equal exactly when a continued session cannot distinguish them. (`NaN ==
+/// NaN` under this ordering, `0.0 != -0.0` — the same discipline as the
+/// engine's `total_cmp` scoring.)
+impl PartialEq for BeamState {
+    fn eq(&self, other: &Self) -> bool {
+        fn cand_eq(a: &Candidate, b: &Candidate) -> bool {
+            a.seg == b.seg && a.t.to_bits() == b.t.to_bits() && a.obs.to_bits() == b.obs.to_bits()
+        }
+        self.lag == other.lag
+            && self.layers.len() == other.layers.len()
+            && self
+                .layers
+                .iter()
+                .zip(&other.layers)
+                .all(|(x, y)| x.len() == y.len() && x.iter().zip(y).all(|(a, b)| cand_eq(a, b)))
+            && self.pts.len() == other.pts.len()
+            && self.pts.iter().zip(&other.pts).all(|(a, b)| {
+                a.0.x.to_bits() == b.0.x.to_bits()
+                    && a.0.y.to_bits() == b.0.y.to_bits()
+                    && a.1.to_bits() == b.1.to_bits()
+            })
+            && self.f.len() == other.f.len()
+            && self.f.iter().zip(&other.f).all(|(x, y)| {
+                x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+            })
+            && self.pre == other.pre
+            && self.committed_upto == other.committed_upto
+            && self.committed == other.committed
+            && match (&self.last_committed, &other.last_committed) {
+                (None, None) => true,
+                (Some(a), Some(b)) => cand_eq(a, b),
+                _ => false,
+            }
+            && self.degradation == other.degradation
+    }
+}
+
+impl BeamState {
+    /// Effective positions of the captured observations, in push order —
+    /// exactly what a position-indexed observation model (e.g.
+    /// `ClassicModel`) must be rebuilt with before continuing the session.
+    pub fn positions(&self) -> Vec<Point> {
+        self.pts.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Checks the structural invariants every state captured from a real
+    /// session satisfies: parallel per-layer arrays, non-empty layers,
+    /// in-range backpointers, a committed prefix no longer than the
+    /// session, and a `last_committed` present exactly when something was
+    /// committed. Wire decoders call this so a corrupted frame surfaces as
+    /// a typed error, never as a panic inside the engine.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let n = self.layers.len();
+        if self.pts.len() != n || self.f.len() != n || self.pre.len() != n {
+            return Err(SnapshotError("per-layer arrays disagree on length"));
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.is_empty() {
+                return Err(SnapshotError("empty candidate layer"));
+            }
+            if self.f[i].len() != layer.len() || self.pre[i].len() != layer.len() {
+                return Err(SnapshotError("layer arrays disagree on candidate count"));
+            }
+            for p in &self.pre[i] {
+                match *p {
+                    None => {}
+                    Some(_) if i == 0 => {
+                        return Err(SnapshotError("backpointer on first layer"));
+                    }
+                    Some(j) if j >= self.layers[i - 1].len() => {
+                        return Err(SnapshotError("backpointer out of range"));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if self.committed_upto > n {
+            return Err(SnapshotError("committed prefix longer than session"));
+        }
+        if self.last_committed.is_some() != (self.committed_upto > 0) {
+            return Err(SnapshotError("last_committed disagrees with committed prefix"));
+        }
+        if self.committed_upto == 0 && !self.committed.is_empty() {
+            return Err(SnapshotError("committed segments without committed prefix"));
+        }
+        Ok(())
+    }
+
+    /// [`BeamState::validate`] plus segment-id bounds against a concrete
+    /// network — the full check a shard runs before admitting foreign state.
+    pub fn validate_for(&self, net: &RoadNetwork) -> Result<(), SnapshotError> {
+        self.validate()?;
+        let num = net.num_segments();
+        let seg_ok = |s: SegmentId| s.idx() < num;
+        for layer in &self.layers {
+            if !layer.iter().all(|c| seg_ok(c.seg)) {
+                return Err(SnapshotError("candidate segment id out of range"));
+            }
+        }
+        if !self.committed.iter().all(|&s| seg_ok(s)) {
+            return Err(SnapshotError("committed segment id out of range"));
+        }
+        if let Some(c) = self.last_committed {
+            if !seg_ok(c.seg) {
+                return Err(SnapshotError("last committed segment id out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A beam-state snapshot failed validation on restore (or wire decode).
+/// The payload names the violated invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotError(pub &'static str);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fm, "invalid beam state: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Incremental HMM state over one in-progress trajectory.
 pub struct StreamingEngine<'a> {
@@ -263,6 +422,47 @@ impl<'a> StreamingEngine<'a> {
         self.last_committed = None;
         self.degradation = Degradation::default();
     }
+
+    /// Captures the complete per-session state for handoff to another
+    /// engine (possibly in another process). Non-destructive: the session
+    /// keeps running here unless the caller also [`StreamingEngine::reset`]s
+    /// it. The snapshot carries everything `push`/`commit_to` read, so a
+    /// restored session continues byte-identically — pinned by the
+    /// round-trip tests below across kernels and SP backends.
+    pub fn snapshot(&self) -> BeamState {
+        BeamState {
+            lag: self.lag,
+            layers: self.layers.clone(),
+            pts: self.pts.clone(),
+            f: self.f.clone(),
+            pre: self.pre.clone(),
+            committed_upto: self.committed_upto,
+            committed: self.committed_path.segments.clone(),
+            last_committed: self.last_committed,
+            degradation: self.degradation,
+        }
+    }
+
+    /// Replaces this engine's session state with a snapshot captured
+    /// elsewhere, after validating it structurally and against this
+    /// network's segment-id space. On error the engine is left untouched.
+    /// The warm shortest-path cache is kept — cache state never changes
+    /// answers, only speed.
+    pub fn restore(&mut self, state: BeamState) -> Result<(), SnapshotError> {
+        state.validate_for(self.net)?;
+        self.lag = state.lag;
+        self.layers = state.layers;
+        self.pts = state.pts;
+        self.f = state.f;
+        self.pre = state.pre;
+        self.committed_upto = state.committed_upto;
+        self.committed_path = Path {
+            segments: state.committed,
+        };
+        self.last_committed = state.last_committed;
+        self.degradation = state.degradation;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -482,6 +682,233 @@ mod tests {
         let stream = StreamingEngine::new(&ds.network, 2);
         assert!(stream.is_empty());
         assert!(stream.finish().is_empty());
+    }
+
+    /// Per-accepted-push inputs for one trajectory, with model positions
+    /// compacted to accepted pushes only (the serve session discipline).
+    fn stream_inputs(ds: &Dataset, rec_idx: usize) -> Vec<(Point, f64, Vec<Candidate>)> {
+        let rec = &ds.test[rec_idx];
+        let positions = rec.cellular.effective_positions();
+        let mut model = ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            positions.clone(),
+        );
+        let mut out = Vec::new();
+        for (i, p) in rec.cellular.points.iter().enumerate() {
+            let pairs = nearest_segments(&ds.network, &ds.index, positions[i], 20, 3_000.0);
+            if pairs.is_empty() {
+                continue;
+            }
+            out.push((positions[i], p.t, to_candidates(&mut model, i, &pairs)));
+        }
+        out
+    }
+
+    fn fresh_compact_model() -> ClassicModel {
+        ClassicModel::new(
+            ClassicObservation::cellular(),
+            ClassicTransition::cellular(),
+            Vec::new(),
+        )
+    }
+
+    /// Satellite: snapshot → restore (possibly onto a different SP backend)
+    /// → continued pushes are byte-identical to an uninterrupted session.
+    /// Compared at full [`BeamState`] granularity after every post-cut push,
+    /// not just on the final path.
+    #[test]
+    fn snapshot_restore_round_trip_is_byte_identical_across_sp_backends() {
+        use lhmm_network::backend::SpBackend;
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(208));
+        let inputs = stream_inputs(&ds, 0);
+        assert!(inputs.len() >= 4, "trajectory too short to cut");
+        let cut = inputs.len() / 2;
+        let lag = 3;
+
+        for (src, dst) in [
+            (SpBackend::Dijkstra, SpBackend::Dijkstra),
+            (SpBackend::Dijkstra, SpBackend::Ch),
+            (SpBackend::Ch, SpBackend::Dijkstra),
+        ] {
+            let src_sp = SpHandle::build(&ds.network, src);
+            let dst_sp = SpHandle::build(&ds.network, dst);
+
+            // Reference: one uninterrupted session on the source backend.
+            let mut ref_model = fresh_compact_model();
+            let mut reference = StreamingEngine::with_backend(&ds.network, lag, &src_sp);
+            // Interrupted twin, cut over to a fresh engine mid-stream.
+            let mut cut_model = fresh_compact_model();
+            let mut interrupted = StreamingEngine::with_backend(&ds.network, lag, &src_sp);
+
+            for (i, (pos, t, layer)) in inputs.iter().enumerate() {
+                if i == cut {
+                    let state = interrupted.snapshot();
+                    state.validate_for(&ds.network).expect("captured state valid");
+                    let mut restored =
+                        StreamingEngine::with_backend(&ds.network, lag, &dst_sp);
+                    restored.restore(state.clone()).expect("restore");
+                    assert_eq!(restored.snapshot(), state, "restore is lossless");
+                    interrupted = restored;
+                    cut_model = ClassicModel::new(
+                        ClassicObservation::cellular(),
+                        ClassicTransition::cellular(),
+                        state.positions(),
+                    );
+                }
+                ref_model.positions.push(*pos);
+                cut_model.positions.push(*pos);
+                reference
+                    .push(*pos, *t, layer.clone(), &mut ref_model)
+                    .expect("non-empty layer");
+                interrupted
+                    .push(*pos, *t, layer.clone(), &mut cut_model)
+                    .expect("non-empty layer");
+                assert_eq!(
+                    interrupted.snapshot(),
+                    reference.snapshot(),
+                    "state diverged after push {i} ({src:?} -> {dst:?})"
+                );
+            }
+            let want = reference.finish();
+            let got = interrupted.finish();
+            assert_eq!(got.segments, want.segments, "{src:?} -> {dst:?}");
+        }
+    }
+
+    /// Satellite: the snapshot path is invariant under the SIMD kernel in
+    /// use — every supported kernel yields the same bytes as the scalar
+    /// reference for the interrupted-and-restored session.
+    #[test]
+    fn snapshot_restore_is_kernel_invariant() {
+        use lhmm_neural::kernel::{force_scope, Kernel};
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(209));
+        let inputs = stream_inputs(&ds, 2);
+        assert!(inputs.len() >= 4, "trajectory too short to cut");
+        let cut = inputs.len() / 2;
+        let lag = 2;
+
+        let run_interrupted = || {
+            let mut model = fresh_compact_model();
+            let mut stream = StreamingEngine::new(&ds.network, lag);
+            for (i, (pos, t, layer)) in inputs.iter().enumerate() {
+                if i == cut {
+                    let state = stream.snapshot();
+                    let mut restored = StreamingEngine::new(&ds.network, lag);
+                    restored.restore(state.clone()).expect("restore");
+                    stream = restored;
+                    model = ClassicModel::new(
+                        ClassicObservation::cellular(),
+                        ClassicTransition::cellular(),
+                        state.positions(),
+                    );
+                }
+                model.positions.push(*pos);
+                stream
+                    .push(*pos, *t, layer.clone(), &mut model)
+                    .expect("non-empty layer");
+            }
+            let state = stream.snapshot();
+            (state, stream.finish())
+        };
+
+        let reference = {
+            let _g = force_scope(Kernel::Scalar).expect("scalar always available");
+            run_interrupted()
+        };
+        for k in [Kernel::Sse2, Kernel::Avx2, Kernel::Neon] {
+            let Some(_g) = force_scope(k) else { continue };
+            let (state, path) = run_interrupted();
+            assert_eq!(state, reference.0, "final beam state differs under {k:?}");
+            assert_eq!(
+                path.segments, reference.1.segments,
+                "final path differs under {k:?}"
+            );
+        }
+    }
+
+    /// Restore refuses structurally corrupt or out-of-range states with a
+    /// typed error and leaves the running session untouched.
+    #[test]
+    fn restore_rejects_corrupt_states_and_preserves_the_session() {
+        use lhmm_network::graph::SegmentId;
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(210));
+        let inputs = stream_inputs(&ds, 1);
+        let lag = 2;
+        let mut model = fresh_compact_model();
+        let mut stream = StreamingEngine::new(&ds.network, lag);
+        for (pos, t, layer) in inputs.iter().take(4) {
+            model.positions.push(*pos);
+            stream
+                .push(*pos, *t, layer.clone(), &mut model)
+                .expect("non-empty layer");
+        }
+        let good = stream.snapshot();
+        good.validate_for(&ds.network).expect("captured state valid");
+
+        let corruptions: Vec<(&str, BeamState)> = vec![
+            ("array length mismatch", {
+                let mut s = good.clone();
+                s.f.pop();
+                s
+            }),
+            ("empty layer", {
+                let mut s = good.clone();
+                s.layers[1].clear();
+                s
+            }),
+            ("candidate count mismatch", {
+                let mut s = good.clone();
+                s.pre[1].push(None);
+                s
+            }),
+            ("backpointer on first layer", {
+                let mut s = good.clone();
+                s.pre[0][0] = Some(0);
+                s
+            }),
+            ("backpointer out of range", {
+                let mut s = good.clone();
+                let m = s.layers[0].len();
+                s.pre[1][0] = Some(m);
+                s
+            }),
+            ("committed prefix too long", {
+                let mut s = good.clone();
+                s.committed_upto = s.layers.len() + 1;
+                s
+            }),
+            ("last_committed mismatch", {
+                let mut s = good.clone();
+                s.last_committed = None;
+                s.committed_upto = s.layers.len().clamp(1, 2);
+                s
+            }),
+            ("segment id out of range", {
+                let mut s = good.clone();
+                s.layers[0][0].seg = SegmentId(u32::MAX - 1);
+                s
+            }),
+        ];
+        for (what, bad) in corruptions {
+            // Sanity: the corruption actually broke the invariant.
+            assert!(bad.validate_for(&ds.network).is_err(), "{what}: still valid");
+            let mut victim = StreamingEngine::new(&ds.network, lag);
+            victim.restore(good.clone()).expect("good state restores");
+            let err = victim.restore(bad).expect_err(what);
+            assert!(!err.0.is_empty(), "{what}: empty reason");
+            // The failed restore left the previous session intact.
+            assert_eq!(victim.snapshot(), good, "{what}: session clobbered");
+        }
+
+        // And the original session kept running as if nothing happened.
+        for (pos, t, layer) in inputs.iter().skip(4) {
+            model.positions.push(*pos);
+            stream
+                .push(*pos, *t, layer.clone(), &mut model)
+                .expect("non-empty layer");
+        }
+        assert!(!stream.finish().is_empty());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   and texture of the paper's Hangzhou/Xiamen networks,
 //! * [`spatial::SpatialIndex`] — a uniform-grid index for k-nearest-segment
 //!   and radius queries (candidate preparation),
+//! * [`tile`] — geo-tiling with halo overlap for sharded serving
+//!   ([`tile::TileGrid`], [`tile::TileScope`], [`tile::TileNetwork`]),
 //! * [`shortest_path`] — bounded Dijkstra with one-to-many target sets (the
 //!   transition-probability workhorse),
 //! * [`ch`] — contraction-hierarchy preprocessing with bidirectional
@@ -54,6 +56,7 @@ pub mod shortest_path;
 pub mod sp_cache;
 pub mod sp_table;
 pub mod spatial;
+pub mod tile;
 
 pub use backend::{SpBackend, SpEngine, SpHandle};
 pub use builder::NetworkBuilder;
@@ -61,3 +64,4 @@ pub use graph::{NodeId, RoadNetwork, SegmentId};
 pub use path::Path;
 pub use shortest_path::UNREACHABLE;
 pub use spatial::SpatialIndex;
+pub use tile::{TileGrid, TileNetwork, TileScope};

@@ -33,6 +33,19 @@ impl SpatialIndex {
     /// synthetic cities) keeps per-cell lists short without exploding the
     /// number of cells a segment spans.
     pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        let all: Vec<SegmentId> = net.segment_ids().collect();
+        Self::build_subset(net, cell_size, &all)
+    }
+
+    /// Builds the index over only `segments` (e.g. one serving tile's
+    /// segment set), with grid geometry identical to [`SpatialIndex::build`]
+    /// over the full network: same origin, same cell size, and therefore
+    /// the same ring-expansion radius sequence in
+    /// [`SpatialIndex::k_nearest`]. Every query whose true result set lies
+    /// entirely inside `segments` (a point inside a tile core, with a halo
+    /// at least as wide as the query radius) returns results byte-identical
+    /// to the full index — the invariant geo-sharded serving rests on.
+    pub fn build_subset(net: &RoadNetwork, cell_size: f64, segments: &[SegmentId]) -> Self {
         assert!(cell_size > 0.0, "cell size must be positive");
         let bbox = net.bbox().inflated(cell_size);
         let cols = (bbox.width() / cell_size).ceil().max(1.0) as usize;
@@ -44,7 +57,7 @@ impl SpatialIndex {
             rows,
             cells: vec![Vec::new(); cols * rows],
         };
-        for s in net.segment_ids() {
+        for &s in segments {
             let sb = BBox::from_segment(net.segment_start(s), net.segment_end(s));
             let (c0, r0) = idx.cell_of(Point::new(sb.min_x, sb.min_y));
             let (c1, r1) = idx.cell_of(Point::new(sb.max_x, sb.max_y));
@@ -55,6 +68,13 @@ impl SpatialIndex {
             }
         }
         idx
+    }
+
+    /// The grid cell size this index was built with. Two subset indexes
+    /// built at the same cell size over the same network share their grid
+    /// geometry exactly (see [`SpatialIndex::build_subset`]).
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
     }
 
     #[inline]
@@ -269,6 +289,37 @@ mod tests {
         let p = Point::new(1e6, 1e6);
         assert!(idx.k_nearest(&net, p, 5, 100.0).is_empty());
         assert!(idx.k_nearest(&net, p, 0, 1e9).is_empty());
+    }
+
+    #[test]
+    fn subset_index_equals_full_index_on_covered_queries() {
+        let net = city();
+        let full = SpatialIndex::build(&net, 200.0);
+        let all: Vec<SegmentId> = net.segment_ids().collect();
+        let subset = SpatialIndex::build_subset(&net, 200.0, &all);
+        // Identical member set ⇒ identical answers everywhere.
+        for (x, y) in [(100.0, 100.0), (450.0, 620.0), (900.0, 500.0)] {
+            let p = Point::new(x, y);
+            assert_eq!(
+                subset.k_nearest(&net, p, 8, 5_000.0),
+                full.k_nearest(&net, p, 8, 5_000.0)
+            );
+        }
+        // A strict subset answers radius queries exactly over its members.
+        let half: Vec<SegmentId> = all.iter().copied().filter(|s| s.0 % 2 == 0).collect();
+        let sub = SpatialIndex::build_subset(&net, 200.0, &half);
+        let p = Point::new(450.0, 620.0);
+        let mut got = sub.segments_within(&net, p, 400.0);
+        got.sort_by_key(|e| e.0);
+        let mut want: Vec<_> = brute_within(&net, p, 400.0)
+            .into_iter()
+            .filter(|(s, _)| s.0 % 2 == 0)
+            .collect();
+        want.sort_by_key(|e| e.0);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0);
+        }
     }
 
     #[test]

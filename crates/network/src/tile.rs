@@ -1,0 +1,429 @@
+//! Geo-tiling: spatial partition of a road network for sharded serving.
+//!
+//! A [`TileGrid`] splits a network's bounding box into a uniform
+//! `cols × rows` lattice of **cores**. Every tower location is assigned to
+//! exactly one core by [`TileGrid::assign`] — a pure function of the
+//! position (ties on shared core boundaries break toward the smaller tile
+//! id), so a router replica fleet agrees on placement without
+//! coordination. Each tile additionally owns a **halo**: the core inflated
+//! by a fixed margin, wide enough to cover the candidate search radius.
+//! Candidate preparation for a position inside the core can then run
+//! against the tile's segment subset alone and still return answers
+//! byte-identical to the full network index (see
+//! [`SpatialIndex::build_subset`]).
+//!
+//! Two materializations of a tile are provided:
+//!
+//! * [`TileScope`] — the serving view: the tile's segment set indexed over
+//!   the *global* network (shards that share the full graph, the in-process
+//!   cluster of `lhmm-serve`).
+//! * [`TileNetwork`] — a standalone sub-[`RoadNetwork`] with local↔global
+//!   id maps, the deployment unit for shards on separate machines. Segment
+//!   geometry and cached lengths are copied bit-for-bit.
+//!
+//! Shortest-path queries deliberately stay on the full network in the
+//! serving stack: adversarial inputs (teleported points, see
+//! `lhmm_cellsim::faults`) can legally connect candidates across the whole
+//! map, so any geometric truncation of the SP graph would break the
+//! byte-equivalence contract. Tiling bounds *candidate preparation*, which
+//! is radius-limited by construction.
+
+use crate::graph::{NodeId, RoadNetwork, Segment, SegmentId};
+use crate::spatial::SpatialIndex;
+use lhmm_geo::{BBox, Point};
+
+/// A uniform `cols × rows` partition of a network's bounding box.
+#[derive(Clone, Debug)]
+pub struct TileGrid {
+    bbox: BBox,
+    cols: usize,
+    rows: usize,
+    halo: f64,
+}
+
+impl TileGrid {
+    /// Partitions `net`'s bounding box into `cols × rows` tile cores with
+    /// a `halo`-meter overlap margin. `halo` must be at least the candidate
+    /// search radius for subset candidate queries to stay exact.
+    pub fn new(net: &RoadNetwork, cols: usize, rows: usize, halo: f64) -> Self {
+        TileGrid {
+            bbox: net.bbox(),
+            cols: cols.max(1),
+            rows: rows.max(1),
+            halo: halo.max(0.0),
+        }
+    }
+
+    /// Number of tiles (`cols × rows`).
+    pub fn num_tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Halo margin in meters.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The closed core box of tile `tile` (row-major id). Adjacent cores
+    /// share their boundary coordinate exactly — both compute it with the
+    /// same expression — so boundary points are contained in every touching
+    /// core and [`TileGrid::assign`] resolves the tie by id.
+    pub fn core(&self, tile: usize) -> BBox {
+        let c = tile % self.cols;
+        let r = tile / self.cols;
+        let w = self.bbox.width() / self.cols as f64;
+        let h = self.bbox.height() / self.rows as f64;
+        BBox {
+            min_x: self.bbox.min_x + c as f64 * w,
+            min_y: self.bbox.min_y + r as f64 * h,
+            max_x: if c + 1 == self.cols {
+                self.bbox.max_x
+            } else {
+                self.bbox.min_x + (c + 1) as f64 * w
+            },
+            max_y: if r + 1 == self.rows {
+                self.bbox.max_y
+            } else {
+                self.bbox.min_y + (r + 1) as f64 * h
+            },
+        }
+    }
+
+    /// The core inflated by the halo margin.
+    pub fn halo_bbox(&self, tile: usize) -> BBox {
+        self.core(tile).inflated(self.halo)
+    }
+
+    /// Assigns a position to a tile: the smallest tile id whose closed core
+    /// contains `p`; for positions outside the network bounding box, the
+    /// core with the smallest distance to `p` (ties again by id). A pure
+    /// function of `p` and the grid — no state, no history.
+    pub fn assign(&self, p: Point) -> usize {
+        for t in 0..self.num_tiles() {
+            if self.core(t).contains(p) {
+                return t;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for t in 0..self.num_tiles() {
+            let d = self.core(t).distance_to_point(p);
+            if d < best_d {
+                best_d = d;
+                best = t;
+            }
+        }
+        best
+    }
+
+    /// The segments of tile `tile`: every segment whose bounding box
+    /// intersects the tile's halo box, in ascending id order. Segments near
+    /// a boundary appear in several tiles — that overlap is what keeps
+    /// core-position candidate queries exact.
+    pub fn segments_of(&self, net: &RoadNetwork, tile: usize) -> Vec<SegmentId> {
+        let hb = self.halo_bbox(tile);
+        net.segment_ids()
+            .filter(|&s| {
+                BBox::from_segment(net.segment_start(s), net.segment_end(s)).intersects(&hb)
+            })
+            .collect()
+    }
+}
+
+/// One tile's serving view over the shared global network: the core box
+/// (for the core-or-full routing decision) and a [`SpatialIndex`] over just
+/// the tile's segments. Queries from inside the core against this index
+/// are byte-identical to the full index whenever the halo covers the query
+/// radius.
+pub struct TileScope {
+    /// Tile id in its [`TileGrid`].
+    pub tile: usize,
+    /// The tile's core box (closed).
+    pub core: BBox,
+    /// Subset spatial index over the tile's segments, grid-aligned with
+    /// the full index built at the same cell size.
+    pub index: SpatialIndex,
+    /// The tile's segment ids (ascending).
+    pub segments: Vec<SegmentId>,
+}
+
+impl TileScope {
+    /// Builds the serving view of `tile` with the given index cell size.
+    pub fn build(net: &RoadNetwork, grid: &TileGrid, tile: usize, cell_size: f64) -> Self {
+        let segments = grid.segments_of(net, tile);
+        let index = SpatialIndex::build_subset(net, cell_size, &segments);
+        TileScope {
+            tile,
+            core: grid.core(tile),
+            index,
+            segments,
+        }
+    }
+}
+
+/// A standalone sub-network extracted for one tile, with id maps back to
+/// the global network — the unit a cross-machine shard would load. Node
+/// positions, segment lengths and classes are copied bit-for-bit, so any
+/// computation confined to the tile is exactly reproducible on the global
+/// network through the maps.
+pub struct TileNetwork {
+    /// The extracted sub-network (local ids).
+    pub net: RoadNetwork,
+    /// Local segment index → global segment id (ascending).
+    pub segments: Vec<SegmentId>,
+    /// Local node index → global node id (ascending).
+    pub nodes: Vec<NodeId>,
+}
+
+impl TileNetwork {
+    /// Extracts the sub-network of `tile`. Returns `None` when the tile
+    /// contains no segments (an all-water tile on a sparse map).
+    pub fn extract(net: &RoadNetwork, grid: &TileGrid, tile: usize) -> Option<Self> {
+        let seg_ids = grid.segments_of(net, tile);
+        if seg_ids.is_empty() {
+            return None;
+        }
+        // Collect the nodes those segments touch, in ascending global order
+        // so local ids are deterministic.
+        let mut node_used = vec![false; net.num_nodes()];
+        for &s in &seg_ids {
+            let seg = net.segment(s);
+            node_used[seg.from.idx()] = true;
+            node_used[seg.to.idx()] = true;
+        }
+        let mut nodes = Vec::new();
+        let mut local_of = vec![u32::MAX; net.num_nodes()];
+        for (gi, used) in node_used.iter().enumerate() {
+            if *used {
+                local_of[gi] = nodes.len() as u32;
+                nodes.push(NodeId(gi as u32));
+            }
+        }
+        let node_pos: Vec<Point> = nodes.iter().map(|&n| net.node_pos(n)).collect();
+        let segments_local: Vec<Segment> = seg_ids
+            .iter()
+            .map(|&s| {
+                let seg = net.segment(s);
+                Segment {
+                    from: NodeId(local_of[seg.from.idx()]),
+                    to: NodeId(local_of[seg.to.idx()]),
+                    length: seg.length,
+                    class: seg.class,
+                }
+            })
+            .collect();
+        Some(TileNetwork {
+            net: RoadNetwork::from_parts(node_pos, segments_local),
+            segments: seg_ids,
+            nodes,
+        })
+    }
+
+    /// Global id of local segment `s`.
+    pub fn to_global_segment(&self, s: SegmentId) -> Option<SegmentId> {
+        self.segments.get(s.idx()).copied()
+    }
+
+    /// Local id of global segment `g`, when the tile contains it.
+    pub fn to_local_segment(&self, g: SegmentId) -> Option<SegmentId> {
+        self.segments
+            .binary_search(&g)
+            .ok()
+            .map(|i| SegmentId(i as u32))
+    }
+
+    /// Global id of local node `n`.
+    pub fn to_global_node(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes.get(n.idx()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_city, GeneratorConfig};
+
+    fn city() -> RoadNetwork {
+        generate_city(&GeneratorConfig::small_test(11))
+    }
+
+    #[test]
+    fn cores_partition_the_bbox_and_share_boundaries_exactly() {
+        let net = city();
+        let grid = TileGrid::new(&net, 2, 2, 300.0);
+        assert_eq!(grid.num_tiles(), 4);
+        let bb = net.bbox();
+        // Outer frame matches the network bbox exactly.
+        assert_eq!(grid.core(0).min_x, bb.min_x);
+        assert_eq!(grid.core(1).max_x, bb.max_x);
+        assert_eq!(grid.core(0).min_y, bb.min_y);
+        assert_eq!(grid.core(2).max_y, bb.max_y);
+        // Adjacent cores share their boundary coordinate bit-for-bit.
+        assert_eq!(grid.core(0).max_x, grid.core(1).min_x);
+        assert_eq!(grid.core(0).max_y, grid.core(2).min_y);
+        assert_eq!(grid.core(2).max_x, grid.core(3).min_x);
+    }
+
+    #[test]
+    fn assignment_is_pure_and_breaks_boundary_ties_by_tile_id() {
+        let net = city();
+        let grid = TileGrid::new(&net, 2, 2, 300.0);
+        // Interior points land in their quadrant.
+        let c0 = grid.core(0).center();
+        assert_eq!(grid.assign(c0), 0);
+        let c3 = grid.core(3).center();
+        assert_eq!(grid.assign(c3), 3);
+        // A point exactly on the vertical boundary is contained in both
+        // core 0 and core 1; the tie goes to the smaller id.
+        let x = grid.core(0).max_x;
+        let y = grid.core(0).center().y;
+        let p = Point::new(x, y);
+        assert!(grid.core(0).contains(p) && grid.core(1).contains(p));
+        assert_eq!(grid.assign(p), 0);
+        // The four-corner point is contained in all four cores.
+        let corner = Point::new(grid.core(0).max_x, grid.core(0).max_y);
+        assert_eq!(grid.assign(corner), 0);
+        // Purity: repeated calls agree.
+        for _ in 0..3 {
+            assert_eq!(grid.assign(p), 0);
+            assert_eq!(grid.assign(corner), 0);
+        }
+    }
+
+    #[test]
+    fn off_map_positions_assign_to_the_nearest_core_deterministically() {
+        let net = city();
+        let grid = TileGrid::new(&net, 2, 2, 300.0);
+        let bb = net.bbox();
+        // Far south-west of the map: nearest core is tile 0.
+        assert_eq!(grid.assign(Point::new(bb.min_x - 9e5, bb.min_y - 9e5)), 0);
+        // Far north-east: nearest core is tile 3.
+        assert_eq!(grid.assign(Point::new(bb.max_x + 9e5, bb.max_y + 9e5)), 3);
+        // Directly north, equidistant from tiles 2 and 3's shared edge —
+        // strictly closer to neither, the `<` scan keeps the first (2).
+        let mid_x = (grid.core(2).max_x + grid.core(3).min_x) * 0.5;
+        let north = Point::new(mid_x, bb.max_y + 1_000.0);
+        let d2 = grid.core(2).distance_to_point(north);
+        let d3 = grid.core(3).distance_to_point(north);
+        assert_eq!(d2, d3, "construction: equidistant probe");
+        assert_eq!(grid.assign(north), 2);
+    }
+
+    #[test]
+    fn every_segment_lands_in_at_least_one_tile_and_cores_cover_exactly() {
+        let net = city();
+        let grid = TileGrid::new(&net, 2, 2, 250.0);
+        let mut covered = vec![false; net.num_segments()];
+        for t in 0..grid.num_tiles() {
+            for s in grid.segments_of(&net, t) {
+                covered[s.idx()] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "tile union dropped segments");
+        // Zero halo: a segment strictly inside one core appears in exactly
+        // that core's tile.
+        let tight = TileGrid::new(&net, 2, 2, 0.0);
+        let inner = net
+            .segment_ids()
+            .find(|&s| {
+                let sb = BBox::from_segment(net.segment_start(s), net.segment_end(s));
+                let core = tight.core(0);
+                sb.min_x > core.min_x
+                    && sb.max_x < core.max_x
+                    && sb.min_y > core.min_y
+                    && sb.max_y < core.max_y
+            })
+            .expect("an interior segment");
+        let homes: Vec<usize> = (0..tight.num_tiles())
+            .filter(|&t| tight.segments_of(&net, t).contains(&inner))
+            .collect();
+        assert_eq!(homes, vec![0]);
+    }
+
+    #[test]
+    fn tile_scope_candidates_match_the_unsharded_index_for_core_positions() {
+        let net = city();
+        // Halo ≥ the query radius: subset answers must be exact.
+        let radius = 600.0;
+        let grid = TileGrid::new(&net, 2, 2, radius);
+        let full = SpatialIndex::build(&net, 200.0);
+        for t in 0..grid.num_tiles() {
+            let scope = TileScope::build(&net, &grid, t, 200.0);
+            assert_eq!(scope.tile, t);
+            let core = grid.core(t);
+            // Probe a lattice of in-core positions, including the corners.
+            let mut probes = vec![
+                Point::new(core.min_x, core.min_y),
+                Point::new(core.max_x, core.max_y),
+                core.center(),
+            ];
+            for i in 0..4 {
+                for j in 0..4 {
+                    probes.push(Point::new(
+                        core.min_x + core.width() * (i as f64) / 3.0,
+                        core.min_y + core.height() * (j as f64) / 3.0,
+                    ));
+                }
+            }
+            for p in probes {
+                let got = scope.index.k_nearest(&net, p, 12, radius);
+                let want = full.k_nearest(&net, p, 12, radius);
+                assert_eq!(got.len(), want.len(), "tile {t} at {p:?}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "tile {t} at {p:?}");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "tile {t} at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_network_preserves_geometry_bit_for_bit() {
+        let net = city();
+        let grid = TileGrid::new(&net, 2, 2, 300.0);
+        let mut seen_any = false;
+        for t in 0..grid.num_tiles() {
+            let Some(tn) = TileNetwork::extract(&net, &grid, t) else {
+                continue;
+            };
+            seen_any = true;
+            assert_eq!(tn.net.num_segments(), tn.segments.len());
+            assert_eq!(tn.net.num_nodes(), tn.nodes.len());
+            for local in tn.net.segment_ids() {
+                let global = tn.to_global_segment(local).expect("mapped");
+                let ls = tn.net.segment(local);
+                let gs = net.segment(global);
+                assert_eq!(ls.length.to_bits(), gs.length.to_bits());
+                assert_eq!(ls.class, gs.class);
+                // Endpoint positions match bit-for-bit through the node map.
+                let lf = tn.net.node_pos(ls.from);
+                let gf = net.node_pos(gs.from);
+                assert_eq!(lf.x.to_bits(), gf.x.to_bits());
+                assert_eq!(lf.y.to_bits(), gf.y.to_bits());
+                assert_eq!(
+                    tn.to_global_node(ls.from),
+                    Some(gs.from),
+                    "node map round trip"
+                );
+                // And the inverse segment map agrees.
+                assert_eq!(tn.to_local_segment(global), Some(local));
+            }
+        }
+        assert!(seen_any, "no tile extracted anything");
+        // A segment outside the tile maps to no local id.
+        let t0 = TileNetwork::extract(&net, &grid, 0).expect("tile 0");
+        if let Some(missing) = net.segment_ids().find(|g| !t0.segments.contains(g)) {
+            assert_eq!(t0.to_local_segment(missing), None);
+        }
+    }
+}

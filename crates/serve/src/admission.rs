@@ -26,6 +26,10 @@ pub enum RejectReason {
     /// The request exceeds the configured size limit (points per
     /// trajectory) or the frame cap.
     Oversized,
+    /// The request is not acceptable on this endpoint or failed semantic
+    /// validation (e.g. a beam-state snapshot that violates its invariants,
+    /// or a shard-internal frame sent to the public router plane).
+    Invalid,
 }
 
 impl RejectReason {
@@ -36,6 +40,7 @@ impl RejectReason {
             RejectReason::SessionLimit => 1,
             RejectReason::ShuttingDown => 2,
             RejectReason::Oversized => 3,
+            RejectReason::Invalid => 4,
         }
     }
 
@@ -46,17 +51,18 @@ impl RejectReason {
             1 => Some(RejectReason::SessionLimit),
             2 => Some(RejectReason::ShuttingDown),
             3 => Some(RejectReason::Oversized),
+            4 => Some(RejectReason::Invalid),
             _ => None,
         }
     }
 
-    /// Index into per-reason counter arrays (dense, 0..4).
+    /// Index into per-reason counter arrays (dense, 0..5).
     pub fn index(self) -> usize {
         self.code() as usize
     }
 
     /// Number of distinct reasons (size for counter arrays).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 }
 
 impl fmt::Display for RejectReason {
@@ -66,6 +72,7 @@ impl fmt::Display for RejectReason {
             RejectReason::SessionLimit => write!(f, "session limit reached"),
             RejectReason::ShuttingDown => write!(f, "server shutting down"),
             RejectReason::Oversized => write!(f, "request exceeds size limits"),
+            RejectReason::Invalid => write!(f, "request invalid on this endpoint"),
         }
     }
 }
@@ -193,6 +200,7 @@ mod tests {
             RejectReason::SessionLimit,
             RejectReason::ShuttingDown,
             RejectReason::Oversized,
+            RejectReason::Invalid,
         ] {
             assert_eq!(RejectReason::from_code(reason.code()), Some(reason));
             assert!(reason.index() < RejectReason::COUNT);

@@ -13,6 +13,7 @@ use crate::protocol::{
 };
 use lhmm_cellsim::traj::{CellularPoint, CellularTrajectory};
 use lhmm_core::error::MatchError;
+use lhmm_core::streaming::BeamState;
 use lhmm_network::graph::SegmentId;
 use std::fmt;
 use std::io;
@@ -107,7 +108,7 @@ impl ServeClient {
             Response::Route { segments, degraded } => Ok(RouteReply { segments, degraded }),
             Response::Reject(reason) => Err(ClientError::Rejected(reason)),
             Response::Failed(e) => Err(decode_failed(e)),
-            Response::Pushed { .. } => Err(ClientError::Unexpected("Pushed to OneShot")),
+            _ => Err(ClientError::Unexpected("non-route reply to OneShot")),
         }
     }
 
@@ -117,7 +118,7 @@ impl ServeClient {
             Response::Pushed { .. } => Ok(()),
             Response::Reject(reason) => Err(ClientError::Rejected(reason)),
             Response::Failed(e) => Err(decode_failed(e)),
-            Response::Route { .. } => Err(ClientError::Unexpected("Route to Open")),
+            _ => Err(ClientError::Unexpected("non-ack reply to Open")),
         }
     }
 
@@ -134,7 +135,7 @@ impl ServeClient {
             Response::Pushed { committed } => Ok(committed),
             Response::Reject(reason) => Err(ClientError::Rejected(reason)),
             Response::Failed(e) => Err(decode_failed(e)),
-            Response::Route { .. } => Err(ClientError::Unexpected("Route to Push")),
+            _ => Err(ClientError::Unexpected("non-ack reply to Push")),
         }
     }
 
@@ -144,7 +145,44 @@ impl ServeClient {
             Response::Route { segments, degraded } => Ok(RouteReply { segments, degraded }),
             Response::Reject(reason) => Err(ClientError::Rejected(reason)),
             Response::Failed(e) => Err(decode_failed(e)),
-            Response::Pushed { .. } => Err(ClientError::Unexpected("Pushed to Finish")),
+            _ => Err(ClientError::Unexpected("non-route reply to Finish")),
+        }
+    }
+
+    /// Health check: answered even while a shard is draining. Returns
+    /// the number of live streaming sessions on the other side.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong { sessions } => Ok(sessions),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            _ => Err(ClientError::Unexpected("non-pong reply to Ping")),
+        }
+    }
+
+    /// Captures and evicts `client`'s streaming session on the server
+    /// (take semantics). `Err(Failed(EmptyTrajectory))` means the server
+    /// holds no such session.
+    pub fn snapshot(&mut self, client: u64) -> Result<BeamState, ClientError> {
+        match self.call(&Request::Snapshot { client })? {
+            Response::State { state } => Ok(state),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            _ => Err(ClientError::Unexpected("non-state reply to Snapshot")),
+        }
+    }
+
+    /// Re-admits a captured session under `client` on the server,
+    /// replacing any existing session with the same key.
+    pub fn restore(&mut self, client: u64, state: &BeamState) -> Result<(), ClientError> {
+        match self.call(&Request::Restore {
+            client,
+            state: state.clone(),
+        })? {
+            Response::Pushed { .. } => Ok(()),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            _ => Err(ClientError::Unexpected("non-ack reply to Restore")),
         }
     }
 }

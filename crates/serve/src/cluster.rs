@@ -1,0 +1,836 @@
+//! Geo-sharded cluster serving: a tile router in front of per-tile shard
+//! servers, with byte-exact streaming handoff and crash supervision.
+//!
+//! ```text
+//! clients ──▶ router (TCP front end, same wire protocol)
+//!               │  one-shots: routed by the first point's tile
+//!               │  sessions:  routed per push; crossing a tile boundary
+//!               │             snapshots the beam state off the old shard
+//!               │             and restores it on the new one
+//!               ▼
+//!         supervisor ──▶ shard 0 .. shard N-1  (one ServerHandle per tile)
+//!               │             each holds the FULL road network (shortest
+//!               │             paths legally span the whole map) plus its
+//!               │             tile's subset spatial index for in-core
+//!               │             streaming candidate lookups
+//!               └ health-pings every shard; restarts dead ones with
+//!                 bounded backoff
+//! ```
+//!
+//! **Exactness contract.** A cluster produces byte-identical verdicts to a
+//! single unsharded server, which itself matches serial offline streaming:
+//!
+//! * Candidate preparation uses the tile's subset index only for positions
+//!   inside the tile core (where the halo provably covers the search
+//!   radius); everything else falls back to the full index — see
+//!   [`crate::session::SessionManager::with_scope`].
+//! * Handoff moves the raw fixed-lag beam state
+//!   ([`lhmm_core::streaming::BeamState`]) between shards over the
+//!   versioned snapshot/restore frames; restore is lossless, so the
+//!   continued session is bitwise the session that never moved.
+//! * Crash recovery replays the router's journal of accepted pushes onto a
+//!   restarted shard. The beam state is a pure deterministic function of
+//!   the accepted `(position, time, layer)` sequence, so the rebuilt
+//!   session is byte-identical to one that never crashed — a killed shard
+//!   loses nothing that was admitted.
+//!
+//! Known divergence from single-process serving: `Open` is deferred (the
+//! tile is unknown until the first located push), so a
+//! [`RejectReason::SessionLimit`] shed surfaces at the first `Push` rather
+//! than at `Open`.
+
+use crate::admission::{lock_unpoisoned, RejectReason};
+use crate::metrics::{ServeMetrics, ServeReport};
+use crate::protocol::{
+    read_request, read_response, write_request, write_response, Request, Response,
+    WireMatchError,
+};
+use crate::scheduler::ServeCtx;
+use crate::server::{ServeConfig, ServerHandle};
+use lhmm_cellsim::traj::CellularPoint;
+use lhmm_geo::Point;
+use lhmm_network::graph::RoadNetwork;
+use lhmm_network::spatial::SpatialIndex;
+use lhmm_network::tile::{TileGrid, TileScope};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::Duration;
+
+/// Cluster-wide configuration (the grid itself lives in
+/// [`ClusterTopology`], which must outlive the serving scope).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-shard server configuration.
+    pub shard: ServeConfig,
+    /// Restart budget per shard; once exhausted the tile stays down and
+    /// its requests are shed.
+    pub max_restarts: u32,
+    /// Supervisor health-ping cadence.
+    pub ping_interval: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shard: ServeConfig::default(),
+            max_restarts: 4,
+            ping_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// The immutable sharding plan: a [`TileGrid`] plus one pre-built
+/// [`TileScope`] (halo subset index) per tile. Built once outside the
+/// serving scope so shard threads can borrow it.
+pub struct ClusterTopology {
+    grid: TileGrid,
+    scopes: Vec<TileScope>,
+}
+
+impl ClusterTopology {
+    /// Partitions `net` into `cols x rows` tiles with `halo` metres of
+    /// overlap, building each tile's subset index at the same cell size as
+    /// `index` (identical cell size + origin is what makes subset lookups
+    /// byte-identical to full-index lookups for in-core positions).
+    pub fn build(
+        net: &RoadNetwork,
+        index: &SpatialIndex,
+        cols: usize,
+        rows: usize,
+        halo: f64,
+    ) -> Self {
+        let grid = TileGrid::new(net, cols, rows, halo);
+        let scopes = (0..grid.num_tiles())
+            .map(|t| TileScope::build(net, &grid, t, index.cell_size()))
+            .collect();
+        ClusterTopology { grid, scopes }
+    }
+
+    /// The tile grid (assignment + geometry).
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Number of tiles (= shards).
+    pub fn num_tiles(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The pre-built scope for one tile.
+    pub fn scope(&self, tile: usize) -> &TileScope {
+        &self.scopes[tile]
+    }
+
+    /// The tile a position routes to — a pure function of the position
+    /// (boundary ties break to the lower tile id, off-map positions go to
+    /// the nearest core).
+    pub fn route(&self, pos: Point) -> usize {
+        self.grid.assign(pos)
+    }
+}
+
+fn empty_report() -> ServeReport {
+    ServeMetrics::new().snapshot(0, 0)
+}
+
+/// One shard slot: the live handle (None while down) and its consumed
+/// restart budget.
+struct ShardSlot<'scope, 'env> {
+    handle: Option<ServerHandle<'scope, 'env>>,
+    restarts: u32,
+}
+
+/// Spawns, health-checks, kills, and restarts shard servers. Restart state
+/// is per-slot behind its own mutex so the router and the monitor thread
+/// can both drive recovery without coordinating.
+struct Supervisor<'scope, 'env> {
+    scope: &'scope Scope<'scope, 'env>,
+    serves: Vec<ServeCtx<'env>>,
+    shard_config: ServeConfig,
+    max_restarts: u32,
+    slots: Vec<Mutex<ShardSlot<'scope, 'env>>>,
+    /// Final reports of aborted (crashed) shard generations, folded in as
+    /// they die so nothing is lost from the cluster rollup.
+    dead: Mutex<ServeReport>,
+    restarts_total: AtomicU64,
+}
+
+impl<'scope, 'env> Supervisor<'scope, 'env> {
+    fn start(
+        scope: &'scope Scope<'scope, 'env>,
+        serves: Vec<ServeCtx<'env>>,
+        shard_config: ServeConfig,
+        max_restarts: u32,
+    ) -> io::Result<Self> {
+        let slots = serves
+            .iter()
+            .map(|serve| {
+                let handle = ServerHandle::start(scope, *serve, shard_config.clone())?;
+                Ok(Mutex::new(ShardSlot {
+                    handle: Some(handle),
+                    restarts: 0,
+                }))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Supervisor {
+            scope,
+            serves,
+            shard_config,
+            max_restarts,
+            slots,
+            dead: Mutex::new(empty_report()),
+            restarts_total: AtomicU64::new(0),
+        })
+    }
+
+    /// Hard-kills the shard serving `tile` (the simulated crash): open
+    /// sessions are dropped unfinalized. Returns false when already down.
+    fn kill(&self, tile: usize) -> bool {
+        let mut slot = lock_unpoisoned(&self.slots[tile]);
+        match slot.handle.take() {
+            Some(h) => {
+                let report = h.abort();
+                lock_unpoisoned(&self.dead).merge(&report);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns the address of a live shard for `tile`, restarting a dead
+    /// one within the bounded budget (backoff doubles per consumed
+    /// restart). `None` means the budget is exhausted and the tile is
+    /// permanently down.
+    fn ensure_alive(&self, tile: usize) -> Option<SocketAddr> {
+        let mut slot = lock_unpoisoned(&self.slots[tile]);
+        if let Some(h) = &slot.handle {
+            return Some(h.addr());
+        }
+        if slot.restarts >= self.max_restarts {
+            return None;
+        }
+        slot.restarts += 1;
+        std::thread::sleep(Duration::from_millis(1u64 << slot.restarts.min(6)));
+        match ServerHandle::start(self.scope, self.serves[tile], self.shard_config.clone()) {
+            Ok(h) => {
+                self.restarts_total.fetch_add(1, Ordering::Relaxed);
+                let addr = h.addr();
+                slot.handle = Some(h);
+                Some(addr)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// One monitor sweep: ping every shard, tear down any that does not
+    /// answer, and restart the dead within budget.
+    fn health_check(&self) {
+        for tile in 0..self.slots.len() {
+            let addr = lock_unpoisoned(&self.slots[tile])
+                .handle
+                .as_ref()
+                .map(|h| h.addr());
+            let alive = match addr {
+                Some(a) => ping(a),
+                None => false,
+            };
+            if !alive {
+                if addr.is_some() {
+                    self.kill(tile);
+                }
+                let _ = self.ensure_alive(tile);
+            }
+        }
+    }
+
+    /// Live rollup across running shards plus everything already dead.
+    fn report(&self) -> ServeReport {
+        let mut merged = lock_unpoisoned(&self.dead).clone();
+        for slot in &self.slots {
+            let slot = lock_unpoisoned(slot);
+            if let Some(h) = &slot.handle {
+                merged.merge(&h.report());
+            }
+        }
+        merged
+    }
+
+    /// Gracefully drains every running shard and returns the full rollup
+    /// (drained + previously dead generations).
+    fn drain_all(&self) -> ServeReport {
+        let mut merged = lock_unpoisoned(&self.dead).clone();
+        for slot in &self.slots {
+            let handle = lock_unpoisoned(slot).handle.take();
+            if let Some(h) = handle {
+                merged.merge(&h.shutdown_and_drain());
+            }
+        }
+        merged
+    }
+}
+
+/// One health ping over a throwaway connection.
+fn ping(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    if write_request(&mut stream, &Request::Ping).is_err() {
+        return false;
+    }
+    matches!(read_response(&mut stream), Ok(Response::Pong { .. }))
+}
+
+/// Router-side record of one streaming session.
+struct SessionEntry {
+    /// Shard currently holding the session (`None` until the first
+    /// located push, or after a failed placement).
+    tile: Option<usize>,
+    /// Fixed lag requested at `Open`, replayed on shard-side opens.
+    lag: u32,
+    /// Every accepted push since `Open`, in order. The beam state is a
+    /// pure function of this sequence, so replaying it onto a fresh shard
+    /// rebuilds the session byte-exactly. Failed pushes are not recorded
+    /// (the shard engine rejected the layer and undid it).
+    journal: Vec<CellularPoint>,
+}
+
+struct RouterShared<'scope, 'env> {
+    topology: &'env ClusterTopology,
+    supervisor: Supervisor<'scope, 'env>,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Router-plane metrics: sheds the router itself issues (shards never
+    /// see those requests, so merging with shard reports double-counts
+    /// nothing).
+    metrics: Arc<ServeMetrics>,
+    shutting_down: AtomicBool,
+    monitor_stop: AtomicBool,
+    /// One pooled connection per shard; session ops are serialized by the
+    /// sessions mutex, one-shots serialize per tile on these locks.
+    conns: Vec<Mutex<Option<(SocketAddr, TcpStream)>>>,
+    peers: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
+    handoffs: AtomicU64,
+    replays: AtomicU64,
+}
+
+impl RouterShared<'_, '_> {
+    /// One request/response exchange with the shard serving `tile`, over
+    /// the pooled connection. A transport failure tears the shard down and
+    /// retries (the supervisor restarts it within budget); `None` means
+    /// the tile is unreachable for good.
+    fn rpc(&self, tile: usize, req: &Request) -> Option<Response> {
+        let mut conn = lock_unpoisoned(&self.conns[tile]);
+        for _ in 0..3 {
+            let addr = self.supervisor.ensure_alive(tile)?;
+            if conn.as_ref().map(|(a, _)| *a) != Some(addr) {
+                *conn = None;
+            }
+            if conn.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        *conn = Some((addr, s));
+                    }
+                    Err(_) => {
+                        // Live handle, dead listener: the shard is gone.
+                        self.supervisor.kill(tile);
+                        continue;
+                    }
+                }
+            }
+            if let Some((_, stream)) = conn.as_mut() {
+                if write_request(stream, req).is_ok() {
+                    if let Ok(resp) = read_response(stream) {
+                        return Some(resp);
+                    }
+                }
+            }
+            // The shard died mid-exchange: drop the connection and let
+            // the next attempt restart it.
+            *conn = None;
+            self.supervisor.kill(tile);
+        }
+        None
+    }
+
+    /// Rebuilds `client`'s session on `tile` by replaying the journal.
+    /// Byte-exact: the beam state is a pure function of the accepted push
+    /// sequence. Returns the rejection to forward on failure.
+    fn replay(
+        &self,
+        entry: &mut SessionEntry,
+        client: u64,
+        tile: usize,
+    ) -> Result<(), RejectReason> {
+        entry.tile = None;
+        match self.rpc(tile, &Request::Open { client, lag: entry.lag }) {
+            Some(Response::Pushed { .. }) => {}
+            Some(Response::Reject(r)) => return Err(r),
+            _ => return Err(RejectReason::ShuttingDown),
+        }
+        for point in &entry.journal {
+            match self.rpc(tile, &Request::Push { client, point: *point }) {
+                Some(Response::Pushed { .. }) => {}
+                Some(Response::Reject(r)) => return Err(r),
+                // A journaled push was accepted once and replay is
+                // deterministic — anything else is a dead shard.
+                _ => return Err(RejectReason::ShuttingDown),
+            }
+        }
+        if !entry.journal.is_empty() {
+            self.replays.fetch_add(1, Ordering::Relaxed);
+        }
+        entry.tile = Some(tile);
+        Ok(())
+    }
+
+    /// Ensures `client`'s shard-side session lives on `target`: a no-op
+    /// when already there, a snapshot/restore handoff when on another
+    /// shard, a journal replay when nowhere (fresh, or lost to a crash).
+    fn place(
+        &self,
+        entry: &mut SessionEntry,
+        client: u64,
+        target: usize,
+    ) -> Result<(), RejectReason> {
+        match entry.tile {
+            Some(t) if t == target => Ok(()),
+            Some(old) => match self.rpc(old, &Request::Snapshot { client }) {
+                Some(Response::State { state }) => {
+                    match self.rpc(target, &Request::Restore { client, state }) {
+                        Some(Response::Pushed { .. }) => {
+                            self.handoffs.fetch_add(1, Ordering::Relaxed);
+                            entry.tile = Some(target);
+                            Ok(())
+                        }
+                        Some(Response::Reject(r)) => {
+                            // The snapshot already evicted the session from
+                            // `old`; the journal is now the only copy.
+                            entry.tile = None;
+                            Err(r)
+                        }
+                        _ => self.replay(entry, client, target),
+                    }
+                }
+                // The old shard lost the session (crash + restart) or is
+                // gone entirely: rebuild from the journal instead.
+                _ => self.replay(entry, client, target),
+            },
+            None => self.replay(entry, client, target),
+        }
+    }
+
+    fn respond(&self, req: Request) -> Response {
+        if self.shutting_down.load(Ordering::Acquire) {
+            if matches!(req, Request::Ping) {
+                let sessions = lock_unpoisoned(&self.sessions).len() as u32;
+                return Response::Pong { sessions };
+            }
+            self.metrics.on_rejected(RejectReason::ShuttingDown);
+            return Response::Reject(RejectReason::ShuttingDown);
+        }
+        match req {
+            Request::OneShot { traj } => {
+                let tile = traj
+                    .points
+                    .first()
+                    .map(|p| self.topology.route(p.effective_pos()))
+                    .unwrap_or(0);
+                match self.rpc(tile, &Request::OneShot { traj }) {
+                    Some(resp) => resp,
+                    None => {
+                        self.metrics.on_rejected(RejectReason::ShuttingDown);
+                        Response::Reject(RejectReason::ShuttingDown)
+                    }
+                }
+            }
+            Request::Open { client, lag } => {
+                let mut sessions = lock_unpoisoned(&self.sessions);
+                if let Some(entry) = sessions.get(&client) {
+                    // Mirror single-process reopen semantics: the previous
+                    // trajectory is finalized before the key is reused.
+                    if let Some(tile) = entry.tile {
+                        let _ = self.rpc(tile, &Request::Finish { client });
+                    }
+                }
+                sessions.insert(
+                    client,
+                    SessionEntry {
+                        tile: None,
+                        lag,
+                        journal: Vec::new(),
+                    },
+                );
+                // Shard-side Open is deferred until the first located
+                // push; this ack matches the single-process Open reply.
+                Response::Pushed { committed: 0 }
+            }
+            Request::Push { client, point } => {
+                let mut sessions = lock_unpoisoned(&self.sessions);
+                let Some(entry) = sessions.get_mut(&client) else {
+                    return Response::Failed(WireMatchError { code: 0, a: 0, b: 0 });
+                };
+                let target = self.topology.route(point.effective_pos());
+                if let Err(reason) = self.place(entry, client, target) {
+                    return Response::Reject(reason);
+                }
+                for attempt in 0..2 {
+                    match self.rpc(target, &Request::Push { client, point }) {
+                        Some(Response::Pushed { committed }) => {
+                            entry.journal.push(point);
+                            return Response::Pushed { committed };
+                        }
+                        // EmptyTrajectory (code 0) from a shard that should
+                        // hold the session means it restarted and lost it:
+                        // rebuild from the journal and retry once.
+                        Some(Response::Failed(e)) if e.code == 0 && attempt == 0 => {
+                            if let Err(reason) = self.replay(entry, client, target) {
+                                return Response::Reject(reason);
+                            }
+                        }
+                        // Typed per-point verdicts (NoCandidates, ...) are
+                        // forwarded and NOT journaled — the shard engine
+                        // rejected and undid the layer.
+                        Some(resp) => return resp,
+                        None => return Response::Reject(RejectReason::ShuttingDown),
+                    }
+                }
+                Response::Reject(RejectReason::ShuttingDown)
+            }
+            Request::Finish { client } => {
+                let mut sessions = lock_unpoisoned(&self.sessions);
+                let Some(mut entry) = sessions.remove(&client) else {
+                    return Response::Failed(WireMatchError { code: 0, a: 0, b: 0 });
+                };
+                let Some(tile) = entry.tile else {
+                    // Opened but never successfully pushed: the empty
+                    // route, exactly what finalizing a fresh engine yields.
+                    return Response::Route {
+                        segments: Vec::new(),
+                        degraded: false,
+                    };
+                };
+                for attempt in 0..2 {
+                    match self.rpc(tile, &Request::Finish { client }) {
+                        Some(Response::Failed(e)) if e.code == 0 && attempt == 0 => {
+                            if let Err(reason) = self.replay(&mut entry, client, tile) {
+                                return Response::Reject(reason);
+                            }
+                        }
+                        Some(resp) => return resp,
+                        None => return Response::Reject(RejectReason::ShuttingDown),
+                    }
+                }
+                Response::Reject(RejectReason::ShuttingDown)
+            }
+            Request::Ping => {
+                let sessions = lock_unpoisoned(&self.sessions).len() as u32;
+                Response::Pong { sessions }
+            }
+            // Snapshot/Restore are the internal shard plane; on the public
+            // plane they are a protocol misuse.
+            Request::Snapshot { .. } | Request::Restore { .. } => {
+                self.metrics.on_rejected(RejectReason::Invalid);
+                Response::Reject(RejectReason::Invalid)
+            }
+        }
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        loop {
+            let req = match read_request(&mut stream) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let resp = self.respond(req);
+            if write_response(&mut stream, &resp).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// The cluster rollup: shard reports merged (plus the router's own
+/// shed counters) and cluster-plane counters.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Merged per-shard report (dead generations included) plus router
+    /// sheds.
+    pub merged: ServeReport,
+    /// Number of tiles (= shard slots).
+    pub shards: usize,
+    /// Shard restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Completed snapshot/restore boundary handoffs.
+    pub handoffs: u64,
+    /// Journal replays (crash recoveries and handoff fallbacks).
+    pub replays: u64,
+}
+
+impl ClusterReport {
+    /// Requests admitted but never completed — must be 0 after a graceful
+    /// drain, even across kills and restarts (the cluster acceptance
+    /// criterion).
+    pub fn in_flight_lost(&self) -> u64 {
+        self.merged.in_flight_lost()
+    }
+
+    /// Renders the merged report plus a cluster summary line.
+    pub fn render(&self) -> String {
+        let mut out = self.merged.render();
+        let _ = writeln!(
+            out,
+            "cluster:  shards {} | restarts {} | handoffs {} | replays {}",
+            self.shards, self.restarts, self.handoffs, self.replays
+        );
+        out
+    }
+}
+
+/// A running cluster (router + shards + supervisor) inside a
+/// [`std::thread::scope`]. Clients connect to [`ClusterHandle::addr`] and
+/// speak the ordinary wire protocol — sharding is invisible on the wire.
+pub struct ClusterHandle<'scope, 'env> {
+    addr: SocketAddr,
+    shared: Arc<RouterShared<'scope, 'env>>,
+    accept: Mutex<Option<ScopedJoinHandle<'scope, ()>>>,
+    monitor: Mutex<Option<ScopedJoinHandle<'scope, ()>>>,
+    drained: AtomicBool,
+}
+
+impl<'scope, 'env> ClusterHandle<'scope, 'env> {
+    /// Starts one shard per tile of `topology` (each seeing the full
+    /// network plus its tile scope), the supervisor monitor, and the
+    /// router front end. `serve` is the unsharded serving context the
+    /// shards derive theirs from.
+    pub fn start(
+        scope: &'scope Scope<'scope, 'env>,
+        serve: ServeCtx<'env>,
+        topology: &'env ClusterTopology,
+        config: ClusterConfig,
+    ) -> io::Result<Self> {
+        let serves: Vec<ServeCtx<'env>> = (0..topology.num_tiles())
+            .map(|t| ServeCtx {
+                scope: Some(topology.scope(t)),
+                ..serve
+            })
+            .collect();
+        let supervisor =
+            Supervisor::start(scope, serves, config.shard.clone(), config.max_restarts)?;
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            topology,
+            supervisor,
+            sessions: Mutex::new(HashMap::new()),
+            metrics: Arc::new(ServeMetrics::new()),
+            shutting_down: AtomicBool::new(false),
+            monitor_stop: AtomicBool::new(false),
+            conns: (0..topology.num_tiles()).map(|_| Mutex::new(None)).collect(),
+            peers: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            handoffs: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+        });
+
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            let interval = config.ping_interval;
+            scope.spawn(move || {
+                while !shared.monitor_stop.load(Ordering::Acquire) {
+                    shared.supervisor.health_check();
+                    std::thread::sleep(interval);
+                }
+            })
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                for incoming in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = incoming else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let Ok(peer) = stream.try_clone() else { continue };
+                    lock_unpoisoned(&shared.peers).push(peer);
+                    let conn_shared = Arc::clone(&shared);
+                    let handle = scope.spawn(move || conn_shared.handle_connection(stream));
+                    lock_unpoisoned(&shared.handlers).push(handle);
+                }
+            })
+        };
+
+        Ok(ClusterHandle {
+            addr,
+            shared,
+            accept: Mutex::new(Some(accept)),
+            monitor: Mutex::new(Some(monitor)),
+            drained: AtomicBool::new(false),
+        })
+    }
+
+    /// The router's loopback address — the cluster's single public
+    /// endpoint.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Hard-kills the shard serving `tile` (the simulated crash for
+    /// recovery tests): its open sessions are dropped unfinalized and the
+    /// supervisor restarts it within budget. Returns false when the shard
+    /// was already down.
+    pub fn kill_shard(&self, tile: usize) -> bool {
+        self.shared.supervisor.kill(tile)
+    }
+
+    /// Live cluster rollup.
+    pub fn report(&self) -> ClusterReport {
+        let shared = &self.shared;
+        let mut merged = shared.supervisor.report();
+        let router = shared
+            .metrics
+            .snapshot(0, lock_unpoisoned(&shared.sessions).len());
+        merged.merge(&router);
+        ClusterReport {
+            merged,
+            shards: shared.topology.num_tiles(),
+            restarts: shared.supervisor.restarts_total.load(Ordering::Relaxed),
+            handoffs: shared.handoffs.load(Ordering::Relaxed),
+            replays: shared.replays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful cluster drain: stop router admissions, finalize every
+    /// routed session on its shard, stop the monitor, drain all shards,
+    /// join the router threads, and return the final rollup.
+    pub fn shutdown_and_drain(&self) -> ClusterReport {
+        self.drained.store(true, Ordering::Release);
+        let shared = &self.shared;
+        // 1. Stop admissions at the router.
+        shared.shutting_down.store(true, Ordering::Release);
+        // 2. Finalize every live routed session on its shard (mirrors
+        //    single-process finalize_all).
+        {
+            let mut sessions = lock_unpoisoned(&shared.sessions);
+            for (client, entry) in sessions.drain() {
+                if let Some(tile) = entry.tile {
+                    let _ = shared.rpc(tile, &Request::Finish { client });
+                }
+            }
+        }
+        // 3. Stop the monitor so it cannot resurrect draining shards.
+        shared.monitor_stop.store(true, Ordering::Release);
+        if let Some(h) = lock_unpoisoned(&self.monitor).take() {
+            let _ = h.join();
+        }
+        // 4. Drain every shard (merges previously dead generations).
+        let mut merged = shared.supervisor.drain_all();
+        // 5. Unblock and join the router accept loop and handlers.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = lock_unpoisoned(&self.accept).take() {
+            let _ = h.join();
+        }
+        for peer in lock_unpoisoned(&shared.peers).drain(..) {
+            let _ = peer.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *lock_unpoisoned(&shared.handlers));
+        for h in handlers {
+            let _ = h.join();
+        }
+        merged.merge(&shared.metrics.snapshot(0, 0));
+        ClusterReport {
+            merged,
+            shards: shared.topology.num_tiles(),
+            restarts: shared.supervisor.restarts_total.load(Ordering::Relaxed),
+            handoffs: shared.handoffs.load(Ordering::Relaxed),
+            replays: shared.replays.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ClusterHandle<'_, '_> {
+    fn drop(&mut self) {
+        if !self.drained.load(Ordering::Acquire) {
+            let _ = self.shutdown_and_drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhmm_network::generators::{generate_city, GeneratorConfig};
+
+    fn city() -> RoadNetwork {
+        generate_city(&GeneratorConfig::small_test(11))
+    }
+
+    #[test]
+    fn routing_is_a_pure_function_of_position_with_deterministic_ties() {
+        let net = city();
+        let index = SpatialIndex::build(&net, 250.0);
+        let topo = ClusterTopology::build(&net, &index, 2, 2, 500.0);
+        let bbox = net.bbox();
+        // Dense probe lattice: same position always routes identically,
+        // and the route agrees with the grid's assignment.
+        for i in 0..24 {
+            for j in 0..24 {
+                let p = Point {
+                    x: bbox.min_x + (bbox.max_x - bbox.min_x) * i as f64 / 23.0,
+                    y: bbox.min_y + (bbox.max_y - bbox.min_y) * j as f64 / 23.0,
+                };
+                let t = topo.route(p);
+                assert_eq!(t, topo.route(p));
+                assert_eq!(t, topo.grid().assign(p));
+                assert!(t < topo.num_tiles());
+            }
+        }
+        // A point exactly on the shared column boundary is in both closed
+        // cores; the tie must break to the lower tile id.
+        let mid_x = topo.grid().core(1).min_x;
+        let on_boundary = Point {
+            x: mid_x,
+            y: (bbox.min_y + bbox.max_y) / 2.0,
+        };
+        let t = topo.route(on_boundary);
+        assert!(topo.grid().core(t).contains(on_boundary));
+        for other in 0..topo.num_tiles() {
+            if topo.grid().core(other).contains(on_boundary) {
+                assert!(t <= other, "tie must break to the lower tile id");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_scopes_match_the_unsharded_index_for_core_positions() {
+        let net = city();
+        let index = SpatialIndex::build(&net, 250.0);
+        // Halo at least the streaming candidate radius used by serving.
+        let topo = ClusterTopology::build(&net, &index, 2, 2, 3000.0);
+        let bbox = net.bbox();
+        for i in 0..12 {
+            for j in 0..12 {
+                let p = Point {
+                    x: bbox.min_x + (bbox.max_x - bbox.min_x) * i as f64 / 11.0,
+                    y: bbox.min_y + (bbox.max_y - bbox.min_y) * j as f64 / 11.0,
+                };
+                let tile = topo.route(p);
+                let scope = topo.scope(tile);
+                if !scope.core.contains(p) {
+                    continue;
+                }
+                let got = scope.index.k_nearest(&net, p, 12, 3000.0);
+                let want = index.k_nearest(&net, p, 12, 3000.0);
+                assert_eq!(got, want, "subset index diverged at {p:?}");
+            }
+        }
+    }
+}

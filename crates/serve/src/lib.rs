@@ -30,6 +30,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod protocol;
 pub mod scheduler;
@@ -38,6 +39,7 @@ pub mod session;
 
 pub use admission::{BoundedQueue, PushError, RejectReason};
 pub use client::{ClientError, RouteReply, ServeClient};
+pub use cluster::{ClusterConfig, ClusterHandle, ClusterReport, ClusterTopology};
 pub use metrics::{ServeMetrics, ServeReport};
 pub use protocol::{Request, Response, WireError, WireMatchError, MAX_FRAME};
 pub use scheduler::{BatchPolicy, MatchReply, MicroBatcher, ServeCtx};

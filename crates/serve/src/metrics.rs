@@ -44,6 +44,10 @@ pub struct ServeMetrics {
     sessions_finalized: AtomicU64,
     /// Observations pushed into streaming sessions.
     stream_pushes: AtomicU64,
+    /// Sessions captured and evicted for handoff to another shard.
+    sessions_exported: AtomicU64,
+    /// Sessions re-admitted from a handed-off snapshot.
+    sessions_imported: AtomicU64,
     /// Latency histograms (seconds).
     hist: Mutex<Histograms>,
 }
@@ -130,6 +134,16 @@ impl ServeMetrics {
         lock_unpoisoned(&self.hist).stream_push.record(seconds);
     }
 
+    /// Counts a session handed off to another shard (snapshot + evict).
+    pub fn on_session_exported(&self) {
+        self.sessions_exported.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session re-admitted from a handoff snapshot.
+    pub fn on_session_imported(&self) {
+        self.sessions_imported.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests admitted so far.
     pub fn admitted(&self) -> u64 {
         self.admitted.load(Ordering::Relaxed)
@@ -163,6 +177,8 @@ impl ServeMetrics {
             sessions_evicted_lru: self.sessions_evicted_lru.load(Ordering::Relaxed),
             sessions_finalized: self.sessions_finalized.load(Ordering::Relaxed),
             stream_pushes: self.stream_pushes.load(Ordering::Relaxed),
+            sessions_exported: self.sessions_exported.load(Ordering::Relaxed),
+            sessions_imported: self.sessions_imported.load(Ordering::Relaxed),
             queue_wait: h.queue_wait.clone(),
             service: h.service.clone(),
             stage_candidates: h.stage_candidates.clone(),
@@ -205,6 +221,10 @@ pub struct ServeReport {
     pub sessions_finalized: u64,
     /// Streaming observations absorbed.
     pub stream_pushes: u64,
+    /// Sessions handed off to other shards (snapshot + evict).
+    pub sessions_exported: u64,
+    /// Sessions re-admitted from handoff snapshots.
+    pub sessions_imported: u64,
     /// Admission-to-dequeue wait.
     pub queue_wait: LatencyHistogram,
     /// Worker service time per one-shot request.
@@ -243,6 +263,38 @@ impl ServeReport {
         self.admitted.saturating_sub(self.completed)
     }
 
+    /// Folds another shard's report into this one — the cluster rollup.
+    /// Counters and histogram buckets add (histogram merge is exactly
+    /// associative and commutative, so the rollup is order-independent);
+    /// peaks take the max; point-in-time gauges (queue depth, active
+    /// sessions) add across shards.
+    pub fn merge(&mut self, other: &ServeReport) {
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        for (a, b) in self.rejected.iter_mut().zip(&other.rejected) {
+            *a += b;
+        }
+        self.orphaned_replies += other.orphaned_replies;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.queue_depth += other.queue_depth;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.active_sessions += other.active_sessions;
+        self.sessions_opened += other.sessions_opened;
+        self.sessions_evicted_idle += other.sessions_evicted_idle;
+        self.sessions_evicted_lru += other.sessions_evicted_lru;
+        self.sessions_finalized += other.sessions_finalized;
+        self.stream_pushes += other.stream_pushes;
+        self.sessions_exported += other.sessions_exported;
+        self.sessions_imported += other.sessions_imported;
+        self.queue_wait.merge(&other.queue_wait);
+        self.service.merge(&other.service);
+        self.stage_candidates.merge(&other.stage_candidates);
+        self.stage_viterbi.merge(&other.stage_viterbi);
+        self.stream_push.merge(&other.stream_push);
+    }
+
     /// Renders the full report (counters + latency tables).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -257,11 +309,12 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "shed:     queue_full {} | session_limit {} | shutting_down {} | oversized {}",
+            "shed:     queue_full {} | session_limit {} | shutting_down {} | oversized {} | invalid {}",
             self.rejected_for(RejectReason::QueueFull),
             self.rejected_for(RejectReason::SessionLimit),
             self.rejected_for(RejectReason::ShuttingDown),
             self.rejected_for(RejectReason::Oversized),
+            self.rejected_for(RejectReason::Invalid),
         );
         let _ = writeln!(
             out,
@@ -274,13 +327,15 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "sessions: active {} | opened {} | finalized {} | evicted idle {} / lru {} | pushes {}",
+            "sessions: active {} | opened {} | finalized {} | evicted idle {} / lru {} | pushes {} | handoff out {} / in {}",
             self.active_sessions,
             self.sessions_opened,
             self.sessions_finalized,
             self.sessions_evicted_idle,
             self.sessions_evicted_lru,
             self.stream_pushes,
+            self.sessions_exported,
+            self.sessions_imported,
         );
         out.push_str(&latency_table(
             "latency",
@@ -330,5 +385,42 @@ mod tests {
         assert!(text.contains("serving report"));
         assert!(text.contains("queue_full 2"));
         assert!(text.contains("stage:viterbi"));
+    }
+
+    #[test]
+    fn reports_merge_across_shards() {
+        let a = ServeMetrics::new();
+        a.on_admitted(2);
+        a.on_completed(0.001, 0.002, &MatchStats::default());
+        a.on_rejected(RejectReason::Invalid);
+        a.on_session_exported();
+        a.on_stream_push(0.001);
+        let b = ServeMetrics::new();
+        b.on_admitted(5);
+        b.on_batch(3);
+        b.on_session_imported();
+        b.on_stream_push(0.002);
+        b.on_stream_push(0.004);
+
+        let mut ra = a.snapshot(1, 2);
+        let rb = b.snapshot(3, 4);
+        // Merge is commutative: both orders agree on every counter.
+        let mut rba = rb.clone();
+        rba.merge(&ra);
+        ra.merge(&rb);
+        assert_eq!(ra.admitted, 2);
+        assert_eq!(ra.completed, 1);
+        assert_eq!(ra.in_flight_lost(), 1);
+        assert_eq!(ra.rejected_for(RejectReason::Invalid), 1);
+        assert_eq!(ra.queue_depth, 4);
+        assert_eq!(ra.active_sessions, 6);
+        assert_eq!(ra.sessions_exported, 1);
+        assert_eq!(ra.sessions_imported, 1);
+        assert_eq!(ra.stream_pushes, 3);
+        assert_eq!(ra.stream_push.count(), 3);
+        assert_eq!(rba.admitted, ra.admitted);
+        assert_eq!(rba.stream_push.count(), ra.stream_push.count());
+        assert_eq!(rba.peak_queue_depth, ra.peak_queue_depth);
+        assert!(ra.render().contains("handoff out 1 / in 1"));
     }
 }

@@ -44,6 +44,12 @@ pub struct ServeCtx<'a> {
     pub ctx: MatchContext<'a>,
     /// The trained (or ablated) model, shared read-only.
     pub model: &'a LhmmModel,
+    /// Tile view when this instance serves one shard of a cluster
+    /// (`None` for unsharded serving). Streaming candidate preparation for
+    /// in-core positions uses the tile's subset index; one-shots and
+    /// out-of-core positions always use the full `ctx.index`, so results
+    /// are byte-identical to unsharded serving either way.
+    pub scope: Option<&'a lhmm_network::tile::TileScope>,
 }
 
 /// Micro-batching parameters.
@@ -313,7 +319,7 @@ mod tests {
         let got: Vec<_> = thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model },
+                ServeCtx { ctx, model: &model, scope: None },
                 policy,
                 Arc::clone(&metrics),
             );
@@ -354,7 +360,7 @@ mod tests {
         thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model },
+                ServeCtx { ctx, model: &model, scope: None },
                 BatchPolicy::default(),
                 Arc::clone(&metrics),
             );
@@ -393,7 +399,7 @@ mod tests {
         thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model },
+                ServeCtx { ctx, model: &model, scope: None },
                 policy,
                 Arc::clone(&metrics),
             );

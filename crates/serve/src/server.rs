@@ -124,6 +124,35 @@ impl Shared<'_, '_> {
                     None => Response::Failed(WireMatchError { code: 0, a: 0, b: 0 }),
                 }
             }
+            // Health plane: always answered, even during drain, so a
+            // supervisor can distinguish "draining" from "dead".
+            Request::Ping => Response::Pong {
+                sessions: lock_unpoisoned(&self.sessions).len() as u32,
+            },
+            Request::Snapshot { client } => {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    self.metrics.on_rejected(RejectReason::ShuttingDown);
+                    return Response::Reject(RejectReason::ShuttingDown);
+                }
+                let mut sessions = lock_unpoisoned(&self.sessions);
+                match sessions.take_snapshot(client, &self.metrics) {
+                    Some(state) => Response::State { state },
+                    // Same typed verdict as Finish on an unknown session
+                    // (EmptyTrajectory, code 0): nothing to hand off.
+                    None => Response::Failed(WireMatchError { code: 0, a: 0, b: 0 }),
+                }
+            }
+            Request::Restore { client, state } => {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    self.metrics.on_rejected(RejectReason::ShuttingDown);
+                    return Response::Reject(RejectReason::ShuttingDown);
+                }
+                let mut sessions = lock_unpoisoned(&self.sessions);
+                match sessions.import(client, state, &self.metrics) {
+                    Ok(()) => Response::Pushed { committed: 0 },
+                    Err(reason) => Response::Reject(reason),
+                }
+            }
         }
     }
 
@@ -171,11 +200,14 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         let metrics = Arc::new(ServeMetrics::new());
         let batcher =
             MicroBatcher::start(scope, serve, config.batch.clone(), Arc::clone(&metrics));
-        let sessions = SessionManager::new(
+        let mut sessions = SessionManager::new(
             serve.ctx.net,
             serve.ctx.index,
             config.sessions.clone(),
         );
+        if let Some(tile_scope) = serve.scope {
+            sessions = sessions.with_scope(tile_scope);
+        }
         let shared = Arc::new(Shared {
             batcher,
             sessions: Mutex::new(sessions),
@@ -257,6 +289,34 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
             let _ = h.join();
         }
         // 5. Unblock handlers parked in read_request and join them.
+        for peer in lock_unpoisoned(&shared.peers).drain(..) {
+            let _ = peer.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *lock_unpoisoned(&shared.handlers));
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.metrics.snapshot(shared.batcher.queue_depth(), 0)
+    }
+
+    /// Hard abort: the simulated crash path. Open sessions are dropped
+    /// without finalizing (their beam state is lost exactly as a process
+    /// kill would lose it), then threads are torn down the same way a
+    /// drain does so the owning scope can close. Returns the final
+    /// snapshot of the dead shard.
+    pub fn abort(&self) -> ServeReport {
+        self.drained.store(true, Ordering::Release);
+        let shared = &self.shared;
+        shared.shutting_down.store(true, Ordering::Release);
+        // Crash semantics: in-flight sessions are lost, not finalized.
+        let _ = lock_unpoisoned(&shared.sessions).drop_all();
+        // The worker pool still answers already-admitted one-shots so
+        // every blocked handler unparks; new work is already shed.
+        shared.batcher.drain();
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = lock_unpoisoned(&self.accept).take() {
+            let _ = h.join();
+        }
         for peer in lock_unpoisoned(&shared.peers).drain(..) {
             let _ = peer.shutdown(std::net::Shutdown::Both);
         }

@@ -22,11 +22,12 @@ use lhmm_cellsim::traj::CellularPoint;
 use lhmm_core::candidates::{nearest_segments, to_candidates};
 use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
 use lhmm_core::error::MatchError;
-use lhmm_core::streaming::StreamingEngine;
+use lhmm_core::streaming::{BeamState, StreamingEngine};
 use lhmm_network::backend::SpHandle;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
 use lhmm_network::spatial::SpatialIndex;
+use lhmm_network::tile::TileScope;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -79,6 +80,12 @@ pub struct SessionManager<'a> {
     sessions: HashMap<u64, Session<'a>>,
     next_stamp: u64,
     sp: SpHandle,
+    /// Tile view for sharded serving: positions inside the tile core run
+    /// candidate preparation against the tile's subset index (byte-exact
+    /// because the halo covers the search radius); positions outside the
+    /// core — possible transiently around a handoff or under teleport
+    /// faults — fall back to the full index. `None` for unsharded serving.
+    scope: Option<&'a TileScope>,
 }
 
 impl<'a> SessionManager<'a> {
@@ -103,7 +110,17 @@ impl<'a> SessionManager<'a> {
             sessions: HashMap::new(),
             next_stamp: 0,
             sp,
+            scope: None,
         }
+    }
+
+    /// Restricts candidate preparation to a tile scope (sharded serving):
+    /// core positions use the tile's subset index, everything else the full
+    /// index. Answers are byte-identical either way; the subset just stays
+    /// cache-resident per shard.
+    pub fn with_scope(mut self, scope: &'a TileScope) -> Self {
+        self.scope = Some(scope);
+        self
     }
 
     /// Live session count.
@@ -227,9 +244,16 @@ impl<'a> SessionManager<'a> {
         session.last_touch = Instant::now();
         session.stamp = stamp;
         let pos = point.effective_pos();
+        // Core-or-full rule: only positions the tile's halo provably covers
+        // use the subset index; anything else gets the full one, so the
+        // answer never depends on which shard runs the query.
+        let index = match self.scope {
+            Some(scope) if scope.core.contains(pos) => &scope.index,
+            _ => self.index,
+        };
         let pairs = nearest_segments(
             self.net,
-            self.index,
+            index,
             pos,
             self.policy.k,
             self.policy.radius,
@@ -279,6 +303,87 @@ impl<'a> SessionManager<'a> {
                 metrics.on_session_finalized();
             }
         }
+        n
+    }
+
+    /// Captures and evicts `client`'s session for handoff to another shard
+    /// (take semantics — after this the session no longer exists here).
+    /// Unknown clients get `None`.
+    pub fn take_snapshot(&mut self, client: u64, metrics: &ServeMetrics) -> Option<BeamState> {
+        let session = self.sessions.remove(&client)?;
+        let state = session.engine.snapshot();
+        metrics.on_session_exported();
+        Some(state)
+    }
+
+    /// Re-admits a session captured elsewhere under `client`, rebuilding
+    /// the per-trajectory model from the state's positions. Replaces any
+    /// existing session with the same key (its state is superseded by the
+    /// imported one). Subject to the same capacity policy as `open`;
+    /// a state that fails validation against this network is
+    /// [`RejectReason::Invalid`].
+    pub fn import(
+        &mut self,
+        client: u64,
+        state: BeamState,
+        metrics: &ServeMetrics,
+    ) -> Result<(), RejectReason> {
+        self.sweep_idle(metrics);
+        if self.sessions.contains_key(&client) {
+            // Superseded by the imported state; drop without finalizing
+            // (the imported state carries the authoritative session).
+            self.sessions.remove(&client);
+        } else if self.sessions.len() >= self.policy.max_sessions {
+            let lru = self
+                .sessions
+                .iter()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(&id, s)| (id, s.last_touch));
+            match lru {
+                Some((id, touched)) if touched.elapsed() >= self.policy.lru_evict_min_idle => {
+                    if let Some(mut s) = self.sessions.remove(&id) {
+                        let _ = s.engine.finalize();
+                        metrics.on_session_evicted_lru();
+                        metrics.on_session_finalized();
+                    }
+                }
+                _ => {
+                    metrics.on_rejected(RejectReason::SessionLimit);
+                    return Err(RejectReason::SessionLimit);
+                }
+            }
+        }
+        let lag = state.lag;
+        let positions = state.positions();
+        let mut engine = StreamingEngine::with_backend(self.net, lag, &self.sp);
+        if engine.restore(state).is_err() {
+            metrics.on_rejected(RejectReason::Invalid);
+            return Err(RejectReason::Invalid);
+        }
+        let stamp = self.stamp();
+        self.sessions.insert(
+            client,
+            Session {
+                engine,
+                model: ClassicModel::new(
+                    ClassicObservation::cellular(),
+                    ClassicTransition::cellular(),
+                    positions,
+                ),
+                last_touch: Instant::now(),
+                stamp,
+            },
+        );
+        metrics.on_session_imported();
+        Ok(())
+    }
+
+    /// Drops every session without finalizing — the simulated crash path
+    /// (and hard abort): in-flight state is lost exactly as a process kill
+    /// would lose it. Returns how many were dropped.
+    pub fn drop_all(&mut self) -> usize {
+        let n = self.sessions.len();
+        self.sessions.clear();
         n
     }
 }
@@ -392,6 +497,115 @@ mod tests {
         assert!(mgr.is_empty());
         let report = metrics.snapshot(0, 0);
         assert_eq!(report.sessions_evicted_idle, 2);
+    }
+
+    #[test]
+    fn snapshot_import_handoff_matches_uninterrupted_session() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(317));
+        let metrics = ServeMetrics::new();
+        let rec = &ds.test[0];
+        let cut = rec.cellular.points.len() / 2;
+
+        // Reference: one manager, one uninterrupted session.
+        let mut solo = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        solo.open(1, 2, &metrics).expect("open");
+        let mut solo_commits = Vec::new();
+        for p in &rec.cellular.points {
+            solo_commits.push(solo.push(1, p, &metrics).ok());
+        }
+        let (want, _) = solo.finish(1, &metrics).expect("finish");
+
+        // Handoff: push to A, snapshot at the cut, import into B, finish
+        // there — the shard-to-shard journey of a boundary-crossing trip.
+        let mut a = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        let mut b = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        a.open(1, 2, &metrics).expect("open");
+        let mut commits = Vec::new();
+        for p in &rec.cellular.points[..cut] {
+            commits.push(a.push(1, p, &metrics).ok());
+        }
+        let state = a.take_snapshot(1, &metrics).expect("session exists");
+        assert!(a.is_empty(), "take semantics: session gone from source");
+        assert!(a.finish(1, &metrics).is_none());
+        b.import(1, state, &metrics).expect("import");
+        for p in &rec.cellular.points[cut..] {
+            commits.push(b.push(1, p, &metrics).ok());
+        }
+        let (got, _) = b.finish(1, &metrics).expect("finish");
+        assert_eq!(got.segments, want.segments);
+        assert_eq!(commits, solo_commits, "commit cadence diverged");
+        let report = metrics.snapshot(0, 0);
+        assert_eq!(report.sessions_exported, 1);
+        assert_eq!(report.sessions_imported, 1);
+    }
+
+    #[test]
+    fn import_rejects_foreign_garbage_as_invalid() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(318));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        mgr.open(1, 1, &metrics).expect("open");
+        for p in &ds.test[0].cellular.points[..4] {
+            let _ = mgr.push(1, p, &metrics);
+        }
+        let mut state = mgr.take_snapshot(1, &metrics).expect("snapshot");
+        // Point a candidate at a segment the destination network lacks.
+        state.layers[0][0].seg = lhmm_network::graph::SegmentId(u32::MAX - 1);
+        assert_eq!(
+            mgr.import(1, state, &metrics),
+            Err(RejectReason::Invalid)
+        );
+        assert!(mgr.is_empty());
+        let report = metrics.snapshot(0, 0);
+        assert_eq!(report.rejected_for(RejectReason::Invalid), 1);
+    }
+
+    #[test]
+    fn scoped_manager_matches_unscoped_manager_byte_for_byte() {
+        use lhmm_network::tile::{TileGrid, TileScope};
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(319));
+        // Halo = candidate radius: subset answers provably exact in-core.
+        let grid = TileGrid::new(&ds.network, 2, 2, SessionPolicy::default().radius);
+        let scopes: Vec<TileScope> = (0..grid.num_tiles())
+            .map(|t| TileScope::build(&ds.network, &grid, t, ds.index.cell_size()))
+            .collect();
+        let metrics = ServeMetrics::new();
+        for (ci, rec) in ds.test.iter().take(4).enumerate() {
+            let client = ci as u64;
+            let mut plain = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+            plain.open(client, 2, &metrics).expect("open");
+            // Pick the tile the trajectory starts in, like the router does.
+            let first = rec.cellular.points[0].effective_pos();
+            let tile = grid.assign(first);
+            let mut scoped =
+                SessionManager::new(&ds.network, &ds.index, policy(8, 60_000))
+                    .with_scope(&scopes[tile]);
+            scoped.open(client, 2, &metrics).expect("open");
+            for p in &rec.cellular.points {
+                assert_eq!(
+                    scoped.push(client, p, &metrics),
+                    plain.push(client, p, &metrics),
+                    "tile {tile} diverged"
+                );
+            }
+            let want = plain.finish(client, &metrics).expect("finish");
+            let got = scoped.finish(client, &metrics).expect("finish");
+            assert_eq!(got.0.segments, want.0.segments);
+        }
+    }
+
+    #[test]
+    fn drop_all_loses_sessions_without_finalizing() {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(320));
+        let metrics = ServeMetrics::new();
+        let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
+        mgr.open(1, 0, &metrics).expect("open");
+        mgr.open(2, 0, &metrics).expect("open");
+        assert_eq!(mgr.drop_all(), 2);
+        assert!(mgr.is_empty());
+        // Nothing was finalized — the sessions just vanished (crash
+        // semantics).
+        assert_eq!(metrics.snapshot(0, 0).sessions_finalized, 0);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Cluster loopback tests: a real router, real shard servers, real TCP —
+//! and byte-exact equivalence against single-process serving and the
+//! offline pipeline (the ISSUE 8 acceptance criteria).
+//!
+//! * Adversarial-corpus one-shot verdict fingerprints through a 4-shard
+//!   cluster equal the single-process and offline-serial fingerprints.
+//! * Streaming sessions that cross tile boundaries mid-stream (beam-state
+//!   handoff over the wire) commit and finish byte-identically to an
+//!   uninterrupted single-process session and to offline full-lag Viterbi.
+//! * Killing a shard mid-stream loses nothing: the supervisor restarts it,
+//!   the router replays its journal, and final routes are unchanged.
+//! * The internal snapshot/restore plane is rejected at the router.
+
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_cellsim::faults::AdversarialCorpus;
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_core::candidates::{nearest_segments, to_candidates};
+use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
+use lhmm_core::error::MatchError;
+use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+use lhmm_core::types::{Candidate, MatchContext};
+use lhmm_core::viterbi::{EngineConfig, HmmEngine};
+use lhmm_geo::Point;
+use lhmm_network::graph::SegmentId;
+use lhmm_serve::protocol::{read_response, write_request, Request, Response};
+use lhmm_serve::{
+    ClientError, ClusterConfig, ClusterHandle, ClusterTopology, RejectReason, ServeClient,
+    ServeConfig, ServeCtx, ServerHandle, SessionPolicy,
+};
+use std::net::TcpStream;
+use std::thread;
+
+fn cheap_model(ds: &Dataset, seed: u64) -> LhmmModel {
+    let mut cfg = LhmmConfig::fast_test(seed);
+    cfg.use_learned_obs = false;
+    cfg.use_learned_trans = false;
+    LhmmModel::train(ds, cfg)
+}
+
+fn ctx(ds: &Dataset) -> MatchContext<'_> {
+    MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    }
+}
+
+/// The verdict a served one-shot must reproduce exactly.
+type Verdict = Result<Vec<SegmentId>, MatchError>;
+
+fn offline_verdicts(ds: &Dataset, model: &LhmmModel, trajs: &[CellularTrajectory]) -> Vec<Verdict> {
+    let ctx = ctx(ds);
+    let mut engine = HmmEngine::new(&ds.network, model.engine_config());
+    trajs
+        .iter()
+        .map(|t| {
+            model
+                .try_match_with_engine_stats(&ctx, t, &mut engine)
+                .map(|(r, _)| r.path.segments)
+        })
+        .collect()
+}
+
+/// FNV-1a over the verdict sequence: equal fingerprints mean bitwise-equal
+/// verdicts (same routes, same typed errors, same order).
+fn fingerprint(verdicts: &[Verdict]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for v in verdicts {
+        match v {
+            Ok(segments) => {
+                eat(1);
+                eat(segments.len() as u64);
+                for s in segments {
+                    eat(s.0 as u64);
+                }
+            }
+            Err(e) => {
+                eat(2);
+                let mut buf = String::new();
+                use std::fmt::Write as _;
+                let _ = write!(buf, "{e:?}");
+                for byte in buf.bytes() {
+                    eat(byte as u64);
+                }
+            }
+        }
+    }
+    h
+}
+
+fn served_verdicts(addr: std::net::SocketAddr, trajs: &[CellularTrajectory]) -> Vec<Verdict> {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    trajs
+        .iter()
+        .map(|t| match client.one_shot(t) {
+            Ok(reply) => Ok(reply.segments),
+            Err(ClientError::Failed(e)) => Err(e),
+            Err(e) => panic!("unexpected serving outcome: {e}"),
+        })
+        .collect()
+}
+
+/// Offline full-lag reference with the same compacted candidate
+/// preparation the session manager applies.
+fn offline_streaming_reference(
+    ds: &Dataset,
+    traj: &CellularTrajectory,
+    k: usize,
+    radius: f64,
+) -> Vec<SegmentId> {
+    let mut model = ClassicModel::new(
+        ClassicObservation::cellular(),
+        ClassicTransition::cellular(),
+        Vec::new(),
+    );
+    let mut pts: Vec<(Point, f64)> = Vec::new();
+    let mut layers: Vec<Vec<Candidate>> = Vec::new();
+    for p in &traj.points {
+        let pos = p.effective_pos();
+        let pairs = nearest_segments(&ds.network, &ds.index, pos, k, radius);
+        if pairs.is_empty() {
+            continue;
+        }
+        let i = pts.len();
+        model.positions.push(pos);
+        layers.push(to_candidates(&mut model, i, &pairs));
+        pts.push((pos, p.t));
+    }
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let mut engine = HmmEngine::new(
+        &ds.network,
+        EngineConfig {
+            shortcuts: 0,
+            ..Default::default()
+        },
+    );
+    engine
+        .try_find_path(&ds.network, &pts, layers, &mut model)
+        .expect("valid layers")
+        .path
+        .segments
+}
+
+/// Streams `traj` through the endpoint at `addr` and returns the
+/// per-push outcome trace (committed counts and typed per-point errors)
+/// plus the final route — the full observable behavior of the session.
+fn stream_session(
+    addr: std::net::SocketAddr,
+    session: u64,
+    lag: u32,
+    traj: &CellularTrajectory,
+) -> (Vec<Result<u32, String>>, Vec<SegmentId>, bool) {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open(session, lag).expect("open session");
+    let mut trace = Vec::new();
+    for p in &traj.points {
+        match client.push(session, p) {
+            Ok(committed) => trace.push(Ok(committed)),
+            Err(ClientError::Failed(
+                e @ (MatchError::NoCandidates | MatchError::EmptyLayer { .. }),
+            )) => trace.push(Err(format!("{e:?}"))),
+            Err(e) => panic!("session {session}: push failed: {e}"),
+        }
+    }
+    let reply = client.finish(session).expect("finish");
+    (trace, reply.segments, reply.degraded)
+}
+
+#[test]
+fn four_shard_oneshot_fingerprint_equals_single_process_and_offline() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(501));
+    let model = cheap_model(&ds, 501);
+    let base: Vec<CellularTrajectory> =
+        ds.test.iter().take(2).map(|r| r.cellular.clone()).collect();
+    let corpus = AdversarialCorpus::generate(&base, 501);
+    let trajs: Vec<CellularTrajectory> = corpus.cases.iter().map(|c| c.traj.clone()).collect();
+
+    let offline_fp = fingerprint(&offline_verdicts(&ds, &model, &trajs));
+    let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, 3000.0);
+    assert_eq!(topology.num_tiles(), 4);
+
+    let (single_fp, cluster_fp) = thread::scope(|s| {
+        let serve = ServeCtx {
+            ctx: ctx(&ds),
+            model: &model,
+            scope: None,
+        };
+        let single =
+            ServerHandle::start(s, serve, ServeConfig::default()).expect("bind single");
+        let single_fp = fingerprint(&served_verdicts(single.addr(), &trajs));
+        single.shutdown_and_drain();
+
+        let cluster = ClusterHandle::start(s, serve, &topology, ClusterConfig::default())
+            .expect("bind cluster");
+        let cluster_fp = fingerprint(&served_verdicts(cluster.addr(), &trajs));
+        let report = cluster.shutdown_and_drain();
+        assert_eq!(report.in_flight_lost(), 0, "cluster drain dropped admitted work");
+        assert_eq!(report.merged.completed as usize, trajs.len());
+        assert_eq!(report.shards, 4);
+        (single_fp, cluster_fp)
+    });
+
+    assert_eq!(
+        cluster_fp, single_fp,
+        "4-shard verdict fingerprint diverged from single-process"
+    );
+    assert_eq!(
+        cluster_fp, offline_fp,
+        "4-shard verdict fingerprint diverged from offline serial"
+    );
+}
+
+#[test]
+fn streaming_handoff_across_tiles_is_byte_identical_to_single_process() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(502));
+    let model = cheap_model(&ds, 502);
+    let sessions = SessionPolicy::default();
+    let (k, radius) = (sessions.k, sessions.radius);
+    let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, radius);
+    let trajs: Vec<CellularTrajectory> =
+        ds.test.iter().take(4).map(|r| r.cellular.clone()).collect();
+
+    // Every trajectory must cross at least one tile boundary for this test
+    // to exercise handoff; the dataset seed guarantees it.
+    let crossings: usize = trajs
+        .iter()
+        .map(|t| {
+            t.points
+                .windows(2)
+                .filter(|w| {
+                    topology.route(w[0].effective_pos()) != topology.route(w[1].effective_pos())
+                })
+                .count()
+        })
+        .sum();
+    assert!(crossings > 0, "seed produced no tile-crossing trajectories");
+
+    thread::scope(|s| {
+        let serve = ServeCtx {
+            ctx: ctx(&ds),
+            model: &model,
+            scope: None,
+        };
+        let config = ServeConfig {
+            sessions: sessions.clone(),
+            ..Default::default()
+        };
+        let single = ServerHandle::start(s, serve, config.clone()).expect("bind single");
+        let cluster = ClusterHandle::start(
+            s,
+            serve,
+            &topology,
+            ClusterConfig {
+                shard: config,
+                ..Default::default()
+            },
+        )
+        .expect("bind cluster");
+
+        for (i, traj) in trajs.iter().enumerate() {
+            let session = 2000 + i as u64;
+            // Fixed lag: commits happen mid-stream, so divergence anywhere
+            // in the beam state would surface in the trace.
+            let want = stream_session(single.addr(), session, 4, traj);
+            let got = stream_session(cluster.addr(), session, 4, traj);
+            assert_eq!(
+                got, want,
+                "session {session}: sharded streaming diverged from single-process"
+            );
+            // Full lag: the final route must also equal offline Viterbi.
+            let offline = offline_streaming_reference(&ds, traj, k, radius);
+            let (_, full_lag_route, _) = stream_session(
+                cluster.addr(),
+                3000 + i as u64,
+                (traj.points.len() + 1) as u32,
+                traj,
+            );
+            assert_eq!(
+                full_lag_route, offline,
+                "session {session}: sharded full-lag route diverged from offline"
+            );
+        }
+
+        let report = cluster.shutdown_and_drain();
+        assert!(report.handoffs >= 1, "no mid-stream handoff happened");
+        assert!(report.merged.sessions_exported >= 1);
+        assert!(report.merged.sessions_imported >= 1);
+        assert_eq!(report.in_flight_lost(), 0);
+        single.shutdown_and_drain();
+    });
+}
+
+#[test]
+fn shard_crash_mid_stream_recovers_with_nothing_lost() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(503));
+    let model = cheap_model(&ds, 503);
+    let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, 3000.0);
+    let trajs: Vec<CellularTrajectory> =
+        ds.test.iter().take(3).map(|r| r.cellular.clone()).collect();
+
+    thread::scope(|s| {
+        let serve = ServeCtx {
+            ctx: ctx(&ds),
+            model: &model,
+            scope: None,
+        };
+        let single = ServerHandle::start(s, serve, ServeConfig::default()).expect("bind single");
+        let cluster = ClusterHandle::start(s, serve, &topology, ClusterConfig::default())
+            .expect("bind cluster");
+
+        for (i, traj) in trajs.iter().enumerate() {
+            let session = 4000 + i as u64;
+            let want = stream_session(single.addr(), session, 4, traj);
+
+            // Same stream against the cluster, but kill the shard that
+            // holds the session halfway through.
+            let mut client = ServeClient::connect(cluster.addr()).expect("connect");
+            client.open(session, 4).expect("open");
+            let mut trace = Vec::new();
+            let cut = traj.points.len() / 2;
+            let mut last_tile = None;
+            for (j, p) in traj.points.iter().enumerate() {
+                if j == cut {
+                    if let Some(tile) = last_tile {
+                        assert!(
+                            cluster.kill_shard(tile),
+                            "session {session}: shard {tile} was already down"
+                        );
+                    }
+                }
+                match client.push(session, p) {
+                    Ok(committed) => {
+                        trace.push(Ok(committed));
+                        last_tile = Some(topology.route(p.effective_pos()));
+                    }
+                    Err(ClientError::Failed(
+                        e @ (MatchError::NoCandidates | MatchError::EmptyLayer { .. }),
+                    )) => trace.push(Err(format!("{e:?}"))),
+                    Err(e) => panic!("session {session}: push failed after crash: {e}"),
+                }
+            }
+            let reply = client.finish(session).expect("finish after crash");
+            let got = (trace, reply.segments, reply.degraded);
+            assert_eq!(
+                got, want,
+                "session {session}: crash recovery diverged from uninterrupted single-process"
+            );
+        }
+
+        let report = cluster.shutdown_and_drain();
+        assert!(report.restarts >= 1, "the supervisor never restarted a shard");
+        assert!(report.replays >= 1, "no journal replay happened");
+        assert_eq!(
+            report.in_flight_lost(),
+            0,
+            "a crashed shard lost admitted work"
+        );
+        single.shutdown_and_drain();
+    });
+}
+
+#[test]
+fn snapshot_and_restore_are_rejected_on_the_public_plane() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(504));
+    let model = cheap_model(&ds, 504);
+    let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 1, 3000.0);
+
+    thread::scope(|s| {
+        let cluster = ClusterHandle::start(
+            s,
+            ServeCtx {
+                ctx: ctx(&ds),
+                model: &model,
+                scope: None,
+            },
+            &topology,
+            ClusterConfig::default(),
+        )
+        .expect("bind cluster");
+
+        let mut stream = TcpStream::connect(cluster.addr()).expect("connect");
+        write_request(&mut stream, &Request::Snapshot { client: 7 }).expect("write");
+        match read_response(&mut stream).expect("read") {
+            Response::Reject(RejectReason::Invalid) => {}
+            other => panic!("expected Invalid reject for public Snapshot, got {other:?}"),
+        }
+
+        // An opened-but-never-pushed session finishes with the empty route,
+        // exactly like single-process serving.
+        let mut client = ServeClient::connect(cluster.addr()).expect("connect");
+        client.open(9, 4).expect("open");
+        let reply = client.finish(9).expect("finish");
+        assert!(reply.segments.is_empty());
+        assert!(!reply.degraded);
+
+        let report = cluster.shutdown_and_drain();
+        assert_eq!(report.merged.rejected_for(RejectReason::Invalid), 1);
+    });
+}

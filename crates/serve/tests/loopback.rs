@@ -75,6 +75,7 @@ fn concurrent_oneshot_clients_are_byte_identical_to_offline_serial() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig::default(),
         )
@@ -173,6 +174,7 @@ fn full_lag_streaming_sessions_match_offline_viterbi_over_the_wire() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig {
                 sessions,
@@ -237,6 +239,7 @@ fn overload_sheds_typed_rejections_and_drain_loses_nothing() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig {
                 batch: BatchPolicy {
@@ -321,6 +324,7 @@ fn adversarial_corpus_verdicts_match_offline_and_nothing_panics() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig::default(),
         )
@@ -358,6 +362,7 @@ fn session_limit_and_lru_eviction_over_the_wire() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig {
                 sessions: SessionPolicy {
@@ -421,6 +426,7 @@ fn oversized_oneshots_are_shed_before_the_queue() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig {
                 max_points: 4,
@@ -450,6 +456,7 @@ fn drain_with_open_sessions_flushes_them_and_report_renders() {
             ServeCtx {
                 ctx: ctx(&ds),
                 model: &model,
+                scope: None,
             },
             ServeConfig::default(),
         )

@@ -95,6 +95,7 @@ fn main() {
             ServeCtx {
                 ctx,
                 model: lhmm.model(),
+                scope: None,
             },
             config,
         )

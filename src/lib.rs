@@ -50,7 +50,7 @@ pub mod prelude {
     pub use lhmm_network::graph::{RoadNetwork, SegmentId};
     pub use lhmm_network::path::Path;
     pub use lhmm_serve::{
-        BatchPolicy, RejectReason, ServeClient, ServeConfig, ServeCtx, ServerHandle,
-        SessionPolicy,
+        BatchPolicy, ClusterConfig, ClusterHandle, ClusterTopology, RejectReason,
+        ServeClient, ServeConfig, ServeCtx, ServerHandle, SessionPolicy,
     };
 }
