@@ -108,5 +108,16 @@ run cargo test -q -p lhmm-serve
 run cargo test -q -p lhmm-serve --test cluster_loopback --test protocol_fuzz
 run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --test cluster_loopback
 
+# Model-lifecycle gate (DESIGN §14): the registry manifest property suite
+# (bit-exact round-trips, typed failure on truncation/corruption, never a
+# panic) and the hot-swap-under-load loopback suite (admission-pinned
+# versions byte-matching each model's offline verdicts, shadow divergence
+# accounting with no wire leakage, cluster-atomic swap across 4 shards,
+# in_flight_lost() == 0 with a swap mid-run). The swap suite also runs
+# serially: version pinning must not depend on test scheduling.
+run cargo test -q -p lhmm-core --test registry_manifest_proptest
+run cargo test -q -p lhmm-serve --test swap_loopback
+run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --test swap_loopback
+
 echo
 echo "ci: all checks passed"

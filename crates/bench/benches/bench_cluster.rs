@@ -13,6 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
 use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::registry::ModelRegistry;
 use lhmm_core::types::MatchContext;
 use lhmm_serve::{ClusterConfig, ClusterHandle, ClusterTopology, ServeClient, ServeCtx};
 use std::thread;
@@ -25,6 +26,7 @@ fn bench_cluster(c: &mut Criterion) {
         towers: &ds.towers,
     };
     let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(109));
+    let registry = ModelRegistry::new(lhmm.model().clone(), "bench");
     let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
 
     let mut group = c.benchmark_group("serve_cluster");
@@ -38,7 +40,7 @@ fn bench_cluster(c: &mut Criterion) {
                 s,
                 ServeCtx {
                     ctx,
-                    model: lhmm.model(),
+                    registry: &registry,
                     scope: None,
                 },
                 &topology,

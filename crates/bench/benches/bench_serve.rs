@@ -1,4 +1,5 @@
-//! Micro-batch scheduler throughput (requests/sec) versus `max_batch`.
+//! Micro-batch scheduler throughput (requests/sec) versus `max_batch`,
+//! plus the hot-swap overhead sweep.
 //!
 //! One iteration = pushing the full held-out split through a running
 //! [`MicroBatcher`] (no sockets — scheduler + worker pool only) and
@@ -6,10 +7,19 @@
 //! batch-formation trade-off: 1 dispatches each request alone (pure
 //! per-dispatch overhead), 16 amortizes dispatch and keeps the worker's
 //! cache and scratch arenas hot across a whole batch.
+//!
+//! The `serve_swap` group measures what model hot swaps cost the serving
+//! path: the same corpus is pushed through while the active version is
+//! promoted back and forth every `swap_every` submissions (0 = never —
+//! the baseline). Swapping costs a mutex flip at admission plus a lazily
+//! built per-version engine on each worker, so the sweep exposes both the
+//! steady-state overhead and the first-swap warmup, approximating swap
+//! cadences from none through several per minute at this corpus size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
 use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::registry::{ModelRegistry, ModelVersion};
 use lhmm_core::types::MatchContext;
 use lhmm_serve::{BatchPolicy, MicroBatcher, ServeCtx, ServeMetrics};
 use std::sync::Arc;
@@ -24,6 +34,7 @@ fn bench_serve(c: &mut Criterion) {
         towers: &ds.towers,
     };
     let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(108));
+    let registry = ModelRegistry::new(lhmm.model().clone(), "bench");
     let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
 
     let mut group = c.benchmark_group("serve_scheduler");
@@ -35,7 +46,7 @@ fn bench_serve(c: &mut Criterion) {
                 s,
                 ServeCtx {
                     ctx,
-                    model: lhmm.model(),
+                    registry: &registry,
                     scope: None,
                 },
                 BatchPolicy {
@@ -69,5 +80,69 @@ fn bench_serve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve);
+fn bench_swap(c: &mut Criterion) {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(108));
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(108));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+
+    let mut group = c.benchmark_group("serve_swap");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trajs.len() as u64));
+    // swap_every = 0 never swaps (baseline); smaller values swap more
+    // often. Both versions carry identical weights, so any time delta is
+    // pure swap machinery, not model cost.
+    for swap_every in [0usize, 16, 4] {
+        let registry = ModelRegistry::new(lhmm.model().clone(), "v1");
+        let v2 = registry.register(lhmm.model().clone(), "v2", Some(ModelVersion(1)));
+        thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx {
+                    ctx,
+                    registry: &registry,
+                    scope: None,
+                },
+                BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(500),
+                    workers: 2,
+                    ..Default::default()
+                },
+                Arc::new(ServeMetrics::new()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("swap_every", swap_every),
+                &batcher,
+                |b, batcher| {
+                    b.iter(|| {
+                        let mut receivers = Vec::with_capacity(trajs.len());
+                        for (i, t) in trajs.iter().enumerate() {
+                            if swap_every != 0 && i % swap_every == 0 {
+                                let next = if (i / swap_every) % 2 == 0 {
+                                    v2
+                                } else {
+                                    ModelVersion(1)
+                                };
+                                registry.promote(next).expect("registered version");
+                            }
+                            receivers.push(batcher.submit(t.clone()).expect("admitted"));
+                        }
+                        for rx in receivers {
+                            let _ = rx.recv().expect("reply");
+                        }
+                    });
+                },
+            );
+            batcher.drain();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve, bench_swap);
 criterion_main!(benches);

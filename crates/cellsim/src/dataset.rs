@@ -161,6 +161,56 @@ impl DatasetConfig {
             seed,
         }
     }
+
+    /// City variant A of the transfer-study triple: [`tiny_test`]'s
+    /// geometry with **denser towers** — core spacing tightened and the
+    /// core→fringe density gradient flattened, so positioning errors
+    /// shrink and the observation distribution a model trains on shifts.
+    ///
+    /// The three `tiny_city_*` variants share trajectory counts and
+    /// sampling cadence but differ in exactly one axis each (tower
+    /// density, density gradient, road topology), so cross-city transfer
+    /// gaps measured by `examples/transfer_eval.rs` are attributable.
+    ///
+    /// [`tiny_test`]: DatasetConfig::tiny_test
+    pub fn tiny_city_dense(seed: u64) -> Self {
+        let mut cfg = Self::tiny_test(seed);
+        cfg.name = format!("tiny-city-dense({seed})");
+        cfg.placement.core_spacing = 300.0;
+        cfg.placement.fringe_spacing = 450.0;
+        cfg
+    }
+
+    /// City variant B: [`tiny_test`]'s geometry with a **steep density
+    /// gradient** — towers as dense as variant A downtown but sparse at
+    /// the fringe, the deployment shape of a city with a concentrated
+    /// business core. Fringe trips see much larger positioning errors
+    /// than core trips.
+    ///
+    /// [`tiny_test`]: DatasetConfig::tiny_test
+    pub fn tiny_city_gradient(seed: u64) -> Self {
+        let mut cfg = Self::tiny_test(seed);
+        cfg.name = format!("tiny-city-gradient({seed})");
+        cfg.placement.core_spacing = 300.0;
+        cfg.placement.fringe_spacing = 1_200.0;
+        cfg
+    }
+
+    /// City variant C: [`tiny_test`]'s tower field over a **different
+    /// road topology** — the network generator is reseeded and biased
+    /// toward more diagonals and sparser arterials, so learned transition
+    /// structure (shortcut priors, route shapes) transfers least here.
+    ///
+    /// [`tiny_test`]: DatasetConfig::tiny_test
+    pub fn tiny_city_topology(seed: u64) -> Self {
+        let mut cfg = Self::tiny_test(seed);
+        cfg.name = format!("tiny-city-topology({seed})");
+        cfg.network.seed = seed ^ 0xC17F;
+        cfg.network.diagonal_prob = 0.15;
+        cfg.network.arterial_every = 6;
+        cfg.network.removal_prob = 0.10;
+        cfg
+    }
 }
 
 /// A generated dataset, ready for training and evaluation.
@@ -314,6 +364,34 @@ mod tests {
             .zip(&b.train)
             .all(|(x, y)| x.truth.segments == y.truth.segments);
         assert!(!same);
+    }
+
+    #[test]
+    fn city_variants_differ_on_their_declared_axis() {
+        let base = Dataset::generate(&DatasetConfig::tiny_test(7));
+        let dense = Dataset::generate(&DatasetConfig::tiny_city_dense(7));
+        let gradient = Dataset::generate(&DatasetConfig::tiny_city_gradient(7));
+        let topo = Dataset::generate(&DatasetConfig::tiny_city_topology(7));
+
+        // Denser deployment really places more towers; steepening the
+        // gradient (same 300 m core, 4x sparser fringe) sheds fringe
+        // towers relative to the flat-dense deployment.
+        assert!(dense.towers.len() > base.towers.len());
+        assert!(gradient.towers.len() < dense.towers.len());
+
+        // The topology variant keeps the base deployment parameters but
+        // grows a different road graph.
+        assert_eq!(
+            topo.config.placement.core_spacing,
+            base.config.placement.core_spacing
+        );
+        assert_ne!(topo.network.num_segments(), base.network.num_segments());
+
+        // All three still satisfy the generation contract.
+        for ds in [&dense, &gradient, &topo] {
+            assert_eq!(ds.train.len(), ds.config.num_train);
+            assert_eq!(ds.test.len(), ds.config.num_test);
+        }
     }
 
     #[test]

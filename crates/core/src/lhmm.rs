@@ -126,6 +126,12 @@ impl LhmmConfig {
 /// Contains no search state, so it is `Send + Sync`: one model can serve
 /// many [`HmmEngine`]s concurrently (see [`crate::batch`]). The familiar
 /// [`Lhmm`] couples a model with one engine for serial use.
+///
+/// `Clone` is deliberate: the model registry ([`crate::registry`]) derives
+/// refreshed candidate versions by cloning the active model and folding new
+/// co-occurrence statistics into the copy, leaving the served version
+/// untouched.
+#[derive(Clone)]
 pub struct LhmmModel {
     /// The configuration the model was trained with. `k` and `shortcut_k`
     /// may be changed between matches (parameter sweeps) via
@@ -290,6 +296,25 @@ impl LhmmModel {
             t.import_weights(&mut dec)?;
         }
         Ok(model)
+    }
+
+    /// A copy of this model with freshly observed (tower, matched-segment)
+    /// co-occurrence counts folded into its multi-relational graph — the
+    /// derive step of the accumulate → refresh → swap loop
+    /// ([`crate::registry`]). The receiver is untouched (it may be the
+    /// actively served version); the copy re-derives its observation
+    /// reach: for learned variants both the co-occurrence candidate
+    /// expansion in `LhmmModel::prepare_candidates` and the explicit
+    /// co-frequency feature of `P_O` see the new mass. Classic (ablated)
+    /// variants carry the updated graph but score distance-only, so their
+    /// verdicts are unchanged by construction.
+    pub fn refreshed(
+        &self,
+        counts: &std::collections::BTreeMap<(u32, u32), u64>,
+    ) -> LhmmModel {
+        let mut next = self.clone();
+        next.graph.fold_co(counts);
+        next
     }
 
     /// The trained observation learner (`None` under the LHMM-O ablation).

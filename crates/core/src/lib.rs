@@ -18,7 +18,10 @@
 //!   with ablation switches ([`lhmm::LhmmConfig`]),
 //! * [`batch`] — the parallel [`batch::BatchMatcher`]: work-stealing
 //!   workers over sharded shortest-path caches with a shared warm layer,
-//!   bit-identical to serial matching.
+//!   bit-identical to serial matching,
+//! * [`registry`] — the versioned [`registry::ModelRegistry`]: atomic hot
+//!   swap with version pinning, shadow candidate routing, and online
+//!   refresh statistics (accumulate → refresh → swap).
 //!
 //! ```no_run
 //! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
@@ -46,6 +49,7 @@ pub mod classic;
 pub mod error;
 pub mod lhmm;
 pub mod observation;
+pub mod registry;
 pub mod streaming;
 pub mod timing;
 pub mod transition;
@@ -56,5 +60,8 @@ pub mod viterbi;
 pub use batch::{BatchConfig, BatchMatcher, BatchStats, WorkerStats};
 pub use error::{Degradation, MatchError};
 pub use lhmm::{Lhmm, LhmmConfig, LhmmModel};
+pub use registry::{
+    ModelManifest, ModelRegistry, ModelVersion, RefreshStats, RegistryError, VersionedModel,
+};
 pub use streaming::{BeamState, SnapshotError, StreamingEngine};
 pub use types::{Candidate, MapMatcher, MatchContext, MatchResult, MatchStats};

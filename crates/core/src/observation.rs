@@ -87,6 +87,7 @@ impl FeatNorm {
 const N_EXPLICIT: usize = 2;
 
 /// The trained observation probability model.
+#[derive(Clone)]
 pub struct ObservationLearner {
     implicit_store: ParamStore,
     fuse_store: ParamStore,

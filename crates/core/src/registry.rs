@@ -1,0 +1,794 @@
+//! Versioned model registry with atomic hot swap, shadow serving and
+//! online refresh statistics.
+//!
+//! A [`ModelRegistry`] holds every deployable [`LhmmModel`] as an
+//! `Arc<VersionedModel>` behind a manifest (monotonic version, weight
+//! fingerprint, provenance). The serving layer resolves the **active**
+//! version at admission time and pins it for the whole request/session —
+//! swapping the active version ([`ModelRegistry::promote`] /
+//! [`ModelRegistry::rollback`]) is one pointer update under a short lock,
+//! so in-flight work finishes on the version it started with while new
+//! admissions pick up the new one. No request ever observes a half-swapped
+//! model, and no version is freed while anything still pins its `Arc`.
+//!
+//! Shadow A/B serving mirrors a deterministic every-Nth slice of admitted
+//! traffic through a candidate version ([`ModelRegistry::set_shadow`] +
+//! [`ModelRegistry::shadow_pick`]); shadow verdicts are compared against
+//! the active version's and never reach clients.
+//!
+//! The registry also accumulates online refresh statistics: served matches
+//! [`observe`](ModelRegistry::observe) their (tower, matched-segment)
+//! co-occurrences exactly as offline graph construction counts them, and
+//! [`refresh`](ModelRegistry::refresh) folds the drained counters into a
+//! cloned active model ([`LhmmModel::refreshed`]), registering the result
+//! as a new *candidate* version (promotion stays an explicit decision) —
+//! the accumulate → refresh → swap loop, end to end.
+
+use crate::lhmm::LhmmModel;
+use lhmm_cellsim::traj::CellularPoint;
+use lhmm_network::graph::{RoadNetwork, SegmentId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Magic bytes leading a serialized registry manifest.
+const MANIFEST_MAGIC: &[u8; 4] = b"LHMR";
+/// Manifest format version.
+const MANIFEST_VERSION: u8 = 1;
+/// Manifest labels longer than this are refused while decoding (an
+/// allocation bound against corrupt or hostile length fields).
+const MAX_LABEL: usize = 4096;
+
+/// A monotonic model version number. Version numbers start at 1; on the
+/// wire, 0 is the "currently active" sentinel and never names an entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelVersion(pub u32);
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Provenance metadata of one registered model version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelManifest {
+    /// The version this manifest describes.
+    pub version: ModelVersion,
+    /// FNV-1a fingerprint of the model's persisted weights
+    /// ([`LhmmModel::save_weights`]) concatenated with its co-occurrence
+    /// digest: equal iff both are byte-identical, so a manifest pins its
+    /// version bit-exactly and a refreshed candidate (same neural weights,
+    /// new folded-in statistics) never shares its parent's fingerprint.
+    pub fingerprint: u64,
+    /// Size of the persisted weights, bytes.
+    pub weight_bytes: u64,
+    /// The version this one was derived from (`None` for roots; set for
+    /// refresh-derived candidates).
+    pub parent: Option<ModelVersion>,
+    /// Free-form provenance label ("seed", "refresh-3", ...).
+    pub label: String,
+}
+
+/// One registry entry: a manifest plus the immutable model it describes.
+pub struct VersionedModel {
+    /// Provenance and fingerprint.
+    pub manifest: ModelManifest,
+    /// The trained model. Immutable once registered.
+    pub model: LhmmModel,
+}
+
+impl VersionedModel {
+    /// Shorthand for the entry's version number.
+    pub fn version(&self) -> ModelVersion {
+        self.manifest.version
+    }
+}
+
+/// Mergeable online (tower, matched-segment) co-occurrence statistics,
+/// accumulated from served matches and folded into a refreshed model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Co-occurrence counts keyed `(tower id, segment id)`. A `BTreeMap`
+    /// so draining and folding iterate in a deterministic order.
+    pub counts: BTreeMap<(u32, u32), u64>,
+    /// Matches observed into these counters.
+    pub observed_matches: u64,
+}
+
+impl RefreshStats {
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Folds another collector's counts into this one. Addition is
+    /// commutative and associative, so per-shard collectors may merge in
+    /// any order.
+    pub fn merge(&mut self, other: &RefreshStats) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.observed_matches += other.observed_matches;
+    }
+
+    /// Credits one served match: every matched segment pairs with the
+    /// *closest* trajectory point — byte-for-byte the closest-point rule
+    /// offline graph construction uses (`MultiRelGraph::build`), so a
+    /// refresh folds statistics of the same definition the model was
+    /// trained on. Raw point positions are used (not smoothed ones),
+    /// again mirroring offline construction.
+    pub fn observe(
+        &mut self,
+        net: &RoadNetwork,
+        points: &[CellularPoint],
+        segments: &[SegmentId],
+    ) {
+        if points.is_empty() || segments.is_empty() {
+            return;
+        }
+        for &seg in segments {
+            let mid = net.segment_midpoint(seg);
+            let Some(closest) = points
+                .iter()
+                .min_by(|a, b| a.pos.distance(mid).total_cmp(&b.pos.distance(mid)))
+            else {
+                continue;
+            };
+            *self.counts.entry((closest.tower.0, seg.0)).or_insert(0) += 1;
+        }
+        self.observed_matches += 1;
+    }
+}
+
+/// Everything that can go wrong talking to the registry or decoding a
+/// manifest. Corrupt bytes are typed errors, never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No entry with this version number exists.
+    UnknownVersion(u32),
+    /// Rollback was requested but no previous active version is recorded.
+    NoPreviousVersion,
+    /// Refresh was requested with no accumulated statistics.
+    EmptyStats,
+    /// Manifest bytes do not start with the expected magic.
+    BadMagic,
+    /// Unsupported manifest format version.
+    BadVersion(u8),
+    /// Manifest bytes ended before the declared content.
+    Truncated,
+    /// Bytes remain after the declared content.
+    TrailingBytes,
+    /// A label is oversized or not valid UTF-8.
+    BadLabel,
+    /// A decoded entry is structurally inconsistent (duplicate or zero
+    /// version, unknown parent/active reference).
+    Inconsistent(&'static str),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownVersion(v) => write!(f, "unknown model version v{v}"),
+            RegistryError::NoPreviousVersion => {
+                write!(f, "no previous version to roll back to")
+            }
+            RegistryError::EmptyStats => {
+                write!(f, "no refresh statistics have been accumulated")
+            }
+            RegistryError::BadMagic => write!(f, "not a registry manifest"),
+            RegistryError::BadVersion(v) => {
+                write!(f, "unsupported manifest format version {v}")
+            }
+            RegistryError::Truncated => write!(f, "manifest is truncated"),
+            RegistryError::TrailingBytes => {
+                write!(f, "trailing bytes after manifest content")
+            }
+            RegistryError::BadLabel => write!(f, "manifest label is invalid"),
+            RegistryError::Inconsistent(what) => {
+                write!(f, "manifest is inconsistent: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The shadow routing plan: mirror every `mirror_every`-th admission
+/// through `version`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ShadowPlan {
+    version: u32,
+    mirror_every: u32,
+}
+
+struct Inner {
+    entries: BTreeMap<u32, Arc<VersionedModel>>,
+    active: u32,
+    previous: Option<u32>,
+    shadow: Option<ShadowPlan>,
+    next: u32,
+}
+
+/// The versioned model registry. All methods are `&self` and thread-safe;
+/// the hot path ([`ModelRegistry::active`], [`ModelRegistry::shadow_pick`])
+/// holds the lock only long enough to clone an `Arc`.
+pub struct ModelRegistry {
+    inner: Mutex<Inner>,
+    stats: Mutex<RefreshStats>,
+    shadow_counter: AtomicU64,
+    swaps: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        // A panicked holder cannot corrupt these structures mid-update in
+        // a way later readers would misread (every update completes or the
+        // process is already failing); serve mirrors this policy.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn manifest_for(version: u32, model: &LhmmModel, label: &str, parent: Option<u32>) -> ModelManifest {
+    let mut bytes = model.save_weights();
+    let weight_bytes = bytes.len() as u64;
+    // The co-occurrence digest rides along so a refreshed candidate —
+    // identical neural weights, different folded-in statistics — gets a
+    // fingerprint distinct from its parent's.
+    bytes.extend(model.graph().co_digest_bytes());
+    ModelManifest {
+        version: ModelVersion(version),
+        fingerprint: lhmm_neural::persist::fingerprint64(&bytes),
+        weight_bytes,
+        parent: parent.map(ModelVersion),
+        label: label.to_string(),
+    }
+}
+
+impl ModelRegistry {
+    /// A registry seeded with one model, registered as version 1 and made
+    /// active.
+    pub fn new(model: LhmmModel, label: &str) -> Self {
+        let manifest = manifest_for(1, &model, label, None);
+        let mut entries = BTreeMap::new();
+        entries.insert(1, Arc::new(VersionedModel { manifest, model }));
+        ModelRegistry {
+            inner: Mutex::new(Inner {
+                entries,
+                active: 1,
+                previous: None,
+                shadow: None,
+                next: 2,
+            }),
+            stats: Mutex::new(RefreshStats::default()),
+            shadow_counter: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a new model as a candidate version (not active until
+    /// promoted). Returns the assigned version number.
+    pub fn register(
+        &self,
+        model: LhmmModel,
+        label: &str,
+        parent: Option<ModelVersion>,
+    ) -> ModelVersion {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let version = inner.next;
+        inner.next += 1;
+        let manifest = manifest_for(version, &model, label, parent.map(|v| v.0));
+        inner
+            .entries
+            .insert(version, Arc::new(VersionedModel { manifest, model }));
+        ModelVersion(version)
+    }
+
+    /// The active version's entry — **the pinning primitive**. Callers
+    /// clone the `Arc` once at admission and keep serving from it; a
+    /// concurrent promote cannot change what the clone points at.
+    pub fn active(&self) -> Arc<VersionedModel> {
+        let inner = lock_unpoisoned(&self.inner);
+        // The active version always names an entry (promote/rollback
+        // validate before updating), so this lookup cannot miss; the
+        // unreachable fallback keeps the path panic-free regardless.
+        match inner.entries.get(&inner.active) {
+            Some(e) => Arc::clone(e),
+            None => match inner.entries.values().next() {
+                Some(e) => Arc::clone(e),
+                None => unreachable!("registry always holds at least one entry"),
+            },
+        }
+    }
+
+    /// The active version number.
+    pub fn active_version(&self) -> ModelVersion {
+        ModelVersion(lock_unpoisoned(&self.inner).active)
+    }
+
+    /// The previously active version (rollback target), when any swap has
+    /// happened.
+    pub fn previous_version(&self) -> Option<ModelVersion> {
+        lock_unpoisoned(&self.inner).previous.map(ModelVersion)
+    }
+
+    /// Resolves a wire version number: 0 means "the currently active
+    /// version", anything else must name a registered entry.
+    pub fn resolve(&self, version: u32) -> Result<Arc<VersionedModel>, RegistryError> {
+        if version == 0 {
+            return Ok(self.active());
+        }
+        let inner = lock_unpoisoned(&self.inner);
+        inner
+            .entries
+            .get(&version)
+            .map(Arc::clone)
+            .ok_or(RegistryError::UnknownVersion(version))
+    }
+
+    /// Atomically makes `version` the active one. In-flight work pinned to
+    /// the old version is unaffected; the old version becomes the rollback
+    /// target. Promoting the already-active version is a no-op (not a
+    /// counted swap). Promoting the shadow candidate clears the shadow
+    /// plan (it is no longer a candidate).
+    pub fn promote(&self, version: ModelVersion) -> Result<(), RegistryError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if !inner.entries.contains_key(&version.0) {
+            return Err(RegistryError::UnknownVersion(version.0));
+        }
+        if inner.active == version.0 {
+            return Ok(());
+        }
+        inner.previous = Some(inner.active);
+        inner.active = version.0;
+        if inner.shadow.map(|s| s.version) == Some(version.0) {
+            inner.shadow = None;
+        }
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Swaps back to the previously active version. Returns the version
+    /// now active.
+    pub fn rollback(&self) -> Result<ModelVersion, RegistryError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let Some(previous) = inner.previous else {
+            return Err(RegistryError::NoPreviousVersion);
+        };
+        if !inner.entries.contains_key(&previous) {
+            return Err(RegistryError::UnknownVersion(previous));
+        }
+        inner.previous = Some(inner.active);
+        inner.active = previous;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(ModelVersion(previous))
+    }
+
+    /// Completed promote/rollback swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Arms shadow serving: every `mirror_every`-th admission is mirrored
+    /// through `version` (clamped to at least 1 — every admission). The
+    /// deterministic cadence replaces random sampling so serving stays
+    /// RNG-free.
+    pub fn set_shadow(&self, version: ModelVersion, mirror_every: u32) -> Result<(), RegistryError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        if !inner.entries.contains_key(&version.0) {
+            return Err(RegistryError::UnknownVersion(version.0));
+        }
+        inner.shadow = Some(ShadowPlan {
+            version: version.0,
+            mirror_every: mirror_every.max(1),
+        });
+        Ok(())
+    }
+
+    /// Disarms shadow serving.
+    pub fn clear_shadow(&self) {
+        lock_unpoisoned(&self.inner).shadow = None;
+    }
+
+    /// The armed shadow plan, `(version, mirror_every)`.
+    pub fn shadow_plan(&self) -> Option<(ModelVersion, u32)> {
+        lock_unpoisoned(&self.inner)
+            .shadow
+            .map(|s| (ModelVersion(s.version), s.mirror_every))
+    }
+
+    /// Called once per admission: returns the shadow entry when this
+    /// admission is one of the mirrored every-Nth slice, else `None`.
+    pub fn shadow_pick(&self) -> Option<Arc<VersionedModel>> {
+        let inner = lock_unpoisoned(&self.inner);
+        let plan = inner.shadow?;
+        let n = self.shadow_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(u64::from(plan.mirror_every)) {
+            return None;
+        }
+        inner.entries.get(&plan.version).map(Arc::clone)
+    }
+
+    /// Every registered manifest, in version order.
+    pub fn manifests(&self) -> Vec<ModelManifest> {
+        lock_unpoisoned(&self.inner)
+            .entries
+            .values()
+            .map(|e| e.manifest.clone())
+            .collect()
+    }
+
+    /// Credits one served match into the refresh statistics collector (see
+    /// [`RefreshStats::observe`]).
+    pub fn observe(&self, net: &RoadNetwork, points: &[CellularPoint], segments: &[SegmentId]) {
+        lock_unpoisoned(&self.stats).observe(net, points, segments);
+    }
+
+    /// Folds an externally accumulated collector (e.g. a per-shard one)
+    /// into the registry's.
+    pub fn merge_stats(&self, other: &RefreshStats) {
+        lock_unpoisoned(&self.stats).merge(other);
+    }
+
+    /// A copy of the currently accumulated refresh statistics.
+    pub fn stats(&self) -> RefreshStats {
+        lock_unpoisoned(&self.stats).clone()
+    }
+
+    /// Takes the accumulated refresh statistics, leaving the collector
+    /// empty.
+    pub fn drain_stats(&self) -> RefreshStats {
+        std::mem::take(&mut *lock_unpoisoned(&self.stats))
+    }
+
+    /// Completed refreshes.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// The refresh entry point: drains the accumulated statistics, folds
+    /// them into a clone of the active model ([`LhmmModel::refreshed`])
+    /// and registers the result as a new candidate version whose parent is
+    /// the active version. The active version keeps serving unchanged;
+    /// promotion is a separate, explicit step. [`RegistryError::EmptyStats`]
+    /// when nothing has been observed (nothing is drained in that case).
+    pub fn refresh(&self, label: &str) -> Result<ModelVersion, RegistryError> {
+        let stats = self.drain_stats();
+        if stats.is_empty() {
+            return Err(RegistryError::EmptyStats);
+        }
+        let base = self.active();
+        let refreshed = base.model.refreshed(&stats.counts);
+        let version = self.register(refreshed, label, Some(base.version()));
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Serializes the manifest table (active version + every manifest) —
+    /// the durable record of what is deployed. Weights travel separately
+    /// via [`LhmmModel::save_weights`]; a loaded weight file is checked
+    /// against its manifest fingerprint by the caller.
+    pub fn manifest_bytes(&self) -> Vec<u8> {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.push(MANIFEST_VERSION);
+        buf.extend_from_slice(&inner.active.to_le_bytes());
+        buf.extend_from_slice(&(inner.entries.len() as u32).to_le_bytes());
+        for entry in inner.entries.values() {
+            let m = &entry.manifest;
+            buf.extend_from_slice(&m.version.0.to_le_bytes());
+            buf.extend_from_slice(&m.parent.map_or(0, |p| p.0).to_le_bytes());
+            buf.extend_from_slice(&m.fingerprint.to_le_bytes());
+            buf.extend_from_slice(&m.weight_bytes.to_le_bytes());
+            buf.extend_from_slice(&(m.label.len() as u32).to_le_bytes());
+            buf.extend_from_slice(m.label.as_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a manifest table serialized by
+    /// [`ModelRegistry::manifest_bytes`]: returns the recorded active
+    /// version and every manifest, in version order. Corrupt or truncated
+    /// bytes come back as typed [`RegistryError`]s, never panics.
+    pub fn decode_manifest(bytes: &[u8]) -> Result<(ModelVersion, Vec<ModelManifest>), RegistryError> {
+        let mut c = ManifestCursor { buf: bytes, at: 0 };
+        let magic = c.take(4)?;
+        if magic != MANIFEST_MAGIC {
+            return Err(RegistryError::BadMagic);
+        }
+        let version = c.take(1)?[0];
+        if version != MANIFEST_VERSION {
+            return Err(RegistryError::BadVersion(version));
+        }
+        let active = c.u32()?;
+        let count = c.u32()? as usize;
+        let mut manifests: Vec<ModelManifest> = Vec::with_capacity(count.min(4096));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..count {
+            let v = c.u32()?;
+            let parent = c.u32()?;
+            let fingerprint = c.u64()?;
+            let weight_bytes = c.u64()?;
+            let label_len = c.u32()? as usize;
+            if label_len > MAX_LABEL {
+                return Err(RegistryError::BadLabel);
+            }
+            let label = std::str::from_utf8(c.take(label_len)?)
+                .map_err(|_| RegistryError::BadLabel)?
+                .to_string();
+            if v == 0 {
+                return Err(RegistryError::Inconsistent("version 0 is reserved"));
+            }
+            if !seen.insert(v) {
+                return Err(RegistryError::Inconsistent("duplicate version"));
+            }
+            manifests.push(ModelManifest {
+                version: ModelVersion(v),
+                fingerprint,
+                weight_bytes,
+                parent: (parent != 0).then_some(ModelVersion(parent)),
+                label,
+            });
+        }
+        if c.at != bytes.len() {
+            return Err(RegistryError::TrailingBytes);
+        }
+        if !seen.contains(&active) {
+            return Err(RegistryError::Inconsistent("active version not listed"));
+        }
+        for m in &manifests {
+            if let Some(p) = m.parent {
+                if !seen.contains(&p.0) {
+                    return Err(RegistryError::Inconsistent("parent version not listed"));
+                }
+            }
+        }
+        Ok((ModelVersion(active), manifests))
+    }
+}
+
+struct ManifestCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ManifestCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RegistryError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(RegistryError::Truncated)?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, RegistryError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, RegistryError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lhmm::LhmmConfig;
+    use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+
+    fn cheap_model(ds: &Dataset, seed: u64) -> LhmmModel {
+        let mut cfg = LhmmConfig::fast_test(seed);
+        cfg.use_learned_obs = false;
+        cfg.use_learned_trans = false;
+        LhmmModel::train(ds, cfg)
+    }
+
+    fn registry() -> (Dataset, ModelRegistry) {
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(701));
+        let model = cheap_model(&ds, 701);
+        let reg = ModelRegistry::new(model, "seed");
+        (ds, reg)
+    }
+
+    #[test]
+    fn registration_promote_rollback_cycle() {
+        let (_, reg) = registry();
+        assert_eq!(reg.active_version(), ModelVersion(1));
+        assert_eq!(reg.previous_version(), None);
+        assert_eq!(reg.swap_count(), 0);
+
+        let mut variant = reg.active().model.clone();
+        variant.config.k = 3;
+        let v2 = reg.register(variant, "k3", Some(ModelVersion(1)));
+        assert_eq!(v2, ModelVersion(2));
+        // Registration does not swap.
+        assert_eq!(reg.active_version(), ModelVersion(1));
+
+        reg.promote(v2).expect("promote");
+        assert_eq!(reg.active_version(), ModelVersion(2));
+        assert_eq!(reg.previous_version(), Some(ModelVersion(1)));
+        assert_eq!(reg.swap_count(), 1);
+        assert_eq!(reg.active().model.config.k, 3);
+
+        // Re-promoting the active version is a no-op, not a swap.
+        reg.promote(v2).expect("idempotent promote");
+        assert_eq!(reg.swap_count(), 1);
+
+        let back = reg.rollback().expect("rollback");
+        assert_eq!(back, ModelVersion(1));
+        assert_eq!(reg.active_version(), ModelVersion(1));
+        assert_eq!(reg.previous_version(), Some(ModelVersion(2)));
+        assert_eq!(reg.swap_count(), 2);
+
+        assert_eq!(
+            reg.promote(ModelVersion(99)),
+            Err(RegistryError::UnknownVersion(99))
+        );
+        assert_eq!(reg.resolve(0).expect("active").version(), ModelVersion(1));
+        assert_eq!(reg.resolve(2).expect("v2").version(), ModelVersion(2));
+        assert!(matches!(reg.resolve(7), Err(RegistryError::UnknownVersion(7))));
+    }
+
+    #[test]
+    fn rollback_without_history_is_typed() {
+        let (_, reg) = registry();
+        assert_eq!(reg.rollback(), Err(RegistryError::NoPreviousVersion));
+    }
+
+    #[test]
+    fn shadow_pick_is_every_nth_and_never_leaks_without_a_plan() {
+        let (_, reg) = registry();
+        assert!(reg.shadow_pick().is_none());
+        let variant = reg.active().model.clone();
+        let v2 = reg.register(variant, "cand", None);
+        reg.set_shadow(v2, 3).expect("set shadow");
+        assert_eq!(reg.shadow_plan(), Some((v2, 3)));
+        let picks: Vec<bool> = (0..9).map(|_| reg.shadow_pick().is_some()).collect();
+        assert_eq!(
+            picks,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        // Promoting the shadow candidate clears the plan.
+        reg.promote(v2).expect("promote");
+        assert_eq!(reg.shadow_plan(), None);
+        assert!(reg.shadow_pick().is_none());
+        assert_eq!(
+            reg.set_shadow(ModelVersion(42), 1),
+            Err(RegistryError::UnknownVersion(42))
+        );
+    }
+
+    #[test]
+    fn observe_refresh_registers_a_derived_candidate() {
+        let (ds, reg) = registry();
+        assert_eq!(reg.refresh("r"), Err(RegistryError::EmptyStats));
+
+        let rec = &ds.train[0];
+        reg.observe(&ds.network, &rec.cellular.points, &rec.truth.segments);
+        reg.observe(&ds.network, &rec.cellular.points, &rec.truth.segments);
+        let stats = reg.stats();
+        assert!(!stats.is_empty());
+        assert_eq!(stats.observed_matches, 2);
+
+        // The observe rule is byte-for-byte the offline closest-point rule.
+        let seg = rec.truth.segments[0];
+        let mid = ds.network.segment_midpoint(seg);
+        let closest = rec
+            .cellular
+            .points
+            .iter()
+            .min_by(|a, b| a.pos.distance(mid).total_cmp(&b.pos.distance(mid)))
+            .expect("points");
+        assert!(stats.counts.get(&(closest.tower.0, seg.0)).copied() >= Some(2));
+
+        let before = reg.active().model.graph().co_count(closest.tower, seg);
+        let v = reg.refresh("refresh-1").expect("refresh");
+        assert_eq!(reg.refresh_count(), 1);
+        // Stats drained; refresh is not auto-promoted.
+        assert!(reg.stats().is_empty());
+        assert_eq!(reg.active_version(), ModelVersion(1));
+        let entry = reg.resolve(v.0).expect("candidate");
+        assert_eq!(entry.manifest.parent, Some(ModelVersion(1)));
+        assert_eq!(entry.manifest.label, "refresh-1");
+        let after = entry.model.graph().co_count(closest.tower, seg);
+        assert!(after >= before + 2.0, "co mass must grow: {before} -> {after}");
+        // Same neural weights, new statistics: the candidate's fingerprint
+        // must not collide with its parent's.
+        assert_ne!(
+            entry.manifest.fingerprint,
+            reg.active().manifest.fingerprint
+        );
+        // The served version's graph is untouched.
+        assert_eq!(
+            reg.active().model.graph().co_count(closest.tower, seg),
+            before
+        );
+    }
+
+    #[test]
+    fn refresh_stats_merge_is_commutative() {
+        let mut a = RefreshStats::default();
+        a.counts.insert((1, 2), 3);
+        a.counts.insert((4, 5), 1);
+        a.observed_matches = 2;
+        let mut b = RefreshStats::default();
+        b.counts.insert((1, 2), 1);
+        b.counts.insert((9, 9), 7);
+        b.observed_matches = 1;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counts.get(&(1, 2)), Some(&4));
+        assert_eq!(ab.observed_matches, 3);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_fingerprint_pin() {
+        let (_, reg) = registry();
+        let mut variant = reg.active().model.clone();
+        variant.config.k = 4;
+        let v2 = reg.register(variant, "variant", Some(ModelVersion(1)));
+        reg.promote(v2).expect("promote");
+
+        let bytes = reg.manifest_bytes();
+        let (active, manifests) =
+            ModelRegistry::decode_manifest(&bytes).expect("roundtrip");
+        assert_eq!(active, ModelVersion(2));
+        assert_eq!(manifests, reg.manifests());
+        // The fingerprint pins the persisted weights + co digest bit-exactly.
+        let weights = reg.active().model.save_weights();
+        let mut pinned = weights.clone();
+        pinned.extend(reg.active().model.graph().co_digest_bytes());
+        assert_eq!(
+            manifests[1].fingerprint,
+            lhmm_neural::persist::fingerprint64(&pinned)
+        );
+        assert_eq!(manifests[1].weight_bytes, weights.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_manifests_are_typed_errors() {
+        let (_, reg) = registry();
+        let bytes = reg.manifest_bytes();
+        assert_eq!(
+            ModelRegistry::decode_manifest(b"LH"),
+            Err(RegistryError::Truncated)
+        );
+        assert_eq!(
+            ModelRegistry::decode_manifest(b"XXXXXmore"),
+            Err(RegistryError::BadMagic)
+        );
+        let mut wrong = bytes.clone();
+        wrong[4] = 9;
+        assert_eq!(
+            ModelRegistry::decode_manifest(&wrong),
+            Err(RegistryError::BadVersion(9))
+        );
+        let mut cut = bytes.clone();
+        cut.truncate(bytes.len() - 2);
+        assert_eq!(
+            ModelRegistry::decode_manifest(&cut),
+            Err(RegistryError::Truncated)
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            ModelRegistry::decode_manifest(&long),
+            Err(RegistryError::TrailingBytes)
+        );
+    }
+}

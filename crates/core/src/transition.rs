@@ -77,6 +77,7 @@ impl Default for TransConfig {
 const N_EXPLICIT: usize = 3;
 
 /// The trained transition probability model.
+#[derive(Clone)]
 pub struct TransitionLearner {
     rel_store: ParamStore,
     fuse_store: ParamStore,

@@ -146,6 +146,11 @@ pub struct MatchStats {
     /// bit-identical, so this is provenance telemetry, not a result
     /// qualifier.
     pub kernel: &'static str,
+    /// Registry version of the model that served this match (0 when the
+    /// match ran outside a registry — offline training/eval paths). Set by
+    /// the serving layer at admission time, so a rollup exposes which
+    /// model version produced each verdict even across a hot swap.
+    pub model_version: u32,
 }
 
 impl MatchStats {
@@ -174,6 +179,11 @@ impl MatchStats {
         // the first so rollups over defaulted stats stay stable.
         if self.kernel.is_empty() {
             self.kernel = other.kernel;
+        }
+        // Version provenance: keep the first non-zero version seen, so a
+        // rollup over defaulted stats reports the version that served it.
+        if self.model_version == 0 {
+            self.model_version = other.model_version;
         }
     }
 

@@ -1,0 +1,137 @@
+//! Property tests for the registry manifest format (`b"LHMR"` v1).
+//!
+//! The manifest table is the durable record of what is deployed, so its
+//! decoder must uphold two contracts under arbitrary input: every valid
+//! table round-trips bit-exactly, and *nothing* — truncation, bit flips,
+//! random garbage — ever panics; corruption always comes back as a typed
+//! [`RegistryError`].
+//!
+//! The encoder here mirrors `ModelRegistry::manifest_bytes` field for
+//! field (the layout is a compatibility surface: a mismatch between this
+//! test and the registry is itself a bug worth failing on), which lets the
+//! round-trip property range over arbitrary tables instead of only tables
+//! a trained model can produce.
+
+use lhmm_core::registry::{ModelManifest, ModelRegistry, ModelVersion, RegistryError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Reference encoder: same layout as `ModelRegistry::manifest_bytes`.
+fn encode(active: u32, manifests: &[ModelManifest]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"LHMR");
+    buf.push(1u8);
+    buf.extend_from_slice(&active.to_le_bytes());
+    buf.extend_from_slice(&(manifests.len() as u32).to_le_bytes());
+    for m in manifests {
+        buf.extend_from_slice(&m.version.0.to_le_bytes());
+        buf.extend_from_slice(&m.parent.map_or(0, |p| p.0).to_le_bytes());
+        buf.extend_from_slice(&m.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&m.weight_bytes.to_le_bytes());
+        buf.extend_from_slice(&(m.label.len() as u32).to_le_bytes());
+        buf.extend_from_slice(m.label.as_bytes());
+    }
+    buf
+}
+
+const LABEL_CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ._/-";
+
+/// A structurally valid manifest table: unique nonzero versions in
+/// ascending order (the registry's BTreeMap iteration order), parents
+/// drawn from the listed versions, and an active version that is listed.
+fn valid_table() -> impl Strategy<Value = (u32, Vec<ModelManifest>)> {
+    (
+        vec(1u32..10_000, 1..16),
+        vec((0u64..u64::MAX, 0u64..u64::MAX), 16),
+        vec(vec(0usize..LABEL_CHARSET.len(), 0..48), 16),
+        vec((0usize..1_000_000, 0u32..4), 16),
+        0usize..1_000_000,
+    )
+        .prop_map(|(raw_versions, prints, labels, parents, active_pick)| {
+            let versions: Vec<u32> = raw_versions
+                .into_iter()
+                .collect::<BTreeSet<u32>>()
+                .into_iter()
+                .collect();
+            let manifests: Vec<ModelManifest> = versions
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ModelManifest {
+                    version: ModelVersion(v),
+                    fingerprint: prints[i].0,
+                    weight_bytes: prints[i].1,
+                    parent: (parents[i].1 != 0)
+                        .then(|| ModelVersion(versions[parents[i].0 % versions.len()])),
+                    label: labels[i]
+                        .iter()
+                        .map(|&c| LABEL_CHARSET[c] as char)
+                        .collect(),
+                })
+                .collect();
+            let active = versions[active_pick % versions.len()];
+            (active, manifests)
+        })
+}
+
+proptest! {
+    #[test]
+    fn valid_tables_roundtrip_bit_exactly((active, manifests) in valid_table()) {
+        let bytes = encode(active, &manifests);
+        let (got_active, got) = match ModelRegistry::decode_manifest(&bytes) {
+            Ok(pair) => pair,
+            Err(e) => return Err(TestCaseError::Fail(format!("valid table rejected: {e:?}"))),
+        };
+        prop_assert_eq!(got_active, ModelVersion(active));
+        prop_assert_eq!(got, manifests);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error((active, manifests) in valid_table()) {
+        // The encoding is minimal-length for its declared count, so no
+        // strict prefix can decode: it must fail, and fail typed.
+        let bytes = encode(active, &manifests);
+        for cut in 0..bytes.len() {
+            prop_assert!(ModelRegistry::decode_manifest(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(raw in vec(0u32..256, 0..256)) {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        // Any result is fine; reaching this line at all is the property.
+        let _ = ModelRegistry::decode_manifest(&bytes);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_and_never_forges_structure(
+        (active, manifests) in valid_table(),
+        at in 0usize..1_000_000,
+        flip in 1u32..256,
+    ) {
+        let mut bytes = encode(active, &manifests);
+        let at = at % bytes.len();
+        bytes[at] ^= flip as u8;
+        match ModelRegistry::decode_manifest(&bytes) {
+            // A flip in a fingerprint/size/label byte can still decode;
+            // the structural invariants must hold on whatever comes back.
+            Ok((got_active, got)) => {
+                let seen: BTreeSet<u32> = got.iter().map(|m| m.version.0).collect();
+                prop_assert_eq!(seen.len(), got.len(), "duplicate versions forged");
+                prop_assert!(seen.contains(&got_active.0), "active not listed");
+                for m in &got {
+                    if let Some(p) = m.parent {
+                        prop_assert!(seen.contains(&p.0), "dangling parent");
+                    }
+                }
+            }
+            Err(RegistryError::BadMagic)
+            | Err(RegistryError::BadVersion(_))
+            | Err(RegistryError::Truncated)
+            | Err(RegistryError::TrailingBytes)
+            | Err(RegistryError::BadLabel)
+            | Err(RegistryError::Inconsistent(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+}

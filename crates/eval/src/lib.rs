@@ -7,6 +7,8 @@
 //! * [`runner`] — trains/evaluates matchers over a dataset split and times
 //!   inference,
 //! * [`report`] — table formatting for the experiments binary,
+//! * [`versioned`] — per-model-version serving telemetry lanes (hot swap
+//!   and shadow A/B reporting),
 //! * [`gps_truth`] — the paper's §V-A1 GPS-based label derivation.
 //!
 //! ```no_run
@@ -31,7 +33,9 @@ pub mod histogram;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod versioned;
 
 pub use histogram::LatencyHistogram;
 pub use metrics::{evaluate_path, hitting_ratio, MatchQuality};
 pub use runner::{evaluate_lhmm_batch, evaluate_matcher, EvalReport};
+pub use versioned::{VersionLane, VersionTable};

@@ -1,0 +1,163 @@
+//! Per-model-version serving telemetry: one latency lane per registry
+//! version.
+//!
+//! Shadow A/B serving and hot swaps only make sense if reports can be
+//! sliced *by version*: which model served a verdict, at what latency,
+//! and — for mirrored shadow traffic — how often the candidate diverged.
+//! A [`VersionTable`] keeps one [`VersionLane`] per `model_version`
+//! (0 = outside-a-registry, filtered out at record time) and merges
+//! across workers and shards exactly like [`LatencyHistogram`] does:
+//! lanes are keyed in a `BTreeMap`, so merge order can never change a
+//! rendered report.
+
+use crate::histogram::LatencyHistogram;
+use std::collections::BTreeMap;
+
+/// Telemetry for one model version.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionLane {
+    /// Verdicts this version served (one-shot completions plus streaming
+    /// finishes pinned to it).
+    pub served: u64,
+    /// Shadow mirrors evaluated *on* this version (0 on the active lane).
+    pub shadow_served: u64,
+    /// Shadow mirrors whose verdict diverged from the active version's.
+    pub shadow_divergences: u64,
+    /// Service latency of this version's matches.
+    pub latency: LatencyHistogram,
+}
+
+impl VersionLane {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &VersionLane) {
+        self.served += other.served;
+        self.shadow_served += other.shadow_served;
+        self.shadow_divergences += other.shadow_divergences;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// A mergeable per-version telemetry table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionTable {
+    /// One lane per version number, in version order.
+    pub lanes: BTreeMap<u32, VersionLane>,
+}
+
+impl VersionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no version has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Records one served verdict for `version`. Version 0 (no registry)
+    /// is ignored — offline paths have no lane.
+    pub fn record_served(&mut self, version: u32, service_s: f64) {
+        if version == 0 {
+            return;
+        }
+        let lane = self.lanes.entry(version).or_default();
+        lane.served += 1;
+        lane.latency.record(service_s);
+    }
+
+    /// Records one served verdict for `version` without a latency sample
+    /// (streaming finishes, whose cost was already recorded per push).
+    pub fn record_finished(&mut self, version: u32) {
+        if version == 0 {
+            return;
+        }
+        self.lanes.entry(version).or_default().served += 1;
+    }
+
+    /// Records one shadow mirror evaluated on `version`.
+    pub fn record_shadow(&mut self, version: u32, service_s: f64, diverged: bool) {
+        if version == 0 {
+            return;
+        }
+        let lane = self.lanes.entry(version).or_default();
+        lane.shadow_served += 1;
+        if diverged {
+            lane.shadow_divergences += 1;
+        }
+        lane.latency.record(service_s);
+    }
+
+    /// Accumulates `other` into `self`, lane by lane. Exactly associative
+    /// and commutative (integer state + mergeable histograms under a
+    /// sorted key order).
+    pub fn merge(&mut self, other: &VersionTable) {
+        for (&version, lane) in &other.lanes {
+            self.lanes.entry(version).or_default().merge(lane);
+        }
+    }
+
+    /// Total verdicts served across every lane (shadow mirrors excluded).
+    pub fn total_served(&self) -> u64 {
+        self.lanes.values().map(|l| l.served).sum()
+    }
+
+    /// Renders one line per version for the serving report, e.g.
+    /// `  v2: served 17 | shadow 5 (div 1) | n=22 mean=…`.
+    pub fn render(&self, out: &mut String) {
+        for (version, lane) in &self.lanes {
+            out.push_str(&format!("  v{version}: served {}", lane.served));
+            if lane.shadow_served > 0 {
+                out.push_str(&format!(
+                    " | shadow {} (div {})",
+                    lane.shadow_served, lane.shadow_divergences
+                ));
+            }
+            out.push_str(&format!(" | {}\n", lane.latency.summary()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_render_by_version() {
+        let mut t = VersionTable::new();
+        assert!(t.is_empty());
+        t.record_served(0, 0.001); // no registry -> no lane
+        assert!(t.is_empty());
+        t.record_served(1, 0.001);
+        t.record_served(1, 0.002);
+        t.record_served(2, 0.004);
+        t.record_shadow(3, 0.003, true);
+        t.record_shadow(3, 0.003, false);
+        assert_eq!(t.total_served(), 3);
+        assert_eq!(t.lanes[&1].served, 2);
+        assert_eq!(t.lanes[&3].shadow_served, 2);
+        assert_eq!(t.lanes[&3].shadow_divergences, 1);
+        let mut s = String::new();
+        t.render(&mut s);
+        assert!(s.contains("v1: served 2"), "{s}");
+        assert!(s.contains("v3: served 0 | shadow 2 (div 1)"), "{s}");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_conserves_counts() {
+        let mut a = VersionTable::new();
+        a.record_served(1, 0.001);
+        a.record_served(2, 0.002);
+        let mut b = VersionTable::new();
+        b.record_served(2, 0.003);
+        b.record_shadow(3, 0.004, true);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_served(), 3);
+        assert_eq!(ab.lanes[&2].served, 2);
+        assert_eq!(ab.lanes[&2].latency.count(), 2);
+    }
+}

@@ -24,6 +24,7 @@ pub const RELATIONS: [Relation; 3] = [Relation::Co, Relation::Sq, Relation::Tp];
 /// Nodes use a unified index: towers occupy `[0, num_towers)` and segments
 /// `[num_towers, num_towers + num_segments)`. Adjacency is stored as
 /// *incoming* neighbor lists per node (the form message passing consumes).
+#[derive(Clone)]
 pub struct MultiRelGraph {
     /// Number of cell-tower nodes.
     pub num_towers: usize,
@@ -83,6 +84,23 @@ impl MultiRelGraph {
     /// Raw co-occurrence count between a tower and a segment.
     pub fn co_count(&self, t: TowerId, s: SegmentId) -> f32 {
         *self.co_counts.get(&(t.0, s.0)).unwrap_or(&0.0)
+    }
+
+    /// Deterministic byte encoding of the co-occurrence table (keys in
+    /// sorted order, weights as IEEE bits). Model manifests fold this into
+    /// their fingerprint so a refreshed candidate — identical neural
+    /// weights, different co-occurrence mass — is distinguishable from
+    /// its parent.
+    pub fn co_digest_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(&(u32, u32), &f32)> = self.co_counts.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        let mut bytes = Vec::with_capacity(entries.len() * 12);
+        for (&(t, s), w) in entries {
+            bytes.extend(t.to_le_bytes());
+            bytes.extend(s.to_le_bytes());
+            bytes.extend(w.to_bits().to_le_bytes());
+        }
+        bytes
     }
 
     /// Co-occurrence frequency: the fraction of the tower's co-occurrence
@@ -192,6 +210,42 @@ impl MultiRelGraph {
         }
 
         g
+    }
+
+    /// Folds freshly observed (tower, segment) co-occurrence counts into
+    /// the CO relation — the online-refresh path. Mirrors the CO fold of
+    /// [`MultiRelGraph::build`]: symmetric propagation edges, per-tower
+    /// mass, and the explicit count table all absorb the new weight.
+    /// Existing edges accumulate; unseen pairs gain a new edge. Iteration
+    /// is over a `BTreeMap`, so the fold is deterministic for a given
+    /// count multiset. Pairs referencing out-of-range towers or segments
+    /// are skipped (stale counters from a foreign topology must not
+    /// corrupt adjacency).
+    pub fn fold_co(&mut self, counts: &std::collections::BTreeMap<(u32, u32), u64>) {
+        for (&(t, s), &c) in counts {
+            if c == 0 || (t as usize) >= self.num_towers || (s as usize) >= self.num_segments {
+                continue;
+            }
+            let w = c as f32;
+            let t_node = t;
+            let s_node = self.segment_node(SegmentId(s)) as u32;
+            match self.co[s_node as usize]
+                .iter_mut()
+                .find(|(n, _)| *n == t_node)
+            {
+                Some((_, old)) => *old += w,
+                None => self.co[s_node as usize].push((t_node, w)),
+            }
+            match self.co[t_node as usize]
+                .iter_mut()
+                .find(|(n, _)| *n == s_node)
+            {
+                Some((_, old)) => *old += w,
+                None => self.co[t_node as usize].push((s_node, w)),
+            }
+            self.tower_co_total[t as usize] += w;
+            *self.co_counts.entry((t, s)).or_insert(0.0) += w;
+        }
     }
 
     /// Summary counts per relation `(co, sq, tp)` — directed edge totals.
@@ -316,6 +370,54 @@ mod tests {
                 .unwrap();
             assert!(g.co_count(closest.tower, seg) > 0.0);
         }
+    }
+
+    #[test]
+    fn fold_co_accumulates_and_grows_edges() {
+        let (ds, mut g) = build();
+        let (co_before, _, _) = g.edge_counts();
+        // An existing pair: pick one from a training record's closest-point
+        // rule so a CO edge certainly exists.
+        let rec = &ds.train[0];
+        let seg = rec.truth.segments[0];
+        let mid = ds.network.segment_midpoint(seg);
+        let closest = rec
+            .cellular
+            .points
+            .iter()
+            .min_by(|a, b| a.pos.distance(mid).total_cmp(&b.pos.distance(mid)))
+            .unwrap();
+        let t = closest.tower;
+        let before_count = g.co_count(t, seg);
+        let before_total = g.tower_co_total[t.idx()];
+        // An unseen pair for the same tower (a segment with zero count).
+        let fresh = ds
+            .network
+            .segment_ids()
+            .find(|&s| g.co_count(t, s) == 0.0)
+            .expect("some segment unseen by this tower");
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert((t.0, seg.0), 3u64);
+        counts.insert((t.0, fresh.0), 2u64);
+        // Out-of-range pairs must be ignored, not panic or corrupt.
+        counts.insert((u32::MAX, seg.0), 5u64);
+        counts.insert((t.0, u32::MAX), 5u64);
+        g.fold_co(&counts);
+        assert_eq!(g.co_count(t, seg), before_count + 3.0);
+        assert_eq!(g.co_count(t, fresh), 2.0);
+        assert_eq!(g.tower_co_total[t.idx()], before_total + 5.0);
+        let (co_after, _, _) = g.edge_counts();
+        // Exactly one new symmetric edge pair (the fresh segment).
+        assert_eq!(co_after, co_before + 2);
+        // The fresh segment now appears in the tower's CO adjacency.
+        assert!(g.co_segments(t).iter().any(|&(s, w)| s == fresh && w == 2.0));
+        // Frequencies still normalize.
+        let total: f32 = g
+            .co_segments(t)
+            .iter()
+            .map(|&(s, _)| g.co_frequency(t, s))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-5);
     }
 
     #[test]

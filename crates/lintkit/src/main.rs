@@ -20,6 +20,8 @@ MODES (default: report findings, exit 0)
                       BatchMatcher worker counts and compare result
                       fingerprints (scheduling-nondeterminism smoke test);
                       also re-runs with the SIMD kernel forced to scalar
+                      and replays the corpus through the serving scheduler
+                      with a model hot swap fired mid-run
     --kernels         print the SIMD kernel names this machine supports,
                       one per line (for CI loops over LHMM_KERNEL)
 
@@ -145,7 +147,7 @@ fn run_races_mode(seed: u64) -> ExitCode {
     let workers = (1usize, 4usize);
     let report = races::run_races(seed, workers);
     println!(
-        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x} scalar_kernel={:016x}",
+        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x} scalar_kernel={:016x} swap={:016x}/{:016x}",
         report.seed,
         report.cases,
         report.worker_counts.0,
@@ -155,9 +157,11 @@ fn run_races_mode(seed: u64) -> ExitCode {
         report.repeat_fingerprint,
         report.ch_fingerprint,
         report.scalar_kernel_fingerprint,
+        report.swap_fingerprints.0,
+        report.swap_fingerprints.1,
     );
     if report.deterministic() {
-        println!("lhmm-lint --races: deterministic across worker counts, SP backends, and kernels");
+        println!("lhmm-lint --races: deterministic across worker counts, SP backends, kernels, and mid-corpus swaps");
         ExitCode::SUCCESS
     } else {
         eprintln!("lhmm-lint --races: RESULT FINGERPRINTS DIVERGED — worker scheduling leaked into results");

@@ -13,6 +13,13 @@
 //! and a final run with the contraction-hierarchy backend pins
 //! SP-backend neutrality.
 //!
+//! A final pair of runs pushes the corpus through the serving scheduler
+//! with a model hot swap fired halfway through admissions, at the same
+//! two worker counts: the first half is pinned to v1, the second to a
+//! structurally different v2, and the fingerprints (which include each
+//! verdict's `model_version` stamp) must agree — any divergence means a
+//! swap leaked across the admission pin.
+//!
 //! The corpus is deliberately tiny (tens of trajectories on a toy city):
 //! this is a CI smoke test that runs in well under a second, not a
 //! substitute for `tests/batch_equivalence.rs`.
@@ -20,11 +27,16 @@
 use crate::engine::fnv1a64;
 use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
 use lhmm_cellsim::faults::AdversarialCorpus;
+use lhmm_cellsim::traj::CellularTrajectory;
 use lhmm_core::batch::{BatchConfig, BatchMatcher};
 use lhmm_core::error::MatchError;
-use lhmm_core::lhmm::{Lhmm, LhmmConfig};
+use lhmm_core::lhmm::{Lhmm, LhmmConfig, LhmmModel};
+use lhmm_core::registry::{ModelRegistry, ModelVersion};
 use lhmm_core::types::{MatchContext, MatchResult};
 use lhmm_network::backend::SpBackend;
+use lhmm_serve::{BatchPolicy, MicroBatcher, ServeCtx, ServeMetrics};
+use std::sync::Arc;
+use std::thread;
 
 /// Outcome of one races run.
 #[derive(Debug)]
@@ -44,6 +56,13 @@ pub struct RacesReport {
     /// count as the repeat run). Every dispatched kernel is pinned
     /// bitwise-equal to scalar, so this must match too.
     pub scalar_kernel_fingerprint: u64,
+    /// Fingerprints of the swap-mid-corpus serving runs at the two worker
+    /// counts: the first half of the corpus is admitted under v1, a hot
+    /// swap promotes v2, the second half is admitted under v2. The
+    /// fingerprint covers segments, candidate sets, typed errors, AND the
+    /// `model_version` stamp of each verdict, so they only agree when the
+    /// admission pin held at every schedule width.
+    pub swap_fingerprints: (u64, u64),
 }
 
 impl RacesReport {
@@ -53,6 +72,7 @@ impl RacesReport {
             && self.fingerprints.0 == self.repeat_fingerprint
             && self.fingerprints.0 == self.ch_fingerprint
             && self.fingerprints.0 == self.scalar_kernel_fingerprint
+            && self.swap_fingerprints.0 == self.swap_fingerprints.1
     }
 }
 
@@ -60,29 +80,95 @@ impl RacesReport {
 fn fingerprint(results: &[Result<MatchResult, MatchError>]) -> u64 {
     let mut bytes = Vec::new();
     for r in results {
-        match r {
-            Ok(m) => {
-                bytes.push(1u8);
-                bytes.extend((m.path.segments.len() as u64).to_le_bytes());
-                for s in &m.path.segments {
-                    bytes.extend((s.0 as u64).to_le_bytes());
-                }
-                if let Some(sets) = &m.candidate_sets {
-                    bytes.push(2u8);
-                    for set in sets {
-                        bytes.extend((set.len() as u64).to_le_bytes());
-                        for s in set {
-                            bytes.extend((s.0 as u64).to_le_bytes());
-                        }
+        fingerprint_verdict(&mut bytes, r);
+    }
+    fnv1a64(&bytes)
+}
+
+/// Appends one verdict's bytes (shared by the batch and serve runs).
+fn fingerprint_verdict(bytes: &mut Vec<u8>, r: &Result<MatchResult, MatchError>) {
+    match r {
+        Ok(m) => {
+            bytes.push(1u8);
+            bytes.extend((m.path.segments.len() as u64).to_le_bytes());
+            for s in &m.path.segments {
+                bytes.extend((s.0 as u64).to_le_bytes());
+            }
+            if let Some(sets) = &m.candidate_sets {
+                bytes.push(2u8);
+                for set in sets {
+                    bytes.extend((set.len() as u64).to_le_bytes());
+                    for s in set {
+                        bytes.extend((s.0 as u64).to_le_bytes());
                     }
                 }
             }
-            Err(MatchError::EmptyTrajectory) => bytes.push(10u8),
-            Err(MatchError::NoCandidates) => bytes.push(11u8),
-            Err(MatchError::LayerMismatch { .. }) => bytes.push(12u8),
-            Err(MatchError::EmptyLayer { .. }) => bytes.push(13u8),
         }
+        Err(MatchError::EmptyTrajectory) => bytes.push(10u8),
+        Err(MatchError::NoCandidates) => bytes.push(11u8),
+        Err(MatchError::LayerMismatch { .. }) => bytes.push(12u8),
+        Err(MatchError::EmptyLayer { .. }) => bytes.push(13u8),
     }
+}
+
+/// Pushes the corpus through the serving scheduler with a hot swap fired
+/// halfway through admissions: first half pinned to v1, second half to
+/// v2. Replies are collected in submission order and fingerprinted along
+/// with each verdict's `model_version` stamp, so the result only depends
+/// on worker count if a pin leaks across the swap.
+fn swap_run(
+    ctx: MatchContext<'_>,
+    trajs: &[CellularTrajectory],
+    v1: &LhmmModel,
+    v2: &LhmmModel,
+    workers: usize,
+) -> u64 {
+    let registry = ModelRegistry::new(v1.clone(), "races-v1");
+    let v2_version = registry.register(v2.clone(), "races-v2", Some(ModelVersion(1)));
+    let mut bytes = Vec::new();
+    thread::scope(|s| {
+        let batcher = MicroBatcher::start(
+            s,
+            ServeCtx {
+                ctx,
+                registry: &registry,
+                scope: None,
+            },
+            BatchPolicy {
+                max_batch: 4,
+                workers,
+                ..Default::default()
+            },
+            Arc::new(ServeMetrics::new()),
+        );
+        let half = trajs.len() / 2;
+        let mut receivers = Vec::with_capacity(trajs.len());
+        for (i, t) in trajs.iter().enumerate() {
+            if i == half {
+                // The swap: everything admitted before this line stays on
+                // v1; everything after is pinned to v2 at submit().
+                let promoted = registry.promote(v2_version);
+                assert!(promoted.is_ok(), "promote registered v2: {promoted:?}");
+            }
+            let Ok(rx) = batcher.submit(t.clone()) else {
+                unreachable!("queue capacity exceeds the smoke corpus")
+            };
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            // Lose-nothing drain: every admitted job answers its channel.
+            let Ok(reply) = rx.recv() else {
+                unreachable!("scheduler dropped a reply channel")
+            };
+            let (verdict, version) = match reply {
+                Ok((result, stats)) => (Ok(result), stats.model_version),
+                Err(e) => (Err(e), 0),
+            };
+            bytes.extend(version.to_le_bytes());
+            fingerprint_verdict(&mut bytes, &verdict);
+        }
+        batcher.drain();
+    });
     fnv1a64(&bytes)
 }
 
@@ -123,6 +209,20 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
         let _guard = lhmm_neural::kernel::force_scope(lhmm_neural::Kernel::Scalar);
         run_at(&lhmm, workers.0)
     };
+
+    // Swap-mid-corpus serving runs: v2 narrows the candidate budget so
+    // its verdicts genuinely differ from v1's — a leaked pin changes the
+    // fingerprint, not just a version stamp.
+    let mut cfg2 = LhmmConfig::fast_test(seed);
+    cfg2.use_learned_obs = false;
+    cfg2.use_learned_trans = false;
+    cfg2.k = cfg2.k.saturating_sub(1).max(1);
+    let v2 = LhmmModel::train(&ds, cfg2);
+    let swap_fingerprints = (
+        swap_run(ctx, &trajs, lhmm.model(), &v2, workers.0),
+        swap_run(ctx, &trajs, lhmm.model(), &v2, workers.1),
+    );
+
     lhmm.set_sp_backend(&ds.network, SpBackend::Ch);
     let ch_fingerprint = run_at(&lhmm, workers.0);
 
@@ -134,6 +234,7 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
         repeat_fingerprint,
         ch_fingerprint,
         scalar_kernel_fingerprint,
+        swap_fingerprints,
     }
 }
 

@@ -38,6 +38,19 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// 64-bit FNV-1a hash of a byte buffer — the weight fingerprint recorded
+/// in model-registry manifests. Stable across platforms (pure integer
+/// arithmetic over the serialized little-endian bytes), so two models
+/// fingerprint equal iff their persisted weights are byte-identical.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Serializes matrices into a byte buffer.
 pub struct Encoder {
     buf: Vec<u8>,

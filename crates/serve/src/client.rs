@@ -13,6 +13,7 @@ use crate::protocol::{
 };
 use lhmm_cellsim::traj::{CellularPoint, CellularTrajectory};
 use lhmm_core::error::MatchError;
+use lhmm_core::registry::ModelManifest;
 use lhmm_core::streaming::BeamState;
 use lhmm_network::graph::SegmentId;
 use std::fmt;
@@ -26,6 +27,24 @@ pub struct RouteReply {
     pub segments: Vec<SegmentId>,
     /// True when the server flagged the match as best-effort (degraded).
     pub degraded: bool,
+}
+
+/// The server's model-plane state as the client sees it (the reply to
+/// Swap/Shadow/Versions/Refresh requests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelsReply {
+    /// Version currently serving new admissions.
+    pub active: u32,
+    /// Version active before the last swap (0 when there is none).
+    pub previous: u32,
+    /// Shadow candidate version (0 when shadow mode is off).
+    pub shadow: u32,
+    /// Every `mirror_every`-th one-shot is mirrored to the shadow.
+    pub mirror_every: u32,
+    /// Version a Refresh just minted (0 when nothing was produced).
+    pub refreshed: u32,
+    /// Manifests of every registered version, in version order.
+    pub manifests: Vec<ModelManifest>,
 }
 
 /// Everything a service call can come back with besides a result.
@@ -112,9 +131,22 @@ impl ServeClient {
         }
     }
 
-    /// Opens (or reopens) the streaming session keyed `client`.
+    /// Opens (or reopens) the streaming session keyed `client`, pinned to
+    /// whatever model version is active at admission.
     pub fn open(&mut self, client: u64, lag: u32) -> Result<(), ClientError> {
-        match self.call(&Request::Open { client, lag })? {
+        self.open_versioned(client, lag, 0)
+    }
+
+    /// Opens a session pinned to an explicit registry `version` (0 means
+    /// "the active version"). An unknown version is shed with
+    /// [`RejectReason::Invalid`].
+    pub fn open_versioned(
+        &mut self,
+        client: u64,
+        lag: u32,
+        version: u32,
+    ) -> Result<(), ClientError> {
+        match self.call(&Request::Open { client, lag, version })? {
             Response::Pushed { .. } => Ok(()),
             Response::Reject(reason) => Err(ClientError::Rejected(reason)),
             Response::Failed(e) => Err(decode_failed(e)),
@@ -173,10 +205,17 @@ impl ServeClient {
     }
 
     /// Re-admits a captured session under `client` on the server,
-    /// replacing any existing session with the same key.
-    pub fn restore(&mut self, client: u64, state: &BeamState) -> Result<(), ClientError> {
+    /// replacing any existing session with the same key. `version` is the
+    /// session's original pin (0 = the destination's active version).
+    pub fn restore(
+        &mut self,
+        client: u64,
+        version: u32,
+        state: &BeamState,
+    ) -> Result<(), ClientError> {
         match self.call(&Request::Restore {
             client,
+            version,
             state: state.clone(),
         })? {
             Response::Pushed { .. } => Ok(()),
@@ -184,5 +223,75 @@ impl ServeClient {
             Response::Failed(e) => Err(decode_failed(e)),
             _ => Err(ClientError::Unexpected("non-ack reply to Restore")),
         }
+    }
+
+    fn expect_models(resp: Response, what: &'static str) -> Result<ModelsReply, ClientError> {
+        match resp {
+            Response::Models {
+                active,
+                previous,
+                shadow,
+                mirror_every,
+                refreshed,
+                manifests,
+            } => Ok(ModelsReply {
+                active,
+                previous,
+                shadow,
+                mirror_every,
+                refreshed,
+                manifests,
+            }),
+            Response::Reject(reason) => Err(ClientError::Rejected(reason)),
+            Response::Failed(e) => Err(decode_failed(e)),
+            _ => Err(ClientError::Unexpected(what)),
+        }
+    }
+
+    /// Promotes `version` to active (hot swap). In-flight work keeps the
+    /// version it was admitted under; only new admissions see the change.
+    pub fn swap(&mut self, version: u32) -> Result<ModelsReply, ClientError> {
+        let resp = self.call(&Request::Swap { version })?;
+        Self::expect_models(resp, "non-models reply to Swap")
+    }
+
+    /// Rolls back to the previously active version.
+    pub fn rollback(&mut self) -> Result<ModelsReply, ClientError> {
+        self.swap(0)
+    }
+
+    /// Mirrors every `mirror_every`-th one-shot through candidate
+    /// `version` (shadow A/B). Shadow verdicts never reach clients; they
+    /// only feed the per-version report lanes.
+    pub fn set_shadow(
+        &mut self,
+        version: u32,
+        mirror_every: u32,
+    ) -> Result<ModelsReply, ClientError> {
+        let resp = self.call(&Request::Shadow { version, mirror_every })?;
+        Self::expect_models(resp, "non-models reply to Shadow")
+    }
+
+    /// Turns shadow mode off.
+    pub fn clear_shadow(&mut self) -> Result<ModelsReply, ClientError> {
+        let resp = self.call(&Request::Shadow {
+            version: 0,
+            mirror_every: 0,
+        })?;
+        Self::expect_models(resp, "non-models reply to Shadow")
+    }
+
+    /// Lists every registered model version with its manifest.
+    pub fn versions(&mut self) -> Result<ModelsReply, ClientError> {
+        let resp = self.call(&Request::Versions)?;
+        Self::expect_models(resp, "non-models reply to Versions")
+    }
+
+    /// Folds the accumulated refresh statistics into a new candidate
+    /// version (not promoted). `refreshed` in the reply is 0 when no
+    /// statistics had accumulated.
+    pub fn refresh(&mut self) -> Result<ModelsReply, ClientError> {
+        let resp = self.call(&Request::Refresh)?;
+        Self::expect_models(resp, "non-models reply to Refresh")
     }
 }

@@ -48,6 +48,7 @@ use crate::protocol::{
 use crate::scheduler::ServeCtx;
 use crate::server::{ServeConfig, ServerHandle};
 use lhmm_cellsim::traj::CellularPoint;
+use lhmm_core::registry::{ModelRegistry, ModelVersion, RegistryError};
 use lhmm_geo::Point;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::spatial::SpatialIndex;
@@ -293,6 +294,11 @@ struct SessionEntry {
     tile: Option<usize>,
     /// Fixed lag requested at `Open`, replayed on shard-side opens.
     lag: u32,
+    /// Model version the session was pinned to at router admission,
+    /// resolved to a concrete number (never 0) so handoffs, replays, and
+    /// restarted shards all re-open under the *original* pin even if the
+    /// active version swapped since — one session, one version, always.
+    version: u32,
     /// Every accepted push since `Open`, in order. The beam state is a
     /// pure function of this sequence, so replaying it onto a fresh shard
     /// rebuilds the session byte-exactly. Failed pushes are not recorded
@@ -303,6 +309,11 @@ struct SessionEntry {
 struct RouterShared<'scope, 'env> {
     topology: &'env ClusterTopology,
     supervisor: Supervisor<'scope, 'env>,
+    /// The cluster-wide registry all shards share. Model-plane requests
+    /// (swap/shadow/refresh) act on it once, here — every shard observes
+    /// the change atomically, so shards can never disagree on the active
+    /// version.
+    registry: &'env ModelRegistry,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
     /// Router-plane metrics: sheds the router itself issues (shards never
     /// see those requests, so merging with shard reports double-counts
@@ -369,7 +380,12 @@ impl RouterShared<'_, '_> {
         tile: usize,
     ) -> Result<(), RejectReason> {
         entry.tile = None;
-        match self.rpc(tile, &Request::Open { client, lag: entry.lag }) {
+        let open = Request::Open {
+            client,
+            lag: entry.lag,
+            version: entry.version,
+        };
+        match self.rpc(tile, &open) {
             Some(Response::Pushed { .. }) => {}
             Some(Response::Reject(r)) => return Err(r),
             _ => return Err(RejectReason::ShuttingDown),
@@ -403,7 +419,12 @@ impl RouterShared<'_, '_> {
             Some(t) if t == target => Ok(()),
             Some(old) => match self.rpc(old, &Request::Snapshot { client }) {
                 Some(Response::State { state }) => {
-                    match self.rpc(target, &Request::Restore { client, state }) {
+                    let restore = Request::Restore {
+                        client,
+                        version: entry.version,
+                        state,
+                    };
+                    match self.rpc(target, &restore) {
                         Some(Response::Pushed { .. }) => {
                             self.handoffs.fetch_add(1, Ordering::Relaxed);
                             entry.tile = Some(target);
@@ -450,7 +471,18 @@ impl RouterShared<'_, '_> {
                     }
                 }
             }
-            Request::Open { client, lag } => {
+            Request::Open { client, lag, version } => {
+                // Pin at router admission: resolve 0 to the concrete
+                // active version NOW, so every shard-side open/replay/
+                // restore for this session carries the same explicit pin
+                // regardless of later swaps.
+                let resolved = match self.registry.resolve(version) {
+                    Ok(pin) => pin.manifest.version.0,
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        return Response::Reject(RejectReason::Invalid);
+                    }
+                };
                 let mut sessions = lock_unpoisoned(&self.sessions);
                 if let Some(entry) = sessions.get(&client) {
                     // Mirror single-process reopen semantics: the previous
@@ -464,6 +496,7 @@ impl RouterShared<'_, '_> {
                     SessionEntry {
                         tile: None,
                         lag,
+                        version: resolved,
                         journal: Vec::new(),
                     },
                 );
@@ -533,12 +566,76 @@ impl RouterShared<'_, '_> {
                 let sessions = lock_unpoisoned(&self.sessions).len() as u32;
                 Response::Pong { sessions }
             }
+            // Model plane: one registry serves every shard, so acting on
+            // it here swaps the whole cluster atomically — no shard can
+            // admit on the old version once the promote returns.
+            Request::Swap { version } => {
+                let swapped = if version == 0 {
+                    self.registry.rollback().map(|_| ())
+                } else {
+                    self.registry.promote(ModelVersion(version))
+                };
+                match swapped {
+                    Ok(()) => {
+                        self.metrics.on_model_swap();
+                        self.models_response(0)
+                    }
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
+            Request::Shadow { version, mirror_every } => {
+                if version == 0 {
+                    self.registry.clear_shadow();
+                    return self.models_response(0);
+                }
+                match self.registry.set_shadow(ModelVersion(version), mirror_every) {
+                    Ok(()) => self.models_response(0),
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
+            Request::Versions => self.models_response(0),
+            Request::Refresh => {
+                let label = format!("refresh-{}", self.registry.refresh_count() + 1);
+                match self.registry.refresh(&label) {
+                    Ok(version) => {
+                        self.metrics.on_model_refresh();
+                        self.models_response(version.0)
+                    }
+                    Err(RegistryError::EmptyStats) => self.models_response(0),
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
             // Snapshot/Restore are the internal shard plane; on the public
             // plane they are a protocol misuse.
             Request::Snapshot { .. } | Request::Restore { .. } => {
                 self.metrics.on_rejected(RejectReason::Invalid);
                 Response::Reject(RejectReason::Invalid)
             }
+        }
+    }
+
+    /// Same shape as the single-process server's model-plane answer.
+    fn models_response(&self, refreshed: u32) -> Response {
+        let (shadow, mirror_every) = match self.registry.shadow_plan() {
+            Some((v, n)) => (v.0, n),
+            None => (0, 0),
+        };
+        Response::Models {
+            active: self.registry.active_version().0,
+            previous: self.registry.previous_version().map_or(0, |v| v.0),
+            shadow,
+            mirror_every,
+            refreshed,
+            manifests: self.registry.manifests(),
         }
     }
 
@@ -628,6 +725,7 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
         let shared = Arc::new(RouterShared {
             topology,
             supervisor,
+            registry: serve.registry,
             sessions: Mutex::new(HashMap::new()),
             metrics: Arc::new(ServeMetrics::new()),
             shutting_down: AtomicBool::new(false),

@@ -23,6 +23,13 @@
 //! it together and guarantees graceful drain: stop admissions, flush every
 //! admitted request, finalize sessions, join all threads, report metrics
 //! ([`metrics`]).
+//!
+//! Model versioning (ISSUE 9): every server runs against a
+//! [`ModelRegistry`](lhmm_core::registry::ModelRegistry). Work is pinned
+//! to the active version at admission; hot swaps only affect later
+//! admissions, shadow mode mirrors a fraction of one-shots through a
+//! candidate version, and reports slice latency by version
+//! ([`lhmm_eval::versioned`]).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -38,10 +45,10 @@ pub mod server;
 pub mod session;
 
 pub use admission::{BoundedQueue, PushError, RejectReason};
-pub use client::{ClientError, RouteReply, ServeClient};
+pub use client::{ClientError, ModelsReply, RouteReply, ServeClient};
 pub use cluster::{ClusterConfig, ClusterHandle, ClusterReport, ClusterTopology};
 pub use metrics::{ServeMetrics, ServeReport};
 pub use protocol::{Request, Response, WireError, WireMatchError, MAX_FRAME};
 pub use scheduler::{BatchPolicy, MatchReply, MicroBatcher, ServeCtx};
 pub use server::{ServeConfig, ServerHandle};
-pub use session::{SessionManager, SessionPolicy};
+pub use session::{SessionFinish, SessionManager, SessionPolicy};

@@ -11,6 +11,7 @@ use crate::admission::{lock_unpoisoned, RejectReason};
 use lhmm_core::types::MatchStats;
 use lhmm_eval::histogram::LatencyHistogram;
 use lhmm_eval::report::latency_table;
+use lhmm_eval::versioned::VersionTable;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -48,8 +49,18 @@ pub struct ServeMetrics {
     sessions_exported: AtomicU64,
     /// Sessions re-admitted from a handed-off snapshot.
     sessions_imported: AtomicU64,
+    /// Model hot swaps (promote/rollback) executed through this server.
+    model_swaps: AtomicU64,
+    /// Model refreshes executed through this server.
+    model_refreshes: AtomicU64,
+    /// Shadow mirrors evaluated on a candidate version.
+    shadow_served: AtomicU64,
+    /// Shadow mirrors whose verdict diverged from the active version's.
+    shadow_divergences: AtomicU64,
     /// Latency histograms (seconds).
     hist: Mutex<Histograms>,
+    /// Per-model-version serving lanes (hot swap / shadow A/B slicing).
+    versions: Mutex<VersionTable>,
 }
 
 #[derive(Default)]
@@ -101,6 +112,35 @@ impl ServeMetrics {
         h.service.record(service_s);
         h.stage_candidates.record(stats.candidate_time_s);
         h.stage_viterbi.record(stats.viterbi_time_s);
+        drop(h);
+        lock_unpoisoned(&self.versions).record_served(stats.model_version, service_s);
+    }
+
+    /// Counts one model hot swap (promote or rollback) this server executed.
+    pub fn on_model_swap(&self) {
+        self.model_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one model refresh this server executed.
+    pub fn on_model_refresh(&self) {
+        self.model_refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shadow mirror evaluated on candidate `version`:
+    /// its service time and whether its verdict diverged from the active
+    /// version's.
+    pub fn on_shadow(&self, version: u32, service_s: f64, diverged: bool) {
+        self.shadow_served.fetch_add(1, Ordering::Relaxed);
+        if diverged {
+            self.shadow_divergences.fetch_add(1, Ordering::Relaxed);
+        }
+        lock_unpoisoned(&self.versions).record_shadow(version, service_s, diverged);
+    }
+
+    /// Records a streaming finish's verdict into its pinned version's lane
+    /// (per-push latency was already recorded, so no latency sample here).
+    pub fn on_version_finished(&self, version: u32) {
+        lock_unpoisoned(&self.versions).record_finished(version);
     }
 
     /// Counts a reply whose client had already gone away.
@@ -179,6 +219,11 @@ impl ServeMetrics {
             stream_pushes: self.stream_pushes.load(Ordering::Relaxed),
             sessions_exported: self.sessions_exported.load(Ordering::Relaxed),
             sessions_imported: self.sessions_imported.load(Ordering::Relaxed),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+            model_refreshes: self.model_refreshes.load(Ordering::Relaxed),
+            shadow_served: self.shadow_served.load(Ordering::Relaxed),
+            shadow_divergences: self.shadow_divergences.load(Ordering::Relaxed),
+            versions: lock_unpoisoned(&self.versions).clone(),
             queue_wait: h.queue_wait.clone(),
             service: h.service.clone(),
             stage_candidates: h.stage_candidates.clone(),
@@ -225,6 +270,16 @@ pub struct ServeReport {
     pub sessions_exported: u64,
     /// Sessions re-admitted from handoff snapshots.
     pub sessions_imported: u64,
+    /// Model hot swaps (promote/rollback) executed.
+    pub model_swaps: u64,
+    /// Model refreshes executed.
+    pub model_refreshes: u64,
+    /// Shadow mirrors evaluated on a candidate version.
+    pub shadow_served: u64,
+    /// Shadow mirrors whose verdict diverged from the active version's.
+    pub shadow_divergences: u64,
+    /// Per-model-version serving lanes.
+    pub versions: VersionTable,
     /// Admission-to-dequeue wait.
     pub queue_wait: LatencyHistogram,
     /// Worker service time per one-shot request.
@@ -288,6 +343,11 @@ impl ServeReport {
         self.stream_pushes += other.stream_pushes;
         self.sessions_exported += other.sessions_exported;
         self.sessions_imported += other.sessions_imported;
+        self.model_swaps += other.model_swaps;
+        self.model_refreshes += other.model_refreshes;
+        self.shadow_served += other.shadow_served;
+        self.shadow_divergences += other.shadow_divergences;
+        self.versions.merge(&other.versions);
         self.queue_wait.merge(&other.queue_wait);
         self.service.merge(&other.service);
         self.stage_candidates.merge(&other.stage_candidates);
@@ -337,6 +397,19 @@ impl ServeReport {
             self.sessions_exported,
             self.sessions_imported,
         );
+        if self.model_swaps + self.model_refreshes + self.shadow_served > 0
+            || !self.versions.is_empty()
+        {
+            let _ = writeln!(
+                out,
+                "models:   swaps {} | refreshes {} | shadow {} (div {})",
+                self.model_swaps,
+                self.model_refreshes,
+                self.shadow_served,
+                self.shadow_divergences,
+            );
+            self.versions.render(&mut out);
+        }
         out.push_str(&latency_table(
             "latency",
             &[
@@ -385,6 +458,40 @@ mod tests {
         assert!(text.contains("serving report"));
         assert!(text.contains("queue_full 2"));
         assert!(text.contains("stage:viterbi"));
+    }
+
+    #[test]
+    fn version_lanes_slice_by_model_version() {
+        let m = ServeMetrics::new();
+        let mut stats = MatchStats {
+            model_version: 1,
+            ..Default::default()
+        };
+        m.on_completed(0.001, 0.002, &stats);
+        stats.model_version = 2;
+        m.on_completed(0.001, 0.003, &stats);
+        m.on_version_finished(2);
+        m.on_shadow(3, 0.004, true);
+        m.on_model_swap();
+        m.on_model_refresh();
+        let r = m.snapshot(0, 0);
+        assert_eq!(r.model_swaps, 1);
+        assert_eq!(r.model_refreshes, 1);
+        assert_eq!(r.shadow_served, 1);
+        assert_eq!(r.shadow_divergences, 1);
+        assert_eq!(r.versions.lanes[&1].served, 1);
+        assert_eq!(r.versions.lanes[&2].served, 2);
+        assert_eq!(r.versions.lanes[&3].shadow_served, 1);
+        let text = r.render();
+        assert!(text.contains("swaps 1 | refreshes 1 | shadow 1 (div 1)"), "{text}");
+        assert!(text.contains("v2: served 2"), "{text}");
+
+        // Lanes merge across shards like every other counter.
+        let mut r2 = r.clone();
+        r2.merge(&r);
+        assert_eq!(r2.versions.lanes[&2].served, 4);
+        assert_eq!(r2.model_swaps, 2);
+        assert_eq!(r2.shadow_divergences, 2);
     }
 
     #[test]

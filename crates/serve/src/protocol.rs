@@ -9,12 +9,16 @@
 //!
 //! client → server
 //!   0x01 ONESHOT  body := traj
-//!   0x02 OPEN     body := client:u64le  lag:u32le
+//!   0x02 OPEN     body := client:u64le  lag:u32le  version:u32le
 //!   0x03 PUSH     body := client:u64le  point
 //!   0x04 FINISH   body := client:u64le
 //!   0x05 PING     body := (empty)               (cluster health plane)
 //!   0x06 SNAPSHOT body := client:u64le          (capture + evict session)
-//!   0x07 RESTORE  body := client:u64le  state   (re-admit a session)
+//!   0x07 RESTORE  body := client:u64le  version:u32le  state
+//!   0x08 SWAP     body := version:u32le         (0 = rollback)
+//!   0x09 SHADOW   body := version:u32le  mirror_every:u32le  (version 0 = off)
+//!   0x0A VERSIONS body := (empty)               (registry listing)
+//!   0x0B REFRESH  body := (empty)               (fold stats, register candidate)
 //!
 //! server → client
 //!   0x81 ROUTE    body := degraded:u8  n:u32le  n × seg:u32le
@@ -23,6 +27,16 @@
 //!   0x84 FAILED   body := code:u8  a:u32le  b:u32le  (typed MatchError)
 //!   0x85 PONG     body := sessions:u32le
 //!   0x86 STATE    body := state
+//!   0x87 MODELS   body := active:u32le  previous:u32le  shadow:u32le
+//!                         mirror_every:u32le  refreshed:u32le
+//!                         n:u32le  n × manifest
+//!
+//! manifest := version:u32le  parent:u32le  fingerprint:u64le
+//!             weight_bytes:u64le  label_len:u32le  label (utf-8)
+//!
+//! The model plane (OPEN/RESTORE version fields, SWAP/SHADOW/VERSIONS/
+//! REFRESH and MODELS) uses 0 as the "currently active version" / "none"
+//! sentinel throughout — real registry versions start at 1.
 //!
 //! point := tower:u32le  x:f64le  y:f64le  t:f64le
 //!          smoothed:u8  [sx:f64le  sy:f64le]   (present iff smoothed = 1)
@@ -48,6 +62,7 @@ use crate::admission::RejectReason;
 use lhmm_cellsim::tower::TowerId;
 use lhmm_cellsim::traj::{CellularPoint, CellularTrajectory};
 use lhmm_core::error::{Degradation, MatchError};
+use lhmm_core::registry::{ModelManifest, ModelVersion};
 use lhmm_core::streaming::BeamState;
 use lhmm_core::types::Candidate;
 use lhmm_geo::Point;
@@ -109,6 +124,10 @@ pub enum Request {
         client: u64,
         /// Fixed commit lag in observations.
         lag: u32,
+        /// Registry model version to pin the session to; 0 pins whatever
+        /// is active at admission. The session serves this version until
+        /// it finishes, across any number of hot swaps.
+        version: u32,
     },
     /// Feed one observation into `client`'s streaming session.
     Push {
@@ -137,9 +156,37 @@ pub enum Request {
     Restore {
         /// Session key.
         client: u64,
+        /// Registry model version the session was pinned to (0 = pin the
+        /// active version on re-admission). Carrying the explicit version
+        /// across handoffs is what keeps a session on one model even when
+        /// it migrates between shards mid-swap.
+        version: u32,
         /// The captured session state.
         state: BeamState,
     },
+    /// Atomically swap the active model version: promote `version`, or
+    /// roll back to the previous version when `version` is 0. Answered
+    /// with [`Response::Models`].
+    Swap {
+        /// Version to promote; 0 requests a rollback.
+        version: u32,
+    },
+    /// Arm (or disarm) shadow A/B serving: mirror every `mirror_every`-th
+    /// one-shot admission through candidate `version`; `version` 0
+    /// disarms. Answered with [`Response::Models`].
+    Shadow {
+        /// Candidate version to mirror through; 0 disarms.
+        version: u32,
+        /// Mirror cadence (every Nth admission; clamped to ≥ 1).
+        mirror_every: u32,
+    },
+    /// List the model registry. Answered with [`Response::Models`].
+    Versions,
+    /// Drain the accumulated refresh statistics into a re-derived model,
+    /// registered as a new candidate version (not promoted). Answered
+    /// with [`Response::Models`]; `refreshed` is 0 when no statistics had
+    /// accumulated.
+    Refresh,
 }
 
 /// Compact wire form of a [`MatchError`] (code + two operands).
@@ -221,6 +268,22 @@ pub enum Response {
         /// The captured session state.
         state: BeamState,
     },
+    /// A registry snapshot (answer to the model-plane requests).
+    Models {
+        /// The active version.
+        active: u32,
+        /// The rollback target (0 = none recorded yet).
+        previous: u32,
+        /// The armed shadow candidate (0 = shadow off).
+        shadow: u32,
+        /// Shadow mirror cadence (0 when shadow is off).
+        mirror_every: u32,
+        /// Version a just-run refresh registered (0 on listings, swaps,
+        /// and refreshes that found no statistics).
+        refreshed: u32,
+        /// Every registered manifest, in version order.
+        manifests: Vec<ModelManifest>,
+    },
 }
 
 const TAG_ONESHOT: u8 = 0x01;
@@ -230,12 +293,20 @@ const TAG_FINISH: u8 = 0x04;
 const TAG_PING: u8 = 0x05;
 const TAG_SNAPSHOT: u8 = 0x06;
 const TAG_RESTORE: u8 = 0x07;
+const TAG_SWAP: u8 = 0x08;
+const TAG_SHADOW: u8 = 0x09;
+const TAG_VERSIONS: u8 = 0x0a;
+const TAG_REFRESH: u8 = 0x0b;
 const TAG_ROUTE: u8 = 0x81;
 const TAG_PUSHED: u8 = 0x82;
 const TAG_REJECT: u8 = 0x83;
 const TAG_FAILED: u8 = 0x84;
 const TAG_PONG: u8 = 0x85;
 const TAG_STATE: u8 = 0x86;
+const TAG_MODELS: u8 = 0x87;
+
+/// Decoding bound on manifest labels (matches the registry's own cap).
+const MAX_WIRE_LABEL: usize = 4096;
 
 // ---- encoding helpers ------------------------------------------------
 
@@ -497,10 +568,11 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError
                 put_point(&mut buf, p);
             }
         }
-        Request::Open { client, lag } => {
+        Request::Open { client, lag, version } => {
             buf.push(TAG_OPEN);
             put_u64(&mut buf, *client);
             put_u32(&mut buf, *lag);
+            put_u32(&mut buf, *version);
         }
         Request::Push { client, point } => {
             buf.push(TAG_PUSH);
@@ -516,12 +588,31 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError
             buf.push(TAG_SNAPSHOT);
             put_u64(&mut buf, *client);
         }
-        Request::Restore { client, state } => {
+        Request::Restore {
+            client,
+            version,
+            state,
+        } => {
             state.validate().map_err(|e| WireError::Malformed(e.0))?;
             buf.push(TAG_RESTORE);
             put_u64(&mut buf, *client);
+            put_u32(&mut buf, *version);
             put_beam_state(&mut buf, state);
         }
+        Request::Swap { version } => {
+            buf.push(TAG_SWAP);
+            put_u32(&mut buf, *version);
+        }
+        Request::Shadow {
+            version,
+            mirror_every,
+        } => {
+            buf.push(TAG_SHADOW);
+            put_u32(&mut buf, *version);
+            put_u32(&mut buf, *mirror_every);
+        }
+        Request::Versions => buf.push(TAG_VERSIONS),
+        Request::Refresh => buf.push(TAG_REFRESH),
     }
     write_frame(w, &buf)
 }
@@ -545,6 +636,7 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Request, WireError> {
         TAG_OPEN => Request::Open {
             client: c.u64()?,
             lag: c.u32()?,
+            version: c.u32()?,
         },
         TAG_PUSH => Request::Push {
             client: c.u64()?,
@@ -555,8 +647,16 @@ pub fn read_request<R: Read>(r: &mut R) -> Result<Request, WireError> {
         TAG_SNAPSHOT => Request::Snapshot { client: c.u64()? },
         TAG_RESTORE => Request::Restore {
             client: c.u64()?,
+            version: c.u32()?,
             state: read_beam_state(&mut c)?,
         },
+        TAG_SWAP => Request::Swap { version: c.u32()? },
+        TAG_SHADOW => Request::Shadow {
+            version: c.u32()?,
+            mirror_every: c.u32()?,
+        },
+        TAG_VERSIONS => Request::Versions,
+        TAG_REFRESH => Request::Refresh,
         _ => return Err(WireError::Malformed("unknown request tag")),
     };
     c.finish()?;
@@ -597,6 +697,33 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), WireEr
             state.validate().map_err(|e| WireError::Malformed(e.0))?;
             buf.push(TAG_STATE);
             put_beam_state(&mut buf, state);
+        }
+        Response::Models {
+            active,
+            previous,
+            shadow,
+            mirror_every,
+            refreshed,
+            manifests,
+        } => {
+            buf.push(TAG_MODELS);
+            put_u32(&mut buf, *active);
+            put_u32(&mut buf, *previous);
+            put_u32(&mut buf, *shadow);
+            put_u32(&mut buf, *mirror_every);
+            put_u32(&mut buf, *refreshed);
+            put_u32(&mut buf, manifests.len() as u32);
+            for m in manifests {
+                if m.label.len() > MAX_WIRE_LABEL {
+                    return Err(WireError::Malformed("manifest label too long"));
+                }
+                put_u32(&mut buf, m.version.0);
+                put_u32(&mut buf, m.parent.map_or(0, |p| p.0));
+                put_u64(&mut buf, m.fingerprint);
+                put_u64(&mut buf, m.weight_bytes);
+                put_u32(&mut buf, m.label.len() as u32);
+                buf.extend_from_slice(m.label.as_bytes());
+            }
         }
     }
     write_frame(w, &buf)
@@ -640,6 +767,43 @@ pub fn read_response<R: Read>(r: &mut R) -> Result<Response, WireError> {
         TAG_STATE => Response::State {
             state: read_beam_state(&mut c)?,
         },
+        TAG_MODELS => {
+            let active = c.u32()?;
+            let previous = c.u32()?;
+            let shadow = c.u32()?;
+            let mirror_every = c.u32()?;
+            let refreshed = c.u32()?;
+            let n = c.u32()? as usize;
+            let mut manifests = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let version = c.u32()?;
+                let parent = c.u32()?;
+                let fingerprint = c.u64()?;
+                let weight_bytes = c.u64()?;
+                let label_len = c.u32()? as usize;
+                if label_len > MAX_WIRE_LABEL {
+                    return Err(WireError::Malformed("manifest label too long"));
+                }
+                let label = std::str::from_utf8(c.take(label_len)?)
+                    .map_err(|_| WireError::Malformed("manifest label not utf-8"))?
+                    .to_string();
+                manifests.push(ModelManifest {
+                    version: ModelVersion(version),
+                    parent: (parent != 0).then_some(ModelVersion(parent)),
+                    fingerprint,
+                    weight_bytes,
+                    label,
+                });
+            }
+            Response::Models {
+                active,
+                previous,
+                shadow,
+                mirror_every,
+                refreshed,
+                manifests,
+            }
+        }
         _ => return Err(WireError::Malformed("unknown response tag")),
     };
     c.finish()?;
@@ -701,8 +865,16 @@ mod tests {
             other => panic!("wrong variant: {other:?}"),
         }
         assert!(matches!(
-            roundtrip_request(Request::Open { client: 42, lag: 3 }),
-            Request::Open { client: 42, lag: 3 }
+            roundtrip_request(Request::Open {
+                client: 42,
+                lag: 3,
+                version: 2
+            }),
+            Request::Open {
+                client: 42,
+                lag: 3,
+                version: 2
+            }
         ));
         let push = Request::Push {
             client: u64::MAX,
@@ -822,10 +994,16 @@ mod tests {
         state.validate().expect("sample state valid");
         match roundtrip_request(Request::Restore {
             client: 5,
+            version: 3,
             state: state.clone(),
         }) {
-            Request::Restore { client, state: got } => {
+            Request::Restore {
+                client,
+                version,
+                state: got,
+            } => {
                 assert_eq!(client, 5);
+                assert_eq!(version, 3);
                 // BeamState equality is bitwise on every float.
                 assert_eq!(got, state);
             }
@@ -844,6 +1022,76 @@ mod tests {
     }
 
     #[test]
+    fn model_plane_frames_roundtrip_bit_exact() {
+        assert!(matches!(
+            roundtrip_request(Request::Swap { version: 4 }),
+            Request::Swap { version: 4 }
+        ));
+        assert!(matches!(
+            roundtrip_request(Request::Swap { version: 0 }),
+            Request::Swap { version: 0 }
+        ));
+        assert!(matches!(
+            roundtrip_request(Request::Shadow {
+                version: 2,
+                mirror_every: 5
+            }),
+            Request::Shadow {
+                version: 2,
+                mirror_every: 5
+            }
+        ));
+        assert!(matches!(
+            roundtrip_request(Request::Versions),
+            Request::Versions
+        ));
+        assert!(matches!(roundtrip_request(Request::Refresh), Request::Refresh));
+
+        let models = Response::Models {
+            active: 2,
+            previous: 1,
+            shadow: 3,
+            mirror_every: 4,
+            refreshed: 3,
+            manifests: vec![
+                ModelManifest {
+                    version: ModelVersion(1),
+                    parent: None,
+                    fingerprint: 0xdead_beef_cafe_f00d,
+                    weight_bytes: 1024,
+                    label: "seed".to_string(),
+                },
+                ModelManifest {
+                    version: ModelVersion(3),
+                    parent: Some(ModelVersion(1)),
+                    fingerprint: u64::MAX,
+                    weight_bytes: 0,
+                    label: String::new(),
+                },
+            ],
+        };
+        assert_eq!(roundtrip_response(models.clone()), models);
+
+        // Hostile label lengths are refused, not allocated.
+        let mut buf = Vec::new();
+        let mut body = vec![TAG_MODELS];
+        for _ in 0..5 {
+            put_u32(&mut body, 1);
+        }
+        put_u32(&mut body, 1); // one manifest
+        put_u32(&mut body, 1); // version
+        put_u32(&mut body, 0); // parent
+        put_u64(&mut body, 0); // fingerprint
+        put_u64(&mut body, 0); // weight bytes
+        put_u32(&mut body, (MAX_WIRE_LABEL + 1) as u32);
+        write_frame(&mut buf, &body).expect("encode");
+        assert!(matches!(
+            read_response(&mut &buf[..]),
+            Err(WireError::Malformed("manifest label too long"))
+        ));
+    }
+
+    #[test]
     fn invalid_beam_states_are_refused_on_both_sides() {
         // Encoding an invalid state fails instead of writing garbage.
         let mut bad = sample_state();
@@ -854,6 +1102,7 @@ mod tests {
                 &mut buf,
                 &Request::Restore {
                     client: 1,
+                    version: 0,
                     state: bad
                 }
             ),
@@ -864,6 +1113,7 @@ mod tests {
         let state = sample_state();
         let mut body = vec![TAG_RESTORE];
         put_u64(&mut body, 1);
+        put_u32(&mut body, 0);
         let at = body.len();
         put_beam_state(&mut body, &state);
         body[at] = BEAM_STATE_VERSION + 1;
@@ -880,6 +1130,7 @@ mod tests {
         twisted.pre[1][0] = Some(7);
         let mut body = vec![TAG_RESTORE];
         put_u64(&mut body, 1);
+        put_u32(&mut body, 0);
         body.push(BEAM_STATE_VERSION);
         put_u32(&mut body, twisted.lag as u32);
         put_u32(&mut body, twisted.layers.len() as u32);

@@ -25,10 +25,11 @@ use crate::admission::{BoundedQueue, PushError, RejectReason};
 use crate::metrics::ServeMetrics;
 use lhmm_cellsim::traj::CellularTrajectory;
 use lhmm_core::error::MatchError;
-use lhmm_core::lhmm::LhmmModel;
+use lhmm_core::registry::{ModelRegistry, VersionedModel};
 use lhmm_core::types::{MatchContext, MatchResult, MatchStats};
 use lhmm_core::viterbi::HmmEngine;
 use lhmm_network::sp_cache::SpCache;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -42,8 +43,10 @@ use crate::admission::lock_unpoisoned;
 pub struct ServeCtx<'a> {
     /// Road network, spatial index, tower field.
     pub ctx: MatchContext<'a>,
-    /// The trained (or ablated) model, shared read-only.
-    pub model: &'a LhmmModel,
+    /// The versioned model registry, shared read-only across every thread.
+    /// Requests resolve (and pin) the active version at admission, so a
+    /// hot swap never changes what an in-flight request serves.
+    pub registry: &'a ModelRegistry,
     /// Tile view when this instance serves one shard of a cluster
     /// (`None` for unsharded serving). Streaming candidate preparation for
     /// in-core positions uses the tile's subset index; one-shots and
@@ -87,11 +90,18 @@ impl Default for BatchPolicy {
 /// The verdict a submitted request resolves to.
 pub type MatchReply = Result<(MatchResult, MatchStats), MatchError>;
 
-/// One queued one-shot request.
+/// One queued one-shot request. The model version is resolved — and
+/// thereby pinned — at admission: `pin` keeps its `Arc` alive until the
+/// reply is sent, no matter how many swaps happen in between.
 struct Job {
     traj: CellularTrajectory,
     enqueued: Instant,
     reply: mpsc::Sender<MatchReply>,
+    /// The version this request serves (the active version at admission).
+    pin: Arc<VersionedModel>,
+    /// Candidate version to mirror this request through (shadow A/B); the
+    /// mirrored verdict is compared and recorded, never sent to the client.
+    shadow: Option<Arc<VersionedModel>>,
 }
 
 /// Handle to a running micro-batch scheduler + worker pool.
@@ -103,6 +113,7 @@ struct Job {
 pub struct MicroBatcher<'scope, 'env> {
     queue: Arc<BoundedQueue<Job>>,
     metrics: Arc<ServeMetrics>,
+    registry: &'env ModelRegistry,
     draining: Arc<AtomicBool>,
     threads: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
     _env: std::marker::PhantomData<&'env ()>,
@@ -165,20 +176,30 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
             }));
         }
 
-        // Workers: each owns an engine with a private cache shard.
+        // Workers: each owns one engine (private cache shard) per model
+        // version it has served, built lazily on the first job pinned to
+        // that version. Engines borrow only the road network, so they
+        // survive swaps; the per-version keying keeps each engine's config
+        // and shortest-path backend consistent with the model it serves.
         for _ in 0..workers {
             let dispatch_rx = Arc::clone(&dispatch_rx);
             let metrics = Arc::clone(&metrics);
             let delay = policy.service_delay;
             let cache_capacity = policy.cache_capacity;
             threads.push(scope.spawn(move || {
-                let cache = SpCache::with_backend(
-                    serve.ctx.net,
-                    cache_capacity,
-                    serve.model.sp_handle(),
-                );
-                let mut engine =
-                    HmmEngine::with_cache(serve.ctx.net, serve.model.engine_config(), cache);
+                fn engine_for<'m>(
+                    engines: &'m mut BTreeMap<u32, HmmEngine>,
+                    net: &lhmm_network::graph::RoadNetwork,
+                    cache_capacity: usize,
+                    entry: &VersionedModel,
+                ) -> &'m mut HmmEngine {
+                    engines.entry(entry.manifest.version.0).or_insert_with(|| {
+                        let cache =
+                            SpCache::with_backend(net, cache_capacity, entry.model.sp_handle());
+                        HmmEngine::with_cache(net, entry.model.engine_config(), cache)
+                    })
+                }
+                let mut engines: BTreeMap<u32, HmmEngine> = BTreeMap::new();
                 loop {
                     let batch = {
                         let rx = lock_unpoisoned(&dispatch_rx);
@@ -192,18 +213,55 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
                         }
+                        let pinned = job.pin.manifest.version.0;
                         let started = Instant::now();
-                        let verdict = serve.model.try_match_with_engine_stats(
-                            &serve.ctx,
-                            &job.traj,
-                            &mut engine,
-                        );
+                        let engine =
+                            engine_for(&mut engines, serve.ctx.net, cache_capacity, &job.pin);
+                        let mut verdict =
+                            job.pin
+                                .model
+                                .try_match_with_engine_stats(&serve.ctx, &job.traj, engine);
                         let service = started.elapsed().as_secs_f64();
+                        if let Ok((_, s)) = &mut verdict {
+                            s.model_version = pinned;
+                        }
                         let stats = match &verdict {
                             Ok((_, s)) => *s,
-                            Err(_) => MatchStats::default(),
+                            Err(_) => MatchStats {
+                                model_version: pinned,
+                                ..MatchStats::default()
+                            },
                         };
                         metrics.on_completed(queue_wait, service, &stats);
+                        // Successful matches feed the online refresh
+                        // statistics collector.
+                        if let Ok((result, _)) = &verdict {
+                            serve.registry.observe(
+                                serve.ctx.net,
+                                &job.traj.points,
+                                &result.path.segments,
+                            );
+                        }
+                        // Shadow A/B: re-match the mirrored request on the
+                        // candidate version and record whether its verdict
+                        // diverges. The mirror never reaches the client.
+                        if let Some(cand) = &job.shadow {
+                            let shadow_started = Instant::now();
+                            let shadow_engine =
+                                engine_for(&mut engines, serve.ctx.net, cache_capacity, cand);
+                            let shadow_verdict = cand.model.try_match_with_engine_stats(
+                                &serve.ctx,
+                                &job.traj,
+                                shadow_engine,
+                            );
+                            let shadow_service = shadow_started.elapsed().as_secs_f64();
+                            let diverged = match (&verdict, &shadow_verdict) {
+                                (Ok((a, _)), Ok((b, _))) => a.path.segments != b.path.segments,
+                                (Err(_), Err(_)) => false,
+                                _ => true,
+                            };
+                            metrics.on_shadow(cand.manifest.version.0, shadow_service, diverged);
+                        }
                         if job.reply.send(verdict).is_err() {
                             metrics.on_orphaned_reply();
                         }
@@ -215,6 +273,7 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
         MicroBatcher {
             queue,
             metrics,
+            registry: serve.registry,
             draining,
             threads: Mutex::new(threads),
             _env: std::marker::PhantomData,
@@ -223,6 +282,11 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
 
     /// Submits one trajectory for matching. On admission returns the
     /// receiver the reply will arrive on; otherwise the typed shed reason.
+    ///
+    /// Admission is the pinning moment: the active model version (and the
+    /// shadow candidate, on mirrored admissions) is resolved here, so a
+    /// swap that lands after this call cannot change what this request
+    /// serves.
     pub fn submit(
         &self,
         traj: CellularTrajectory,
@@ -236,6 +300,8 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
             traj,
             enqueued: Instant::now(),
             reply: tx,
+            pin: self.registry.active(),
+            shadow: self.registry.shadow_pick(),
         };
         match self.queue.try_push(job) {
             Ok(()) => {
@@ -282,7 +348,7 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
 mod tests {
     use super::*;
     use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
-    use lhmm_core::lhmm::LhmmConfig;
+    use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
     use std::thread;
 
     fn cheap_model(ds: &Dataset, seed: u64) -> LhmmModel {
@@ -309,6 +375,7 @@ mod tests {
             .map(|r| model.match_with_engine(&ctx, &r.cellular, &mut engine))
             .collect();
 
+        let registry = ModelRegistry::new(model, "test");
         let metrics = Arc::new(ServeMetrics::new());
         let policy = BatchPolicy {
             max_batch: 4,
@@ -319,7 +386,7 @@ mod tests {
         let got: Vec<_> = thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model, scope: None },
+                ServeCtx { ctx, registry: &registry, scope: None },
                 policy,
                 Arc::clone(&metrics),
             );
@@ -356,11 +423,12 @@ mod tests {
             index: &ds.index,
             towers: &ds.towers,
         };
+        let registry = ModelRegistry::new(model, "test");
         let metrics = Arc::new(ServeMetrics::new());
         thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model, scope: None },
+                ServeCtx { ctx, registry: &registry, scope: None },
                 BatchPolicy::default(),
                 Arc::clone(&metrics),
             );
@@ -387,6 +455,7 @@ mod tests {
             index: &ds.index,
             towers: &ds.towers,
         };
+        let registry = ModelRegistry::new(model, "test");
         let metrics = Arc::new(ServeMetrics::new());
         let policy = BatchPolicy {
             queue_capacity: 1,
@@ -399,7 +468,7 @@ mod tests {
         thread::scope(|s| {
             let batcher = MicroBatcher::start(
                 s,
-                ServeCtx { ctx, model: &model, scope: None },
+                ServeCtx { ctx, registry: &registry, scope: None },
                 policy,
                 Arc::clone(&metrics),
             );
@@ -424,5 +493,72 @@ mod tests {
         let report = metrics.snapshot(0, 0);
         assert_eq!(report.in_flight_lost(), 0);
         assert!(report.rejected_for(RejectReason::QueueFull) > 0);
+    }
+
+    #[test]
+    fn shadow_mirrors_never_leak_and_lanes_slice_by_version() {
+        use lhmm_core::registry::ModelVersion;
+
+        let ds = Dataset::generate(&DatasetConfig::tiny_test(304));
+        let model = cheap_model(&ds, 304);
+        let mut candidate = model.clone();
+        // A structurally different candidate set: verdicts may diverge.
+        candidate.config.k = 3;
+        let ctx = MatchContext {
+            net: &ds.network,
+            index: &ds.index,
+            towers: &ds.towers,
+        };
+        // Offline references on both versions; the expected divergence
+        // count is derived here, not guessed.
+        let mut e1 = HmmEngine::new(&ds.network, model.engine_config());
+        let want1: Vec<_> = ds
+            .test
+            .iter()
+            .map(|r| model.match_with_engine(&ctx, &r.cellular, &mut e1).path.segments)
+            .collect();
+        let mut e2 = HmmEngine::new(&ds.network, candidate.engine_config());
+        let want2: Vec<_> = ds
+            .test
+            .iter()
+            .map(|r| candidate.match_with_engine(&ctx, &r.cellular, &mut e2).path.segments)
+            .collect();
+        let expected_div = want1.iter().zip(&want2).filter(|(a, b)| a != b).count() as u64;
+
+        let registry = ModelRegistry::new(model, "seed");
+        let v2 = registry.register(candidate, "candidate", Some(ModelVersion(1)));
+        registry.set_shadow(v2, 1).expect("candidate exists");
+
+        let metrics = Arc::new(ServeMetrics::new());
+        thread::scope(|s| {
+            let batcher = MicroBatcher::start(
+                s,
+                ServeCtx { ctx, registry: &registry, scope: None },
+                BatchPolicy::default(),
+                Arc::clone(&metrics),
+            );
+            let receivers: Vec<_> = ds
+                .test
+                .iter()
+                .map(|r| batcher.submit(r.cellular.clone()).expect("admitted"))
+                .collect();
+            for (rx, want) in receivers.into_iter().zip(&want1) {
+                let (result, stats) = rx.recv().expect("reply").expect("matched");
+                // Clients always get the pinned (active) version's verdict.
+                assert_eq!(&result.path.segments, want);
+                assert_eq!(stats.model_version, 1);
+            }
+            batcher.drain();
+        });
+        let report = metrics.snapshot(0, 0);
+        let n = ds.test.len() as u64;
+        assert_eq!(report.shadow_served, n, "mirror_every=1 mirrors everything");
+        assert_eq!(report.shadow_divergences, expected_div);
+        assert_eq!(report.versions.lanes[&1].served, n);
+        assert_eq!(report.versions.lanes[&2].shadow_served, n);
+        // Served matches accumulated refresh statistics.
+        let stats = registry.stats();
+        assert_eq!(stats.observed_matches, n);
+        assert!(!stats.is_empty());
     }
 }

@@ -22,6 +22,8 @@ use crate::protocol::{
 };
 use crate::scheduler::{BatchPolicy, MicroBatcher, ServeCtx};
 use crate::session::{SessionManager, SessionPolicy};
+use lhmm_core::registry::{ModelRegistry, ModelVersion, RegistryError};
+use lhmm_network::graph::RoadNetwork;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +55,8 @@ impl ServeConfig {
 struct Shared<'scope, 'env> {
     batcher: MicroBatcher<'scope, 'env>,
     sessions: Mutex<SessionManager<'env>>,
+    registry: &'env ModelRegistry,
+    net: &'env RoadNetwork,
     metrics: Arc<ServeMetrics>,
     shutting_down: AtomicBool,
     max_points: usize,
@@ -84,13 +88,19 @@ impl Shared<'_, '_> {
                     Err(reason) => Response::Reject(reason),
                 }
             }
-            Request::Open { client, lag } => {
+            Request::Open { client, lag, version } => {
                 if self.shutting_down.load(Ordering::Acquire) {
                     self.metrics.on_rejected(RejectReason::ShuttingDown);
                     return Response::Reject(RejectReason::ShuttingDown);
                 }
+                // Admission is the pinning moment: version 0 resolves to
+                // whatever is active *now*, an explicit version must exist.
+                let Ok(pin) = self.registry.resolve(version) else {
+                    self.metrics.on_rejected(RejectReason::Invalid);
+                    return Response::Reject(RejectReason::Invalid);
+                };
                 let mut sessions = lock_unpoisoned(&self.sessions);
-                match sessions.open(client, lag as usize, &self.metrics) {
+                match sessions.open(client, lag as usize, pin, &self.metrics) {
                     Ok(()) => Response::Pushed { committed: 0 },
                     Err(reason) => Response::Reject(reason),
                 }
@@ -115,10 +125,17 @@ impl Shared<'_, '_> {
                 }
                 let mut sessions = lock_unpoisoned(&self.sessions);
                 match sessions.finish(client, &self.metrics) {
-                    Some((path, disconnected_joins)) => Response::Route {
-                        segments: path.segments,
-                        degraded: disconnected_joins > 0,
-                    },
+                    Some(fin) => {
+                        // Feed the finished route into refresh statistics
+                        // and credit the pinned version's lane.
+                        self.registry
+                            .observe(self.net, &fin.points, &fin.path.segments);
+                        self.metrics.on_version_finished(fin.version);
+                        Response::Route {
+                            segments: fin.path.segments,
+                            degraded: fin.disconnected_joins > 0,
+                        }
+                    }
                     // No such session: the typed "nothing was matched"
                     // verdict (EmptyTrajectory, code 0).
                     None => Response::Failed(WireMatchError { code: 0, a: 0, b: 0 }),
@@ -142,17 +159,102 @@ impl Shared<'_, '_> {
                     None => Response::Failed(WireMatchError { code: 0, a: 0, b: 0 }),
                 }
             }
-            Request::Restore { client, state } => {
+            Request::Restore { client, version, state } => {
                 if self.shutting_down.load(Ordering::Acquire) {
                     self.metrics.on_rejected(RejectReason::ShuttingDown);
                     return Response::Reject(RejectReason::ShuttingDown);
                 }
+                // A handed-off session keeps the pin of its original
+                // admission (the router sends the resolved version), so a
+                // swap mid-handoff never mixes versions within a session.
+                let Ok(pin) = self.registry.resolve(version) else {
+                    self.metrics.on_rejected(RejectReason::Invalid);
+                    return Response::Reject(RejectReason::Invalid);
+                };
                 let mut sessions = lock_unpoisoned(&self.sessions);
-                match sessions.import(client, state, &self.metrics) {
+                match sessions.import(client, state, pin, &self.metrics) {
                     Ok(()) => Response::Pushed { committed: 0 },
                     Err(reason) => Response::Reject(reason),
                 }
             }
+            Request::Swap { version } => {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    self.metrics.on_rejected(RejectReason::ShuttingDown);
+                    return Response::Reject(RejectReason::ShuttingDown);
+                }
+                let swapped = if version == 0 {
+                    self.registry.rollback().map(|_| ())
+                } else {
+                    self.registry.promote(ModelVersion(version))
+                };
+                match swapped {
+                    Ok(()) => {
+                        self.metrics.on_model_swap();
+                        self.models_response(0)
+                    }
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
+            Request::Shadow { version, mirror_every } => {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    self.metrics.on_rejected(RejectReason::ShuttingDown);
+                    return Response::Reject(RejectReason::ShuttingDown);
+                }
+                if version == 0 {
+                    self.registry.clear_shadow();
+                    return self.models_response(0);
+                }
+                match self.registry.set_shadow(ModelVersion(version), mirror_every) {
+                    Ok(()) => self.models_response(0),
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
+            // Introspection plane: like Ping, answered even during drain.
+            Request::Versions => self.models_response(0),
+            Request::Refresh => {
+                if self.shutting_down.load(Ordering::Acquire) {
+                    self.metrics.on_rejected(RejectReason::ShuttingDown);
+                    return Response::Reject(RejectReason::ShuttingDown);
+                }
+                let label = format!("refresh-{}", self.registry.refresh_count() + 1);
+                match self.registry.refresh(&label) {
+                    Ok(version) => {
+                        self.metrics.on_model_refresh();
+                        self.models_response(version.0)
+                    }
+                    // No statistics yet: not an error, just nothing new —
+                    // the manifest answer carries `refreshed: 0`.
+                    Err(RegistryError::EmptyStats) => self.models_response(0),
+                    Err(_) => {
+                        self.metrics.on_rejected(RejectReason::Invalid);
+                        Response::Reject(RejectReason::Invalid)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model-plane answer: active/previous/shadow pointers plus every
+    /// manifest, with `refreshed` naming a version a Refresh just minted
+    /// (0 otherwise).
+    fn models_response(&self, refreshed: u32) -> Response {
+        let (shadow, mirror_every) = match self.registry.shadow_plan() {
+            Some((v, n)) => (v.0, n),
+            None => (0, 0),
+        };
+        Response::Models {
+            active: self.registry.active_version().0,
+            previous: self.registry.previous_version().map_or(0, |v| v.0),
+            shadow,
+            mirror_every,
+            refreshed,
+            manifests: self.registry.manifests(),
         }
     }
 
@@ -211,6 +313,8 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         let shared = Arc::new(Shared {
             batcher,
             sessions: Mutex::new(sessions),
+            registry: serve.registry,
+            net: serve.ctx.net,
             metrics,
             shutting_down: AtomicBool::new(false),
             max_points: config.max_points(),

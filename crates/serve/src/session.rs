@@ -15,6 +15,13 @@
 //! been idle at all (strictly older than the newest touch), otherwise the
 //! open is shed with [`RejectReason::SessionLimit`]. Evicted sessions are
 //! finalized (their engine state is flushed), never silently dropped.
+//!
+//! Version pinning: every session carries the [`VersionedModel`] it was
+//! admitted under. The pin supplies the shortest-path backend for the
+//! session's engine (answers are bitwise identical across backends, so a
+//! hot swap never changes a live session's route) and stamps the finished
+//! route with the version number, so reports can slice streaming traffic
+//! by model version exactly like one-shot traffic.
 
 use crate::admission::RejectReason;
 use crate::metrics::ServeMetrics;
@@ -22,13 +29,14 @@ use lhmm_cellsim::traj::CellularPoint;
 use lhmm_core::candidates::{nearest_segments, to_candidates};
 use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
 use lhmm_core::error::MatchError;
+use lhmm_core::registry::VersionedModel;
 use lhmm_core::streaming::{BeamState, StreamingEngine};
-use lhmm_network::backend::SpHandle;
 use lhmm_network::graph::RoadNetwork;
 use lhmm_network::path::Path;
 use lhmm_network::spatial::SpatialIndex;
 use lhmm_network::tile::TileScope;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Session-table parameters.
@@ -65,9 +73,32 @@ impl Default for SessionPolicy {
 struct Session<'a> {
     engine: StreamingEngine<'a>,
     model: ClassicModel,
+    /// Registry entry the session was admitted under; fixed for the
+    /// session's lifetime (reopening a key re-pins, because a new trip is
+    /// a new admission).
+    pin: Arc<VersionedModel>,
+    /// Observations this session accepted locally, kept for refresh
+    /// statistics at finish time. Imported sessions restart empty: only
+    /// pushes this shard actually matched are credited here.
+    points: Vec<CellularPoint>,
     last_touch: Instant,
     /// Monotone use stamp for LRU ordering (ties impossible).
     stamp: u64,
+}
+
+/// Everything a finished session hands back to the serving layer.
+#[derive(Clone, Debug)]
+pub struct SessionFinish {
+    /// The finalized route.
+    pub path: Path,
+    /// Joins the fixed-lag engine had to bridge across disconnected
+    /// candidate layers (degradation counter).
+    pub disconnected_joins: u64,
+    /// Registry version the session was pinned to at admission.
+    pub version: u32,
+    /// Observations the session accepted locally, for
+    /// [`ModelRegistry::observe`](lhmm_core::registry::ModelRegistry::observe).
+    pub points: Vec<CellularPoint>,
 }
 
 /// The session table. Not internally synchronized: the server wraps it in
@@ -79,7 +110,6 @@ pub struct SessionManager<'a> {
     policy: SessionPolicy,
     sessions: HashMap<u64, Session<'a>>,
     next_stamp: u64,
-    sp: SpHandle,
     /// Tile view for sharded serving: positions inside the tile core run
     /// candidate preparation against the tile's subset index (byte-exact
     /// because the halo covers the search radius); positions outside the
@@ -89,27 +119,15 @@ pub struct SessionManager<'a> {
 }
 
 impl<'a> SessionManager<'a> {
-    /// An empty table over `net`/`index`, with Dijkstra shortest paths.
+    /// An empty table over `net`/`index`. Each session's shortest-path
+    /// backend comes from the [`VersionedModel`] it is opened with.
     pub fn new(net: &'a RoadNetwork, index: &'a SpatialIndex, policy: SessionPolicy) -> Self {
-        Self::with_backend(net, index, policy, SpHandle::default())
-    }
-
-    /// An empty table whose sessions route through `sp` (e.g. one shared
-    /// contraction hierarchy). Matches are bitwise-identical to the
-    /// Dijkstra default; only query latency changes.
-    pub fn with_backend(
-        net: &'a RoadNetwork,
-        index: &'a SpatialIndex,
-        policy: SessionPolicy,
-        sp: SpHandle,
-    ) -> Self {
         SessionManager {
             net,
             index,
             policy,
             sessions: HashMap::new(),
             next_stamp: 0,
-            sp,
             scope: None,
         }
     }
@@ -160,13 +178,17 @@ impl<'a> SessionManager<'a> {
         n
     }
 
-    /// Opens (or replaces) the session keyed `client`. Reopening an
-    /// existing key finalizes the previous trajectory first — a client
-    /// starting a new trip reuses its warm engine.
+    /// Opens (or replaces) the session keyed `client`, pinned to `pin`
+    /// for its whole lifetime. Reopening an existing key finalizes the
+    /// previous trajectory first — a client starting a new trip reuses its
+    /// warm engine but re-pins (a new trip is a new admission, so it picks
+    /// up whatever version is active *now*; backend answers are bitwise
+    /// identical across versions, so the warm engine stays valid).
     pub fn open(
         &mut self,
         client: u64,
         lag: usize,
+        pin: Arc<VersionedModel>,
         metrics: &ServeMetrics,
     ) -> Result<(), RejectReason> {
         self.sweep_idle(metrics);
@@ -176,6 +198,8 @@ impl<'a> SessionManager<'a> {
             metrics.on_session_finalized();
             existing.engine.lag = lag;
             existing.model = fresh_model();
+            existing.pin = pin;
+            existing.points = Vec::new();
             existing.last_touch = Instant::now();
             let stamp = self.stamp();
             if let Some(s) = self.sessions.get_mut(&client) {
@@ -208,11 +232,14 @@ impl<'a> SessionManager<'a> {
             }
         }
         let stamp = self.stamp();
+        let engine = StreamingEngine::with_backend(self.net, lag, pin.model.sp_handle());
         self.sessions.insert(
             client,
             Session {
-                engine: StreamingEngine::with_backend(self.net, lag, &self.sp),
+                engine,
                 model: fresh_model(),
+                pin,
+                points: Vec::new(),
                 last_touch: Instant::now(),
                 stamp,
             },
@@ -271,6 +298,7 @@ impl<'a> SessionManager<'a> {
             .push(pos, point.t, layer, &mut session.model)
         {
             Ok(committed) => {
+                session.points.push(*point);
                 metrics.on_stream_push(started.elapsed().as_secs_f64());
                 Ok(committed)
             }
@@ -283,13 +311,20 @@ impl<'a> SessionManager<'a> {
     }
 
     /// Finalizes and removes `client`'s session, returning the complete
-    /// route. Unknown clients get `None`.
-    pub fn finish(&mut self, client: u64, metrics: &ServeMetrics) -> Option<(Path, u64)> {
+    /// route plus the pinned version and the accepted observations (so the
+    /// server can fold them into refresh statistics). Unknown clients get
+    /// `None`.
+    pub fn finish(&mut self, client: u64, metrics: &ServeMetrics) -> Option<SessionFinish> {
         let mut session = self.sessions.remove(&client)?;
         let path = session.engine.finalize();
         let disconnected = session.engine.degradation().disconnected_joins;
         metrics.on_session_finalized();
-        Some((path, disconnected))
+        Some(SessionFinish {
+            path,
+            disconnected_joins: disconnected,
+            version: session.pin.manifest.version.0,
+            points: session.points,
+        })
     }
 
     /// Finalizes every open session (graceful drain). Returns how many
@@ -317,15 +352,18 @@ impl<'a> SessionManager<'a> {
     }
 
     /// Re-admits a session captured elsewhere under `client`, rebuilding
-    /// the per-trajectory model from the state's positions. Replaces any
-    /// existing session with the same key (its state is superseded by the
-    /// imported one). Subject to the same capacity policy as `open`;
-    /// a state that fails validation against this network is
-    /// [`RejectReason::Invalid`].
+    /// the per-trajectory model from the state's positions and pinning it
+    /// to `pin` (the router resolves the version the session was
+    /// originally admitted under, so a handoff never changes a session's
+    /// pin). Replaces any existing session with the same key (its state is
+    /// superseded by the imported one). Subject to the same capacity
+    /// policy as `open`; a state that fails validation against this
+    /// network is [`RejectReason::Invalid`].
     pub fn import(
         &mut self,
         client: u64,
         state: BeamState,
+        pin: Arc<VersionedModel>,
         metrics: &ServeMetrics,
     ) -> Result<(), RejectReason> {
         self.sweep_idle(metrics);
@@ -355,7 +393,7 @@ impl<'a> SessionManager<'a> {
         }
         let lag = state.lag;
         let positions = state.positions();
-        let mut engine = StreamingEngine::with_backend(self.net, lag, &self.sp);
+        let mut engine = StreamingEngine::with_backend(self.net, lag, pin.model.sp_handle());
         if engine.restore(state).is_err() {
             metrics.on_rejected(RejectReason::Invalid);
             return Err(RejectReason::Invalid);
@@ -370,6 +408,8 @@ impl<'a> SessionManager<'a> {
                     ClassicTransition::cellular(),
                     positions,
                 ),
+                pin,
+                points: Vec::new(),
                 last_touch: Instant::now(),
                 stamp,
             },
@@ -400,6 +440,8 @@ fn fresh_model() -> ClassicModel {
 mod tests {
     use super::*;
     use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+    use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+    use lhmm_core::registry::ModelRegistry;
 
     fn policy(max: usize, idle_ms: u64) -> SessionPolicy {
         SessionPolicy {
@@ -410,12 +452,22 @@ mod tests {
         }
     }
 
+    /// A v1 pin over a cheap classic-only model (the Arc outlives the
+    /// registry it came from).
+    fn pin_for(ds: &Dataset) -> Arc<VersionedModel> {
+        let mut cfg = LhmmConfig::fast_test(1);
+        cfg.use_learned_obs = false;
+        cfg.use_learned_trans = false;
+        ModelRegistry::new(LhmmModel::train(ds, cfg), "session-test").active()
+    }
+
     #[test]
     fn open_push_finish_roundtrip() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(311));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-        mgr.open(1, 2, &metrics).expect("open");
+        mgr.open(1, 2, Arc::clone(&pin), &metrics).expect("open");
         let rec = &ds.test[0];
         let mut pushed = 0;
         for p in &rec.cellular.points {
@@ -426,8 +478,14 @@ mod tests {
             }
         }
         assert!(pushed > 0);
-        let (path, _) = mgr.finish(1, &metrics).expect("finish");
-        assert!(!path.is_empty());
+        let fin = mgr.finish(1, &metrics).expect("finish");
+        assert!(!fin.path.is_empty());
+        assert_eq!(fin.version, 1, "pinned to the admission version");
+        assert_eq!(
+            fin.points.len(),
+            pushed,
+            "exactly the accepted observations are kept for refresh stats"
+        );
         assert!(mgr.is_empty());
     }
 
@@ -448,13 +506,15 @@ mod tests {
     fn cap_evicts_lru_or_sheds() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(313));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(2, 60_000));
-        mgr.open(1, 0, &metrics).expect("open 1");
-        mgr.open(2, 0, &metrics).expect("open 2");
+        mgr.open(1, 0, Arc::clone(&pin), &metrics).expect("open 1");
+        mgr.open(2, 0, Arc::clone(&pin), &metrics).expect("open 2");
         // Both sessions have a nonzero idle age by now, so the third open
         // evicts the LRU (client 1).
         std::thread::sleep(Duration::from_millis(2));
-        mgr.open(3, 0, &metrics).expect("open 3 evicts LRU");
+        mgr.open(3, 0, Arc::clone(&pin), &metrics)
+            .expect("open 3 evicts LRU");
         assert_eq!(mgr.len(), 2);
         let p = ds.test[0].cellular.points[0];
         assert_eq!(mgr.push(1, &p, &metrics), Err(MatchError::EmptyTrajectory));
@@ -466,6 +526,7 @@ mod tests {
     fn active_sessions_are_not_cannibalized_at_the_cap() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(316));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(
             &ds.network,
             &ds.index,
@@ -477,8 +538,11 @@ mod tests {
                 ..Default::default()
             },
         );
-        mgr.open(1, 0, &metrics).expect("open");
-        assert_eq!(mgr.open(2, 0, &metrics), Err(RejectReason::SessionLimit));
+        mgr.open(1, 0, Arc::clone(&pin), &metrics).expect("open");
+        assert_eq!(
+            mgr.open(2, 0, Arc::clone(&pin), &metrics),
+            Err(RejectReason::SessionLimit)
+        );
         assert_eq!(mgr.len(), 1);
         let report = metrics.snapshot(0, mgr.len());
         assert_eq!(report.rejected_for(RejectReason::SessionLimit), 1);
@@ -489,9 +553,10 @@ mod tests {
     fn idle_sessions_are_swept() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(314));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 5));
-        mgr.open(1, 0, &metrics).expect("open");
-        mgr.open(2, 0, &metrics).expect("open");
+        mgr.open(1, 0, Arc::clone(&pin), &metrics).expect("open");
+        mgr.open(2, 0, Arc::clone(&pin), &metrics).expect("open");
         std::thread::sleep(Duration::from_millis(10));
         assert_eq!(mgr.sweep_idle(&metrics), 2);
         assert!(mgr.is_empty());
@@ -503,23 +568,24 @@ mod tests {
     fn snapshot_import_handoff_matches_uninterrupted_session() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(317));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let rec = &ds.test[0];
         let cut = rec.cellular.points.len() / 2;
 
         // Reference: one manager, one uninterrupted session.
         let mut solo = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-        solo.open(1, 2, &metrics).expect("open");
+        solo.open(1, 2, Arc::clone(&pin), &metrics).expect("open");
         let mut solo_commits = Vec::new();
         for p in &rec.cellular.points {
             solo_commits.push(solo.push(1, p, &metrics).ok());
         }
-        let (want, _) = solo.finish(1, &metrics).expect("finish");
+        let want = solo.finish(1, &metrics).expect("finish");
 
         // Handoff: push to A, snapshot at the cut, import into B, finish
         // there — the shard-to-shard journey of a boundary-crossing trip.
         let mut a = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
         let mut b = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-        a.open(1, 2, &metrics).expect("open");
+        a.open(1, 2, Arc::clone(&pin), &metrics).expect("open");
         let mut commits = Vec::new();
         for p in &rec.cellular.points[..cut] {
             commits.push(a.push(1, p, &metrics).ok());
@@ -527,12 +593,13 @@ mod tests {
         let state = a.take_snapshot(1, &metrics).expect("session exists");
         assert!(a.is_empty(), "take semantics: session gone from source");
         assert!(a.finish(1, &metrics).is_none());
-        b.import(1, state, &metrics).expect("import");
+        b.import(1, state, Arc::clone(&pin), &metrics).expect("import");
         for p in &rec.cellular.points[cut..] {
             commits.push(b.push(1, p, &metrics).ok());
         }
-        let (got, _) = b.finish(1, &metrics).expect("finish");
-        assert_eq!(got.segments, want.segments);
+        let got = b.finish(1, &metrics).expect("finish");
+        assert_eq!(got.path.segments, want.path.segments);
+        assert_eq!(got.version, want.version, "handoff keeps the pin");
         assert_eq!(commits, solo_commits, "commit cadence diverged");
         let report = metrics.snapshot(0, 0);
         assert_eq!(report.sessions_exported, 1);
@@ -543,8 +610,9 @@ mod tests {
     fn import_rejects_foreign_garbage_as_invalid() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(318));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-        mgr.open(1, 1, &metrics).expect("open");
+        mgr.open(1, 1, Arc::clone(&pin), &metrics).expect("open");
         for p in &ds.test[0].cellular.points[..4] {
             let _ = mgr.push(1, p, &metrics);
         }
@@ -552,7 +620,7 @@ mod tests {
         // Point a candidate at a segment the destination network lacks.
         state.layers[0][0].seg = lhmm_network::graph::SegmentId(u32::MAX - 1);
         assert_eq!(
-            mgr.import(1, state, &metrics),
+            mgr.import(1, state, Arc::clone(&pin), &metrics),
             Err(RejectReason::Invalid)
         );
         assert!(mgr.is_empty());
@@ -570,17 +638,18 @@ mod tests {
             .map(|t| TileScope::build(&ds.network, &grid, t, ds.index.cell_size()))
             .collect();
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         for (ci, rec) in ds.test.iter().take(4).enumerate() {
             let client = ci as u64;
             let mut plain = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-            plain.open(client, 2, &metrics).expect("open");
+            plain.open(client, 2, Arc::clone(&pin), &metrics).expect("open");
             // Pick the tile the trajectory starts in, like the router does.
             let first = rec.cellular.points[0].effective_pos();
             let tile = grid.assign(first);
             let mut scoped =
                 SessionManager::new(&ds.network, &ds.index, policy(8, 60_000))
                     .with_scope(&scopes[tile]);
-            scoped.open(client, 2, &metrics).expect("open");
+            scoped.open(client, 2, Arc::clone(&pin), &metrics).expect("open");
             for p in &rec.cellular.points {
                 assert_eq!(
                     scoped.push(client, p, &metrics),
@@ -590,7 +659,7 @@ mod tests {
             }
             let want = plain.finish(client, &metrics).expect("finish");
             let got = scoped.finish(client, &metrics).expect("finish");
-            assert_eq!(got.0.segments, want.0.segments);
+            assert_eq!(got.path.segments, want.path.segments);
         }
     }
 
@@ -598,9 +667,10 @@ mod tests {
     fn drop_all_loses_sessions_without_finalizing() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(320));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
-        mgr.open(1, 0, &metrics).expect("open");
-        mgr.open(2, 0, &metrics).expect("open");
+        mgr.open(1, 0, Arc::clone(&pin), &metrics).expect("open");
+        mgr.open(2, 0, Arc::clone(&pin), &metrics).expect("open");
         assert_eq!(mgr.drop_all(), 2);
         assert!(mgr.is_empty());
         // Nothing was finalized — the sessions just vanished (crash
@@ -612,9 +682,10 @@ mod tests {
     fn finalize_all_flushes_everything() {
         let ds = Dataset::generate(&DatasetConfig::tiny_test(315));
         let metrics = ServeMetrics::new();
+        let pin = pin_for(&ds);
         let mut mgr = SessionManager::new(&ds.network, &ds.index, policy(8, 60_000));
         for id in 0..3 {
-            mgr.open(id, 1, &metrics).expect("open");
+            mgr.open(id, 1, Arc::clone(&pin), &metrics).expect("open");
         }
         assert_eq!(mgr.finalize_all(&metrics), 3);
         assert!(mgr.is_empty());

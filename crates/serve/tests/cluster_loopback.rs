@@ -18,6 +18,7 @@ use lhmm_core::candidates::{nearest_segments, to_candidates};
 use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
 use lhmm_core::error::MatchError;
 use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+use lhmm_core::registry::ModelRegistry;
 use lhmm_core::types::{Candidate, MatchContext};
 use lhmm_core::viterbi::{EngineConfig, HmmEngine};
 use lhmm_geo::Point;
@@ -182,13 +183,14 @@ fn four_shard_oneshot_fingerprint_equals_single_process_and_offline() {
     let trajs: Vec<CellularTrajectory> = corpus.cases.iter().map(|c| c.traj.clone()).collect();
 
     let offline_fp = fingerprint(&offline_verdicts(&ds, &model, &trajs));
+    let registry = ModelRegistry::new(model, "v1");
     let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, 3000.0);
     assert_eq!(topology.num_tiles(), 4);
 
     let (single_fp, cluster_fp) = thread::scope(|s| {
         let serve = ServeCtx {
             ctx: ctx(&ds),
-            model: &model,
+            registry: &registry,
             scope: None,
         };
         let single =
@@ -219,7 +221,7 @@ fn four_shard_oneshot_fingerprint_equals_single_process_and_offline() {
 #[test]
 fn streaming_handoff_across_tiles_is_byte_identical_to_single_process() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(502));
-    let model = cheap_model(&ds, 502);
+    let registry = ModelRegistry::new(cheap_model(&ds, 502), "v1");
     let sessions = SessionPolicy::default();
     let (k, radius) = (sessions.k, sessions.radius);
     let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, radius);
@@ -244,7 +246,7 @@ fn streaming_handoff_across_tiles_is_byte_identical_to_single_process() {
     thread::scope(|s| {
         let serve = ServeCtx {
             ctx: ctx(&ds),
-            model: &model,
+            registry: &registry,
             scope: None,
         };
         let config = ServeConfig {
@@ -299,7 +301,7 @@ fn streaming_handoff_across_tiles_is_byte_identical_to_single_process() {
 #[test]
 fn shard_crash_mid_stream_recovers_with_nothing_lost() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(503));
-    let model = cheap_model(&ds, 503);
+    let registry = ModelRegistry::new(cheap_model(&ds, 503), "v1");
     let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 2, 3000.0);
     let trajs: Vec<CellularTrajectory> =
         ds.test.iter().take(3).map(|r| r.cellular.clone()).collect();
@@ -307,7 +309,7 @@ fn shard_crash_mid_stream_recovers_with_nothing_lost() {
     thread::scope(|s| {
         let serve = ServeCtx {
             ctx: ctx(&ds),
-            model: &model,
+            registry: &registry,
             scope: None,
         };
         let single = ServerHandle::start(s, serve, ServeConfig::default()).expect("bind single");
@@ -368,7 +370,7 @@ fn shard_crash_mid_stream_recovers_with_nothing_lost() {
 #[test]
 fn snapshot_and_restore_are_rejected_on_the_public_plane() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(504));
-    let model = cheap_model(&ds, 504);
+    let registry = ModelRegistry::new(cheap_model(&ds, 504), "v1");
     let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 1, 3000.0);
 
     thread::scope(|s| {
@@ -376,7 +378,7 @@ fn snapshot_and_restore_are_rejected_on_the_public_plane() {
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             &topology,

@@ -19,6 +19,7 @@ use lhmm_core::candidates::{nearest_segments, to_candidates};
 use lhmm_core::classic::{ClassicModel, ClassicObservation, ClassicTransition};
 use lhmm_core::error::MatchError;
 use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+use lhmm_core::registry::ModelRegistry;
 use lhmm_core::types::{Candidate, MatchContext};
 use lhmm_core::viterbi::{EngineConfig, HmmEngine};
 use lhmm_geo::Point;
@@ -67,6 +68,7 @@ fn concurrent_oneshot_clients_are_byte_identical_to_offline_serial() {
     let model = cheap_model(&ds, 401);
     let trajs: Vec<CellularTrajectory> = ds.test.iter().map(|r| r.cellular.clone()).collect();
     let want = offline_verdicts(&ds, &model, &trajs);
+    let registry = ModelRegistry::new(model, "v1");
 
     const CLIENTS: usize = 4;
     let report = thread::scope(|s| {
@@ -74,7 +76,7 @@ fn concurrent_oneshot_clients_are_byte_identical_to_offline_serial() {
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig::default(),
@@ -165,6 +167,7 @@ fn offline_streaming_reference(
 fn full_lag_streaming_sessions_match_offline_viterbi_over_the_wire() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(402));
     let model = cheap_model(&ds, 402);
+    let registry = ModelRegistry::new(model, "v1");
     let sessions = SessionPolicy::default();
     let (k, radius) = (sessions.k, sessions.radius);
 
@@ -173,7 +176,7 @@ fn full_lag_streaming_sessions_match_offline_viterbi_over_the_wire() {
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig {
@@ -232,13 +235,14 @@ fn overload_sheds_typed_rejections_and_drain_loses_nothing() {
     let trajs: Vec<CellularTrajectory> =
         ds.test.iter().map(|r| r.cellular.clone()).collect();
     let want = offline_verdicts(&ds, &model, &trajs);
+    let registry = ModelRegistry::new(model, "v1");
 
     let report = thread::scope(|s| {
         let server = ServerHandle::start(
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig {
@@ -317,13 +321,14 @@ fn adversarial_corpus_verdicts_match_offline_and_nothing_panics() {
     let trajs: Vec<CellularTrajectory> =
         corpus.cases.iter().map(|c| c.traj.clone()).collect();
     let want = offline_verdicts(&ds, &model, &trajs);
+    let registry = ModelRegistry::new(model, "v1");
 
     thread::scope(|s| {
         let server = ServerHandle::start(
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig::default(),
@@ -354,14 +359,14 @@ fn adversarial_corpus_verdicts_match_offline_and_nothing_panics() {
 #[test]
 fn session_limit_and_lru_eviction_over_the_wire() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(405));
-    let model = cheap_model(&ds, 405);
+    let registry = ModelRegistry::new(cheap_model(&ds, 405), "v1");
 
     thread::scope(|s| {
         let server = ServerHandle::start(
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig {
@@ -412,6 +417,7 @@ fn session_limit_and_lru_eviction_over_the_wire() {
 fn oversized_oneshots_are_shed_before_the_queue() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(406));
     let model = cheap_model(&ds, 406);
+    let registry = ModelRegistry::new(model, "v1");
     let traj = ds
         .test
         .iter()
@@ -425,7 +431,7 @@ fn oversized_oneshots_are_shed_before_the_queue() {
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig {
@@ -448,14 +454,14 @@ fn oversized_oneshots_are_shed_before_the_queue() {
 #[test]
 fn drain_with_open_sessions_flushes_them_and_report_renders() {
     let ds = Dataset::generate(&DatasetConfig::tiny_test(407));
-    let model = cheap_model(&ds, 407);
+    let registry = ModelRegistry::new(cheap_model(&ds, 407), "v1");
 
     thread::scope(|s| {
         let server = ServerHandle::start(
             s,
             ServeCtx {
                 ctx: ctx(&ds),
-                model: &model,
+                registry: &registry,
                 scope: None,
             },
             ServeConfig::default(),

@@ -7,6 +7,7 @@
 
 use lhmm_cellsim::tower::TowerId;
 use lhmm_cellsim::traj::{CellularPoint, CellularTrajectory};
+use lhmm_core::registry::{ModelManifest, ModelVersion};
 use lhmm_core::streaming::BeamState;
 use lhmm_core::types::Candidate;
 use lhmm_core::error::Degradation;
@@ -84,7 +85,11 @@ fn request_corpus() -> Vec<Vec<u8>> {
     };
     let requests = [
         Request::OneShot { traj },
-        Request::Open { client: 7, lag: 4 },
+        Request::Open {
+            client: 7,
+            lag: 4,
+            version: 2,
+        },
         Request::Push {
             client: 7,
             point: sample_point(3),
@@ -94,8 +99,16 @@ fn request_corpus() -> Vec<Vec<u8>> {
         Request::Snapshot { client: 7 },
         Request::Restore {
             client: 7,
+            version: 3,
             state: sample_state(),
         },
+        Request::Swap { version: 2 },
+        Request::Shadow {
+            version: 3,
+            mirror_every: 8,
+        },
+        Request::Versions,
+        Request::Refresh,
     ];
     requests
         .iter()
@@ -121,6 +134,29 @@ fn response_corpus() -> Vec<Vec<u8>> {
         Response::Pong { sessions: 3 },
         Response::State {
             state: sample_state(),
+        },
+        Response::Models {
+            active: 2,
+            previous: 1,
+            shadow: 3,
+            mirror_every: 8,
+            refreshed: 0,
+            manifests: vec![
+                ModelManifest {
+                    version: ModelVersion(1),
+                    fingerprint: 0x1234_5678_9abc_def0,
+                    weight_bytes: 4096,
+                    parent: None,
+                    label: "seed".to_string(),
+                },
+                ModelManifest {
+                    version: ModelVersion(2),
+                    fingerprint: 0x0fed_cba9_8765_4321,
+                    weight_bytes: 4096,
+                    parent: Some(ModelVersion(1)),
+                    label: "refresh-1".to_string(),
+                },
+            ],
         },
     ];
     responses
@@ -197,7 +233,10 @@ proptest! {
 fn oversized_length_prefix_is_a_typed_error_for_every_tag() {
     // Each known tag with a declared length just past the cap: the decoder
     // must refuse before allocating or reading the body.
-    for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86] {
+    for tag in [
+        0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x81, 0x82, 0x83,
+        0x84, 0x85, 0x86, 0x87,
+    ] {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         bytes.push(tag);
@@ -222,12 +261,13 @@ fn beam_state_with_wrong_version_is_malformed_not_a_panic() {
         &mut buf,
         &Request::Restore {
             client: 7,
+            version: 3,
             state: sample_state(),
         },
     )
     .expect("encode");
-    // Frame layout: len u32 | tag u8 | client u64 | version u8 | ...
-    let version_at = 4 + 1 + 8;
+    // Frame layout: len u32 | tag u8 | client u64 | pin u32 | version u8 | ...
+    let version_at = 4 + 1 + 8 + 4;
     buf[version_at] = buf[version_at].wrapping_add(1);
     match read_request(&mut Cursor::new(&buf)) {
         Err(WireError::Malformed(msg)) => {

@@ -68,6 +68,7 @@ fn main() {
         towers: &ds.towers,
     };
     let lhmm = Lhmm::train(&ds, LhmmConfig::fast_test(42));
+    let registry = ModelRegistry::new(lhmm.model().clone(), "demo-v1");
     let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
     let stream_traj = &ds
         .test
@@ -94,7 +95,7 @@ fn main() {
             s,
             ServeCtx {
                 ctx,
-                model: lhmm.model(),
+                registry: &registry,
                 scope: None,
             },
             config,
@@ -118,6 +119,27 @@ fn main() {
                 cs.spawn(move || streaming_worker(addr, session, stream_traj));
             }
         });
+
+        // Model plane: the workload above fed refresh statistics, so derive
+        // a candidate from them, promote it, and list what the registry now
+        // holds — all over the same wire protocol, server still running.
+        let mut admin = ServeClient::connect(addr).expect("connect admin");
+        match admin.refresh() {
+            Ok(models) if models.refreshed != 0 => {
+                println!("\nrefresh derived candidate v{}", models.refreshed);
+                admin.swap(models.refreshed).expect("promote candidate");
+            }
+            Ok(_) => println!("\nrefresh: no statistics accumulated, nothing derived"),
+            Err(e) => println!("\nrefresh failed: {e}"),
+        }
+        let models = admin.versions().expect("list versions");
+        println!("active v{} (previous v{}):", models.active, models.previous);
+        for m in &models.manifests {
+            println!(
+                "  v{} [{}] fingerprint {:016x} ({} weight bytes)",
+                m.version.0, m.label, m.fingerprint, m.weight_bytes
+            );
+        }
 
         server.shutdown_and_drain()
     });

@@ -1,0 +1,162 @@
+//! Cross-city transfer evaluation — the measurement ROADMAP item 5 asks
+//! for, over the three `tiny_city_*` variants (same scale, one axis of
+//! variation each: tower density, density gradient, road topology).
+//!
+//! LHMM's learned `P_O`/`P_T` are trained per city: their embeddings are
+//! indexed by the training city's segment and tower ids, so the weights
+//! themselves cannot be applied to a different deployment. A rollout to a
+//! new city therefore starts **zero-shot**: classic distance-based
+//! probabilities with transferred hyperparameters. The transfer gap
+//! reported here is what that forfeits — native learned quality minus
+//! zero-shot classic quality, per city.
+//!
+//! The second half demonstrates the subsystem built to close that gap
+//! without offline retraining: a stale model serves traffic through a
+//! [`ModelRegistry`], served matches accumulate (tower, matched-segment)
+//! co-occurrence statistics, `refresh` folds them into a re-derived
+//! candidate version, and the candidate's quality is measured against the
+//! stale incumbent on held-out data.
+//!
+//! ```sh
+//! cargo run --release --example transfer_eval
+//! ```
+
+use lhmm::core::batch::{BatchConfig, BatchMatcher};
+use lhmm::prelude::*;
+
+const SEED: u64 = 9;
+
+/// Mean held-out quality of `model` on its own city.
+fn eval_on_test(ds: &Dataset, model: &LhmmModel) -> (MatchQuality, usize) {
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let matcher = BatchMatcher::new(model, BatchConfig::with_workers(2));
+    let trajs: Vec<_> = ds.test.iter().map(|r| r.cellular.clone()).collect();
+    let (results, _) = matcher.try_match_batch(&ctx, &trajs);
+    let (mut sum, mut matched, mut failed) = (
+        MatchQuality {
+            precision: 0.0,
+            recall: 0.0,
+            rmf: 0.0,
+            cmf50: 0.0,
+        },
+        0usize,
+        0usize,
+    );
+    for (result, record) in results.iter().zip(&ds.test) {
+        match result {
+            Ok(m) => {
+                let q = evaluate_path(&ds.network, &m.path, &record.truth);
+                sum.precision += q.precision;
+                sum.recall += q.recall;
+                sum.rmf += q.rmf;
+                sum.cmf50 += q.cmf50;
+                matched += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let n = matched.max(1) as f64;
+    (
+        MatchQuality {
+            precision: sum.precision / n,
+            recall: sum.recall / n,
+            rmf: sum.rmf / n,
+            cmf50: sum.cmf50 / n,
+        },
+        failed,
+    )
+}
+
+fn classic_config(seed: u64) -> LhmmConfig {
+    let mut cfg = LhmmConfig::fast_test(seed);
+    cfg.use_learned_obs = false;
+    cfg.use_learned_trans = false;
+    cfg
+}
+
+fn main() {
+    let cities = [
+        ("A dense-towers", DatasetConfig::tiny_city_dense(SEED)),
+        ("B steep-gradient", DatasetConfig::tiny_city_gradient(SEED)),
+        ("C alt-topology", DatasetConfig::tiny_city_topology(SEED)),
+    ];
+
+    println!("== transfer gap: native learned vs zero-shot classic ==");
+    println!("(zero-shot = what serving a new city without per-city retraining runs)\n");
+    for (name, cfg) in &cities {
+        let ds = Dataset::generate(cfg);
+        let native = LhmmModel::train(&ds, LhmmConfig::fast_test(SEED));
+        let zero_shot = LhmmModel::train(&ds, classic_config(SEED));
+        let (nq, nf) = eval_on_test(&ds, &native);
+        let (zq, zf) = eval_on_test(&ds, &zero_shot);
+        println!("city {name} ({} towers, {} segments):", ds.towers.len(), ds.network.num_segments());
+        println!(
+            "  native LHMM   precision {:.3} recall {:.3} rmf {:.3} cmf50 {:.3} ({nf} failed)",
+            nq.precision, nq.recall, nq.rmf, nq.cmf50
+        );
+        println!(
+            "  zero-shot     precision {:.3} recall {:.3} rmf {:.3} cmf50 {:.3} ({zf} failed)",
+            zq.precision, zq.recall, zq.rmf, zq.cmf50
+        );
+        println!(
+            "  transfer gap  precision {:+.3} recall {:+.3}\n",
+            nq.precision - zq.precision,
+            nq.recall - zq.recall
+        );
+    }
+
+    // The refresh loop on city B: a model trained on a third of the
+    // training split stands in for a stale deployment; serving the
+    // validation split feeds the registry's co-occurrence counters, and
+    // `refresh` derives a candidate that is evaluated against the stale
+    // incumbent on the untouched test split.
+    println!("== online refresh on city B (accumulate -> refresh -> evaluate) ==\n");
+    let ds = Dataset::generate(&DatasetConfig::tiny_city_gradient(SEED));
+    let mut stale_ds = Dataset::generate(&DatasetConfig::tiny_city_gradient(SEED));
+    stale_ds.train.truncate(stale_ds.train.len() / 3);
+    let stale = LhmmModel::train(&stale_ds, LhmmConfig::fast_test(SEED));
+
+    let registry = ModelRegistry::new(stale, "stale-b");
+    let ctx = MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    };
+    let incumbent = registry.active();
+    let matcher = BatchMatcher::new(&incumbent.model, BatchConfig::with_workers(2));
+    let val: Vec<_> = ds.val.iter().map(|r| r.cellular.clone()).collect();
+    let (results, _) = matcher.try_match_batch(&ctx, &val);
+    for (result, traj) in results.iter().zip(&val) {
+        if let Ok(m) = result {
+            registry.observe(&ds.network, &traj.points, &m.path.segments);
+        }
+    }
+
+    let candidate = registry
+        .refresh("refresh-b-val")
+        .expect("val split produced statistics");
+    let refreshed = registry.resolve(candidate.0).expect("just registered");
+    let (sq, _) = eval_on_test(&ds, &incumbent.model);
+    let (rq, _) = eval_on_test(&ds, &refreshed.model);
+    println!(
+        "  stale v{}      precision {:.3} recall {:.3}",
+        incumbent.manifest.version.0, sq.precision, sq.recall
+    );
+    println!(
+        "  refreshed v{}  precision {:.3} recall {:.3} (derived from {} served trajectories)",
+        refreshed.manifest.version.0,
+        rq.precision,
+        rq.recall,
+        results.iter().filter(|r| r.is_ok()).count()
+    );
+    for m in registry.manifests() {
+        println!(
+            "  manifest v{} [{}] parent {:?} fingerprint {:016x}",
+            m.version.0, m.label, m.parent.map(|p| p.0), m.fingerprint
+        );
+    }
+}

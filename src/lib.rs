@@ -43,6 +43,7 @@ pub mod prelude {
     pub use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
     pub use lhmm_core::batch::{BatchConfig, BatchMatcher, BatchStats};
     pub use lhmm_core::lhmm::{Lhmm, LhmmConfig, LhmmModel};
+    pub use lhmm_core::registry::{ModelManifest, ModelRegistry, ModelVersion, VersionedModel};
     pub use lhmm_core::types::{MapMatcher, MatchContext, MatchResult, MatchStats};
     pub use lhmm_eval::metrics::{evaluate_path, MatchQuality};
     pub use lhmm_geo::Point;
