@@ -46,16 +46,22 @@ run cargo clippy -p lhmm-eval --lib --no-deps -- -D warnings -D clippy::unwrap_u
 # backends must degrade through Option/typed errors, never panic.
 run cargo clippy -p lhmm-network --lib --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-# Workspace determinism & robustness linter (see DESIGN §10): float
-# comparisons, nondeterminism sources, hash iteration, panic paths and
-# truncating casts, with zone policies per crate. New findings fail CI;
-# the inference zone must additionally carry zero waived/baselined debt.
+# Workspace determinism & robustness linter (see DESIGN §10, §15): float
+# comparisons, nondeterminism sources, hash iteration, panic paths,
+# truncating casts, plus the concurrency pass — lock-order cycles over
+# the workspace lock graph, guards held across blocking calls, and the
+# unsafe/static fence — with zone policies per crate. New findings fail
+# CI; the inference zone must additionally carry zero waived/baselined
+# debt, and the lock-order/guard-across-blocking/unsafe-fence rules run
+# against an empty baseline in every zone.
 run cargo run -q -p lhmm-lint -- --deny
 
 # Scheduling-nondeterminism smoke test: match the seeded adversarial
 # corpus at two BatchMatcher worker counts (and once repeated) and require
 # identical result fingerprints — including a run with the SIMD kernel
-# forced to the scalar reference (kernel neutrality).
+# forced to the scalar reference (kernel neutrality) and a witness lane
+# (the swap run repeated under the runtime lock-hierarchy witness, which
+# must change nothing and must observe rank-checked acquisitions).
 run cargo run -q -p lhmm-lint -- --races
 
 # Rendered API docs must stay warning-free (broken intra-doc links are the
@@ -118,6 +124,17 @@ run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --test cluster_loopback
 run cargo test -q -p lhmm-core --test registry_manifest_proptest
 run cargo test -q -p lhmm-serve --test swap_loopback
 run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --test swap_loopback
+
+# Lock-hierarchy witness gate (DESIGN §15): the runtime twin of the
+# lock-order lint. The witness harness proves a seeded inversion panics
+# with both acquisition sites, then the serving, cluster, and swap
+# suites run in RELEASE with the witness compiled in (the `lock-witness`
+# feature; debug runs above already had it via debug_assertions), at one
+# worker and at the default parallelism — every acquisition in every
+# scenario is rank-checked, and zero inversions may fire.
+run cargo test -q -p lhmm-core --release --features lock-witness --test lock_witness
+run env RUST_TEST_THREADS=1 cargo test -q -p lhmm-serve --release --features lock-witness --test lock_witness --test loopback --test cluster_loopback --test swap_loopback
+run cargo test -q -p lhmm-serve --release --features lock-witness --test lock_witness --test loopback --test cluster_loopback --test swap_loopback
 
 echo
 echo "ci: all checks passed"

@@ -21,7 +21,10 @@
 //!   bit-identical to serial matching,
 //! * [`registry`] — the versioned [`registry::ModelRegistry`]: atomic hot
 //!   swap with version pinning, shadow candidate routing, and online
-//!   refresh statistics (accumulate → refresh → swap).
+//!   refresh statistics (accumulate → refresh → swap),
+//! * [`sync`] — rank-ordered [`sync::OrderedMutex`]/[`sync::OrderedRwLock`]
+//!   wrappers behind the workspace lock hierarchy, with a debug-mode
+//!   deadlock witness (DESIGN §15) used by the serving stack.
 //!
 //! ```no_run
 //! use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
@@ -51,6 +54,7 @@ pub mod lhmm;
 pub mod observation;
 pub mod registry;
 pub mod streaming;
+pub mod sync;
 pub mod timing;
 pub mod transition;
 pub mod types;
@@ -64,4 +68,5 @@ pub use registry::{
     ModelManifest, ModelRegistry, ModelVersion, RefreshStats, RegistryError, VersionedModel,
 };
 pub use streaming::{BeamState, SnapshotError, StreamingEngine};
+pub use sync::{OrderedMutex, OrderedRwLock};
 pub use types::{Candidate, MapMatcher, MatchContext, MatchResult, MatchStats};

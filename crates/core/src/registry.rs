@@ -30,7 +30,8 @@ use lhmm_network::graph::{RoadNetwork, SegmentId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use crate::sync::{rank, OrderedMutex};
+use std::sync::Arc;
 
 /// Magic bytes leading a serialized registry manifest.
 const MANIFEST_MAGIC: &[u8; 4] = b"LHMR";
@@ -215,21 +216,11 @@ struct Inner {
 /// the hot path ([`ModelRegistry::active`], [`ModelRegistry::shadow_pick`])
 /// holds the lock only long enough to clone an `Arc`.
 pub struct ModelRegistry {
-    inner: Mutex<Inner>,
-    stats: Mutex<RefreshStats>,
+    inner: OrderedMutex<Inner>,
+    stats: OrderedMutex<RefreshStats>,
     shadow_counter: AtomicU64,
     swaps: AtomicU64,
     refreshes: AtomicU64,
-}
-
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        // A panicked holder cannot corrupt these structures mid-update in
-        // a way later readers would misread (every update completes or the
-        // process is already failing); serve mirrors this policy.
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 fn manifest_for(version: u32, model: &LhmmModel, label: &str, parent: Option<u32>) -> ModelManifest {
@@ -256,14 +247,17 @@ impl ModelRegistry {
         let mut entries = BTreeMap::new();
         entries.insert(1, Arc::new(VersionedModel { manifest, model }));
         ModelRegistry {
-            inner: Mutex::new(Inner {
+            // Rank-ordered locks (DESIGN §15): the registry is a leaf in
+            // the workspace hierarchy — its methods never take another
+            // lock, and poison is ridden exactly as `lock_unpoisoned` did.
+            inner: OrderedMutex::new(rank::REGISTRY_INNER, "registry.inner", Inner {
                 entries,
                 active: 1,
                 previous: None,
                 shadow: None,
                 next: 2,
             }),
-            stats: Mutex::new(RefreshStats::default()),
+            stats: OrderedMutex::new(rank::REGISTRY_STATS, "registry.stats", RefreshStats::default()),
             shadow_counter: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
@@ -278,7 +272,7 @@ impl ModelRegistry {
         label: &str,
         parent: Option<ModelVersion>,
     ) -> ModelVersion {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         let version = inner.next;
         inner.next += 1;
         let manifest = manifest_for(version, &model, label, parent.map(|v| v.0));
@@ -292,7 +286,7 @@ impl ModelRegistry {
     /// clone the `Arc` once at admission and keep serving from it; a
     /// concurrent promote cannot change what the clone points at.
     pub fn active(&self) -> Arc<VersionedModel> {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         // The active version always names an entry (promote/rollback
         // validate before updating), so this lookup cannot miss; the
         // unreachable fallback keeps the path panic-free regardless.
@@ -307,13 +301,13 @@ impl ModelRegistry {
 
     /// The active version number.
     pub fn active_version(&self) -> ModelVersion {
-        ModelVersion(lock_unpoisoned(&self.inner).active)
+        ModelVersion(self.inner.lock().active)
     }
 
     /// The previously active version (rollback target), when any swap has
     /// happened.
     pub fn previous_version(&self) -> Option<ModelVersion> {
-        lock_unpoisoned(&self.inner).previous.map(ModelVersion)
+        self.inner.lock().previous.map(ModelVersion)
     }
 
     /// Resolves a wire version number: 0 means "the currently active
@@ -322,7 +316,7 @@ impl ModelRegistry {
         if version == 0 {
             return Ok(self.active());
         }
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         inner
             .entries
             .get(&version)
@@ -336,7 +330,7 @@ impl ModelRegistry {
     /// counted swap). Promoting the shadow candidate clears the shadow
     /// plan (it is no longer a candidate).
     pub fn promote(&self, version: ModelVersion) -> Result<(), RegistryError> {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         if !inner.entries.contains_key(&version.0) {
             return Err(RegistryError::UnknownVersion(version.0));
         }
@@ -355,7 +349,7 @@ impl ModelRegistry {
     /// Swaps back to the previously active version. Returns the version
     /// now active.
     pub fn rollback(&self) -> Result<ModelVersion, RegistryError> {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         let Some(previous) = inner.previous else {
             return Err(RegistryError::NoPreviousVersion);
         };
@@ -378,7 +372,7 @@ impl ModelRegistry {
     /// deterministic cadence replaces random sampling so serving stays
     /// RNG-free.
     pub fn set_shadow(&self, version: ModelVersion, mirror_every: u32) -> Result<(), RegistryError> {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         if !inner.entries.contains_key(&version.0) {
             return Err(RegistryError::UnknownVersion(version.0));
         }
@@ -391,12 +385,12 @@ impl ModelRegistry {
 
     /// Disarms shadow serving.
     pub fn clear_shadow(&self) {
-        lock_unpoisoned(&self.inner).shadow = None;
+        self.inner.lock().shadow = None;
     }
 
     /// The armed shadow plan, `(version, mirror_every)`.
     pub fn shadow_plan(&self) -> Option<(ModelVersion, u32)> {
-        lock_unpoisoned(&self.inner)
+        self.inner.lock()
             .shadow
             .map(|s| (ModelVersion(s.version), s.mirror_every))
     }
@@ -404,7 +398,7 @@ impl ModelRegistry {
     /// Called once per admission: returns the shadow entry when this
     /// admission is one of the mirrored every-Nth slice, else `None`.
     pub fn shadow_pick(&self) -> Option<Arc<VersionedModel>> {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         let plan = inner.shadow?;
         let n = self.shadow_counter.fetch_add(1, Ordering::Relaxed) + 1;
         if !n.is_multiple_of(u64::from(plan.mirror_every)) {
@@ -415,7 +409,7 @@ impl ModelRegistry {
 
     /// Every registered manifest, in version order.
     pub fn manifests(&self) -> Vec<ModelManifest> {
-        lock_unpoisoned(&self.inner)
+        self.inner.lock()
             .entries
             .values()
             .map(|e| e.manifest.clone())
@@ -425,24 +419,24 @@ impl ModelRegistry {
     /// Credits one served match into the refresh statistics collector (see
     /// [`RefreshStats::observe`]).
     pub fn observe(&self, net: &RoadNetwork, points: &[CellularPoint], segments: &[SegmentId]) {
-        lock_unpoisoned(&self.stats).observe(net, points, segments);
+        self.stats.lock().observe(net, points, segments);
     }
 
     /// Folds an externally accumulated collector (e.g. a per-shard one)
     /// into the registry's.
     pub fn merge_stats(&self, other: &RefreshStats) {
-        lock_unpoisoned(&self.stats).merge(other);
+        self.stats.lock().merge(other);
     }
 
     /// A copy of the currently accumulated refresh statistics.
     pub fn stats(&self) -> RefreshStats {
-        lock_unpoisoned(&self.stats).clone()
+        self.stats.lock().clone()
     }
 
     /// Takes the accumulated refresh statistics, leaving the collector
     /// empty.
     pub fn drain_stats(&self) -> RefreshStats {
-        std::mem::take(&mut *lock_unpoisoned(&self.stats))
+        std::mem::take(&mut *self.stats.lock())
     }
 
     /// Completed refreshes.
@@ -473,7 +467,7 @@ impl ModelRegistry {
     /// via [`LhmmModel::save_weights`]; a loaded weight file is checked
     /// against its manifest fingerprint by the caller.
     pub fn manifest_bytes(&self) -> Vec<u8> {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         let mut buf = Vec::new();
         buf.extend_from_slice(MANIFEST_MAGIC);
         buf.push(MANIFEST_VERSION);

@@ -1,0 +1,410 @@
+//! Rank-ordered lock wrappers with a runtime deadlock witness
+//! (DESIGN §15).
+//!
+//! [`OrderedMutex`] / [`OrderedRwLock`] wrap their `std::sync` twins and
+//! carry a static *rank* and name. The workspace declares one global lock
+//! hierarchy in [`rank`]; every acquisition must strictly increase the
+//! rank along each thread's held-lock chain. In release builds without
+//! the `lock-witness` feature the wrappers are transparent passthroughs
+//! (the rank is a dormant `u32`). Under `cfg(debug_assertions)` — i.e.
+//! every ordinary `cargo test` run — or with the `lock-witness` feature,
+//! each acquisition:
+//!
+//! 1. registers the lock in a global rank table (re-registering a name
+//!    with a different rank is itself a violation),
+//! 2. checks the thread's held-lock set: acquiring a rank less than or
+//!    equal to any held rank panics with *both* acquisition sites
+//!    (`#[track_caller]` locations of the held and the new lock), and
+//! 3. pushes the lock onto the held set until the guard drops.
+//!
+//! The panic is an `assert!`: given the declared ranks and the static
+//! `lock-order` lint, an inversion is a contract violation — the witness
+//! converts what would be a latent deadlock into an immediate, located
+//! failure on the test run that first schedules it.
+//!
+//! Equal ranks are deliberately rejected too: two locks that can be held
+//! together must occupy distinct ranks, and re-locking the same
+//! non-reentrant `std` mutex on one thread is a self-deadlock. The same
+//! applies to `OrderedRwLock::read` re-entry (read → read on one thread
+//! deadlocks when a writer queues between the two).
+//!
+//! Lock poisoning is ridden through (`PoisonError::into_inner`), matching
+//! the serving layer's `lock_unpoisoned` idiom it replaces: a panic on a
+//! scoped serving thread already aborts the owning scope, so poison adds
+//! no safety — shutdown paths must still be able to drain.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// The global lock hierarchy: every [`OrderedMutex`]/[`OrderedRwLock`] in
+/// the workspace takes its rank from this table, lowest acquired first.
+/// One table (rather than per-crate constants) keeps the total order
+/// auditable in one screenful; DESIGN §15 documents each chain.
+pub mod rank {
+    /// Cluster router session table (`RouterShared::sessions`) — held
+    /// across shard RPCs, so it outranks nothing and opens every chain.
+    pub const ROUTER_SESSIONS: u32 = 10;
+    /// Per-tile pooled shard connection (`RouterShared::conns[tile]`).
+    pub const ROUTER_CONN: u32 = 20;
+    /// Supervisor shard slot (`Supervisor::slots[tile]`).
+    pub const SUPERVISOR_SLOT: u32 = 30;
+    /// Supervisor dead-shard report rollup (`Supervisor::dead`).
+    pub const SUPERVISOR_DEAD: u32 = 40;
+    /// Single-process server session table (`Shared::sessions`) — also
+    /// taken under a supervisor slot when a shard reports.
+    pub const SERVER_SESSIONS: u32 = 50;
+    /// Scheduler worker-handle registry (`MicroBatcher::threads`).
+    pub const SCHEDULER_THREADS: u32 = 60;
+    /// Scheduler dispatch receiver (`Mutex<mpsc::Receiver<_>>`).
+    pub const SCHEDULER_DISPATCH: u32 = 70;
+    /// Admission queue state (`BoundedQueue::inner`).
+    pub const ADMISSION_QUEUE: u32 = 80;
+    /// Accept-loop peer stream list (server and router).
+    pub const SERVER_PEERS: u32 = 90;
+    /// Connection-handler join handles (server and router).
+    pub const SERVER_HANDLERS: u32 = 95;
+    /// Accept-thread join handle slot.
+    pub const ACCEPT_HANDLE: u32 = 100;
+    /// Cluster monitor-thread join handle slot.
+    pub const MONITOR_HANDLE: u32 = 105;
+    /// Serving metrics histograms (`ServeMetrics::hist`).
+    pub const METRICS_HIST: u32 = 160;
+    /// Serving per-version metric lanes (`ServeMetrics::versions`).
+    pub const METRICS_VERSIONS: u32 = 165;
+    /// Model registry version store (`ModelRegistry::inner`) — a leaf:
+    /// registry methods never take another lock.
+    pub const REGISTRY_INNER: u32 = 200;
+    /// Model registry refresh statistics (`ModelRegistry::stats`).
+    pub const REGISTRY_STATS: u32 = 210;
+}
+
+#[cfg(any(debug_assertions, feature = "lock-witness"))]
+mod witness {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Name → rank, filled on first acquisition of each lock.
+    static RANK_TABLE: Mutex<BTreeMap<&'static str, u32>> = Mutex::new(BTreeMap::new());
+    /// Total witnessed acquisitions, for the `--races` witness lane.
+    static ACQUISITIONS: AtomicU64 = AtomicU64::new(0);
+
+    struct HeldLock {
+        rank: u32,
+        name: &'static str,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+    }
+
+    #[track_caller]
+    pub(super) fn acquire(rank: u32, name: &'static str) {
+        let site = Location::caller();
+        {
+            let mut table = match RANK_TABLE.lock() {
+                Ok(t) => t,
+                Err(p) => p.into_inner(),
+            };
+            let registered = *table.entry(name).or_insert(rank);
+            assert!(
+                registered == rank,
+                "lock rank table conflict: `{name}` registered at rank {registered}, \
+                 re-registered at rank {rank} (from {site}); one lock name, one rank"
+            );
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            for h in held.iter() {
+                assert!(
+                    h.rank < rank,
+                    "lock-order inversion: acquiring `{name}` (rank {rank}) at {site} \
+                     while holding `{}` (rank {}) acquired at {}; ranks must strictly \
+                     increase along every held chain (DESIGN §15)",
+                    h.name,
+                    h.rank,
+                    h.site
+                );
+            }
+            held.push(HeldLock { rank, name, site });
+        });
+        ACQUISITIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn release(rank: u32) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Ranks are unique within a thread's held set (equal ranks
+            // cannot be acquired together), so rank identifies the entry.
+            if let Some(pos) = held.iter().rposition(|h| h.rank == rank) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn acquisitions() -> u64 {
+        ACQUISITIONS.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn table() -> Vec<(&'static str, u32)> {
+        let table = match RANK_TABLE.lock() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        };
+        table.iter().map(|(n, r)| (*n, *r)).collect()
+    }
+}
+
+/// True when the deadlock witness is compiled in (debug builds or the
+/// `lock-witness` feature).
+pub fn witness_enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "lock-witness"))
+}
+
+/// Total lock acquisitions the witness has checked in this process
+/// (0 when the witness is compiled out). The `--races` witness lane
+/// asserts this advances across a serving run.
+pub fn witness_acquisitions() -> u64 {
+    #[cfg(any(debug_assertions, feature = "lock-witness"))]
+    {
+        witness::acquisitions()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lock-witness")))]
+    {
+        0
+    }
+}
+
+/// The ranks observed so far, name → rank (empty when the witness is
+/// compiled out). Diagnostic surface for tests and tooling.
+pub fn witness_rank_table() -> Vec<(&'static str, u32)> {
+    #[cfg(any(debug_assertions, feature = "lock-witness"))]
+    {
+        witness::table()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lock-witness")))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "lock-witness"))]
+use witness::{acquire as witness_acquire, release as witness_release};
+#[cfg(not(any(debug_assertions, feature = "lock-witness")))]
+#[inline(always)]
+fn witness_acquire(_rank: u32, _name: &'static str) {}
+#[cfg(not(any(debug_assertions, feature = "lock-witness")))]
+#[inline(always)]
+fn witness_release(_rank: u32) {}
+
+/// A [`Mutex`] that participates in the global lock hierarchy.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    raw: Mutex<T>,
+    rank: u32,
+    name: &'static str,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` at `rank` (from [`rank`]) under `name`. `name` keys
+    /// the global rank table: one name, one rank, process-wide.
+    pub const fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Self {
+            raw: Mutex::new(value),
+            rank,
+            name,
+        }
+    }
+
+    /// Acquires the lock, riding poison, after the witness admits the
+    /// acquisition against this thread's held ranks.
+    #[track_caller]
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        witness_acquire(self.rank, self.name);
+        let raw = match self.raw.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        OrderedMutexGuard {
+            raw: Some(raw),
+            rank: self.rank,
+        }
+    }
+
+    /// This lock's rank in the global hierarchy.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// This lock's rank-table name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Guard for [`OrderedMutex`]; releases the witness entry on drop.
+#[derive(Debug)]
+pub struct OrderedMutexGuard<'a, T> {
+    /// `Some` until dropped; `take`n transiently inside [`Self::wait_timeout`].
+    raw: Option<MutexGuard<'a, T>>,
+    rank: u32,
+}
+
+impl<'a, T> OrderedMutexGuard<'a, T> {
+    /// Same-lock `Condvar` wait with a deadline: atomically releases the
+    /// underlying mutex while parked and re-acquires it on wake, exactly
+    /// like [`Condvar::wait_timeout`]. The witness entry stays on the
+    /// held set for the duration — the thread cannot acquire anything
+    /// else while parked, and on wake it holds the lock again. Returns
+    /// the guard and whether the deadline elapsed.
+    pub fn wait_timeout(mut self, cv: &Condvar, timeout: Duration) -> (Self, bool) {
+        let raw = match self.raw.take() {
+            Some(g) => g,
+            None => unreachable!("guard invariant: raw present until drop"),
+        };
+        let (raw, res) = match cv.wait_timeout(raw, timeout) {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        self.raw = Some(raw);
+        (self, res.timed_out())
+    }
+}
+
+impl<T> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.raw {
+            Some(g) => g,
+            None => unreachable!("guard invariant: raw present until drop"),
+        }
+    }
+}
+
+impl<T> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.raw {
+            Some(g) => g,
+            None => unreachable!("guard invariant: raw present until drop"),
+        }
+    }
+}
+
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        witness_release(self.rank);
+    }
+}
+
+/// An [`RwLock`] that participates in the global lock hierarchy. Both
+/// `read` and `write` acquire at the lock's single rank; shared readers
+/// on *different* threads proceed concurrently as usual, but one thread
+/// nesting `read` inside `read` is rejected (a queued writer between the
+/// two re-entries deadlocks all three).
+#[derive(Debug)]
+pub struct OrderedRwLock<T> {
+    raw: RwLock<T>,
+    rank: u32,
+    name: &'static str,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Wraps `value` at `rank` under `name`; see [`OrderedMutex::new`].
+    pub const fn new(rank: u32, name: &'static str, value: T) -> Self {
+        Self {
+            raw: RwLock::new(value),
+            rank,
+            name,
+        }
+    }
+
+    /// Shared acquisition, riding poison, witness-checked at this lock's
+    /// rank.
+    #[track_caller]
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        witness_acquire(self.rank, self.name);
+        let raw = match self.raw.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        OrderedReadGuard {
+            raw,
+            rank: self.rank,
+        }
+    }
+
+    /// Exclusive acquisition, riding poison, witness-checked at this
+    /// lock's rank.
+    #[track_caller]
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        witness_acquire(self.rank, self.name);
+        let raw = match self.raw.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        OrderedWriteGuard {
+            raw,
+            rank: self.rank,
+        }
+    }
+
+    /// This lock's rank in the global hierarchy.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// This lock's rank-table name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Shared guard for [`OrderedRwLock`].
+#[derive(Debug)]
+pub struct OrderedReadGuard<'a, T> {
+    raw: RwLockReadGuard<'a, T>,
+    rank: u32,
+}
+
+impl<T> Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.raw
+    }
+}
+
+impl<T> Drop for OrderedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        witness_release(self.rank);
+    }
+}
+
+/// Exclusive guard for [`OrderedRwLock`].
+#[derive(Debug)]
+pub struct OrderedWriteGuard<'a, T> {
+    raw: RwLockWriteGuard<'a, T>,
+    rank: u32,
+}
+
+impl<T> Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.raw
+    }
+}
+
+impl<T> DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.raw
+    }
+}
+
+impl<T> Drop for OrderedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        witness_release(self.rank);
+    }
+}

@@ -17,8 +17,9 @@
 //! consumed from the baseline: the inference zone must be fixed, not
 //! frozen (see DESIGN §10).
 
+use crate::concurrency::{cycle_findings, LockEdge};
 use crate::lexer::{lex, Comment};
-use crate::rules::{check_file, zone_of, Finding, Zone, RULES};
+use crate::rules::{check_file_edges, zone_of, Finding, Zone, RULES};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -143,8 +144,17 @@ fn push_waiver_finding(rel: &str, line: u32, msg: &str, out: &mut Vec<Finding>) 
 
 /// Lints one file's source text (exposed for the fixture tests).
 pub fn check_source(rel: &str, zone: Zone, src: &str) -> Vec<Finding> {
+    check_source_full(rel, zone, src).0
+}
+
+/// [`check_source`] plus the file's lock-acquisition edges. Cycles among
+/// the file's *own* edges are reported here (and are waivable like any
+/// finding); [`run`] re-runs cycle detection over the whole workspace's
+/// edges, where cross-file cycles surface — those cannot be waived.
+pub fn check_source_full(rel: &str, zone: Zone, src: &str) -> (Vec<Finding>, Vec<LockEdge>) {
     let lexed = lex(src);
-    let mut findings = check_file(rel, zone, &lexed);
+    let (mut findings, edges) = check_file_edges(rel, zone, &lexed);
+    findings.extend(cycle_findings(&edges));
     let mut waiver_findings = Vec::new();
     let mut waivers = parse_waivers(rel, &lexed.comments, &mut waiver_findings);
     // Same-line (trailing) coverage first …
@@ -171,7 +181,7 @@ pub fn check_source(rel: &str, zone: Zone, src: &str) -> Vec<Finding> {
     }
     findings.extend(waiver_findings);
     findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
-    findings
+    (findings, edges)
 }
 
 /// Recursively collects `.rs` files under `dir`, repo-relative, sorted.
@@ -210,6 +220,10 @@ pub fn run(root: &Path, baseline_path: &Path) -> io::Result<Report> {
     files.sort();
 
     let mut report = Report::default();
+    let mut all_edges: Vec<LockEdge> = Vec::new();
+    // Trimmed source lines of files that contributed lock edges, for
+    // excerpting workspace-level cycle findings after the walk.
+    let mut edge_file_lines: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for rel in &files {
         let rel_s = rel_str(rel);
         let Some(zone) = zone_of(&rel_s) else {
@@ -218,7 +232,8 @@ pub fn run(root: &Path, baseline_path: &Path) -> io::Result<Report> {
         report.files += 1;
         let src = fs::read_to_string(root.join(rel))?;
         let lines: Vec<&str> = src.lines().collect();
-        for f in check_source(&rel_s, zone, &src) {
+        let (findings, edges) = check_source_full(&rel_s, zone, &src);
+        for f in findings {
             let excerpt = lines
                 .get(f.line.saturating_sub(1) as usize)
                 .map(|l| l.trim().to_string())
@@ -226,6 +241,34 @@ pub fn run(root: &Path, baseline_path: &Path) -> io::Result<Report> {
             report.findings.push(f);
             report.excerpts.push(excerpt);
         }
+        if !edges.is_empty() {
+            edge_file_lines.insert(rel_s, lines.iter().map(|l| l.trim().to_string()).collect());
+            all_edges.extend(edges);
+        }
+    }
+
+    // Workspace-wide lock-order pass: cross-file edges can close a cycle
+    // no single file shows. Intra-file cycles were already reported (and
+    // possibly waived) above — skip any line that already carries a
+    // lock-order finding. Cross-file cycles are deliberately unwaivable:
+    // re-rank the locks instead.
+    let reported: BTreeMap<(String, u32), ()> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order")
+        .map(|f| ((f.path.clone(), f.line), ()))
+        .collect();
+    for f in cycle_findings(&all_edges) {
+        if reported.contains_key(&(f.path.clone(), f.line)) {
+            continue;
+        }
+        let excerpt = edge_file_lines
+            .get(&f.path)
+            .and_then(|lines| lines.get(f.line.saturating_sub(1) as usize))
+            .cloned()
+            .unwrap_or_default();
+        report.findings.push(f);
+        report.excerpts.push(excerpt);
     }
 
     apply_baseline(&mut report, baseline_path);

@@ -8,17 +8,24 @@
 //! * [`lexer`] — a small Rust lexer that is exact about what is code and
 //!   what is string/comment/test-gated content;
 //! * [`rules`] — the rule registry (`float-cmp`, `nondeterminism`,
-//!   `hash-iteration`, `panic-path`, `float-cast`) and the per-crate zone
+//!   `hash-iteration`, `panic-path`, `float-cast`, `lock-order`,
+//!   `guard-across-blocking`, `unsafe-fence`) and the per-crate zone
 //!   policy;
+//! * [`concurrency`] — the concurrency pass behind the last three rules:
+//!   guard-binding tracking, the per-crate lock-acquisition graph with
+//!   per-file *and* workspace-wide cycle detection, and the unsafe fence
+//!   (its runtime twin is `lhmm_core::sync`, DESIGN §15);
 //! * [`engine`] — workspace walking, `lint:allow` waivers with mandatory
 //!   justification, and the frozen-debt baseline;
 //! * [`races`] — a dynamic smoke mode matching the seeded adversarial
-//!   corpus at two worker counts and comparing result fingerprints.
+//!   corpus at two worker counts and comparing result fingerprints, with
+//!   the lock-hierarchy witness active on the serving lane.
 //!
 //! The `lhmm-lint` binary wires these into CI (`ci.sh` runs
 //! `lhmm-lint --deny` before the test stages). See DESIGN §10 for the
 //! policy rationale and the workflow for adding a rule.
 
+pub mod concurrency;
 pub mod engine;
 pub mod lexer;
 pub mod races;

@@ -19,9 +19,11 @@ MODES (default: report findings, exit 0)
     --races [SEED]    match the seeded adversarial corpus at two
                       BatchMatcher worker counts and compare result
                       fingerprints (scheduling-nondeterminism smoke test);
-                      also re-runs with the SIMD kernel forced to scalar
-                      and replays the corpus through the serving scheduler
-                      with a model hot swap fired mid-run
+                      also re-runs with the SIMD kernel forced to scalar,
+                      replays the corpus through the serving scheduler
+                      with a model hot swap fired mid-run, and repeats the
+                      swap run as a lock-witness lane (rank-checked
+                      acquisitions, identical fingerprint)
     --kernels         print the SIMD kernel names this machine supports,
                       one per line (for CI loops over LHMM_KERNEL)
 
@@ -147,7 +149,7 @@ fn run_races_mode(seed: u64) -> ExitCode {
     let workers = (1usize, 4usize);
     let report = races::run_races(seed, workers);
     println!(
-        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x} scalar_kernel={:016x} swap={:016x}/{:016x}",
+        "lhmm-lint --races: seed={:#x} cases={} workers={}/{} fingerprints={:016x}/{:016x} repeat={:016x} ch={:016x} scalar_kernel={:016x} swap={:016x}/{:016x} witness={:016x} ({}, {} locks)",
         report.seed,
         report.cases,
         report.worker_counts.0,
@@ -159,9 +161,16 @@ fn run_races_mode(seed: u64) -> ExitCode {
         report.scalar_kernel_fingerprint,
         report.swap_fingerprints.0,
         report.swap_fingerprints.1,
+        report.witness_fingerprint,
+        if report.witness_active { "witness on" } else { "witness off" },
+        report.witness_locks,
     );
+    if !report.witness_ok() {
+        eprintln!("lhmm-lint --races: lock witness compiled in but observed no acquisitions");
+        return ExitCode::FAILURE;
+    }
     if report.deterministic() {
-        println!("lhmm-lint --races: deterministic across worker counts, SP backends, kernels, and mid-corpus swaps");
+        println!("lhmm-lint --races: deterministic across worker counts, SP backends, kernels, and mid-corpus swaps (lock-witness lane included)");
         ExitCode::SUCCESS
     } else {
         eprintln!("lhmm-lint --races: RESULT FINGERPRINTS DIVERGED — worker scheduling leaked into results");

@@ -20,6 +20,13 @@
 //! verdict's `model_version` stamp) must agree — any divergence means a
 //! swap leaked across the admission pin.
 //!
+//! The witness lane repeats the wide swap run and checks two things: the
+//! fingerprint still matches (the lock-hierarchy bookkeeping in
+//! `lhmm_core::sync` must be behaviorally invisible), and — when the
+//! witness is compiled in (`debug_assertions` or the `lock-witness`
+//! feature) — the acquisition counter actually advanced, proving the
+//! serving run was rank-checked rather than silently passthrough.
+//!
 //! The corpus is deliberately tiny (tens of trajectories on a toy city):
 //! this is a CI smoke test that runs in well under a second, not a
 //! substitute for `tests/batch_equivalence.rs`.
@@ -63,6 +70,14 @@ pub struct RacesReport {
     /// `model_version` stamp of each verdict, so they only agree when the
     /// admission pin held at every schedule width.
     pub swap_fingerprints: (u64, u64),
+    /// Fingerprint of the witness lane: the swap run repeated at the
+    /// second worker count. Must equal `swap_fingerprints.1` — the lock
+    /// witness may observe, never perturb.
+    pub witness_fingerprint: u64,
+    /// Whether the runtime lock witness was compiled into this binary.
+    pub witness_active: bool,
+    /// Rank-checked acquisitions observed during the witness lane.
+    pub witness_locks: u64,
 }
 
 impl RacesReport {
@@ -73,6 +88,14 @@ impl RacesReport {
             && self.fingerprints.0 == self.ch_fingerprint
             && self.fingerprints.0 == self.scalar_kernel_fingerprint
             && self.swap_fingerprints.0 == self.swap_fingerprints.1
+            && self.witness_fingerprint == self.swap_fingerprints.1
+    }
+
+    /// True when the witness lane proves coverage: either the witness is
+    /// compiled out (plain release), or it observed rank-checked
+    /// acquisitions during the serving run.
+    pub fn witness_ok(&self) -> bool {
+        !self.witness_active || self.witness_locks > 0
     }
 }
 
@@ -223,6 +246,12 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
         swap_run(ctx, &trajs, lhmm.model(), &v2, workers.1),
     );
 
+    // Witness lane: same wide swap run, bracketed by the acquisition
+    // counter so a passthrough build is told apart from a checked one.
+    let locks_before = lhmm_core::sync::witness_acquisitions();
+    let witness_fingerprint = swap_run(ctx, &trajs, lhmm.model(), &v2, workers.1);
+    let witness_locks = lhmm_core::sync::witness_acquisitions() - locks_before;
+
     lhmm.set_sp_backend(&ds.network, SpBackend::Ch);
     let ch_fingerprint = run_at(&lhmm, workers.0);
 
@@ -235,6 +264,9 @@ pub fn run_races(seed: u64, workers: (usize, usize)) -> RacesReport {
         ch_fingerprint,
         scalar_kernel_fingerprint,
         swap_fingerprints,
+        witness_fingerprint,
+        witness_active: lhmm_core::sync::witness_enabled(),
+        witness_locks,
     }
 }
 
@@ -249,6 +281,10 @@ mod tests {
         assert!(
             report.deterministic(),
             "worker scheduling leaked into results: {report:?}"
+        );
+        assert!(
+            report.witness_ok(),
+            "witness compiled in but saw no acquisitions: {report:?}"
         );
     }
 }

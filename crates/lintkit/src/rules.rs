@@ -19,8 +19,8 @@
 //! | zone      | crates                                           | rules |
 //! |-----------|--------------------------------------------------|-------|
 //! | inference | lhmm-core, lhmm-neural, lhmm-graph, lhmm-geo, lhmm-network | all |
-//! | service   | lhmm-serve                                       | float-cmp, panic-path |
-//! | tooling   | everything else (cellsim, baselines, eval, bench, umbrella, lintkit itself) | float-cmp, panic-path |
+//! | service   | lhmm-serve                                       | float-cmp, panic-path + concurrency |
+//! | tooling   | everything else (cellsim, baselines, eval, bench, umbrella, lintkit itself) | float-cmp, panic-path + concurrency |
 //!
 //! The service and tooling zones legitimately read clocks (deadlines,
 //! benchmarks) and iterate scratch hash maps, so `nondeterminism`,
@@ -28,7 +28,14 @@
 //! pure function of `(model, trajectory)`. Vendored stand-in crates
 //! (`crates/rand`, `crates/proptest`, `crates/criterion`) are not ours
 //! and are not walked at all.
+//!
+//! The concurrency rules (`lock-order`, `guard-across-blocking`,
+//! `unsafe-fence`; see [`crate::concurrency`] and DESIGN §15) apply in
+//! *every* zone: a deadlock or a UB surface is a process property, not a
+//! result-purity property. The only carve-outs are the audited SIMD
+//! modules (`crates/neural/src/{avec,kernel}.rs`) for `unsafe-fence`.
 
+use crate::concurrency::LockEdge;
 use crate::lexer::{Kind, Lexed, Token};
 
 /// Crate zones; see the module docs for the policy table.
@@ -46,6 +53,9 @@ pub const RULES: &[&str] = &[
     "hash-iteration",
     "panic-path",
     "float-cast",
+    "lock-order",
+    "guard-across-blocking",
+    "unsafe-fence",
     "waiver",
 ];
 
@@ -106,12 +116,27 @@ pub fn rule_applies(rule: &str, zone: Zone, rel: &str) -> bool {
                 && !rel.ends_with("crates/neural/src/kernel.rs")
         }
         "hash-iteration" | "float-cast" => zone == Zone::Inference,
+        // Deadlocks and guard-held stalls are process properties: the
+        // concurrency rules run in every zone (DESIGN §15).
+        "lock-order" | "guard-across-blocking" => true,
+        "unsafe-fence" => {
+            // The audited SIMD modules own the workspace's only `unsafe`
+            // and `static … OnceLock` dispatch state (DESIGN §12).
+            !rel.ends_with("crates/neural/src/avec.rs")
+                && !rel.ends_with("crates/neural/src/kernel.rs")
+        }
         _ => false,
     }
 }
 
 /// Runs every applicable rule over one lexed file.
 pub fn check_file(rel: &str, zone: Zone, lexed: &Lexed) -> Vec<Finding> {
+    check_file_edges(rel, zone, lexed).0
+}
+
+/// [`check_file`] plus the file's lock-acquisition edges, for per-file
+/// and workspace-level cycle detection (see [`crate::concurrency`]).
+pub fn check_file_edges(rel: &str, zone: Zone, lexed: &Lexed) -> (Vec<Finding>, Vec<LockEdge>) {
     // Unmasked view: rules never see test-gated tokens.
     let toks: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.masked).collect();
     let mut out = Vec::new();
@@ -130,7 +155,14 @@ pub fn check_file(rel: &str, zone: Zone, lexed: &Lexed) -> Vec<Finding> {
     if rule_applies("float-cast", zone, rel) {
         float_cast(rel, &toks, &mut out);
     }
-    out
+    let lock_graph = rule_applies("lock-order", zone, rel);
+    let blocking = rule_applies("guard-across-blocking", zone, rel);
+    let fence = rule_applies("unsafe-fence", zone, rel);
+    let mut edges = Vec::new();
+    if lock_graph || blocking || fence {
+        crate::concurrency::scan(rel, &toks, lock_graph, blocking, fence, &mut out, &mut edges);
+    }
+    (out, edges)
 }
 
 fn finding(rule: &'static str, rel: &str, line: u32, message: String) -> Finding {
@@ -144,11 +176,11 @@ fn finding(rule: &'static str, rel: &str, line: u32, message: String) -> Finding
     }
 }
 
-fn is_p(t: &Token, s: &str) -> bool {
+pub(crate) fn is_p(t: &Token, s: &str) -> bool {
     t.kind == Kind::Punct && t.text == s
 }
 
-fn is_i(t: &Token, s: &str) -> bool {
+pub(crate) fn is_i(t: &Token, s: &str) -> bool {
     t.kind == Kind::Ident && t.text == s
 }
 

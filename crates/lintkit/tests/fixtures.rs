@@ -78,6 +78,9 @@ fn true_positive_corpus_fires_exactly_as_annotated() {
         "hash-iteration",
         "panic-path",
         "float-cast",
+        "lock-order",
+        "guard-across-blocking",
+        "unsafe-fence",
         "waiver",
     ] {
         assert!(

@@ -1,0 +1,58 @@
+//@ path: crates/serve/src/fx_guard_discipline.rs
+// Must-not-flag corpus for `guard-across-blocking`: every blocking call
+// here runs with the relevant guard already released — the approved
+// idioms the rule must not punish.
+
+impl Shard {
+    /// Explicit `drop(guard)` before the sleep.
+    pub fn backoff(&self, dur: Duration) {
+        let slot = self.slots.lock();
+        let claimed = slot.claim_restart();
+        drop(slot);
+        std::thread::sleep(dur);
+        self.finish_restart(claimed);
+    }
+
+    /// Guard scoped to a block; the I/O runs after the scope closes.
+    pub fn flush(&self, stream: &mut TcpStream) {
+        let frame = {
+            let mut q = self.queue.lock();
+            q.take_frame()
+        };
+        let _ = stream.write_all(&frame);
+    }
+
+    /// The same-lock `Condvar` loop: the wait consumes the guard it was
+    /// paired with, which is the one legal blocking-while-locked idiom.
+    pub fn pop_deadline(&self, dur: Duration) -> Option<Job> {
+        let mut st = self.inner.lock();
+        while st.items.is_empty() {
+            let (next, timed_out) = st.wait_timeout(&self.not_empty, dur);
+            st = next;
+            if timed_out {
+                return st.items.pop_front();
+            }
+        }
+        st.items.pop_front()
+    }
+
+    /// Take-under-lock, join-after: the chained `.take()` means the
+    /// binding holds the handle, not the guard.
+    pub fn stop(&self) {
+        let accept = self.accept.lock().take();
+        if let Some(h) = accept {
+            let _ = h.join();
+        }
+    }
+
+    /// Scoped re-lock: releasing and re-acquiring the same lock is not a
+    /// re-entrant self-cycle.
+    pub fn relock(&self) -> usize {
+        let before = {
+            let st = self.inner.lock();
+            st.items.len()
+        };
+        let st = self.inner.lock();
+        st.items.len().max(before)
+    }
+}

@@ -1,0 +1,44 @@
+//@ path: crates/core/src/fx_lock_ranked.rs
+// Must-not-flag corpus for `lock-order`: every function acquires in the
+// same global order (alpha before beta before gamma), so the lock graph
+// is a DAG; RwLock read-then-write re-acquisition drops the read guard
+// first; buffered `io::Read`/`io::Write` calls are not acquisitions.
+
+impl Ranked {
+    pub fn sum(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    pub fn chain(&self) -> u64 {
+        let a = self.alpha.lock();
+        let g = self.gamma.lock();
+        *a * *g
+    }
+
+    pub fn deep(&self) -> u64 {
+        let b = self.beta.lock();
+        let g = self.gamma.lock();
+        *b - *g
+    }
+
+    /// Read, release, then write: without the `drop` the upgrade would be
+    /// a re-entrant self-edge.
+    pub fn upgrade(&self) -> usize {
+        let r = self.table.read();
+        let n = r.len();
+        drop(r);
+        let mut w = self.table.write();
+        w.truncate(n);
+        n
+    }
+
+    /// `io::Read`/`io::Write` always take a buffer, so the zero-argument
+    /// acquisition pattern never matches them.
+    pub fn copy(&self, stream: &mut TcpStream, buf: &mut [u8]) -> usize {
+        let n = stream.read(buf).unwrap_or(0);
+        let _ = stream.write(&buf[..n]);
+        n
+    }
+}

@@ -1,0 +1,47 @@
+//@ path: crates/serve/src/fx_guard_blocking.rs
+// True positives for `guard-across-blocking`: a live lock guard held
+// across a blocking call — sleeps, stream I/O, thread joins, channel
+// operations, connects, and a `Condvar` wait that consumes a *different*
+// lock's guard.
+
+impl Shard {
+    pub fn doze(&self, backoff: Duration) {
+        let slot = self.slots.lock();
+        std::thread::sleep(backoff); //~ guard-across-blocking
+        slot.touch();
+    }
+
+    pub fn flush_frame(&self, stream: &mut TcpStream, frame: &[u8]) {
+        let conn = self.state.lock();
+        let _ = stream.write_all(frame); //~ guard-across-blocking
+        conn.mark_flushed();
+    }
+
+    pub fn reap(&self, worker: JoinHandle<()>) {
+        let table = self.threads.lock();
+        let _ = worker.join(); //~ guard-across-blocking
+        table.note_reaped();
+    }
+
+    pub fn pump(&self, rx: &Receiver<Job>, tx: &Sender<Job>) {
+        let held = self.dispatch.lock();
+        let job = rx.recv(); //~ guard-across-blocking
+        if let Ok(job) = job {
+            let _ = tx.send(job); //~ guard-across-blocking
+        }
+        held.bump();
+    }
+
+    pub fn dial(&self, addr: SocketAddr) {
+        let pool = self.conns.lock();
+        let sock = TcpStream::connect(addr); //~ guard-across-blocking
+        pool.adopt(sock);
+    }
+
+    pub fn cross_wait(&self, dur: Duration) {
+        let held = self.table.lock();
+        let st = self.queue.lock();
+        let st = self.not_empty.wait_timeout(st, dur); //~ guard-across-blocking
+        held.merge(st);
+    }
+}

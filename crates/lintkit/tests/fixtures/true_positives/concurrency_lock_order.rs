@@ -1,0 +1,31 @@
+//@ path: crates/serve/src/fx_lock_order.rs
+// True positives for `lock-order`: inconsistent acquisition order between
+// two functions closes a cycle in the per-file lock graph, and a
+// re-entrant `.lock()` is a self-cycle. The finding anchors on the inner
+// acquisition (the edge that closes the cycle).
+
+pub struct Pair {
+    alpha: OrderedMutex<u32>,
+    beta: OrderedMutex<u32>,
+    gamma: OrderedMutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); //~ lock-order
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); //~ lock-order
+        *b - *a
+    }
+
+    pub fn reentrant(&self) -> u32 {
+        let first = self.gamma.lock();
+        let second = self.gamma.lock(); //~ lock-order
+        *first + *second
+    }
+}

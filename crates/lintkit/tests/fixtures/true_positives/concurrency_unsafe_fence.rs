@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/fx_unsafe_fence.rs
+// True positives for `unsafe-fence`: `unsafe`, `static mut`, and global
+// `static … OnceLock` dispatch state are legal only in the allowlisted
+// SIMD modules (`crates/neural/src/{avec,kernel}.rs`) — anywhere else the
+// fence fires so the no-UB surface stays auditable.
+
+static ROUTE_FN: OnceLock<fn(u64) -> usize> = OnceLock::new(); //~ unsafe-fence
+
+static mut HITS: u64 = 0; //~ unsafe-fence
+
+pub fn record_hit() -> u64 {
+    unsafe { //~ unsafe-fence
+        HITS += 1;
+        HITS
+    }
+}

@@ -7,9 +7,10 @@
 //! requests wait; everything behind it (scheduler, workers) pulls at its
 //! own pace.
 
+use lhmm_core::sync::{rank, OrderedMutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::Condvar;
 use std::time::Duration;
 
 /// Why a request was shed at admission, layered on the
@@ -77,24 +78,16 @@ impl fmt::Display for RejectReason {
     }
 }
 
-/// Locks a mutex, riding through poisoning: serving state must stay
-/// reachable even if some thread panicked while holding the lock (the
-/// counters may be mid-update, which is acceptable for telemetry and
-/// queues of owned values).
-pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
 /// A bounded multi-producer queue with blocking consumers.
 ///
 /// Producers never block: [`BoundedQueue::try_push`] fails fast with the
 /// value when the queue is full or closed — the admission-control
 /// primitive. Consumers block with a timeout so they can observe shutdown.
 pub struct BoundedQueue<T> {
-    inner: Mutex<QueueState<T>>,
+    // Rank-ordered (DESIGN §15): the queue lock rides poison exactly as
+    // the old `lock_unpoisoned` helper did — serving state must stay
+    // reachable even if a holder panicked mid-update.
+    inner: OrderedMutex<QueueState<T>>,
     not_empty: Condvar,
     cap: usize,
 }
@@ -118,7 +111,7 @@ impl<T> BoundedQueue<T> {
     /// everything — a degenerate but valid "serve nothing" configuration).
     pub fn new(cap: usize) -> Self {
         BoundedQueue {
-            inner: Mutex::new(QueueState {
+            inner: OrderedMutex::new(rank::ADMISSION_QUEUE, "admission.queue", QueueState {
                 items: VecDeque::with_capacity(cap.min(1024)),
                 closed: false,
             }),
@@ -129,7 +122,7 @@ impl<T> BoundedQueue<T> {
 
     /// Attempts to enqueue without blocking.
     pub fn try_push(&self, value: T) -> Result<(), (PushError, T)> {
-        let mut st = lock_unpoisoned(&self.inner);
+        let mut st = self.inner.lock();
         if st.closed {
             return Err((PushError::Closed, value));
         }
@@ -145,7 +138,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues, waiting up to `timeout`. `None` on timeout or when the
     /// queue is closed *and* drained.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
-        let mut st = lock_unpoisoned(&self.inner);
+        let mut st = self.inner.lock();
         loop {
             if let Some(v) = st.items.pop_front() {
                 return Some(v);
@@ -153,12 +146,11 @@ impl<T> BoundedQueue<T> {
             if st.closed {
                 return None;
             }
-            let (next, res) = match self.not_empty.wait_timeout(st, timeout) {
-                Ok(pair) => pair,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            // Same-lock deadline wait: the guard is consumed and handed
+            // back by the witness-aware wrapper.
+            let (next, timed_out) = st.wait_timeout(&self.not_empty, timeout);
             st = next;
-            if res.timed_out() {
+            if timed_out {
                 return st.items.pop_front();
             }
         }
@@ -166,7 +158,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current depth (instantaneous; for telemetry).
     pub fn len(&self) -> usize {
-        lock_unpoisoned(&self.inner).items.len()
+        self.inner.lock().items.len()
     }
 
     /// True when empty at this instant.
@@ -177,13 +169,13 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: further pushes fail with [`PushError::Closed`];
     /// consumers drain the remaining items and then see `None`.
     pub fn close(&self) {
-        lock_unpoisoned(&self.inner).closed = true;
+        self.inner.lock().closed = true;
         self.not_empty.notify_all();
     }
 
     /// True once [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        lock_unpoisoned(&self.inner).closed
+        self.inner.lock().closed
     }
 }
 

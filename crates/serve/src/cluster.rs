@@ -39,7 +39,7 @@
 //! [`RejectReason::SessionLimit`] shed surfaces at the first `Push` rather
 //! than at `Open`.
 
-use crate::admission::{lock_unpoisoned, RejectReason};
+use crate::admission::RejectReason;
 use crate::metrics::{ServeMetrics, ServeReport};
 use crate::protocol::{
     read_request, read_response, write_request, write_response, Request, Response,
@@ -58,7 +58,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use lhmm_core::sync::{rank, OrderedMutex};
+use std::sync::Arc;
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::Duration;
 
@@ -154,10 +155,10 @@ struct Supervisor<'scope, 'env> {
     serves: Vec<ServeCtx<'env>>,
     shard_config: ServeConfig,
     max_restarts: u32,
-    slots: Vec<Mutex<ShardSlot<'scope, 'env>>>,
+    slots: Vec<OrderedMutex<ShardSlot<'scope, 'env>>>,
     /// Final reports of aborted (crashed) shard generations, folded in as
     /// they die so nothing is lost from the cluster rollup.
-    dead: Mutex<ServeReport>,
+    dead: OrderedMutex<ServeReport>,
     restarts_total: AtomicU64,
 }
 
@@ -172,7 +173,9 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
             .iter()
             .map(|serve| {
                 let handle = ServerHandle::start(scope, *serve, shard_config.clone())?;
-                Ok(Mutex::new(ShardSlot {
+                // Rank-ordered (DESIGN §15): slots sit above the dead
+                // rollup and below the router's session/conn locks.
+                Ok(OrderedMutex::new(rank::SUPERVISOR_SLOT, "supervisor.slot", ShardSlot {
                     handle: Some(handle),
                     restarts: 0,
                 }))
@@ -184,7 +187,7 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
             shard_config,
             max_restarts,
             slots,
-            dead: Mutex::new(empty_report()),
+            dead: OrderedMutex::new(rank::SUPERVISOR_DEAD, "supervisor.dead", empty_report()),
             restarts_total: AtomicU64::new(0),
         })
     }
@@ -192,11 +195,11 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
     /// Hard-kills the shard serving `tile` (the simulated crash): open
     /// sessions are dropped unfinalized. Returns false when already down.
     fn kill(&self, tile: usize) -> bool {
-        let mut slot = lock_unpoisoned(&self.slots[tile]);
+        let mut slot = self.slots[tile].lock();
         match slot.handle.take() {
             Some(h) => {
                 let report = h.abort();
-                lock_unpoisoned(&self.dead).merge(&report);
+                self.dead.lock().merge(&report);
                 true
             }
             None => false,
@@ -208,15 +211,30 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
     /// restart). `None` means the budget is exhausted and the tile is
     /// permanently down.
     fn ensure_alive(&self, tile: usize) -> Option<SocketAddr> {
-        let mut slot = lock_unpoisoned(&self.slots[tile]);
-        if let Some(h) = &slot.handle {
-            return Some(h.addr());
+        // Claim a restart and compute the backoff with the slot lock held,
+        // but SLEEP WITH IT RELEASED: dozing under the guard would stall
+        // the monitor and every router call targeting this tile for the
+        // whole backoff window (this was a real guard-across-blocking
+        // finding; see DESIGN §15).
+        let backoff = {
+            let mut slot = self.slots[tile].lock();
+            if let Some(h) = &slot.handle {
+                return Some(h.addr());
+            }
+            if slot.restarts >= self.max_restarts {
+                return None;
+            }
+            slot.restarts += 1;
+            Duration::from_millis(1u64 << slot.restarts.min(6))
+        };
+        std::thread::sleep(backoff);
+        let mut slot = self.slots[tile].lock();
+        if let Some(addr) = slot.handle.as_ref().map(|h| h.addr()) {
+            // A concurrent caller restarted the shard while we slept:
+            // refund the restart we claimed — no generation was consumed.
+            slot.restarts -= 1;
+            return Some(addr);
         }
-        if slot.restarts >= self.max_restarts {
-            return None;
-        }
-        slot.restarts += 1;
-        std::thread::sleep(Duration::from_millis(1u64 << slot.restarts.min(6)));
         match ServerHandle::start(self.scope, self.serves[tile], self.shard_config.clone()) {
             Ok(h) => {
                 self.restarts_total.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +250,8 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
     /// answer, and restart the dead within budget.
     fn health_check(&self) {
         for tile in 0..self.slots.len() {
-            let addr = lock_unpoisoned(&self.slots[tile])
+            let addr = self.slots[tile]
+                .lock()
                 .handle
                 .as_ref()
                 .map(|h| h.addr());
@@ -251,9 +270,9 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
 
     /// Live rollup across running shards plus everything already dead.
     fn report(&self) -> ServeReport {
-        let mut merged = lock_unpoisoned(&self.dead).clone();
+        let mut merged = self.dead.lock().clone();
         for slot in &self.slots {
-            let slot = lock_unpoisoned(slot);
+            let slot = slot.lock();
             if let Some(h) = &slot.handle {
                 merged.merge(&h.report());
             }
@@ -264,9 +283,9 @@ impl<'scope, 'env> Supervisor<'scope, 'env> {
     /// Gracefully drains every running shard and returns the full rollup
     /// (drained + previously dead generations).
     fn drain_all(&self) -> ServeReport {
-        let mut merged = lock_unpoisoned(&self.dead).clone();
+        let mut merged = self.dead.lock().clone();
         for slot in &self.slots {
-            let handle = lock_unpoisoned(slot).handle.take();
+            let handle = slot.lock().handle.take();
             if let Some(h) = handle {
                 merged.merge(&h.shutdown_and_drain());
             }
@@ -314,7 +333,7 @@ struct RouterShared<'scope, 'env> {
     /// the change atomically, so shards can never disagree on the active
     /// version.
     registry: &'env ModelRegistry,
-    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    sessions: OrderedMutex<HashMap<u64, SessionEntry>>,
     /// Router-plane metrics: sheds the router itself issues (shards never
     /// see those requests, so merging with shard reports double-counts
     /// nothing).
@@ -323,9 +342,9 @@ struct RouterShared<'scope, 'env> {
     monitor_stop: AtomicBool,
     /// One pooled connection per shard; session ops are serialized by the
     /// sessions mutex, one-shots serialize per tile on these locks.
-    conns: Vec<Mutex<Option<(SocketAddr, TcpStream)>>>,
-    peers: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
+    conns: Vec<OrderedMutex<Option<(SocketAddr, TcpStream)>>>,
+    peers: OrderedMutex<Vec<TcpStream>>,
+    handlers: OrderedMutex<Vec<ScopedJoinHandle<'scope, ()>>>,
     handoffs: AtomicU64,
     replays: AtomicU64,
 }
@@ -336,13 +355,16 @@ impl RouterShared<'_, '_> {
     /// retries (the supervisor restarts it within budget); `None` means
     /// the tile is unreachable for good.
     fn rpc(&self, tile: usize, req: &Request) -> Option<Response> {
-        let mut conn = lock_unpoisoned(&self.conns[tile]);
+        let mut conn = self.conns[tile].lock();
         for _ in 0..3 {
             let addr = self.supervisor.ensure_alive(tile)?;
             if conn.as_ref().map(|(a, _)| *a) != Some(addr) {
                 *conn = None;
             }
             if conn.is_none() {
+                // The conn mutex EXISTS to serialize this tile's stream;
+                // connect is part of the critical section it protects.
+                // lint:allow(guard-across-blocking): intended per-tile serialization
                 match TcpStream::connect(addr) {
                     Ok(s) => {
                         let _ = s.set_nodelay(true);
@@ -356,7 +378,12 @@ impl RouterShared<'_, '_> {
                 }
             }
             if let Some((_, stream)) = conn.as_mut() {
+                // Request/response pairs on the pooled stream must not
+                // interleave across threads; holding the conn guard across
+                // the exchange is the point.
+                // lint:allow(guard-across-blocking): intended per-tile serialization
                 if write_request(stream, req).is_ok() {
+                    // lint:allow(guard-across-blocking): same exchange as the write above
                     if let Ok(resp) = read_response(stream) {
                         return Some(resp);
                     }
@@ -450,7 +477,7 @@ impl RouterShared<'_, '_> {
     fn respond(&self, req: Request) -> Response {
         if self.shutting_down.load(Ordering::Acquire) {
             if matches!(req, Request::Ping) {
-                let sessions = lock_unpoisoned(&self.sessions).len() as u32;
+                let sessions = self.sessions.lock().len() as u32;
                 return Response::Pong { sessions };
             }
             self.metrics.on_rejected(RejectReason::ShuttingDown);
@@ -483,11 +510,15 @@ impl RouterShared<'_, '_> {
                         return Response::Reject(RejectReason::Invalid);
                     }
                 };
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 if let Some(entry) = sessions.get(&client) {
                     // Mirror single-process reopen semantics: the previous
                     // trajectory is finalized before the key is reused.
                     if let Some(tile) = entry.tile {
+                        // Session ops are serialized by design: the
+                        // finalize must land before the key is reused, and
+                        // the journal must not move under the rpc.
+                        // lint:allow(guard-across-blocking): intended session serialization
                         let _ = self.rpc(tile, &Request::Finish { client });
                     }
                 }
@@ -505,7 +536,7 @@ impl RouterShared<'_, '_> {
                 Response::Pushed { committed: 0 }
             }
             Request::Push { client, point } => {
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 let Some(entry) = sessions.get_mut(&client) else {
                     return Response::Failed(WireMatchError { code: 0, a: 0, b: 0 });
                 };
@@ -514,6 +545,11 @@ impl RouterShared<'_, '_> {
                     return Response::Reject(reason);
                 }
                 for attempt in 0..2 {
+                    // Push/journal/replay for one session must be atomic
+                    // wrt other clients of the same key; the session lock
+                    // is the serialization point (handoff ordering depends
+                    // on it — DESIGN §13).
+                    // lint:allow(guard-across-blocking): intended session serialization
                     match self.rpc(target, &Request::Push { client, point }) {
                         Some(Response::Pushed { committed }) => {
                             entry.journal.push(point);
@@ -537,7 +573,7 @@ impl RouterShared<'_, '_> {
                 Response::Reject(RejectReason::ShuttingDown)
             }
             Request::Finish { client } => {
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 let Some(mut entry) = sessions.remove(&client) else {
                     return Response::Failed(WireMatchError { code: 0, a: 0, b: 0 });
                 };
@@ -550,6 +586,8 @@ impl RouterShared<'_, '_> {
                     };
                 };
                 for attempt in 0..2 {
+                    // Finalize is a session op; see the Push arm above.
+                    // lint:allow(guard-across-blocking): intended session serialization
                     match self.rpc(tile, &Request::Finish { client }) {
                         Some(Response::Failed(e)) if e.code == 0 && attempt == 0 => {
                             if let Err(reason) = self.replay(&mut entry, client, tile) {
@@ -563,7 +601,7 @@ impl RouterShared<'_, '_> {
                 Response::Reject(RejectReason::ShuttingDown)
             }
             Request::Ping => {
-                let sessions = lock_unpoisoned(&self.sessions).len() as u32;
+                let sessions = self.sessions.lock().len() as u32;
                 Response::Pong { sessions }
             }
             // Model plane: one registry serves every shard, so acting on
@@ -696,8 +734,8 @@ impl ClusterReport {
 pub struct ClusterHandle<'scope, 'env> {
     addr: SocketAddr,
     shared: Arc<RouterShared<'scope, 'env>>,
-    accept: Mutex<Option<ScopedJoinHandle<'scope, ()>>>,
-    monitor: Mutex<Option<ScopedJoinHandle<'scope, ()>>>,
+    accept: OrderedMutex<Option<ScopedJoinHandle<'scope, ()>>>,
+    monitor: OrderedMutex<Option<ScopedJoinHandle<'scope, ()>>>,
     drained: AtomicBool,
 }
 
@@ -726,13 +764,17 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
             topology,
             supervisor,
             registry: serve.registry,
-            sessions: Mutex::new(HashMap::new()),
+            // Rank-ordered (DESIGN §15): the session table is the root of
+            // every router lock chain (sessions -> conns -> slots -> dead).
+            sessions: OrderedMutex::new(rank::ROUTER_SESSIONS, "router.sessions", HashMap::new()),
             metrics: Arc::new(ServeMetrics::new()),
             shutting_down: AtomicBool::new(false),
             monitor_stop: AtomicBool::new(false),
-            conns: (0..topology.num_tiles()).map(|_| Mutex::new(None)).collect(),
-            peers: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
+            conns: (0..topology.num_tiles())
+                .map(|_| OrderedMutex::new(rank::ROUTER_CONN, "router.conn", None))
+                .collect(),
+            peers: OrderedMutex::new(rank::SERVER_PEERS, "router.peers", Vec::new()),
+            handlers: OrderedMutex::new(rank::SERVER_HANDLERS, "router.handlers", Vec::new()),
             handoffs: AtomicU64::new(0),
             replays: AtomicU64::new(0),
         });
@@ -758,10 +800,10 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
                     let Ok(stream) = incoming else { continue };
                     let _ = stream.set_nodelay(true);
                     let Ok(peer) = stream.try_clone() else { continue };
-                    lock_unpoisoned(&shared.peers).push(peer);
+                    shared.peers.lock().push(peer);
                     let conn_shared = Arc::clone(&shared);
                     let handle = scope.spawn(move || conn_shared.handle_connection(stream));
-                    lock_unpoisoned(&shared.handlers).push(handle);
+                    shared.handlers.lock().push(handle);
                 }
             })
         };
@@ -769,8 +811,8 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
         Ok(ClusterHandle {
             addr,
             shared,
-            accept: Mutex::new(Some(accept)),
-            monitor: Mutex::new(Some(monitor)),
+            accept: OrderedMutex::new(rank::ACCEPT_HANDLE, "router.accept", Some(accept)),
+            monitor: OrderedMutex::new(rank::MONITOR_HANDLE, "router.monitor", Some(monitor)),
             drained: AtomicBool::new(false),
         })
     }
@@ -795,7 +837,7 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
         let mut merged = shared.supervisor.report();
         let router = shared
             .metrics
-            .snapshot(0, lock_unpoisoned(&shared.sessions).len());
+            .snapshot(0, shared.sessions.lock().len());
         merged.merge(&router);
         ClusterReport {
             merged,
@@ -817,29 +859,38 @@ impl<'scope, 'env> ClusterHandle<'scope, 'env> {
         // 2. Finalize every live routed session on its shard (mirrors
         //    single-process finalize_all).
         {
-            let mut sessions = lock_unpoisoned(&shared.sessions);
+            let mut sessions = shared.sessions.lock();
             for (client, entry) in sessions.drain() {
                 if let Some(tile) = entry.tile {
+                    // Drain finalizes under the session lock so no handler
+                    // can interleave a push with the shutdown finalize of
+                    // the same key.
+                    // lint:allow(guard-across-blocking): intended session serialization
                     let _ = shared.rpc(tile, &Request::Finish { client });
                 }
             }
         }
         // 3. Stop the monitor so it cannot resurrect draining shards.
         shared.monitor_stop.store(true, Ordering::Release);
-        if let Some(h) = lock_unpoisoned(&self.monitor).take() {
+        let monitor = self.monitor.lock().take();
+        if let Some(h) = monitor {
             let _ = h.join();
         }
         // 4. Drain every shard (merges previously dead generations).
         let mut merged = shared.supervisor.drain_all();
         // 5. Unblock and join the router accept loop and handlers.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = lock_unpoisoned(&self.accept).take() {
+        let accept = self.accept.lock().take();
+        if let Some(h) = accept {
             let _ = h.join();
         }
-        for peer in lock_unpoisoned(&shared.peers).drain(..) {
+        for peer in shared.peers.lock().drain(..) {
             let _ = peer.shutdown(std::net::Shutdown::Both);
         }
-        let handlers = std::mem::take(&mut *lock_unpoisoned(&shared.handlers));
+        let handlers = {
+            let mut guard = shared.handlers.lock();
+            std::mem::take(&mut *guard)
+        };
         for h in handlers {
             let _ = h.join();
         }

@@ -7,17 +7,16 @@
 //! [`ServeReport`] snapshot is taken at drain (or any time) and rendered
 //! through `lhmm_eval`'s latency-table surface.
 
-use crate::admission::{lock_unpoisoned, RejectReason};
+use crate::admission::RejectReason;
 use lhmm_core::types::MatchStats;
 use lhmm_eval::histogram::LatencyHistogram;
 use lhmm_eval::report::latency_table;
 use lhmm_eval::versioned::VersionTable;
 use std::fmt::Write as _;
+use lhmm_core::sync::{rank, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Shared serving counters. All methods are `&self` and thread-safe.
-#[derive(Default)]
 pub struct ServeMetrics {
     /// Requests admitted into the batch queue.
     admitted: AtomicU64,
@@ -58,9 +57,43 @@ pub struct ServeMetrics {
     /// Shadow mirrors whose verdict diverged from the active version's.
     shadow_divergences: AtomicU64,
     /// Latency histograms (seconds).
-    hist: Mutex<Histograms>,
+    hist: OrderedMutex<Histograms>,
     /// Per-model-version serving lanes (hot swap / shadow A/B slicing).
-    versions: Mutex<VersionTable>,
+    versions: OrderedMutex<VersionTable>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: Default::default(),
+            orphaned_replies: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            sessions_evicted_idle: AtomicU64::new(0),
+            sessions_evicted_lru: AtomicU64::new(0),
+            sessions_finalized: AtomicU64::new(0),
+            stream_pushes: AtomicU64::new(0),
+            sessions_exported: AtomicU64::new(0),
+            sessions_imported: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
+            model_refreshes: AtomicU64::new(0),
+            shadow_served: AtomicU64::new(0),
+            shadow_divergences: AtomicU64::new(0),
+            // Rank-ordered (DESIGN §15): histograms may be held while the
+            // version-lane lock is taken inside `snapshot`.
+            hist: OrderedMutex::new(rank::METRICS_HIST, "metrics.hist", Histograms::default()),
+            versions: OrderedMutex::new(
+                rank::METRICS_VERSIONS,
+                "metrics.versions",
+                VersionTable::default(),
+            ),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -107,13 +140,13 @@ impl ServeMetrics {
     /// service time and the per-stage times from the match telemetry.
     pub fn on_completed(&self, queue_wait_s: f64, service_s: f64, stats: &MatchStats) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let mut h = lock_unpoisoned(&self.hist);
+        let mut h = self.hist.lock();
         h.queue_wait.record(queue_wait_s);
         h.service.record(service_s);
         h.stage_candidates.record(stats.candidate_time_s);
         h.stage_viterbi.record(stats.viterbi_time_s);
         drop(h);
-        lock_unpoisoned(&self.versions).record_served(stats.model_version, service_s);
+        self.versions.lock().record_served(stats.model_version, service_s);
     }
 
     /// Counts one model hot swap (promote or rollback) this server executed.
@@ -134,13 +167,13 @@ impl ServeMetrics {
         if diverged {
             self.shadow_divergences.fetch_add(1, Ordering::Relaxed);
         }
-        lock_unpoisoned(&self.versions).record_shadow(version, service_s, diverged);
+        self.versions.lock().record_shadow(version, service_s, diverged);
     }
 
     /// Records a streaming finish's verdict into its pinned version's lane
     /// (per-push latency was already recorded, so no latency sample here).
     pub fn on_version_finished(&self, version: u32) {
-        lock_unpoisoned(&self.versions).record_finished(version);
+        self.versions.lock().record_finished(version);
     }
 
     /// Counts a reply whose client had already gone away.
@@ -171,7 +204,7 @@ impl ServeMetrics {
     /// Records one streaming push and its latency.
     pub fn on_stream_push(&self, seconds: f64) {
         self.stream_pushes.fetch_add(1, Ordering::Relaxed);
-        lock_unpoisoned(&self.hist).stream_push.record(seconds);
+        self.hist.lock().stream_push.record(seconds);
     }
 
     /// Counts a session handed off to another shard (snapshot + evict).
@@ -196,7 +229,7 @@ impl ServeMetrics {
 
     /// Takes a point-in-time snapshot of everything.
     pub fn snapshot(&self, queue_depth: usize, active_sessions: usize) -> ServeReport {
-        let h = lock_unpoisoned(&self.hist);
+        let h = self.hist.lock();
         let mut rejected = [0u64; RejectReason::COUNT];
         for (out, src) in rejected.iter_mut().zip(&self.rejected) {
             *out = src.load(Ordering::Relaxed);
@@ -223,7 +256,7 @@ impl ServeMetrics {
             model_refreshes: self.model_refreshes.load(Ordering::Relaxed),
             shadow_served: self.shadow_served.load(Ordering::Relaxed),
             shadow_divergences: self.shadow_divergences.load(Ordering::Relaxed),
-            versions: lock_unpoisoned(&self.versions).clone(),
+            versions: self.versions.lock().clone(),
             queue_wait: h.queue_wait.clone(),
             service: h.service.clone(),
             stage_candidates: h.stage_candidates.clone(),

@@ -32,11 +32,11 @@ use lhmm_network::sp_cache::SpCache;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::admission::lock_unpoisoned;
+use lhmm_core::sync::{rank, OrderedMutex};
 
 /// Everything a worker needs to match on behalf of the service.
 #[derive(Clone, Copy)]
@@ -115,7 +115,7 @@ pub struct MicroBatcher<'scope, 'env> {
     metrics: Arc<ServeMetrics>,
     registry: &'env ModelRegistry,
     draining: Arc<AtomicBool>,
-    threads: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
+    threads: OrderedMutex<Vec<ScopedJoinHandle<'scope, ()>>>,
     _env: std::marker::PhantomData<&'env ()>,
 }
 
@@ -132,7 +132,12 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
         let draining = Arc::new(AtomicBool::new(false));
         let workers = policy.workers.max(1);
         let (dispatch_tx, dispatch_rx) = mpsc::sync_channel::<Vec<Job>>(workers);
-        let dispatch_rx = Arc::new(Mutex::new(dispatch_rx));
+        // Rank-ordered (DESIGN §15): workers take this below the queue lock.
+        let dispatch_rx = Arc::new(OrderedMutex::new(
+            rank::SCHEDULER_DISPATCH,
+            "scheduler.dispatch",
+            dispatch_rx,
+        ));
 
         let mut threads = Vec::with_capacity(workers + 1);
 
@@ -202,7 +207,12 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
                 let mut engines: BTreeMap<u32, HmmEngine> = BTreeMap::new();
                 loop {
                     let batch = {
-                        let rx = lock_unpoisoned(&dispatch_rx);
+                        // Single-consumer hand-off by design: idle workers
+                        // serialize on the dispatch mutex and block in
+                        // `recv` until the scheduler forms a batch; no
+                        // other lock is held.
+                        let rx = dispatch_rx.lock();
+                        // lint:allow(guard-across-blocking): intended dispatch wait
                         rx.recv()
                     };
                     let Ok(batch) = batch else {
@@ -275,7 +285,7 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
             metrics,
             registry: serve.registry,
             draining,
-            threads: Mutex::new(threads),
+            threads: OrderedMutex::new(rank::SCHEDULER_THREADS, "scheduler.threads", threads),
             _env: std::marker::PhantomData,
         }
     }
@@ -331,7 +341,7 @@ impl<'scope, 'env> MicroBatcher<'scope, 'env> {
         self.draining.store(true, Ordering::Release);
         self.queue.close();
         let threads = {
-            let mut guard = lock_unpoisoned(&self.threads);
+            let mut guard = self.threads.lock();
             std::mem::take(&mut *guard)
         };
         for t in threads {

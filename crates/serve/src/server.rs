@@ -15,7 +15,7 @@
 //! threads join before the final [`ServeReport`] snapshot is taken — an
 //! admitted request is never dropped (`in_flight_lost() == 0`).
 
-use crate::admission::{lock_unpoisoned, RejectReason};
+use crate::admission::RejectReason;
 use crate::metrics::{ServeMetrics, ServeReport};
 use crate::protocol::{
     read_request, write_response, Request, Response, WireMatchError,
@@ -27,7 +27,8 @@ use lhmm_network::graph::RoadNetwork;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use lhmm_core::sync::{rank, OrderedMutex};
+use std::sync::Arc;
 use std::thread::{Scope, ScopedJoinHandle};
 
 /// Full service configuration.
@@ -54,7 +55,7 @@ impl ServeConfig {
 
 struct Shared<'scope, 'env> {
     batcher: MicroBatcher<'scope, 'env>,
-    sessions: Mutex<SessionManager<'env>>,
+    sessions: OrderedMutex<SessionManager<'env>>,
     registry: &'env ModelRegistry,
     net: &'env RoadNetwork,
     metrics: Arc<ServeMetrics>,
@@ -62,8 +63,8 @@ struct Shared<'scope, 'env> {
     max_points: usize,
     /// Duplicated handles of accepted streams, so drain can unblock
     /// handlers parked in `read_request`.
-    peers: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<ScopedJoinHandle<'scope, ()>>>,
+    peers: OrderedMutex<Vec<TcpStream>>,
+    handlers: OrderedMutex<Vec<ScopedJoinHandle<'scope, ()>>>,
 }
 
 impl Shared<'_, '_> {
@@ -99,7 +100,7 @@ impl Shared<'_, '_> {
                     self.metrics.on_rejected(RejectReason::Invalid);
                     return Response::Reject(RejectReason::Invalid);
                 };
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 match sessions.open(client, lag as usize, pin, &self.metrics) {
                     Ok(()) => Response::Pushed { committed: 0 },
                     Err(reason) => Response::Reject(reason),
@@ -110,7 +111,7 @@ impl Shared<'_, '_> {
                     self.metrics.on_rejected(RejectReason::ShuttingDown);
                     return Response::Reject(RejectReason::ShuttingDown);
                 }
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 match sessions.push(client, &point, &self.metrics) {
                     Ok(committed) => Response::Pushed {
                         committed: committed as u32,
@@ -123,7 +124,7 @@ impl Shared<'_, '_> {
                     self.metrics.on_rejected(RejectReason::ShuttingDown);
                     return Response::Reject(RejectReason::ShuttingDown);
                 }
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 match sessions.finish(client, &self.metrics) {
                     Some(fin) => {
                         // Feed the finished route into refresh statistics
@@ -144,14 +145,14 @@ impl Shared<'_, '_> {
             // Health plane: always answered, even during drain, so a
             // supervisor can distinguish "draining" from "dead".
             Request::Ping => Response::Pong {
-                sessions: lock_unpoisoned(&self.sessions).len() as u32,
+                sessions: self.sessions.lock().len() as u32,
             },
             Request::Snapshot { client } => {
                 if self.shutting_down.load(Ordering::Acquire) {
                     self.metrics.on_rejected(RejectReason::ShuttingDown);
                     return Response::Reject(RejectReason::ShuttingDown);
                 }
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 match sessions.take_snapshot(client, &self.metrics) {
                     Some(state) => Response::State { state },
                     // Same typed verdict as Finish on an unknown session
@@ -171,7 +172,7 @@ impl Shared<'_, '_> {
                     self.metrics.on_rejected(RejectReason::Invalid);
                     return Response::Reject(RejectReason::Invalid);
                 };
-                let mut sessions = lock_unpoisoned(&self.sessions);
+                let mut sessions = self.sessions.lock();
                 match sessions.import(client, state, pin, &self.metrics) {
                     Ok(()) => Response::Pushed { committed: 0 },
                     Err(reason) => Response::Reject(reason),
@@ -284,7 +285,7 @@ impl Shared<'_, '_> {
 pub struct ServerHandle<'scope, 'env> {
     addr: SocketAddr,
     shared: Arc<Shared<'scope, 'env>>,
-    accept: Mutex<Option<ScopedJoinHandle<'scope, ()>>>,
+    accept: OrderedMutex<Option<ScopedJoinHandle<'scope, ()>>>,
     drained: AtomicBool,
 }
 
@@ -312,14 +313,16 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         }
         let shared = Arc::new(Shared {
             batcher,
-            sessions: Mutex::new(sessions),
+            // Rank-ordered (DESIGN §15): the session lock is taken above
+            // metrics/registry leaves and below nothing else in this shard.
+            sessions: OrderedMutex::new(rank::SERVER_SESSIONS, "server.sessions", sessions),
             registry: serve.registry,
             net: serve.ctx.net,
             metrics,
             shutting_down: AtomicBool::new(false),
             max_points: config.max_points(),
-            peers: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
+            peers: OrderedMutex::new(rank::SERVER_PEERS, "server.peers", Vec::new()),
+            handlers: OrderedMutex::new(rank::SERVER_HANDLERS, "server.handlers", Vec::new()),
         });
 
         let accept = {
@@ -339,10 +342,10 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
                     // handler; a connection we cannot track we do not
                     // serve (it could park a handler forever).
                     let Ok(peer) = stream.try_clone() else { continue };
-                    lock_unpoisoned(&shared.peers).push(peer);
+                    shared.peers.lock().push(peer);
                     let conn_shared = Arc::clone(&shared);
                     let handle = scope.spawn(move || conn_shared.handle_connection(stream));
-                    lock_unpoisoned(&shared.handlers).push(handle);
+                    shared.handlers.lock().push(handle);
                 }
             })
         };
@@ -350,7 +353,7 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         Ok(ServerHandle {
             addr,
             shared,
-            accept: Mutex::new(Some(accept)),
+            accept: OrderedMutex::new(rank::ACCEPT_HANDLE, "server.accept", Some(accept)),
             drained: AtomicBool::new(false),
         })
     }
@@ -369,7 +372,7 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
     pub fn report(&self) -> ServeReport {
         self.shared.metrics.snapshot(
             self.shared.batcher.queue_depth(),
-            lock_unpoisoned(&self.shared.sessions).len(),
+            self.shared.sessions.lock().len(),
         )
     }
 
@@ -386,17 +389,21 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         //    exiting).
         shared.batcher.drain();
         // 3. Finalize open streaming sessions.
-        lock_unpoisoned(&shared.sessions).finalize_all(&shared.metrics);
+        shared.sessions.lock().finalize_all(&shared.metrics);
         // 4. Unblock the accept loop with a self-connection and join it.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = lock_unpoisoned(&self.accept).take() {
+        let accept = self.accept.lock().take();
+        if let Some(h) = accept {
             let _ = h.join();
         }
         // 5. Unblock handlers parked in read_request and join them.
-        for peer in lock_unpoisoned(&shared.peers).drain(..) {
+        for peer in shared.peers.lock().drain(..) {
             let _ = peer.shutdown(std::net::Shutdown::Both);
         }
-        let handlers = std::mem::take(&mut *lock_unpoisoned(&shared.handlers));
+        let handlers = {
+            let mut guard = shared.handlers.lock();
+            std::mem::take(&mut *guard)
+        };
         for h in handlers {
             let _ = h.join();
         }
@@ -413,18 +420,22 @@ impl<'scope, 'env> ServerHandle<'scope, 'env> {
         let shared = &self.shared;
         shared.shutting_down.store(true, Ordering::Release);
         // Crash semantics: in-flight sessions are lost, not finalized.
-        let _ = lock_unpoisoned(&shared.sessions).drop_all();
+        let _ = shared.sessions.lock().drop_all();
         // The worker pool still answers already-admitted one-shots so
         // every blocked handler unparks; new work is already shed.
         shared.batcher.drain();
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = lock_unpoisoned(&self.accept).take() {
+        let accept = self.accept.lock().take();
+        if let Some(h) = accept {
             let _ = h.join();
         }
-        for peer in lock_unpoisoned(&shared.peers).drain(..) {
+        for peer in shared.peers.lock().drain(..) {
             let _ = peer.shutdown(std::net::Shutdown::Both);
         }
-        let handlers = std::mem::take(&mut *lock_unpoisoned(&shared.handlers));
+        let handlers = {
+            let mut guard = shared.handlers.lock();
+            std::mem::take(&mut *guard)
+        };
         for h in handlers {
             let _ = h.join();
         }

@@ -1,0 +1,131 @@
+//! Witness-enabled serving suite (DESIGN §15).
+//!
+//! Every `OrderedMutex` in the serving stack registers with the runtime
+//! lock-hierarchy witness under `debug_assertions` or the `lock-witness`
+//! feature, so *any* rank inversion anywhere in these scenarios panics a
+//! thread and fails the run. The scenario here is the hardest ordering in
+//! the stack: concurrent streaming pushes (router session lock → per-tile
+//! conn lock → supervisor slot) racing shard kills (slot → dead rollup →
+//! shard-internal locks via abort) and the monitor's restart sweep — then
+//! a full drain while handlers are still active.
+
+use lhmm_cellsim::dataset::{Dataset, DatasetConfig};
+use lhmm_cellsim::traj::CellularTrajectory;
+use lhmm_core::error::MatchError;
+use lhmm_core::lhmm::{LhmmConfig, LhmmModel};
+use lhmm_core::registry::ModelRegistry;
+use lhmm_core::sync::{witness_acquisitions, witness_enabled};
+use lhmm_core::types::MatchContext;
+use lhmm_serve::{
+    ClientError, ClusterConfig, ClusterHandle, ClusterTopology, ServeClient, ServeCtx,
+};
+use std::thread;
+
+fn cheap_model(ds: &Dataset, seed: u64) -> LhmmModel {
+    let mut cfg = LhmmConfig::fast_test(seed);
+    cfg.use_learned_obs = false;
+    cfg.use_learned_trans = false;
+    LhmmModel::train(ds, cfg)
+}
+
+fn ctx(ds: &Dataset) -> MatchContext<'_> {
+    MatchContext {
+        net: &ds.network,
+        index: &ds.index,
+        towers: &ds.towers,
+    }
+}
+
+/// Streams one trajectory, tolerating typed per-point verdicts; panics on
+/// transport or protocol failures (which is what a deadlock-turned-panic
+/// on the server side produces).
+fn stream_one(addr: std::net::SocketAddr, session: u64, traj: &CellularTrajectory) {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.open(session, 4).expect("open");
+    for p in &traj.points {
+        match client.push(session, p) {
+            Ok(_) => {}
+            Err(ClientError::Failed(
+                MatchError::NoCandidates | MatchError::EmptyLayer { .. },
+            )) => {}
+            Err(e) => panic!("session {session}: push failed: {e}"),
+        }
+    }
+    let _ = client.finish(session).expect("finish");
+}
+
+/// Shard kills racing live streaming sessions and the monitor's restart
+/// sweep, ending in a drain: the full supervisor shutdown ordering, every
+/// acquisition checked by the witness.
+#[test]
+fn shard_kills_during_streaming_hold_the_lock_hierarchy() {
+    let ds = Dataset::generate(&DatasetConfig::tiny_test(901));
+    let registry = ModelRegistry::new(cheap_model(&ds, 901), "v1");
+    let topology = ClusterTopology::build(&ds.network, &ds.index, 2, 1, 3000.0);
+    let trajs: Vec<CellularTrajectory> =
+        ds.test.iter().take(4).map(|r| r.cellular.clone()).collect();
+
+    let before = witness_acquisitions();
+    thread::scope(|s| {
+        let serve = ServeCtx {
+            ctx: ctx(&ds),
+            registry: &registry,
+            scope: None,
+        };
+        // Headroom over the default budget: the killer consumes up to two
+        // restarts per tile, and the monitor may burn a couple more.
+        let config = ClusterConfig {
+            max_restarts: 16,
+            ..ClusterConfig::default()
+        };
+        let cluster = ClusterHandle::start(s, serve, &topology, config).expect("bind");
+        let addr = cluster.addr();
+
+        thread::scope(|inner| {
+            // Concurrent streaming clients: the router holds its session
+            // lock across every shard rpc these issue.
+            let clients: Vec<_> = trajs
+                .iter()
+                .enumerate()
+                .map(|(i, traj)| inner.spawn(move || stream_one(addr, 7000 + i as u64, traj)))
+                .collect();
+            // The killer: hard-crash alternating shards while the pushes
+            // are in flight — bounded, so the rpc retry/replay machinery
+            // always has a live generation to recover onto. `kill_shard`
+            // takes the supervisor slot and folds the aborted shard's
+            // report into the dead rollup while routers race it for the
+            // same slots.
+            let cluster = &cluster;
+            inner.spawn(move || {
+                for k in 0..4 {
+                    thread::sleep(std::time::Duration::from_millis(20));
+                    let _ = cluster.kill_shard(k % 2);
+                }
+            });
+            for c in clients {
+                c.join().expect("client thread panicked");
+            }
+        });
+
+        // Drain while the supervisor still owns restarted generations:
+        // monitor join → shard drain → handler joins, all rank-checked.
+        let report = cluster.shutdown_and_drain();
+        assert_eq!(
+            report.in_flight_lost(),
+            0,
+            "admitted work was lost across kills + drain"
+        );
+        assert!(
+            report.restarts >= 1,
+            "the kill thread never forced a restart"
+        );
+    });
+
+    if witness_enabled() {
+        let grabbed = witness_acquisitions() - before;
+        assert!(
+            grabbed > 0,
+            "witness saw no acquisitions in a run full of locking"
+        );
+    }
+}
